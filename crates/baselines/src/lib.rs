@@ -1,0 +1,29 @@
+//! Reference baselines the FlashSparse paper compares against, implemented
+//! from their published algorithm descriptions.
+//!
+//! Two families:
+//!
+//! * [`cuda`] — CUDA-core FP32 kernels: a cuSPARSE-like row-parallel CSR
+//!   SpMM, Sputnik's 1-D tiling with row swizzle, RoDe's row
+//!   decomposition, GE-SpMM's coalesced row caching, and GNNAdvisor's
+//!   neighbor grouping. These are real (Rayon-parallel) CPU
+//!   implementations producing correct results, instrumented with exact
+//!   byte/FLOP counts and a *wave scheduling model* ([`wave`]) that
+//!   captures each algorithm's load-balancing behaviour — the axis the
+//!   respective papers differentiate on.
+//! * [`tcu16`] — the 16×1-vector tensor-core kernels of DTC-SpMM (MMA
+//!   `m16n8k8`, direct orientation) and TC-GNN (WMMA `m16n16k8` with
+//!   SGT position checks), run on the same warp-level simulator as
+//!   FlashSparse. The DTC-style kernel doubles as the paper's Figure 14
+//!   ablation ("FlashSparse with 16×1 vector size").
+//!
+//! Every kernel returns a [`BaselineRun`] bundling its counters and
+//! imbalance factor; [`BaselineRun::simulated_time`] turns that into
+//! roofline time on a given GPU.
+
+pub mod cuda;
+pub mod run;
+pub mod tcu16;
+pub mod wave;
+
+pub use run::BaselineRun;

@@ -1,0 +1,61 @@
+//! The result bundle every baseline kernel returns.
+
+use fs_tcu::cost::{ComputeClass, CostModel};
+use fs_tcu::{GpuSpec, KernelCounters};
+
+/// Counters plus scheduling metadata from one baseline kernel execution.
+#[derive(Clone, Copy, Debug)]
+pub struct BaselineRun {
+    /// Operation / transaction / byte counts.
+    pub counters: KernelCounters,
+    /// Load-imbalance factor from the wave model (≥ 1).
+    pub imbalance: f64,
+    /// Which engine/precision the kernel runs on.
+    pub class: ComputeClass,
+}
+
+impl BaselineRun {
+    /// A perfectly balanced run.
+    pub fn balanced(counters: KernelCounters, class: ComputeClass) -> Self {
+        BaselineRun { counters, imbalance: 1.0, class }
+    }
+
+    /// Simulated execution time on `gpu`: roofline time (over both compute
+    /// engines and memory) stretched by the imbalance factor — idle lanes
+    /// don't make memory or ALUs faster.
+    pub fn simulated_time(&self, gpu: GpuSpec) -> f64 {
+        let model = CostModel::new(gpu);
+        let base = model.kernel_time_full(&self.counters, self.class) - gpu.launch_overhead_s;
+        base * self.imbalance + gpu.launch_overhead_s
+    }
+
+    /// Simulated throughput for `useful_flops` of operator work.
+    pub fn simulated_gflops(&self, useful_flops: u64, gpu: GpuSpec) -> f64 {
+        useful_flops as f64 / self.simulated_time(gpu) / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn imbalance_stretches_time() {
+        let counters = KernelCounters { bytes_loaded: 1 << 20, ..Default::default() };
+        let balanced = BaselineRun::balanced(counters, ComputeClass::CudaFp32);
+        let skewed = BaselineRun { imbalance: 3.0, ..balanced };
+        let gpu = GpuSpec::RTX4090;
+        let tb = balanced.simulated_time(gpu) - gpu.launch_overhead_s;
+        let ts = skewed.simulated_time(gpu) - gpu.launch_overhead_s;
+        assert!((ts / tb - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gflops_inverse_to_time() {
+        let counters = KernelCounters { bytes_loaded: 1 << 20, ..Default::default() };
+        let run = BaselineRun::balanced(counters, ComputeClass::CudaFp32);
+        let gpu = GpuSpec::H100_PCIE;
+        let g = run.simulated_gflops(1_000_000_000, gpu);
+        assert!((g - 1.0 / run.simulated_time(gpu)).abs() < 1e-9);
+    }
+}

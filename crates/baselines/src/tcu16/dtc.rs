@@ -1,0 +1,414 @@
+//! DTC-SpMM-style kernels: `mma.m16n8k8` in the **direct** orientation.
+//!
+//! The sparse TC block is the MMA *left* operand (`16×8`: 16-row window ×
+//! 8 nonzero vectors), the dense block the right operand (`8×8`), the
+//! output `16×8` — so each MMA covers only 8 output columns and the
+//! nonzero-vector height is pinned to 16, the granularity whose
+//! redundancy FlashSparse eliminates. The FP16 instantiation doubles as
+//! the paper's Figure 14 "16×1 FlashSparse" ablation; the TF32
+//! instantiation is the DTC-SpMM baseline of Figures 11/12 and Table 5.
+
+use fs_format::MeBcrs;
+use fs_matrix::DenseMatrix;
+use fs_precision::Scalar;
+use fs_tcu::{mma_execute, FragKind, Fragment, KernelCounters, Precision, TrafficClass, TransactionCounter};
+use rayon::prelude::*;
+
+use flashsparse::TcuPrecision;
+
+use crate::run::BaselineRun;
+use super::{shape16, SPEC16};
+
+/// Output columns covered by one direct-orientation MMA (`n = 8`).
+pub const N_TILE_16: usize = 8;
+
+/// Translate a CSR matrix into the 16×1 ME-BCRS layout these kernels use.
+pub fn format16<S: TcuPrecision>(csr: &fs_matrix::CsrMatrix<S>) -> MeBcrs<S> {
+    MeBcrs::from_csr(csr, SPEC16)
+}
+
+/// 16×1-granularity SpMM (DTC-SpMM style). `a` must be in [`SPEC16`]
+/// layout.
+pub fn spmm_16x1<S: TcuPrecision>(
+    a: &MeBcrs<S>,
+    b: &DenseMatrix<S>,
+) -> (DenseMatrix<S>, BaselineRun) {
+    assert_eq!(a.spec(), SPEC16, "16x1 kernel requires the v=16 layout");
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    let shape = shape16::<S>();
+    let v = shape.m; // 16
+    let n = b.cols();
+    let rows = a.rows();
+
+    let mut out = DenseMatrix::<S>::zeros(rows, n);
+    if n == 0 || rows == 0 {
+        return (out, BaselineRun::balanced(KernelCounters::default(), S::compute_class()));
+    }
+
+    let counters: KernelCounters = out
+        .as_mut_slice()
+        .par_chunks_mut(v * n)
+        .enumerate()
+        .map(|(w, out_window)| spmm_window::<S>(a, b, w, out_window))
+        .sum();
+
+    let run = BaselineRun {
+        counters,
+        imbalance: crate::wave::tcu_window_imbalance(a, b.cols().div_ceil(N_TILE_16)),
+        class: S::compute_class(),
+    };
+    (out, run)
+}
+
+fn spmm_window<S: TcuPrecision>(
+    a: &MeBcrs<S>,
+    b: &DenseMatrix<S>,
+    w: usize,
+    out_window: &mut [S],
+) -> KernelCounters {
+    let shape = shape16::<S>();
+    let v = shape.m;
+    let k = shape.k;
+    let n = b.cols();
+    let rows = a.rows();
+    let window_rows = (rows - w * v).min(v);
+
+    let mut counters = KernelCounters::default();
+    let num_blocks = a.blocks_in_window(w);
+    if num_blocks == 0 {
+        return counters;
+    }
+    let mut tc = TransactionCounter::new();
+
+    for blk in 0..num_blocks {
+        let w_b = a.block_width(w, blk);
+        let base = (a.window_ptr()[w] + blk * k) as u64 * 4;
+        let accesses: Vec<(u64, u32)> = (0..w_b).map(|j| (base + j as u64 * 4, 4)).collect();
+        tc.warp_load_as(TrafficClass::Indices, accesses, &mut counters);
+    }
+
+    let mut a_tile = vec![0.0f32; v * k]; // sparse block, 16×8 row-major
+    let mut b_tile = vec![0.0f32; k * N_TILE_16]; // dense block, 8×8
+
+    for j0 in (0..n).step_by(N_TILE_16) {
+        let tile_cols = (n - j0).min(N_TILE_16);
+        let mut c_frag = Fragment::zeros(shape, FragKind::CD);
+
+        for blk in 0..num_blocks {
+            let w_b = a.block_width(w, blk);
+            let cols = a.block_cols(w, blk);
+
+            // Sparse TC block → MMA left operand (16×8), zero-padded.
+            a_tile.iter_mut().for_each(|x| *x = 0.0);
+            for i in 0..window_rows {
+                let row = a.block_row(w, blk, i);
+                for (t, &val) in row.iter().enumerate() {
+                    a_tile[i * k + t] = val.to_f32();
+                }
+            }
+            count_sparse_load_16::<S>(a, w, blk, w_b, &mut tc, &mut counters);
+
+            // Dense TC block → MMA right operand (8×8).
+            b_tile.iter_mut().for_each(|x| *x = 0.0);
+            for (t, &c) in cols.iter().enumerate() {
+                let brow = b.row(c as usize);
+                for j in 0..tile_cols {
+                    b_tile[t * N_TILE_16 + j] = brow[j0 + j].to_f32();
+                }
+            }
+            count_dense_load_16::<S>(b, cols, w_b, j0, n, &mut tc, &mut counters);
+
+            let a_frag = Fragment::from_tile(shape, FragKind::A, &a_tile);
+            let b_frag = Fragment::from_tile(shape, FragKind::B, &b_tile);
+            c_frag = mma_execute(shape, &a_frag, &b_frag, &c_frag, &mut counters);
+        }
+
+        // Store C (16×8) directly: rows = matrix rows, cols = dense cols.
+        let c_tile = c_frag.to_tile();
+        for i in 0..window_rows {
+            for j in 0..tile_cols {
+                out_window[i * n + j0 + j] = S::from_f32(c_tile[i * N_TILE_16 + j]);
+            }
+        }
+        let out_base = (w * v) as u64 * n as u64 * S::BYTES as u64;
+        // CD layout: lane stores column pairs (t·2, t·2+1) in rows g, g+8 —
+        // adjacent columns coalesce into 2·BYTES accesses, 2 requests.
+        for half in 0..2usize {
+            let mut accesses: Vec<(u64, u32)> = Vec::with_capacity(32);
+            for lane in 0..32usize {
+                let g = lane >> 2;
+                let t2 = (lane & 3) * 2;
+                let i = g + 8 * half;
+                if i >= window_rows {
+                    continue;
+                }
+                let sz = match ((j0 + t2) < n, (j0 + t2 + 1) < n) {
+                    (true, true) => 2 * S::BYTES as u32,
+                    (true, false) => S::BYTES as u32,
+                    _ => continue,
+                };
+                accesses.push((out_base + (i * n + j0 + t2) as u64 * S::BYTES as u64, sz));
+            }
+            tc.warp_store(accesses, &mut counters);
+        }
+    }
+
+    counters
+}
+
+/// Sparse block load in the direct A-operand layout.
+fn count_sparse_load_16<S: TcuPrecision>(
+    a: &MeBcrs<S>,
+    w: usize,
+    blk: usize,
+    w_b: usize,
+    tc: &mut TransactionCounter,
+    counters: &mut KernelCounters,
+) {
+    match S::PRECISION {
+        Precision::Fp16 => {
+            // Lane holds (g, t·2..t·2+1) and (g+8, t·2..t·2+1): 2 paired
+            // requests of 4-byte accesses.
+            for half in 0..2usize {
+                let mut accesses: Vec<(u64, u32)> = Vec::with_capacity(32);
+                for lane in 0..32usize {
+                    let g = (lane >> 2) + 8 * half;
+                    let t2 = (lane & 3) * 2;
+                    if t2 + 1 < w_b {
+                        accesses.push((a.value_addr(w, blk, g, t2), 4));
+                    } else if t2 < w_b {
+                        accesses.push((a.value_addr(w, blk, g, t2), 2));
+                    }
+                }
+                tc.warp_load_as(TrafficClass::SparseValues, accesses, counters);
+            }
+        }
+        Precision::Tf32 => {
+            // 4 scalar registers: (g, t), (g+8, t), (g, t+4), (g+8, t+4).
+            for reg in 0..4usize {
+                let mut accesses: Vec<(u64, u32)> = Vec::with_capacity(32);
+                for lane in 0..32usize {
+                    let g = (lane >> 2) + 8 * (reg & 1);
+                    let t = (lane & 3) + 4 * (reg >> 1);
+                    if t < w_b {
+                        accesses.push((a.value_addr(w, blk, g, t), 4));
+                    }
+                }
+                tc.warp_load_as(TrafficClass::SparseValues, accesses, counters);
+            }
+        }
+    }
+}
+
+/// Dense 8×8 block load in the direct B-operand layout (strided rows of B
+/// — the 16×1 kernels cannot coalesce this the way FlashSparse's 8×16
+/// blocks can).
+fn count_dense_load_16<S: Scalar>(
+    b: &DenseMatrix<S>,
+    cols: &[u32],
+    w_b: usize,
+    j0: usize,
+    n: usize,
+    tc: &mut TransactionCounter,
+    counters: &mut KernelCounters,
+) {
+    // Both FP16 (m16n8k8) and TF32 (m16n8k8) B fragments hold 2 registers
+    // per lane; only the in-fragment position differs below.
+    for reg in 0..2 {
+        let mut accesses: Vec<(u64, u32)> = Vec::with_capacity(32);
+        for lane in 0..32usize {
+            let g = lane >> 2;
+            let t = if S::BYTES == 2 {
+                (lane & 3) * 2 + reg
+            } else {
+                (lane & 3) + 4 * reg
+            };
+            if t < w_b && j0 + g < n {
+                accesses.push((b.addr_of(cols[t] as usize, j0 + g), S::BYTES as u32));
+            }
+        }
+        tc.warp_load_as(TrafficClass::DenseOperand, accesses, counters);
+    }
+}
+
+/// 16×1-granularity SDDMM: output block `16×8` (16 window rows × 8
+/// sampled vectors), accumulated over `K` in chunks of 8.
+pub fn sddmm_16x1<S: TcuPrecision>(
+    mask: &MeBcrs<S>,
+    a: &DenseMatrix<S>,
+    b: &DenseMatrix<S>,
+) -> (MeBcrs<S>, BaselineRun) {
+    assert_eq!(mask.spec(), SPEC16, "16x1 kernel requires the v=16 layout");
+    assert_eq!(a.rows(), mask.rows());
+    assert_eq!(b.rows(), mask.cols());
+    assert_eq!(a.cols(), b.cols());
+    let shape = shape16::<S>();
+    let v = shape.m;
+    let k = shape.k;
+    let kk = a.cols();
+    let rows = mask.rows();
+
+    let mut values = vec![S::ZERO; mask.values().len()];
+    let mut slices: Vec<&mut [S]> = Vec::with_capacity(mask.num_windows());
+    let mut rest = values.as_mut_slice();
+    for w in 0..mask.num_windows() {
+        let len = (mask.window_ptr()[w + 1] - mask.window_ptr()[w]) * v;
+        let (head, tail) = rest.split_at_mut(len);
+        slices.push(head);
+        rest = tail;
+    }
+
+    let counters: KernelCounters = slices
+        .into_par_iter()
+        .enumerate()
+        .map(|(w, out)| {
+            let mut counters = KernelCounters::default();
+            let nv = mask.vectors_in_window(w);
+            if nv == 0 {
+                return counters;
+            }
+            let mut tc = TransactionCounter::new();
+            let window_rows = (rows - w * v).min(v);
+            let window_val_base = mask.window_ptr()[w] * v;
+            let win_cols =
+                &mask.col_indices()[mask.window_ptr()[w]..mask.window_ptr()[w + 1]];
+
+            let mut a_tile = vec![0.0f32; v * k];
+            let mut b_tile = vec![0.0f32; k * 8];
+
+            for blk in 0..mask.blocks_in_window(w) {
+                let w_b = mask.block_width(w, blk);
+                let mut c_frag = Fragment::zeros(shape, FragKind::CD);
+
+                for k0 in (0..kk).step_by(k) {
+                    let kw = (kk - k0).min(k);
+                    // Left operand: A window rows × K chunk.
+                    a_tile.iter_mut().for_each(|x| *x = 0.0);
+                    let mut a_loads: Vec<(u64, u32)> = Vec::with_capacity(window_rows);
+                    for i in 0..window_rows {
+                        let arow = a.row(w * v + i);
+                        for t in 0..kw {
+                            a_tile[i * k + t] = arow[k0 + t].to_f32();
+                        }
+                        a_loads.push((a.addr_of(w * v + i, k0), (kw * S::BYTES) as u32));
+                    }
+                    tc.warp_load_as(TrafficClass::DenseOperand, a_loads, &mut counters);
+                    // Right operand: sampled B rows × K chunk (transposed).
+                    b_tile.iter_mut().for_each(|x| *x = 0.0);
+                    let mut b_loads: Vec<(u64, u32)> = Vec::with_capacity(w_b);
+                    for jj in 0..w_b {
+                        let col = win_cols[blk * k + jj] as usize;
+                        let brow = b.row(col);
+                        for t in 0..kw {
+                            b_tile[t * 8 + jj] = brow[k0 + t].to_f32();
+                        }
+                        b_loads.push((b.addr_of(col, k0), (kw * S::BYTES) as u32));
+                    }
+                    tc.warp_load_as(TrafficClass::DenseOperand, b_loads, &mut counters);
+
+                    let a_frag = Fragment::from_tile(shape, FragKind::A, &a_tile);
+                    let b_frag = Fragment::from_tile(shape, FragKind::B, &b_tile);
+                    c_frag = mma_execute(shape, &a_frag, &b_frag, &c_frag, &mut counters);
+                }
+
+                // Write back into the 16×1 block layout.
+                let c_tile = c_frag.to_tile(); // 16×8: (i, jj)
+                let mut stores: Vec<(u64, u32)> = Vec::new();
+                for i in 0..window_rows {
+                    for jj in 0..w_b {
+                        let m = mask.block_row(w, blk, i)[jj];
+                        if !m.is_zero() {
+                            let idx = mask.value_index(w, blk, i, jj) - window_val_base;
+                            out[idx] = S::from_f32(c_tile[i * 8 + jj] * m.to_f32());
+                            stores.push((mask.value_addr(w, blk, i, jj), S::BYTES as u32));
+                        }
+                    }
+                }
+                tc.warp_store(stores, &mut counters);
+            }
+            counters
+        })
+        .sum();
+
+    let run = BaselineRun {
+        counters,
+        imbalance: crate::wave::tcu_window_imbalance(mask, 1),
+        class: S::compute_class(),
+    };
+    (mask.with_values(values), run)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fs_matrix::gen::{random_uniform, rmat, RmatConfig};
+    use fs_matrix::CsrMatrix;
+    use fs_precision::{F16, Tf32};
+    use flashsparse::{spmm as flash_spmm, ThreadMapping};
+
+    #[test]
+    fn fp16_spmm_matches_reference() {
+        for seed in 0..3 {
+            let csr = CsrMatrix::from_coo(&random_uniform::<F16>(70, 60, 500, seed));
+            let me = format16(&csr);
+            let b = DenseMatrix::<F16>::from_fn(60, 24, |r, c| (((r + c) % 9) as f32 - 4.0) * 0.25);
+            let (out, run) = spmm_16x1(&me, &b);
+            assert!(out.max_abs_diff(&csr.spmm_reference(&b)) < 0.51);
+            assert!(run.counters.mma_count > 0);
+        }
+    }
+
+    #[test]
+    fn tf32_spmm_matches_reference() {
+        let csr = CsrMatrix::from_coo(&random_uniform::<Tf32>(64, 64, 400, 1));
+        let me = format16(&csr);
+        let b = DenseMatrix::<Tf32>::from_fn(64, 17, |r, c| (((r * 3 + c) % 7) as f32) * 0.125);
+        let (out, _) = spmm_16x1(&me, &b);
+        assert!(out.max_abs_diff(&csr.spmm_reference(&b)) < 1e-2);
+    }
+
+    #[test]
+    fn figure14_8x1_needs_fewer_mmas_and_bytes() {
+        // The ablation: same matrix, FlashSparse 8×1 vs this 16×1 kernel.
+        let csr = CsrMatrix::from_coo(&rmat::<F16>(9, 4, RmatConfig::GRAPH500, true, 13));
+        let n = 128;
+        let b = DenseMatrix::<F16>::from_fn(csr.cols(), n, |r, c| ((r + c) % 5) as f32 * 0.25);
+        let me8 = MeBcrs::from_csr(&csr, F16::SPEC);
+        let (out8, k8) = flash_spmm(&me8, &b, ThreadMapping::MemoryEfficient);
+        let me16 = format16(&csr);
+        let (out16, run16) = spmm_16x1(&me16, &b);
+        assert!(out8.max_abs_diff(&out16) < 0.51, "both must compute the same product");
+        assert!(
+            (k8.mma_count as f64) < 0.8 * run16.counters.mma_count as f64,
+            "8x1 {} vs 16x1 {}",
+            k8.mma_count,
+            run16.counters.mma_count
+        );
+        assert!(
+            (k8.data_access_bytes() as f64) < 0.8 * run16.counters.data_access_bytes() as f64,
+            "8x1 bytes {} vs 16x1 bytes {}",
+            k8.data_access_bytes(),
+            run16.counters.data_access_bytes()
+        );
+    }
+
+    #[test]
+    fn sddmm_16x1_matches_reference() {
+        let mask =
+            CsrMatrix::from_coo(&random_uniform::<F16>(48, 40, 300, 2)).with_unit_values();
+        let a = DenseMatrix::<F16>::from_fn(48, 16, |r, c| (((r + c) % 7) as f32 - 3.0) * 0.25);
+        let b = DenseMatrix::<F16>::from_fn(40, 16, |r, c| (((r * 2 + c) % 5) as f32 - 2.0) * 0.25);
+        let me = format16(&mask);
+        let (out, run) = sddmm_16x1(&me, &a, &b);
+        let reference = mask.sddmm_reference(&a, &b);
+        let out_dense = out.to_dense();
+        for (r, c, v) in reference.iter() {
+            assert!(
+                (out_dense.get_f32(r, c) - v).abs() < 0.51,
+                "({r},{c}): {} vs {v}",
+                out_dense.get_f32(r, c)
+            );
+        }
+        assert!(run.counters.mma_count > 0);
+    }
+}

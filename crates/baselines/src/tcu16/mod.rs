@@ -1,0 +1,44 @@
+//! Tensor-core baselines with the 16×1 vector granularity — the
+//! state-of-the-art FlashSparse improves on.
+//!
+//! * [`dtc`] — DTC-SpMM-style kernels (ASPLOS'24): `mma.m16n8k8` in the
+//!   *direct* orientation, so the sparse block is the left operand and
+//!   the vector height is pinned to `m = 16`. The FP16 instantiation is
+//!   exactly the paper's Figure 14 ablation ("FlashSparse with 16×1").
+//! * [`tcgnn`] — TC-GNN-style kernels (ATC'23): WMMA `m16n16k8` TF32 with
+//!   the SGT per-element position checks that dominate its runtime on
+//!   large matrices (why Figure 11 reports its GFLOPS as ~0 beyond 5M
+//!   nonzeros).
+
+pub mod dtc;
+pub mod tcgnn;
+
+use fs_format::TcFormatSpec;
+use fs_tcu::{MmaShape, Precision};
+
+use flashsparse::TcuPrecision;
+
+/// The 16×1 format spec (v = 16, k = 8) shared by both baselines.
+pub const SPEC16: TcFormatSpec = TcFormatSpec { vector_len: 16, block_k: 8 };
+
+/// The direct-orientation MMA shape for a precision (both use k = 8).
+pub fn shape16<S: TcuPrecision>() -> MmaShape {
+    match S::PRECISION {
+        Precision::Fp16 => MmaShape::M16N8K8_F16,
+        Precision::Tf32 => MmaShape::M16N8K8_TF32,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fs_precision::{F16, Tf32};
+
+    #[test]
+    fn spec_and_shapes() {
+        assert_eq!(SPEC16.vector_len, 16);
+        assert_eq!(SPEC16.block_k, 8);
+        assert_eq!(shape16::<F16>(), MmaShape::M16N8K8_F16);
+        assert_eq!(shape16::<Tf32>(), MmaShape::M16N8K8_TF32);
+    }
+}

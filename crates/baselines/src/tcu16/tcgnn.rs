@@ -1,0 +1,218 @@
+//! TC-GNN-style kernels (Wang et al., USENIX ATC'23): WMMA `m16n16k8`
+//! TF32 over 16×1 nonzero vectors, with the SGT (sparse graph
+//! translation) position checks.
+//!
+//! TC-GNN condenses nonzero columns like the other TCU approaches, but
+//! its kernel re-derives each element's position inside the condensed
+//! tile on the fly: for every TC block it scans the window's nonzero
+//! list, testing membership. That per-element scalar work grows with
+//! `window_nnz × blocks_per_window` and starves the tensor cores on
+//! large/dense matrices — the reason the paper plots TC-GNN's GFLOPS as
+//! ≈0 beyond 5M nonzeros (Figure 11 discussion).
+
+use fs_format::MeBcrs;
+use fs_matrix::DenseMatrix;
+use fs_precision::{Scalar, Tf32};
+use fs_tcu::cost::ComputeClass;
+use fs_tcu::{wmma_execute_tf32, KernelCounters, TrafficClass, TransactionCounter};
+use rayon::prelude::*;
+
+use crate::run::BaselineRun;
+use super::SPEC16;
+
+/// Scalar-op cost per position check. A check is nominally a compare +
+/// select, but the SGT scan is branch-divergent and serialized within the
+/// warp, so each check occupies the SM for tens of issue slots. We charge
+/// 64 flop-equivalents; the paper's "≥50×" Table 5 rows arise at
+/// 100M-nonzero scales where the scan term grows quadratically — at our
+/// scaled-down sizes the same mechanism yields a milder (but still
+/// superlinear) penalty, as EXPERIMENTS.md discusses.
+const CHECK_FLOPS: u64 = 64;
+
+/// TC-GNN SpMM: WMMA `m16n16k8`, 16-row windows, 16-column output tiles.
+pub fn spmm_tcgnn(
+    a: &MeBcrs<Tf32>,
+    b: &DenseMatrix<Tf32>,
+) -> (DenseMatrix<Tf32>, BaselineRun) {
+    assert_eq!(a.spec(), SPEC16, "TC-GNN uses the 16x1 layout");
+    assert_eq!(a.cols(), b.rows());
+    const V: usize = 16; // window height = WMMA m
+    const K: usize = 8; // vectors per block = WMMA k
+    const NT: usize = 16; // output tile = WMMA n
+    let n = b.cols();
+    let rows = a.rows();
+
+    let mut out = DenseMatrix::<Tf32>::zeros(rows, n);
+    if n == 0 || rows == 0 {
+        return (out, BaselineRun::balanced(KernelCounters::default(), ComputeClass::TcuTf32));
+    }
+
+    let counters: KernelCounters = out
+        .as_mut_slice()
+        .par_chunks_mut(V * n)
+        .enumerate()
+        .map(|(w, out_window)| {
+            let mut counters = KernelCounters::default();
+            let num_blocks = a.blocks_in_window(w);
+            if num_blocks == 0 {
+                return counters;
+            }
+            let mut tc = TransactionCounter::new();
+            let window_rows = (rows - w * V).min(V);
+            // Window nonzeros (for the SGT position-check cost).
+            let window_nnz: u64 = (0..num_blocks)
+                .map(|blk| {
+                    let w_b = a.block_width(w, blk);
+                    (0..window_rows)
+                        .map(|i| {
+                            a.block_row(w, blk, i)[..w_b]
+                                .iter()
+                                .filter(|v| !v.is_zero())
+                                .count() as u64
+                        })
+                        .sum::<u64>()
+                })
+                .sum();
+
+            let mut a_tile = vec![0.0f32; V * K];
+            let mut b_tile = vec![0.0f32; K * NT];
+            for j0 in (0..n).step_by(NT) {
+                let tile_cols = (n - j0).min(NT);
+                let mut c_tile = vec![0.0f32; V * NT];
+                for blk in 0..num_blocks {
+                    let w_b = a.block_width(w, blk);
+                    let cols = a.block_cols(w, blk);
+                    a_tile.iter_mut().for_each(|x| *x = 0.0);
+                    for i in 0..window_rows {
+                        let row = a.block_row(w, blk, i);
+                        for (t, &val) in row.iter().enumerate() {
+                            a_tile[i * K + t] = val.to_f32();
+                        }
+                    }
+                    b_tile.iter_mut().for_each(|x| *x = 0.0);
+                    for (t, &c) in cols.iter().enumerate() {
+                        let brow = b.row(c as usize);
+                        for j in 0..tile_cols {
+                            b_tile[t * NT + j] = brow[j0 + j].to_f32();
+                        }
+                    }
+                    // Loads: whole tiles (the WMMA API loads full fragments).
+                    let sparse: Vec<(u64, u32)> = (0..V)
+                        .map(|i| (a.value_addr(w, blk, i, 0), (w_b * 4) as u32))
+                        .collect();
+                    tc.warp_load_as(TrafficClass::SparseValues, sparse, &mut counters);
+                    let dense: Vec<(u64, u32)> = cols
+                        .iter()
+                        .map(|&c| (b.addr_of(c as usize, j0), (tile_cols * 4) as u32))
+                        .collect();
+                    tc.warp_load_as(TrafficClass::DenseOperand, dense, &mut counters);
+
+                    wmma_execute_tf32(&a_tile, &b_tile, &mut c_tile, &mut counters);
+                    // SGT position checks: scan the window's nonzeros per block.
+                    counters.cuda_flops += window_nnz * CHECK_FLOPS;
+                }
+                for i in 0..window_rows {
+                    for j in 0..tile_cols {
+                        out_window[i * n + j0 + j] = Tf32::from_f32(c_tile[i * NT + j]);
+                    }
+                }
+                let out_base = (w * V) as u64 * n as u64 * 4;
+                let stores: Vec<(u64, u32)> = (0..window_rows)
+                    .map(|i| (out_base + (i * n + j0) as u64 * 4, (tile_cols * 4) as u32))
+                    .collect();
+                tc.warp_store(stores, &mut counters);
+            }
+            counters
+        })
+        .sum();
+
+    let run = BaselineRun {
+        counters,
+        imbalance: crate::wave::tcu_window_imbalance(a, b.cols().div_ceil(16)),
+        class: ComputeClass::TcuTf32,
+    };
+    (out, run)
+}
+
+/// TC-GNN SDDMM: WMMA-based sampled product with the same SGT overhead.
+pub fn sddmm_tcgnn(
+    mask: &MeBcrs<Tf32>,
+    a: &DenseMatrix<Tf32>,
+    b: &DenseMatrix<Tf32>,
+) -> (MeBcrs<Tf32>, BaselineRun) {
+    // Numerics via the 16×1 MMA path (WMMA and MMA agree bit-for-bit in
+    // the simulator); TC-GNN's cost signature is the position checks.
+    let (out, mut run) = super::dtc::sddmm_16x1::<Tf32>(mask, a, b);
+    let total_nnz: u64 = mask.nnz() as u64;
+    let blocks: u64 = mask.num_blocks() as u64;
+    let windows = mask.num_windows().max(1) as u64;
+    run.counters.cuda_flops += total_nnz * blocks.div_ceil(windows) * CHECK_FLOPS;
+    run.class = ComputeClass::TcuTf32;
+    (out, run)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fs_matrix::gen::{random_uniform, rmat, RmatConfig};
+    use fs_matrix::CsrMatrix;
+    use fs_tcu::GpuSpec;
+
+    #[test]
+    fn spmm_matches_reference() {
+        let csr = CsrMatrix::from_coo(&random_uniform::<Tf32>(70, 60, 500, 3));
+        let me = MeBcrs::from_csr(&csr, SPEC16);
+        let b = DenseMatrix::<Tf32>::from_fn(60, 20, |r, c| (((r + 2 * c) % 9) as f32) * 0.125);
+        let (out, run) = spmm_tcgnn(&me, &b);
+        assert!(out.max_abs_diff(&csr.spmm_reference(&b)) < 1e-2);
+        assert!(run.counters.wmma_count > 0);
+        assert!(run.counters.cuda_flops > 0, "position checks must be counted");
+    }
+
+    #[test]
+    fn position_checks_grow_superlinearly_with_density() {
+        // The SGT scan cost is nnz × blocks per window: doubling density
+        // grows it faster than the useful work — the mechanism behind
+        // TC-GNN's collapse on large matrices.
+        let sparse_g = CsrMatrix::from_coo(&rmat::<Tf32>(9, 2, RmatConfig::GRAPH500, false, 1));
+        let dense_g = CsrMatrix::from_coo(&rmat::<Tf32>(9, 16, RmatConfig::GRAPH500, false, 1));
+        let b = DenseMatrix::<Tf32>::zeros(512, 16);
+        let (_, run_s) = spmm_tcgnn(&MeBcrs::from_csr(&sparse_g, SPEC16), &b);
+        let (_, run_d) = spmm_tcgnn(&MeBcrs::from_csr(&dense_g, SPEC16), &b);
+        let nnz_ratio = dense_g.nnz() as f64 / sparse_g.nnz() as f64;
+        let check_ratio = run_d.counters.cuda_flops as f64 / run_s.counters.cuda_flops as f64;
+        assert!(
+            check_ratio > nnz_ratio,
+            "check ratio {check_ratio} must exceed nnz ratio {nnz_ratio}"
+        );
+        // And on a large dense graph the checks, not the WMMAs, bound time.
+        let model = fs_tcu::cost::CostModel::new(GpuSpec::RTX4090);
+        let cuda_t = run_d.counters.cuda_flops as f64
+            / model.sustained_flops(fs_tcu::cost::ComputeClass::CudaFp32);
+        let tcu_t = run_d.counters.tcu_flops as f64
+            / model.sustained_flops(fs_tcu::cost::ComputeClass::TcuTf32);
+        assert!(cuda_t > tcu_t, "cuda {cuda_t} vs tcu {tcu_t}");
+    }
+
+    #[test]
+    fn sddmm_runs_and_counts_checks() {
+        let mask =
+            CsrMatrix::from_coo(&random_uniform::<Tf32>(32, 32, 150, 5)).with_unit_values();
+        let me = MeBcrs::from_csr(&mask, SPEC16);
+        let a = DenseMatrix::<Tf32>::from_fn(32, 8, |r, c| (r + c) as f32 * 0.1);
+        let b = DenseMatrix::<Tf32>::from_fn(32, 8, |r, c| (r * 2 + c) as f32 * 0.1);
+        let (out, run) = sddmm_tcgnn(&me, &a, &b);
+        let reference = mask.sddmm_reference(&a, &b);
+        let out_dense = out.to_dense();
+        for (r, c, v) in reference.iter() {
+            // Tolerance: TF32 output rounding is half an ULP, relative 2⁻¹¹.
+            let tol = 1e-3 * v.abs().max(1.0);
+            assert!(
+                (out_dense.get_f32(r, c) - v).abs() < tol,
+                "({r},{c}): {} vs {v}",
+                out_dense.get_f32(r, c)
+            );
+        }
+        assert!(run.counters.cuda_flops > 0);
+    }
+}

@@ -1,0 +1,149 @@
+//! The wave scheduling model: how much wall-clock a GPU loses to load
+//! imbalance under a given work decomposition.
+//!
+//! A GPU executes a grid of work units (rows, row chunks, neighbor
+//! groups…) in *waves* of `parallelism` concurrent units; each wave lasts
+//! as long as its largest unit. The ratio of wave-summed time to perfectly
+//! balanced time is the kernel's imbalance factor — ≥ 1, equal to 1 when
+//! every unit in a wave is the same size.
+//!
+//! This is the axis on which the CUDA-core baselines actually differ:
+//! cuSPARSE-like kernels schedule whole rows in matrix order; Sputnik
+//! sorts rows by length first (row swizzle); GNNAdvisor groups neighbors
+//! into fixed-size chunks; RoDe splits long rows into bounded groups.
+
+/// Work units concurrently resident on the GPU (≈ 4 warps × ~128 SMs; the
+/// exact value only shifts all baselines together).
+pub const DEFAULT_PARALLELISM: usize = 512;
+
+/// Imbalance factor of executing `unit_costs` in scheduling order in waves
+/// of `parallelism`: `Σ_wave max(wave) × parallelism / Σ costs` (≥ 1).
+///
+/// Returns 1.0 for empty work.
+///
+/// ```
+/// use fs_baselines::wave::imbalance_factor;
+///
+/// // Homogeneous work is perfectly balanced.
+/// assert_eq!(imbalance_factor(&[5; 100], 10), 1.0);
+/// // One 100-cost unit among 1-cost units dominates its wave.
+/// let mut skewed = vec![1u64; 9];
+/// skewed.push(100);
+/// assert!(imbalance_factor(&skewed, 10) > 5.0);
+/// ```
+pub fn imbalance_factor(unit_costs: &[u64], parallelism: usize) -> f64 {
+    assert!(parallelism > 0);
+    let total: u64 = unit_costs.iter().sum();
+    if total == 0 {
+        return 1.0;
+    }
+    // Small grids cannot use the whole machine, but the roofline the
+    // factor multiplies already assumes full-device throughput; capping
+    // the effective parallelism at the grid size keeps the factor a pure
+    // *skew* measure (launch tails are covered by the fixed overhead).
+    let p_eff = parallelism.min(unit_costs.len());
+    let mut wave_time = 0u64;
+    for wave in unit_costs.chunks(p_eff) {
+        wave_time += *wave.iter().max().unwrap();
+    }
+    (wave_time as f64 * p_eff as f64 / total as f64).max(1.0)
+}
+
+/// Split row lengths into bounded-size chunks (RoDe's decomposition: rows
+/// longer than `bound` become several units of ≤ `bound`).
+pub fn split_rows(lengths: &[u64], bound: u64) -> Vec<u64> {
+    assert!(bound > 0);
+    let mut out = Vec::with_capacity(lengths.len());
+    for &len in lengths {
+        let mut rest = len;
+        while rest > bound {
+            out.push(bound);
+            rest -= bound;
+        }
+        out.push(rest);
+    }
+    out
+}
+
+/// Sort unit costs descending (Sputnik's row swizzle): waves become
+/// near-homogeneous.
+pub fn swizzle(lengths: &[u64]) -> Vec<u64> {
+    let mut sorted = lengths.to_vec();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    sorted
+}
+
+/// Imbalance factor of a tensor-core kernel whose scheduling unit is one
+/// (row window, output tile) pair — a warp per window per `n_tile`-wide
+/// slice of the dense operand, the launch shape all the TCU kernels
+/// share. The unit cost is the window's TC block count. Applies equally
+/// to FlashSparse, DTC-SpMM and TC-GNN so their comparison stays fair.
+pub fn tcu_window_imbalance<S: fs_precision::Scalar>(
+    me: &fs_format::MeBcrs<S>,
+    output_tiles: usize,
+) -> f64 {
+    let tiles = output_tiles.max(1);
+    let units: Vec<u64> = (0..me.num_windows())
+        .flat_map(|w| std::iter::repeat_n(me.blocks_in_window(w) as u64, tiles))
+        .collect();
+    imbalance_factor(&units, DEFAULT_PARALLELISM)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_work_has_factor_one() {
+        let costs = vec![10u64; 1000];
+        assert!((imbalance_factor(&costs, 100) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_giant_row_dominates() {
+        // 1023 rows of 1 plus one row of 10000, parallelism 512:
+        // nearly all time is the giant row's wave.
+        let mut costs = vec![1u64; 1023];
+        costs.push(10_000);
+        let f = imbalance_factor(&costs, 512);
+        assert!(f > 100.0, "factor={f}");
+    }
+
+    #[test]
+    fn swizzle_improves_mixed_work() {
+        // Alternating long/short rows: natural order pairs a long row into
+        // every wave; sorted order segregates them.
+        let costs: Vec<u64> = (0..1024).map(|i| if i % 2 == 0 { 100 } else { 1 }).collect();
+        let natural = imbalance_factor(&costs, 64);
+        let sorted = imbalance_factor(&swizzle(&costs), 64);
+        assert!(sorted < natural, "sorted={sorted} natural={natural}");
+    }
+
+    #[test]
+    fn splitting_bounds_the_worst_case() {
+        let mut costs = vec![4u64; 2000];
+        costs.push(100_000);
+        let unsplit = imbalance_factor(&costs, 512);
+        let split = imbalance_factor(&split_rows(&costs, 256), 512);
+        assert!(split < unsplit / 5.0, "split={split} unsplit={unsplit}");
+        // Splitting preserves total work.
+        assert_eq!(
+            split_rows(&costs, 256).iter().sum::<u64>(),
+            costs.iter().sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn split_rows_edge_cases() {
+        assert_eq!(split_rows(&[0], 10), vec![0]);
+        assert_eq!(split_rows(&[10], 10), vec![10]);
+        assert_eq!(split_rows(&[11], 10), vec![10, 1]);
+        assert_eq!(split_rows(&[25], 10), vec![10, 10, 5]);
+    }
+
+    #[test]
+    fn empty_work() {
+        assert_eq!(imbalance_factor(&[], 512), 1.0);
+        assert_eq!(imbalance_factor(&[0, 0], 512), 1.0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests for the baseline kernels and the wave model.
+
+use fs_baselines::cuda;
+use fs_baselines::tcu16::{dtc, SPEC16};
+use fs_baselines::wave::{imbalance_factor, split_rows, swizzle};
+use fs_format::MeBcrs;
+use fs_matrix::gen::random_uniform;
+use fs_matrix::{CsrMatrix, DenseMatrix};
+use fs_precision::F16;
+use proptest::prelude::*;
+
+fn arb_csr() -> impl Strategy<Value = CsrMatrix<f32>> {
+    (1usize..60, 1usize..60, 0usize..300, 0u64..10_000).prop_map(|(r, c, nnz, seed)| {
+        CsrMatrix::from_coo(&random_uniform::<f32>(r, c, nnz, seed))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// All five CUDA-core SpMM baselines compute the identical product.
+    #[test]
+    fn cuda_baselines_agree(csr in arb_csr(), n in 1usize..24) {
+        let b = DenseMatrix::<f32>::from_fn(csr.cols(), n, |r, c| {
+            ((r * 7 + c * 3) % 13) as f32 * 0.25 - 1.5
+        });
+        let gold = csr.spmm_reference(&b);
+        let outs = [
+            cuda::cusparse_like::spmm(&csr, &b).0,
+            cuda::gespmm::spmm(&csr, &b).0,
+            cuda::sputnik::spmm(&csr, &b).0,
+            cuda::rode::spmm(&csr, &b).0,
+            cuda::gnnadvisor::spmm(&csr, &b).0,
+        ];
+        for out in outs {
+            prop_assert!(out.max_abs_diff(&gold) < 1e-3);
+        }
+    }
+
+    /// 16×1 tensor-core SpMM matches the reference within FP16 rounding.
+    #[test]
+    fn dtc_16x1_matches_reference(csr in arb_csr(), n in 1usize..20) {
+        let csr16: CsrMatrix<F16> = csr.cast();
+        let me = MeBcrs::from_csr(&csr16, SPEC16);
+        let b = DenseMatrix::<F16>::from_fn(csr.cols(), n, |r, c| {
+            (((r + 2 * c) % 9) as f32 - 4.0) * 0.125
+        });
+        let (out, run) = dtc::spmm_16x1::<F16>(&me, &b);
+        let gold = csr16.spmm_reference(&b);
+        prop_assert!(out.max_abs_diff(&gold) < 0.6);
+        prop_assert!(run.imbalance >= 1.0);
+    }
+
+    /// Wave-model invariants: factor ≥ 1, splitting preserves work and
+    /// never hurts, swizzle preserves the multiset.
+    #[test]
+    fn wave_model_invariants(
+        lens in prop::collection::vec(0u64..2000, 1..300),
+        p in 1usize..600,
+        bound in 1u64..500,
+    ) {
+        let f = imbalance_factor(&lens, p);
+        prop_assert!(f >= 1.0);
+        let split = split_rows(&lens, bound);
+        prop_assert_eq!(split.iter().sum::<u64>(), lens.iter().sum::<u64>());
+        prop_assert!(split.iter().all(|&l| l <= bound));
+        // Splitting + sorting caps the worst wave near the bound, so the
+        // factor cannot blow past the sorted factor — but wave-boundary
+        // quantization (splitting changes the unit count and therefore
+        // where waves fall) can nudge it slightly above, so the property
+        // holds only up to that slack.
+        let f_split = imbalance_factor(&swizzle(&split), p);
+        let f_sorted = imbalance_factor(&swizzle(&lens), p);
+        prop_assert!(
+            f_split <= f_sorted * 1.3 + 0.1,
+            "sorted+split ({f_split}) must stay near sorted ({f_sorted})"
+        );
+        let mut a = lens.clone();
+        a.sort_unstable();
+        let mut b = swizzle(&lens);
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Counter models scale linearly in N for the CUDA baselines.
+    #[test]
+    fn cuda_counters_scale_with_n(csr in arb_csr()) {
+        prop_assume!(csr.nnz() > 0);
+        let b1 = DenseMatrix::<f32>::zeros(csr.cols(), 32);
+        let b2 = DenseMatrix::<f32>::zeros(csr.cols(), 64);
+        let (_, r1) = cuda::gespmm::spmm(&csr, &b1);
+        let (_, r2) = cuda::gespmm::spmm(&csr, &b2);
+        prop_assert_eq!(r2.counters.cuda_flops, 2 * r1.counters.cuda_flops);
+        prop_assert!(r2.counters.bytes_moved() > r1.counters.bytes_moved());
+    }
+}

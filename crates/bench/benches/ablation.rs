@@ -1,0 +1,28 @@
+//! Host wall-clock of the ablation configurations (vector size, thread
+//! mapping) — the Figure 14/15 pairs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fs_bench::algos::{
+    ablation_thread_mapping, ablation_vector_size_sddmm, ablation_vector_size_spmm,
+};
+use fs_matrix::gen::{rmat, RmatConfig};
+use fs_matrix::CsrMatrix;
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    let csr = CsrMatrix::from_coo(&rmat::<f32>(9, 8, RmatConfig::GRAPH500, true, 17));
+    group.bench_function("vector-size-spmm", |b| {
+        b.iter(|| ablation_vector_size_spmm(&csr, 128))
+    });
+    group.bench_function("vector-size-sddmm", |b| {
+        b.iter(|| ablation_vector_size_sddmm(&csr, 32))
+    });
+    group.bench_function("thread-mapping-spmm", |b| {
+        b.iter(|| ablation_thread_mapping(&csr, 128))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

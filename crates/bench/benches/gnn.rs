@@ -1,0 +1,30 @@
+//! Host wall-clock of one GCN / AGNN training epoch per backend.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fs_gnn::ops::GnnBackend;
+use fs_gnn::train::{train_agnn, train_gcn, TrainConfig};
+use fs_matrix::gen::{sbm, SbmConfig};
+use fs_tcu::GpuSpec;
+
+fn bench_gnn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gnn-epoch");
+    group.sample_size(10);
+    let ds = sbm(SbmConfig { nodes: 256, feature_dim: 32, ..Default::default() }, 8);
+    let cfg = TrainConfig { epochs: 1, hidden: 32, layers: 2, lr: 0.01, seed: 1 };
+    for backend in [GnnBackend::CudaFp32, GnnBackend::FlashFp16, GnnBackend::FlashTf32] {
+        group.bench_with_input(
+            BenchmarkId::new("gcn", backend.name()),
+            &backend,
+            |b, &backend| b.iter(|| train_gcn(&ds, backend, GpuSpec::RTX4090, cfg)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("agnn", backend.name()),
+            &backend,
+            |b, &backend| b.iter(|| train_agnn(&ds, backend, GpuSpec::RTX4090, cfg)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gnn);
+criterion_main!(benches);

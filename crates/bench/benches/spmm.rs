@@ -1,0 +1,60 @@
+//! Host wall-clock of the SpMM kernels (Criterion).
+//!
+//! These measure the *simulator's* throughput on this machine — useful
+//! for tracking regressions in the kernel implementations; the paper's
+//! GPU numbers come from the cost model (see the `figures` binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fs_baselines::cuda;
+use fs_baselines::tcu16::{dtc, SPEC16};
+use fs_format::MeBcrs;
+use fs_matrix::gen::{rmat, RmatConfig};
+use fs_matrix::{CsrMatrix, DenseMatrix};
+use fs_precision::{F16, Tf32};
+use flashsparse::{spmm, TcuPrecision, ThreadMapping};
+
+fn graph(scale: u32) -> CsrMatrix<f32> {
+    CsrMatrix::from_coo(&rmat::<f32>(scale, 8, RmatConfig::GRAPH500, true, 42))
+}
+
+fn bench_spmm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spmm");
+    group.sample_size(10);
+    for scale in [8u32, 10] {
+        let csr = graph(scale);
+        let n = 128;
+        let b16 = DenseMatrix::<F16>::from_fn(csr.cols(), n, |r, c| ((r + c) % 7) as f32 * 0.25);
+        let me8: MeBcrs<F16> = MeBcrs::from_csr(&csr.cast(), F16::SPEC);
+        group.bench_with_input(
+            BenchmarkId::new("flashsparse-fp16", csr.nnz()),
+            &csr.nnz(),
+            |bch, _| bch.iter(|| spmm(&me8, &b16, ThreadMapping::MemoryEfficient)),
+        );
+        let me8t: MeBcrs<Tf32> = MeBcrs::from_csr(&csr.cast(), Tf32::SPEC);
+        let b32t = DenseMatrix::<Tf32>::from_fn(csr.cols(), n, |r, c| ((r + c) % 7) as f32 * 0.25);
+        group.bench_with_input(
+            BenchmarkId::new("flashsparse-tf32", csr.nnz()),
+            &csr.nnz(),
+            |bch, _| bch.iter(|| spmm(&me8t, &b32t, ThreadMapping::MemoryEfficient)),
+        );
+        let me16: MeBcrs<F16> = MeBcrs::from_csr(&csr.cast(), SPEC16);
+        group.bench_with_input(
+            BenchmarkId::new("dtc-16x1-fp16", csr.nnz()),
+            &csr.nnz(),
+            |bch, _| bch.iter(|| dtc::spmm_16x1::<F16>(&me16, &b16)),
+        );
+        let bf = DenseMatrix::<f32>::from_fn(csr.cols(), n, |r, c| ((r + c) % 7) as f32 * 0.25);
+        group.bench_with_input(BenchmarkId::new("rode-fp32", csr.nnz()), &csr.nnz(), |bch, _| {
+            bch.iter(|| cuda::rode::spmm(&csr, &bf))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("cusparse-like-fp32", csr.nnz()),
+            &csr.nnz(),
+            |bch, _| bch.iter(|| cuda::cusparse_like::spmm(&csr, &bf)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spmm);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Host wall-clock of format translation (CSR → ME-BCRS / SR-BCRS), the
+//! preprocessing the paper reports as <1% of end-to-end GNN time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fs_format::{MeBcrs, SrBcrs, TcFormatSpec};
+use fs_matrix::gen::{rmat, RmatConfig};
+use fs_matrix::CsrMatrix;
+use fs_precision::F16;
+
+fn bench_translate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("translate");
+    group.sample_size(10);
+    for scale in [10u32, 12] {
+        let csr: CsrMatrix<F16> =
+            CsrMatrix::from_coo(&rmat::<f32>(scale, 8, RmatConfig::GRAPH500, true, 3)).cast();
+        group.throughput(Throughput::Elements(csr.nnz() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("mebcrs-8x1", csr.nnz()),
+            &csr.nnz(),
+            |bch, _| bch.iter(|| MeBcrs::from_csr(&csr, TcFormatSpec::FLASH_FP16)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("mebcrs-16x1", csr.nnz()),
+            &csr.nnz(),
+            |bch, _| bch.iter(|| MeBcrs::from_csr(&csr, TcFormatSpec::SOTA16_FP16)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("srbcrs-8x1", csr.nnz()),
+            &csr.nnz(),
+            |bch, _| bch.iter(|| SrBcrs::from_csr(&csr, TcFormatSpec::FLASH_FP16)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_translate);
+criterion_main!(benches);

@@ -1,0 +1,158 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! figures <experiment…|all> [--suite N] [--small-scale|--full] [--epochs N]
+//!
+//! experiments: fig1 table2 table4 fig11 table5 fig12 fig13 table6
+//!              fig14 fig15 table7 fig16 table8
+//! ```
+//!
+//! Run with `--release`; the kernel simulator is 10–30× slower in debug.
+
+use fs_bench::experiments::{ablation, counts, gnn, memory, reorder, sddmm, spmm};
+use fs_bench::ExpConfig;
+use fs_matrix::suite::{table4_datasets, Scale};
+use fs_tcu::GpuSpec;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut wanted: Vec<String> = Vec::new();
+    let mut config = ExpConfig::default();
+    let mut epochs = 3usize;
+    let mut accuracy_epochs = 120usize;
+
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--suite" => {
+                config.suite_count = it
+                    .next()
+                    .expect("--suite needs a value")
+                    .parse()
+                    .expect("--suite takes a number");
+            }
+            "--full" => {
+                config.suite_count = 500;
+                config.scale = Scale::Small;
+            }
+            "--small-scale" => config.scale = Scale::Small,
+            "--epochs" => {
+                epochs = it
+                    .next()
+                    .expect("--epochs needs a value")
+                    .parse()
+                    .expect("--epochs takes a number");
+                accuracy_epochs = epochs.max(accuracy_epochs);
+            }
+            other => wanted.push(other.to_string()),
+        }
+    }
+    if wanted.is_empty() {
+        eprintln!("usage: figures <fig1|table2|table4|fig11|table5|fig12|fig13|table6|fig14|fig15|table7|fig16|table8|ablation-k16|reorder|all> [--suite N] [--full]");
+        std::process::exit(2);
+    }
+    let all = wanted.iter().any(|w| w == "all");
+    let want = |name: &str| all || wanted.iter().any(|w| w == name);
+    let gpus = [GpuSpec::H100_PCIE, GpuSpec::RTX4090];
+
+    println!("FlashSparse reproduction — simulated-GPU results (see DESIGN.md §1)");
+    println!(
+        "population: {} suite matrices + 15 graph stand-ins ({:?} scale)",
+        config.suite_count, config.scale
+    );
+
+    let graphs = table4_datasets(config.scale);
+    let fig1_graphs: Vec<_> = graphs
+        .iter()
+        .filter(|d| {
+            ["Reddit", "OGBProducts", "IGB-medium", "IGB-small", "AmazonProducts"]
+                .contains(&d.name.as_str())
+        })
+        .cloned()
+        .collect();
+
+    if want("fig1") || want("table2") {
+        counts::fig1_table2(&fig1_graphs);
+    }
+    if want("table4") {
+        memory::table4(&graphs);
+    }
+
+    let need_population = want("fig11")
+        || want("table5")
+        || want("fig12")
+        || want("fig13")
+        || want("table6")
+        || want("fig14")
+        || want("fig15")
+        || want("table7")
+        || want("ablation-k16");
+    let population = if need_population { config.population() } else { Vec::new() };
+    // The paper splits Figure 11 into small/large at 1e5 rows; scaled to
+    // our population we split at 1024 rows.
+    let row_split = 1024;
+
+    if want("fig11") || want("table5") {
+        for n in [128usize, 256] {
+            let rows = spmm::sweep(&population, n);
+            for gpu in gpus {
+                spmm::fig11(&rows, n, gpu, row_split);
+                if n == 128 {
+                    spmm::table5(&rows, gpu);
+                }
+            }
+        }
+    }
+    if want("fig12") {
+        counts::fig12(&population);
+    }
+    if want("fig13") || want("table6") {
+        for k in [32usize, 128] {
+            let rows = sddmm::sweep(&population, k);
+            for gpu in gpus {
+                sddmm::fig13(&rows, k, gpu);
+                if k == 32 {
+                    sddmm::table6(&rows, gpu);
+                }
+            }
+        }
+    }
+    if want("fig14") {
+        for gpu in gpus {
+            ablation::fig14(&population, gpu);
+        }
+    }
+    if want("fig15") {
+        for gpu in gpus {
+            ablation::fig15(&population, gpu);
+        }
+    }
+    if want("table7") {
+        memory::table7(&population);
+    }
+    if want("ablation-k16") {
+        for gpu in gpus {
+            ablation::ablation_k16(&population, gpu);
+        }
+    }
+    if want("reorder") {
+        // Reordering matters on the hub-heavy graph stand-ins.
+        reorder::reorder_experiment(&graphs, GpuSpec::RTX4090);
+    }
+    if want("fig16") {
+        // Six representative graphs keep the runtime reasonable.
+        let subset: Vec<_> = graphs
+            .iter()
+            .filter(|d| {
+                ["GitHub", "Artist", "Blog", "Ell", "DD", "Comamazon"].contains(&d.name.as_str())
+            })
+            .cloned()
+            .collect();
+        for gpu in gpus {
+            gnn::fig16(&subset, gpu, epochs);
+        }
+    }
+    if want("table8") {
+        gnn::table8(accuracy_epochs);
+    }
+}

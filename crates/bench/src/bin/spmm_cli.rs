@@ -1,0 +1,150 @@
+//! Analyze a sparse matrix with every SpMM/SDDMM implementation.
+//!
+//! ```text
+//! spmm_cli --mtx path/to/matrix.mtx [--n 128] [--sddmm-k 32]
+//! spmm_cli --rmat 10x8              # synthetic 2^10-node power-law graph
+//! spmm_cli --uniform 1024x1024x8192 # synthetic uniform matrix
+//! ```
+//!
+//! Prints the sparsity pattern, format statistics, the auto-tuner's
+//! choice, and a simulated-performance comparison on both paper GPUs.
+
+use fs_bench::algos::{measure_sddmm_all, measure_spmm_all};
+use fs_format::{vector_stats, TcFormatSpec};
+use fs_matrix::gen::{random_uniform, rmat, RmatConfig};
+use fs_matrix::io::read_mtx_file;
+use fs_matrix::render::render_sparsity;
+use fs_matrix::stats::sparsity_stats;
+use fs_matrix::CsrMatrix;
+use fs_tcu::GpuSpec;
+use flashsparse::auto_tune;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: spmm_cli (--mtx FILE | --rmat SCALExEF | --uniform RxCxNNZ) [--n N] [--sddmm-k K]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut matrix: Option<CsrMatrix<f32>> = None;
+    let mut source = String::new();
+    let mut n = 128usize;
+    let mut sddmm_k = 32usize;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--mtx" => {
+                let path = it.next().unwrap_or_else(|| usage());
+                match read_mtx_file::<f32>(path) {
+                    Ok(m) => {
+                        source = path.to_string();
+                        matrix = Some(m);
+                    }
+                    Err(e) => {
+                        eprintln!("failed to read {path}: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            "--rmat" => {
+                let spec = it.next().unwrap_or_else(|| usage());
+                let (scale, ef) = spec
+                    .split_once('x')
+                    .and_then(|(a, b)| Some((a.parse().ok()?, b.parse().ok()?)))
+                    .unwrap_or_else(|| usage());
+                source = format!("rmat scale {scale}, edge factor {ef}");
+                matrix = Some(CsrMatrix::from_coo(&rmat::<f32>(
+                    scale,
+                    ef,
+                    RmatConfig::GRAPH500,
+                    true,
+                    42,
+                )));
+            }
+            "--uniform" => {
+                let spec = it.next().unwrap_or_else(|| usage());
+                let parts: Vec<usize> =
+                    spec.split('x').filter_map(|t| t.parse().ok()).collect();
+                if parts.len() != 3 {
+                    usage();
+                }
+                source = format!("uniform {}x{} nnz {}", parts[0], parts[1], parts[2]);
+                matrix =
+                    Some(CsrMatrix::from_coo(&random_uniform::<f32>(parts[0], parts[1], parts[2], 42)));
+            }
+            "--n" => n = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--sddmm-k" => {
+                sddmm_k = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            _ => usage(),
+        }
+    }
+    let Some(csr) = matrix else { usage() };
+
+    // --- Structure ---
+    let s = sparsity_stats(&csr);
+    println!("matrix: {source}");
+    println!(
+        "{} x {}, {} nonzeros ({:.4}% dense), avg row {:.2}, max row {}, row CV {:.2}",
+        s.rows, s.cols, s.nnz, s.density * 100.0, s.avg_row_length, s.max_row_length, s.row_cv
+    );
+    println!("\nsparsity pattern:");
+    print!("{}", render_sparsity(&csr, 32));
+
+    // --- Format statistics ---
+    let v8 = vector_stats(&csr, TcFormatSpec::FLASH_FP16);
+    let v16 = vector_stats(&csr, TcFormatSpec::SOTA16_FP16);
+    println!(
+        "\nnonzero vectors: 8x1 -> {} ({:.1}% fill), 16x1 -> {} ({:.1}% fill)",
+        v8.nonzero_vectors,
+        v8.fill_ratio() * 100.0,
+        v16.nonzero_vectors,
+        v16.fill_ratio() * 100.0
+    );
+
+    // --- Auto-tuner ---
+    let gpu = GpuSpec::RTX4090;
+    let choice = auto_tune(&csr, n, gpu);
+    println!(
+        "auto-tuned FlashSparse config: {} k={} {:?}",
+        choice.precision.name(),
+        choice.block_k,
+        choice.mapping
+    );
+
+    // --- SpMM comparison ---
+    println!("\nSpMM (N={n}), simulated:");
+    println!(
+        "{:<18} {:>14} {:>14} {:>12} {:>12}",
+        "algorithm", "H100 GFLOPS", "4090 GFLOPS", "MMAs", "bytes moved"
+    );
+    for m in measure_spmm_all(&csr, n) {
+        println!(
+            "{:<18} {:>14.0} {:>14.0} {:>12} {:>12}",
+            m.algo,
+            m.gflops(GpuSpec::H100_PCIE),
+            m.gflops(GpuSpec::RTX4090),
+            m.run.counters.mma_count + m.run.counters.wmma_count,
+            m.run.counters.bytes_moved()
+        );
+    }
+
+    // --- SDDMM comparison ---
+    println!("\nSDDMM (K={sddmm_k}), simulated:");
+    println!(
+        "{:<18} {:>14} {:>14} {:>12}",
+        "algorithm", "H100 GFLOPS", "4090 GFLOPS", "MMAs"
+    );
+    for m in measure_sddmm_all(&csr.with_unit_values(), sddmm_k) {
+        println!(
+            "{:<18} {:>14.0} {:>14.0} {:>12}",
+            m.algo,
+            m.gflops(GpuSpec::H100_PCIE),
+            m.gflops(GpuSpec::RTX4090),
+            m.run.counters.mma_count + m.run.counters.wmma_count
+        );
+    }
+}

@@ -1,0 +1,112 @@
+//! Figure 14 (8×1 vs 16×1 vector size) and Figure 15 (coalesced vs
+//! direct thread mapping) — the paper's ablation studies.
+
+use fs_matrix::suite::Dataset;
+use fs_tcu::GpuSpec;
+
+use crate::algos::{
+    ablation_block_width, ablation_thread_mapping, ablation_vector_size_sddmm,
+    ablation_vector_size_spmm,
+};
+use crate::report::{geomean, header, max};
+
+/// Figure 14: FlashSparse at 8×1 vs the identical kernel at 16×1.
+/// Returns `((spmm_geomean, spmm_max), (sddmm_geomean, sddmm_max))` for
+/// the given GPU.
+pub fn fig14(datasets: &[Dataset], gpu: GpuSpec) -> ((f64, f64), (f64, f64)) {
+    header(&format!(
+        "Figure 14: FlashSparse 8x1 vs 16x1 vector size on {} (SpMM N=128, SDDMM N=32, FP16)",
+        gpu.name
+    ));
+    let mut spmm_speedups = Vec::new();
+    let mut sddmm_speedups = Vec::new();
+    for d in datasets {
+        let (r8, r16) = ablation_vector_size_spmm(&d.matrix, 128);
+        spmm_speedups.push(r16.simulated_time(gpu) / r8.simulated_time(gpu));
+        let (s8, s16) = ablation_vector_size_sddmm(&d.matrix, 32);
+        sddmm_speedups.push(s16.simulated_time(gpu) / s8.simulated_time(gpu));
+    }
+    let spmm = (geomean(&spmm_speedups), max(&spmm_speedups));
+    let sddmm = (geomean(&sddmm_speedups), max(&sddmm_speedups));
+    println!(
+        "SpMM : geomean {:.2}x  max {:.2}x   (paper on H100: 1.89x geomean, 3.44x max)",
+        spmm.0, spmm.1
+    );
+    println!(
+        "SDDMM: geomean {:.2}x  max {:.2}x   (paper on H100: 2.61x geomean, 3.85x max)",
+        sddmm.0, sddmm.1
+    );
+    (spmm, sddmm)
+}
+
+/// Figure 15: coalesced (memory-efficient) vs non-coalesced (direct)
+/// thread mapping. Returns `(geomean, max)` speedup for the GPU.
+pub fn fig15(datasets: &[Dataset], gpu: GpuSpec) -> (f64, f64) {
+    header(&format!(
+        "Figure 15: coalesced vs non-coalesced thread mapping on {} (SpMM N=128, FP16)",
+        gpu.name
+    ));
+    let mut speedups = Vec::new();
+    for d in datasets {
+        let (coalesced, direct) = ablation_thread_mapping(&d.matrix, 128);
+        speedups.push(direct.simulated_time(gpu) / coalesced.simulated_time(gpu));
+    }
+    let summary = (geomean(&speedups), max(&speedups));
+    println!(
+        "geomean {:.2}x  max {:.2}x   (paper: H100 1.34x avg / 2.0x max, RTX4090 1.18x avg / 2.0x max)",
+        summary.0, summary.1
+    );
+    summary
+}
+
+/// Extension ablation (not in the paper): FlashSparse FP16 block width
+/// k=8 (`m16n8k8`) vs k=16 (`m16n8k16`). Returns the geomean speedup of
+/// k=8 over k=16 (values < 1 mean k=16 wins on this population).
+pub fn ablation_k16(datasets: &[Dataset], gpu: GpuSpec) -> f64 {
+    header(&format!(
+        "Extension ablation: FlashSparse FP16 block width k=8 vs k=16 on {} (SpMM N=128)",
+        gpu.name
+    ));
+    let mut speedups = Vec::new();
+    for d in datasets {
+        let (k8, k16) = ablation_block_width(&d.matrix, 128);
+        speedups.push(k16.simulated_time(gpu) / k8.simulated_time(gpu));
+    }
+    let geo = geomean(&speedups);
+    println!(
+        "k=8 over k=16: geomean {geo:.2}x, max {:.2}x, min {:.2}x — k=16 halves instructions \
+         but pads ragged blocks; which wins depends on vector density",
+        max(&speedups),
+        speedups.iter().copied().fold(f64::INFINITY, f64::min),
+    );
+    geo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fs_matrix::suite::matrix_suite;
+
+    #[test]
+    fn fig14_favors_8x1() {
+        let ds = matrix_suite(5, 21);
+        let ((spmm_geo, _), (sddmm_geo, _)) = fig14(&ds, GpuSpec::H100_PCIE);
+        assert!(spmm_geo > 1.0, "SpMM geomean {spmm_geo}");
+        assert!(sddmm_geo > 1.0, "SDDMM geomean {sddmm_geo}");
+    }
+
+    #[test]
+    fn k16_ablation_runs() {
+        let ds = matrix_suite(4, 23);
+        let geo = ablation_k16(&ds, GpuSpec::RTX4090);
+        assert!(geo > 0.1 && geo < 10.0, "geomean {geo} out of sane range");
+    }
+
+    #[test]
+    fn fig15_favors_coalesced() {
+        let ds = matrix_suite(5, 22);
+        let (geo, mx) = fig15(&ds, GpuSpec::RTX4090);
+        assert!(geo >= 1.0, "geomean {geo}");
+        assert!(mx >= geo);
+    }
+}

@@ -1,0 +1,147 @@
+//! Figure 1 (MMA invocation counts), Table 2 (zero elements in nonzero
+//! vectors) and Figure 12 (data access cost) — the counting experiments
+//! that motivate the 8×1 granularity.
+
+use fs_format::{vector_stats, TcFormatSpec};
+use fs_format::stats::spmm_mma_count;
+use fs_matrix::suite::Dataset;
+
+use crate::algos::{ablation_vector_size_sddmm, ablation_vector_size_spmm};
+use crate::report::{self, header};
+
+/// Per-dataset result of the Figure 1 / Table 2 counting experiments.
+#[derive(Clone, Debug)]
+pub struct CountRow {
+    /// Dataset name.
+    pub name: String,
+    /// MMA invocations with 16×1 vectors (N = 16).
+    pub mma_16: u64,
+    /// MMA invocations with 8×1 vectors (N = 16).
+    pub mma_8: u64,
+    /// Zeros stored in nonzero vectors at 16×1.
+    pub zeros_16: usize,
+    /// Zeros stored in nonzero vectors at 8×1.
+    pub zeros_8: usize,
+}
+
+/// Figure 1 + Table 2: count MMAs (N = 16, as in the paper's Figure 1)
+/// and zero fill for both vector sizes.
+pub fn fig1_table2(datasets: &[Dataset]) -> Vec<CountRow> {
+    header("Figure 1: MMA invocations (N=16), 16x1 vs 8x1  |  Table 2: zero fill");
+    println!(
+        "{:<16} {:>12} {:>12} {:>8} | {:>12} {:>12} {:>8}",
+        "dataset", "MMA 16x1", "MMA 8x1", "-MMA%", "zeros 16x1", "zeros 8x1", "-zero%"
+    );
+    let mut rows = Vec::new();
+    let mut reductions = Vec::new();
+    for d in datasets {
+        let s16 = vector_stats(&d.matrix, TcFormatSpec::SOTA16_FP16);
+        let s8 = vector_stats(&d.matrix, TcFormatSpec::FLASH_FP16);
+        // 16×1 direct MMA covers 8 output columns; swapped 8×1 covers 16.
+        let mma_16 = spmm_mma_count(&s16, 16, 8);
+        let mma_8 = spmm_mma_count(&s8, 16, 16);
+        let row = CountRow {
+            name: d.name.clone(),
+            mma_16,
+            mma_8,
+            zeros_16: s16.zeros_in_vectors,
+            zeros_8: s8.zeros_in_vectors,
+        };
+        let mma_red = 100.0 * (1.0 - row.mma_8 as f64 / row.mma_16.max(1) as f64);
+        let zero_red = 100.0 * (1.0 - row.zeros_8 as f64 / row.zeros_16.max(1) as f64);
+        println!(
+            "{:<16} {:>12} {:>12} {:>7.1}% | {:>12} {:>12} {:>7.1}%",
+            row.name, row.mma_16, row.mma_8, mma_red, row.zeros_16, row.zeros_8, zero_red
+        );
+        reductions.push(mma_red);
+        rows.push(row);
+    }
+    println!(
+        "average MMA reduction: {:.1}% (paper: 43% on its graph set)",
+        reductions.iter().sum::<f64>() / reductions.len().max(1) as f64
+    );
+    rows
+}
+
+/// Figure 12: per-matrix data-access cost of 8×1 vs 16×1 for SpMM
+/// (N = 128) and SDDMM (N = 32), FP16. Returns (avg, max) reduction for
+/// (SpMM, SDDMM).
+pub fn fig12(datasets: &[Dataset]) -> ((f64, f64), (f64, f64)) {
+    header("Figure 12: data access cost, 16x1 vs 8x1 (FP16; SpMM N=128, SDDMM N=32)");
+    let mut spmm_reds = Vec::new();
+    let mut sddmm_reds = Vec::new();
+    for d in datasets {
+        let (r8, r16) = ablation_vector_size_spmm(&d.matrix, 128);
+        let red = 1.0
+            - r8.counters.data_access_bytes() as f64
+                / r16.counters.data_access_bytes().max(1) as f64;
+        spmm_reds.push(red);
+        let (s8, s16) = ablation_vector_size_sddmm(&d.matrix, 32);
+        let red = 1.0
+            - s8.counters.data_access_bytes() as f64
+                / s16.counters.data_access_bytes().max(1) as f64;
+        sddmm_reds.push(red);
+    }
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    let spmm_summary = (avg(&spmm_reds) * 100.0, report::max(&spmm_reds) * 100.0);
+    let sddmm_summary = (avg(&sddmm_reds) * 100.0, report::max(&sddmm_reds) * 100.0);
+    println!(
+        "SpMM  (N=128): average reduction {:.1}%  max {:.1}%   (paper: avg 35%, max 49%)",
+        spmm_summary.0, spmm_summary.1
+    );
+    println!(
+        "SDDMM (N=32) : average reduction {:.1}%  max {:.1}%   (paper: avg 28%, max 49%)",
+        sddmm_summary.0, sddmm_summary.1
+    );
+
+    // Traffic-class breakdown (aggregate over the population): where the
+    // 8×1 granularity actually saves bytes.
+    let mut k8_total = fs_tcu::KernelCounters::default();
+    let mut k16_total = fs_tcu::KernelCounters::default();
+    for d in datasets {
+        let (r8, r16) = ablation_vector_size_spmm(&d.matrix, 128);
+        k8_total += r8.counters;
+        k16_total += r16.counters;
+    }
+    let mb = |b: u64| b as f64 / 1e6;
+    println!("SpMM ideal-load breakdown over the population (MB):");
+    println!(
+        "  8x1 : sparse values {:>8.2}  dense operand {:>8.2}  indices {:>6.2}  stores {:>8.2}",
+        mb(k8_total.sparse_value_bytes),
+        mb(k8_total.dense_operand_bytes),
+        mb(k8_total.index_bytes),
+        mb(k8_total.ideal_bytes_stored),
+    );
+    println!(
+        "  16x1: sparse values {:>8.2}  dense operand {:>8.2}  indices {:>6.2}  stores {:>8.2}",
+        mb(k16_total.sparse_value_bytes),
+        mb(k16_total.dense_operand_bytes),
+        mb(k16_total.index_bytes),
+        mb(k16_total.ideal_bytes_stored),
+    );
+    (spmm_summary, sddmm_summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fs_matrix::suite::{matrix_suite, table4_datasets, Scale};
+
+    #[test]
+    fn fig1_shows_mma_reduction() {
+        let ds = &table4_datasets(Scale::Tiny)[..3];
+        let rows = fig1_table2(ds);
+        for row in &rows {
+            assert!(row.mma_8 < row.mma_16, "{}: 8x1 must need fewer MMAs", row.name);
+            assert!(row.zeros_8 < row.zeros_16, "{}: 8x1 must store fewer zeros", row.name);
+        }
+    }
+
+    #[test]
+    fn fig12_shows_access_reduction() {
+        let ds = matrix_suite(4, 3);
+        let ((spmm_avg, _), (sddmm_avg, _)) = fig12(&ds);
+        assert!(spmm_avg > 10.0, "SpMM data-access reduction {spmm_avg}% too small");
+        assert!(sddmm_avg > 0.0, "SDDMM data-access reduction {sddmm_avg}%");
+    }
+}

@@ -1,0 +1,176 @@
+//! Figure 16 (end-to-end GNN training time) and Table 8 (training
+//! accuracy across precisions).
+
+use fs_matrix::gen::{sbm, SbmConfig, SbmDataset};
+use fs_matrix::suite::Dataset;
+use fs_matrix::DenseMatrix;
+use fs_tcu::GpuSpec;
+use fs_gnn::ops::GnnBackend;
+use fs_gnn::train::{train_agnn, train_gcn, TrainConfig};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use fs_tcu::cost::{ComputeClass, CostModel};
+
+use crate::report::{geomean, header};
+
+/// Which engine a backend's dense GEMMs (feature updates) run on.
+fn dense_class(backend: GnnBackend) -> ComputeClass {
+    match backend {
+        GnnBackend::FlashFp16 => ComputeClass::TcuFp16,
+        GnnBackend::FlashTf32 | GnnBackend::TcGnnTf32 => ComputeClass::TcuTf32,
+        GnnBackend::CudaFp32 | GnnBackend::CudaFp32Edge => ComputeClass::CudaFp32,
+    }
+}
+
+/// Simulated end-to-end epoch time: sparse kernels + dense GEMMs (dense
+/// ops run near peak, so a straight throughput division suffices).
+fn epoch_time(result: &fs_gnn::train::TrainResult, backend: GnnBackend, gpu: GpuSpec, epochs: usize) -> f64 {
+    let dense = result.dense_flops as f64 / CostModel::new(gpu).sustained_flops(dense_class(backend));
+    (result.sim_kernel_time + dense) / epochs as f64
+}
+
+/// Attach random features/labels to a graph stand-in so the timing
+/// experiments can train on it (Figure 16 measures time, not accuracy).
+pub fn attach_features(d: &Dataset, feature_dim: usize, classes: usize, seed: u64) -> SbmDataset {
+    let n = d.matrix.rows();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let features =
+        DenseMatrix::<f32>::from_fn(n, feature_dim, |_, _| rng.random_range(-1.0f32..1.0));
+    let labels: Vec<usize> = (0..n).map(|_| rng.random_range(0..classes)).collect();
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.random_range(0..=i);
+        idx.swap(i, j);
+    }
+    let (train_idx, test_idx) = idx.split_at(n / 2);
+    SbmDataset {
+        adjacency: d.matrix.with_unit_values(),
+        features,
+        labels,
+        train_idx: train_idx.to_vec(),
+        test_idx: test_idx.to_vec(),
+        classes,
+    }
+}
+
+/// The Figure 16 backend roster.
+pub const FIG16_BACKENDS: [GnnBackend; 5] = [
+    GnnBackend::CudaFp32,
+    GnnBackend::CudaFp32Edge,
+    GnnBackend::TcGnnTf32,
+    GnnBackend::FlashFp16,
+    GnnBackend::FlashTf32,
+];
+
+/// Figure 16: simulated per-epoch sparse-kernel time of GCN and AGNN per
+/// backend, per graph. Returns the FlashSparse-FP16 speedup over the
+/// DGL-like baseline per (model, graph).
+pub fn fig16(datasets: &[Dataset], gpu: GpuSpec, epochs: usize) -> Vec<(String, f64, f64)> {
+    header(&format!(
+        "Figure 16: end-to-end GNN epoch time on {} (simulated sparse + dense time, {} epochs)",
+        gpu.name, epochs
+    ));
+    // Paper settings: hidden 128 for GCN, 32 for AGNN (scaled to our sizes).
+    let gcn_cfg = TrainConfig { epochs, hidden: 64, layers: 2, lr: 0.01, seed: 3 };
+    let agnn_cfg = TrainConfig { epochs, hidden: 32, layers: 2, lr: 0.01, seed: 3 };
+    let mut out = Vec::new();
+    for d in datasets {
+        let ds = attach_features(d, 32, 4, 97);
+        let mut gcn_times = Vec::new();
+        let mut agnn_times = Vec::new();
+        for backend in FIG16_BACKENDS {
+            let g = train_gcn(&ds, backend, gpu, gcn_cfg);
+            let a = train_agnn(&ds, backend, gpu, agnn_cfg);
+            gcn_times.push(epoch_time(&g, backend, gpu, epochs));
+            agnn_times.push(epoch_time(&a, backend, gpu, epochs));
+        }
+        print!("{:<16}", d.name);
+        for (i, backend) in FIG16_BACKENDS.iter().enumerate() {
+            print!(
+                "  {}: GCN {:>8.1}us AGNN {:>8.1}us",
+                backend.name(),
+                gcn_times[i] * 1e6,
+                agnn_times[i] * 1e6
+            );
+        }
+        println!();
+        let gcn_speedup = gcn_times[0] / gcn_times[3]; // DGL-like / FlashFP16
+        let agnn_speedup = agnn_times[0] / agnn_times[3];
+        out.push((d.name.clone(), gcn_speedup, agnn_speedup));
+    }
+    let gcn_geo = geomean(&out.iter().map(|r| r.1).collect::<Vec<_>>());
+    let agnn_geo = geomean(&out.iter().map(|r| r.2).collect::<Vec<_>>());
+    println!(
+        "FlashSparse-FP16 vs DGL-like: GCN geomean {gcn_geo:.2}x, AGNN geomean {agnn_geo:.2}x \
+         (paper RTX4090: 1.57x GCN, 1.79x AGNN)"
+    );
+    out
+}
+
+/// Table 8: GCN top-1 accuracy trained at FP32 / FP16 / TF32 on SBM
+/// node-classification datasets. Returns rows of
+/// `(name, fp32, fp16, tf32)` accuracies.
+pub fn table8(epochs: usize) -> Vec<(String, f64, f64, f64)> {
+    header(&format!("Table 8: GCN accuracy by training precision ({epochs} epochs)"));
+    // Five datasets of varying difficulty (signal strength / density),
+    // standing in for the paper's DGL citation datasets.
+    let configs = [
+        ("sbm-easy", SbmConfig { nodes: 256, classes: 4, feature_signal: 1.5, ..Default::default() }),
+        ("sbm-medium", SbmConfig { nodes: 256, classes: 4, feature_signal: 0.8, ..Default::default() }),
+        ("sbm-hard", SbmConfig { nodes: 256, classes: 4, feature_signal: 0.45, ..Default::default() }),
+        ("sbm-dense", SbmConfig { nodes: 256, classes: 3, p_in: 0.15, feature_signal: 0.8, ..Default::default() }),
+        ("sbm-large", SbmConfig { nodes: 512, classes: 5, feature_signal: 1.0, ..Default::default() }),
+    ];
+    let cfg = TrainConfig { epochs, hidden: 32, layers: 3, lr: 0.01, seed: 5 };
+    println!(
+        "{:<12} {:>12} {:>18} {:>18}",
+        "dataset", "FP32 (DGL)", "FlashSparse FP16", "FlashSparse TF32"
+    );
+    let mut rows = Vec::new();
+    for (name, sbm_cfg) in configs {
+        let ds = sbm(sbm_cfg, 1234);
+        let fp32 = train_gcn(&ds, GnnBackend::CudaFp32, GpuSpec::RTX4090, cfg).test_accuracy;
+        let fp16 = train_gcn(&ds, GnnBackend::FlashFp16, GpuSpec::RTX4090, cfg).test_accuracy;
+        let tf32 = train_gcn(&ds, GnnBackend::FlashTf32, GpuSpec::RTX4090, cfg).test_accuracy;
+        println!(
+            "{name:<12} {:>11.1}% {:>17.1}% {:>17.1}%",
+            fp32 * 100.0,
+            fp16 * 100.0,
+            tf32 * 100.0
+        );
+        rows.push((name.to_string(), fp32, fp16, tf32));
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fs_matrix::suite::{table4_datasets, Scale};
+
+    #[test]
+    fn fig16_flashsparse_beats_dgl_like() {
+        let ds = &table4_datasets(Scale::Tiny)[..1];
+        let rows = fig16(ds, GpuSpec::RTX4090, 2);
+        for (name, gcn_speedup, agnn_speedup) in rows {
+            assert!(gcn_speedup > 1.0, "{name}: GCN speedup {gcn_speedup}");
+            assert!(agnn_speedup > 1.0, "{name}: AGNN speedup {agnn_speedup}");
+        }
+    }
+
+    #[test]
+    fn table8_no_precision_collapse() {
+        let rows = table8(12);
+        for (name, fp32, fp16, tf32) in rows {
+            assert!(
+                (fp32 - fp16).abs() < 0.15,
+                "{name}: fp16 {fp16} vs fp32 {fp32}"
+            );
+            assert!(
+                (fp32 - tf32).abs() < 0.15,
+                "{name}: tf32 {tf32} vs fp32 {fp32}"
+            );
+        }
+    }
+}

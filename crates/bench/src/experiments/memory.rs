@@ -1,0 +1,79 @@
+//! Table 4 (dataset roster) and Table 7 (ME-BCRS vs SR-BCRS footprint).
+
+use fs_format::{footprint_reduction, TcFormatSpec};
+use fs_matrix::suite::{describe, Dataset};
+
+use crate::report::header;
+
+/// Print the Table 4 dataset summary.
+pub fn table4(datasets: &[Dataset]) {
+    header("Table 4: graph datasets (scaled synthetic stand-ins — see DESIGN.md)");
+    for d in datasets {
+        println!("{}", describe(d));
+    }
+}
+
+/// Table 7's histogram buckets of footprint reduction percentages.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FootprintBuckets {
+    /// 1–10% reduction.
+    pub b1_10: usize,
+    /// 11–20%.
+    pub b11_20: usize,
+    /// 21–30%.
+    pub b21_30: usize,
+    /// 31–40%.
+    pub b31_40: usize,
+    /// ≥ 41%.
+    pub ge41: usize,
+}
+
+/// Table 7: ME-BCRS footprint reduction vs SR-BCRS across the population
+/// (FP16 spec, as the paper's kernels store FP16 values). Returns the
+/// buckets plus (average, max) reduction in percent.
+pub fn table7(datasets: &[Dataset]) -> (FootprintBuckets, f64, f64) {
+    header("Table 7: memory footprint reduction of ME-BCRS vs SR-BCRS");
+    let mut buckets = FootprintBuckets::default();
+    let mut reductions = Vec::new();
+    for d in datasets {
+        let red = footprint_reduction(&d.matrix, TcFormatSpec::FLASH_FP16) * 100.0;
+        reductions.push(red);
+        match red {
+            r if r >= 41.0 => buckets.ge41 += 1,
+            r if r >= 31.0 => buckets.b31_40 += 1,
+            r if r >= 21.0 => buckets.b21_30 += 1,
+            r if r >= 11.0 => buckets.b11_20 += 1,
+            r if r >= 1.0 => buckets.b1_10 += 1,
+            _ => {}
+        }
+    }
+    let avg = reductions.iter().sum::<f64>() / reductions.len().max(1) as f64;
+    let max = reductions.iter().copied().fold(0.0, f64::max);
+    println!("  1-10%: {:>4} matrices", buckets.b1_10);
+    println!(" 11-20%: {:>4} matrices", buckets.b11_20);
+    println!(" 21-30%: {:>4} matrices", buckets.b21_30);
+    println!(" 31-40%: {:>4} matrices", buckets.b31_40);
+    println!("  >=41%: {:>4} matrices", buckets.ge41);
+    println!("average {avg:.1}%  max {max:.1}%   (paper: avg 11.72%, max 50.0%)");
+    (buckets, avg, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fs_matrix::suite::{matrix_suite, table4_datasets, Scale};
+
+    #[test]
+    fn table7_reductions_positive() {
+        let ds = matrix_suite(8, 31);
+        let (buckets, avg, max) = table7(&ds);
+        assert!(avg >= 0.0 && max <= 100.0);
+        let total = buckets.b1_10 + buckets.b11_20 + buckets.b21_30 + buckets.b31_40 + buckets.ge41;
+        assert!(total > 0, "some matrices must show a reduction");
+    }
+
+    #[test]
+    fn table4_prints() {
+        table4(&table4_datasets(Scale::Tiny)[..2]);
+    }
+}

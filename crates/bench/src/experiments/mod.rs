@@ -1,0 +1,18 @@
+//! One module per group of paper experiments (see DESIGN.md §4):
+//!
+//! | module | reproduces |
+//! |---|---|
+//! | [`counts`] | Figure 1 (MMA counts), Table 2 (zero fill), Figure 12 (data access) |
+//! | [`spmm`] | Figure 11 (SpMM sweep), Table 5 (speedup histograms) |
+//! | [`sddmm`] | Figure 13 (SDDMM sweep), Table 6 |
+//! | [`ablation`] | Figure 14 (vector size), Figure 15 (thread mapping) |
+//! | [`memory`] | Table 4 (datasets), Table 7 (ME-BCRS footprint) |
+//! | [`gnn`] | Figure 16 (end-to-end GNN), Table 8 (training accuracy) |
+
+pub mod ablation;
+pub mod counts;
+pub mod gnn;
+pub mod memory;
+pub mod reorder;
+pub mod sddmm;
+pub mod spmm;

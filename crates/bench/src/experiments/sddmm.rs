@@ -1,0 +1,102 @@
+//! Figure 13 (SDDMM performance sweep) and Table 6 (speedup histograms).
+
+use fs_matrix::suite::Dataset;
+use fs_tcu::GpuSpec;
+
+use crate::algos::{measure_sddmm_all, Measurement};
+use crate::report::{box_row, header, SpeedupHistogram};
+
+/// All SDDMM measurements for one mask at one K.
+#[derive(Clone, Debug)]
+pub struct SddmmSweepRow {
+    /// Dataset name.
+    pub name: String,
+    /// Nonzeros of the mask.
+    pub nnz: usize,
+    /// One measurement per algorithm.
+    pub measurements: Vec<Measurement>,
+}
+
+/// Run the Figure 13 sweep at inner dimension `k` (the paper: 32, 128).
+pub fn sweep(datasets: &[Dataset], k: usize) -> Vec<SddmmSweepRow> {
+    datasets
+        .iter()
+        .map(|d| SddmmSweepRow {
+            name: d.name.clone(),
+            nnz: d.matrix.nnz(),
+            measurements: measure_sddmm_all(&d.matrix, k),
+        })
+        .collect()
+}
+
+/// Print the Figure 13 throughput summary for one GPU.
+pub fn fig13(sweep_rows: &[SddmmSweepRow], k: usize, gpu: GpuSpec) {
+    header(&format!("Figure 13: SDDMM on {} (N={k}) — GFLOPS distribution", gpu.name));
+    for algo in ["FlashSparse-FP16", "FlashSparse-TF32", "TC-GNN", "RoDe", "Sputnik"] {
+        let gflops: Vec<f64> = sweep_rows
+            .iter()
+            .map(|row| row.measurements.iter().find(|m| m.algo == algo).unwrap().gflops(gpu))
+            .collect();
+        println!("{}", box_row(algo, &gflops));
+    }
+}
+
+/// Print Table 6: FlashSparse (best precision) speedup histogram over
+/// TC-GNN and RoDe at K = 32.
+pub fn table6(sweep_rows: &[SddmmSweepRow], gpu: GpuSpec) -> Vec<(&'static str, SpeedupHistogram)> {
+    header(&format!("Table 6: SDDMM speedup distribution on {} (N=32)", gpu.name));
+    let mut out = Vec::new();
+    for baseline in ["TC-GNN", "RoDe"] {
+        let speedups: Vec<f64> = sweep_rows
+            .iter()
+            .map(|row| {
+                let t_flash = row
+                    .measurements
+                    .iter()
+                    .filter(|m| m.algo.starts_with("FlashSparse"))
+                    .map(|m| m.time(gpu))
+                    .fold(f64::INFINITY, f64::min);
+                let t_b = row
+                    .measurements
+                    .iter()
+                    .find(|m| m.algo == baseline)
+                    .unwrap()
+                    .time(gpu);
+                t_b / t_flash
+            })
+            .collect();
+        let hist = SpeedupHistogram::from(&speedups);
+        println!("vs {baseline:<8} {}", hist.row());
+        out.push((baseline, hist));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fs_matrix::suite::matrix_suite;
+
+    #[test]
+    fn table6_flashsparse_wins_geomean() {
+        let ds = matrix_suite(6, 11);
+        let rows = sweep(&ds, 32);
+        for gpu in [GpuSpec::H100_PCIE, GpuSpec::RTX4090] {
+            for (baseline, hist) in table6(&rows, gpu) {
+                assert!(
+                    hist.geomean > 1.0,
+                    "{}: geomean vs {baseline} = {}",
+                    gpu.name,
+                    hist.geomean
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fig13_prints() {
+        let ds = matrix_suite(3, 2);
+        let rows = sweep(&ds, 32);
+        fig13(&rows, 32, GpuSpec::RTX4090);
+    }
+}

@@ -1,0 +1,181 @@
+//! Figure 11 (SpMM performance sweep) and Table 5 (speedup histograms).
+
+use fs_matrix::suite::Dataset;
+use fs_tcu::GpuSpec;
+
+use crate::algos::{measure_spmm_all, Measurement};
+use crate::report::{box_row, header, SpeedupHistogram};
+
+/// All measurements for one matrix at one N.
+#[derive(Clone, Debug)]
+pub struct SpmmSweepRow {
+    /// Dataset name.
+    pub name: String,
+    /// Matrix rows (the paper groups matrices by row count).
+    pub rows: usize,
+    /// Nonzeros.
+    pub nnz: usize,
+    /// One measurement per algorithm.
+    pub measurements: Vec<Measurement>,
+}
+
+/// Run the Figure 11 sweep: every algorithm on every dataset at width `n`.
+pub fn sweep(datasets: &[Dataset], n: usize) -> Vec<SpmmSweepRow> {
+    datasets
+        .iter()
+        .map(|d| SpmmSweepRow {
+            name: d.name.clone(),
+            rows: d.matrix.rows(),
+            nnz: d.matrix.nnz(),
+            measurements: measure_spmm_all(&d.matrix, n),
+        })
+        .collect()
+}
+
+/// Speedups of `algo` over `baseline` across a sweep, on `gpu`.
+pub fn speedups_over(
+    sweep: &[SpmmSweepRow],
+    algo: &str,
+    baseline: &str,
+    gpu: GpuSpec,
+) -> Vec<f64> {
+    sweep
+        .iter()
+        .map(|row| {
+            let t_a = row.measurements.iter().find(|m| m.algo == algo).unwrap().time(gpu);
+            let t_b = row
+                .measurements
+                .iter()
+                .find(|m| m.algo == baseline)
+                .unwrap()
+                .time(gpu);
+            t_b / t_a
+        })
+        .collect()
+}
+
+/// Print Figure 11 for one GPU: speedup-over-cuSPARSE distributions
+/// (split into small/large matrices like the paper's 100k-row threshold,
+/// scaled to our population) and the nnz-sorted GFLOPS series.
+pub fn fig11(sweep_rows: &[SpmmSweepRow], n: usize, gpu: GpuSpec, row_split: usize) {
+    header(&format!(
+        "Figure 11: SpMM on {} (N={n}) — speedup over cuSPARSE-like, then GFLOPS",
+        gpu.name
+    ));
+    let algos = [
+        "FlashSparse-FP16",
+        "FlashSparse-TF32",
+        "DTC-SpMM",
+        "TC-GNN",
+        "RoDe",
+        "Sputnik",
+        "GE-SpMM",
+        "GNNAdvisor",
+    ];
+    for (label, pred) in [
+        ("small matrices", Box::new(|r: &SpmmSweepRow| r.rows < row_split) as Box<dyn Fn(&SpmmSweepRow) -> bool>),
+        ("large matrices", Box::new(|r: &SpmmSweepRow| r.rows >= row_split)),
+    ] {
+        let subset: Vec<&SpmmSweepRow> = sweep_rows.iter().filter(|r| pred(r)).collect();
+        if subset.is_empty() {
+            continue;
+        }
+        println!("-- {label} ({} matrices) --", subset.len());
+        for algo in algos {
+            let speedups: Vec<f64> = subset
+                .iter()
+                .map(|row| {
+                    let t_a =
+                        row.measurements.iter().find(|m| m.algo == algo).unwrap().time(gpu);
+                    let t_c = row
+                        .measurements
+                        .iter()
+                        .find(|m| m.algo == "cuSPARSE")
+                        .unwrap()
+                        .time(gpu);
+                    t_c / t_a
+                })
+                .collect();
+            println!("{}", box_row(algo, &speedups));
+        }
+    }
+    // GFLOPS series: buckets of 6 consecutive (nnz-sorted) matrices.
+    println!("-- throughput series (avg GFLOPS per bucket of 6, nnz ascending) --");
+    for algo in ["FlashSparse-FP16", "FlashSparse-TF32", "DTC-SpMM", "RoDe", "cuSPARSE"] {
+        let gflops: Vec<f64> = sweep_rows
+            .iter()
+            .map(|row| row.measurements.iter().find(|m| m.algo == algo).unwrap().gflops(gpu))
+            .collect();
+        let buckets: Vec<String> = gflops
+            .chunks(6)
+            .map(|c| format!("{:.0}", c.iter().sum::<f64>() / c.len() as f64))
+            .collect();
+        println!("{algo:<18} {}", buckets.join(" "));
+    }
+}
+
+/// Print Table 5 for one GPU: the speedup histogram of FlashSparse (best
+/// of FP16/TF32, as the paper plots its best configuration) over each
+/// baseline at N = 128. Returns the histograms keyed by baseline.
+pub fn table5(sweep_rows: &[SpmmSweepRow], gpu: GpuSpec) -> Vec<(&'static str, SpeedupHistogram)> {
+    header(&format!("Table 5: SpMM speedup distribution on {} (N=128)", gpu.name));
+    let baselines = ["TC-GNN", "DTC-SpMM", "RoDe", "Sputnik", "GE-SpMM"];
+    let mut out = Vec::new();
+    for baseline in baselines {
+        let speedups: Vec<f64> = sweep_rows
+            .iter()
+            .map(|row| {
+                let t_flash = row
+                    .measurements
+                    .iter()
+                    .filter(|m| m.algo.starts_with("FlashSparse"))
+                    .map(|m| m.time(gpu))
+                    .fold(f64::INFINITY, f64::min);
+                let t_b = row
+                    .measurements
+                    .iter()
+                    .find(|m| m.algo == baseline)
+                    .unwrap()
+                    .time(gpu);
+                t_b / t_flash
+            })
+            .collect();
+        let hist = SpeedupHistogram::from(&speedups);
+        println!("vs {baseline:<10} {}", hist.row());
+        out.push((baseline, hist));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fs_matrix::suite::matrix_suite;
+
+    #[test]
+    fn flashsparse_dominates_the_table5_histograms() {
+        let ds = matrix_suite(6, 5);
+        let rows = sweep(&ds, 128);
+        for gpu in [GpuSpec::H100_PCIE, GpuSpec::RTX4090] {
+            let hists = table5(&rows, gpu);
+            for (baseline, hist) in hists {
+                assert!(
+                    hist.geomean > 1.0,
+                    "{}: FlashSparse must win on geomean vs {baseline} ({})",
+                    gpu.name,
+                    hist.geomean
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fig11_runs_and_prints() {
+        let ds = matrix_suite(4, 9);
+        let rows = sweep(&ds, 128);
+        fig11(&rows, 128, GpuSpec::RTX4090, 1024);
+        let sp = speedups_over(&rows, "FlashSparse-FP16", "cuSPARSE", GpuSpec::RTX4090);
+        assert_eq!(sp.len(), 4);
+        assert!(sp.iter().all(|&s| s > 0.0));
+    }
+}

@@ -1,0 +1,48 @@
+//! The FlashSparse evaluation harness: code that regenerates every table
+//! and figure of the paper (see DESIGN.md §4 for the experiment index).
+//!
+//! The `figures` binary drives the [`experiments`] modules:
+//!
+//! ```text
+//! cargo run --release -p fs-bench --bin figures -- all
+//! cargo run --release -p fs-bench --bin figures -- fig11 --suite 100
+//! ```
+//!
+//! Criterion benches (`benches/`) measure the *host* wall-clock of the
+//! kernels; the figures use the simulated-GPU cost model, as explained in
+//! DESIGN.md §1.
+
+pub mod algos;
+pub mod experiments;
+pub mod report;
+
+use fs_matrix::suite::{full_population, Dataset, Scale};
+
+/// Shared experiment configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ExpConfig {
+    /// Number of SuiteSparse-stand-in matrices (paper: 500).
+    pub suite_count: usize,
+    /// Scale of the Table 4 graph stand-ins.
+    pub scale: Scale,
+    /// RNG seed for the population.
+    pub seed: u64,
+}
+
+impl Default for ExpConfig {
+    fn default() -> Self {
+        ExpConfig { suite_count: 45, scale: Scale::Tiny, seed: 2024 }
+    }
+}
+
+impl ExpConfig {
+    /// A tiny configuration for unit tests.
+    pub fn test() -> Self {
+        ExpConfig { suite_count: 8, scale: Scale::Tiny, seed: 7 }
+    }
+
+    /// The evaluation population (suite + Table 4 stand-ins, nnz-sorted).
+    pub fn population(&self) -> Vec<Dataset> {
+        full_population(self.suite_count, self.scale, self.seed)
+    }
+}

@@ -1,0 +1,114 @@
+//! Formatting and summary statistics for the experiment reports.
+
+/// Geometric mean of positive values (0 if empty).
+pub fn geomean(values: &[f64]) -> f64 {
+    fs_matrix::stats::geometric_mean(values.iter().copied().filter(|v| *v > 0.0))
+}
+
+/// Maximum of a slice (0 if empty).
+pub fn max(values: &[f64]) -> f64 {
+    values.iter().copied().fold(0.0, f64::max)
+}
+
+/// The paper's Table 5 / Table 6 speedup histogram: fractions of values in
+/// `<1`, `1–1.5`, `1.5–2`, `≥2`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SpeedupHistogram {
+    /// Fraction below 1× (slowdowns).
+    pub below_1: f64,
+    /// Fraction in [1, 1.5).
+    pub b1_15: f64,
+    /// Fraction in [1.5, 2).
+    pub b15_2: f64,
+    /// Fraction ≥ 2×.
+    pub ge2: f64,
+    /// Geometric mean speedup.
+    pub geomean: f64,
+    /// Maximum speedup.
+    pub max: f64,
+}
+
+impl SpeedupHistogram {
+    /// Bucket a list of speedups.
+    pub fn from(speedups: &[f64]) -> Self {
+        let n = speedups.len().max(1) as f64;
+        let frac = |pred: &dyn Fn(f64) -> bool| {
+            speedups.iter().filter(|&&s| pred(s)).count() as f64 / n
+        };
+        SpeedupHistogram {
+            below_1: frac(&|s| s < 1.0),
+            b1_15: frac(&|s| (1.0..1.5).contains(&s)),
+            b15_2: frac(&|s| (1.5..2.0).contains(&s)),
+            ge2: frac(&|s| s >= 2.0),
+            geomean: geomean(speedups),
+            max: max(speedups),
+        }
+    }
+
+    /// One formatted row: bucket percentages, geomean, max.
+    pub fn row(&self) -> String {
+        format!(
+            "<1: {:>5.1}%  1-1.5: {:>5.1}%  1.5-2: {:>5.1}%  >=2: {:>5.1}%  geomean {:>6.2}x  max {:>7.2}x",
+            self.below_1 * 100.0,
+            self.b1_15 * 100.0,
+            self.b15_2 * 100.0,
+            self.ge2 * 100.0,
+            self.geomean,
+            self.max
+        )
+    }
+}
+
+/// Print a section header.
+pub fn header(title: &str) {
+    println!();
+    println!("{}", "=".repeat(78));
+    println!("{title}");
+    println!("{}", "=".repeat(78));
+}
+
+/// Quartiles (min, q1, median, q3, max) of a sample.
+pub fn quartiles(values: &[f64]) -> (f64, f64, f64, f64, f64) {
+    use fs_matrix::stats::percentile;
+    (
+        percentile(values, 0.0),
+        percentile(values, 25.0),
+        percentile(values, 50.0),
+        percentile(values, 75.0),
+        percentile(values, 100.0),
+    )
+}
+
+/// Format a boxplot-style summary line.
+pub fn box_row(label: &str, values: &[f64]) -> String {
+    if values.is_empty() {
+        return format!("{label:<22} (no data)");
+    }
+    let (min, q1, med, q3, maxv) = quartiles(values);
+    format!("{label:<22} min {min:>7.2}  q1 {q1:>7.2}  med {med:>7.2}  q3 {q3:>7.2}  max {maxv:>8.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets() {
+        let h = SpeedupHistogram::from(&[0.5, 1.2, 1.7, 3.0, 4.0]);
+        assert!((h.below_1 - 0.2).abs() < 1e-12);
+        assert!((h.b1_15 - 0.2).abs() < 1e-12);
+        assert!((h.b15_2 - 0.2).abs() < 1e-12);
+        assert!((h.ge2 - 0.4).abs() < 1e-12);
+        assert_eq!(h.max, 4.0);
+        assert!(h.geomean > 1.0);
+    }
+
+    #[test]
+    fn quartiles_ordered() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let (min, q1, med, q3, maxv) = quartiles(&v);
+        assert_eq!(min, 1.0);
+        assert_eq!(maxv, 100.0);
+        assert!(q1 < med && med < q3);
+    }
+}

@@ -1,0 +1,136 @@
+//! High-level API: a sparse matrix pre-translated for FlashSparse kernels.
+
+use fs_format::{MeBcrs, TcFormatSpec};
+use fs_matrix::{CsrMatrix, DenseMatrix};
+use fs_tcu::cost::{sddmm_useful_flops, spmm_useful_flops, CostModel};
+use fs_tcu::{GpuSpec, KernelCounters};
+
+use crate::sddmm::sddmm;
+use crate::spmm::spmm;
+use crate::thread_map::ThreadMapping;
+use crate::variant::TcuPrecision;
+
+/// A sparse matrix translated into ME-BCRS, ready for repeated SpMM/SDDMM.
+///
+/// In the paper's GNN setting the translation ("preprocessing") happens
+/// once per graph and is amortized over all training iterations
+/// (Section 4.4: "<1% of end-to-end runtime").
+#[derive(Clone, Debug)]
+pub struct FlashSparseMatrix<S: TcuPrecision> {
+    format: MeBcrs<S>,
+}
+
+impl<S: TcuPrecision> FlashSparseMatrix<S> {
+    /// Translate a CSR matrix (parallel, one-off preprocessing).
+    pub fn from_csr(csr: &CsrMatrix<S>) -> Self {
+        FlashSparseMatrix { format: MeBcrs::from_csr(csr, S::SPEC) }
+    }
+
+    /// Wrap an existing ME-BCRS matrix (must match the precision's spec).
+    pub fn from_mebcrs(format: MeBcrs<S>) -> Self {
+        assert_eq!(format.spec(), S::SPEC, "spec must match precision");
+        FlashSparseMatrix { format }
+    }
+
+    /// The underlying ME-BCRS storage.
+    pub fn format(&self) -> &MeBcrs<S> {
+        &self.format
+    }
+
+    /// Rows of the sparse matrix.
+    pub fn rows(&self) -> usize {
+        self.format.rows()
+    }
+
+    /// Columns of the sparse matrix.
+    pub fn cols(&self) -> usize {
+        self.format.cols()
+    }
+
+    /// Nonzeros of the sparse matrix.
+    pub fn nnz(&self) -> usize {
+        self.format.nnz()
+    }
+
+    /// The format spec in use (8×1 vectors; k = 8 for FP16, 4 for TF32).
+    pub fn spec(&self) -> TcFormatSpec {
+        S::SPEC
+    }
+
+    /// SpMM: `C = self × b`.
+    pub fn spmm(
+        &self,
+        b: &DenseMatrix<S>,
+        mapping: ThreadMapping,
+    ) -> (DenseMatrix<S>, KernelCounters) {
+        spmm(&self.format, b, mapping)
+    }
+
+    /// SDDMM with this matrix as the sampling mask:
+    /// `C = (a × bᵀ) ⊙ self`, output in ME-BCRS (feeds [`Self::spmm`] via
+    /// [`FlashSparseMatrix::from_mebcrs`]).
+    pub fn sddmm(
+        &self,
+        a: &DenseMatrix<S>,
+        b: &DenseMatrix<S>,
+    ) -> (MeBcrs<S>, KernelCounters) {
+        sddmm(&self.format, a, b)
+    }
+
+    /// Simulated SpMM time on `gpu` for an already-measured run.
+    pub fn simulated_spmm_time(&self, counters: &KernelCounters, gpu: GpuSpec) -> f64 {
+        CostModel::new(gpu).kernel_time(counters, S::compute_class())
+    }
+
+    /// Simulated SpMM throughput (GFLOPS of useful work) on `gpu`.
+    pub fn simulated_spmm_gflops(&self, n: usize, counters: &KernelCounters, gpu: GpuSpec) -> f64 {
+        let model = CostModel::new(gpu);
+        let t = model.kernel_time(counters, S::compute_class());
+        model.gflops(spmm_useful_flops(self.nnz(), n), t)
+    }
+
+    /// Simulated SDDMM throughput (GFLOPS of useful work) on `gpu`.
+    pub fn simulated_sddmm_gflops(&self, k: usize, counters: &KernelCounters, gpu: GpuSpec) -> f64 {
+        let model = CostModel::new(gpu);
+        let t = model.kernel_time(counters, S::compute_class());
+        model.gflops(sddmm_useful_flops(self.nnz(), k), t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fs_matrix::gen::random_uniform;
+    use fs_precision::F16;
+
+    #[test]
+    fn end_to_end_api() {
+        let csr = CsrMatrix::from_coo(&random_uniform::<F16>(48, 48, 300, 2));
+        let fs = FlashSparseMatrix::from_csr(&csr);
+        assert_eq!(fs.rows(), 48);
+        assert_eq!(fs.nnz(), csr.nnz());
+
+        let b = DenseMatrix::<F16>::from_fn(48, 32, |r, c| ((r + c) % 3) as f32);
+        let (c, counters) = fs.spmm(&b, ThreadMapping::MemoryEfficient);
+        let reference = csr.spmm_reference(&b);
+        assert!(c.max_abs_diff(&reference) < 0.51);
+
+        let gflops = fs.simulated_spmm_gflops(32, &counters, GpuSpec::RTX4090);
+        assert!(gflops > 0.0);
+        let t = fs.simulated_spmm_time(&counters, GpuSpec::H100_PCIE);
+        assert!(t > 0.0);
+    }
+
+    #[test]
+    fn sddmm_to_spmm_chaining_via_api() {
+        let csr = CsrMatrix::from_coo(&random_uniform::<F16>(32, 32, 128, 5)).with_unit_values();
+        let fs = FlashSparseMatrix::from_csr(&csr);
+        let h = DenseMatrix::<F16>::from_fn(32, 16, |r, c| ((r * c) % 5) as f32 * 0.25);
+        let (att, k1) = fs.sddmm(&h, &h);
+        assert!(k1.mma_count > 0);
+        let att_m = FlashSparseMatrix::from_mebcrs(att);
+        let (out, k2) = att_m.spmm(&h, ThreadMapping::MemoryEfficient);
+        assert_eq!(out.rows(), 32);
+        assert!(k2.mma_count > 0);
+    }
+}

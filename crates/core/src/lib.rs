@@ -1,0 +1,52 @@
+//! **FlashSparse**: sparse matrix multiplications (SpMM, SDDMM) on
+//! (simulated) tensor cores with the minimum 8×1 nonzero-vector
+//! granularity, via the swap-and-transpose MMA computation strategy.
+//!
+//! This crate implements the paper's contribution (PPoPP'25):
+//!
+//! * **Swap-and-transpose MMA** (Section 3.2): `A×B = (Bᵀ×Aᵀ)ᵀ` lets the
+//!   sparse block be the MMA *right* operand, shrinking the nonzero-vector
+//!   height from the MMA's `m = 16` to its `n = 8` and roughly halving
+//!   zero-fill, computation, and data access.
+//! * **SpMM** (Section 3.3, [`spmm`]): sparse `A` (ME-BCRS) × dense `B`,
+//!   FP16 (`m16n8k8`) and TF32 (`m16n8k4`), with both thread mappings.
+//! * **Memory-efficient thread mapping** (Section 3.3 / Figure 7,
+//!   [`thread_map`]): the column-shuffled 2×2-block mapping that halves
+//!   32-byte memory transactions versus the direct PTX fragment mapping.
+//! * **SDDMM** (Section 3.4, [`sddmm`]): sampled dense-dense multiply with
+//!   the output-splitting writeback of Algorithm 1, producing the output
+//!   directly in the ME-BCRS layout the subsequent SpMM consumes.
+//!
+//! Kernels execute on the [`fs_tcu`] warp-level tensor-core simulator:
+//! results are numerically faithful to the hardware datapath (FP16/TF32
+//! operand rounding, f32 accumulation) and every kernel returns the
+//! [`fs_tcu::KernelCounters`] — MMA invocations, 32-byte memory
+//! transactions, bytes moved — that drive the paper's figures.
+//!
+//! ```
+//! use flashsparse::{FlashSparseMatrix, ThreadMapping};
+//! use fs_matrix::{CsrMatrix, DenseMatrix, gen};
+//! use fs_precision::F16;
+//!
+//! let coo = gen::random_uniform::<F16>(64, 64, 400, 7);
+//! let a = CsrMatrix::from_coo(&coo);
+//! let fs = FlashSparseMatrix::from_csr(&a);
+//! let b = DenseMatrix::<F16>::from_fn(64, 32, |r, c| ((r + c) % 5) as f32 * 0.25);
+//! let (c, counters) = fs.spmm(&b, ThreadMapping::MemoryEfficient);
+//! assert_eq!(c.rows(), 64);
+//! assert!(counters.mma_count > 0);
+//! ```
+
+pub mod api;
+pub mod sddmm;
+pub mod spmm;
+pub mod thread_map;
+pub mod tune;
+pub mod variant;
+
+pub use api::FlashSparseMatrix;
+pub use sddmm::sddmm;
+pub use spmm::{spmm, spmm_fp16_k16};
+pub use thread_map::ThreadMapping;
+pub use tune::{auto_tune, TuneChoice};
+pub use variant::TcuPrecision;

@@ -1,0 +1,216 @@
+//! Thread-mapping strategies for warp-wide block transfers
+//! (Section 3.3, Figure 7 of the paper).
+//!
+//! A FlashSparse warp moves two kinds of 16-column blocks through global
+//! memory: the dense TC block B (`k×16`, loaded) and the output TC block C
+//! (`8×16`, stored). The PTX fragment layout dictates which *values* each
+//! lane must end up holding, but a kernel is free to shuffle which lane
+//! *transfers* which column, as long as the same shuffle is applied to B
+//! and C (their register layouts are identical, so the shuffle cancels
+//! out). FlashSparse exploits that freedom:
+//!
+//! * [`ThreadMapping::Direct`] — each lane transfers exactly the elements
+//!   of its fragment registers. For FP16 this touches two columns 8 apart
+//!   with 2-byte accesses: each 8-lane group covers only 16 bytes of a
+//!   32-byte sector, wasting half of every transaction (16 transactions
+//!   per FP16 block).
+//! * [`ThreadMapping::MemoryEfficient`] — lanes are shuffled so each owns
+//!   a 2×2 element block read/written as 4-byte words from *adjacent*
+//!   columns: each 8-lane group covers a full 32-byte sector (8
+//!   transactions per FP16 block — the 50% reduction of Figure 7 (c)).
+//!
+//! The functions here generate the warp's access patterns (per-lane
+//! `(address, bytes)` lists, one list per issued memory request) for the
+//! transaction simulator. Values always flow into the canonical fragment
+//! positions — the mapping changes only the addresses, which is exactly
+//! its effect on hardware.
+
+/// Which thread mapping the kernel uses for dense-block loads and output
+/// stores.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ThreadMapping {
+    /// Fragment-order accesses (Figure 7 (b)): strided, non-coalesced.
+    Direct,
+    /// Column-shuffled 2×2-block accesses (Figure 7 (c)): coalesced.
+    #[default]
+    MemoryEfficient,
+}
+
+/// Address of block element `(row, col)`, or `None` when the element falls
+/// outside the matrix (ragged tiles) and generates no traffic.
+pub type AddrFn<'a> = &'a dyn Fn(usize, usize) -> Option<u64>;
+
+/// Generate the warp-wide memory requests for transferring a `rows×16`
+/// block of `elem_bytes`-sized elements (`rows` ∈ {4, 8, 16} — the k
+/// dimension of the supported MMA shapes).
+///
+/// Returns one `Vec` of per-lane `(address, bytes)` accesses per issued
+/// request; feed each to
+/// [`TransactionCounter::warp_load`](fs_tcu::TransactionCounter::warp_load)
+/// or `warp_store`.
+pub fn block_requests(
+    mapping: ThreadMapping,
+    rows: usize,
+    elem_bytes: u32,
+    addr: AddrFn<'_>,
+) -> Vec<Vec<(u64, u32)>> {
+    assert!(
+        rows == 4 || rows == 8 || rows == 16,
+        "TC blocks are 4, 8 or 16 rows tall"
+    );
+    match mapping {
+        ThreadMapping::Direct => direct_requests(rows, elem_bytes, addr),
+        ThreadMapping::MemoryEfficient => coalesced_requests(rows, elem_bytes, addr),
+    }
+}
+
+fn direct_requests(rows: usize, elem_bytes: u32, addr: AddrFn<'_>) -> Vec<Vec<(u64, u32)>> {
+    let regs = rows * 16 / 32;
+    let mut requests = Vec::with_capacity(regs);
+    for reg in 0..regs {
+        let mut accesses = Vec::with_capacity(32);
+        for lane in 0..32usize {
+            let g = lane >> 2;
+            let t = lane & 3;
+            let (row, col) = match rows {
+                8 => (t * 2 + (reg & 1), g + 8 * (reg >> 1)),
+                4 => (t, g + 8 * reg),
+                // 16 rows (m16n8k16): the extra register quadruple sits 8
+                // rows below, mirroring the PTX A-fragment layout.
+                _ => (t * 2 + (reg & 1) + 8 * (reg >> 2), g + 8 * ((reg >> 1) & 1)),
+            };
+            if let Some(a) = addr(row, col) {
+                accesses.push((a, elem_bytes));
+            }
+        }
+        requests.push(accesses);
+    }
+    requests
+}
+
+fn coalesced_requests(rows: usize, elem_bytes: u32, addr: AddrFn<'_>) -> Vec<Vec<(u64, u32)>> {
+    // Each lane owns columns {2g, 2g+1} and (rows/4) consecutive row pairs,
+    // transferring each row's column pair as a single widened access.
+    let row_pairs = rows / 4; // 16 rows → 4 requests, 8 → 2, 4 → 1
+    let mut requests = Vec::with_capacity(row_pairs);
+    for dr in 0..row_pairs.max(1) {
+        let mut accesses = Vec::with_capacity(32);
+        for lane in 0..32usize {
+            let g = lane >> 2;
+            let t = lane & 3;
+            let row = match rows {
+                8 => t * 2 + dr,
+                4 => t,
+                _ => t * 2 + (dr & 1) + 8 * (dr >> 1),
+            };
+            let c0 = 2 * g;
+            match (addr(row, c0), addr(row, c0 + 1)) {
+                (Some(a0), Some(a1)) if a1 == a0 + elem_bytes as u64 => {
+                    accesses.push((a0, elem_bytes * 2));
+                }
+                (Some(a0), Some(a1)) => {
+                    accesses.push((a0, elem_bytes));
+                    accesses.push((a1, elem_bytes));
+                }
+                (Some(a0), None) => accesses.push((a0, elem_bytes)),
+                (None, Some(a1)) => accesses.push((a1, elem_bytes)),
+                (None, None) => {}
+            }
+        }
+        requests.push(accesses);
+    }
+    requests
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fs_tcu::{KernelCounters, TransactionCounter};
+
+    /// Row-major 8×16 FP16 block, fully resident.
+    fn fp16_addr(row: usize, col: usize) -> Option<u64> {
+        Some((row * 16 + col) as u64 * 2)
+    }
+
+    fn count(requests: Vec<Vec<(u64, u32)>>) -> u64 {
+        let mut tc = TransactionCounter::new();
+        let mut k = KernelCounters::default();
+        requests
+            .into_iter()
+            .map(|r| tc.warp_load(r, &mut k))
+            .sum()
+    }
+
+    #[test]
+    fn figure7_fp16_direct_is_16_transactions() {
+        let reqs = block_requests(ThreadMapping::Direct, 8, 2, &fp16_addr);
+        assert_eq!(reqs.len(), 4, "one request per fragment register");
+        assert_eq!(count(reqs), 16);
+    }
+
+    #[test]
+    fn figure7_fp16_coalesced_is_8_transactions() {
+        let reqs = block_requests(ThreadMapping::MemoryEfficient, 8, 2, &fp16_addr);
+        assert_eq!(reqs.len(), 2);
+        assert_eq!(count(reqs), 8);
+    }
+
+    #[test]
+    fn every_element_transferred_exactly_once() {
+        for mapping in [ThreadMapping::Direct, ThreadMapping::MemoryEfficient] {
+            for (rows, eb) in [(8usize, 2u32), (8, 4), (4, 4), (16, 2)] {
+                let addr = move |r: usize, c: usize| Some((r * 16 + c) as u64 * eb as u64);
+                let mut bytes_seen = vec![false; rows * 16 * eb as usize];
+                for req in block_requests(mapping, rows, eb, &addr) {
+                    for (a, sz) in req {
+                        for b in a..a + sz as u64 {
+                            assert!(!bytes_seen[b as usize], "byte {b} twice ({mapping:?})");
+                            bytes_seen[b as usize] = true;
+                        }
+                    }
+                }
+                assert!(bytes_seen.iter().all(|&s| s), "{mapping:?} {rows}x16x{eb} incomplete");
+            }
+        }
+    }
+
+    #[test]
+    fn ragged_columns_skip_traffic() {
+        // Only columns 0..5 valid (N-tile at the matrix edge).
+        let addr = |r: usize, c: usize| {
+            if c < 5 {
+                Some((r * 16 + c) as u64 * 2)
+            } else {
+                None
+            }
+        };
+        for mapping in [ThreadMapping::Direct, ThreadMapping::MemoryEfficient] {
+            let total: u32 = block_requests(mapping, 8, 2, &addr)
+                .iter()
+                .flatten()
+                .map(|&(_, s)| s)
+                .sum();
+            assert_eq!(total, 8 * 5 * 2, "{mapping:?} must transfer exactly the valid bytes");
+        }
+    }
+
+    #[test]
+    fn coalesced_splits_non_adjacent_pairs() {
+        // Columns map to non-contiguous addresses (e.g. column-major
+        // storage): the 4-byte widening must degrade to two scalar accesses.
+        let addr = |r: usize, c: usize| Some((c * 8 + r) as u64 * 100);
+        let reqs = block_requests(ThreadMapping::MemoryEfficient, 8, 2, &addr);
+        let n_accesses: usize = reqs.iter().map(|r| r.len()).sum();
+        assert_eq!(n_accesses, 2 * 32 * 2, "two scalar accesses per lane per request");
+    }
+
+    #[test]
+    fn tf32_4x16_block_is_coalesced_either_way() {
+        let addr = |r: usize, c: usize| Some((r * 16 + c) as u64 * 4);
+        let direct = count(block_requests(ThreadMapping::Direct, 4, 4, &addr));
+        let eff = count(block_requests(ThreadMapping::MemoryEfficient, 4, 4, &addr));
+        // 4×16 f32 = 256 bytes = 8 sectors minimum; both mappings achieve it.
+        assert_eq!(direct, 8);
+        assert_eq!(eff, 8);
+    }
+}

@@ -1,0 +1,478 @@
+//! ME-BCRS: the paper's memory-efficient blocked compressed row storage
+//! (Section 3.5, Figure 10).
+//!
+//! Three arrays describe the sparse TC blocks of every row window:
+//!
+//! 1. **RowPointers** (`window_ptr`) — where each window's nonzero vectors
+//!    start in `ColumnIndices` (we store `M+1` prefix-sum entries; the
+//!    padding-based SR-BCRS needs `2M`).
+//! 2. **ColumnIndices** (`col_indices`) — the column of every nonzero
+//!    vector, window by window, ascending within a window.
+//! 3. **Values** — TC block after TC block, each block row-major with its
+//!    *actual* width (the last block of a window is ragged, ≤ `k` vectors
+//!    wide). No zero vectors are ever materialized; the kernels handle the
+//!    residue block with modulo arithmetic, exactly as the paper describes.
+
+use fs_precision::Scalar;
+use fs_matrix::{CsrMatrix, DenseMatrix};
+use rayon::prelude::*;
+
+use crate::spec::TcFormatSpec;
+
+/// A sparse matrix in ME-BCRS form.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MeBcrs<S: Scalar> {
+    spec: TcFormatSpec,
+    rows: usize,
+    cols: usize,
+    window_ptr: Vec<usize>,
+    col_indices: Vec<u32>,
+    values: Vec<S>,
+    /// Nonzeros of the original matrix (excluding fill zeros inside
+    /// nonzero vectors) — kept for statistics.
+    nnz: usize,
+}
+
+impl<S: Scalar> MeBcrs<S> {
+    /// Translate a CSR matrix. The per-window work is embarrassingly
+    /// parallel and runs under Rayon, mirroring the paper's CUDA
+    /// preprocessing kernels ("the matrix translation process leverages
+    /// CUDA for parallel processing").
+    ///
+    /// ```
+    /// use fs_format::{MeBcrs, TcFormatSpec};
+    /// use fs_matrix::{CooMatrix, CsrMatrix};
+    ///
+    /// let coo = CooMatrix::from_entries(8, 8, vec![(0, 1, 2.0f32), (7, 3, 4.0)]);
+    /// let csr = CsrMatrix::from_coo(&coo);
+    /// let me = MeBcrs::from_csr(&csr, TcFormatSpec::FLASH_FP16);
+    /// assert_eq!(me.num_windows(), 1);
+    /// assert_eq!(me.num_vectors(), 2); // columns 1 and 3
+    /// assert_eq!(me.to_dense(), csr.to_dense());
+    /// ```
+    pub fn from_csr(csr: &CsrMatrix<S>, spec: TcFormatSpec) -> Self {
+        let v = spec.vector_len;
+        let rows = csr.rows();
+        let num_windows = spec.num_windows(rows);
+
+        // Pass 1 (parallel over windows): the sorted distinct columns of
+        // each window = its nonzero vectors.
+        let window_cols: Vec<Vec<u32>> = (0..num_windows)
+            .into_par_iter()
+            .map(|w| {
+                let lo = w * v;
+                let hi = ((w + 1) * v).min(rows);
+                let mut cols: Vec<u32> = (lo..hi).flat_map(|r| csr.row_cols(r).iter().copied()).collect();
+                cols.sort_unstable();
+                cols.dedup();
+                cols
+            })
+            .collect();
+
+        // Prefix sum into window_ptr.
+        let mut window_ptr = Vec::with_capacity(num_windows + 1);
+        window_ptr.push(0usize);
+        for wc in &window_cols {
+            window_ptr.push(window_ptr.last().unwrap() + wc.len());
+        }
+        let total_vectors = *window_ptr.last().unwrap();
+        let col_indices: Vec<u32> = window_cols.iter().flatten().copied().collect();
+
+        // Pass 2 (parallel over windows): scatter values into the ragged
+        // block-major layout. Each window owns a disjoint slice of `values`.
+        let mut values = vec![S::ZERO; total_vectors * v];
+        let value_ranges: Vec<(usize, usize)> = (0..num_windows)
+            .map(|w| (window_ptr[w] * v, window_ptr[w + 1] * v))
+            .collect();
+        // Split `values` into per-window slices for safe parallel writes.
+        let mut slices: Vec<&mut [S]> = Vec::with_capacity(num_windows);
+        let mut rest = values.as_mut_slice();
+        for w in 0..num_windows {
+            let len = value_ranges[w].1 - value_ranges[w].0;
+            let (head, tail) = rest.split_at_mut(len);
+            slices.push(head);
+            rest = tail;
+        }
+        slices
+            .into_par_iter()
+            .enumerate()
+            .for_each(|(w, slice)| {
+                let wc = &window_cols[w];
+                let nv = wc.len();
+                let lo = w * v;
+                let hi = ((w + 1) * v).min(rows);
+                for r in lo..hi {
+                    let local_r = r - lo;
+                    for (&c, &val) in csr.row_cols(r).iter().zip(csr.row_values(r)) {
+                        let j = wc.binary_search(&c).expect("column must be a nonzero vector");
+                        let b = j / spec.block_k;
+                        let jl = j - b * spec.block_k;
+                        let w_b = spec.block_k.min(nv - b * spec.block_k);
+                        let idx = b * spec.block_k * v + local_r * w_b + jl;
+                        slice[idx] = val;
+                    }
+                }
+            });
+
+        MeBcrs {
+            spec,
+            rows,
+            cols: csr.cols(),
+            window_ptr,
+            col_indices,
+            values,
+            nnz: csr.nnz(),
+        }
+    }
+
+    /// The format spec (vector height, block width).
+    #[inline]
+    pub fn spec(&self) -> TcFormatSpec {
+        self.spec
+    }
+
+    /// Number of matrix rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of matrix columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Nonzeros of the source matrix.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Number of row windows.
+    #[inline]
+    pub fn num_windows(&self) -> usize {
+        self.window_ptr.len() - 1
+    }
+
+    /// Total nonzero vectors across all windows.
+    #[inline]
+    pub fn num_vectors(&self) -> usize {
+        self.col_indices.len()
+    }
+
+    /// The RowPointers array.
+    #[inline]
+    pub fn window_ptr(&self) -> &[usize] {
+        &self.window_ptr
+    }
+
+    /// The ColumnIndices array.
+    #[inline]
+    pub fn col_indices(&self) -> &[u32] {
+        &self.col_indices
+    }
+
+    /// The Values array (block-major, ragged last block per window).
+    #[inline]
+    pub fn values(&self) -> &[S] {
+        &self.values
+    }
+
+    /// Nonzero vectors in window `w`.
+    #[inline]
+    pub fn vectors_in_window(&self, w: usize) -> usize {
+        self.window_ptr[w + 1] - self.window_ptr[w]
+    }
+
+    /// TC blocks in window `w` (ceil(nv/k)) — no padding blocks exist.
+    #[inline]
+    pub fn blocks_in_window(&self, w: usize) -> usize {
+        self.spec.blocks_for(self.vectors_in_window(w))
+    }
+
+    /// Total TC blocks.
+    pub fn num_blocks(&self) -> usize {
+        (0..self.num_windows()).map(|w| self.blocks_in_window(w)).sum()
+    }
+
+    /// Width (vector count) of block `b` of window `w`; the last block may
+    /// be ragged (`1..=k`).
+    #[inline]
+    pub fn block_width(&self, w: usize, b: usize) -> usize {
+        let nv = self.vectors_in_window(w);
+        self.spec.block_k.min(nv - b * self.spec.block_k)
+    }
+
+    /// Column indices of the vectors in block `b` of window `w`.
+    #[inline]
+    pub fn block_cols(&self, w: usize, b: usize) -> &[u32] {
+        let start = self.window_ptr[w] + b * self.spec.block_k;
+        &self.col_indices[start..start + self.block_width(w, b)]
+    }
+
+    /// Flat index into `values` of element `(local_row, local_vec)` of
+    /// block `b` of window `w`.
+    #[inline]
+    pub fn value_index(&self, w: usize, b: usize, local_row: usize, local_vec: usize) -> usize {
+        let v = self.spec.vector_len;
+        let w_b = self.block_width(w, b);
+        debug_assert!(local_row < v && local_vec < w_b);
+        self.window_ptr[w] * v + b * self.spec.block_k * v + local_row * w_b + local_vec
+    }
+
+    /// One row of a TC block, contiguous in `values`.
+    #[inline]
+    pub fn block_row(&self, w: usize, b: usize, local_row: usize) -> &[S] {
+        let start = self.value_index(w, b, local_row, 0);
+        &self.values[start..start + self.block_width(w, b)]
+    }
+
+    /// Byte address of a value element (values array assumed based at 0) —
+    /// for the memory-transaction simulator.
+    #[inline]
+    pub fn value_addr(&self, w: usize, b: usize, local_row: usize, local_vec: usize) -> u64 {
+        (self.value_index(w, b, local_row, local_vec) * S::BYTES) as u64
+    }
+
+    /// Mutable access to the values array (structure is fixed).
+    #[inline]
+    pub fn values_mut(&mut self) -> &mut [S] {
+        &mut self.values
+    }
+
+    /// A copy of this matrix's *structure* carrying different values —
+    /// how the SDDMM kernel materializes its output directly in the layout
+    /// the subsequent SpMM consumes (the paper's Figure 9 pipeline).
+    ///
+    /// `nnz` of the result counts the non-zero entries of `values`.
+    ///
+    /// # Panics
+    /// Panics if `values` has the wrong length.
+    pub fn with_values(&self, values: Vec<S>) -> MeBcrs<S> {
+        assert_eq!(values.len(), self.values.len(), "values must match the structure");
+        let nnz = values.iter().filter(|v| !v.is_zero()).count();
+        MeBcrs {
+            spec: self.spec,
+            rows: self.rows,
+            cols: self.cols,
+            window_ptr: self.window_ptr.clone(),
+            col_indices: self.col_indices.clone(),
+            values,
+            nnz,
+        }
+    }
+
+    /// Convert to CSR (entries that are exactly zero inside nonzero vectors
+    /// are dropped).
+    pub fn to_csr(&self) -> CsrMatrix<S> {
+        let v = self.spec.vector_len;
+        let mut coo = fs_matrix::CooMatrix::new(self.rows, self.cols);
+        for w in 0..self.num_windows() {
+            for b in 0..self.blocks_in_window(w) {
+                let cols = self.block_cols(w, b);
+                for lr in 0..v {
+                    let r = w * v + lr;
+                    if r >= self.rows {
+                        break;
+                    }
+                    let row = self.block_row(w, b, lr);
+                    for (jl, &c) in cols.iter().enumerate() {
+                        if !row[jl].is_zero() {
+                            coo.push(r, c as usize, row[jl]);
+                        }
+                    }
+                }
+            }
+        }
+        CsrMatrix::from_coo(&coo)
+    }
+
+    /// Expand back to dense — the correctness oracle for the translation.
+    pub fn to_dense(&self) -> DenseMatrix<S> {
+        let v = self.spec.vector_len;
+        let mut out = DenseMatrix::zeros(self.rows, self.cols);
+        for w in 0..self.num_windows() {
+            for b in 0..self.blocks_in_window(w) {
+                let cols = self.block_cols(w, b);
+                for lr in 0..v {
+                    let r = w * v + lr;
+                    if r >= self.rows {
+                        break;
+                    }
+                    let row = self.block_row(w, b, lr);
+                    for (jl, &c) in cols.iter().enumerate() {
+                        if !row[jl].is_zero() {
+                            out.set(r, c as usize, row[jl]);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Bytes occupied by the three arrays (4-byte pointers/indices, the
+    /// accounting used for Table 7).
+    pub fn footprint_bytes(&self) -> usize {
+        self.window_ptr.len() * 4 + self.col_indices.len() * 4 + self.values.len() * S::BYTES
+    }
+
+    /// Fill ratio of the stored blocks: original nonzeros over stored
+    /// elements (higher = less zero-fill = less redundant compute).
+    pub fn fill_ratio(&self) -> f64 {
+        if self.values.is_empty() {
+            1.0
+        } else {
+            self.nnz as f64 / self.values.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fs_matrix::gen::{random_uniform, rmat, RmatConfig};
+    use fs_matrix::CooMatrix;
+
+    /// The paper's Figure 2(a) sparse matrix: 16×16 with scattered nonzeros.
+    fn figure2_matrix() -> CsrMatrix<f32> {
+        // Construct a 16-row matrix whose top and bottom 8-row windows share
+        // only some columns, so 16×1 vectors waste space but 8×1 are dense.
+        let entries = vec![
+            (0u32, 0u32, 1.0f32),
+            (1, 2, 2.0),
+            (3, 0, 3.0),
+            (4, 5, 4.0),
+            (6, 2, 5.0),
+            (7, 7, 6.0),
+            (8, 1, 7.0),
+            (9, 3, 8.0),
+            (11, 9, 9.0),
+            (12, 1, 10.0),
+            (14, 11, 11.0),
+            (15, 3, 12.0),
+        ];
+        CsrMatrix::from_coo(&CooMatrix::from_entries(16, 16, entries))
+    }
+
+    #[test]
+    fn roundtrip_small() {
+        let csr = figure2_matrix();
+        for spec in [
+            TcFormatSpec::FLASH_FP16,
+            TcFormatSpec::FLASH_TF32,
+            TcFormatSpec::SOTA16_FP16,
+        ] {
+            let me = MeBcrs::from_csr(&csr, spec);
+            assert_eq!(me.to_dense(), csr.to_dense(), "{spec:?}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_random() {
+        for seed in 0..5u64 {
+            let coo = random_uniform::<f32>(100, 80, 600, seed);
+            let csr = CsrMatrix::from_coo(&coo);
+            for spec in [TcFormatSpec::FLASH_FP16, TcFormatSpec::FLASH_TF32, TcFormatSpec::SOTA16_FP16] {
+                let me = MeBcrs::from_csr(&csr, spec);
+                assert_eq!(me.to_dense(), csr.to_dense(), "seed={seed} {spec:?}");
+                assert_eq!(me.nnz(), csr.nnz());
+            }
+        }
+    }
+
+    #[test]
+    fn vectors_are_sorted_and_distinct_per_window() {
+        let csr = CsrMatrix::from_coo(&rmat::<f32>(7, 6, RmatConfig::GRAPH500, false, 3));
+        let me = MeBcrs::from_csr(&csr, TcFormatSpec::FLASH_FP16);
+        for w in 0..me.num_windows() {
+            let lo = me.window_ptr()[w];
+            let hi = me.window_ptr()[w + 1];
+            let cols = &me.col_indices()[lo..hi];
+            for pair in cols.windows(2) {
+                assert!(pair[0] < pair[1], "window {w} columns must be ascending");
+            }
+        }
+    }
+
+    #[test]
+    fn eight_vectors_halve_the_fill_zeros() {
+        // Table 2's claim: 8×1 vectors have far fewer stored zeros than 16×1.
+        let csr = CsrMatrix::from_coo(&rmat::<f32>(9, 4, RmatConfig::GRAPH500, false, 5));
+        let me8 = MeBcrs::from_csr(&csr, TcFormatSpec::FLASH_FP16);
+        let me16 = MeBcrs::from_csr(&csr, TcFormatSpec::SOTA16_FP16);
+        let zeros8 = me8.values().len() - me8.nnz();
+        let zeros16 = me16.values().len() - me16.nnz();
+        assert!(
+            (zeros8 as f64) < 0.65 * zeros16 as f64,
+            "zeros8={zeros8} zeros16={zeros16}"
+        );
+        assert!(me8.fill_ratio() > me16.fill_ratio());
+    }
+
+    #[test]
+    fn ragged_last_block() {
+        // One window, 10 nonzero vectors, k=8 → widths 8 and 2.
+        let entries: Vec<(u32, u32, f32)> = (0..10).map(|j| (0u32, j as u32 * 3, 1.0)).collect();
+        let csr = CsrMatrix::from_coo(&CooMatrix::from_entries(8, 32, entries));
+        let me = MeBcrs::from_csr(&csr, TcFormatSpec::FLASH_FP16);
+        assert_eq!(me.num_windows(), 1);
+        assert_eq!(me.vectors_in_window(0), 10);
+        assert_eq!(me.blocks_in_window(0), 2);
+        assert_eq!(me.block_width(0, 0), 8);
+        assert_eq!(me.block_width(0, 1), 2);
+        // No padding: values length is exactly nv * v.
+        assert_eq!(me.values().len(), 10 * 8);
+        assert_eq!(me.to_dense(), csr.to_dense());
+    }
+
+    #[test]
+    fn block_rows_are_contiguous_and_correct() {
+        let csr = figure2_matrix();
+        let me = MeBcrs::from_csr(&csr, TcFormatSpec::FLASH_FP16);
+        let dense = csr.to_dense();
+        for w in 0..me.num_windows() {
+            for b in 0..me.blocks_in_window(w) {
+                let cols = me.block_cols(w, b);
+                for lr in 0..8 {
+                    let row = me.block_row(w, b, lr);
+                    for (jl, &c) in cols.iter().enumerate() {
+                        assert_eq!(
+                            row[jl],
+                            dense.get(w * 8 + lr, c as usize),
+                            "w={w} b={b} lr={lr} jl={jl}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn footprint_accounting() {
+        let csr = figure2_matrix();
+        let me = MeBcrs::from_csr(&csr, TcFormatSpec::FLASH_FP16);
+        let expected =
+            me.window_ptr().len() * 4 + me.col_indices().len() * 4 + me.values().len() * 4;
+        assert_eq!(me.footprint_bytes(), expected);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let csr = CsrMatrix::<f32>::empty(16, 16);
+        let me = MeBcrs::from_csr(&csr, TcFormatSpec::FLASH_FP16);
+        assert_eq!(me.num_vectors(), 0);
+        assert_eq!(me.num_blocks(), 0);
+        assert_eq!(me.to_dense(), csr.to_dense());
+    }
+
+    #[test]
+    fn rows_not_multiple_of_window() {
+        let coo = random_uniform::<f32>(13, 20, 40, 1);
+        let csr = CsrMatrix::from_coo(&coo);
+        let me = MeBcrs::from_csr(&csr, TcFormatSpec::FLASH_FP16);
+        assert_eq!(me.num_windows(), 2);
+        assert_eq!(me.to_dense(), csr.to_dense());
+    }
+}

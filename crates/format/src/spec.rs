@@ -1,0 +1,71 @@
+//! Format specifications: vector height and TC-block width.
+
+/// The two parameters of a tensor-core sparse format: vector height `v`
+/// (rows per window) and block width `k` (nonzero vectors per TC block —
+/// the MMA operand's inner dimension).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TcFormatSpec {
+    /// Vector height `v`: 8 in FlashSparse, 16 in TC-GNN/DTC-SpMM.
+    pub vector_len: usize,
+    /// Vectors per sparse TC block (`k` of the MMA shape): 8 for FP16
+    /// (m16n8k8), 4 for FlashSparse TF32 (m16n8k4).
+    pub block_k: usize,
+}
+
+impl TcFormatSpec {
+    /// FlashSparse FP16: 8×1 vectors, k=8 (`mma.m16n8k8.f16`, swapped).
+    pub const FLASH_FP16: TcFormatSpec = TcFormatSpec { vector_len: 8, block_k: 8 };
+
+    /// FlashSparse TF32: 8×1 vectors, k=4 (`mma.m16n8k4.tf32`, swapped).
+    pub const FLASH_TF32: TcFormatSpec = TcFormatSpec { vector_len: 8, block_k: 4 };
+
+    /// FlashSparse FP16 with the wide MMA: 8x1 vectors, k=16
+    /// (`mma.m16n8k16`, swapped) - the block-width ablation variant.
+    pub const FLASH_FP16_K16: TcFormatSpec = TcFormatSpec { vector_len: 8, block_k: 16 };
+
+    /// DTC-SpMM-style: 16×1 vectors, k=8 (`mma.m16n8k8`, direct).
+    pub const SOTA16_FP16: TcFormatSpec = TcFormatSpec { vector_len: 16, block_k: 8 };
+
+    /// DTC-SpMM TF32: 16×1 vectors, k=8 (`mma.m16n8k8.tf32`, direct).
+    pub const SOTA16_TF32: TcFormatSpec = TcFormatSpec { vector_len: 16, block_k: 8 };
+
+    /// TC-GNN-style WMMA: 16×1 vectors, k=8 (`wmma.m16n16k8.tf32`).
+    pub const TCGNN_WMMA: TcFormatSpec = TcFormatSpec { vector_len: 16, block_k: 8 };
+
+    /// Number of row windows a matrix with `rows` rows splits into.
+    #[inline]
+    pub fn num_windows(&self, rows: usize) -> usize {
+        rows.div_ceil(self.vector_len)
+    }
+
+    /// Number of TC blocks needed for `nv` nonzero vectors in one window.
+    #[inline]
+    pub fn blocks_for(&self, nv: usize) -> usize {
+        nv.div_ceil(self.block_k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_specs() {
+        assert_eq!(TcFormatSpec::FLASH_FP16.vector_len, 8);
+        assert_eq!(TcFormatSpec::FLASH_FP16.block_k, 8);
+        assert_eq!(TcFormatSpec::FLASH_TF32.block_k, 4);
+        assert_eq!(TcFormatSpec::SOTA16_FP16.vector_len, 16);
+    }
+
+    #[test]
+    fn window_and_block_arithmetic() {
+        let s = TcFormatSpec::FLASH_FP16;
+        assert_eq!(s.num_windows(16), 2);
+        assert_eq!(s.num_windows(17), 3);
+        assert_eq!(s.num_windows(0), 0);
+        assert_eq!(s.blocks_for(0), 0);
+        assert_eq!(s.blocks_for(8), 1);
+        assert_eq!(s.blocks_for(9), 2);
+        assert_eq!(TcFormatSpec::FLASH_TF32.blocks_for(9), 3);
+    }
+}

@@ -1,0 +1,231 @@
+//! SR-BCRS: the zero-vector-padding storage scheme of Li et al. (SC'22,
+//! reference [26] of the paper) that ME-BCRS is compared against in
+//! Table 7.
+//!
+//! Every window's nonzero vectors are padded with zero vectors up to a
+//! multiple of `k`, so all TC blocks are full `v×k` rectangles and the
+//! kernel needs no residue handling — at the price of storing the padding.
+//! Because blocks are the indexing unit, the scheme keeps *two* pointers
+//! per window (block start and block count → `2M` entries total, as the
+//! paper notes), whereas ME-BCRS stores `M+1`.
+
+use fs_precision::Scalar;
+use fs_matrix::{CsrMatrix, DenseMatrix};
+
+use crate::mebcrs::MeBcrs;
+use crate::spec::TcFormatSpec;
+
+/// A sparse matrix in padding-based SR-BCRS form.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SrBcrs<S: Scalar> {
+    spec: TcFormatSpec,
+    rows: usize,
+    cols: usize,
+    /// Block start index per window (`M` entries).
+    block_start: Vec<usize>,
+    /// Block count per window (`M` entries) — together with `block_start`,
+    /// the `2M` pointers of the padding scheme.
+    block_count: Vec<usize>,
+    /// Column index per vector slot, padded slots repeat `u32::MAX`.
+    col_indices: Vec<u32>,
+    /// `v×k` values per block, zero-padded.
+    values: Vec<S>,
+    nnz: usize,
+}
+
+/// Sentinel column index for padded (zero) vector slots.
+pub const PAD_COL: u32 = u32::MAX;
+
+impl<S: Scalar> SrBcrs<S> {
+    /// Translate a CSR matrix via ME-BCRS then pad.
+    pub fn from_csr(csr: &CsrMatrix<S>, spec: TcFormatSpec) -> Self {
+        let me = MeBcrs::from_csr(csr, spec);
+        let v = spec.vector_len;
+        let k = spec.block_k;
+        let num_windows = me.num_windows();
+
+        let mut block_start = Vec::with_capacity(num_windows);
+        let mut block_count = Vec::with_capacity(num_windows);
+        let mut col_indices = Vec::new();
+        let mut values = Vec::new();
+
+        let mut next_block = 0usize;
+        for w in 0..num_windows {
+            let nb = me.blocks_in_window(w);
+            block_start.push(next_block);
+            block_count.push(nb);
+            next_block += nb;
+            for b in 0..nb {
+                let cols = me.block_cols(w, b);
+                let w_b = cols.len();
+                for jl in 0..k {
+                    col_indices.push(if jl < w_b { cols[jl] } else { PAD_COL });
+                }
+                for lr in 0..v {
+                    let row = me.block_row(w, b, lr);
+                    for jl in 0..k {
+                        values.push(if jl < w_b { row[jl] } else { S::ZERO });
+                    }
+                }
+            }
+        }
+
+        SrBcrs {
+            spec,
+            rows: csr.rows(),
+            cols: csr.cols(),
+            block_start,
+            block_count,
+            col_indices,
+            values,
+            nnz: csr.nnz(),
+        }
+    }
+
+    /// The format spec.
+    #[inline]
+    pub fn spec(&self) -> TcFormatSpec {
+        self.spec
+    }
+
+    /// Matrix rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Matrix columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of row windows.
+    #[inline]
+    pub fn num_windows(&self) -> usize {
+        self.block_start.len()
+    }
+
+    /// TC blocks in window `w` — all full `v×k`.
+    #[inline]
+    pub fn blocks_in_window(&self, w: usize) -> usize {
+        self.block_count[w]
+    }
+
+    /// Total TC blocks.
+    #[inline]
+    pub fn num_blocks(&self) -> usize {
+        self.block_count.iter().sum()
+    }
+
+    /// Column indices (length `k`, padded slots = [`PAD_COL`]) of block `b`
+    /// of window `w`.
+    pub fn block_cols(&self, w: usize, b: usize) -> &[u32] {
+        let k = self.spec.block_k;
+        let base = (self.block_start[w] + b) * k;
+        &self.col_indices[base..base + k]
+    }
+
+    /// One row of a block (always `k` wide).
+    pub fn block_row(&self, w: usize, b: usize, local_row: usize) -> &[S] {
+        let v = self.spec.vector_len;
+        let k = self.spec.block_k;
+        let base = (self.block_start[w] + b) * v * k + local_row * k;
+        &self.values[base..base + k]
+    }
+
+    /// Expand back to dense.
+    pub fn to_dense(&self) -> DenseMatrix<S> {
+        let v = self.spec.vector_len;
+        let mut out = DenseMatrix::zeros(self.rows, self.cols);
+        for w in 0..self.num_windows() {
+            for b in 0..self.blocks_in_window(w) {
+                let cols = self.block_cols(w, b);
+                for lr in 0..v {
+                    let r = w * v + lr;
+                    if r >= self.rows {
+                        break;
+                    }
+                    let row = self.block_row(w, b, lr);
+                    for (jl, &c) in cols.iter().enumerate() {
+                        if c != PAD_COL && !row[jl].is_zero() {
+                            out.set(r, c as usize, row[jl]);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Bytes occupied: `2M` window pointers + padded column indices +
+    /// padded values (the Table 7 accounting).
+    pub fn footprint_bytes(&self) -> usize {
+        (self.block_start.len() + self.block_count.len()) * 4
+            + self.col_indices.len() * 4
+            + self.values.len() * S::BYTES
+    }
+
+    /// Nonzeros of the source matrix.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fs_matrix::gen::random_uniform;
+    use fs_matrix::CooMatrix;
+
+    #[test]
+    fn roundtrip() {
+        for seed in 0..3u64 {
+            let csr = CsrMatrix::from_coo(&random_uniform::<f32>(50, 60, 300, seed));
+            for spec in [TcFormatSpec::FLASH_FP16, TcFormatSpec::SOTA16_FP16] {
+                let sr = SrBcrs::from_csr(&csr, spec);
+                assert_eq!(sr.to_dense(), csr.to_dense(), "seed={seed} {spec:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn blocks_are_always_full_width() {
+        // 10 vectors with k=8 → SR pads to 16 slots in 2 blocks.
+        let entries: Vec<(u32, u32, f32)> = (0..10).map(|j| (0u32, j as u32 * 3, 1.0)).collect();
+        let csr = CsrMatrix::from_coo(&CooMatrix::from_entries(8, 32, entries));
+        let sr = SrBcrs::from_csr(&csr, TcFormatSpec::FLASH_FP16);
+        assert_eq!(sr.num_blocks(), 2);
+        assert_eq!(sr.values.len(), 2 * 8 * 8);
+        assert_eq!(sr.block_cols(0, 1)[2..], [PAD_COL; 6]);
+    }
+
+    #[test]
+    fn footprint_always_at_least_mebcrs() {
+        for seed in 0..4u64 {
+            let csr = CsrMatrix::from_coo(&random_uniform::<f32>(64, 64, 100 + seed as usize * 200, seed));
+            let me = MeBcrs::from_csr(&csr, TcFormatSpec::FLASH_FP16);
+            let sr = SrBcrs::from_csr(&csr, TcFormatSpec::FLASH_FP16);
+            assert!(
+                sr.footprint_bytes() >= me.footprint_bytes(),
+                "seed={seed}: sr={} me={}",
+                sr.footprint_bytes(),
+                me.footprint_bytes()
+            );
+        }
+    }
+
+    #[test]
+    fn padding_maximal_for_single_vector_windows() {
+        // One nonzero per window → ME stores 1 vector, SR stores k.
+        let entries: Vec<(u32, u32, f32)> =
+            (0..8).map(|w| (w * 8, (w * 7) % 64, 1.0)).collect();
+        let csr = CsrMatrix::from_coo(&CooMatrix::from_entries(64, 64, entries));
+        let me = MeBcrs::from_csr(&csr, TcFormatSpec::FLASH_FP16);
+        let sr = SrBcrs::from_csr(&csr, TcFormatSpec::FLASH_FP16);
+        assert_eq!(me.values().len(), 8 * 8);
+        assert_eq!(sr.values.len(), 8 * 8 * 8);
+        assert!(sr.footprint_bytes() > 3 * me.footprint_bytes());
+    }
+}

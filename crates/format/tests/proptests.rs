@@ -1,0 +1,123 @@
+//! Property-based tests for the tensor-core sparse formats.
+
+use fs_format::{footprint_reduction, vector_stats, MeBcrs, SrBcrs, TcFormatSpec};
+use fs_matrix::gen::random_uniform;
+use fs_matrix::CsrMatrix;
+use fs_precision::F16;
+use proptest::prelude::*;
+
+const SPECS: [TcFormatSpec; 4] = [
+    TcFormatSpec::FLASH_FP16,
+    TcFormatSpec::FLASH_TF32,
+    TcFormatSpec::FLASH_FP16_K16,
+    TcFormatSpec::SOTA16_FP16,
+];
+
+fn arb_matrix() -> impl Strategy<Value = CsrMatrix<F16>> {
+    (1usize..80, 1usize..80, 0usize..400, 0u64..10_000).prop_map(|(r, c, nnz, seed)| {
+        CsrMatrix::from_coo(&random_uniform::<f32>(r, c, nnz, seed)).cast()
+    })
+}
+
+fn spec_strategy() -> impl Strategy<Value = TcFormatSpec> {
+    prop::sample::select(SPECS.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// ME-BCRS round-trips through dense for every spec.
+    #[test]
+    fn mebcrs_roundtrip(csr in arb_matrix(), spec in spec_strategy()) {
+        let me = MeBcrs::from_csr(&csr, spec);
+        prop_assert_eq!(me.to_dense(), csr.to_dense());
+        prop_assert_eq!(me.nnz(), csr.nnz());
+    }
+
+    /// SR-BCRS round-trips and never stores less than ME-BCRS.
+    #[test]
+    fn srbcrs_roundtrip_and_dominates(csr in arb_matrix(), spec in spec_strategy()) {
+        let sr = SrBcrs::from_csr(&csr, spec);
+        prop_assert_eq!(sr.to_dense(), csr.to_dense());
+        let me = MeBcrs::from_csr(&csr, spec);
+        prop_assert!(sr.footprint_bytes() >= me.footprint_bytes());
+        // SR blocks are always full width.
+        prop_assert!(sr.num_blocks() >= me.num_blocks());
+    }
+
+    /// Structural invariants of the ME-BCRS arrays.
+    #[test]
+    fn mebcrs_structural_invariants(csr in arb_matrix(), spec in spec_strategy()) {
+        let me = MeBcrs::from_csr(&csr, spec);
+        // Values length is exactly vectors × v (no padding, nothing lost).
+        prop_assert_eq!(me.values().len(), me.num_vectors() * spec.vector_len);
+        // Window pointers form a monotone prefix sum ending at num_vectors.
+        prop_assert_eq!(me.window_ptr().len(), me.num_windows() + 1);
+        prop_assert_eq!(*me.window_ptr().last().unwrap(), me.num_vectors());
+        for w in me.window_ptr().windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+        // Columns ascend strictly within each window; block widths are
+        // in 1..=k with only the last block ragged.
+        for w in 0..me.num_windows() {
+            let cols = &me.col_indices()[me.window_ptr()[w]..me.window_ptr()[w + 1]];
+            for pair in cols.windows(2) {
+                prop_assert!(pair[0] < pair[1]);
+            }
+            let nb = me.blocks_in_window(w);
+            for b in 0..nb {
+                let width = me.block_width(w, b);
+                prop_assert!(width >= 1 && width <= spec.block_k);
+                if b + 1 < nb {
+                    prop_assert_eq!(width, spec.block_k, "only the last block may be ragged");
+                }
+            }
+        }
+    }
+
+    /// to_csr inverts from_csr up to exactly-zero stored values.
+    #[test]
+    fn mebcrs_to_csr_roundtrip(csr in arb_matrix(), spec in spec_strategy()) {
+        let me = MeBcrs::from_csr(&csr, spec);
+        let back = me.to_csr();
+        prop_assert_eq!(back.to_dense(), csr.to_dense());
+    }
+
+    /// Vector statistics: zeros-in-vectors is exactly stored − nnz, and
+    /// the 8×1 partition never stores more zeros than the 16×1 one.
+    #[test]
+    fn vector_stats_invariants(csr in arb_matrix()) {
+        let s8 = vector_stats(&csr, TcFormatSpec::FLASH_FP16);
+        let s16 = vector_stats(&csr, TcFormatSpec::SOTA16_FP16);
+        prop_assert_eq!(s8.nnz, csr.nnz());
+        prop_assert_eq!(
+            s8.zeros_in_vectors + s8.nnz,
+            s8.nonzero_vectors * 8
+        );
+        prop_assert!(
+            s8.zeros_in_vectors <= s16.zeros_in_vectors,
+            "halving the vector can only reduce fill: {} vs {}",
+            s8.zeros_in_vectors,
+            s16.zeros_in_vectors
+        );
+        prop_assert!(s8.fill_ratio() >= s16.fill_ratio() - 1e-12);
+    }
+
+    /// Footprint reduction is always in [0, 1).
+    #[test]
+    fn footprint_reduction_bounded(csr in arb_matrix(), spec in spec_strategy()) {
+        let red = footprint_reduction(&csr, spec);
+        prop_assert!((0.0..1.0).contains(&red) || red.abs() < 1e-12, "red={red}");
+    }
+
+    /// with_values preserves structure and recounts nnz.
+    #[test]
+    fn with_values_recounts(csr in arb_matrix()) {
+        let me = MeBcrs::from_csr(&csr, TcFormatSpec::FLASH_FP16);
+        let zeros = vec![F16::ZERO; me.values().len()];
+        let emptied = me.with_values(zeros);
+        prop_assert_eq!(emptied.nnz(), 0);
+        prop_assert_eq!(emptied.num_vectors(), me.num_vectors());
+        prop_assert_eq!(emptied.window_ptr(), me.window_ptr());
+    }
+}

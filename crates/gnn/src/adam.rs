@@ -1,0 +1,73 @@
+//! Adam optimizer over flat f32 parameter buffers.
+
+/// Adam state for one parameter tensor.
+#[derive(Clone, Debug)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    m: Vec<f32>,
+    v: Vec<f32>,
+    t: u32,
+}
+
+impl Adam {
+    /// Standard Adam with the usual defaults (β₁=0.9, β₂=0.999, ε=1e-8).
+    pub fn new(param_len: usize, lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            m: vec![0.0; param_len],
+            v: vec![0.0; param_len],
+            t: 0,
+        }
+    }
+
+    /// One update step: `params -= lr · m̂ / (√v̂ + ε)`.
+    pub fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), self.m.len(), "parameter length is fixed");
+        assert_eq!(grads.len(), params.len());
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            let g = grads[i];
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * g;
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * g * g;
+            let mhat = self.m[i] / bc1;
+            let vhat = self.v[i] / bc2;
+            params[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_a_quadratic() {
+        // f(x) = Σ (x_i − target_i)²
+        let target = [3.0f32, -2.0, 0.5];
+        let mut x = [0.0f32; 3];
+        let mut opt = Adam::new(3, 0.1);
+        for _ in 0..500 {
+            let grads: Vec<f32> = x.iter().zip(&target).map(|(xi, ti)| 2.0 * (xi - ti)).collect();
+            opt.step(&mut x, &grads);
+        }
+        for (xi, ti) in x.iter().zip(&target) {
+            assert!((xi - ti).abs() < 0.05, "{xi} vs {ti}");
+        }
+    }
+
+    #[test]
+    fn first_step_moves_against_gradient() {
+        let mut x = [1.0f32];
+        let mut opt = Adam::new(1, 0.01);
+        opt.step(&mut x, &[5.0]);
+        assert!(x[0] < 1.0);
+    }
+}

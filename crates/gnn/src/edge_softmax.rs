@@ -1,0 +1,123 @@
+//! Row-wise softmax over the edges of a sparse matrix — the attention
+//! normalization of AGNN/GAT — and its backward pass.
+
+use fs_matrix::CsrMatrix;
+
+/// Softmax over each row's stored values: `p_ij = exp(e_ij) / Σ_k exp(e_ik)`.
+pub fn edge_softmax(e: &CsrMatrix<f32>) -> CsrMatrix<f32> {
+    let mut out = e.clone();
+    let mut offset = 0usize;
+    for r in 0..e.rows() {
+        let len = e.row_len(r);
+        let row = &mut out.values_mut()[offset..offset + len];
+        if !row.is_empty() {
+            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0f32;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                sum += *v;
+            }
+            let inv = 1.0 / sum.max(1e-30);
+            for v in row.iter_mut() {
+                *v *= inv;
+            }
+        }
+        offset += len;
+    }
+    out
+}
+
+/// Backward of [`edge_softmax`]: given `p` (the softmax output) and `dp`
+/// (gradient w.r.t. it, same pattern), returns `de` where
+/// `de_ij = p_ij (dp_ij − Σ_k p_ik dp_ik)`.
+pub fn edge_softmax_backward(p: &CsrMatrix<f32>, dp: &CsrMatrix<f32>) -> CsrMatrix<f32> {
+    assert_eq!(p.row_ptr(), dp.row_ptr(), "patterns must match");
+    assert_eq!(p.col_idx(), dp.col_idx(), "patterns must match");
+    let mut out = p.clone();
+    let mut offset = 0usize;
+    for r in 0..p.rows() {
+        let len = p.row_len(r);
+        let pv = &p.values()[offset..offset + len];
+        let gv = &dp.values()[offset..offset + len];
+        let dot: f32 = pv.iter().zip(gv).map(|(a, b)| a * b).sum();
+        let ov = &mut out.values_mut()[offset..offset + len];
+        for i in 0..len {
+            ov[i] = pv[i] * (gv[i] - dot);
+        }
+        offset += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fs_matrix::gen::random_uniform;
+    use fs_matrix::CooMatrix;
+
+    #[test]
+    fn rows_sum_to_one() {
+        let e = CsrMatrix::from_coo(&random_uniform::<f32>(20, 20, 100, 1));
+        let p = edge_softmax(&e);
+        let mut offset = 0;
+        for r in 0..20 {
+            let len = p.row_len(r);
+            if len > 0 {
+                let sum: f32 = p.values()[offset..offset + len].iter().sum();
+                assert!((sum - 1.0).abs() < 1e-5, "row {r} sums to {sum}");
+            }
+            offset += len;
+        }
+    }
+
+    #[test]
+    fn uniform_logits_give_uniform_attention() {
+        let e = CsrMatrix::from_coo(&CooMatrix::from_entries(
+            1,
+            4,
+            vec![(0, 0, 2.0f32), (0, 1, 2.0), (0, 2, 2.0), (0, 3, 2.0)],
+        ));
+        let p = edge_softmax(&e);
+        for &v in p.values() {
+            assert!((v - 0.25).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn backward_matches_finite_difference() {
+        let e = CsrMatrix::from_coo(&CooMatrix::from_entries(
+            2,
+            3,
+            vec![(0, 0, 0.5f32), (0, 2, -0.3), (1, 1, 1.0), (1, 2, 0.0)],
+        ));
+        // Loss = Σ w_ij · p_ij with arbitrary weights w.
+        let w = [0.7f32, -0.2, 0.4, 1.1];
+        let p = edge_softmax(&e);
+        let dp = {
+            let mut d = p.clone();
+            d.values_mut().copy_from_slice(&w);
+            d
+        };
+        let de = edge_softmax_backward(&p, &dp);
+        let loss = |e: &CsrMatrix<f32>| -> f32 {
+            edge_softmax(e)
+                .values()
+                .iter()
+                .zip(&w)
+                .map(|(p, w)| p * w)
+                .sum()
+        };
+        let base = loss(&e);
+        let eps = 1e-3f32;
+        for i in 0..e.nnz() {
+            let mut bumped = e.clone();
+            bumped.values_mut()[i] += eps;
+            let fd = (loss(&bumped) - base) / eps;
+            assert!(
+                (fd - de.values()[i]).abs() < 1e-2,
+                "edge {i}: fd={fd} analytic={}",
+                de.values()[i]
+            );
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! End-to-end GNN training on the FlashSparse kernels (the paper's
+//! Section 4.4 case study).
+//!
+//! Two models, matching the paper's evaluation:
+//!
+//! * **GCN** (Kipf & Welling) — feature aggregation is an SpMM over the
+//!   symmetrically normalized adjacency: `H' = σ(Â H W)`.
+//! * **AGNN** (Thekumparampil et al.) — per-edge attention is an SDDMM,
+//!   normalized with an edge softmax, then aggregated with an SpMM:
+//!   `H' = softmax_edges(β · cos(hᵢ,hⱼ)) H`.
+//!
+//! Both models implement **explicit backward passes** (no autodiff): the
+//! AGNN backward itself requires an SDDMM (`∂L/∂P = sample(dH'·Hᵀ)`) and
+//! two transposed SpMMs, so training exercises the full sparse-kernel mix
+//! the paper times in Figure 16.
+//!
+//! The sparse operations go through [`ops::SparseOps`], which dispatches
+//! to FlashSparse FP16, FlashSparse TF32, or the CUDA-core FP32 baseline
+//! path — the three columns of Table 8 — while accumulating simulated
+//! kernel time for the end-to-end comparison.
+
+// Indexed loops mirror the row/column math of the kernels they model;
+// iterator rewrites would obscure it.
+#![allow(clippy::needless_range_loop)]
+
+pub mod adam;
+pub mod agnn;
+pub mod edge_softmax;
+pub mod gcn;
+pub mod nn;
+pub mod ops;
+pub mod train;
+
+pub use adam::Adam;
+pub use agnn::AgnnModel;
+pub use gcn::GcnModel;
+pub use ops::{GnnBackend, SparseOps};
+pub use train::{train_gcn, TrainConfig, TrainResult};

@@ -1,0 +1,235 @@
+//! Dense neural-network primitives (f32, Rayon-parallel): GEMMs in the
+//! three orientations backprop needs, ReLU, row softmax, cross-entropy.
+
+use fs_matrix::DenseMatrix;
+use rayon::prelude::*;
+
+/// `A × B` (m×k · k×n).
+pub fn matmul(a: &DenseMatrix<f32>, b: &DenseMatrix<f32>) -> DenseMatrix<f32> {
+    assert_eq!(a.cols(), b.rows());
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut out = DenseMatrix::<f32>::zeros(m, n);
+    out.as_mut_slice()
+        .par_chunks_mut(n.max(1))
+        .enumerate()
+        .for_each(|(i, orow)| {
+            for t in 0..k {
+                let av = a.get(i, t);
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = b.row(t);
+                for j in 0..n {
+                    orow[j] += av * brow[j];
+                }
+            }
+        });
+    out
+}
+
+/// `Aᵀ × B` (aᵀ: k×m · m×n) — the `dW = Hᵀ·dZ` orientation.
+pub fn matmul_at_b(a: &DenseMatrix<f32>, b: &DenseMatrix<f32>) -> DenseMatrix<f32> {
+    assert_eq!(a.rows(), b.rows());
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut out = DenseMatrix::<f32>::zeros(k, n);
+    // Accumulate serially over m (k×n output is small in GNNs).
+    for i in 0..m {
+        let arow = a.row(i);
+        let brow = b.row(i);
+        for t in 0..k {
+            let av = arow[t];
+            if av == 0.0 {
+                continue;
+            }
+            let orow = out.row_mut(t);
+            for j in 0..n {
+                orow[j] += av * brow[j];
+            }
+        }
+    }
+    out
+}
+
+/// `A × Bᵀ` (m×k · n×k ᵀ) — the `dH = dZ·Wᵀ` orientation.
+pub fn matmul_a_bt(a: &DenseMatrix<f32>, b: &DenseMatrix<f32>) -> DenseMatrix<f32> {
+    assert_eq!(a.cols(), b.cols());
+    let (m, k, n) = (a.rows(), a.cols(), b.rows());
+    let mut out = DenseMatrix::<f32>::zeros(m, n);
+    out.as_mut_slice()
+        .par_chunks_mut(n.max(1))
+        .enumerate()
+        .for_each(|(i, orow)| {
+            let arow = a.row(i);
+            for j in 0..n {
+                let brow = b.row(j);
+                let mut acc = 0.0f32;
+                for t in 0..k {
+                    acc += arow[t] * brow[t];
+                }
+                orow[j] = acc;
+            }
+        });
+    out
+}
+
+/// Element-wise ReLU.
+pub fn relu(x: &DenseMatrix<f32>) -> DenseMatrix<f32> {
+    let mut out = x.clone();
+    out.as_mut_slice().iter_mut().for_each(|v| *v = v.max(0.0));
+    out
+}
+
+/// Gradient gate of ReLU: `dy ⊙ [x > 0]`.
+pub fn relu_backward(dy: &DenseMatrix<f32>, x: &DenseMatrix<f32>) -> DenseMatrix<f32> {
+    assert_eq!((dy.rows(), dy.cols()), (x.rows(), x.cols()));
+    let mut out = dy.clone();
+    out.as_mut_slice()
+        .iter_mut()
+        .zip(x.as_slice())
+        .for_each(|(g, &v)| {
+            if v <= 0.0 {
+                *g = 0.0;
+            }
+        });
+    out
+}
+
+/// Numerically stable row-wise softmax.
+pub fn softmax_rows(x: &DenseMatrix<f32>) -> DenseMatrix<f32> {
+    let n = x.cols();
+    let mut out = x.clone();
+    for r in 0..x.rows() {
+        let row = out.row_mut(r);
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        let inv = 1.0 / sum.max(1e-30);
+        for v in row.iter_mut() {
+            *v *= inv;
+        }
+        let _ = n;
+    }
+    out
+}
+
+/// Mean cross-entropy over `idx` rows, plus the gradient w.r.t. logits
+/// (zero outside `idx`).
+pub fn cross_entropy(
+    logits: &DenseMatrix<f32>,
+    labels: &[usize],
+    idx: &[usize],
+) -> (f32, DenseMatrix<f32>) {
+    assert_eq!(logits.rows(), labels.len());
+    assert!(!idx.is_empty(), "need at least one training node");
+    let probs = softmax_rows(logits);
+    let scale = 1.0 / idx.len() as f32;
+    let mut loss = 0.0f32;
+    let mut grad = DenseMatrix::<f32>::zeros(logits.rows(), logits.cols());
+    for &i in idx {
+        let p = probs.get(i, labels[i]).max(1e-30);
+        loss -= p.ln() * scale;
+        let grow = grad.row_mut(i);
+        for c in 0..probs.cols() {
+            grow[c] = probs.get(i, c) * scale;
+        }
+        grow[labels[i]] -= scale;
+    }
+    (loss, grad)
+}
+
+/// Top-1 accuracy of `logits` against `labels` over `idx`.
+pub fn accuracy(logits: &DenseMatrix<f32>, labels: &[usize], idx: &[usize]) -> f64 {
+    if idx.is_empty() {
+        return 0.0;
+    }
+    let correct = idx
+        .iter()
+        .filter(|&&i| {
+            let row = logits.row(i);
+            let pred = row
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .map(|(j, _)| j)
+                .unwrap();
+            pred == labels[i]
+        })
+        .count();
+    correct as f64 / idx.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_orientations_agree() {
+        let a = DenseMatrix::<f32>::from_fn(5, 4, |r, c| (r * 4 + c) as f32 * 0.3 - 2.0);
+        let b = DenseMatrix::<f32>::from_fn(4, 6, |r, c| (r as f32 - c as f32) * 0.5);
+        let direct = matmul(&a, &b);
+        assert!(direct.max_abs_diff(&a.matmul(&b)) < 1e-4);
+        // AᵀB via transposes.
+        let at_b = matmul_at_b(&a, &direct);
+        let expected = a.transpose().matmul(&direct);
+        assert!(at_b.max_abs_diff(&expected) < 1e-3);
+        // ABᵀ via transposes.
+        let a_bt = matmul_a_bt(&a, &b.transpose());
+        assert!(a_bt.max_abs_diff(&direct) < 1e-4);
+    }
+
+    #[test]
+    fn relu_and_gate() {
+        let x = DenseMatrix::<f32>::from_f32_slice(1, 4, &[-1.0, 0.0, 2.0, -0.5]);
+        let y = relu(&x);
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 2.0, 0.0]);
+        let dy = DenseMatrix::<f32>::from_f32_slice(1, 4, &[1.0, 1.0, 1.0, 1.0]);
+        let dx = relu_backward(&dy, &x);
+        assert_eq!(dx.as_slice(), &[0.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = DenseMatrix::<f32>::from_fn(3, 5, |r, c| (r * c) as f32 - 2.0);
+        let s = softmax_rows(&x);
+        for r in 0..3 {
+            let sum: f32 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+            assert!(s.row(r).iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_difference() {
+        let logits = DenseMatrix::<f32>::from_f32_slice(2, 3, &[0.5, -0.2, 0.1, 1.0, 0.0, -1.0]);
+        let labels = vec![2usize, 0];
+        let idx = vec![0usize, 1];
+        let (loss, grad) = cross_entropy(&logits, &labels, &idx);
+        assert!(loss > 0.0);
+        let eps = 1e-3f32;
+        for r in 0..2 {
+            for c in 0..3 {
+                let mut bumped = logits.clone();
+                bumped.set(r, c, logits.get(r, c) + eps);
+                let (l2, _) = cross_entropy(&bumped, &labels, &idx);
+                let fd = (l2 - loss) / eps;
+                assert!(
+                    (fd - grad.get(r, c)).abs() < 5e-3,
+                    "({r},{c}): fd={fd} grad={}",
+                    grad.get(r, c)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn accuracy_counts_correct_rows() {
+        let logits =
+            DenseMatrix::<f32>::from_f32_slice(3, 2, &[0.9, 0.1, 0.2, 0.8, 0.6, 0.4]);
+        let labels = vec![0usize, 1, 1];
+        assert!((accuracy(&logits, &labels, &[0, 1, 2]) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(accuracy(&logits, &labels, &[0, 1]), 1.0);
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests for the GNN building blocks.
+
+use fs_gnn::edge_softmax::{edge_softmax, edge_softmax_backward};
+use fs_gnn::nn::{accuracy, cross_entropy, matmul, matmul_a_bt, matmul_at_b, softmax_rows};
+use fs_matrix::gen::random_uniform;
+use fs_matrix::{CsrMatrix, DenseMatrix};
+use proptest::prelude::*;
+
+fn arb_dense(max_r: usize, max_c: usize) -> impl Strategy<Value = DenseMatrix<f32>> {
+    (1usize..max_r, 1usize..max_c, 0u64..1000).prop_map(|(r, c, seed)| {
+        DenseMatrix::from_fn(r, c, |i, j| {
+            (((seed as usize + i * 31 + j * 7) % 17) as f32 - 8.0) * 0.25
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The three GEMM orientations agree with explicit transposes.
+    #[test]
+    fn gemm_orientations(a in arb_dense(20, 12), seed in 0u64..100) {
+        let k = a.cols();
+        let b = DenseMatrix::<f32>::from_fn(k, 9, |i, j| {
+            ((seed as usize + i + 2 * j) % 11) as f32 * 0.5 - 2.0
+        });
+        let direct = matmul(&a, &b);
+        prop_assert!(direct.max_abs_diff(&a.matmul(&b)) < 1e-3);
+        // AᵀC where C = direct.
+        let atc = matmul_at_b(&a, &direct);
+        prop_assert!(atc.max_abs_diff(&a.transpose().matmul(&direct)) < 1e-2);
+        // ABᵀ with Bᵀ materialized.
+        let abt = matmul_a_bt(&a, &b.transpose());
+        prop_assert!(abt.max_abs_diff(&direct) < 1e-3);
+    }
+
+    /// Softmax rows: positive, sum to one, invariant to per-row shifts.
+    #[test]
+    fn softmax_invariants(x in arb_dense(12, 8), shift in -5.0f32..5.0) {
+        let s = softmax_rows(&x);
+        for r in 0..x.rows() {
+            let sum: f32 = s.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(s.row(r).iter().all(|&v| v >= 0.0));
+        }
+        let shifted = DenseMatrix::<f32>::from_fn(x.rows(), x.cols(), |r, c| x.get(r, c) + shift);
+        let s2 = softmax_rows(&shifted);
+        prop_assert!(s.max_abs_diff(&s2) < 1e-5, "softmax is shift-invariant");
+    }
+
+    /// Cross-entropy is non-negative and its gradient sums to ~0 per
+    /// training row (softmax minus one-hot).
+    #[test]
+    fn cross_entropy_gradient_structure(x in arb_dense(10, 6), seed in 0u64..100) {
+        let labels: Vec<usize> = (0..x.rows()).map(|i| (i + seed as usize) % x.cols()).collect();
+        let idx: Vec<usize> = (0..x.rows()).collect();
+        let (loss, grad) = cross_entropy(&x, &labels, &idx);
+        prop_assert!(loss >= 0.0);
+        for r in 0..x.rows() {
+            let s: f32 = grad.row(r).iter().sum();
+            prop_assert!(s.abs() < 1e-4, "row {r} gradient sums to {s}");
+        }
+        prop_assert!((0.0..=1.0).contains(&accuracy(&x, &labels, &idx)));
+    }
+
+    /// Edge softmax: probabilities per row; backward vanishes for
+    /// constant upstream gradients (softmax Jacobian annihilates 1).
+    #[test]
+    fn edge_softmax_invariants(
+        rows in 1usize..20,
+        cols in 1usize..20,
+        nnz in 1usize..100,
+        seed in 0u64..1000,
+        g in -3.0f32..3.0,
+    ) {
+        let e = CsrMatrix::from_coo(&random_uniform::<f32>(rows, cols, nnz, seed));
+        let p = edge_softmax(&e);
+        let mut offset = 0;
+        for r in 0..rows {
+            let len = p.row_len(r);
+            if len > 0 {
+                let sum: f32 = p.values()[offset..offset + len].iter().sum();
+                prop_assert!((sum - 1.0).abs() < 1e-4);
+            }
+            offset += len;
+        }
+        // Constant dp ⇒ de = 0.
+        let mut dp = p.clone();
+        dp.values_mut().iter_mut().for_each(|v| *v = g);
+        let de = edge_softmax_backward(&p, &dp);
+        for &v in de.values() {
+            prop_assert!(v.abs() < 1e-4, "constant upstream must vanish, got {v}");
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Banded matrices — stand-ins for the PDE/mesh matrices that dominate
+//! SuiteSparse (structured diagonals, low bandwidth, regular row lengths).
+
+use fs_precision::Scalar;
+use rand::RngExt;
+
+use super::rng_for;
+use crate::sparse::CooMatrix;
+
+/// A square banded matrix of order `n` with the given signed diagonal
+/// offsets, each fully populated with random values, plus a `fill`
+/// probability of keeping each entry (1.0 = dense band).
+///
+/// `offsets = [-1, 0, 1]` with `fill = 1.0` is the classic tridiagonal
+/// stencil; wider offset lists emulate 2-D/3-D mesh discretizations.
+pub fn banded<S: Scalar>(n: usize, offsets: &[i64], fill: f64, seed: u64) -> CooMatrix<S> {
+    assert!((0.0..=1.0).contains(&fill), "fill must be a probability");
+    let mut rng = rng_for(seed);
+    let mut entries = Vec::new();
+    for &off in offsets {
+        for r in 0..n as i64 {
+            let c = r + off;
+            if c < 0 || c >= n as i64 {
+                continue;
+            }
+            if fill < 1.0 && rng.random::<f64>() > fill {
+                continue;
+            }
+            entries.push((r as u32, c as u32, S::from_f32(rng.random_range(-1.0f32..1.0))));
+        }
+    }
+    CooMatrix::from_entries(n, n, entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse::CsrMatrix;
+
+    #[test]
+    fn tridiagonal_structure() {
+        let m = banded::<f32>(10, &[-1, 0, 1], 1.0, 0);
+        let csr = CsrMatrix::from_coo(&m);
+        assert_eq!(csr.nnz(), 10 + 9 + 9);
+        for (r, c, _) in csr.iter() {
+            assert!((r as i64 - c as i64).abs() <= 1);
+        }
+    }
+
+    #[test]
+    fn fill_probability_thins_the_band() {
+        let full = banded::<f32>(200, &[0, 5, -5], 1.0, 1);
+        let thin = banded::<f32>(200, &[0, 5, -5], 0.5, 1);
+        assert!(thin.nnz() < full.nnz());
+        assert!(thin.nnz() > full.nnz() / 4, "roughly half retained");
+    }
+
+    #[test]
+    fn out_of_range_offsets_are_clipped() {
+        let m = banded::<f32>(4, &[-10, 10, 0], 1.0, 2);
+        let csr = CsrMatrix::from_coo(&m);
+        assert_eq!(csr.nnz(), 4, "only the main diagonal fits");
+    }
+}

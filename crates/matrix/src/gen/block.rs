@@ -1,0 +1,85 @@
+//! Block-sparse matrices — clustered nonzeros that favour tensor-core
+//! blocking (the regime where even 16×1 vectors are fairly dense).
+
+use fs_precision::Scalar;
+use rand::RngExt;
+
+use super::rng_for;
+use crate::sparse::CooMatrix;
+
+/// A matrix of `rows×cols` covered by dense `bh×bw` tiles: each tile is
+/// present with probability `block_density`, and within a present tile each
+/// entry is kept with probability `inner_fill`.
+pub fn block_sparse<S: Scalar>(
+    rows: usize,
+    cols: usize,
+    bh: usize,
+    bw: usize,
+    block_density: f64,
+    inner_fill: f64,
+    seed: u64,
+) -> CooMatrix<S> {
+    assert!(bh > 0 && bw > 0);
+    let mut rng = rng_for(seed);
+    let mut entries = Vec::new();
+    let tiles_r = rows.div_ceil(bh);
+    let tiles_c = cols.div_ceil(bw);
+    for tr in 0..tiles_r {
+        for tc in 0..tiles_c {
+            if rng.random::<f64>() > block_density {
+                continue;
+            }
+            for dr in 0..bh {
+                for dc in 0..bw {
+                    let r = tr * bh + dr;
+                    let c = tc * bw + dc;
+                    if r >= rows || c >= cols {
+                        continue;
+                    }
+                    if inner_fill < 1.0 && rng.random::<f64>() > inner_fill {
+                        continue;
+                    }
+                    entries.push((
+                        r as u32,
+                        c as u32,
+                        S::from_f32(rng.random_range(-1.0f32..1.0)),
+                    ));
+                }
+            }
+        }
+    }
+    CooMatrix::from_entries(rows, cols, entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse::CsrMatrix;
+
+    #[test]
+    fn full_blocks_everywhere_is_dense() {
+        let m = block_sparse::<f32>(16, 16, 4, 4, 1.0, 1.0, 0);
+        assert_eq!(CsrMatrix::from_coo(&m).nnz(), 256);
+    }
+
+    #[test]
+    fn zero_density_is_empty() {
+        let m = block_sparse::<f32>(16, 16, 4, 4, 0.0, 1.0, 0);
+        assert_eq!(m.nnz(), 0);
+    }
+
+    #[test]
+    fn ragged_edges_clipped() {
+        let m = block_sparse::<f32>(10, 10, 4, 4, 1.0, 1.0, 0);
+        assert_eq!(CsrMatrix::from_coo(&m).nnz(), 100);
+    }
+
+    #[test]
+    fn nonzeros_cluster_into_tiles() {
+        let m = block_sparse::<f32>(64, 64, 8, 8, 0.3, 1.0, 5);
+        let csr = CsrMatrix::from_coo(&m);
+        // Every populated tile is fully dense, so nnz must be a multiple of 64.
+        assert_eq!(csr.nnz() % 64, 0);
+        assert!(csr.nnz() > 0);
+    }
+}

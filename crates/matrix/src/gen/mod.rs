@@ -1,0 +1,48 @@
+//! Deterministic random sparse-matrix and graph generators.
+//!
+//! All generators take an explicit `seed` and are reproducible across runs
+//! and platforms. They produce [`CooMatrix`]es; compress with
+//! [`CsrMatrix::from_coo`](crate::CsrMatrix::from_coo).
+//!
+//! The paper's evaluation covers two matrix populations:
+//! * SuiteSparse matrices (scientific-computing structure: banded, block,
+//!   mesh-like) — covered by [`banded`], [`block_sparse`] and [`random_uniform`];
+//! * GNN graphs (power-law degree distributions, community structure) —
+//!   covered by [`rmat`] and [`sbm`].
+
+mod banded;
+mod block;
+mod erdos;
+mod rmat;
+mod sbm;
+
+pub use banded::banded;
+pub use block::block_sparse;
+pub use erdos::{erdos_renyi, random_uniform};
+pub use rmat::{rmat, RmatConfig};
+pub use sbm::{sbm, SbmDataset, SbmConfig};
+
+use fs_precision::Scalar;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::sparse::CooMatrix;
+
+/// Fill the values of a pattern with uniform random values in `[-1, 1)`.
+pub(crate) fn assign_values<S: Scalar>(
+    rows: usize,
+    cols: usize,
+    pattern: Vec<(u32, u32)>,
+    rng: &mut StdRng,
+) -> CooMatrix<S> {
+    let entries = pattern
+        .into_iter()
+        .map(|(r, c)| (r, c, S::from_f32(rng.random_range(-1.0f32..1.0))))
+        .collect();
+    CooMatrix::from_entries(rows, cols, entries)
+}
+
+/// A fresh deterministic RNG for a generator invocation.
+pub(crate) fn rng_for(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}

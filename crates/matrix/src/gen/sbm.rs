@@ -1,0 +1,195 @@
+//! Stochastic block model graphs with node features and labels — the
+//! synthetic node-classification datasets used for the end-to-end GNN
+//! accuracy experiments (the paper's Table 8 uses Cora-like citation
+//! graphs; an SBM with planted communities is the standard synthetic
+//! equivalent with a controllable signal-to-noise ratio).
+
+use fs_precision::Scalar;
+use rand::RngExt;
+
+use super::rng_for;
+use crate::dense::DenseMatrix;
+use crate::sparse::{CooMatrix, CsrMatrix};
+
+/// Parameters for an SBM node-classification dataset.
+#[derive(Clone, Copy, Debug)]
+pub struct SbmConfig {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of communities (= classification classes).
+    pub classes: usize,
+    /// Probability of an edge inside a community.
+    pub p_in: f64,
+    /// Probability of an edge across communities.
+    pub p_out: f64,
+    /// Feature dimensionality.
+    pub feature_dim: usize,
+    /// Standard deviation of the per-class feature centroids' separation;
+    /// larger = easier task.
+    pub feature_signal: f32,
+    /// Fraction of nodes in the training split (the rest is test).
+    pub train_fraction: f64,
+}
+
+impl Default for SbmConfig {
+    fn default() -> Self {
+        SbmConfig {
+            nodes: 256,
+            classes: 4,
+            p_in: 0.08,
+            p_out: 0.005,
+            feature_dim: 32,
+            feature_signal: 1.0,
+            train_fraction: 0.5,
+        }
+    }
+}
+
+/// A node-classification dataset: symmetric graph + features + labels +
+/// train/test split.
+#[derive(Clone, Debug)]
+pub struct SbmDataset {
+    /// Symmetric adjacency (unit values, no self loops).
+    pub adjacency: CsrMatrix<f32>,
+    /// Node features, `nodes × feature_dim`.
+    pub features: DenseMatrix<f32>,
+    /// Ground-truth class per node.
+    pub labels: Vec<usize>,
+    /// Indices of training nodes.
+    pub train_idx: Vec<usize>,
+    /// Indices of test nodes.
+    pub test_idx: Vec<usize>,
+    /// Number of classes.
+    pub classes: usize,
+}
+
+/// Generate an SBM dataset. Features are drawn from a Gaussian-ish mixture:
+/// each class has a random centroid (scaled by `feature_signal`) plus
+/// unit-scale noise, so accuracy saturates below 100% and the precision
+/// comparison in Table 8 is meaningful.
+pub fn sbm(config: SbmConfig, seed: u64) -> SbmDataset {
+    let mut rng = rng_for(seed);
+    let n = config.nodes;
+    let k = config.classes;
+    assert!(k >= 2 && n >= k, "need at least 2 classes and n >= classes");
+
+    // Assign labels round-robin then shuffle for balanced classes.
+    let mut labels: Vec<usize> = (0..n).map(|i| i % k).collect();
+    for i in (1..n).rev() {
+        let j = rng.random_range(0..=i);
+        labels.swap(i, j);
+    }
+
+    // Edges: Bernoulli per unordered pair. O(n²) is fine at these scales.
+    let mut coo = CooMatrix::<f32>::new(n, n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let p = if labels[i] == labels[j] { config.p_in } else { config.p_out };
+            if rng.random::<f64>() < p {
+                coo.push(i, j, 1.0);
+                coo.push(j, i, 1.0);
+            }
+        }
+    }
+    let adjacency = CsrMatrix::from_coo(&coo);
+
+    // Class centroids and noisy features. Box-Muller for normals.
+    let normal = move |rng: &mut rand::rngs::StdRng| -> f32 {
+        let u1: f64 = rng.random::<f64>().max(1e-12);
+        let u2: f64 = rng.random();
+        ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32
+    };
+    let mut centroids = vec![vec![0.0f32; config.feature_dim]; k];
+    for c in centroids.iter_mut() {
+        for x in c.iter_mut() {
+            *x = normal(&mut rng) * config.feature_signal;
+        }
+    }
+    let features = {
+        let mut f = DenseMatrix::<f32>::zeros(n, config.feature_dim);
+        for i in 0..n {
+            for d in 0..config.feature_dim {
+                let v = centroids[labels[i]][d] + normal(&mut rng);
+                f.set(i, d, v);
+            }
+        }
+        f
+    };
+
+    // Train/test split.
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.random_range(0..=i);
+        idx.swap(i, j);
+    }
+    let n_train = ((n as f64) * config.train_fraction).round() as usize;
+    let train_idx = idx[..n_train].to_vec();
+    let test_idx = idx[n_train..].to_vec();
+
+    SbmDataset { adjacency, features, labels, train_idx, test_idx, classes: k }
+}
+
+impl SbmDataset {
+    /// The adjacency with values cast to precision `S`.
+    pub fn adjacency_as<S: Scalar>(&self) -> CsrMatrix<S> {
+        self.adjacency.cast()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure() {
+        let ds = sbm(SbmConfig::default(), 1);
+        assert_eq!(ds.adjacency.rows(), 256);
+        assert_eq!(ds.labels.len(), 256);
+        assert_eq!(ds.train_idx.len() + ds.test_idx.len(), 256);
+        assert_eq!(ds.features.rows(), 256);
+        assert_eq!(ds.features.cols(), 32);
+        // No self loops; symmetric.
+        for (r, c, _) in ds.adjacency.iter() {
+            assert_ne!(r, c);
+        }
+        let d = ds.adjacency.to_dense();
+        for r in 0..d.rows() {
+            for c in 0..d.cols() {
+                assert_eq!(d.get(r, c), d.get(c, r));
+            }
+        }
+    }
+
+    #[test]
+    fn communities_are_denser_inside() {
+        let ds = sbm(SbmConfig { nodes: 200, ..Default::default() }, 3);
+        let mut inside = 0usize;
+        let mut across = 0usize;
+        for (r, c, _) in ds.adjacency.iter() {
+            if ds.labels[r] == ds.labels[c] {
+                inside += 1;
+            } else {
+                across += 1;
+            }
+        }
+        assert!(inside > across, "inside={inside} across={across}");
+    }
+
+    #[test]
+    fn balanced_classes() {
+        let ds = sbm(SbmConfig { nodes: 100, classes: 4, ..Default::default() }, 5);
+        let mut counts = [0usize; 4];
+        for &l in &ds.labels {
+            counts[l] += 1;
+        }
+        assert_eq!(counts, [25, 25, 25, 25]);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = sbm(SbmConfig::default(), 9);
+        let b = sbm(SbmConfig::default(), 9);
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.adjacency, b.adjacency);
+    }
+}

@@ -1,0 +1,220 @@
+//! Matrix Market (`.mtx`) reading and writing — the SuiteSparse interchange
+//! format, so real matrices can be dropped into the evaluation when
+//! available.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+use fs_precision::Scalar;
+
+use crate::sparse::{CooMatrix, CsrMatrix};
+
+/// Errors from Matrix Market parsing.
+#[derive(Debug)]
+pub enum MtxError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file violates the Matrix Market format.
+    Parse(String),
+}
+
+impl std::fmt::Display for MtxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MtxError::Io(e) => write!(f, "I/O error: {e}"),
+            MtxError::Parse(msg) => write!(f, "matrix market parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MtxError {}
+
+impl From<io::Error> for MtxError {
+    fn from(e: io::Error) -> Self {
+        MtxError::Io(e)
+    }
+}
+
+fn parse_err(msg: impl Into<String>) -> MtxError {
+    MtxError::Parse(msg.into())
+}
+
+/// Read a Matrix Market coordinate-format file.
+///
+/// Supports `real`, `integer` and `pattern` fields with `general` or
+/// `symmetric` symmetry. Pattern entries get value 1.0. Symmetric files are
+/// expanded to full storage.
+pub fn read_matrix_market<S: Scalar, R: Read>(reader: R) -> Result<CooMatrix<S>, MtxError> {
+    let mut lines = BufReader::new(reader).lines();
+
+    let header = lines
+        .next()
+        .ok_or_else(|| parse_err("empty file"))??;
+    let header_lc = header.to_ascii_lowercase();
+    if !header_lc.starts_with("%%matrixmarket") {
+        return Err(parse_err("missing %%MatrixMarket header"));
+    }
+    let tokens: Vec<&str> = header_lc.split_whitespace().collect();
+    if tokens.len() < 5 || tokens[1] != "matrix" || tokens[2] != "coordinate" {
+        return Err(parse_err("only coordinate-format matrices are supported"));
+    }
+    let field = tokens[3];
+    let symmetry = tokens[4];
+    let pattern = match field {
+        "real" | "integer" => false,
+        "pattern" => true,
+        other => return Err(parse_err(format!("unsupported field type {other}"))),
+    };
+    let symmetric = match symmetry {
+        "general" => false,
+        "symmetric" => true,
+        other => return Err(parse_err(format!("unsupported symmetry {other}"))),
+    };
+
+    // Skip comments, find the size line.
+    let size_line = loop {
+        let line = lines
+            .next()
+            .ok_or_else(|| parse_err("missing size line"))??;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        break trimmed.to_string();
+    };
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|t| t.parse().map_err(|_| parse_err(format!("bad size token {t}"))))
+        .collect::<Result<_, _>>()?;
+    if dims.len() != 3 {
+        return Err(parse_err("size line must be `rows cols nnz`"));
+    }
+    let (rows, cols, nnz) = (dims[0], dims[1], dims[2]);
+
+    let mut entries = Vec::with_capacity(if symmetric { nnz * 2 } else { nnz });
+    let mut seen = 0usize;
+    for line in lines {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let r: usize = it
+            .next()
+            .ok_or_else(|| parse_err("missing row"))?
+            .parse()
+            .map_err(|_| parse_err("bad row index"))?;
+        let c: usize = it
+            .next()
+            .ok_or_else(|| parse_err("missing col"))?
+            .parse()
+            .map_err(|_| parse_err("bad col index"))?;
+        let v: f32 = if pattern {
+            1.0
+        } else {
+            it.next()
+                .ok_or_else(|| parse_err("missing value"))?
+                .parse()
+                .map_err(|_| parse_err("bad value"))?
+        };
+        if r == 0 || c == 0 || r > rows || c > cols {
+            return Err(parse_err(format!("entry ({r},{c}) out of bounds (1-based)")));
+        }
+        let (r0, c0) = (r - 1, c - 1);
+        entries.push((r0 as u32, c0 as u32, S::from_f32(v)));
+        if symmetric && r0 != c0 {
+            entries.push((c0 as u32, r0 as u32, S::from_f32(v)));
+        }
+        seen += 1;
+    }
+    if seen != nnz {
+        return Err(parse_err(format!("expected {nnz} entries, found {seen}")));
+    }
+    Ok(CooMatrix::from_entries(rows, cols, entries))
+}
+
+/// Read a `.mtx` file from disk into CSR.
+pub fn read_mtx_file<S: Scalar>(path: impl AsRef<Path>) -> Result<CsrMatrix<S>, MtxError> {
+    let file = std::fs::File::open(path)?;
+    Ok(CsrMatrix::from_coo(&read_matrix_market(file)?))
+}
+
+/// Write a CSR matrix as Matrix Market coordinate/real/general.
+pub fn write_matrix_market<S: Scalar, W: Write>(
+    matrix: &CsrMatrix<S>,
+    mut writer: W,
+) -> io::Result<()> {
+    writeln!(writer, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(writer, "% written by flashsparse-rs")?;
+    writeln!(writer, "{} {} {}", matrix.rows(), matrix.cols(), matrix.nnz())?;
+    for (r, c, v) in matrix.iter() {
+        writeln!(writer, "{} {} {}", r + 1, c + 1, v.to_f32())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "%%MatrixMarket matrix coordinate real general\n\
+% a comment\n\
+3 4 3\n\
+1 1 1.5\n\
+2 3 -2.0\n\
+3 4 0.25\n";
+
+    #[test]
+    fn read_general_real() {
+        let coo = read_matrix_market::<f32, _>(SAMPLE.as_bytes()).unwrap();
+        assert_eq!((coo.rows(), coo.cols(), coo.nnz()), (3, 4, 3));
+        let csr = CsrMatrix::from_coo(&coo);
+        assert_eq!(csr.to_dense().get(1, 2), -2.0);
+    }
+
+    #[test]
+    fn read_symmetric_expands() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n\
+2 2 2\n\
+1 1 5.0\n\
+2 1 7.0\n";
+        let coo = read_matrix_market::<f32, _>(text.as_bytes()).unwrap();
+        let d = CsrMatrix::from_coo(&coo).to_dense();
+        assert_eq!(d.get(0, 1), 7.0);
+        assert_eq!(d.get(1, 0), 7.0);
+        assert_eq!(d.get(0, 0), 5.0);
+    }
+
+    #[test]
+    fn read_pattern() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n\
+2 2 1\n\
+2 2\n";
+        let coo = read_matrix_market::<f32, _>(text.as_bytes()).unwrap();
+        assert_eq!(coo.entries(), &[(1, 1, 1.0)]);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let coo = read_matrix_market::<f32, _>(SAMPLE.as_bytes()).unwrap();
+        let csr = CsrMatrix::from_coo(&coo);
+        let mut buf = Vec::new();
+        write_matrix_market(&csr, &mut buf).unwrap();
+        let back = CsrMatrix::from_coo(&read_matrix_market::<f32, _>(&buf[..]).unwrap());
+        assert_eq!(back, csr);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(read_matrix_market::<f32, _>("hello\n".as_bytes()).is_err());
+        assert!(read_matrix_market::<f32, _>(
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n5 5 1.0\n".as_bytes()
+        )
+        .is_err());
+        assert!(read_matrix_market::<f32, _>(
+            "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n".as_bytes()
+        )
+        .is_err());
+    }
+}

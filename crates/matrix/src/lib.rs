@@ -1,0 +1,35 @@
+//! Matrix types, graph generators and the evaluation dataset suite for the
+//! FlashSparse reproduction.
+//!
+//! This crate provides the substrates every kernel in the workspace consumes:
+//!
+//! * [`DenseMatrix`] — row-major dense matrices generic over storage
+//!   precision ([`fs_precision::Scalar`]).
+//! * [`CsrMatrix`] / [`CooMatrix`] / [`CscMatrix`] — the classic sparse
+//!   formats, with conversions between them and reference (gold) kernels for
+//!   SpMM and SDDMM used to validate every optimized implementation.
+//! * [`gen`] — deterministic random sparse-matrix/graph generators (R-MAT
+//!   power-law graphs, Erdős–Rényi, stochastic block model, banded, block
+//!   sparse).
+//! * [`suite`] — the evaluation dataset collection: scaled-down synthetic
+//!   stand-ins for the paper's Table 4 graphs plus a SuiteSparse-like sweep
+//!   of matrices used for the 515-matrix experiments.
+//! * [`io`] — Matrix Market (`.mtx`) reading and writing.
+//! * [`stats`] — sparsity statistics (row-length distribution, densities)
+//!   reported by several experiments.
+
+// Indexed loops mirror the row/column math of the kernels they model;
+// iterator rewrites would obscure it.
+#![allow(clippy::needless_range_loop)]
+
+pub mod dense;
+pub mod gen;
+pub mod io;
+pub mod render;
+pub mod reorder;
+pub mod sparse;
+pub mod stats;
+pub mod suite;
+
+pub use dense::DenseMatrix;
+pub use sparse::{CooMatrix, CscMatrix, CsrMatrix};

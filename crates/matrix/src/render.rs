@@ -1,0 +1,94 @@
+//! ASCII sparsity-pattern rendering — quick structural inspection of a
+//! matrix in a terminal (the "spy plot" of the Rust world).
+
+use fs_precision::Scalar;
+
+use crate::sparse::CsrMatrix;
+
+/// Render the sparsity pattern as a grid of density glyphs, downsampling
+/// the matrix into at most `max_cells`×`max_cells` character cells.
+///
+/// Glyph scale (fraction of the cell that is nonzero):
+/// `' '` = 0, `'.'` < 5%, `':'` < 20%, `'+'` < 50%, `'#'` ≥ 50%.
+pub fn render_sparsity<S: Scalar>(m: &CsrMatrix<S>, max_cells: usize) -> String {
+    assert!(max_cells > 0);
+    if m.rows() == 0 || m.cols() == 0 {
+        return String::new();
+    }
+    let cell_h = m.rows().div_ceil(max_cells).max(1);
+    let cell_w = m.cols().div_ceil(max_cells).max(1);
+    let grid_h = m.rows().div_ceil(cell_h);
+    let grid_w = m.cols().div_ceil(cell_w);
+
+    let mut counts = vec![0u32; grid_h * grid_w];
+    for (r, c, _) in m.iter() {
+        counts[(r / cell_h) * grid_w + c / cell_w] += 1;
+    }
+
+    let mut out = String::with_capacity(grid_h * (grid_w + 1));
+    for gr in 0..grid_h {
+        for gc in 0..grid_w {
+            let rows_in = cell_h.min(m.rows() - gr * cell_h);
+            let cols_in = cell_w.min(m.cols() - gc * cell_w);
+            let density = counts[gr * grid_w + gc] as f64 / (rows_in * cols_in) as f64;
+            out.push(match density {
+                d if d <= 0.0 => ' ',
+                d if d < 0.05 => '.',
+                d if d < 0.20 => ':',
+                d if d < 0.50 => '+',
+                _ => '#',
+            });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::banded;
+    use crate::sparse::CooMatrix;
+
+    #[test]
+    fn diagonal_renders_as_diagonal() {
+        let m = CsrMatrix::from_coo(&banded::<f32>(64, &[0], 1.0, 0));
+        let art = render_sparsity(&m, 8);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 8);
+        for (i, line) in lines.iter().enumerate() {
+            for (j, ch) in line.chars().enumerate() {
+                if i == j {
+                    assert_ne!(ch, ' ', "diagonal cell ({i},{j}) must be marked");
+                } else {
+                    assert_eq!(ch, ' ', "off-diagonal cell ({i},{j}) must be empty");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dense_block_is_hash() {
+        let entries: Vec<(u32, u32, f32)> = (0..8)
+            .flat_map(|r| (0..8).map(move |c| (r, c, 1.0)))
+            .collect();
+        let m = CsrMatrix::from_coo(&CooMatrix::from_entries(8, 8, entries));
+        let art = render_sparsity(&m, 4);
+        assert!(art.chars().filter(|&c| c != '\n').all(|c| c == '#'));
+    }
+
+    #[test]
+    fn empty_matrix_is_blank() {
+        let m = CsrMatrix::<f32>::empty(16, 16);
+        let art = render_sparsity(&m, 4);
+        assert!(art.chars().all(|c| c == ' ' || c == '\n'));
+    }
+
+    #[test]
+    fn non_square_shapes() {
+        let m = CsrMatrix::from_coo(&CooMatrix::from_entries(3, 100, vec![(0, 0, 1.0f32)]));
+        let art = render_sparsity(&m, 10);
+        assert!(!art.is_empty());
+        assert!(art.starts_with('.') || art.starts_with(':') || art.starts_with('+') || art.starts_with('#'));
+    }
+}

@@ -1,0 +1,139 @@
+//! Coordinate-format sparse matrices — the interchange format every
+//! generator produces and every compressed format is built from.
+
+use fs_precision::Scalar;
+
+/// A sparse matrix as unordered `(row, col, value)` triplets.
+#[derive(Clone, Debug)]
+pub struct CooMatrix<S: Scalar> {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(u32, u32, S)>,
+}
+
+impl<S: Scalar> CooMatrix<S> {
+    /// An empty matrix of the given shape.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        CooMatrix { rows, cols, entries: Vec::new() }
+    }
+
+    /// Build from triplets. Duplicates are allowed and are summed when the
+    /// matrix is compressed to CSR/CSC.
+    pub fn from_entries(rows: usize, cols: usize, entries: Vec<(u32, u32, S)>) -> Self {
+        for &(r, c, _) in &entries {
+            assert!((r as usize) < rows && (c as usize) < cols, "entry ({r},{c}) out of bounds");
+        }
+        CooMatrix { rows, cols, entries }
+    }
+
+    /// Append one entry.
+    pub fn push(&mut self, row: usize, col: usize, value: S) {
+        assert!(row < self.rows && col < self.cols);
+        self.entries.push((row as u32, col as u32, value));
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries (before duplicate merging).
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The triplets.
+    #[inline]
+    pub fn entries(&self) -> &[(u32, u32, S)] {
+        &self.entries
+    }
+
+    /// Consume into triplets.
+    pub fn into_entries(self) -> Vec<(u32, u32, S)> {
+        self.entries
+    }
+
+    /// Sort by (row, col) and merge duplicate coordinates by f32 addition.
+    pub fn dedup(mut self) -> Self {
+        self.entries.sort_unstable_by_key(|&(r, c, _)| (r, c));
+        let mut merged: Vec<(u32, u32, S)> = Vec::with_capacity(self.entries.len());
+        for (r, c, v) in self.entries {
+            match merged.last_mut() {
+                Some(last) if last.0 == r && last.1 == c => {
+                    last.2 = S::from_f32(last.2.to_f32() + v.to_f32());
+                }
+                _ => merged.push((r, c, v)),
+            }
+        }
+        self.entries = merged;
+        self
+    }
+
+    /// Transposed copy (swaps row/col of every entry).
+    pub fn transpose(&self) -> Self {
+        CooMatrix {
+            rows: self.cols,
+            cols: self.rows,
+            entries: self.entries.iter().map(|&(r, c, v)| (c, r, v)).collect(),
+        }
+    }
+
+    /// Convert values to a different precision.
+    pub fn cast<T: Scalar>(&self) -> CooMatrix<T> {
+        CooMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            entries: self
+                .entries
+                .iter()
+                .map(|&(r, c, v)| (r, c, T::from_f32(v.to_f32())))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_bounds() {
+        let mut m = CooMatrix::<f32>::new(3, 3);
+        m.push(0, 0, 1.0);
+        m.push(2, 2, 2.0);
+        assert_eq!(m.nnz(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_rejected() {
+        CooMatrix::<f32>::from_entries(2, 2, vec![(2, 0, 1.0)]);
+    }
+
+    #[test]
+    fn dedup_merges_duplicates() {
+        let m = CooMatrix::<f32>::from_entries(
+            2,
+            2,
+            vec![(0, 1, 1.0), (0, 1, 2.0), (1, 0, 3.0), (0, 0, 4.0)],
+        )
+        .dedup();
+        assert_eq!(m.entries(), &[(0, 0, 4.0), (0, 1, 3.0), (1, 0, 3.0)]);
+    }
+
+    #[test]
+    fn transpose_swaps_coords() {
+        let m = CooMatrix::<f32>::from_entries(2, 3, vec![(0, 2, 5.0)]);
+        let t = m.transpose();
+        assert_eq!((t.rows(), t.cols()), (3, 2));
+        assert_eq!(t.entries(), &[(2, 0, 5.0)]);
+    }
+}

@@ -1,0 +1,138 @@
+//! Compressed Sparse Column matrices — used by the SDDMM baselines that walk
+//! the dense B operand column-major.
+
+use fs_precision::Scalar;
+
+use crate::dense::DenseMatrix;
+use crate::sparse::CooMatrix;
+
+/// A CSC sparse matrix: `col_ptr` (len cols+1), `row_idx`, `values`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CscMatrix<S: Scalar> {
+    rows: usize,
+    cols: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<u32>,
+    values: Vec<S>,
+}
+
+impl<S: Scalar> CscMatrix<S> {
+    /// Compress a COO matrix (duplicates summed, rows sorted per column).
+    pub fn from_coo(coo: &CooMatrix<S>) -> Self {
+        // Dedup in transposed order so entries come out column-major.
+        let t = coo.transpose().dedup();
+        let rows = coo.rows();
+        let cols = coo.cols();
+        let mut col_ptr = vec![0usize; cols + 1];
+        for &(c, _, _) in t.entries() {
+            col_ptr[c as usize + 1] += 1;
+        }
+        for i in 0..cols {
+            col_ptr[i + 1] += col_ptr[i];
+        }
+        let nnz = *col_ptr.last().unwrap();
+        let mut row_idx = vec![0u32; nnz];
+        let mut values = vec![S::ZERO; nnz];
+        for (i, &(_, r, v)) in t.entries().iter().enumerate() {
+            row_idx[i] = r;
+            values[i] = v;
+        }
+        CscMatrix { rows, cols, col_ptr, row_idx, values }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored nonzeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The column pointer array (length `cols()+1`).
+    #[inline]
+    pub fn col_ptr(&self) -> &[usize] {
+        &self.col_ptr
+    }
+
+    /// The row index array.
+    #[inline]
+    pub fn row_idx(&self) -> &[u32] {
+        &self.row_idx
+    }
+
+    /// The value array.
+    #[inline]
+    pub fn values(&self) -> &[S] {
+        &self.values
+    }
+
+    /// Row indices of column `c`.
+    #[inline]
+    pub fn col_rows(&self, c: usize) -> &[u32] {
+        &self.row_idx[self.col_ptr[c]..self.col_ptr[c + 1]]
+    }
+
+    /// Values of column `c`.
+    #[inline]
+    pub fn col_values(&self, c: usize) -> &[S] {
+        &self.values[self.col_ptr[c]..self.col_ptr[c + 1]]
+    }
+
+    /// Expand to dense.
+    pub fn to_dense(&self) -> DenseMatrix<S> {
+        let mut out = DenseMatrix::zeros(self.rows, self.cols);
+        for c in 0..self.cols {
+            for (&r, &v) in self.col_rows(c).iter().zip(self.col_values(c)) {
+                out.set(r as usize, c, v);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse::CsrMatrix;
+
+    #[test]
+    fn csc_matches_csr_dense() {
+        let coo = CooMatrix::from_entries(
+            3,
+            4,
+            vec![(0, 0, 1.0f32), (0, 3, 2.0), (2, 1, 3.0), (1, 1, 4.0)],
+        );
+        let csr = CsrMatrix::from_coo(&coo);
+        let csc = CscMatrix::from_coo(&coo);
+        assert_eq!(csc.to_dense(), csr.to_dense());
+        assert_eq!(csc.nnz(), 4);
+    }
+
+    #[test]
+    fn column_access() {
+        let coo =
+            CooMatrix::from_entries(3, 2, vec![(0, 1, 1.0f32), (2, 1, 2.0), (1, 0, 3.0)]);
+        let csc = CscMatrix::from_coo(&coo);
+        assert_eq!(csc.col_rows(1), &[0, 2]);
+        assert_eq!(csc.col_values(1), &[1.0, 2.0]);
+        assert_eq!(csc.col_ptr(), &[0, 1, 3]);
+    }
+
+    #[test]
+    fn roundtrip_via_csr() {
+        let coo = CooMatrix::from_entries(4, 4, vec![(3, 0, 9.0f32), (0, 3, 8.0)]);
+        let csr = CsrMatrix::from_coo(&coo);
+        let csc = csr.to_csc();
+        assert_eq!(csc.to_dense(), csr.to_dense());
+    }
+}

@@ -1,0 +1,359 @@
+//! Compressed Sparse Row matrices and the gold SpMM/SDDMM reference kernels.
+
+use fs_precision::Scalar;
+
+use crate::dense::DenseMatrix;
+use crate::sparse::{CooMatrix, CscMatrix};
+
+/// A CSR sparse matrix: `row_ptr` (len rows+1), `col_idx`, `values`.
+///
+/// Column indices are `u32` (all evaluation matrices fit comfortably) which
+/// halves index memory traffic versus `usize`, as the real kernels do.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CsrMatrix<S: Scalar> {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Vec<S>,
+}
+
+impl<S: Scalar> CsrMatrix<S> {
+    /// Build from raw arrays, validating the invariants.
+    pub fn new(
+        rows: usize,
+        cols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<u32>,
+        values: Vec<S>,
+    ) -> Self {
+        assert_eq!(row_ptr.len(), rows + 1, "row_ptr length must be rows+1");
+        assert_eq!(col_idx.len(), values.len(), "col_idx and values must be parallel");
+        assert_eq!(*row_ptr.last().unwrap(), col_idx.len(), "row_ptr must end at nnz");
+        assert_eq!(row_ptr[0], 0, "row_ptr must start at 0");
+        for w in row_ptr.windows(2) {
+            assert!(w[0] <= w[1], "row_ptr must be non-decreasing");
+        }
+        for &c in &col_idx {
+            assert!((c as usize) < cols, "column index {c} out of bounds");
+        }
+        CsrMatrix { rows, cols, row_ptr, col_idx, values }
+    }
+
+    /// An empty matrix of the given shape.
+    pub fn empty(rows: usize, cols: usize) -> Self {
+        CsrMatrix { rows, cols, row_ptr: vec![0; rows + 1], col_idx: Vec::new(), values: Vec::new() }
+    }
+
+    /// Compress a COO matrix (duplicates summed, columns sorted per row).
+    pub fn from_coo(coo: &CooMatrix<S>) -> Self {
+        let deduped = coo.clone().dedup();
+        let rows = deduped.rows();
+        let cols = deduped.cols();
+        let mut row_ptr = vec![0usize; rows + 1];
+        for &(r, _, _) in deduped.entries() {
+            row_ptr[r as usize + 1] += 1;
+        }
+        for i in 0..rows {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let nnz = *row_ptr.last().unwrap();
+        let mut col_idx = vec![0u32; nnz];
+        let mut values = vec![S::ZERO; nnz];
+        // Entries are already (row, col)-sorted after dedup.
+        for (i, &(_, c, v)) in deduped.entries().iter().enumerate() {
+            col_idx[i] = c;
+            values[i] = v;
+        }
+        CsrMatrix { rows, cols, row_ptr, col_idx, values }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored nonzeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The row pointer array (length `rows()+1`).
+    #[inline]
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// The column index array.
+    #[inline]
+    pub fn col_idx(&self) -> &[u32] {
+        &self.col_idx
+    }
+
+    /// The value array.
+    #[inline]
+    pub fn values(&self) -> &[S] {
+        &self.values
+    }
+
+    /// Mutable values (pattern is fixed).
+    #[inline]
+    pub fn values_mut(&mut self) -> &mut [S] {
+        &mut self.values
+    }
+
+    /// The column indices of row `r`.
+    #[inline]
+    pub fn row_cols(&self, r: usize) -> &[u32] {
+        &self.col_idx[self.row_ptr[r]..self.row_ptr[r + 1]]
+    }
+
+    /// The values of row `r`.
+    #[inline]
+    pub fn row_values(&self, r: usize) -> &[S] {
+        &self.values[self.row_ptr[r]..self.row_ptr[r + 1]]
+    }
+
+    /// Number of nonzeros in row `r`.
+    #[inline]
+    pub fn row_len(&self, r: usize) -> usize {
+        self.row_ptr[r + 1] - self.row_ptr[r]
+    }
+
+    /// Iterate `(row, col, value)` in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, S)> + '_ {
+        (0..self.rows).flat_map(move |r| {
+            self.row_cols(r)
+                .iter()
+                .zip(self.row_values(r))
+                .map(move |(&c, &v)| (r, c as usize, v))
+        })
+    }
+
+    /// Expand to a dense matrix.
+    pub fn to_dense(&self) -> DenseMatrix<S> {
+        let mut out = DenseMatrix::zeros(self.rows, self.cols);
+        for (r, c, v) in self.iter() {
+            out.set(r, c, v);
+        }
+        out
+    }
+
+    /// Convert to COO triplets.
+    pub fn to_coo(&self) -> CooMatrix<S> {
+        CooMatrix::from_entries(
+            self.rows,
+            self.cols,
+            self.iter().map(|(r, c, v)| (r as u32, c as u32, v)).collect(),
+        )
+    }
+
+    /// Convert to CSC.
+    pub fn to_csc(&self) -> CscMatrix<S> {
+        CscMatrix::from_coo(&self.to_coo())
+    }
+
+    /// Transposed copy (CSR of Aᵀ).
+    pub fn transpose(&self) -> CsrMatrix<S> {
+        CsrMatrix::from_coo(&self.to_coo().transpose())
+    }
+
+    /// Convert values to a different precision, keeping the pattern.
+    pub fn cast<T: Scalar>(&self) -> CsrMatrix<T> {
+        CsrMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            row_ptr: self.row_ptr.clone(),
+            col_idx: self.col_idx.clone(),
+            values: self.values.iter().map(|v| T::from_f32(v.to_f32())).collect(),
+        }
+    }
+
+    /// The submatrix of the first `r` rows (same column space) — used for
+    /// sampling-based kernel auto-tuning.
+    pub fn head_rows(&self, r: usize) -> CsrMatrix<S> {
+        let r = r.min(self.rows);
+        let end = self.row_ptr[r];
+        CsrMatrix {
+            rows: r,
+            cols: self.cols,
+            row_ptr: self.row_ptr[..=r].to_vec(),
+            col_idx: self.col_idx[..end].to_vec(),
+            values: self.values[..end].to_vec(),
+        }
+    }
+
+    /// Replace all values with ones (adjacency-style pattern matrix).
+    pub fn with_unit_values(&self) -> CsrMatrix<S> {
+        let mut out = self.clone();
+        out.values_mut().iter_mut().for_each(|v| *v = S::ONE);
+        out
+    }
+
+    /// Gold SpMM: `C = self × B` with f32 accumulation, sequential, no
+    /// blocking — the oracle for every optimized SpMM in the workspace.
+    pub fn spmm_reference<T: Scalar>(&self, b: &DenseMatrix<T>) -> DenseMatrix<f32> {
+        assert_eq!(self.cols, b.rows(), "inner dimensions must agree");
+        let n = b.cols();
+        let mut out = DenseMatrix::zeros(self.rows, n);
+        for r in 0..self.rows {
+            let orow = out.row_mut(r);
+            for (&c, &v) in self.row_cols(r).iter().zip(self.row_values(r)) {
+                let a = v.to_f32();
+                let brow = b.row(c as usize);
+                for j in 0..n {
+                    orow[j] += a * brow[j].to_f32();
+                }
+            }
+        }
+        out
+    }
+
+    /// Gold SDDMM: `C = (A·Bᵀ) ⊙ mask(self)` where `A` is `rows×k`, `B` is
+    /// `cols×k`; returns a CSR with this matrix's pattern whose values are
+    /// the sampled dot products **scaled by this matrix's values** (the
+    /// general form; pass a unit-valued matrix for pure sampling).
+    pub fn sddmm_reference<T: Scalar>(
+        &self,
+        a: &DenseMatrix<T>,
+        b: &DenseMatrix<T>,
+    ) -> CsrMatrix<f32> {
+        assert_eq!(a.rows(), self.rows, "A rows must match mask rows");
+        assert_eq!(b.rows(), self.cols, "B rows must match mask cols");
+        assert_eq!(a.cols(), b.cols(), "A and B must share the inner dimension");
+        let k = a.cols();
+        let mut values = Vec::with_capacity(self.nnz());
+        for r in 0..self.rows {
+            for (&c, &m) in self.row_cols(r).iter().zip(self.row_values(r)) {
+                let mut acc = 0.0f32;
+                for t in 0..k {
+                    acc += a.get_f32(r, t) * b.get_f32(c as usize, t);
+                }
+                values.push(acc * m.to_f32());
+            }
+        }
+        CsrMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            row_ptr: self.row_ptr.clone(),
+            col_idx: self.col_idx.clone(),
+            values,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CsrMatrix<f32> {
+        // [1 0 2]
+        // [0 0 0]
+        // [3 4 0]
+        CsrMatrix::from_coo(&CooMatrix::from_entries(
+            3,
+            3,
+            vec![(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)],
+        ))
+    }
+
+    #[test]
+    fn from_coo_layout() {
+        let m = small();
+        assert_eq!(m.row_ptr(), &[0, 2, 2, 4]);
+        assert_eq!(m.col_idx(), &[0, 2, 0, 1]);
+        assert_eq!(m.values(), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.row_len(1), 0);
+    }
+
+    #[test]
+    fn invariant_validation() {
+        let r = std::panic::catch_unwind(|| {
+            CsrMatrix::<f32>::new(2, 2, vec![0, 1], vec![0], vec![1.0])
+        });
+        assert!(r.is_err(), "short row_ptr must be rejected");
+        let r = std::panic::catch_unwind(|| {
+            CsrMatrix::<f32>::new(1, 2, vec![0, 1], vec![5], vec![1.0])
+        });
+        assert!(r.is_err(), "out-of-bounds column must be rejected");
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let m = small();
+        let d = m.to_dense();
+        assert_eq!(d.get(0, 2), 2.0);
+        assert_eq!(d.get(1, 1), 0.0);
+        let back = CsrMatrix::from_coo(&m.to_coo());
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn transpose_matches_dense_transpose() {
+        let m = small();
+        assert_eq!(m.transpose().to_dense(), m.to_dense().transpose());
+    }
+
+    #[test]
+    fn spmm_reference_matches_dense_matmul() {
+        let m = small();
+        let b = DenseMatrix::<f32>::from_fn(3, 4, |r, c| (r * 4 + c) as f32);
+        let via_sparse = m.spmm_reference(&b);
+        let via_dense = m.to_dense().matmul(&b);
+        assert_eq!(via_sparse.max_abs_diff(&via_dense), 0.0);
+    }
+
+    #[test]
+    fn sddmm_reference_known_values() {
+        // mask has nnz at (0,0) and (1,2); A=2x2, B=3x2.
+        let mask = CsrMatrix::from_coo(&CooMatrix::from_entries(
+            2,
+            3,
+            vec![(0, 0, 1.0), (1, 2, 2.0)],
+        ));
+        let a = DenseMatrix::<f32>::from_f32_slice(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let b = DenseMatrix::<f32>::from_f32_slice(3, 2, &[1.0, 0.0, 0.0, 1.0, 1.0, 1.0]);
+        let out = mask.sddmm_reference(&a, &b);
+        // (0,0): <(1,2),(1,0)> * 1 = 1 ; (1,2): <(3,4),(1,1)> * 2 = 14
+        assert_eq!(out.values(), &[1.0, 14.0]);
+        assert_eq!(out.col_idx(), mask.col_idx());
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = CsrMatrix::<f32>::empty(5, 7);
+        assert_eq!(m.nnz(), 0);
+        let b = DenseMatrix::<f32>::zeros(7, 3);
+        let c = m.spmm_reference(&b);
+        assert_eq!(c.max_abs_diff(&DenseMatrix::<f32>::zeros(5, 3)), 0.0);
+    }
+
+    #[test]
+    fn head_rows_subsets() {
+        let m = small();
+        let h = m.head_rows(2);
+        assert_eq!(h.rows(), 2);
+        assert_eq!(h.cols(), 3);
+        assert_eq!(h.nnz(), 2);
+        assert_eq!(h.to_dense().get(0, 2), 2.0);
+        // Clamped.
+        assert_eq!(m.head_rows(100).nnz(), m.nnz());
+        assert_eq!(m.head_rows(0).nnz(), 0);
+    }
+
+    #[test]
+    fn unit_values() {
+        let m = small().with_unit_values();
+        assert!(m.values().iter().all(|&v| v == 1.0));
+        assert_eq!(m.col_idx(), small().col_idx());
+    }
+}

@@ -1,0 +1,11 @@
+//! Classic sparse matrix formats (COO, CSR, CSC) and the gold reference
+//! kernels every optimized implementation in the workspace is validated
+//! against.
+
+mod coo;
+mod csc;
+mod csr;
+
+pub use coo::CooMatrix;
+pub use csc::CscMatrix;
+pub use csr::CsrMatrix;

@@ -1,0 +1,141 @@
+//! Sparsity statistics reported throughout the paper's evaluation
+//! (Table 4's AvgRowLength, row-length skew, densities).
+
+use fs_precision::Scalar;
+
+use crate::sparse::CsrMatrix;
+
+/// Summary statistics of a sparse matrix's structure.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SparsityStats {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Number of stored nonzeros.
+    pub nnz: usize,
+    /// Mean nonzeros per row (Table 4's "AvgRowLength").
+    pub avg_row_length: f64,
+    /// Longest row.
+    pub max_row_length: usize,
+    /// Shortest row.
+    pub min_row_length: usize,
+    /// Number of completely empty rows.
+    pub empty_rows: usize,
+    /// Fraction of entries that are nonzero.
+    pub density: f64,
+    /// Coefficient of variation of row lengths (σ/μ) — the load-imbalance
+    /// signal RoDe's decomposition targets.
+    pub row_cv: f64,
+}
+
+/// Compute [`SparsityStats`] for a CSR matrix.
+pub fn sparsity_stats<S: Scalar>(m: &CsrMatrix<S>) -> SparsityStats {
+    let rows = m.rows();
+    let lengths: Vec<usize> = (0..rows).map(|r| m.row_len(r)).collect();
+    let nnz = m.nnz();
+    let mean = if rows > 0 { nnz as f64 / rows as f64 } else { 0.0 };
+    let var = if rows > 0 {
+        lengths.iter().map(|&l| (l as f64 - mean).powi(2)).sum::<f64>() / rows as f64
+    } else {
+        0.0
+    };
+    SparsityStats {
+        rows,
+        cols: m.cols(),
+        nnz,
+        avg_row_length: mean,
+        max_row_length: lengths.iter().copied().max().unwrap_or(0),
+        min_row_length: lengths.iter().copied().min().unwrap_or(0),
+        empty_rows: lengths.iter().filter(|&&l| l == 0).count(),
+        density: if rows > 0 && m.cols() > 0 {
+            nnz as f64 / (rows as f64 * m.cols() as f64)
+        } else {
+            0.0
+        },
+        row_cv: if mean > 0.0 { var.sqrt() / mean } else { 0.0 },
+    }
+}
+
+/// Geometric mean of a sequence of positive values; 0 if empty.
+pub fn geometric_mean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut log_sum = 0.0f64;
+    let mut n = 0usize;
+    for v in values {
+        assert!(v > 0.0, "geometric mean requires positive values, got {v}");
+        log_sum += v.ln();
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        (log_sum / n as f64).exp()
+    }
+}
+
+/// Percentile (0–100, linear interpolation) of an unsorted slice.
+pub fn percentile(values: &[f64], pct: f64) -> f64 {
+    assert!(!values.is_empty(), "percentile of empty slice");
+    assert!((0.0..=100.0).contains(&pct));
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let rank = pct / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let w = rank - lo as f64;
+        sorted[lo] * (1.0 - w) + sorted[hi] * w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{banded, rmat, RmatConfig};
+    use crate::sparse::{CooMatrix, CsrMatrix};
+
+    #[test]
+    fn stats_on_known_matrix() {
+        // rows: 2, 0, 1 nonzeros
+        let m = CsrMatrix::from_coo(&CooMatrix::from_entries(
+            3,
+            4,
+            vec![(0, 0, 1.0f32), (0, 1, 1.0), (2, 3, 1.0)],
+        ));
+        let s = sparsity_stats(&m);
+        assert_eq!(s.nnz, 3);
+        assert_eq!(s.max_row_length, 2);
+        assert_eq!(s.min_row_length, 0);
+        assert_eq!(s.empty_rows, 1);
+        assert!((s.avg_row_length - 1.0).abs() < 1e-12);
+        assert!((s.density - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn banded_has_low_cv_rmat_has_high_cv() {
+        let b = CsrMatrix::from_coo(&banded::<f32>(256, &[-1, 0, 1], 1.0, 0));
+        let g = CsrMatrix::from_coo(&rmat::<f32>(8, 8, RmatConfig::GRAPH500, false, 0));
+        let sb = sparsity_stats(&b);
+        let sg = sparsity_stats(&g);
+        assert!(sb.row_cv < 0.2, "banded cv={}", sb.row_cv);
+        assert!(sg.row_cv > 0.5, "rmat cv={}", sg.row_cv);
+    }
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert!((geometric_mean([1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geometric_mean([2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geometric_mean(std::iter::empty()), 0.0);
+    }
+
+    #[test]
+    fn percentile_basics() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 50.0), 3.0);
+        assert_eq!(percentile(&v, 100.0), 5.0);
+        assert_eq!(percentile(&v, 25.0), 2.0);
+    }
+}

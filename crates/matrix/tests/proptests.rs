@@ -1,0 +1,140 @@
+//! Property-based tests for the matrix substrate: format roundtrips,
+//! reference-kernel algebra, generator invariants, I/O.
+
+use fs_matrix::gen::{random_uniform, rmat, RmatConfig};
+use fs_matrix::io::{read_matrix_market, write_matrix_market};
+use fs_matrix::stats::sparsity_stats;
+use fs_matrix::{CooMatrix, CscMatrix, CsrMatrix, DenseMatrix};
+use proptest::prelude::*;
+
+fn arb_csr() -> impl Strategy<Value = CsrMatrix<f32>> {
+    (1usize..60, 1usize..60, 0usize..300, 0u64..10_000).prop_map(|(r, c, nnz, seed)| {
+        CsrMatrix::from_coo(&random_uniform::<f32>(r, c, nnz, seed))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// CSR ↔ COO ↔ CSC all describe the same matrix.
+    #[test]
+    fn format_roundtrips(csr in arb_csr()) {
+        let coo = csr.to_coo();
+        prop_assert_eq!(CsrMatrix::from_coo(&coo), csr.clone());
+        let csc = CscMatrix::from_coo(&coo);
+        prop_assert_eq!(csc.to_dense(), csr.to_dense());
+        prop_assert_eq!(csc.nnz(), csr.nnz());
+    }
+
+    /// Transposition is an involution and swaps the dense axes.
+    #[test]
+    fn transpose_involution(csr in arb_csr()) {
+        let t = csr.transpose();
+        prop_assert_eq!((t.rows(), t.cols()), (csr.cols(), csr.rows()));
+        prop_assert_eq!(t.transpose(), csr.clone());
+        prop_assert_eq!(t.to_dense(), csr.to_dense().transpose());
+    }
+
+    /// SpMM against the identity returns the dense expansion.
+    #[test]
+    fn spmm_identity(csr in arb_csr()) {
+        let eye = DenseMatrix::<f32>::from_fn(csr.cols(), csr.cols(), |r, c| {
+            if r == c { 1.0 } else { 0.0 }
+        });
+        let out = csr.spmm_reference(&eye);
+        prop_assert_eq!(out.max_abs_diff(&csr.to_dense()), 0.0);
+    }
+
+    /// SpMM is linear in the dense operand: A(B₁+B₂) = AB₁ + AB₂.
+    #[test]
+    fn spmm_linearity(csr in arb_csr(), n in 1usize..12) {
+        let b1 = DenseMatrix::<f32>::from_fn(csr.cols(), n, |r, c| ((r * 3 + c) % 8) as f32);
+        let b2 = DenseMatrix::<f32>::from_fn(csr.cols(), n, |r, c| ((r + 5 * c) % 6) as f32);
+        let sum = DenseMatrix::<f32>::from_fn(csr.cols(), n, |r, c| {
+            b1.get(r, c) + b2.get(r, c)
+        });
+        let lhs = csr.spmm_reference(&sum);
+        let r1 = csr.spmm_reference(&b1);
+        let r2 = csr.spmm_reference(&b2);
+        for i in 0..lhs.rows() {
+            for j in 0..n {
+                let rhs = r1.get(i, j) + r2.get(i, j);
+                prop_assert!((lhs.get(i, j) - rhs).abs() < 1e-3 * (1.0 + rhs.abs()));
+            }
+        }
+    }
+
+    /// SDDMM with a unit mask samples the dense product exactly.
+    #[test]
+    fn sddmm_samples_dense_product(csr in arb_csr(), k in 1usize..10) {
+        let mask = csr.with_unit_values();
+        let a = DenseMatrix::<f32>::from_fn(mask.rows(), k, |r, c| ((r + c) % 5) as f32 * 0.5);
+        let b = DenseMatrix::<f32>::from_fn(mask.cols(), k, |r, c| ((r * 2 + c) % 7) as f32 * 0.25);
+        let out = mask.sddmm_reference(&a, &b);
+        let full = a.matmul(&b.transpose());
+        for (r, c, v) in out.iter() {
+            prop_assert!((v - full.get(r, c)).abs() < 1e-3);
+        }
+    }
+
+    /// head_rows produces a consistent prefix.
+    #[test]
+    fn head_rows_prefix(csr in arb_csr(), r in 0usize..80) {
+        let h = csr.head_rows(r);
+        prop_assert_eq!(h.rows(), r.min(csr.rows()));
+        for row in 0..h.rows() {
+            prop_assert_eq!(h.row_cols(row), csr.row_cols(row));
+            prop_assert_eq!(h.row_values(row), csr.row_values(row));
+        }
+    }
+
+    /// Matrix Market write → read is the identity.
+    #[test]
+    fn matrix_market_roundtrip(csr in arb_csr()) {
+        let mut buf = Vec::new();
+        write_matrix_market(&csr, &mut buf).unwrap();
+        let back = CsrMatrix::from_coo(&read_matrix_market::<f32, _>(&buf[..]).unwrap());
+        prop_assert_eq!(back, csr);
+    }
+
+    /// Statistics are internally consistent.
+    #[test]
+    fn stats_consistency(csr in arb_csr()) {
+        let s = sparsity_stats(&csr);
+        prop_assert_eq!(s.nnz, csr.nnz());
+        prop_assert!(s.min_row_length <= s.max_row_length);
+        prop_assert!(s.avg_row_length <= s.max_row_length as f64 + 1e-12);
+        prop_assert!(s.avg_row_length >= s.min_row_length as f64 - 1e-12);
+        prop_assert!((0.0..=1.0).contains(&s.density));
+        if s.nnz == 0 {
+            prop_assert_eq!(s.empty_rows, s.rows);
+        }
+    }
+
+    /// Dedup is idempotent and never increases nnz.
+    #[test]
+    fn dedup_idempotent(
+        rows in 1usize..40,
+        cols in 1usize..40,
+        entries in prop::collection::vec((0u32..40, 0u32..40, -10i32..10), 0..120),
+    ) {
+        let entries: Vec<(u32, u32, f32)> = entries
+            .into_iter()
+            .map(|(r, c, v)| (r % rows as u32, c % cols as u32, v as f32))
+            .collect();
+        let raw_len = entries.len();
+        let coo = CooMatrix::from_entries(rows, cols, entries);
+        let once = coo.clone().dedup();
+        prop_assert!(once.nnz() <= raw_len);
+        let twice = once.clone().dedup();
+        prop_assert_eq!(once.entries(), twice.entries());
+    }
+}
+
+/// Deterministic generators stay deterministic across the API surface.
+#[test]
+fn generators_are_stable_across_calls() {
+    let a = rmat::<f32>(6, 4, RmatConfig::GRAPH500, true, 123);
+    let b = rmat::<f32>(6, 4, RmatConfig::GRAPH500, true, 123);
+    assert_eq!(CsrMatrix::from_coo(&a), CsrMatrix::from_coo(&b));
+}

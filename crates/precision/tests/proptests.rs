@@ -1,0 +1,88 @@
+//! Property-based tests for the soft-float types.
+
+use fs_precision::{F16, Scalar, Tf32};
+use proptest::prelude::*;
+
+proptest! {
+    /// f16 conversion never increases magnitude error beyond half-ULP
+    /// (relative 2^-11 for normals).
+    #[test]
+    fn f16_relative_error_bound(x in -60000.0f32..60000.0) {
+        let h = F16::from_f32(x).to_f32();
+        if x.abs() >= 2.0f32.powi(-14) {
+            let rel = ((h - x) / x).abs();
+            prop_assert!(rel <= 2.0f32.powi(-11), "x={x} h={h} rel={rel}");
+        } else {
+            // Subnormal range: absolute error ≤ half the subnormal ULP.
+            prop_assert!((h - x).abs() <= 2.0f32.powi(-25));
+        }
+    }
+
+    /// Conversion is monotone: x ≤ y ⇒ f16(x) ≤ f16(y).
+    #[test]
+    fn f16_monotone(x in -70000.0f32..70000.0, y in -70000.0f32..70000.0) {
+        let (lo, hi) = if x <= y { (x, y) } else { (y, x) };
+        prop_assert!(F16::from_f32(lo).to_f32() <= F16::from_f32(hi).to_f32());
+    }
+
+    /// Roundtrip through f32 is the identity on the f16 lattice.
+    #[test]
+    fn f16_idempotent(bits in 0u16..=0xFFFFu16) {
+        let h = F16::from_bits(bits);
+        if h.is_finite() {
+            prop_assert_eq!(F16::from_f32(h.to_f32()).to_bits(), bits);
+        }
+    }
+
+    /// Negation is exact and involutive.
+    #[test]
+    fn f16_neg_involutive(x in -60000.0f32..60000.0) {
+        let h = F16::from_f32(x);
+        prop_assert_eq!((-(-h)).to_bits(), h.to_bits());
+        prop_assert_eq!((-h).to_f32(), -(h.to_f32()));
+    }
+
+    /// TF32 rounding keeps the value within 2^-11 relative error.
+    #[test]
+    fn tf32_relative_error_bound(x in prop::num::f32::NORMAL) {
+        let t = Tf32::from_f32(x);
+        if t.is_finite() {
+            let rel = ((t.to_f32() - x) / x).abs();
+            prop_assert!(rel <= 2.0f32.powi(-11), "x={x} rel={rel}");
+        }
+    }
+
+    /// TF32 is idempotent.
+    #[test]
+    fn tf32_idempotent(x in prop::num::f32::ANY) {
+        let once = Tf32::from_f32(x);
+        let twice = Tf32::from_f32(once.to_f32());
+        if !x.is_nan() {
+            prop_assert_eq!(once.to_bits(), twice.to_bits());
+        }
+    }
+
+    /// TF32 is monotone.
+    #[test]
+    fn tf32_monotone(x in -1e30f32..1e30, y in -1e30f32..1e30) {
+        let (lo, hi) = if x <= y { (x, y) } else { (y, x) };
+        prop_assert!(Tf32::from_f32(lo).to_f32() <= Tf32::from_f32(hi).to_f32());
+    }
+
+    /// Scalar trait roundtrips agree with the concrete types.
+    #[test]
+    fn scalar_trait_consistency(x in -60000.0f32..60000.0) {
+        prop_assert_eq!(<F16 as Scalar>::from_f32(x).to_f32(), F16::from_f32(x).to_f32());
+        prop_assert_eq!(<Tf32 as Scalar>::from_f32(x).to_f32(), Tf32::from_f32(x).to_f32());
+        prop_assert_eq!(<f32 as Scalar>::from_f32(x), x);
+    }
+
+    /// TF32 values are exactly representable in f32 with 13 zero low bits.
+    #[test]
+    fn tf32_lattice(x in prop::num::f32::NORMAL) {
+        let t = Tf32::from_f32(x);
+        if t.is_finite() && t.to_f32() != 0.0 {
+            prop_assert_eq!(t.to_bits() & 0x1FFF, 0);
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! The roofline cost model: counters → simulated kernel time → GFLOPS.
+//!
+//! A kernel's simulated time is the classic roofline maximum of its compute
+//! time (counted FLOPs over the engine's sustained throughput) and its
+//! memory time (counted 32-byte transactions over sustained DRAM
+//! bandwidth), plus a fixed launch overhead. This is deliberately simple:
+//! the experiments the paper reports are driven by *ratios* of operation
+//! and transaction counts between algorithms on identical inputs, which a
+//! roofline preserves.
+
+use crate::counters::KernelCounters;
+use crate::gpu::GpuSpec;
+use crate::shape::Precision;
+
+/// Which execution engine (and input precision) a kernel ran on —
+/// determines the peak-throughput line of the roofline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ComputeClass {
+    /// Tensor cores with FP16 operands.
+    TcuFp16,
+    /// Tensor cores with TF32 operands.
+    TcuTf32,
+    /// CUDA cores with FP32 operands (all the non-TCU baselines).
+    CudaFp32,
+}
+
+impl ComputeClass {
+    /// The tensor-core class for an input precision.
+    pub fn tcu(precision: Precision) -> Self {
+        match precision {
+            Precision::Fp16 => ComputeClass::TcuFp16,
+            Precision::Tf32 => ComputeClass::TcuTf32,
+        }
+    }
+}
+
+/// Roofline cost model for one GPU.
+#[derive(Clone, Copy, Debug)]
+pub struct CostModel {
+    /// The GPU being modelled.
+    pub gpu: GpuSpec,
+}
+
+impl CostModel {
+    /// A model for the given GPU.
+    pub fn new(gpu: GpuSpec) -> Self {
+        CostModel { gpu }
+    }
+
+    /// Sustained compute throughput (FLOP/s) for a compute class.
+    pub fn sustained_flops(&self, class: ComputeClass) -> f64 {
+        let g = &self.gpu;
+        match class {
+            ComputeClass::TcuFp16 => g.fp16_tcu_tflops * 1e12 * g.tcu_efficiency,
+            ComputeClass::TcuTf32 => g.tf32_tcu_tflops * 1e12 * g.tcu_efficiency,
+            ComputeClass::CudaFp32 => g.fp32_cuda_tflops * 1e12 * g.cuda_efficiency,
+        }
+    }
+
+    /// Sustained memory bandwidth (bytes/s).
+    pub fn sustained_bandwidth(&self) -> f64 {
+        self.gpu.dram_gbs * 1e9 * self.gpu.mem_efficiency
+    }
+
+    /// Simulated kernel time in seconds.
+    pub fn kernel_time(&self, counters: &KernelCounters, class: ComputeClass) -> f64 {
+        let flops = match class {
+            ComputeClass::CudaFp32 => counters.cuda_flops,
+            _ => counters.tcu_flops,
+        } as f64;
+        let compute = flops / self.sustained_flops(class);
+        let memory = counters.bytes_moved() as f64 / self.sustained_bandwidth();
+        compute.max(memory) + self.gpu.launch_overhead_s
+    }
+
+    /// Simulated kernel time accounting for **both** engines: the maximum
+    /// of tensor-core compute time (at `tcu_class`), CUDA-core compute
+    /// time, and memory time. Kernels that do scalar bookkeeping alongside
+    /// MMAs (e.g. TC-GNN's per-element position checks) are limited by
+    /// whichever engine saturates first.
+    pub fn kernel_time_full(&self, counters: &KernelCounters, tcu_class: ComputeClass) -> f64 {
+        let tcu = counters.tcu_flops as f64
+            / self.sustained_flops(match tcu_class {
+                ComputeClass::CudaFp32 => ComputeClass::TcuFp16, // no TCU work anyway
+                c => c,
+            });
+        let cuda = counters.cuda_flops as f64 / self.sustained_flops(ComputeClass::CudaFp32);
+        let memory = counters.bytes_moved() as f64 / self.sustained_bandwidth();
+        tcu.max(cuda).max(memory) + self.gpu.launch_overhead_s
+    }
+
+    /// Effective throughput in GFLOPS given the *useful* work of the
+    /// operator (2·nnz·N for SpMM — the paper's y-axis), not the redundant
+    /// FLOPs actually executed.
+    pub fn gflops(&self, useful_flops: u64, time_s: f64) -> f64 {
+        useful_flops as f64 / time_s / 1e9
+    }
+}
+
+/// Useful FLOPs of an SpMM: 2 ops per nonzero per output column.
+#[inline]
+pub fn spmm_useful_flops(nnz: usize, n: usize) -> u64 {
+    2 * nnz as u64 * n as u64
+}
+
+/// Useful FLOPs of an SDDMM: 2·k ops per sampled output nonzero.
+#[inline]
+pub fn sddmm_useful_flops(nnz: usize, k: usize) -> u64 {
+    2 * nnz as u64 * k as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gpu::GpuSpec;
+
+    fn model() -> CostModel {
+        CostModel::new(GpuSpec::RTX4090)
+    }
+
+    #[test]
+    fn memory_bound_kernel_time_scales_with_bytes() {
+        let m = model();
+        let a = KernelCounters { bytes_loaded: 1 << 20, ..Default::default() };
+        let b = KernelCounters { bytes_loaded: 1 << 21, ..Default::default() };
+        let ta = m.kernel_time(&a, ComputeClass::TcuFp16) - m.gpu.launch_overhead_s;
+        let tb = m.kernel_time(&b, ComputeClass::TcuFp16) - m.gpu.launch_overhead_s;
+        assert!((tb / ta - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compute_bound_kernel_uses_engine_peak() {
+        let m = model();
+        let k = KernelCounters { tcu_flops: 10u64.pow(12), ..Default::default() };
+        let t_fp16 = m.kernel_time(&k, ComputeClass::TcuFp16);
+        let t_tf32 = m.kernel_time(&k, ComputeClass::TcuTf32);
+        assert!(t_tf32 > t_fp16, "TF32 peak is lower so the same FLOPs take longer");
+    }
+
+    #[test]
+    fn cuda_class_reads_cuda_flops() {
+        let m = model();
+        let k = KernelCounters { cuda_flops: 10u64.pow(12), tcu_flops: 0, ..Default::default() };
+        let t = m.kernel_time(&k, ComputeClass::CudaFp32);
+        assert!(t > m.gpu.launch_overhead_s * 2.0);
+        // Same counters on the TCU class see zero compute.
+        let t2 = m.kernel_time(&k, ComputeClass::TcuFp16);
+        assert!((t2 - m.gpu.launch_overhead_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roofline_takes_the_max() {
+        let m = model();
+        // Huge compute, tiny memory → compute-dominated.
+        let k = KernelCounters {
+            tcu_flops: 10u64.pow(13),
+            bytes_loaded: 32,
+            ..Default::default()
+        };
+        let t = m.kernel_time(&k, ComputeClass::TcuFp16);
+        let compute_only =
+            10f64.powi(13) / m.sustained_flops(ComputeClass::TcuFp16) + m.gpu.launch_overhead_s;
+        assert!((t - compute_only).abs() / compute_only < 1e-9);
+    }
+
+    #[test]
+    fn gflops_helper() {
+        let m = model();
+        assert!((m.gflops(2_000_000_000, 1.0) - 2.0).abs() < 1e-12);
+        assert_eq!(spmm_useful_flops(1000, 128), 256_000);
+        assert_eq!(sddmm_useful_flops(1000, 32), 64_000);
+    }
+}

@@ -1,0 +1,160 @@
+//! Counters accumulated by simulated kernels.
+
+use std::ops::{Add, AddAssign};
+
+/// Everything a simulated kernel execution counts. Plain data; kernels
+/// running in parallel each accumulate their own and merge with `+`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KernelCounters {
+    /// `mma.sync` invocations.
+    pub mma_count: u64,
+    /// WMMA (C++ API) invocations.
+    pub wmma_count: u64,
+    /// Floating-point ops performed on tensor cores (2·m·n·k per MMA).
+    pub tcu_flops: u64,
+    /// Floating-point ops performed on CUDA cores (2 per FMA).
+    pub cuda_flops: u64,
+    /// 32-byte load transactions issued to global memory.
+    pub load_transactions: u64,
+    /// 32-byte store transactions issued to global memory.
+    pub store_transactions: u64,
+    /// Bytes actually transferred by loads (transactions × 32).
+    pub bytes_loaded: u64,
+    /// Bytes actually transferred by stores.
+    pub bytes_stored: u64,
+    /// Bytes the kernel *needed* to load (perfect coalescing).
+    pub ideal_bytes_loaded: u64,
+    /// Bytes the kernel needed to store.
+    pub ideal_bytes_stored: u64,
+    /// Ideal load bytes attributable to sparse-matrix values.
+    pub sparse_value_bytes: u64,
+    /// Ideal load bytes attributable to the dense operand.
+    pub dense_operand_bytes: u64,
+    /// Ideal load bytes attributable to index metadata.
+    pub index_bytes: u64,
+}
+
+/// The source a warp load serves — lets experiments break the Figure 12
+/// data-access cost down by traffic class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TrafficClass {
+    /// Sparse TC-block values.
+    SparseValues,
+    /// Dense operand tiles.
+    DenseOperand,
+    /// Column-index / pointer metadata.
+    Indices,
+}
+
+impl KernelCounters {
+    /// Total transactions (loads + stores).
+    #[inline]
+    pub fn transactions(&self) -> u64 {
+        self.load_transactions + self.store_transactions
+    }
+
+    /// Total bytes moved over the memory bus.
+    #[inline]
+    pub fn bytes_moved(&self) -> u64 {
+        self.bytes_loaded + self.bytes_stored
+    }
+
+    /// Total data access cost in bytes — the metric of the paper's
+    /// Figure 12 ("the cost of loading data from the memory hierarchy").
+    #[inline]
+    pub fn data_access_bytes(&self) -> u64 {
+        self.bytes_loaded + self.bytes_stored
+    }
+
+    /// Fraction of transferred load bytes that were useful (1.0 = perfectly
+    /// coalesced).
+    pub fn load_efficiency(&self) -> f64 {
+        if self.bytes_loaded == 0 {
+            1.0
+        } else {
+            self.ideal_bytes_loaded as f64 / self.bytes_loaded as f64
+        }
+    }
+
+    /// Total floating-point operations executed (either engine).
+    #[inline]
+    pub fn total_flops(&self) -> u64 {
+        self.tcu_flops + self.cuda_flops
+    }
+}
+
+impl Add for KernelCounters {
+    type Output = KernelCounters;
+    fn add(self, rhs: KernelCounters) -> KernelCounters {
+        KernelCounters {
+            mma_count: self.mma_count + rhs.mma_count,
+            wmma_count: self.wmma_count + rhs.wmma_count,
+            tcu_flops: self.tcu_flops + rhs.tcu_flops,
+            cuda_flops: self.cuda_flops + rhs.cuda_flops,
+            load_transactions: self.load_transactions + rhs.load_transactions,
+            store_transactions: self.store_transactions + rhs.store_transactions,
+            bytes_loaded: self.bytes_loaded + rhs.bytes_loaded,
+            bytes_stored: self.bytes_stored + rhs.bytes_stored,
+            ideal_bytes_loaded: self.ideal_bytes_loaded + rhs.ideal_bytes_loaded,
+            ideal_bytes_stored: self.ideal_bytes_stored + rhs.ideal_bytes_stored,
+            sparse_value_bytes: self.sparse_value_bytes + rhs.sparse_value_bytes,
+            dense_operand_bytes: self.dense_operand_bytes + rhs.dense_operand_bytes,
+            index_bytes: self.index_bytes + rhs.index_bytes,
+        }
+    }
+}
+
+impl AddAssign for KernelCounters {
+    fn add_assign(&mut self, rhs: KernelCounters) {
+        *self = *self + rhs;
+    }
+}
+
+impl std::iter::Sum for KernelCounters {
+    fn sum<I: Iterator<Item = KernelCounters>>(iter: I) -> KernelCounters {
+        iter.fold(KernelCounters::default(), |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge() {
+        let a = KernelCounters { mma_count: 2, bytes_loaded: 64, ..Default::default() };
+        let b = KernelCounters { mma_count: 3, bytes_loaded: 32, ..Default::default() };
+        let c = a + b;
+        assert_eq!(c.mma_count, 5);
+        assert_eq!(c.bytes_loaded, 96);
+        let s: KernelCounters = [a, b].into_iter().sum();
+        assert_eq!(s, c);
+    }
+
+    #[test]
+    fn efficiency() {
+        let k = KernelCounters {
+            bytes_loaded: 128,
+            ideal_bytes_loaded: 64,
+            ..Default::default()
+        };
+        assert!((k.load_efficiency() - 0.5).abs() < 1e-12);
+        assert_eq!(KernelCounters::default().load_efficiency(), 1.0);
+    }
+
+    #[test]
+    fn totals() {
+        let k = KernelCounters {
+            load_transactions: 3,
+            store_transactions: 2,
+            bytes_loaded: 96,
+            bytes_stored: 64,
+            tcu_flops: 100,
+            cuda_flops: 50,
+            ..Default::default()
+        };
+        assert_eq!(k.transactions(), 5);
+        assert_eq!(k.bytes_moved(), 160);
+        assert_eq!(k.total_flops(), 150);
+    }
+}

@@ -1,0 +1,281 @@
+//! Per-thread register fragments and their PTX-documented layouts.
+//!
+//! An MMA operand is distributed over the 32 lanes of a warp: lane `l`
+//! holds `regs_per_lane` values, and the PTX ISA specifies exactly which
+//! `(row, col)` of the tile each `(lane, reg)` pair carries (see "Matrix
+//! Fragments for mma.m16n8k8" in the PTX documentation, reference [33] of
+//! the paper). FlashSparse's thread-mapping optimization (Section 3.3)
+//! reasons directly about these layouts, so the simulator reproduces them
+//! exactly.
+
+use crate::shape::{MmaShape, Precision};
+use crate::WARP_SIZE;
+
+/// Which operand of the MMA a fragment holds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FragKind {
+    /// Left operand, `m×k`, row-major logical layout.
+    A,
+    /// Right operand, `k×n`, column-major logical layout.
+    B,
+    /// Accumulator / result, `m×n`.
+    CD,
+}
+
+/// The register layout of one operand of one MMA shape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FragmentLayout {
+    shape: MmaShape,
+    kind: FragKind,
+}
+
+impl FragmentLayout {
+    /// The layout of operand `kind` for `shape`.
+    ///
+    /// # Panics
+    /// Panics for shapes the simulator does not model per-lane (the WMMA
+    /// shape `m16n16k8`, which the C++ API treats as an opaque tile).
+    pub fn of(shape: MmaShape, kind: FragKind) -> Self {
+        assert!(
+            shape.m == 16 && shape.n == 8,
+            "per-lane layouts are defined for the m16n8k* family, got {shape:?}"
+        );
+        FragmentLayout { shape, kind }
+    }
+
+    /// Registers each lane contributes to this operand.
+    pub fn regs_per_lane(&self) -> usize {
+        let s = &self.shape;
+        match self.kind {
+            FragKind::A => s.a_elems() / WARP_SIZE,
+            FragKind::B => s.b_elems() / WARP_SIZE,
+            FragKind::CD => s.cd_elems() / WARP_SIZE,
+        }
+    }
+
+    /// Tile dimensions `(rows, cols)` of this operand.
+    pub fn dims(&self) -> (usize, usize) {
+        let s = &self.shape;
+        match self.kind {
+            FragKind::A => (s.m, s.k),
+            FragKind::B => (s.k, s.n),
+            FragKind::CD => (s.m, s.n),
+        }
+    }
+
+    /// The `(row, col)` of the tile element held in register `reg` of lane
+    /// `lane`, exactly as documented in the PTX ISA.
+    pub fn pos(&self, lane: usize, reg: usize) -> (usize, usize) {
+        debug_assert!(lane < WARP_SIZE && reg < self.regs_per_lane());
+        let g = lane >> 2; // "groupID" in the PTX docs
+        let t = lane & 3; // "threadID_in_group"
+        let k = self.shape.k;
+        match (self.kind, self.shape.precision, k) {
+            // ---- FP16, m16n8k8 ----
+            (FragKind::A, Precision::Fp16, 8) => {
+                // 4 halves: a0,a1 in the top 16×8 half-rows, a2,a3 offset +8.
+                let row = g + if reg >= 2 { 8 } else { 0 };
+                let col = t * 2 + (reg & 1);
+                (row, col)
+            }
+            (FragKind::B, Precision::Fp16, 8) => (t * 2 + reg, g),
+            // ---- FP16, m16n8k16 ----
+            (FragKind::A, Precision::Fp16, 16) => {
+                let row = g + if reg % 4 >= 2 { 8 } else { 0 };
+                let col = t * 2 + (reg & 1) + if reg >= 4 { 8 } else { 0 };
+                (row, col)
+            }
+            (FragKind::B, Precision::Fp16, 16) => {
+                let row = t * 2 + (reg & 1) + if reg >= 2 { 8 } else { 0 };
+                (row, g)
+            }
+            // ---- TF32, m16n8k4 ----
+            (FragKind::A, Precision::Tf32, 4) => (g + reg * 8, t),
+            (FragKind::B, Precision::Tf32, 4) => (t, g),
+            // ---- TF32, m16n8k8 ----
+            (FragKind::A, Precision::Tf32, 8) => {
+                let row = g + if reg & 1 == 1 { 8 } else { 0 };
+                let col = t + if reg >= 2 { 4 } else { 0 };
+                (row, col)
+            }
+            (FragKind::B, Precision::Tf32, 8) => (t + reg * 4, g),
+            // ---- C/D is always 16×8 f32, shared across shapes ----
+            (FragKind::CD, _, _) => {
+                let row = g + if reg >= 2 { 8 } else { 0 };
+                let col = t * 2 + (reg & 1);
+                (row, col)
+            }
+            other => unreachable!("unsupported fragment layout {other:?}"),
+        }
+    }
+}
+
+/// A warp's register storage for one MMA operand: `WARP_SIZE ×
+/// regs_per_lane` f32 values (FP16/TF32 operands are stored widened; the
+/// rounding to the operand lattice happens at load time, as on hardware).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Fragment {
+    layout: FragmentLayout,
+    regs: Vec<f32>,
+}
+
+impl Fragment {
+    /// A zero-filled fragment for `shape`/`kind`.
+    pub fn zeros(shape: MmaShape, kind: FragKind) -> Self {
+        let layout = FragmentLayout::of(shape, kind);
+        Fragment { layout, regs: vec![0.0; WARP_SIZE * layout.regs_per_lane()] }
+    }
+
+    /// The layout this fragment follows.
+    #[inline]
+    pub fn layout(&self) -> FragmentLayout {
+        self.layout
+    }
+
+    /// Registers per lane.
+    #[inline]
+    pub fn regs_per_lane(&self) -> usize {
+        self.layout.regs_per_lane()
+    }
+
+    /// Read register `reg` of lane `lane`.
+    #[inline]
+    pub fn get(&self, lane: usize, reg: usize) -> f32 {
+        self.regs[lane * self.layout.regs_per_lane() + reg]
+    }
+
+    /// Write register `reg` of lane `lane`.
+    #[inline]
+    pub fn set(&mut self, lane: usize, reg: usize, value: f32) {
+        self.regs[lane * self.layout.regs_per_lane() + reg] = value;
+    }
+
+    /// Gather the fragment into a dense row-major tile.
+    pub fn to_tile(&self) -> Vec<f32> {
+        let (rows, cols) = self.layout.dims();
+        let mut tile = vec![0.0f32; rows * cols];
+        for lane in 0..WARP_SIZE {
+            for reg in 0..self.layout.regs_per_lane() {
+                let (r, c) = self.layout.pos(lane, reg);
+                tile[r * cols + c] = self.get(lane, reg);
+            }
+        }
+        tile
+    }
+
+    /// Scatter a dense row-major tile into the fragment.
+    pub fn load_tile(&mut self, tile: &[f32]) {
+        let (rows, cols) = self.layout.dims();
+        assert_eq!(tile.len(), rows * cols, "tile must match operand dims");
+        for lane in 0..WARP_SIZE {
+            for reg in 0..self.layout.regs_per_lane() {
+                let (r, c) = self.layout.pos(lane, reg);
+                self.set(lane, reg, tile[r * cols + c]);
+            }
+        }
+    }
+
+    /// Build a fragment directly from a tile.
+    pub fn from_tile(shape: MmaShape, kind: FragKind, tile: &[f32]) -> Self {
+        let mut f = Fragment::zeros(shape, kind);
+        f.load_tile(tile);
+        f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LANE_SHAPES: &[MmaShape] = &[
+        MmaShape::M16N8K8_F16,
+        MmaShape::M16N8K16_F16,
+        MmaShape::M16N8K4_TF32,
+        MmaShape::M16N8K8_TF32,
+    ];
+
+    /// Every tile element must be held by exactly one (lane, reg) pair.
+    #[test]
+    fn layouts_are_bijective() {
+        for &shape in LANE_SHAPES {
+            for kind in [FragKind::A, FragKind::B, FragKind::CD] {
+                let layout = FragmentLayout::of(shape, kind);
+                let (rows, cols) = layout.dims();
+                let mut seen = vec![false; rows * cols];
+                for lane in 0..WARP_SIZE {
+                    for reg in 0..layout.regs_per_lane() {
+                        let (r, c) = layout.pos(lane, reg);
+                        assert!(r < rows && c < cols, "{shape:?} {kind:?} ({r},{c})");
+                        let idx = r * cols + c;
+                        assert!(
+                            !seen[idx],
+                            "{shape:?} {kind:?}: ({r},{c}) covered twice (lane {lane} reg {reg})"
+                        );
+                        seen[idx] = true;
+                    }
+                }
+                assert!(seen.iter().all(|&s| s), "{shape:?} {kind:?}: tile not covered");
+            }
+        }
+    }
+
+    #[test]
+    fn regs_per_lane_match_ptx() {
+        // m16n8k8 f16: A = 4 halves, B = 2 halves, C = 4 floats per lane.
+        let s = MmaShape::M16N8K8_F16;
+        assert_eq!(FragmentLayout::of(s, FragKind::A).regs_per_lane(), 4);
+        assert_eq!(FragmentLayout::of(s, FragKind::B).regs_per_lane(), 2);
+        assert_eq!(FragmentLayout::of(s, FragKind::CD).regs_per_lane(), 4);
+        // m16n8k4 tf32: A = 2, B = 1, C = 4.
+        let s = MmaShape::M16N8K4_TF32;
+        assert_eq!(FragmentLayout::of(s, FragKind::A).regs_per_lane(), 2);
+        assert_eq!(FragmentLayout::of(s, FragKind::B).regs_per_lane(), 1);
+        // m16n8k16 f16: A = 8, B = 4.
+        let s = MmaShape::M16N8K16_F16;
+        assert_eq!(FragmentLayout::of(s, FragKind::A).regs_per_lane(), 8);
+        assert_eq!(FragmentLayout::of(s, FragKind::B).regs_per_lane(), 4);
+    }
+
+    #[test]
+    fn documented_anchor_positions() {
+        // Spot-check against the PTX ISA figure for mma.m16n8k8 (f16):
+        // lane 0 holds a0=(0,0), a1=(0,1), a2=(8,0), a3=(8,1);
+        // lane 5 (g=1, t=1) holds b0=(2,1), b1=(3,1);
+        // lane 31 (g=7, t=3) holds c3=(15,7).
+        let a = FragmentLayout::of(MmaShape::M16N8K8_F16, FragKind::A);
+        assert_eq!(a.pos(0, 0), (0, 0));
+        assert_eq!(a.pos(0, 1), (0, 1));
+        assert_eq!(a.pos(0, 2), (8, 0));
+        assert_eq!(a.pos(0, 3), (8, 1));
+        let b = FragmentLayout::of(MmaShape::M16N8K8_F16, FragKind::B);
+        assert_eq!(b.pos(5, 0), (2, 1));
+        assert_eq!(b.pos(5, 1), (3, 1));
+        let c = FragmentLayout::of(MmaShape::M16N8K8_F16, FragKind::CD);
+        assert_eq!(c.pos(31, 3), (15, 7));
+        // TF32 m16n8k4: lane 0 a0=(0,0), a1=(8,0); b of lane 9 (g=2,t=1) = (1,2).
+        let a4 = FragmentLayout::of(MmaShape::M16N8K4_TF32, FragKind::A);
+        assert_eq!(a4.pos(0, 0), (0, 0));
+        assert_eq!(a4.pos(0, 1), (8, 0));
+        let b4 = FragmentLayout::of(MmaShape::M16N8K4_TF32, FragKind::B);
+        assert_eq!(b4.pos(9, 0), (1, 2));
+    }
+
+    #[test]
+    fn tile_roundtrip() {
+        for &shape in LANE_SHAPES {
+            for kind in [FragKind::A, FragKind::B, FragKind::CD] {
+                let layout = FragmentLayout::of(shape, kind);
+                let (rows, cols) = layout.dims();
+                let tile: Vec<f32> = (0..rows * cols).map(|i| i as f32).collect();
+                let frag = Fragment::from_tile(shape, kind, &tile);
+                assert_eq!(frag.to_tile(), tile, "{shape:?} {kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "m16n8k*")]
+    fn wmma_shape_has_no_lane_layout() {
+        FragmentLayout::of(MmaShape::M16N16K8_WMMA_TF32, FragKind::A);
+    }
+}

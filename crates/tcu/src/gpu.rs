@@ -1,0 +1,86 @@
+//! Spec sheets for the paper's evaluation GPUs.
+
+/// Published specifications of a GPU, plus the calibration factors the
+/// roofline cost model applies (real sparse kernels reach a fraction of
+/// peak; the factors are constant per engine so *relative* comparisons —
+/// the quantity the reproduction targets — are unaffected).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GpuSpec {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Number of tensor core units (paper Section 4).
+    pub tensor_cores: u32,
+    /// Number of CUDA cores.
+    pub cuda_cores: u32,
+    /// Dense FP16 tensor-core peak, TFLOPS (f32 accumulate).
+    pub fp16_tcu_tflops: f64,
+    /// Dense TF32 tensor-core peak, TFLOPS.
+    pub tf32_tcu_tflops: f64,
+    /// FP32 CUDA-core peak, TFLOPS.
+    pub fp32_cuda_tflops: f64,
+    /// DRAM bandwidth, GB/s.
+    pub dram_gbs: f64,
+    /// Fraction of tensor-core peak a well-tuned sparse kernel sustains.
+    pub tcu_efficiency: f64,
+    /// Fraction of CUDA-core peak a well-tuned sparse kernel sustains.
+    pub cuda_efficiency: f64,
+    /// Fraction of DRAM bandwidth sustained under irregular access.
+    pub mem_efficiency: f64,
+    /// Fixed kernel-launch + tail latency, seconds.
+    pub launch_overhead_s: f64,
+}
+
+impl GpuSpec {
+    /// NVIDIA H100 PCIe (456 TCUs, 14592 CUDA cores, 80 GB HBM2e).
+    /// Peaks from the NVIDIA datasheet (dense, i.e. without 2:4 sparsity).
+    pub const H100_PCIE: GpuSpec = GpuSpec {
+        name: "H100-PCIe",
+        tensor_cores: 456,
+        cuda_cores: 14592,
+        fp16_tcu_tflops: 756.0,
+        tf32_tcu_tflops: 378.0,
+        fp32_cuda_tflops: 51.2,
+        dram_gbs: 2000.0,
+        tcu_efficiency: 0.30,
+        cuda_efficiency: 0.45,
+        mem_efficiency: 0.75,
+        launch_overhead_s: 4e-6,
+    };
+
+    /// NVIDIA GeForce RTX 4090 (512 TCUs, 16384 CUDA cores, 24 GB GDDR6X).
+    pub const RTX4090: GpuSpec = GpuSpec {
+        name: "RTX4090",
+        tensor_cores: 512,
+        cuda_cores: 16384,
+        fp16_tcu_tflops: 330.3,
+        tf32_tcu_tflops: 82.6,
+        fp32_cuda_tflops: 82.6,
+        dram_gbs: 1008.0,
+        tcu_efficiency: 0.30,
+        cuda_efficiency: 0.30,
+        mem_efficiency: 0.75,
+        launch_overhead_s: 4e-6,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_section4_unit_counts() {
+        assert_eq!(GpuSpec::H100_PCIE.tensor_cores, 456);
+        assert_eq!(GpuSpec::H100_PCIE.cuda_cores, 14592);
+        assert_eq!(GpuSpec::RTX4090.tensor_cores, 512);
+        assert_eq!(GpuSpec::RTX4090.cuda_cores, 16384);
+    }
+
+    #[test]
+    fn tcu_peak_dwarfs_cuda_peak() {
+        // The premise of the paper: TCUs offer much higher matrix throughput.
+        let h = GpuSpec::H100_PCIE;
+        assert!(h.fp16_tcu_tflops / h.fp32_cuda_tflops > 10.0);
+        let r = GpuSpec::RTX4090;
+        assert!(r.fp16_tcu_tflops / r.fp32_cuda_tflops > 3.0);
+    }
+}

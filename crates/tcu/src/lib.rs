@@ -1,0 +1,42 @@
+//! A warp-level software simulator of NVIDIA Tensor Core Units (TCUs).
+//!
+//! The FlashSparse kernels are written against the `mma.sync` warp-level
+//! matrix-multiply-accumulate abstraction: 32 threads cooperatively hold
+//! operand *fragments* in registers, issue an MMA, and receive the result
+//! distributed across their registers in a fixed, documented layout. This
+//! crate reproduces that abstraction in software:
+//!
+//! * [`shape`] — the MMA/WMMA operand shapes of the paper's Table 1.
+//! * [`fragment`] — the per-thread register layouts from the PTX ISA
+//!   ("Matrix Fragments for mma.m16n8k8" etc.), bit-for-bit: lane `i`,
+//!   register `j` maps to a specific `(row, col)` of the tile.
+//! * [`mma`] — executes an MMA over a warp's fragments with the hardware's
+//!   numeric semantics (FP16/TF32 inputs, f32 products and accumulation).
+//! * [`memory`] — the global-memory transaction model: warp-wide accesses
+//!   are coalesced into 32-byte sectors, the quantity Section 3.3 of the
+//!   paper optimizes.
+//! * [`counters`] — MMA / transaction / byte counters accumulated by every
+//!   simulated kernel.
+//! * [`gpu`] — spec sheets for the paper's two evaluation GPUs (H100 PCIe,
+//!   RTX 4090).
+//! * [`cost`] — a roofline cost model translating counters into simulated
+//!   kernel time and GFLOPS, which reproduces the *shape* of the paper's
+//!   performance plots without the hardware.
+
+pub mod cost;
+pub mod counters;
+pub mod fragment;
+pub mod gpu;
+pub mod memory;
+pub mod mma;
+pub mod shape;
+
+pub use counters::{KernelCounters, TrafficClass};
+pub use fragment::{FragKind, Fragment, FragmentLayout};
+pub use gpu::GpuSpec;
+pub use memory::TransactionCounter;
+pub use mma::{mma_execute, mma_execute_accum, AccumMode, wmma_execute_tf32};
+pub use shape::{MmaShape, Precision};
+
+/// Number of threads in a warp, fixed by the CUDA execution model.
+pub const WARP_SIZE: usize = 32;

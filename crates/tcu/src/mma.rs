@@ -1,0 +1,320 @@
+//! Execution of MMA instructions over warp fragments.
+
+use fs_precision::{f32_through_f16, f32_to_tf32};
+
+use crate::counters::KernelCounters;
+use crate::fragment::{FragKind, Fragment};
+use crate::shape::{MmaShape, Precision};
+
+/// Round a value to the operand lattice of `precision` — what the tensor
+/// core datapath does to its inputs.
+#[inline]
+pub fn round_operand(x: f32, precision: Precision) -> f32 {
+    match precision {
+        Precision::Fp16 => f32_through_f16(x),
+        Precision::Tf32 => f32_to_tf32(x),
+    }
+}
+
+/// Accumulator precision of an FP16 MMA.
+///
+/// `mma.sync...f32.f16.f16.f32` accumulates in f32;
+/// `mma.sync...f16.f16.f16.f16` accumulates in f16, which doubles
+/// throughput on consumer GPUs (the RTX 4090's 330 vs 165 TFLOPS split)
+/// at the cost of rounding every partial sum to half precision.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum AccumMode {
+    /// f32 accumulator (the mode FlashSparse and this reproduction use).
+    #[default]
+    F32,
+    /// f16 accumulator (fast but lossy; available for the accuracy
+    /// ablation — see the `fp16_accumulate_loses_precision` test).
+    F16,
+}
+
+/// Execute `D = A×B + C` over warp fragments, with hardware numeric
+/// semantics: inputs rounded to the operand precision, products and
+/// accumulation in f32. Increments `counters`.
+///
+/// The returned fragment has the C/D layout of `shape`.
+pub fn mma_execute(
+    shape: MmaShape,
+    a: &Fragment,
+    b: &Fragment,
+    c: &Fragment,
+    counters: &mut KernelCounters,
+) -> Fragment {
+    mma_execute_accum(shape, a, b, c, AccumMode::F32, counters)
+}
+
+/// [`mma_execute`] with an explicit accumulator mode.
+///
+/// # Panics
+/// Panics if `AccumMode::F16` is requested for a TF32 shape (the hardware
+/// has no such instruction).
+pub fn mma_execute_accum(
+    shape: MmaShape,
+    a: &Fragment,
+    b: &Fragment,
+    c: &Fragment,
+    accum: AccumMode,
+    counters: &mut KernelCounters,
+) -> Fragment {
+    if accum == AccumMode::F16 {
+        assert_eq!(
+            shape.precision,
+            crate::shape::Precision::Fp16,
+            "f16 accumulation exists only for FP16 MMA shapes"
+        );
+    }
+    let (m, n, k) = (shape.m, shape.n, shape.k);
+    let a_tile = a.to_tile();
+    let b_tile = b.to_tile();
+    let c_tile = c.to_tile();
+    debug_assert_eq!(a_tile.len(), m * k);
+    debug_assert_eq!(b_tile.len(), k * n);
+    debug_assert_eq!(c_tile.len(), m * n);
+
+    let mut d_tile = c_tile;
+    for i in 0..m {
+        for j in 0..n {
+            match accum {
+                AccumMode::F32 => {
+                    let mut acc = 0.0f32;
+                    for t in 0..k {
+                        let av = round_operand(a_tile[i * k + t], shape.precision);
+                        let bv = round_operand(b_tile[t * n + j], shape.precision);
+                        acc += av * bv;
+                    }
+                    d_tile[i * n + j] += acc;
+                }
+                AccumMode::F16 => {
+                    // Hardware f16 accumulation: every partial sum is
+                    // rounded back to binary16.
+                    let mut acc = fs_precision::F16::from_f32(d_tile[i * n + j]);
+                    for t in 0..k {
+                        let av = round_operand(a_tile[i * k + t], shape.precision);
+                        let bv = round_operand(b_tile[t * n + j], shape.precision);
+                        acc += fs_precision::F16::from_f32(av * bv);
+                    }
+                    d_tile[i * n + j] = acc.to_f32();
+                }
+            }
+        }
+    }
+
+    counters.mma_count += 1;
+    counters.tcu_flops += shape.flops();
+
+    Fragment::from_tile(shape, FragKind::CD, &d_tile)
+}
+
+/// Execute a WMMA `m16n16k8` TF32 operation on whole tiles (the C++ WMMA
+/// API hides per-lane layouts, so TC-GNN-style kernels work on tiles).
+///
+/// `a` is 16×8 row-major, `b` is 8×16 row-major, `c` is 16×16 row-major
+/// (modified in place). Increments `counters` as one WMMA invocation.
+pub fn wmma_execute_tf32(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    counters: &mut KernelCounters,
+) {
+    const M: usize = 16;
+    const N: usize = 16;
+    const K: usize = 8;
+    assert_eq!(a.len(), M * K);
+    assert_eq!(b.len(), K * N);
+    assert_eq!(c.len(), M * N);
+    for i in 0..M {
+        for j in 0..N {
+            let mut acc = 0.0f32;
+            for t in 0..K {
+                acc += f32_to_tf32(a[i * K + t]) * f32_to_tf32(b[t * N + j]);
+            }
+            c[i * N + j] += acc;
+        }
+    }
+    counters.wmma_count += 1;
+    counters.tcu_flops += MmaShape::M16N16K8_WMMA_TF32.flops();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense_ref(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], prec: Precision) -> Vec<f32> {
+        let mut d = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                for t in 0..k {
+                    d[i * n + j] +=
+                        round_operand(a[i * k + t], prec) * round_operand(b[t * n + j], prec);
+                }
+            }
+        }
+        d
+    }
+
+    fn check_shape(shape: MmaShape) {
+        let (m, n, k) = (shape.m, shape.n, shape.k);
+        let a_tile: Vec<f32> = (0..m * k).map(|i| ((i * 7 % 13) as f32 - 6.0) * 0.25).collect();
+        let b_tile: Vec<f32> = (0..k * n).map(|i| ((i * 5 % 11) as f32 - 5.0) * 0.5).collect();
+        let a = Fragment::from_tile(shape, FragKind::A, &a_tile);
+        let b = Fragment::from_tile(shape, FragKind::B, &b_tile);
+        let c = Fragment::zeros(shape, FragKind::CD);
+        let mut counters = KernelCounters::default();
+        let d = mma_execute(shape, &a, &b, &c, &mut counters);
+        let expected = dense_ref(m, n, k, &a_tile, &b_tile, shape.precision);
+        assert_eq!(d.to_tile(), expected, "{shape:?}");
+        assert_eq!(counters.mma_count, 1);
+        assert_eq!(counters.tcu_flops, shape.flops());
+    }
+
+    #[test]
+    fn mma_matches_dense_reference_all_shapes() {
+        check_shape(MmaShape::M16N8K8_F16);
+        check_shape(MmaShape::M16N8K16_F16);
+        check_shape(MmaShape::M16N8K4_TF32);
+        check_shape(MmaShape::M16N8K8_TF32);
+    }
+
+    #[test]
+    fn accumulator_is_added() {
+        let shape = MmaShape::M16N8K8_F16;
+        let a = Fragment::from_tile(shape, FragKind::A, &vec![0.0; 128]);
+        let b = Fragment::from_tile(shape, FragKind::B, &vec![0.0; 64]);
+        let c_tile: Vec<f32> = (0..128).map(|i| i as f32).collect();
+        let c = Fragment::from_tile(shape, FragKind::CD, &c_tile);
+        let mut counters = KernelCounters::default();
+        let d = mma_execute(shape, &a, &b, &c, &mut counters);
+        assert_eq!(d.to_tile(), c_tile, "zero product leaves C unchanged");
+    }
+
+    #[test]
+    fn fp16_inputs_are_rounded() {
+        // 2049 is not representable in f16 (rounds to 2048): the MMA must see
+        // the rounded operand.
+        let shape = MmaShape::M16N8K8_F16;
+        let mut a_tile = vec![0.0f32; 128];
+        a_tile[0] = 2049.0;
+        let mut b_tile = vec![0.0f32; 64];
+        b_tile[0] = 1.0;
+        let a = Fragment::from_tile(shape, FragKind::A, &a_tile);
+        let b = Fragment::from_tile(shape, FragKind::B, &b_tile);
+        let c = Fragment::zeros(shape, FragKind::CD);
+        let mut counters = KernelCounters::default();
+        let d = mma_execute(shape, &a, &b, &c, &mut counters);
+        assert_eq!(d.to_tile()[0], 2048.0);
+    }
+
+    #[test]
+    fn tf32_inputs_are_rounded() {
+        let shape = MmaShape::M16N8K4_TF32;
+        let mut a_tile = vec![0.0f32; 64];
+        let x = 1.0 + 2.0f32.powi(-11); // rounds to 1.0 in TF32
+        a_tile[0] = x;
+        let mut b_tile = vec![0.0f32; 32];
+        b_tile[0] = 1.0;
+        let a = Fragment::from_tile(shape, FragKind::A, &a_tile);
+        let b = Fragment::from_tile(shape, FragKind::B, &b_tile);
+        let c = Fragment::zeros(shape, FragKind::CD);
+        let mut counters = KernelCounters::default();
+        let d = mma_execute(shape, &a, &b, &c, &mut counters);
+        assert_eq!(d.to_tile()[0], 1.0);
+    }
+
+    #[test]
+    fn wmma_matches_reference() {
+        let a: Vec<f32> = (0..16 * 8).map(|i| (i % 5) as f32).collect();
+        let b: Vec<f32> = (0..8 * 16).map(|i| (i % 3) as f32 - 1.0).collect();
+        let mut c = vec![1.0f32; 16 * 16];
+        let mut counters = KernelCounters::default();
+        wmma_execute_tf32(&a, &b, &mut c, &mut counters);
+        let mut expected = vec![1.0f32; 16 * 16];
+        for i in 0..16 {
+            for j in 0..16 {
+                for t in 0..8 {
+                    expected[i * 16 + j] += a[i * 8 + t] * b[t * 16 + j];
+                }
+            }
+        }
+        assert_eq!(c, expected);
+        assert_eq!(counters.wmma_count, 1);
+    }
+
+    #[test]
+    fn fp16_accumulate_loses_precision() {
+        // 2048 + 1 sticks at 2048 in f16 accumulation but not in f32.
+        let shape = MmaShape::M16N8K8_F16;
+        let mut a_tile = vec![0.0f32; 128];
+        a_tile[0] = 2048.0; // (0,0)
+        a_tile[1] = 1.0; // (0,1)
+        let mut b_tile = vec![0.0f32; 64];
+        b_tile[0] = 1.0; // (0,0)
+        b_tile[8] = 1.0; // (1,0)
+        let a = Fragment::from_tile(shape, FragKind::A, &a_tile);
+        let b = Fragment::from_tile(shape, FragKind::B, &b_tile);
+        let c = Fragment::zeros(shape, FragKind::CD);
+        let mut counters = KernelCounters::default();
+        let d32 = mma_execute_accum(shape, &a, &b, &c, AccumMode::F32, &mut counters);
+        let d16 = mma_execute_accum(shape, &a, &b, &c, AccumMode::F16, &mut counters);
+        assert_eq!(d32.to_tile()[0], 2049.0, "f32 accumulation is exact");
+        assert_eq!(d16.to_tile()[0], 2048.0, "f16 accumulation rounds away the +1");
+    }
+
+    #[test]
+    #[should_panic(expected = "f16 accumulation exists only for FP16")]
+    fn fp16_accumulate_rejected_for_tf32() {
+        let shape = MmaShape::M16N8K4_TF32;
+        let a = Fragment::zeros(shape, FragKind::A);
+        let b = Fragment::zeros(shape, FragKind::B);
+        let c = Fragment::zeros(shape, FragKind::CD);
+        let mut counters = KernelCounters::default();
+        mma_execute_accum(shape, &a, &b, &c, AccumMode::F16, &mut counters);
+    }
+
+    /// The swap-and-transpose identity at the heart of FlashSparse:
+    /// computing Bᵀ×Aᵀ with the MMA gives (A×B)ᵀ exactly.
+    #[test]
+    fn swap_and_transpose_identity() {
+        let shape = MmaShape::M16N8K8_F16;
+        // A_orig: 8×8 sparse-ish block; B_orig: 8×16 dense block.
+        let a_orig: Vec<f32> = (0..64).map(|i| if i % 3 == 0 { (i % 7) as f32 } else { 0.0 }).collect();
+        let b_orig: Vec<f32> = (0..128).map(|i| ((i % 9) as f32 - 4.0) * 0.5).collect();
+        // Direct product C = A_orig(8×8) × B_orig(8×16).
+        let mut c_direct = vec![0.0f32; 8 * 16];
+        for i in 0..8 {
+            for j in 0..16 {
+                for t in 0..8 {
+                    c_direct[i * 16 + j] +=
+                        f32_through_f16(a_orig[i * 8 + t]) * f32_through_f16(b_orig[t * 16 + j]);
+                }
+            }
+        }
+        // Swap-and-transpose: MMA left operand = B_origᵀ (16×8), right = A_origᵀ (8×8).
+        let mut bt = vec![0.0f32; 16 * 8];
+        for r in 0..8 {
+            for c in 0..16 {
+                bt[c * 8 + r] = b_orig[r * 16 + c];
+            }
+        }
+        let mut at = vec![0.0f32; 8 * 8];
+        for r in 0..8 {
+            for c in 0..8 {
+                at[c * 8 + r] = a_orig[r * 8 + c];
+            }
+        }
+        let a_frag = Fragment::from_tile(shape, FragKind::A, &bt);
+        let b_frag = Fragment::from_tile(shape, FragKind::B, &at);
+        let c_frag = Fragment::zeros(shape, FragKind::CD);
+        let mut counters = KernelCounters::default();
+        let d = mma_execute(shape, &a_frag, &b_frag, &c_frag, &mut counters);
+        let d_tile = d.to_tile(); // 16×8 = Cᵀ
+        for i in 0..8 {
+            for j in 0..16 {
+                assert_eq!(d_tile[j * 8 + i], c_direct[i * 16 + j], "({i},{j})");
+            }
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! MMA operand shapes and precisions (the paper's Table 1).
+
+/// Input precision of an MMA instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Precision {
+    /// IEEE binary16 inputs, f32 accumulate (`mma.sync...f32.f16.f16.f32`).
+    Fp16,
+    /// TF32 inputs (f32 with 10-bit mantissa), f32 accumulate.
+    Tf32,
+}
+
+impl Precision {
+    /// Bytes per element as stored in memory/registers.
+    #[inline]
+    pub const fn bytes(self) -> usize {
+        match self {
+            Precision::Fp16 => 2,
+            Precision::Tf32 => 4,
+        }
+    }
+
+    /// Human-readable name.
+    #[inline]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Precision::Fp16 => "fp16",
+            Precision::Tf32 => "tf32",
+        }
+    }
+}
+
+/// An `mma.sync` operand shape: `D(m×n) = A(m×k) × B(k×n) + C(m×n)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct MmaShape {
+    /// Rows of A and C/D.
+    pub m: usize,
+    /// Columns of B and C/D.
+    pub n: usize,
+    /// Inner dimension (columns of A, rows of B).
+    pub k: usize,
+    /// Input precision.
+    pub precision: Precision,
+}
+
+impl MmaShape {
+    /// `mma.sync.aligned.m16n8k8.row.col.f32.f16.f16.f32` — the FP16 shape
+    /// used by FlashSparse and DTC-SpMM.
+    pub const M16N8K8_F16: MmaShape =
+        MmaShape { m: 16, n: 8, k: 8, precision: Precision::Fp16 };
+
+    /// `mma.sync.aligned.m16n8k16...f16` — the larger FP16 shape.
+    pub const M16N8K16_F16: MmaShape =
+        MmaShape { m: 16, n: 8, k: 16, precision: Precision::Fp16 };
+
+    /// `mma.sync.aligned.m16n8k4...tf32` — the TF32 shape FlashSparse uses.
+    pub const M16N8K4_TF32: MmaShape =
+        MmaShape { m: 16, n: 8, k: 4, precision: Precision::Tf32 };
+
+    /// `mma.sync.aligned.m16n8k8...tf32` — the TF32 shape DTC-SpMM uses.
+    pub const M16N8K8_TF32: MmaShape =
+        MmaShape { m: 16, n: 8, k: 8, precision: Precision::Tf32 };
+
+    /// WMMA `m16n16k8` TF32 — the C++-API shape TC-GNN uses.
+    pub const M16N16K8_WMMA_TF32: MmaShape =
+        MmaShape { m: 16, n: 16, k: 8, precision: Precision::Tf32 };
+
+    /// Floating point operations performed by one invocation (2·m·n·k:
+    /// a multiply and an add per inner-product step).
+    #[inline]
+    pub const fn flops(&self) -> u64 {
+        2 * (self.m * self.n * self.k) as u64
+    }
+
+    /// Elements in the A operand.
+    #[inline]
+    pub const fn a_elems(&self) -> usize {
+        self.m * self.k
+    }
+
+    /// Elements in the B operand.
+    #[inline]
+    pub const fn b_elems(&self) -> usize {
+        self.k * self.n
+    }
+
+    /// Elements in the C/D operand.
+    #[inline]
+    pub const fn cd_elems(&self) -> usize {
+        self.m * self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_shapes() {
+        assert_eq!(
+            (MmaShape::M16N8K8_F16.m, MmaShape::M16N8K8_F16.n, MmaShape::M16N8K8_F16.k),
+            (16, 8, 8)
+        );
+        assert_eq!(MmaShape::M16N8K4_TF32.k, 4);
+        assert_eq!(MmaShape::M16N8K16_F16.k, 16);
+        assert_eq!(MmaShape::M16N16K8_WMMA_TF32.n, 16);
+    }
+
+    #[test]
+    fn flops() {
+        assert_eq!(MmaShape::M16N8K8_F16.flops(), 2 * 16 * 8 * 8);
+        assert_eq!(MmaShape::M16N8K4_TF32.flops(), 2 * 16 * 8 * 4);
+    }
+
+    #[test]
+    fn element_counts() {
+        let s = MmaShape::M16N8K8_F16;
+        assert_eq!(s.a_elems(), 128);
+        assert_eq!(s.b_elems(), 64);
+        assert_eq!(s.cd_elems(), 128);
+    }
+
+    #[test]
+    fn precision_bytes() {
+        assert_eq!(Precision::Fp16.bytes(), 2);
+        assert_eq!(Precision::Tf32.bytes(), 4);
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based tests for the tensor-core simulator: MMA numerics
+//! against a scalar reference, fragment-layout invariants, coalescer
+//! bounds, cost-model monotonicity.
+
+use fs_tcu::cost::{ComputeClass, CostModel};
+use fs_tcu::mma::round_operand;
+use fs_tcu::{
+    mma_execute, FragKind, Fragment, GpuSpec, KernelCounters, MmaShape, TransactionCounter,
+    WARP_SIZE,
+};
+use proptest::prelude::*;
+
+const SHAPES: [MmaShape; 4] = [
+    MmaShape::M16N8K8_F16,
+    MmaShape::M16N8K16_F16,
+    MmaShape::M16N8K4_TF32,
+    MmaShape::M16N8K8_TF32,
+];
+
+fn shape_strategy() -> impl Strategy<Value = MmaShape> {
+    prop::sample::select(SHAPES.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// MMA over random operands equals the rounded scalar reference for
+    /// every supported shape.
+    #[test]
+    fn mma_matches_scalar_reference(
+        shape in shape_strategy(),
+        seed in 0u64..1_000_000,
+    ) {
+        let (m, n, k) = (shape.m, shape.n, shape.k);
+        // Cheap deterministic pseudo-random values from the seed.
+        let val = |i: usize| (((seed as usize).wrapping_mul(31).wrapping_add(i * 17)) % 23) as f32 * 0.125 - 1.25;
+        let a_tile: Vec<f32> = (0..m * k).map(val).collect();
+        let b_tile: Vec<f32> = (0..k * n).map(|i| val(i + 1000)).collect();
+        let c_tile: Vec<f32> = (0..m * n).map(|i| val(i + 2000)).collect();
+        let mut counters = KernelCounters::default();
+        let d = mma_execute(
+            shape,
+            &Fragment::from_tile(shape, FragKind::A, &a_tile),
+            &Fragment::from_tile(shape, FragKind::B, &b_tile),
+            &Fragment::from_tile(shape, FragKind::CD, &c_tile),
+            &mut counters,
+        );
+        let d_tile = d.to_tile();
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = c_tile[i * n + j];
+                let mut prod = 0.0f32;
+                for t in 0..k {
+                    prod += round_operand(a_tile[i * k + t], shape.precision)
+                        * round_operand(b_tile[t * n + j], shape.precision);
+                }
+                acc += prod;
+                prop_assert!(
+                    (d_tile[i * n + j] - acc).abs() < 1e-4 * (1.0 + acc.abs()),
+                    "({i},{j}): {} vs {acc}", d_tile[i * n + j]
+                );
+            }
+        }
+        prop_assert_eq!(counters.mma_count, 1);
+    }
+
+    /// Fragment set/get and tile round-trips agree for arbitrary data.
+    #[test]
+    fn fragment_tile_roundtrip(shape in shape_strategy(), kind_idx in 0usize..3, seed in 0u64..1000) {
+        let kind = [FragKind::A, FragKind::B, FragKind::CD][kind_idx];
+        let mut frag = Fragment::zeros(shape, kind);
+        let regs = frag.regs_per_lane();
+        for lane in 0..WARP_SIZE {
+            for reg in 0..regs {
+                frag.set(lane, reg, (seed as f32) + (lane * regs + reg) as f32);
+            }
+        }
+        let tile = frag.to_tile();
+        let back = Fragment::from_tile(shape, kind, &tile);
+        prop_assert_eq!(back, frag);
+    }
+
+    /// Coalescer bounds: transactions ≥ ⌈ideal/32⌉ and ≤ total accesses
+    /// (each access touches at most 2 sectors here since sizes ≤ 16).
+    #[test]
+    fn coalescer_bounds(
+        accesses in prop::collection::vec((0u64..4096, 1u32..16), 1..64),
+    ) {
+        let mut tc = TransactionCounter::new();
+        let mut k = KernelCounters::default();
+        let tx = tc.warp_load(accesses.clone(), &mut k);
+        let ideal: u64 = accesses.iter().map(|&(_, s)| s as u64).sum();
+        prop_assert!(tx >= ideal.div_ceil(32), "tx={tx} ideal={ideal}");
+        prop_assert!(tx <= 2 * accesses.len() as u64);
+        prop_assert_eq!(k.bytes_loaded, tx * 32);
+        prop_assert_eq!(k.ideal_bytes_loaded, ideal);
+    }
+
+    /// Coalescing can only help: sorting accesses by address never
+    /// increases the transaction count (it's order-independent).
+    #[test]
+    fn coalescer_order_independent(
+        accesses in prop::collection::vec((0u64..1024, 1u32..8), 1..48),
+    ) {
+        let mut tc = TransactionCounter::new();
+        let mut k = KernelCounters::default();
+        let tx = tc.warp_load(accesses.clone(), &mut k);
+        let mut sorted = accesses.clone();
+        sorted.sort();
+        let tx_sorted = tc.warp_load(sorted, &mut k);
+        prop_assert_eq!(tx, tx_sorted);
+    }
+
+    /// Kernel time is monotone in both bytes and FLOPs.
+    #[test]
+    fn cost_model_monotone(
+        bytes in 0u64..1_000_000_000,
+        flops in 0u64..1_000_000_000_000,
+        extra in 1u64..1_000_000,
+    ) {
+        let model = CostModel::new(GpuSpec::H100_PCIE);
+        let base = KernelCounters { bytes_loaded: bytes, tcu_flops: flops, ..Default::default() };
+        let more_bytes = KernelCounters { bytes_loaded: bytes + extra, ..base };
+        let more_flops = KernelCounters { tcu_flops: flops + extra, ..base };
+        let t0 = model.kernel_time(&base, ComputeClass::TcuFp16);
+        prop_assert!(model.kernel_time(&more_bytes, ComputeClass::TcuFp16) >= t0);
+        prop_assert!(model.kernel_time(&more_flops, ComputeClass::TcuFp16) >= t0);
+    }
+
+    /// Counter merging is associative and commutative.
+    #[test]
+    fn counters_monoid(
+        a in 0u64..1000, b in 0u64..1000, c in 0u64..1000,
+    ) {
+        let ka = KernelCounters { mma_count: a, bytes_loaded: a * 3, ..Default::default() };
+        let kb = KernelCounters { mma_count: b, bytes_stored: b * 5, ..Default::default() };
+        let kc = KernelCounters { wmma_count: c, cuda_flops: c * 7, ..Default::default() };
+        prop_assert_eq!((ka + kb) + kc, ka + (kb + kc));
+        prop_assert_eq!(ka + kb, kb + ka);
+        prop_assert_eq!(ka + KernelCounters::default(), ka);
+    }
+}

@@ -1,0 +1,68 @@
+//! Quickstart: build a sparse matrix, translate it, run SpMM and SDDMM,
+//! inspect the counters and simulated GPU performance.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use flashsparse::{FlashSparseMatrix, ThreadMapping};
+use fs_matrix::gen::{rmat, RmatConfig};
+use fs_matrix::{CsrMatrix, DenseMatrix};
+use fs_precision::F16;
+use fs_tcu::GpuSpec;
+
+fn main() {
+    // 1. A power-law graph adjacency matrix (like the paper's GNN inputs).
+    let coo = rmat::<F16>(10, 8, RmatConfig::GRAPH500, true, 42);
+    let csr = CsrMatrix::from_coo(&coo);
+    println!(
+        "sparse matrix: {}x{}, {} nonzeros ({:.3}% dense)",
+        csr.rows(),
+        csr.cols(),
+        csr.nnz(),
+        100.0 * csr.nnz() as f64 / (csr.rows() * csr.cols()) as f64
+    );
+
+    // 2. One-off translation into ME-BCRS (8×1 nonzero vectors).
+    let fs = FlashSparseMatrix::from_csr(&csr);
+    println!(
+        "ME-BCRS: {} nonzero vectors in {} windows, fill ratio {:.2}",
+        fs.format().num_vectors(),
+        fs.format().num_windows(),
+        fs.format().fill_ratio()
+    );
+
+    // 3. SpMM against a dense feature matrix (N = 128).
+    let n = 128;
+    let b = DenseMatrix::<F16>::from_fn(csr.cols(), n, |r, c| ((r * 7 + c) % 13) as f32 * 0.1);
+    let (c, counters) = fs.spmm(&b, ThreadMapping::MemoryEfficient);
+    println!(
+        "SpMM: {} MMA instructions, {} 32B memory transactions, {:.1} KiB moved",
+        counters.mma_count,
+        counters.transactions(),
+        counters.bytes_moved() as f64 / 1024.0
+    );
+
+    // 4. Verify against the gold reference.
+    let reference = csr.spmm_reference(&b);
+    println!("max |error| vs reference: {:.4}", c.max_abs_diff(&reference));
+
+    // 5. Simulated performance on the paper's GPUs.
+    for gpu in [GpuSpec::H100_PCIE, GpuSpec::RTX4090] {
+        println!(
+            "simulated on {}: {:.1} us, {:.0} GFLOPS",
+            gpu.name,
+            fs.simulated_spmm_time(&counters, gpu) * 1e6,
+            fs.simulated_spmm_gflops(n, &counters, gpu)
+        );
+    }
+
+    // 6. SDDMM: sample H·Hᵀ at the graph's edges (graph attention).
+    let h = DenseMatrix::<F16>::from_fn(csr.rows(), 32, |r, c| ((r + 3 * c) % 11) as f32 * 0.1);
+    let (attention, k2) = fs.sddmm(&h, &h);
+    println!(
+        "SDDMM: {} MMA instructions; output is ME-BCRS with {} vectors, ready for the next SpMM",
+        k2.mma_count,
+        attention.num_vectors()
+    );
+}

@@ -1,0 +1,128 @@
+//! Whole-pipeline invariants: counters, cost-model ordering, and the
+//! paper's headline qualitative claims at integration scope.
+
+use flashsparse::{FlashSparseMatrix, ThreadMapping};
+use fs_baselines::cuda;
+use fs_baselines::tcu16::{dtc, SPEC16};
+use fs_baselines::BaselineRun;
+use fs_format::{MeBcrs, SrBcrs, TcFormatSpec};
+use fs_matrix::gen::{rmat, RmatConfig};
+use fs_matrix::{CsrMatrix, DenseMatrix};
+use fs_precision::{F16, Tf32};
+use fs_tcu::cost::ComputeClass;
+use fs_tcu::GpuSpec;
+use flashsparse::TcuPrecision;
+
+fn graph() -> CsrMatrix<f32> {
+    CsrMatrix::from_coo(&rmat::<f32>(9, 8, RmatConfig::GRAPH500, true, 77))
+}
+
+/// Paper headline: FlashSparse beats DTC-SpMM (16×1 TCU SOTA) and RoDe
+/// (CUDA-core SOTA) on typical graph matrices, on both GPUs.
+#[test]
+fn headline_speedups_hold() {
+    let csr = graph();
+    let n = 128;
+    let csr16: CsrMatrix<F16> = csr.cast();
+    let fs = FlashSparseMatrix::from_csr(&csr16);
+    let b16 = DenseMatrix::<F16>::zeros(csr.cols(), n);
+    let (_, k_flash) = fs.spmm(&b16, ThreadMapping::MemoryEfficient);
+    let flash = BaselineRun::balanced(k_flash, ComputeClass::TcuFp16);
+
+    let me16 = MeBcrs::from_csr(&csr.cast::<Tf32>(), SPEC16);
+    let (_, dtc_run) = dtc::spmm_16x1::<Tf32>(&me16, &DenseMatrix::<Tf32>::zeros(csr.cols(), n));
+    let bf = DenseMatrix::<f32>::zeros(csr.cols(), n);
+    let (_, rode_run) = cuda::rode::spmm(&csr, &bf);
+
+    for gpu in [GpuSpec::H100_PCIE, GpuSpec::RTX4090] {
+        let t_flash = flash.simulated_time(gpu);
+        let t_dtc = dtc_run.simulated_time(gpu);
+        let t_rode = rode_run.simulated_time(gpu);
+        assert!(
+            t_dtc / t_flash > 1.5,
+            "{}: vs DTC only {:.2}x",
+            gpu.name,
+            t_dtc / t_flash
+        );
+        assert!(
+            t_rode / t_flash > 1.5,
+            "{}: vs RoDe only {:.2}x",
+            gpu.name,
+            t_rode / t_flash
+        );
+    }
+}
+
+/// Counter conservation: bytes moved are never less than ideal bytes, and
+/// the coalesced mapping reaches ~100% load efficiency on dense blocks.
+#[test]
+fn transaction_accounting_invariants() {
+    let csr: CsrMatrix<F16> = graph().cast();
+    let me = MeBcrs::from_csr(&csr, F16::SPEC);
+    let b = DenseMatrix::<F16>::zeros(csr.cols(), 128);
+    for mapping in [ThreadMapping::Direct, ThreadMapping::MemoryEfficient] {
+        let (_, k) = flashsparse::spmm(&me, &b, mapping);
+        assert!(k.bytes_loaded >= k.ideal_bytes_loaded, "{mapping:?}");
+        assert!(k.bytes_stored >= k.ideal_bytes_stored, "{mapping:?}");
+        assert!(k.load_efficiency() <= 1.0 + 1e-9);
+    }
+    let (_, k_eff) = flashsparse::spmm(&me, &b, ThreadMapping::MemoryEfficient);
+    assert!(
+        k_eff.load_efficiency() > 0.8,
+        "coalesced efficiency {}",
+        k_eff.load_efficiency()
+    );
+}
+
+/// ME-BCRS stores strictly less than SR-BCRS on ragged sparse inputs and
+/// both decode to the same matrix.
+#[test]
+fn format_equivalence_and_footprint() {
+    let csr: CsrMatrix<F16> = graph().cast();
+    for spec in [TcFormatSpec::FLASH_FP16, TcFormatSpec::SOTA16_FP16] {
+        let me = MeBcrs::from_csr(&csr, spec);
+        let sr = SrBcrs::from_csr(&csr, spec);
+        assert_eq!(me.to_dense(), sr.to_dense(), "{spec:?}");
+        assert!(me.footprint_bytes() <= sr.footprint_bytes(), "{spec:?}");
+    }
+}
+
+/// Useful-FLOP accounting: executed TCU FLOPs always exceed the useful
+/// operator FLOPs (zero fill is redundant work), and the 8×1 granularity
+/// wastes less than 16×1.
+#[test]
+fn redundancy_is_reduced_not_eliminated() {
+    let csr = graph();
+    let n = 128;
+    let useful = 2 * csr.nnz() as u64 * n as u64;
+    let fs = FlashSparseMatrix::from_csr(&csr.cast::<F16>());
+    let (_, k8) = fs.spmm(&DenseMatrix::<F16>::zeros(csr.cols(), n), ThreadMapping::MemoryEfficient);
+    let me16 = MeBcrs::from_csr(&csr.cast::<F16>(), SPEC16);
+    let (_, r16) = dtc::spmm_16x1::<F16>(&me16, &DenseMatrix::<F16>::zeros(csr.cols(), n));
+    assert!(k8.tcu_flops >= useful, "TCU work includes padding");
+    assert!(r16.counters.tcu_flops >= useful);
+    assert!(
+        k8.tcu_flops < r16.counters.tcu_flops,
+        "8x1 must execute fewer total FLOPs: {} vs {}",
+        k8.tcu_flops,
+        r16.counters.tcu_flops
+    );
+}
+
+/// The translation preprocessing is cheap relative to a single SpMM's
+/// simulated GPU time amortized over typical reuse (the paper's <1%
+/// end-to-end claim needs ~100 reuses at our scales).
+#[test]
+fn translation_is_amortizable() {
+    let csr: CsrMatrix<F16> = graph().cast();
+    let start = std::time::Instant::now();
+    let me = MeBcrs::from_csr(&csr, F16::SPEC);
+    let translate_host = start.elapsed();
+    assert!(me.num_vectors() > 0);
+    // Host-side translation of a ~100k-nnz matrix stays well under a
+    // second — the preprocessing is one parallel pass.
+    assert!(
+        translate_host.as_secs_f64() < 2.0,
+        "translation took {translate_host:?}"
+    );
+}

@@ -1,0 +1,149 @@
+//! Cross-crate integration tests for SDDMM: FlashSparse vs the gold
+//! reference, the baselines, and the SDDMM→SpMM chaining invariant.
+
+use flashsparse::{FlashSparseMatrix, ThreadMapping};
+use fs_baselines::cuda;
+use fs_baselines::tcu16::{dtc, tcgnn, SPEC16};
+use fs_format::MeBcrs;
+use fs_matrix::gen::{random_uniform, rmat, RmatConfig};
+use fs_matrix::{CsrMatrix, DenseMatrix};
+use fs_precision::{F16, Scalar, Tf32};
+use proptest::prelude::*;
+
+fn dense<S: Scalar>(rows: usize, k: usize, salt: usize) -> DenseMatrix<S> {
+    DenseMatrix::from_fn(rows, k, |r, c| {
+        (((r * 7 + c * 11 + salt) % 19) as f32 - 9.0) * 0.0625
+    })
+}
+
+#[test]
+fn sddmm_matches_reference_all_k() {
+    let mask: CsrMatrix<F16> = CsrMatrix::from_coo(&rmat::<f32>(6, 6, RmatConfig::GRAPH500, true, 5))
+        .with_unit_values()
+        .cast();
+    for k in [1usize, 7, 8, 32, 100] {
+        let a = dense::<F16>(mask.rows(), k, 0);
+        let b = dense::<F16>(mask.cols(), k, 1);
+        let fs = FlashSparseMatrix::from_csr(&mask);
+        let (out, _) = fs.sddmm(&a, &b);
+        let reference = mask.sddmm_reference(&a, &b);
+        let out_dense = out.to_dense();
+        for (r, c, v) in reference.iter() {
+            let got = out_dense.get_f32(r, c);
+            assert!(
+                (got - v).abs() <= 0.05f32.max(v.abs() * 2e-3),
+                "k={k} ({r},{c}): {got} vs {v}"
+            );
+        }
+    }
+}
+
+#[test]
+fn all_sddmm_implementations_agree() {
+    let mask = CsrMatrix::from_coo(&random_uniform::<f32>(64, 64, 400, 3)).with_unit_values();
+    let k = 32;
+    let a = dense::<f32>(64, k, 0);
+    let b = dense::<f32>(64, k, 1);
+    let gold = mask.sddmm_reference(&a, &b);
+
+    let (rode, _) = cuda::rode::sddmm(&mask, &a, &b);
+    let (sput, _) = cuda::sputnik::sddmm(&mask, &a, &b);
+    for (name, out) in [("rode", rode), ("sputnik", sput)] {
+        for (x, y) in out.values().iter().zip(gold.values()) {
+            assert!((x - y).abs() < 1e-3, "{name}: {x} vs {y}");
+        }
+    }
+
+    // Tensor-core paths.
+    let mask16: CsrMatrix<F16> = mask.cast();
+    let fs = FlashSparseMatrix::from_csr(&mask16);
+    let (flash, _) = fs.sddmm(&dense::<F16>(64, k, 0), &dense::<F16>(64, k, 1));
+    let flash_dense = flash.to_dense();
+    let mask_tf: CsrMatrix<Tf32> = mask.cast();
+    let me16 = MeBcrs::from_csr(&mask_tf, SPEC16);
+    let (tcg, _) = tcgnn::sddmm_tcgnn(&me16, &dense::<Tf32>(64, k, 0), &dense::<Tf32>(64, k, 1));
+    let tcg_dense = tcg.to_dense();
+    for (r, c, v) in gold.iter() {
+        assert!((flash_dense.get_f32(r, c) - v).abs() < 0.05, "flash ({r},{c})");
+        assert!((tcg_dense.get_f32(r, c) - v).abs() < 0.01, "tcgnn ({r},{c})");
+    }
+}
+
+#[test]
+fn sddmm_output_chains_into_spmm_without_conversion() {
+    // The Figure 9 invariant at integration scope: ME-BCRS out of SDDMM
+    // is bit-identical in structure to a fresh translation of the same
+    // values.
+    let mask: CsrMatrix<F16> =
+        CsrMatrix::from_coo(&random_uniform::<f32>(72, 72, 500, 9)).with_unit_values().cast();
+    let h = dense::<F16>(72, 16, 2);
+    let fs = FlashSparseMatrix::from_csr(&mask);
+    let (att, _) = fs.sddmm(&h, &h);
+
+    // Chain directly.
+    let att_fs = FlashSparseMatrix::from_mebcrs(att.clone());
+    let (direct, _) = att_fs.spmm(&h, ThreadMapping::MemoryEfficient);
+
+    // Round-trip through CSR and retranslate.
+    let att_csr = att.to_csr();
+    let retranslated = FlashSparseMatrix::from_csr(&att_csr);
+    let (via_csr, _) = retranslated.spmm(&h, ThreadMapping::MemoryEfficient);
+
+    // Identical pattern and values ⇒ identical output (up to the zero
+    // entries to_csr drops, which contribute nothing).
+    assert!(direct.max_abs_diff(&via_csr) < 1e-6);
+}
+
+#[test]
+fn ablation_16x1_sddmm_agrees_with_8x1() {
+    let mask: CsrMatrix<F16> =
+        CsrMatrix::from_coo(&rmat::<f32>(6, 8, RmatConfig::GRAPH500, true, 4))
+            .with_unit_values()
+            .cast();
+    let k = 16;
+    let a = dense::<F16>(mask.rows(), k, 0);
+    let b = dense::<F16>(mask.cols(), k, 3);
+    let fs = FlashSparseMatrix::from_csr(&mask);
+    let (out8, k8) = fs.sddmm(&a, &b);
+    let me16 = MeBcrs::from_csr(&mask, SPEC16);
+    let (out16, r16) = dtc::sddmm_16x1::<F16>(&me16, &a, &b);
+    assert!(out8.to_dense().max_abs_diff(&out16.to_dense()) < 0.05);
+    assert!(
+        k8.mma_count <= r16.counters.mma_count,
+        "8x1 {} vs 16x1 {}",
+        k8.mma_count,
+        r16.counters.mma_count
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random masks and inner dims: SDDMM equals the reference within
+    /// FP16 rounding.
+    #[test]
+    fn prop_sddmm_matches_reference(
+        rows in 1usize..60,
+        cols in 1usize..60,
+        nnz in 0usize..300,
+        k in 1usize..24,
+        seed in 0u64..1000,
+    ) {
+        let mask: CsrMatrix<F16> =
+            CsrMatrix::from_coo(&random_uniform::<f32>(rows, cols, nnz, seed))
+                .with_unit_values()
+                .cast();
+        let a = dense::<F16>(rows, k, 0);
+        let b = dense::<F16>(cols, k, 5);
+        let fs = FlashSparseMatrix::from_csr(&mask);
+        let (out, _) = fs.sddmm(&a, &b);
+        let reference = mask.sddmm_reference(&a, &b);
+        let out_dense = out.to_dense();
+        for (r, c, v) in reference.iter() {
+            prop_assert!(
+                (out_dense.get_f32(r, c) - v).abs() <= 0.05f32.max(v.abs() * 2e-3),
+                "({},{}) {} vs {}", r, c, out_dense.get_f32(r, c), v
+            );
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Cross-crate integration tests: FlashSparse SpMM against the gold
+//! reference and every baseline, over matrices from every generator.
+
+use flashsparse::{FlashSparseMatrix, TcuPrecision, ThreadMapping};
+use fs_baselines::cuda;
+use fs_baselines::tcu16::{dtc, SPEC16};
+use fs_format::MeBcrs;
+use fs_matrix::gen::{banded, block_sparse, random_uniform, rmat, RmatConfig};
+use fs_matrix::{CsrMatrix, DenseMatrix};
+use fs_precision::{F16, Scalar, Tf32};
+use proptest::prelude::*;
+
+fn generators() -> Vec<(&'static str, CsrMatrix<f32>)> {
+    vec![
+        ("rmat", CsrMatrix::from_coo(&rmat::<f32>(7, 6, RmatConfig::GRAPH500, true, 1))),
+        ("uniform", CsrMatrix::from_coo(&random_uniform::<f32>(100, 90, 700, 2))),
+        ("banded", CsrMatrix::from_coo(&banded::<f32>(120, &[-7, -1, 0, 1, 7], 0.9, 3))),
+        ("blocks", CsrMatrix::from_coo(&block_sparse::<f32>(96, 96, 8, 8, 0.1, 0.8, 4))),
+        ("empty", CsrMatrix::empty(64, 64)),
+    ]
+}
+
+fn dense_b<S: Scalar>(rows: usize, n: usize) -> DenseMatrix<S> {
+    DenseMatrix::from_fn(rows, n, |r, c| (((r * 5 + c * 3) % 15) as f32 - 7.0) * 0.125)
+}
+
+#[test]
+fn flashsparse_matches_reference_across_generators_fp16() {
+    for (name, csr) in generators() {
+        for n in [1usize, 16, 33, 128] {
+            let csr16: CsrMatrix<F16> = csr.cast();
+            let fs = FlashSparseMatrix::from_csr(&csr16);
+            let b = dense_b::<F16>(csr.cols(), n);
+            let (out, _) = fs.spmm(&b, ThreadMapping::MemoryEfficient);
+            let reference = csr16.spmm_reference(&b);
+            let diff = out.max_abs_diff(&reference);
+            assert!(diff <= 0.6, "{name} n={n}: diff {diff}");
+        }
+    }
+}
+
+#[test]
+fn flashsparse_matches_reference_across_generators_tf32() {
+    for (name, csr) in generators() {
+        let csr32: CsrMatrix<Tf32> = csr.cast();
+        let fs = FlashSparseMatrix::from_csr(&csr32);
+        let b = dense_b::<Tf32>(csr.cols(), 64);
+        let (out, _) = fs.spmm(&b, ThreadMapping::MemoryEfficient);
+        let reference = csr32.spmm_reference(&b);
+        let diff = out.rel_frob_diff(&reference);
+        assert!(diff <= 1e-3, "{name}: rel diff {diff}");
+    }
+}
+
+#[test]
+fn all_spmm_implementations_agree() {
+    let csr = CsrMatrix::from_coo(&rmat::<f32>(7, 8, RmatConfig::GRAPH500, true, 9));
+    let n = 64;
+    let b = dense_b::<f32>(csr.cols(), n);
+    let gold = csr.spmm_reference(&b);
+
+    // CUDA-core baselines (exact f32 numerics, different decompositions).
+    for (name, out) in [
+        ("cusparse", cuda::cusparse_like::spmm(&csr, &b).0),
+        ("gespmm", cuda::gespmm::spmm(&csr, &b).0),
+        ("sputnik", cuda::sputnik::spmm(&csr, &b).0),
+        ("rode", cuda::rode::spmm(&csr, &b).0),
+        ("gnnadvisor", cuda::gnnadvisor::spmm(&csr, &b).0),
+    ] {
+        assert!(out.max_abs_diff(&gold) < 1e-3, "{name}");
+    }
+
+    // Tensor-core paths (FP16 rounding).
+    let csr16: CsrMatrix<F16> = csr.cast();
+    let b16: DenseMatrix<F16> = b.cast();
+    let fs = FlashSparseMatrix::from_csr(&csr16);
+    let (flash, _) = fs.spmm(&b16, ThreadMapping::MemoryEfficient);
+    let me16 = MeBcrs::from_csr(&csr16, SPEC16);
+    let (dtc_out, _) = dtc::spmm_16x1::<F16>(&me16, &b16);
+    assert!(flash.max_abs_diff(&gold) < 1.0);
+    assert!(dtc_out.max_abs_diff(&flash) < 0.6, "8x1 and 16x1 agree");
+}
+
+#[test]
+fn thread_mapping_never_changes_results() {
+    for (name, csr) in generators() {
+        let csr16: CsrMatrix<F16> = csr.cast();
+        let me = MeBcrs::from_csr(&csr16, F16::SPEC);
+        let b = dense_b::<F16>(csr.cols(), 48);
+        let (direct, kd) = flashsparse::spmm(&me, &b, ThreadMapping::Direct);
+        let (eff, ke) = flashsparse::spmm(&me, &b, ThreadMapping::MemoryEfficient);
+        assert_eq!(direct.max_abs_diff(&eff), 0.0, "{name}");
+        assert_eq!(kd.mma_count, ke.mma_count, "{name}");
+        assert!(ke.transactions() <= kd.transactions(), "{name}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random patterns: FlashSparse FP16 SpMM equals the reference.
+    #[test]
+    fn prop_spmm_matches_reference(
+        rows in 1usize..80,
+        cols in 1usize..80,
+        nnz in 0usize..400,
+        n in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        let csr: CsrMatrix<F16> =
+            CsrMatrix::from_coo(&random_uniform::<f32>(rows, cols, nnz, seed)).cast();
+        let fs = FlashSparseMatrix::from_csr(&csr);
+        let b = dense_b::<F16>(cols, n);
+        let (out, counters) = fs.spmm(&b, ThreadMapping::MemoryEfficient);
+        let reference = csr.spmm_reference(&b);
+        prop_assert!(out.max_abs_diff(&reference) <= 0.6);
+        // Counter sanity: MMAs follow the analytic formula.
+        let expected: u64 = (0..fs.format().num_windows())
+            .map(|w| fs.format().blocks_in_window(w) as u64)
+            .sum::<u64>() * (n as u64).div_ceil(16);
+        prop_assert_eq!(counters.mma_count, expected);
+    }
+
+    /// The ME-BCRS translation roundtrips for arbitrary patterns.
+    #[test]
+    fn prop_mebcrs_roundtrip(
+        rows in 1usize..100,
+        cols in 1usize..100,
+        nnz in 0usize..500,
+        seed in 0u64..1000,
+    ) {
+        let csr: CsrMatrix<F16> =
+            CsrMatrix::from_coo(&random_uniform::<f32>(rows, cols, nnz, seed)).cast();
+        let me = MeBcrs::from_csr(&csr, F16::SPEC);
+        prop_assert_eq!(me.to_dense(), csr.to_dense());
+        let back = me.to_csr();
+        prop_assert_eq!(back.to_dense(), csr.to_dense());
+    }
+}
