@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# CI gate for the workspace: formatting, the custom lint pass, a release
+# build, and the full test suite. Any failure aborts the run.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo run -p xtask -- lint"
+cargo run -p xtask --quiet -- lint
+
+echo "== cargo build --release"
+cargo build --release
+
+echo "== cargo test -q"
+cargo test -q
+
+echo "ci: all gates passed"

@@ -27,10 +27,8 @@ pub fn spmm(csr: &CsrMatrix<f32>, b: &DenseMatrix<f32>) -> (DenseMatrix<f32>, Ba
     // the schedule, so the wave distribution equals the row distribution
     // repeated per tile.
     let lens = row_lengths(csr);
-    let units: Vec<u64> = lens
-        .iter()
-        .flat_map(|&l| std::iter::repeat_n(l, tiles as usize))
-        .collect();
+    let units: Vec<u64> =
+        lens.iter().flat_map(|&l| std::iter::repeat_n(l, tiles as usize)).collect();
     let run = BaselineRun {
         counters,
         imbalance: imbalance_factor(&units, DEFAULT_PARALLELISM),

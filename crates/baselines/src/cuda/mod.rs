@@ -23,20 +23,17 @@ use rayon::prelude::*;
 pub(crate) fn spmm_rows_f32(csr: &CsrMatrix<f32>, b: &DenseMatrix<f32>) -> DenseMatrix<f32> {
     let n = b.cols();
     let mut out = DenseMatrix::<f32>::zeros(csr.rows(), n);
-    out.as_mut_slice()
-        .par_chunks_mut(n.max(1))
-        .enumerate()
-        .for_each(|(r, orow)| {
-            if n == 0 {
-                return;
+    out.as_mut_slice().par_chunks_mut(n.max(1)).enumerate().for_each(|(r, orow)| {
+        if n == 0 {
+            return;
+        }
+        for (&c, &v) in csr.row_cols(r).iter().zip(csr.row_values(r)) {
+            let brow = b.row(c as usize);
+            for j in 0..n {
+                orow[j] += v * brow[j];
             }
-            for (&c, &v) in csr.row_cols(r).iter().zip(csr.row_values(r)) {
-                let brow = b.row(c as usize);
-                for j in 0..n {
-                    orow[j] += v * brow[j];
-                }
-            }
-        });
+        }
+    });
     out
 }
 

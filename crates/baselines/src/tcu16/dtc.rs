@@ -11,13 +11,15 @@
 use fs_format::MeBcrs;
 use fs_matrix::DenseMatrix;
 use fs_precision::Scalar;
-use fs_tcu::{mma_execute, FragKind, Fragment, KernelCounters, Precision, TrafficClass, TransactionCounter};
+use fs_tcu::{
+    mma_execute, FragKind, Fragment, KernelCounters, Precision, TrafficClass, TransactionCounter,
+};
 use rayon::prelude::*;
 
 use flashsparse::TcuPrecision;
 
-use crate::run::BaselineRun;
 use super::{shape16, SPEC16};
+use crate::run::BaselineRun;
 
 /// Output columns covered by one direct-orientation MMA (`n = 8`).
 pub const N_TILE_16: usize = 8;
@@ -218,11 +220,7 @@ fn count_dense_load_16<S: Scalar>(
         let mut accesses: Vec<(u64, u32)> = Vec::with_capacity(32);
         for lane in 0..32usize {
             let g = lane >> 2;
-            let t = if S::BYTES == 2 {
-                (lane & 3) * 2 + reg
-            } else {
-                (lane & 3) + 4 * reg
-            };
+            let t = if S::BYTES == 2 { (lane & 3) * 2 + reg } else { (lane & 3) + 4 * reg };
             if t < w_b && j0 + g < n {
                 accesses.push((b.addr_of(cols[t] as usize, j0 + g), S::BYTES as u32));
             }
@@ -270,8 +268,7 @@ pub fn sddmm_16x1<S: TcuPrecision>(
             let mut tc = TransactionCounter::new();
             let window_rows = (rows - w * v).min(v);
             let window_val_base = mask.window_ptr()[w] * v;
-            let win_cols =
-                &mask.col_indices()[mask.window_ptr()[w]..mask.window_ptr()[w + 1]];
+            let win_cols = &mask.col_indices()[mask.window_ptr()[w]..mask.window_ptr()[w + 1]];
 
             let mut a_tile = vec![0.0f32; v * k];
             let mut b_tile = vec![0.0f32; k * 8];
@@ -341,10 +338,10 @@ pub fn sddmm_16x1<S: TcuPrecision>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use flashsparse::{spmm as flash_spmm, ThreadMapping};
     use fs_matrix::gen::{random_uniform, rmat, RmatConfig};
     use fs_matrix::CsrMatrix;
-    use fs_precision::{F16, Tf32};
-    use flashsparse::{spmm as flash_spmm, ThreadMapping};
+    use fs_precision::{Tf32, F16};
 
     #[test]
     fn fp16_spmm_matches_reference() {
@@ -394,8 +391,7 @@ mod tests {
 
     #[test]
     fn sddmm_16x1_matches_reference() {
-        let mask =
-            CsrMatrix::from_coo(&random_uniform::<F16>(48, 40, 300, 2)).with_unit_values();
+        let mask = CsrMatrix::from_coo(&random_uniform::<F16>(48, 40, 300, 2)).with_unit_values();
         let a = DenseMatrix::<F16>::from_fn(48, 16, |r, c| (((r + c) % 7) as f32 - 3.0) * 0.25);
         let b = DenseMatrix::<F16>::from_fn(40, 16, |r, c| (((r * 2 + c) % 5) as f32 - 2.0) * 0.25);
         let me = format16(&mask);

@@ -32,7 +32,7 @@ pub fn shape16<S: TcuPrecision>() -> MmaShape {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fs_precision::{F16, Tf32};
+    use fs_precision::{Tf32, F16};
 
     #[test]
     fn spec_and_shapes() {

@@ -17,8 +17,8 @@ use fs_tcu::cost::ComputeClass;
 use fs_tcu::{wmma_execute_tf32, KernelCounters, TrafficClass, TransactionCounter};
 use rayon::prelude::*;
 
-use crate::run::BaselineRun;
 use super::SPEC16;
+use crate::run::BaselineRun;
 
 /// Scalar-op cost per position check. A check is nominally a compare +
 /// select, but the SGT scan is branch-divergent and serialized within the
@@ -30,10 +30,7 @@ use super::SPEC16;
 const CHECK_FLOPS: u64 = 64;
 
 /// TC-GNN SpMM: WMMA `m16n16k8`, 16-row windows, 16-column output tiles.
-pub fn spmm_tcgnn(
-    a: &MeBcrs<Tf32>,
-    b: &DenseMatrix<Tf32>,
-) -> (DenseMatrix<Tf32>, BaselineRun) {
+pub fn spmm_tcgnn(a: &MeBcrs<Tf32>, b: &DenseMatrix<Tf32>) -> (DenseMatrix<Tf32>, BaselineRun) {
     assert_eq!(a.spec(), SPEC16, "TC-GNN uses the 16x1 layout");
     assert_eq!(a.cols(), b.rows());
     const V: usize = 16; // window height = WMMA m
@@ -65,10 +62,8 @@ pub fn spmm_tcgnn(
                     let w_b = a.block_width(w, blk);
                     (0..window_rows)
                         .map(|i| {
-                            a.block_row(w, blk, i)[..w_b]
-                                .iter()
-                                .filter(|v| !v.is_zero())
-                                .count() as u64
+                            a.block_row(w, blk, i)[..w_b].iter().filter(|v| !v.is_zero()).count()
+                                as u64
                         })
                         .sum::<u64>()
                 })
@@ -97,9 +92,8 @@ pub fn spmm_tcgnn(
                         }
                     }
                     // Loads: whole tiles (the WMMA API loads full fragments).
-                    let sparse: Vec<(u64, u32)> = (0..V)
-                        .map(|i| (a.value_addr(w, blk, i, 0), (w_b * 4) as u32))
-                        .collect();
+                    let sparse: Vec<(u64, u32)> =
+                        (0..V).map(|i| (a.value_addr(w, blk, i, 0), (w_b * 4) as u32)).collect();
                     tc.warp_load_as(TrafficClass::SparseValues, sparse, &mut counters);
                     let dense: Vec<(u64, u32)> = cols
                         .iter()
@@ -196,8 +190,7 @@ mod tests {
 
     #[test]
     fn sddmm_runs_and_counts_checks() {
-        let mask =
-            CsrMatrix::from_coo(&random_uniform::<Tf32>(32, 32, 150, 5)).with_unit_values();
+        let mask = CsrMatrix::from_coo(&random_uniform::<Tf32>(32, 32, 150, 5)).with_unit_values();
         let me = MeBcrs::from_csr(&mask, SPEC16);
         let a = DenseMatrix::<Tf32>::from_fn(32, 8, |r, c| (r + c) as f32 * 0.1);
         let b = DenseMatrix::<Tf32>::from_fn(32, 8, |r, c| (r * 2 + c) as f32 * 0.1);

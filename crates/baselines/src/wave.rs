@@ -44,7 +44,7 @@ pub fn imbalance_factor(unit_costs: &[u64], parallelism: usize) -> f64 {
     let p_eff = parallelism.min(unit_costs.len());
     let mut wave_time = 0u64;
     for wave in unit_costs.chunks(p_eff) {
-        wave_time += *wave.iter().max().unwrap();
+        wave_time += wave.iter().copied().max().unwrap_or(0);
     }
     (wave_time as f64 * p_eff as f64 / total as f64).max(1.0)
 }
@@ -127,10 +127,7 @@ mod tests {
         let split = imbalance_factor(&split_rows(&costs, 256), 512);
         assert!(split < unsplit / 5.0, "split={split} unsplit={unsplit}");
         // Splitting preserves total work.
-        assert_eq!(
-            split_rows(&costs, 256).iter().sum::<u64>(),
-            costs.iter().sum::<u64>()
-        );
+        assert_eq!(split_rows(&costs, 256).iter().sum::<u64>(), costs.iter().sum::<u64>());
     }
 
     #[test]

@@ -10,9 +10,8 @@ use fs_precision::F16;
 use proptest::prelude::*;
 
 fn arb_csr() -> impl Strategy<Value = CsrMatrix<f32>> {
-    (1usize..60, 1usize..60, 0usize..300, 0u64..10_000).prop_map(|(r, c, nnz, seed)| {
-        CsrMatrix::from_coo(&random_uniform::<f32>(r, c, nnz, seed))
-    })
+    (1usize..60, 1usize..60, 0usize..300, 0u64..10_000)
+        .prop_map(|(r, c, nnz, seed)| CsrMatrix::from_coo(&random_uniform::<f32>(r, c, nnz, seed)))
 }
 
 proptest! {

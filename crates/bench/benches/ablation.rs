@@ -12,15 +12,9 @@ fn bench_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation");
     group.sample_size(10);
     let csr = CsrMatrix::from_coo(&rmat::<f32>(9, 8, RmatConfig::GRAPH500, true, 17));
-    group.bench_function("vector-size-spmm", |b| {
-        b.iter(|| ablation_vector_size_spmm(&csr, 128))
-    });
-    group.bench_function("vector-size-sddmm", |b| {
-        b.iter(|| ablation_vector_size_sddmm(&csr, 32))
-    });
-    group.bench_function("thread-mapping-spmm", |b| {
-        b.iter(|| ablation_thread_mapping(&csr, 128))
-    });
+    group.bench_function("vector-size-spmm", |b| b.iter(|| ablation_vector_size_spmm(&csr, 128)));
+    group.bench_function("vector-size-sddmm", |b| b.iter(|| ablation_vector_size_sddmm(&csr, 32)));
+    group.bench_function("thread-mapping-spmm", |b| b.iter(|| ablation_thread_mapping(&csr, 128)));
     group.finish();
 }
 

@@ -12,11 +12,9 @@ fn bench_gnn(c: &mut Criterion) {
     let ds = sbm(SbmConfig { nodes: 256, feature_dim: 32, ..Default::default() }, 8);
     let cfg = TrainConfig { epochs: 1, hidden: 32, layers: 2, lr: 0.01, seed: 1 };
     for backend in [GnnBackend::CudaFp32, GnnBackend::FlashFp16, GnnBackend::FlashTf32] {
-        group.bench_with_input(
-            BenchmarkId::new("gcn", backend.name()),
-            &backend,
-            |b, &backend| b.iter(|| train_gcn(&ds, backend, GpuSpec::RTX4090, cfg)),
-        );
+        group.bench_with_input(BenchmarkId::new("gcn", backend.name()), &backend, |b, &backend| {
+            b.iter(|| train_gcn(&ds, backend, GpuSpec::RTX4090, cfg))
+        });
         group.bench_with_input(
             BenchmarkId::new("agnn", backend.name()),
             &backend,

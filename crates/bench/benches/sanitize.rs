@@ -1,0 +1,56 @@
+//! A/B overhead check for the sanitizer layer (Criterion).
+//!
+//! The acceptance bar for `fs-sanitize` is that the **off** path costs
+//! nothing: with `SanitizeMode::Off` (the default) every hook reduces to
+//! one relaxed atomic load, so `spmm/sanitize-off` must sit within noise
+//! of the plain SpMM numbers in `benches/spmm.rs`. The `sanitize-record`
+//! series quantifies what full shadow-memory + fragment checking costs
+//! when it *is* enabled.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flashsparse::{spmm, TcuPrecision, ThreadMapping};
+use fs_format::MeBcrs;
+use fs_matrix::gen::{rmat, RmatConfig};
+use fs_matrix::{CsrMatrix, DenseMatrix};
+use fs_precision::F16;
+use fs_tcu::SanitizeScope;
+
+fn graph(scale: u32) -> CsrMatrix<f32> {
+    CsrMatrix::from_coo(&rmat::<f32>(scale, 8, RmatConfig::GRAPH500, true, 42))
+}
+
+fn bench_sanitize_ab(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sanitize-ab");
+    group.sample_size(10);
+    for scale in [8u32, 10] {
+        let csr = graph(scale);
+        let n = 128;
+        let b = DenseMatrix::<F16>::from_fn(csr.cols(), n, |r, c| ((r + c) % 7) as f32 * 0.25);
+        let me: MeBcrs<F16> = MeBcrs::from_csr(&csr.cast(), F16::SPEC);
+
+        group.bench_with_input(
+            BenchmarkId::new("spmm-sanitize-off", csr.nnz()),
+            &csr.nnz(),
+            |bch, _| {
+                let _scope = SanitizeScope::off();
+                bch.iter(|| spmm(&me, &b, ThreadMapping::MemoryEfficient))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("spmm-sanitize-record", csr.nnz()),
+            &csr.nnz(),
+            |bch, _| {
+                let _scope = SanitizeScope::record();
+                bch.iter(|| spmm(&me, &b, ThreadMapping::MemoryEfficient));
+                assert!(
+                    fs_tcu::sanitize::take_reports().is_empty(),
+                    "clean kernel must stay clean"
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sanitize_ab);
+criterion_main!(benches);

@@ -1,13 +1,13 @@
 //! Host wall-clock of the SDDMM kernels (Criterion).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flashsparse::{sddmm, TcuPrecision};
 use fs_baselines::cuda;
 use fs_baselines::tcu16::{dtc, SPEC16};
 use fs_format::MeBcrs;
 use fs_matrix::gen::{rmat, RmatConfig};
 use fs_matrix::{CsrMatrix, DenseMatrix};
 use fs_precision::F16;
-use flashsparse::{sddmm, TcuPrecision};
 
 fn bench_sddmm(c: &mut Criterion) {
     let mut group = c.benchmark_group("sddmm");
@@ -17,7 +17,8 @@ fn bench_sddmm(c: &mut Criterion) {
             .with_unit_values();
         let k = 32;
         let a16 = DenseMatrix::<F16>::from_fn(mask.rows(), k, |r, c| ((r + c) % 5) as f32 * 0.25);
-        let b16 = DenseMatrix::<F16>::from_fn(mask.cols(), k, |r, c| ((r * 2 + c) % 7) as f32 * 0.25);
+        let b16 =
+            DenseMatrix::<F16>::from_fn(mask.cols(), k, |r, c| ((r * 2 + c) % 7) as f32 * 0.25);
         let me8: MeBcrs<F16> = MeBcrs::from_csr(&mask.cast(), F16::SPEC);
         group.bench_with_input(
             BenchmarkId::new("flashsparse-fp16", mask.nnz()),
@@ -31,7 +32,8 @@ fn bench_sddmm(c: &mut Criterion) {
             |bch, _| bch.iter(|| dtc::sddmm_16x1::<F16>(&me16, &a16, &b16)),
         );
         let af = DenseMatrix::<f32>::from_fn(mask.rows(), k, |r, c| ((r + c) % 5) as f32 * 0.25);
-        let bf = DenseMatrix::<f32>::from_fn(mask.cols(), k, |r, c| ((r * 2 + c) % 7) as f32 * 0.25);
+        let bf =
+            DenseMatrix::<f32>::from_fn(mask.cols(), k, |r, c| ((r * 2 + c) % 7) as f32 * 0.25);
         group.bench_with_input(BenchmarkId::new("rode-fp32", mask.nnz()), &mask.nnz(), |bch, _| {
             bch.iter(|| cuda::rode::sddmm(&mask, &af, &bf))
         });

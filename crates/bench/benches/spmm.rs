@@ -5,13 +5,13 @@
 //! GPU numbers come from the cost model (see the `figures` binary).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flashsparse::{spmm, TcuPrecision, ThreadMapping};
 use fs_baselines::cuda;
 use fs_baselines::tcu16::{dtc, SPEC16};
 use fs_format::MeBcrs;
 use fs_matrix::gen::{rmat, RmatConfig};
 use fs_matrix::{CsrMatrix, DenseMatrix};
-use fs_precision::{F16, Tf32};
-use flashsparse::{spmm, TcuPrecision, ThreadMapping};
+use fs_precision::{Tf32, F16};
 
 fn graph(scale: u32) -> CsrMatrix<f32> {
     CsrMatrix::from_coo(&rmat::<f32>(scale, 8, RmatConfig::GRAPH500, true, 42))

@@ -14,21 +14,15 @@ fn bench_translate(c: &mut Criterion) {
         let csr: CsrMatrix<F16> =
             CsrMatrix::from_coo(&rmat::<f32>(scale, 8, RmatConfig::GRAPH500, true, 3)).cast();
         group.throughput(Throughput::Elements(csr.nnz() as u64));
-        group.bench_with_input(
-            BenchmarkId::new("mebcrs-8x1", csr.nnz()),
-            &csr.nnz(),
-            |bch, _| bch.iter(|| MeBcrs::from_csr(&csr, TcFormatSpec::FLASH_FP16)),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("mebcrs-16x1", csr.nnz()),
-            &csr.nnz(),
-            |bch, _| bch.iter(|| MeBcrs::from_csr(&csr, TcFormatSpec::SOTA16_FP16)),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("srbcrs-8x1", csr.nnz()),
-            &csr.nnz(),
-            |bch, _| bch.iter(|| SrBcrs::from_csr(&csr, TcFormatSpec::FLASH_FP16)),
-        );
+        group.bench_with_input(BenchmarkId::new("mebcrs-8x1", csr.nnz()), &csr.nnz(), |bch, _| {
+            bch.iter(|| MeBcrs::from_csr(&csr, TcFormatSpec::FLASH_FP16))
+        });
+        group.bench_with_input(BenchmarkId::new("mebcrs-16x1", csr.nnz()), &csr.nnz(), |bch, _| {
+            bch.iter(|| MeBcrs::from_csr(&csr, TcFormatSpec::SOTA16_FP16))
+        });
+        group.bench_with_input(BenchmarkId::new("srbcrs-8x1", csr.nnz()), &csr.nnz(), |bch, _| {
+            bch.iter(|| SrBcrs::from_csr(&csr, TcFormatSpec::FLASH_FP16))
+        });
     }
     group.finish();
 }

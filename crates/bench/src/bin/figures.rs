@@ -9,6 +9,8 @@
 //!
 //! Run with `--release`; the kernel simulator is 10–30× slower in debug.
 
+#![allow(clippy::unwrap_used)] // bench harness: panic on missing data is intended
+
 use fs_bench::experiments::{ablation, counts, gnn, memory, reorder, sddmm, spmm};
 use fs_bench::ExpConfig;
 use fs_matrix::suite::{table4_datasets, Scale};

@@ -9,6 +9,7 @@
 //! Prints the sparsity pattern, format statistics, the auto-tuner's
 //! choice, and a simulated-performance comparison on both paper GPUs.
 
+use flashsparse::auto_tune;
 use fs_bench::algos::{measure_sddmm_all, measure_spmm_all};
 use fs_format::{vector_stats, TcFormatSpec};
 use fs_matrix::gen::{random_uniform, rmat, RmatConfig};
@@ -17,7 +18,6 @@ use fs_matrix::render::render_sparsity;
 use fs_matrix::stats::sparsity_stats;
 use fs_matrix::CsrMatrix;
 use fs_tcu::GpuSpec;
-use flashsparse::auto_tune;
 
 fn usage() -> ! {
     eprintln!(
@@ -66,14 +66,14 @@ fn main() {
             }
             "--uniform" => {
                 let spec = it.next().unwrap_or_else(|| usage());
-                let parts: Vec<usize> =
-                    spec.split('x').filter_map(|t| t.parse().ok()).collect();
+                let parts: Vec<usize> = spec.split('x').filter_map(|t| t.parse().ok()).collect();
                 if parts.len() != 3 {
                     usage();
                 }
                 source = format!("uniform {}x{} nnz {}", parts[0], parts[1], parts[2]);
-                matrix =
-                    Some(CsrMatrix::from_coo(&random_uniform::<f32>(parts[0], parts[1], parts[2], 42)));
+                matrix = Some(CsrMatrix::from_coo(&random_uniform::<f32>(
+                    parts[0], parts[1], parts[2], 42,
+                )));
             }
             "--n" => n = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
             "--sddmm-k" => {
@@ -89,7 +89,13 @@ fn main() {
     println!("matrix: {source}");
     println!(
         "{} x {}, {} nonzeros ({:.4}% dense), avg row {:.2}, max row {}, row CV {:.2}",
-        s.rows, s.cols, s.nnz, s.density * 100.0, s.avg_row_length, s.max_row_length, s.row_cv
+        s.rows,
+        s.cols,
+        s.nnz,
+        s.density * 100.0,
+        s.avg_row_length,
+        s.max_row_length,
+        s.row_cv
     );
     println!("\nsparsity pattern:");
     print!("{}", render_sparsity(&csr, 32));
@@ -134,10 +140,7 @@ fn main() {
 
     // --- SDDMM comparison ---
     println!("\nSDDMM (K={sddmm_k}), simulated:");
-    println!(
-        "{:<18} {:>14} {:>14} {:>12}",
-        "algorithm", "H100 GFLOPS", "4090 GFLOPS", "MMAs"
-    );
+    println!("{:<18} {:>14} {:>14} {:>12}", "algorithm", "H100 GFLOPS", "4090 GFLOPS", "MMAs");
     for m in measure_sddmm_all(&csr.with_unit_values(), sddmm_k) {
         println!(
             "{:<18} {:>14.0} {:>14.0} {:>12}",

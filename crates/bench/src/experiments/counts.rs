@@ -2,8 +2,8 @@
 //! vectors) and Figure 12 (data access cost) — the counting experiments
 //! that motivate the 8×1 granularity.
 
-use fs_format::{vector_stats, TcFormatSpec};
 use fs_format::stats::spmm_mma_count;
+use fs_format::{vector_stats, TcFormatSpec};
 use fs_matrix::suite::Dataset;
 
 use crate::algos::{ablation_vector_size_sddmm, ablation_vector_size_spmm};

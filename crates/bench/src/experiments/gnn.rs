@@ -1,12 +1,12 @@
 //! Figure 16 (end-to-end GNN training time) and Table 8 (training
 //! accuracy across precisions).
 
+use fs_gnn::ops::GnnBackend;
+use fs_gnn::train::{train_agnn, train_gcn, TrainConfig};
 use fs_matrix::gen::{sbm, SbmConfig, SbmDataset};
 use fs_matrix::suite::Dataset;
 use fs_matrix::DenseMatrix;
 use fs_tcu::GpuSpec;
-use fs_gnn::ops::GnnBackend;
-use fs_gnn::train::{train_agnn, train_gcn, TrainConfig};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -25,8 +25,14 @@ fn dense_class(backend: GnnBackend) -> ComputeClass {
 
 /// Simulated end-to-end epoch time: sparse kernels + dense GEMMs (dense
 /// ops run near peak, so a straight throughput division suffices).
-fn epoch_time(result: &fs_gnn::train::TrainResult, backend: GnnBackend, gpu: GpuSpec, epochs: usize) -> f64 {
-    let dense = result.dense_flops as f64 / CostModel::new(gpu).sustained_flops(dense_class(backend));
+fn epoch_time(
+    result: &fs_gnn::train::TrainResult,
+    backend: GnnBackend,
+    gpu: GpuSpec,
+    epochs: usize,
+) -> f64 {
+    let dense =
+        result.dense_flops as f64 / CostModel::new(gpu).sustained_flops(dense_class(backend));
     (result.sim_kernel_time + dense) / epochs as f64
 }
 
@@ -116,11 +122,32 @@ pub fn table8(epochs: usize) -> Vec<(String, f64, f64, f64)> {
     // Five datasets of varying difficulty (signal strength / density),
     // standing in for the paper's DGL citation datasets.
     let configs = [
-        ("sbm-easy", SbmConfig { nodes: 256, classes: 4, feature_signal: 1.5, ..Default::default() }),
-        ("sbm-medium", SbmConfig { nodes: 256, classes: 4, feature_signal: 0.8, ..Default::default() }),
-        ("sbm-hard", SbmConfig { nodes: 256, classes: 4, feature_signal: 0.45, ..Default::default() }),
-        ("sbm-dense", SbmConfig { nodes: 256, classes: 3, p_in: 0.15, feature_signal: 0.8, ..Default::default() }),
-        ("sbm-large", SbmConfig { nodes: 512, classes: 5, feature_signal: 1.0, ..Default::default() }),
+        (
+            "sbm-easy",
+            SbmConfig { nodes: 256, classes: 4, feature_signal: 1.5, ..Default::default() },
+        ),
+        (
+            "sbm-medium",
+            SbmConfig { nodes: 256, classes: 4, feature_signal: 0.8, ..Default::default() },
+        ),
+        (
+            "sbm-hard",
+            SbmConfig { nodes: 256, classes: 4, feature_signal: 0.45, ..Default::default() },
+        ),
+        (
+            "sbm-dense",
+            SbmConfig {
+                nodes: 256,
+                classes: 3,
+                p_in: 0.15,
+                feature_signal: 0.8,
+                ..Default::default()
+            },
+        ),
+        (
+            "sbm-large",
+            SbmConfig { nodes: 512, classes: 5, feature_signal: 1.0, ..Default::default() },
+        ),
     ];
     let cfg = TrainConfig { epochs, hidden: 32, layers: 3, lr: 0.01, seed: 5 };
     println!(
@@ -163,14 +190,8 @@ mod tests {
     fn table8_no_precision_collapse() {
         let rows = table8(12);
         for (name, fp32, fp16, tf32) in rows {
-            assert!(
-                (fp32 - fp16).abs() < 0.15,
-                "{name}: fp16 {fp16} vs fp32 {fp32}"
-            );
-            assert!(
-                (fp32 - tf32).abs() < 0.15,
-                "{name}: tf32 {tf32} vs fp32 {fp32}"
-            );
+            assert!((fp32 - fp16).abs() < 0.15, "{name}: fp16 {fp16} vs fp32 {fp32}");
+            assert!((fp32 - tf32).abs() < 0.15, "{name}: tf32 {tf32} vs fp32 {fp32}");
         }
     }
 }

@@ -23,19 +23,11 @@ pub fn reorder_experiment(datasets: &[Dataset], gpu: GpuSpec) -> Vec<(String, f6
     let mut rows = Vec::new();
     for d in datasets {
         let base = measure_spmm_all(&d.matrix, 128);
-        let t_base = base
-            .iter()
-            .find(|m| m.algo == "FlashSparse-FP16")
-            .unwrap()
-            .time(gpu);
+        let t_base = base.iter().find(|m| m.algo == "FlashSparse-FP16").unwrap().time(gpu);
         let perm = degree_sort_permutation(&d.matrix);
         let reordered = permute_rows(&d.matrix, &perm);
         let re = measure_spmm_all(&reordered, 128);
-        let t_re = re
-            .iter()
-            .find(|m| m.algo == "FlashSparse-FP16")
-            .unwrap()
-            .time(gpu);
+        let t_re = re.iter().find(|m| m.algo == "FlashSparse-FP16").unwrap().time(gpu);
         let speedup = t_base / t_re;
         println!("{:<20} reorder speedup {speedup:>6.2}x", d.name);
         rows.push((d.name.clone(), speedup));
@@ -58,9 +50,6 @@ mod tests {
             .collect();
         let rows = reorder_experiment(&ds, GpuSpec::RTX4090);
         let geo = geomean(&rows.iter().map(|r| r.1).collect::<Vec<_>>());
-        assert!(
-            geo > 1.0,
-            "degree sort must help hub-heavy graphs, geomean {geo}"
-        );
+        assert!(geo > 1.0, "degree sort must help hub-heavy graphs, geomean {geo}");
     }
 }

@@ -56,12 +56,7 @@ pub fn table6(sweep_rows: &[SddmmSweepRow], gpu: GpuSpec) -> Vec<(&'static str, 
                     .filter(|m| m.algo.starts_with("FlashSparse"))
                     .map(|m| m.time(gpu))
                     .fold(f64::INFINITY, f64::min);
-                let t_b = row
-                    .measurements
-                    .iter()
-                    .find(|m| m.algo == baseline)
-                    .unwrap()
-                    .time(gpu);
+                let t_b = row.measurements.iter().find(|m| m.algo == baseline).unwrap().time(gpu);
                 t_b / t_flash
             })
             .collect();

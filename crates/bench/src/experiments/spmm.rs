@@ -33,22 +33,12 @@ pub fn sweep(datasets: &[Dataset], n: usize) -> Vec<SpmmSweepRow> {
 }
 
 /// Speedups of `algo` over `baseline` across a sweep, on `gpu`.
-pub fn speedups_over(
-    sweep: &[SpmmSweepRow],
-    algo: &str,
-    baseline: &str,
-    gpu: GpuSpec,
-) -> Vec<f64> {
+pub fn speedups_over(sweep: &[SpmmSweepRow], algo: &str, baseline: &str, gpu: GpuSpec) -> Vec<f64> {
     sweep
         .iter()
         .map(|row| {
             let t_a = row.measurements.iter().find(|m| m.algo == algo).unwrap().time(gpu);
-            let t_b = row
-                .measurements
-                .iter()
-                .find(|m| m.algo == baseline)
-                .unwrap()
-                .time(gpu);
+            let t_b = row.measurements.iter().find(|m| m.algo == baseline).unwrap().time(gpu);
             t_b / t_a
         })
         .collect()
@@ -73,7 +63,10 @@ pub fn fig11(sweep_rows: &[SpmmSweepRow], n: usize, gpu: GpuSpec, row_split: usi
         "GNNAdvisor",
     ];
     for (label, pred) in [
-        ("small matrices", Box::new(|r: &SpmmSweepRow| r.rows < row_split) as Box<dyn Fn(&SpmmSweepRow) -> bool>),
+        (
+            "small matrices",
+            Box::new(|r: &SpmmSweepRow| r.rows < row_split) as Box<dyn Fn(&SpmmSweepRow) -> bool>,
+        ),
         ("large matrices", Box::new(|r: &SpmmSweepRow| r.rows >= row_split)),
     ] {
         let subset: Vec<&SpmmSweepRow> = sweep_rows.iter().filter(|r| pred(r)).collect();
@@ -85,14 +78,9 @@ pub fn fig11(sweep_rows: &[SpmmSweepRow], n: usize, gpu: GpuSpec, row_split: usi
             let speedups: Vec<f64> = subset
                 .iter()
                 .map(|row| {
-                    let t_a =
-                        row.measurements.iter().find(|m| m.algo == algo).unwrap().time(gpu);
-                    let t_c = row
-                        .measurements
-                        .iter()
-                        .find(|m| m.algo == "cuSPARSE")
-                        .unwrap()
-                        .time(gpu);
+                    let t_a = row.measurements.iter().find(|m| m.algo == algo).unwrap().time(gpu);
+                    let t_c =
+                        row.measurements.iter().find(|m| m.algo == "cuSPARSE").unwrap().time(gpu);
                     t_c / t_a
                 })
                 .collect();
@@ -131,12 +119,7 @@ pub fn table5(sweep_rows: &[SpmmSweepRow], gpu: GpuSpec) -> Vec<(&'static str, S
                     .filter(|m| m.algo.starts_with("FlashSparse"))
                     .map(|m| m.time(gpu))
                     .fold(f64::INFINITY, f64::min);
-                let t_b = row
-                    .measurements
-                    .iter()
-                    .find(|m| m.algo == baseline)
-                    .unwrap()
-                    .time(gpu);
+                let t_b = row.measurements.iter().find(|m| m.algo == baseline).unwrap().time(gpu);
                 t_b / t_flash
             })
             .collect();

@@ -32,9 +32,8 @@ impl SpeedupHistogram {
     /// Bucket a list of speedups.
     pub fn from(speedups: &[f64]) -> Self {
         let n = speedups.len().max(1) as f64;
-        let frac = |pred: &dyn Fn(f64) -> bool| {
-            speedups.iter().filter(|&&s| pred(s)).count() as f64 / n
-        };
+        let frac =
+            |pred: &dyn Fn(f64) -> bool| speedups.iter().filter(|&&s| pred(s)).count() as f64 / n;
         SpeedupHistogram {
             below_1: frac(&|s| s < 1.0),
             b1_15: frac(&|s| (1.0..1.5).contains(&s)),
@@ -85,7 +84,9 @@ pub fn box_row(label: &str, values: &[f64]) -> String {
         return format!("{label:<22} (no data)");
     }
     let (min, q1, med, q3, maxv) = quartiles(values);
-    format!("{label:<22} min {min:>7.2}  q1 {q1:>7.2}  med {med:>7.2}  q3 {q3:>7.2}  max {maxv:>8.2}")
+    format!(
+        "{label:<22} min {min:>7.2}  q1 {q1:>7.2}  med {med:>7.2}  q3 {q3:>7.2}  max {maxv:>8.2}"
+    )
 }
 
 #[cfg(test)]

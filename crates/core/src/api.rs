@@ -69,11 +69,7 @@ impl<S: TcuPrecision> FlashSparseMatrix<S> {
     /// SDDMM with this matrix as the sampling mask:
     /// `C = (a × bᵀ) ⊙ self`, output in ME-BCRS (feeds [`Self::spmm`] via
     /// [`FlashSparseMatrix::from_mebcrs`]).
-    pub fn sddmm(
-        &self,
-        a: &DenseMatrix<S>,
-        b: &DenseMatrix<S>,
-    ) -> (MeBcrs<S>, KernelCounters) {
+    pub fn sddmm(&self, a: &DenseMatrix<S>, b: &DenseMatrix<S>) -> (MeBcrs<S>, KernelCounters) {
         sddmm(&self.format, a, b)
     }
 

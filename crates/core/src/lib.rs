@@ -38,6 +38,7 @@
 //! ```
 
 pub mod api;
+mod sanitize_hooks;
 pub mod sddmm;
 pub mod spmm;
 pub mod thread_map;

@@ -1,0 +1,107 @@
+//! Kernel-side sanitizer instrumentation.
+//!
+//! When a [`fs_tcu::SanitizeMode`] is active, each kernel launch builds
+//! shadow regions for its buffers (prefilled for inputs the host wrote,
+//! uninitialized for outputs), threads them through the
+//! `warp_*_shadowed` transaction hooks, and validates the sparse-format
+//! invariants at entry. With sanitize off, every constructor here returns
+//! `None` and the kernels pay one branch per warp request.
+
+use fs_format::MeBcrs;
+use fs_matrix::DenseMatrix;
+use fs_precision::Scalar;
+use fs_tcu::sanitize::{record, recorded_count, sanitize_enabled, Violation};
+use fs_tcu::{KernelCounters, ShadowRegion};
+
+/// Shadow regions for one SpMM launch: `C = A(sparse) × B(dense)`.
+pub(crate) struct SpmmShadow {
+    /// ME-BCRS column indices (host-written).
+    pub indices: ShadowRegion,
+    /// ME-BCRS values (host-written).
+    pub values: ShadowRegion,
+    /// The dense right operand (host-written).
+    pub dense: ShadowRegion,
+    /// The dense output (device-written; starts uninitialized).
+    pub output: ShadowRegion,
+}
+
+impl SpmmShadow {
+    /// Build shadows when sanitizing, `None` otherwise.
+    pub fn new_if_enabled<S: Scalar>(
+        a: &MeBcrs<S>,
+        b: &DenseMatrix<S>,
+        out_bytes: u64,
+    ) -> Option<Self> {
+        if !sanitize_enabled() {
+            return None;
+        }
+        Some(SpmmShadow {
+            indices: ShadowRegion::prefilled("col_indices", a.num_vectors() as u64 * 4),
+            values: ShadowRegion::prefilled("sparse_values", (a.values().len() * S::BYTES) as u64),
+            dense: ShadowRegion::prefilled(
+                "dense_operand",
+                (b.rows() * b.cols() * S::BYTES) as u64,
+            ),
+            output: ShadowRegion::new("spmm_output", out_bytes),
+        })
+    }
+}
+
+/// Shadow regions for one SDDMM launch: `C = (A × Bᵀ) ⊙ mask`.
+pub(crate) struct SddmmShadow {
+    /// Mask column indices (host-written).
+    pub indices: ShadowRegion,
+    /// Dense left operand `A` (host-written).
+    pub dense_a: ShadowRegion,
+    /// Dense right operand `B` (host-written).
+    pub dense_b: ShadowRegion,
+    /// The sparse output values (device-written; starts uninitialized).
+    pub output: ShadowRegion,
+}
+
+impl SddmmShadow {
+    /// Build shadows when sanitizing, `None` otherwise.
+    pub fn new_if_enabled<S: Scalar>(
+        mask: &MeBcrs<S>,
+        a: &DenseMatrix<S>,
+        b: &DenseMatrix<S>,
+    ) -> Option<Self> {
+        if !sanitize_enabled() {
+            return None;
+        }
+        Some(SddmmShadow {
+            indices: ShadowRegion::prefilled("mask_col_indices", mask.num_vectors() as u64 * 4),
+            dense_a: ShadowRegion::prefilled("dense_a", (a.rows() * a.cols() * S::BYTES) as u64),
+            dense_b: ShadowRegion::prefilled("dense_b", (b.rows() * b.cols() * S::BYTES) as u64),
+            output: ShadowRegion::new("sddmm_output", (mask.values().len() * S::BYTES) as u64),
+        })
+    }
+}
+
+/// Validate the sparse-format invariants under the sanitizer, recording
+/// each broken one as a [`Violation::Format`]. No-op with sanitize off.
+pub(crate) fn validate_format<S: Scalar>(m: &MeBcrs<S>) {
+    if !sanitize_enabled() {
+        return;
+    }
+    for v in m.validate() {
+        record(Violation::Format { detail: v.to_string() });
+    }
+}
+
+/// Snapshot of the thread's violation counter at kernel entry; the delta
+/// at exit is the launch's contribution to
+/// [`KernelCounters::sanitizer_violations`]. (The Rayon shim executes
+/// windows on the calling thread, so the thread-local counter sees every
+/// violation of the launch.)
+pub(crate) struct ViolationSnapshot(u64);
+
+impl ViolationSnapshot {
+    pub fn take() -> Self {
+        ViolationSnapshot(recorded_count())
+    }
+
+    pub fn attribute(&self, counters: &mut KernelCounters) {
+        counters.sanitizer_violations += recorded_count() - self.0;
+    }
+}

@@ -22,6 +22,7 @@ use fs_precision::Scalar;
 use fs_tcu::{mma_execute, FragKind, Fragment, KernelCounters, TrafficClass, TransactionCounter};
 use rayon::prelude::*;
 
+use crate::sanitize_hooks::{validate_format, SddmmShadow, ViolationSnapshot};
 use crate::variant::TcuPrecision;
 
 /// Nonzero vectors covered by one MMA (the post-swap `m` dimension).
@@ -50,6 +51,10 @@ pub fn sddmm<S: TcuPrecision>(
     let num_windows = mask.num_windows();
     let mut values = vec![S::ZERO; mask.values().len()];
 
+    let snapshot = ViolationSnapshot::take();
+    validate_format(mask);
+    let shadow = SddmmShadow::new_if_enabled(mask, a, b);
+
     // Each window owns a disjoint slice of the output values array.
     let mut slices: Vec<&mut [S]> = Vec::with_capacity(num_windows);
     let mut rest = values.as_mut_slice();
@@ -60,11 +65,12 @@ pub fn sddmm<S: TcuPrecision>(
         rest = tail;
     }
 
-    let counters: KernelCounters = slices
+    let mut counters: KernelCounters = slices
         .into_par_iter()
         .enumerate()
-        .map(|(w, out)| simulate_window(mask, a, b, w, out))
+        .map(|(w, out)| simulate_window(mask, a, b, w, out, shadow.as_ref()))
         .sum();
+    snapshot.attribute(&mut counters);
 
     (mask.with_values(values), counters)
 }
@@ -75,7 +81,9 @@ fn simulate_window<S: TcuPrecision>(
     b: &DenseMatrix<S>,
     w: usize,
     out: &mut [S],
+    shadow: Option<&SddmmShadow>,
 ) -> KernelCounters {
+    let warp = w as u32; // lint: checked-cast — window index, far below 2^32
     let shape = S::SHAPE;
     let v = shape.n; // 8
     let k = shape.k;
@@ -97,7 +105,12 @@ fn simulate_window<S: TcuPrecision>(
     {
         let base = win_range.start as u64 * 4;
         let accesses: Vec<(u64, u32)> = (0..nv).map(|j| (base + j as u64 * 4, 4)).collect();
-        tc.warp_load_as(TrafficClass::Indices, accesses, &mut counters);
+        tc.warp_load_shadowed(
+            TrafficClass::Indices,
+            shadow.map(|s| (&s.indices, warp)),
+            accesses,
+            &mut counters,
+        );
     }
 
     let mut a_tile = vec![0.0f32; VEC_GROUP * k]; // Bᵀ slice: 16 sampled cols × k
@@ -119,9 +132,14 @@ fn simulate_window<S: TcuPrecision>(
                 for t in 0..kw {
                     a_tile[jj * k + t] = brow[k0 + t].to_f32();
                 }
-                a_loads.push((b.addr_of(col, k0), (kw * S::BYTES) as u32));
+                a_loads.push((b.addr_of(col, k0), (kw * S::BYTES) as u32)); // lint: checked-cast - kw*BYTES <= 64
             }
-            tc.warp_load_as(TrafficClass::DenseOperand, a_loads, &mut counters);
+            tc.warp_load_shadowed(
+                TrafficClass::DenseOperand,
+                shadow.map(|s| (&s.dense_b, warp)),
+                a_loads,
+                &mut counters,
+            );
 
             // MMA right operand (k×8): the window's rows of A.
             b_tile.iter_mut().for_each(|x| *x = 0.0);
@@ -131,9 +149,15 @@ fn simulate_window<S: TcuPrecision>(
                 for t in 0..kw {
                     b_tile[t * v + i] = arow[k0 + t].to_f32();
                 }
+                // lint: checked-cast - kw*BYTES <= 64
                 b_loads.push((a.addr_of(w * v + i, k0), (kw * S::BYTES) as u32));
             }
-            tc.warp_load_as(TrafficClass::DenseOperand, b_loads, &mut counters);
+            tc.warp_load_shadowed(
+                TrafficClass::DenseOperand,
+                shadow.map(|s| (&s.dense_a, warp)),
+                b_loads,
+                &mut counters,
+            );
 
             let a_frag = Fragment::from_tile(shape, FragKind::A, &a_tile);
             let b_frag = Fragment::from_tile(shape, FragKind::B, &b_tile);
@@ -168,11 +192,12 @@ fn simulate_window<S: TcuPrecision>(
                     let jv = jj0 + jj;
                     let (blk, jl) = (jv / k, jv % k);
                     if !mask_value(mask, w, blk, i, jl).is_zero() {
+                        // lint: checked-cast - BYTES is 2 or 4
                         accesses.push((mask.value_addr(w, blk, i, jl), S::BYTES as u32));
                     }
                 }
             }
-            tc.warp_store(accesses, &mut counters);
+            tc.warp_store_shadowed(shadow.map(|s| (&s.output, warp)), accesses, &mut counters);
         }
     }
 
@@ -195,11 +220,16 @@ mod tests {
     use super::*;
     use fs_matrix::gen::{random_uniform, rmat, RmatConfig};
     use fs_matrix::CsrMatrix;
-    use fs_precision::{F16, Tf32};
+    use fs_precision::{Tf32, F16};
 
-    fn dense_inputs<S: TcuPrecision>(m: usize, n2: usize, kk: usize) -> (DenseMatrix<S>, DenseMatrix<S>) {
+    fn dense_inputs<S: TcuPrecision>(
+        m: usize,
+        n2: usize,
+        kk: usize,
+    ) -> (DenseMatrix<S>, DenseMatrix<S>) {
         let a = DenseMatrix::<S>::from_fn(m, kk, |r, c| (((r * 5 + c) % 13) as f32 - 6.0) * 0.125);
-        let b = DenseMatrix::<S>::from_fn(n2, kk, |r, c| (((r * 3 + c * 7) % 11) as f32 - 5.0) * 0.125);
+        let b =
+            DenseMatrix::<S>::from_fn(n2, kk, |r, c| (((r * 3 + c * 7) % 11) as f32 - 5.0) * 0.125);
         (a, b)
     }
 
@@ -228,8 +258,8 @@ mod tests {
     #[test]
     fn fp16_matches_reference() {
         for seed in 0..3 {
-            let mask = CsrMatrix::from_coo(&random_uniform::<F16>(64, 48, 400, seed))
-                .with_unit_values();
+            let mask =
+                CsrMatrix::from_coo(&random_uniform::<F16>(64, 48, 400, seed)).with_unit_values();
             check(&mask, 32, 0.51);
         }
     }
@@ -237,8 +267,8 @@ mod tests {
     #[test]
     fn tf32_matches_reference() {
         for seed in 0..3 {
-            let mask = CsrMatrix::from_coo(&random_uniform::<Tf32>(64, 48, 400, seed))
-                .with_unit_values();
+            let mask =
+                CsrMatrix::from_coo(&random_uniform::<Tf32>(64, 48, 400, seed)).with_unit_values();
             check(&mask, 32, 1e-2);
         }
     }

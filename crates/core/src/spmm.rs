@@ -20,9 +20,12 @@
 
 use fs_format::MeBcrs;
 use fs_matrix::DenseMatrix;
-use fs_tcu::{mma_execute, FragKind, Fragment, KernelCounters, TrafficClass, TransactionCounter};
+use fs_tcu::{
+    mma_execute, FragKind, Fragment, KernelCounters, ShadowRegion, TrafficClass, TransactionCounter,
+};
 use rayon::prelude::*;
 
+use crate::sanitize_hooks::{validate_format, SpmmShadow, ViolationSnapshot};
 use crate::thread_map::{block_requests, ThreadMapping};
 use crate::variant::TcuPrecision;
 
@@ -80,19 +83,23 @@ fn spmm_shaped<S: TcuPrecision>(
     let n = b.cols();
     let rows = a.rows();
 
-    let mut out = DenseMatrix::<S>::zeros(rows, n);
-    if n == 0 || rows == 0 {
-        return (out, KernelCounters::default());
-    }
+    let snapshot = ViolationSnapshot::take();
+    validate_format(a);
 
-    let counters = out
-        .as_mut_slice()
-        .par_chunks_mut(v * n)
-        .enumerate()
-        .map(|(w, out_window)| {
-            simulate_window(a, b, mapping, w, out_window, shape)
-        })
-        .sum();
+    let mut out = DenseMatrix::<S>::zeros(rows, n);
+    let mut counters = if n == 0 || rows == 0 {
+        KernelCounters::default()
+    } else {
+        let shadow = SpmmShadow::new_if_enabled(a, b, (rows * n * S::BYTES) as u64);
+        out.as_mut_slice()
+            .par_chunks_mut(v * n)
+            .enumerate()
+            .map(|(w, out_window)| {
+                simulate_window(a, b, mapping, w, out_window, shape, shadow.as_ref())
+            })
+            .sum()
+    };
+    snapshot.attribute(&mut counters);
 
     (out, counters)
 }
@@ -106,12 +113,14 @@ fn simulate_window<S: TcuPrecision>(
     w: usize,
     out_window: &mut [S],
     shape: fs_tcu::MmaShape,
+    shadow: Option<&SpmmShadow>,
 ) -> KernelCounters {
     let v = shape.n;
     let k = shape.k;
     let n = b.cols();
     let rows = a.rows();
     let window_rows = (rows - w * v).min(v);
+    let warp = w as u32; // lint: checked-cast — window index, far below 2^32
 
     let mut counters = KernelCounters::default();
     let num_blocks = a.blocks_in_window(w);
@@ -125,7 +134,12 @@ fn simulate_window<S: TcuPrecision>(
         let w_b = a.block_width(w, blk);
         let base = (a.window_ptr()[w] + blk * k) as u64 * 4;
         let accesses: Vec<(u64, u32)> = (0..w_b).map(|j| (base + j as u64 * 4, 4)).collect();
-        tc.warp_load_as(TrafficClass::Indices, accesses, &mut counters);
+        tc.warp_load_shadowed(
+            TrafficClass::Indices,
+            shadow.map(|s| (&s.indices, warp)),
+            accesses,
+            &mut counters,
+        );
     }
 
     let mut a_tile = vec![0.0f32; N_TILE * k]; // Bᵀ block, row-major 16×k
@@ -148,7 +162,16 @@ fn simulate_window<S: TcuPrecision>(
                 }
             }
             let b_frag = Fragment::from_tile(shape, FragKind::B, &b_tile);
-            count_sparse_load::<S>(a, w, blk, w_b, shape.k, &mut tc, &mut counters);
+            count_sparse_load::<S>(
+                a,
+                w,
+                blk,
+                w_b,
+                shape.k,
+                shadow.map(|s| (&s.values, warp)),
+                &mut tc,
+                &mut counters,
+            );
 
             // ---- Dense TC block Bᵀ → MMA left operand (16×k). ----
             a_tile.iter_mut().for_each(|x| *x = 0.0);
@@ -166,8 +189,14 @@ fn simulate_window<S: TcuPrecision>(
                     None
                 }
             };
+            // lint: checked-cast - BYTES is 2 or 4
             for req in block_requests(mapping, k, S::BYTES as u32, &addr) {
-                tc.warp_load_as(TrafficClass::DenseOperand, req, &mut counters);
+                tc.warp_load_shadowed(
+                    TrafficClass::DenseOperand,
+                    shadow.map(|s| (&s.dense, warp)),
+                    req,
+                    &mut counters,
+                );
             }
 
             c_frag = mma_execute(shape, &a_frag, &b_frag, &c_frag, &mut counters);
@@ -188,8 +217,9 @@ fn simulate_window<S: TcuPrecision>(
                 None
             }
         };
+        // lint: checked-cast - BYTES is 2 or 4
         for req in block_requests(mapping, 8, S::BYTES as u32, &addr) {
-            tc.warp_store(req, &mut counters);
+            tc.warp_store_shadowed(shadow.map(|s| (&s.output, warp)), req, &mut counters);
         }
     }
 
@@ -198,12 +228,14 @@ fn simulate_window<S: TcuPrecision>(
 
 /// Count the warp request loading a sparse TC block's values from the
 /// ME-BCRS values array (always coalescable: block rows are contiguous).
+#[allow(clippy::too_many_arguments)]
 fn count_sparse_load<S: TcuPrecision>(
     a: &MeBcrs<S>,
     w: usize,
     blk: usize,
     w_b: usize,
     k: usize,
+    shadow: Option<(&ShadowRegion, u32)>,
     tc: &mut TransactionCounter,
     counters: &mut KernelCounters,
 ) {
@@ -237,7 +269,7 @@ fn count_sparse_load<S: TcuPrecision>(
             }
         }
     }
-    tc.warp_load_as(TrafficClass::SparseValues, accesses, counters);
+    tc.warp_load_shadowed(TrafficClass::SparseValues, shadow, accesses, counters);
 }
 
 #[cfg(test)]
@@ -245,7 +277,7 @@ mod tests {
     use super::*;
     use fs_matrix::gen::{banded, random_uniform, rmat, RmatConfig};
     use fs_matrix::{CooMatrix, CsrMatrix};
-    use fs_precision::{F16, Tf32};
+    use fs_precision::{Tf32, F16};
 
     fn check_against_reference<S: TcuPrecision>(csr: &CsrMatrix<S>, n: usize, tol: f32) {
         let me = MeBcrs::from_csr(csr, S::SPEC);
@@ -256,11 +288,7 @@ mod tests {
         for mapping in [ThreadMapping::Direct, ThreadMapping::MemoryEfficient] {
             let (c, counters) = spmm(&me, &b, mapping);
             let diff = c.max_abs_diff(&reference);
-            assert!(
-                diff <= tol,
-                "{} {mapping:?}: max diff {diff} > {tol}",
-                S::NAME
-            );
+            assert!(diff <= tol, "{} {mapping:?}: max diff {diff} > {tol}", S::NAME);
             if csr.nnz() > 0 {
                 assert!(counters.mma_count > 0);
             }
@@ -316,11 +344,11 @@ mod tests {
         let csr = CsrMatrix::from_coo(&random_uniform::<F16>(128, 128, 1500, 3));
         let me = MeBcrs::from_csr(&csr, F16::SPEC);
         let n = 128;
-        let (_, counters) = spmm(&me, &DenseMatrix::<F16>::zeros(128, n), ThreadMapping::MemoryEfficient);
-        let expected: u64 = (0..me.num_windows())
-            .map(|w| me.blocks_in_window(w) as u64)
-            .sum::<u64>()
-            * (n as u64).div_ceil(N_TILE as u64);
+        let (_, counters) =
+            spmm(&me, &DenseMatrix::<F16>::zeros(128, n), ThreadMapping::MemoryEfficient);
+        let expected: u64 =
+            (0..me.num_windows()).map(|w| me.blocks_in_window(w) as u64).sum::<u64>()
+                * (n as u64).div_ceil(N_TILE as u64);
         assert_eq!(counters.mma_count, expected);
     }
 
@@ -403,16 +431,8 @@ mod k16_tests {
         let me16 = MeBcrs::from_csr(&csr, TcFormatSpec::FLASH_FP16_K16);
         let (_, k8) = spmm(&me8, &b, ThreadMapping::MemoryEfficient);
         let (_, k16) = spmm_fp16_k16(&me16, &b, ThreadMapping::MemoryEfficient);
-        assert!(
-            k16.mma_count < k8.mma_count,
-            "k16 {} vs k8 {}",
-            k16.mma_count,
-            k8.mma_count
-        );
-        assert!(
-            k16.mma_count * 2 >= k8.mma_count,
-            "at most a 2x instruction reduction"
-        );
+        assert!(k16.mma_count < k8.mma_count, "k16 {} vs k8 {}", k16.mma_count, k8.mma_count);
+        assert!(k16.mma_count * 2 >= k8.mma_count, "at most a 2x instruction reduction");
         assert!(
             k16.tcu_flops >= k8.tcu_flops,
             "wider blocks execute at least as many FLOPs ({} vs {})",

@@ -54,10 +54,7 @@ pub fn block_requests(
     elem_bytes: u32,
     addr: AddrFn<'_>,
 ) -> Vec<Vec<(u64, u32)>> {
-    assert!(
-        rows == 4 || rows == 8 || rows == 16,
-        "TC blocks are 4, 8 or 16 rows tall"
-    );
+    assert!(rows == 4 || rows == 8 || rows == 16, "TC blocks are 4, 8 or 16 rows tall");
     match mapping {
         ThreadMapping::Direct => direct_requests(rows, elem_bytes, addr),
         ThreadMapping::MemoryEfficient => coalesced_requests(rows, elem_bytes, addr),
@@ -135,10 +132,7 @@ mod tests {
     fn count(requests: Vec<Vec<(u64, u32)>>) -> u64 {
         let mut tc = TransactionCounter::new();
         let mut k = KernelCounters::default();
-        requests
-            .into_iter()
-            .map(|r| tc.warp_load(r, &mut k))
-            .sum()
+        requests.into_iter().map(|r| tc.warp_load(r, &mut k)).sum()
     }
 
     #[test]
@@ -185,11 +179,8 @@ mod tests {
             }
         };
         for mapping in [ThreadMapping::Direct, ThreadMapping::MemoryEfficient] {
-            let total: u32 = block_requests(mapping, 8, 2, &addr)
-                .iter()
-                .flatten()
-                .map(|&(_, s)| s)
-                .sum();
+            let total: u32 =
+                block_requests(mapping, 8, 2, &addr).iter().flatten().map(|&(_, s)| s).sum();
             assert_eq!(total, 8 * 5 * 2, "{mapping:?} must transfer exactly the valid bytes");
         }
     }

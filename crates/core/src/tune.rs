@@ -14,7 +14,7 @@
 
 use fs_format::{MeBcrs, TcFormatSpec};
 use fs_matrix::{CsrMatrix, DenseMatrix};
-use fs_precision::{F16, Tf32};
+use fs_precision::{Tf32, F16};
 use fs_tcu::cost::{ComputeClass, CostModel};
 use fs_tcu::{GpuSpec, Precision};
 
@@ -97,7 +97,7 @@ pub fn auto_tune(csr: &CsrMatrix<f32>, n: usize, gpu: GpuSpec) -> TuneChoice {
             sampled_time: model.kernel_time(&k, ComputeClass::TcuTf32),
         });
     }
-    best.expect("at least one configuration probed")
+    best.expect("at least one configuration probed") // lint: allow-panic - probe list is non-empty by construction
 }
 
 #[cfg(test)]

@@ -3,7 +3,7 @@
 //! MMA with m16n8k4 for TF32 and MMA with m16n8k8 for FP16").
 
 use fs_format::TcFormatSpec;
-use fs_precision::{F16, Scalar, Tf32};
+use fs_precision::{Scalar, Tf32, F16};
 use fs_tcu::cost::ComputeClass;
 use fs_tcu::{MmaShape, Precision};
 

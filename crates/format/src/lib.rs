@@ -24,8 +24,10 @@ pub mod mebcrs;
 pub mod spec;
 pub mod srbcrs;
 pub mod stats;
+pub mod validate;
 
 pub use mebcrs::MeBcrs;
 pub use spec::TcFormatSpec;
 pub use srbcrs::SrBcrs;
 pub use stats::{footprint_reduction, vector_stats, VectorStats};
+pub use validate::FormatViolation;

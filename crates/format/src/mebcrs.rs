@@ -13,8 +13,8 @@
 //!    wide). No zero vectors are ever materialized; the kernels handle the
 //!    residue block with modulo arithmetic, exactly as the paper describes.
 
-use fs_precision::Scalar;
 use fs_matrix::{CsrMatrix, DenseMatrix};
+use fs_precision::Scalar;
 use rayon::prelude::*;
 
 use crate::spec::TcFormatSpec;
@@ -62,7 +62,8 @@ impl<S: Scalar> MeBcrs<S> {
             .map(|w| {
                 let lo = w * v;
                 let hi = ((w + 1) * v).min(rows);
-                let mut cols: Vec<u32> = (lo..hi).flat_map(|r| csr.row_cols(r).iter().copied()).collect();
+                let mut cols: Vec<u32> =
+                    (lo..hi).flat_map(|r| csr.row_cols(r).iter().copied()).collect();
                 cols.sort_unstable();
                 cols.dedup();
                 cols
@@ -71,19 +72,19 @@ impl<S: Scalar> MeBcrs<S> {
 
         // Prefix sum into window_ptr.
         let mut window_ptr = Vec::with_capacity(num_windows + 1);
+        let mut total_vectors = 0usize;
         window_ptr.push(0usize);
         for wc in &window_cols {
-            window_ptr.push(window_ptr.last().unwrap() + wc.len());
+            total_vectors += wc.len();
+            window_ptr.push(total_vectors);
         }
-        let total_vectors = *window_ptr.last().unwrap();
         let col_indices: Vec<u32> = window_cols.iter().flatten().copied().collect();
 
         // Pass 2 (parallel over windows): scatter values into the ragged
         // block-major layout. Each window owns a disjoint slice of `values`.
         let mut values = vec![S::ZERO; total_vectors * v];
-        let value_ranges: Vec<(usize, usize)> = (0..num_windows)
-            .map(|w| (window_ptr[w] * v, window_ptr[w + 1] * v))
-            .collect();
+        let value_ranges: Vec<(usize, usize)> =
+            (0..num_windows).map(|w| (window_ptr[w] * v, window_ptr[w + 1] * v)).collect();
         // Split `values` into per-window slices for safe parallel writes.
         let mut slices: Vec<&mut [S]> = Vec::with_capacity(num_windows);
         let mut rest = values.as_mut_slice();
@@ -93,28 +94,25 @@ impl<S: Scalar> MeBcrs<S> {
             slices.push(head);
             rest = tail;
         }
-        slices
-            .into_par_iter()
-            .enumerate()
-            .for_each(|(w, slice)| {
-                let wc = &window_cols[w];
-                let nv = wc.len();
-                let lo = w * v;
-                let hi = ((w + 1) * v).min(rows);
-                for r in lo..hi {
-                    let local_r = r - lo;
-                    for (&c, &val) in csr.row_cols(r).iter().zip(csr.row_values(r)) {
-                        let j = wc.binary_search(&c).expect("column must be a nonzero vector");
-                        let b = j / spec.block_k;
-                        let jl = j - b * spec.block_k;
-                        let w_b = spec.block_k.min(nv - b * spec.block_k);
-                        let idx = b * spec.block_k * v + local_r * w_b + jl;
-                        slice[idx] = val;
-                    }
+        slices.into_par_iter().enumerate().for_each(|(w, slice)| {
+            let wc = &window_cols[w];
+            let nv = wc.len();
+            let lo = w * v;
+            let hi = ((w + 1) * v).min(rows);
+            for r in lo..hi {
+                let local_r = r - lo;
+                for (&c, &val) in csr.row_cols(r).iter().zip(csr.row_values(r)) {
+                    let j = wc.binary_search(&c).expect("column must be a nonzero vector"); // lint: allow-panic - pass 1 inserted every column
+                    let b = j / spec.block_k;
+                    let jl = j - b * spec.block_k;
+                    let w_b = spec.block_k.min(nv - b * spec.block_k);
+                    let idx = b * spec.block_k * v + local_r * w_b + jl;
+                    slice[idx] = val;
                 }
-            });
+            }
+        });
 
-        MeBcrs {
+        let me = MeBcrs {
             spec,
             rows,
             cols: csr.cols(),
@@ -122,7 +120,35 @@ impl<S: Scalar> MeBcrs<S> {
             col_indices,
             values,
             nnz: csr.nnz(),
+        };
+        #[cfg(debug_assertions)]
+        {
+            let violations = me.validate();
+            debug_assert!(
+                violations.is_empty(),
+                "from_csr produced a malformed matrix: {violations:?}"
+            );
         }
+        me
+    }
+
+    /// Assemble an ME-BCRS matrix directly from its raw arrays, with **no
+    /// invariant checking** — the escape hatch [`MeBcrs::validate`]'s own
+    /// tests use to construct deliberately corrupt instances. Kernels fed a
+    /// matrix built this way may panic or return garbage; run `validate()`
+    /// first if the arrays come from anywhere untrusted.
+    #[doc(hidden)]
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_raw_parts(
+        spec: TcFormatSpec,
+        rows: usize,
+        cols: usize,
+        window_ptr: Vec<usize>,
+        col_indices: Vec<u32>,
+        values: Vec<S>,
+        nnz: usize,
+    ) -> Self {
+        MeBcrs { spec, rows, cols, window_ptr, col_indices, values, nnz }
     }
 
     /// The format spec (vector height, block width).
@@ -359,11 +385,8 @@ mod tests {
     #[test]
     fn roundtrip_small() {
         let csr = figure2_matrix();
-        for spec in [
-            TcFormatSpec::FLASH_FP16,
-            TcFormatSpec::FLASH_TF32,
-            TcFormatSpec::SOTA16_FP16,
-        ] {
+        for spec in [TcFormatSpec::FLASH_FP16, TcFormatSpec::FLASH_TF32, TcFormatSpec::SOTA16_FP16]
+        {
             let me = MeBcrs::from_csr(&csr, spec);
             assert_eq!(me.to_dense(), csr.to_dense(), "{spec:?}");
         }
@@ -374,7 +397,9 @@ mod tests {
         for seed in 0..5u64 {
             let coo = random_uniform::<f32>(100, 80, 600, seed);
             let csr = CsrMatrix::from_coo(&coo);
-            for spec in [TcFormatSpec::FLASH_FP16, TcFormatSpec::FLASH_TF32, TcFormatSpec::SOTA16_FP16] {
+            for spec in
+                [TcFormatSpec::FLASH_FP16, TcFormatSpec::FLASH_TF32, TcFormatSpec::SOTA16_FP16]
+            {
                 let me = MeBcrs::from_csr(&csr, spec);
                 assert_eq!(me.to_dense(), csr.to_dense(), "seed={seed} {spec:?}");
                 assert_eq!(me.nnz(), csr.nnz());
@@ -404,10 +429,7 @@ mod tests {
         let me16 = MeBcrs::from_csr(&csr, TcFormatSpec::SOTA16_FP16);
         let zeros8 = me8.values().len() - me8.nnz();
         let zeros16 = me16.values().len() - me16.nnz();
-        assert!(
-            (zeros8 as f64) < 0.65 * zeros16 as f64,
-            "zeros8={zeros8} zeros16={zeros16}"
-        );
+        assert!((zeros8 as f64) < 0.65 * zeros16 as f64, "zeros8={zeros8} zeros16={zeros16}");
         assert!(me8.fill_ratio() > me16.fill_ratio());
     }
 

@@ -9,8 +9,8 @@
 //! per window (block start and block count → `2M` entries total, as the
 //! paper notes), whereas ME-BCRS stores `M+1`.
 
-use fs_precision::Scalar;
 use fs_matrix::{CsrMatrix, DenseMatrix};
+use fs_precision::Scalar;
 
 use crate::mebcrs::MeBcrs;
 use crate::spec::TcFormatSpec;
@@ -171,6 +171,49 @@ impl<S: Scalar> SrBcrs<S> {
     pub fn nnz(&self) -> usize {
         self.nnz
     }
+
+    /// Block start index per window (`M` entries).
+    #[inline]
+    pub fn block_start(&self) -> &[usize] {
+        &self.block_start
+    }
+
+    /// Block count per window (`M` entries).
+    #[inline]
+    pub fn block_counts(&self) -> &[usize] {
+        &self.block_count
+    }
+
+    /// The padded column-index array (`k` slots per block, padding =
+    /// [`PAD_COL`]).
+    #[inline]
+    pub fn col_indices(&self) -> &[u32] {
+        &self.col_indices
+    }
+
+    /// The padded values array (`v×k` per block).
+    #[inline]
+    pub fn values(&self) -> &[S] {
+        &self.values
+    }
+
+    /// Assemble from raw arrays with **no invariant checking** — see
+    /// [`MeBcrs::from_raw_parts`]; exists so [`SrBcrs::validate`]'s tests
+    /// can construct corrupt instances.
+    #[doc(hidden)]
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_raw_parts(
+        spec: TcFormatSpec,
+        rows: usize,
+        cols: usize,
+        block_start: Vec<usize>,
+        block_count: Vec<usize>,
+        col_indices: Vec<u32>,
+        values: Vec<S>,
+        nnz: usize,
+    ) -> Self {
+        SrBcrs { spec, rows, cols, block_start, block_count, col_indices, values, nnz }
+    }
 }
 
 #[cfg(test)]
@@ -204,7 +247,12 @@ mod tests {
     #[test]
     fn footprint_always_at_least_mebcrs() {
         for seed in 0..4u64 {
-            let csr = CsrMatrix::from_coo(&random_uniform::<f32>(64, 64, 100 + seed as usize * 200, seed));
+            let csr = CsrMatrix::from_coo(&random_uniform::<f32>(
+                64,
+                64,
+                100 + seed as usize * 200,
+                seed,
+            ));
             let me = MeBcrs::from_csr(&csr, TcFormatSpec::FLASH_FP16);
             let sr = SrBcrs::from_csr(&csr, TcFormatSpec::FLASH_FP16);
             assert!(
@@ -219,8 +267,7 @@ mod tests {
     #[test]
     fn padding_maximal_for_single_vector_windows() {
         // One nonzero per window → ME stores 1 vector, SR stores k.
-        let entries: Vec<(u32, u32, f32)> =
-            (0..8).map(|w| (w * 8, (w * 7) % 64, 1.0)).collect();
+        let entries: Vec<(u32, u32, f32)> = (0..8).map(|w| (w * 8, (w * 7) % 64, 1.0)).collect();
         let csr = CsrMatrix::from_coo(&CooMatrix::from_entries(64, 64, entries));
         let me = MeBcrs::from_csr(&csr, TcFormatSpec::FLASH_FP16);
         let sr = SrBcrs::from_csr(&csr, TcFormatSpec::FLASH_FP16);

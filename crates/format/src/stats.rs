@@ -2,8 +2,8 @@
 //! (MMA invocation counts), Table 2 (zero-fill in nonzero vectors) and
 //! Table 7 (footprint reduction).
 
-use fs_precision::Scalar;
 use fs_matrix::CsrMatrix;
+use fs_precision::Scalar;
 
 use crate::mebcrs::MeBcrs;
 use crate::spec::TcFormatSpec;
@@ -90,10 +90,7 @@ mod tests {
         let s16 = vector_stats(&g, TcFormatSpec::SOTA16_FP16);
         let mma8 = spmm_mma_count(&s8, 16, 16);
         let mma16 = spmm_mma_count(&s16, 16, 8);
-        assert!(
-            (mma8 as f64) < 0.75 * mma16 as f64,
-            "mma8={mma8} mma16={mma16}"
-        );
+        assert!((mma8 as f64) < 0.75 * mma16 as f64, "mma8={mma8} mma16={mma16}");
     }
 
     #[test]
@@ -128,9 +125,8 @@ mod tests {
     #[test]
     fn dense_single_window_no_reduction() {
         // A fully dense 8×8 window has exactly k vectors → no padding at all.
-        let entries: Vec<(u32, u32, f32)> = (0..8)
-            .flat_map(|r| (0..8).map(move |c| (r as u32, c as u32, 1.0)))
-            .collect();
+        let entries: Vec<(u32, u32, f32)> =
+            (0..8).flat_map(|r| (0..8).map(move |c| (r as u32, c as u32, 1.0))).collect();
         let csr = CsrMatrix::from_coo(&CooMatrix::from_entries(8, 8, entries));
         let me = MeBcrs::from_csr(&csr, TcFormatSpec::FLASH_FP16);
         assert_eq!(me.values().len(), 64);

@@ -1,0 +1,442 @@
+//! Structural invariant validation for the sparse formats.
+//!
+//! [`MeBcrs::validate`] and [`SrBcrs::validate`] walk the raw arrays and
+//! return every broken invariant instead of panicking mid-kernel with an
+//! index error three layers down. The checks run automatically in three
+//! places: as a `debug_assert!` at the end of [`MeBcrs::from_csr`], from
+//! the `fs-core` kernel entry points when the sanitizer is active, and
+//! from the format property tests (including mutation tests that corrupt
+//! `window_ptr` / `col_indices` through `from_raw_parts` and assert the
+//! corruption is caught).
+
+use std::fmt;
+
+use fs_precision::Scalar;
+
+use crate::mebcrs::MeBcrs;
+use crate::srbcrs::{SrBcrs, PAD_COL};
+
+/// One broken structural invariant, with the indices needed to locate it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FormatViolation {
+    /// `window_ptr` does not start at 0.
+    WindowPtrBase { first: usize },
+    /// `window_ptr` has the wrong number of entries for the matrix shape.
+    WindowPtrLength { expected: usize, actual: usize },
+    /// `window_ptr[w] > window_ptr[w + 1]` — the prefix sum decreases.
+    WindowPtrNotMonotone { window: usize, prev: usize, next: usize },
+    /// The final `window_ptr` entry disagrees with `col_indices.len()`.
+    WindowPtrOutOfRange { last: usize, vectors: usize },
+    /// Two adjacent column indices inside one window are not strictly
+    /// ascending (equal = duplicate vector, decreasing = unsorted).
+    ColumnsNotAscending { window: usize, position: usize, prev: u32, next: u32 },
+    /// A column index is outside the matrix.
+    ColumnOutOfRange { window: usize, position: usize, col: u32, cols: usize },
+    /// `values.len()` disagrees with the vector count × vector length
+    /// (ME-BCRS) or block count × v × k (SR-BCRS).
+    ValuesLength { expected: usize, actual: usize },
+    /// The recorded nonzero count exceeds the stored element slots.
+    NnzExceedsSlots { nnz: usize, slots: usize },
+    /// SR-BCRS: `block_start` is not the prefix sum of `block_count`.
+    BlockStartMismatch { window: usize, expected: usize, actual: usize },
+    /// SR-BCRS: the per-window pointer arrays have the wrong length.
+    BlockPtrLength { expected: usize, actual: usize },
+    /// SR-BCRS: a real column index appears after a [`PAD_COL`] sentinel
+    /// within one block — padding must be a suffix.
+    PadNotSuffix { window: usize, block: usize, slot: usize },
+}
+
+impl fmt::Display for FormatViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormatViolation::WindowPtrBase { first } => {
+                write!(f, "window_ptr[0] = {first}, expected 0")
+            }
+            FormatViolation::WindowPtrLength { expected, actual } => {
+                write!(f, "window_ptr has {actual} entries, expected {expected}")
+            }
+            FormatViolation::WindowPtrNotMonotone { window, prev, next } => {
+                write!(f, "window_ptr decreases at window {window}: {prev} -> {next}")
+            }
+            FormatViolation::WindowPtrOutOfRange { last, vectors } => {
+                write!(f, "window_ptr ends at {last} but col_indices holds {vectors} vectors")
+            }
+            FormatViolation::ColumnsNotAscending { window, position, prev, next } => write!(
+                f,
+                "col_indices not strictly ascending in window {window} at position \
+                 {position}: {prev} -> {next}"
+            ),
+            FormatViolation::ColumnOutOfRange { window, position, col, cols } => write!(
+                f,
+                "column {col} at window {window} position {position} exceeds matrix \
+                 width {cols}"
+            ),
+            FormatViolation::ValuesLength { expected, actual } => {
+                write!(f, "values holds {actual} elements, expected {expected}")
+            }
+            FormatViolation::NnzExceedsSlots { nnz, slots } => {
+                write!(f, "nnz {nnz} exceeds the {slots} stored element slots")
+            }
+            FormatViolation::BlockStartMismatch { window, expected, actual } => write!(
+                f,
+                "block_start[{window}] = {actual}, but the block counts prefix-sum \
+                 to {expected}"
+            ),
+            FormatViolation::BlockPtrLength { expected, actual } => {
+                write!(f, "block pointer arrays hold {actual} windows, expected {expected}")
+            }
+            FormatViolation::PadNotSuffix { window, block, slot } => write!(
+                f,
+                "window {window} block {block}: real column at slot {slot} follows a \
+                 padding sentinel"
+            ),
+        }
+    }
+}
+
+impl<S: Scalar> MeBcrs<S> {
+    /// Check every structural invariant, returning all violations found
+    /// (empty = well-formed). Never panics, even on wildly inconsistent
+    /// arrays — it is the tool you reach for *when* the arrays are wrong.
+    pub fn validate(&self) -> Vec<FormatViolation> {
+        let mut out = Vec::new();
+        let spec = self.spec();
+        let v = spec.vector_len;
+        let ptr = self.window_ptr();
+        let cols_arr = self.col_indices();
+
+        let expected_ptr_len = spec.num_windows(self.rows()) + 1;
+        if ptr.len() != expected_ptr_len {
+            out.push(FormatViolation::WindowPtrLength {
+                expected: expected_ptr_len,
+                actual: ptr.len(),
+            });
+        }
+        if let Some(&first) = ptr.first() {
+            if first != 0 {
+                out.push(FormatViolation::WindowPtrBase { first });
+            }
+        }
+        for (w, pair) in ptr.windows(2).enumerate() {
+            if pair[0] > pair[1] {
+                out.push(FormatViolation::WindowPtrNotMonotone {
+                    window: w,
+                    prev: pair[0],
+                    next: pair[1],
+                });
+            }
+        }
+        if let Some(&last) = ptr.last() {
+            if last != cols_arr.len() {
+                out.push(FormatViolation::WindowPtrOutOfRange { last, vectors: cols_arr.len() });
+            }
+        }
+
+        // Per-window column ordering and range, on the clamped in-bounds
+        // portion so a corrupt pointer cannot make the validator panic.
+        for w in 0..ptr.len().saturating_sub(1) {
+            let lo = ptr[w].min(cols_arr.len());
+            let hi = ptr[w + 1].min(cols_arr.len());
+            if lo >= hi {
+                continue;
+            }
+            let win = &cols_arr[lo..hi];
+            for (i, &c) in win.iter().enumerate() {
+                if c as usize >= self.cols() {
+                    out.push(FormatViolation::ColumnOutOfRange {
+                        window: w,
+                        position: i,
+                        col: c,
+                        cols: self.cols(),
+                    });
+                }
+                if i > 0 && win[i - 1] >= c {
+                    out.push(FormatViolation::ColumnsNotAscending {
+                        window: w,
+                        position: i,
+                        prev: win[i - 1],
+                        next: c,
+                    });
+                }
+            }
+        }
+
+        // Every nonzero vector stores exactly `v` elements, ragged last
+        // block or not — the total is independent of the block split.
+        let expected_values = cols_arr.len() * v;
+        if self.values().len() != expected_values {
+            out.push(FormatViolation::ValuesLength {
+                expected: expected_values,
+                actual: self.values().len(),
+            });
+        }
+        if self.nnz() > self.values().len() {
+            out.push(FormatViolation::NnzExceedsSlots {
+                nnz: self.nnz(),
+                slots: self.values().len(),
+            });
+        }
+        out
+    }
+}
+
+impl<S: Scalar> SrBcrs<S> {
+    /// The SR-BCRS counterpart of [`MeBcrs::validate`]: checks the `2M`
+    /// pointer arrays, the padded index/value array lengths, and that
+    /// padding sentinels form a suffix of every block.
+    pub fn validate(&self) -> Vec<FormatViolation> {
+        let mut out = Vec::new();
+        let spec = self.spec();
+        let (v, k) = (spec.vector_len, spec.block_k);
+        let starts = self.block_start();
+        let counts = self.block_counts();
+        let cols_arr = self.col_indices();
+
+        let expected_windows = spec.num_windows(self.rows());
+        if starts.len() != expected_windows || counts.len() != expected_windows {
+            out.push(FormatViolation::BlockPtrLength {
+                expected: expected_windows,
+                actual: starts.len().max(counts.len()),
+            });
+        }
+        let mut running = 0usize;
+        for (w, (&s, &c)) in starts.iter().zip(counts).enumerate() {
+            if s != running {
+                out.push(FormatViolation::BlockStartMismatch {
+                    window: w,
+                    expected: running,
+                    actual: s,
+                });
+                running = s; // resynchronize so one bad start reports once
+            }
+            running += c;
+        }
+        let num_blocks = running;
+
+        if cols_arr.len() != num_blocks * k {
+            out.push(FormatViolation::ValuesLength {
+                expected: num_blocks * k,
+                actual: cols_arr.len(),
+            });
+        }
+        if self.values().len() != num_blocks * v * k {
+            out.push(FormatViolation::ValuesLength {
+                expected: num_blocks * v * k,
+                actual: self.values().len(),
+            });
+        }
+        if self.nnz() > self.values().len() {
+            out.push(FormatViolation::NnzExceedsSlots {
+                nnz: self.nnz(),
+                slots: self.values().len(),
+            });
+        }
+
+        // Per-block: real columns strictly ascending, in range, and padding
+        // only as a suffix. Walk the clamped in-bounds blocks.
+        for (w, (&s, &c)) in starts.iter().zip(counts).enumerate() {
+            for b in 0..c {
+                let base = (s + b) * k;
+                if base + k > cols_arr.len() {
+                    break;
+                }
+                let block = &cols_arr[base..base + k];
+                let mut padded = false;
+                let mut prev: Option<u32> = None;
+                for (slot, &col) in block.iter().enumerate() {
+                    if col == PAD_COL {
+                        padded = true;
+                        continue;
+                    }
+                    if padded {
+                        out.push(FormatViolation::PadNotSuffix { window: w, block: b, slot });
+                    }
+                    if col as usize >= self.cols() {
+                        out.push(FormatViolation::ColumnOutOfRange {
+                            window: w,
+                            position: b * k + slot,
+                            col,
+                            cols: self.cols(),
+                        });
+                    }
+                    if let Some(p) = prev {
+                        if p >= col {
+                            out.push(FormatViolation::ColumnsNotAscending {
+                                window: w,
+                                position: b * k + slot,
+                                prev: p,
+                                next: col,
+                            });
+                        }
+                    }
+                    prev = Some(col);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::TcFormatSpec;
+    use fs_matrix::gen::random_uniform;
+    use fs_matrix::{CooMatrix, CsrMatrix};
+
+    fn sample() -> MeBcrs<f32> {
+        let coo = random_uniform::<f32>(40, 32, 150, 7);
+        MeBcrs::from_csr(&CsrMatrix::from_coo(&coo), TcFormatSpec::FLASH_FP16)
+    }
+
+    #[test]
+    fn well_formed_matrices_validate_clean() {
+        let me = sample();
+        assert_eq!(me.validate(), vec![]);
+        let csr = me.to_csr();
+        let sr = SrBcrs::from_csr(&csr, TcFormatSpec::FLASH_FP16);
+        assert_eq!(sr.validate(), vec![]);
+        let empty = MeBcrs::<f32>::from_csr(&CsrMatrix::empty(16, 16), TcFormatSpec::FLASH_TF32);
+        assert_eq!(empty.validate(), vec![]);
+    }
+
+    #[test]
+    fn corrupt_window_ptr_detected() {
+        let me = sample();
+        let mut ptr = me.window_ptr().to_vec();
+        let mid = ptr.len() / 2;
+        ptr[mid] = ptr[mid].wrapping_add(100);
+        let bad = MeBcrs::from_raw_parts(
+            me.spec(),
+            me.rows(),
+            me.cols(),
+            ptr,
+            me.col_indices().to_vec(),
+            me.values().to_vec(),
+            me.nnz(),
+        );
+        let violations = bad.validate();
+        assert!(
+            violations.iter().any(|v| matches!(v, FormatViolation::WindowPtrNotMonotone { .. })),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn unsorted_and_out_of_range_columns_detected() {
+        let me = sample();
+        let mut cols = me.col_indices().to_vec();
+        cols.swap(0, 1); // window 0 has ≥2 vectors at nnz=150 over 40×32
+        cols[2] = 10_000;
+        let bad = MeBcrs::from_raw_parts(
+            me.spec(),
+            me.rows(),
+            me.cols(),
+            me.window_ptr().to_vec(),
+            cols,
+            me.values().to_vec(),
+            me.nnz(),
+        );
+        let violations = bad.validate();
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, FormatViolation::ColumnsNotAscending { window: 0, .. })));
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, FormatViolation::ColumnOutOfRange { col: 10_000, .. })));
+    }
+
+    #[test]
+    fn truncated_values_detected() {
+        let me = sample();
+        let mut values = me.values().to_vec();
+        values.truncate(values.len() - 3);
+        let bad = MeBcrs::from_raw_parts(
+            me.spec(),
+            me.rows(),
+            me.cols(),
+            me.window_ptr().to_vec(),
+            me.col_indices().to_vec(),
+            values,
+            me.nnz(),
+        );
+        assert!(bad.validate().iter().any(|v| matches!(v, FormatViolation::ValuesLength { .. })));
+    }
+
+    #[test]
+    fn nnz_overflow_detected() {
+        let me = sample();
+        let slots = me.values().len();
+        let bad = MeBcrs::from_raw_parts(
+            me.spec(),
+            me.rows(),
+            me.cols(),
+            me.window_ptr().to_vec(),
+            me.col_indices().to_vec(),
+            me.values().to_vec(),
+            slots + 1,
+        );
+        assert_eq!(
+            bad.validate(),
+            vec![FormatViolation::NnzExceedsSlots { nnz: slots + 1, slots }]
+        );
+    }
+
+    #[test]
+    fn srbcrs_pad_in_middle_detected() {
+        // Build a 2-block window and punch a PAD_COL into the middle of a
+        // full block.
+        let entries: Vec<(u32, u32, f32)> = (0..10).map(|j| (0u32, j * 3, 1.0)).collect();
+        let csr = CsrMatrix::from_coo(&CooMatrix::from_entries(8, 32, entries));
+        let sr = SrBcrs::from_csr(&csr, TcFormatSpec::FLASH_FP16);
+        assert_eq!(sr.validate(), vec![]);
+        let mut cols = sr.col_indices().to_vec();
+        cols[3] = PAD_COL;
+        let bad = SrBcrs::from_raw_parts(
+            sr.spec(),
+            sr.rows(),
+            sr.cols(),
+            sr.block_start().to_vec(),
+            sr.block_counts().to_vec(),
+            cols,
+            sr.values().to_vec(),
+            sr.nnz(),
+        );
+        assert!(bad
+            .validate()
+            .iter()
+            .any(|v| matches!(v, FormatViolation::PadNotSuffix { window: 0, block: 0, slot: 4 })));
+    }
+
+    #[test]
+    fn srbcrs_block_start_mismatch_detected() {
+        let csr = CsrMatrix::from_coo(&random_uniform::<f32>(32, 32, 120, 9));
+        let sr = SrBcrs::from_csr(&csr, TcFormatSpec::FLASH_FP16);
+        let mut starts = sr.block_start().to_vec();
+        if starts.len() > 1 {
+            starts[1] += 1;
+        }
+        let bad = SrBcrs::from_raw_parts(
+            sr.spec(),
+            sr.rows(),
+            sr.cols(),
+            starts,
+            sr.block_counts().to_vec(),
+            sr.col_indices().to_vec(),
+            sr.values().to_vec(),
+            sr.nnz(),
+        );
+        assert!(bad
+            .validate()
+            .iter()
+            .any(|v| matches!(v, FormatViolation::BlockStartMismatch { window: 1, .. })));
+    }
+
+    #[test]
+    fn violations_display_with_indices() {
+        let v = FormatViolation::ColumnsNotAscending { window: 3, position: 2, prev: 9, next: 9 };
+        let s = v.to_string();
+        assert!(s.contains("window 3"), "{s}");
+        assert!(s.contains("9 -> 9"), "{s}");
+    }
+}

@@ -110,6 +110,56 @@ proptest! {
         prop_assert!((0.0..1.0).contains(&red) || red.abs() < 1e-12, "red={red}");
     }
 
+    /// The invariant validator accepts everything from_csr produces.
+    #[test]
+    fn validate_clean_on_translated_matrices(csr in arb_matrix(), spec in spec_strategy()) {
+        let me = MeBcrs::from_csr(&csr, spec);
+        prop_assert!(me.validate().is_empty(), "{:?}", me.validate());
+        let sr = SrBcrs::from_csr(&csr, spec);
+        prop_assert!(sr.validate().is_empty(), "{:?}", sr.validate());
+    }
+
+    /// Mutation test: corrupting a window_ptr entry is always caught.
+    #[test]
+    fn validate_catches_window_ptr_corruption(
+        csr in arb_matrix(),
+        spec in spec_strategy(),
+        which in 0usize..64,
+        bump in 1usize..16,
+    ) {
+        let me = MeBcrs::from_csr(&csr, spec);
+        prop_assume!(me.num_vectors() > 0);
+        let mut ptr = me.window_ptr().to_vec();
+        let i = which % ptr.len();
+        ptr[i] += bump; // breaks base-zero, monotonicity, or the final total
+        let corrupt = MeBcrs::from_raw_parts(
+            spec, me.rows(), me.cols(), ptr,
+            me.col_indices().to_vec(), me.values().to_vec(), me.nnz(),
+        );
+        prop_assert!(!corrupt.validate().is_empty());
+    }
+
+    /// Mutation test: breaking column order or range is always caught.
+    #[test]
+    fn validate_catches_col_index_corruption(
+        csr in arb_matrix(),
+        spec in spec_strategy(),
+        which in 0usize..64,
+    ) {
+        let me = MeBcrs::from_csr(&csr, spec);
+        prop_assume!(me.num_vectors() > 0);
+        let mut cols = me.col_indices().to_vec();
+        let i = which % cols.len();
+        // Push the column past the matrix width: out-of-range for sure,
+        // and possibly out of order too.
+        cols[i] = me.cols() as u32 + 1 + cols[i];
+        let corrupt = MeBcrs::from_raw_parts(
+            spec, me.rows(), me.cols(), me.window_ptr().to_vec(),
+            cols, me.values().to_vec(), me.nnz(),
+        );
+        prop_assert!(!corrupt.validate().is_empty());
+    }
+
     /// with_values preserves structure and recounts nnz.
     #[test]
     fn with_values_recounts(csr in arb_matrix()) {

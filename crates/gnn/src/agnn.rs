@@ -34,7 +34,12 @@ struct AttentionLayer {
 }
 
 impl AttentionLayer {
-    fn forward(&mut self, ops: &SparseOps, adj: &CsrMatrix<f32>, h: &DenseMatrix<f32>) -> DenseMatrix<f32> {
+    fn forward(
+        &mut self,
+        ops: &SparseOps,
+        adj: &CsrMatrix<f32>,
+        h: &DenseMatrix<f32>,
+    ) -> DenseMatrix<f32> {
         let d = h.cols() as f32;
         let mut s = ops.sddmm(adj, h, h);
         s.values_mut().iter_mut().for_each(|v| *v /= d.sqrt());
@@ -55,9 +60,9 @@ impl AttentionLayer {
         adj: &CsrMatrix<f32>,
         dout: &DenseMatrix<f32>,
     ) -> (f32, DenseMatrix<f32>) {
-        let h = self.cache_h.as_ref().expect("forward before backward");
-        let s = self.cache_s.as_ref().unwrap();
-        let p = self.cache_p.as_ref().unwrap();
+        let h = self.cache_h.as_ref().expect("forward before backward"); // lint: allow-panic - API contract
+        let s = self.cache_s.as_ref().expect("forward before backward"); // lint: allow-panic - API contract
+        let p = self.cache_p.as_ref().expect("forward before backward"); // lint: allow-panic - API contract
         let d_sqrt = (h.cols() as f32).sqrt();
 
         // out = P·H  ⇒  dP = sample(dout·Hᵀ)  (an SDDMM), dH += Pᵀ·dout.
@@ -99,7 +104,14 @@ pub struct AgnnModel {
 impl AgnnModel {
     /// `input_dim → hidden` projection, `layers` attention layers,
     /// `hidden → classes` output.
-    pub fn new(input_dim: usize, hidden: usize, classes: usize, layers: usize, lr: f32, seed: u64) -> Self {
+    pub fn new(
+        input_dim: usize,
+        hidden: usize,
+        classes: usize,
+        layers: usize,
+        lr: f32,
+        seed: u64,
+    ) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let si = (1.0 / input_dim as f32).sqrt();
         let so = (1.0 / hidden as f32).sqrt();
@@ -152,9 +164,9 @@ impl AgnnModel {
         adj: &CsrMatrix<f32>,
         dlogits: &DenseMatrix<f32>,
     ) {
-        let h_last = self.cache_hs.last().expect("forward before backward");
-        // dW_out and dH through the output projection, dW_in and dZ
-        // through the input projection: 4 dense GEMMs.
+        let h_last = self.cache_hs.last().expect("forward before backward"); // lint: allow-panic - API contract
+                                                                             // dW_out and dH through the output projection, dW_in and dZ
+                                                                             // through the input projection: 4 dense GEMMs.
         self.dense_flops += 4 * (h_last.rows() * h_last.cols() * self.w_out.cols()) as u64
             + 4 * (h_last.rows() * self.w_in.rows() * self.w_in.cols()) as u64;
         let dw_out = matmul_at_b(h_last, dlogits);
@@ -167,9 +179,9 @@ impl AgnnModel {
             dh = dh_prev;
         }
 
-        let z = self.cache_z.as_ref().unwrap();
+        let z = self.cache_z.as_ref().expect("forward before backward"); // lint: allow-panic - API contract
         let dz = relu_backward(&dh, z);
-        let dw_in = matmul_at_b(self.cache_x.as_ref().unwrap(), &dz);
+        let dw_in = matmul_at_b(self.cache_x.as_ref().expect("forward before backward"), &dz); // lint: allow-panic - API contract
 
         self.opt_out.step(self.w_out.as_mut_slice(), dw_out.as_slice());
         self.opt_in.step(self.w_in.as_mut_slice(), dw_in.as_slice());
@@ -246,9 +258,6 @@ mod tests {
         let logits2 = model.forward(&ops, &adj, &ds.features);
         let (loss2, _) = cross_entropy(&logits2, &ds.labels, &ds.train_idx);
         let fd = (loss2 - loss) / eps;
-        assert!(
-            (fd - dbeta).abs() < 2e-2 * (1.0 + fd.abs()),
-            "fd={fd} analytic={dbeta}"
-        );
+        assert!((fd - dbeta).abs() < 2e-2 * (1.0 + fd.abs()), "fd={fd} analytic={dbeta}");
     }
 }

@@ -100,12 +100,7 @@ mod tests {
         };
         let de = edge_softmax_backward(&p, &dp);
         let loss = |e: &CsrMatrix<f32>| -> f32 {
-            edge_softmax(e)
-                .values()
-                .iter()
-                .zip(&w)
-                .map(|(p, w)| p * w)
-                .sum()
+            edge_softmax(e).values().iter().zip(&w).map(|(p, w)| p * w).sum()
         };
         let base = loss(&e);
         let eps = 1e-3f32;

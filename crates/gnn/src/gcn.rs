@@ -32,7 +32,12 @@ impl GcnLayer {
     }
 
     /// `σ(Â (h · W))`.
-    fn forward(&mut self, ops: &SparseOps, adj: &CsrMatrix<f32>, h: &DenseMatrix<f32>) -> DenseMatrix<f32> {
+    fn forward(
+        &mut self,
+        ops: &SparseOps,
+        adj: &CsrMatrix<f32>,
+        h: &DenseMatrix<f32>,
+    ) -> DenseMatrix<f32> {
         let z = matmul(h, &self.w);
         let y = ops.spmm(adj, &z);
         self.cache_h = Some(h.clone());
@@ -51,8 +56,8 @@ impl GcnLayer {
         adj: &CsrMatrix<f32>,
         dout: &DenseMatrix<f32>,
     ) -> (DenseMatrix<f32>, DenseMatrix<f32>) {
-        let y = self.cache_y.as_ref().expect("forward before backward");
-        let h = self.cache_h.as_ref().expect("forward before backward");
+        let y = self.cache_y.as_ref().expect("forward before backward"); // lint: allow-panic - API contract
+        let h = self.cache_h.as_ref().expect("forward before backward"); // lint: allow-panic - API contract
         let dy = if self.relu { relu_backward(dout, y) } else { dout.clone() };
         // Â is symmetric: ∂/∂Z of Â·Z contracts with Â again.
         let dz = ops.spmm(adj, &dy);

@@ -9,21 +9,18 @@ pub fn matmul(a: &DenseMatrix<f32>, b: &DenseMatrix<f32>) -> DenseMatrix<f32> {
     assert_eq!(a.cols(), b.rows());
     let (m, k, n) = (a.rows(), a.cols(), b.cols());
     let mut out = DenseMatrix::<f32>::zeros(m, n);
-    out.as_mut_slice()
-        .par_chunks_mut(n.max(1))
-        .enumerate()
-        .for_each(|(i, orow)| {
-            for t in 0..k {
-                let av = a.get(i, t);
-                if av == 0.0 {
-                    continue;
-                }
-                let brow = b.row(t);
-                for j in 0..n {
-                    orow[j] += av * brow[j];
-                }
+    out.as_mut_slice().par_chunks_mut(n.max(1)).enumerate().for_each(|(i, orow)| {
+        for t in 0..k {
+            let av = a.get(i, t);
+            if av == 0.0 {
+                continue;
             }
-        });
+            let brow = b.row(t);
+            for j in 0..n {
+                orow[j] += av * brow[j];
+            }
+        }
+    });
     out
 }
 
@@ -55,20 +52,17 @@ pub fn matmul_a_bt(a: &DenseMatrix<f32>, b: &DenseMatrix<f32>) -> DenseMatrix<f3
     assert_eq!(a.cols(), b.cols());
     let (m, k, n) = (a.rows(), a.cols(), b.rows());
     let mut out = DenseMatrix::<f32>::zeros(m, n);
-    out.as_mut_slice()
-        .par_chunks_mut(n.max(1))
-        .enumerate()
-        .for_each(|(i, orow)| {
-            let arow = a.row(i);
-            for j in 0..n {
-                let brow = b.row(j);
-                let mut acc = 0.0f32;
-                for t in 0..k {
-                    acc += arow[t] * brow[t];
-                }
-                orow[j] = acc;
+    out.as_mut_slice().par_chunks_mut(n.max(1)).enumerate().for_each(|(i, orow)| {
+        let arow = a.row(i);
+        for j in 0..n {
+            let brow = b.row(j);
+            let mut acc = 0.0f32;
+            for t in 0..k {
+                acc += arow[t] * brow[t];
             }
-        });
+            orow[j] = acc;
+        }
+    });
     out
 }
 
@@ -83,14 +77,11 @@ pub fn relu(x: &DenseMatrix<f32>) -> DenseMatrix<f32> {
 pub fn relu_backward(dy: &DenseMatrix<f32>, x: &DenseMatrix<f32>) -> DenseMatrix<f32> {
     assert_eq!((dy.rows(), dy.cols()), (x.rows(), x.cols()));
     let mut out = dy.clone();
-    out.as_mut_slice()
-        .iter_mut()
-        .zip(x.as_slice())
-        .for_each(|(g, &v)| {
-            if v <= 0.0 {
-                *g = 0.0;
-            }
-        });
+    out.as_mut_slice().iter_mut().zip(x.as_slice()).for_each(|(g, &v)| {
+        if v <= 0.0 {
+            *g = 0.0;
+        }
+    });
     out
 }
 
@@ -152,9 +143,9 @@ pub fn accuracy(logits: &DenseMatrix<f32>, labels: &[usize], idx: &[usize]) -> f
             let pred = row
                 .iter()
                 .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .max_by(|a, b| a.1.total_cmp(b.1))
                 .map(|(j, _)| j)
-                .unwrap();
+                .unwrap_or(0);
             pred == labels[i]
         })
         .count();
@@ -226,8 +217,7 @@ mod tests {
 
     #[test]
     fn accuracy_counts_correct_rows() {
-        let logits =
-            DenseMatrix::<f32>::from_f32_slice(3, 2, &[0.9, 0.1, 0.2, 0.8, 0.6, 0.4]);
+        let logits = DenseMatrix::<f32>::from_f32_slice(3, 2, &[0.9, 0.1, 0.2, 0.8, 0.6, 0.4]);
         let labels = vec![0usize, 1, 1];
         assert!((accuracy(&logits, &labels, &[0, 1, 2]) - 2.0 / 3.0).abs() < 1e-12);
         assert_eq!(accuracy(&logits, &labels, &[0, 1]), 1.0);

@@ -7,12 +7,12 @@
 //! and results widened on exit, exactly the paper's integration of its
 //! kernels into PyTorch.
 
+use flashsparse::{sddmm as flash_sddmm, spmm as flash_spmm, TcuPrecision, ThreadMapping};
 use fs_baselines::cuda;
 use fs_format::MeBcrs;
 use fs_matrix::{CsrMatrix, DenseMatrix};
-use fs_precision::{F16, Tf32};
+use fs_precision::{Tf32, F16};
 use fs_tcu::{GpuSpec, KernelCounters};
-use flashsparse::{sddmm as flash_sddmm, spmm as flash_spmm, ThreadMapping, TcuPrecision};
 use parking_lot::Mutex;
 
 /// Which kernel stack executes the sparse operators.
@@ -138,11 +138,11 @@ impl SparseOps {
             }
             GnnBackend::TcGnnTf32 => {
                 let m16 = MeBcrs::from_csr(&mask.cast::<Tf32>(), fs_baselines::tcu16::SPEC16);
-                let (out, run) = fs_baselines::tcu16::tcgnn::sddmm_tcgnn(&m16, &a.cast(), &b.cast());
+                let (out, run) =
+                    fs_baselines::tcu16::tcgnn::sddmm_tcgnn(&m16, &a.cast(), &b.cast());
                 self.record(run.counters, run.simulated_time(self.gpu));
                 let dense = out.to_dense();
-                let values: Vec<f32> =
-                    mask.iter().map(|(r, c, _)| dense.get_f32(r, c)).collect();
+                let values: Vec<f32> = mask.iter().map(|(r, c, _)| dense.get_f32(r, c)).collect();
                 CsrMatrix::new(
                     mask.rows(),
                     mask.cols(),
@@ -171,10 +171,7 @@ impl SparseOps {
         // Back to CSR f32 preserving the mask's full pattern (computed
         // zeros included).
         let dense = out.to_dense();
-        let values: Vec<f32> = mask
-            .iter()
-            .map(|(r, c, _)| dense.get_f32(r, c))
-            .collect();
+        let values: Vec<f32> = mask.iter().map(|(r, c, _)| dense.get_f32(r, c)).collect();
         CsrMatrix::new(
             mask.rows(),
             mask.cols(),

@@ -39,11 +39,7 @@ pub fn block_sparse<S: Scalar>(
                     if inner_fill < 1.0 && rng.random::<f64>() > inner_fill {
                         continue;
                     }
-                    entries.push((
-                        r as u32,
-                        c as u32,
-                        S::from_f32(rng.random_range(-1.0f32..1.0)),
-                    ));
+                    entries.push((r as u32, c as u32, S::from_f32(rng.random_range(-1.0f32..1.0))));
                 }
             }
         }

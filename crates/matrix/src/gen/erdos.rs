@@ -14,12 +14,7 @@ pub fn erdos_renyi<S: Scalar>(n: usize, edges: usize, seed: u64) -> CooMatrix<S>
 
 /// A uniform random rectangular sparse matrix with approximately `nnz`
 /// nonzeros (duplicate coordinates merge).
-pub fn random_uniform<S: Scalar>(
-    rows: usize,
-    cols: usize,
-    nnz: usize,
-    seed: u64,
-) -> CooMatrix<S> {
+pub fn random_uniform<S: Scalar>(rows: usize, cols: usize, nnz: usize, seed: u64) -> CooMatrix<S> {
     assert!(rows > 0 && cols > 0, "matrix must be non-empty");
     let mut rng = rng_for(seed);
     let mut pattern = Vec::with_capacity(nnz);

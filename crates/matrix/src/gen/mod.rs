@@ -20,7 +20,7 @@ pub use banded::banded;
 pub use block::block_sparse;
 pub use erdos::{erdos_renyi, random_uniform};
 pub use rmat::{rmat, RmatConfig};
-pub use sbm::{sbm, SbmDataset, SbmConfig};
+pub use sbm::{sbm, SbmConfig, SbmDataset};
 
 use fs_precision::Scalar;
 use rand::rngs::StdRng;

@@ -149,9 +149,6 @@ mod tests {
         let csr = CsrMatrix::from_coo(&g);
         let mean = csr.nnz() as f64 / csr.rows() as f64;
         let max = (0..csr.rows()).map(|r| csr.row_len(r)).max().unwrap();
-        assert!(
-            max as f64 > 4.0 * mean,
-            "expected skew: max={max} mean={mean:.1}"
-        );
+        assert!(max as f64 > 4.0 * mean, "expected skew: max={max} mean={mean:.1}");
     }
 }

@@ -47,9 +47,7 @@ fn parse_err(msg: impl Into<String>) -> MtxError {
 pub fn read_matrix_market<S: Scalar, R: Read>(reader: R) -> Result<CooMatrix<S>, MtxError> {
     let mut lines = BufReader::new(reader).lines();
 
-    let header = lines
-        .next()
-        .ok_or_else(|| parse_err("empty file"))??;
+    let header = lines.next().ok_or_else(|| parse_err("empty file"))??;
     let header_lc = header.to_ascii_lowercase();
     if !header_lc.starts_with("%%matrixmarket") {
         return Err(parse_err("missing %%MatrixMarket header"));
@@ -73,9 +71,7 @@ pub fn read_matrix_market<S: Scalar, R: Read>(reader: R) -> Result<CooMatrix<S>,
 
     // Skip comments, find the size line.
     let size_line = loop {
-        let line = lines
-            .next()
-            .ok_or_else(|| parse_err("missing size line"))??;
+        let line = lines.next().ok_or_else(|| parse_err("missing size line"))??;
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('%') {
             continue;

@@ -69,9 +69,8 @@ mod tests {
 
     #[test]
     fn dense_block_is_hash() {
-        let entries: Vec<(u32, u32, f32)> = (0..8)
-            .flat_map(|r| (0..8).map(move |c| (r, c, 1.0)))
-            .collect();
+        let entries: Vec<(u32, u32, f32)> =
+            (0..8).flat_map(|r| (0..8).map(move |c| (r, c, 1.0))).collect();
         let m = CsrMatrix::from_coo(&CooMatrix::from_entries(8, 8, entries));
         let art = render_sparsity(&m, 4);
         assert!(art.chars().filter(|&c| c != '\n').all(|c| c == '#'));
@@ -89,6 +88,11 @@ mod tests {
         let m = CsrMatrix::from_coo(&CooMatrix::from_entries(3, 100, vec![(0, 0, 1.0f32)]));
         let art = render_sparsity(&m, 10);
         assert!(!art.is_empty());
-        assert!(art.starts_with('.') || art.starts_with(':') || art.starts_with('+') || art.starts_with('#'));
+        assert!(
+            art.starts_with('.')
+                || art.starts_with(':')
+                || art.starts_with('+')
+                || art.starts_with('#')
+        );
     }
 }

@@ -66,12 +66,8 @@ pub fn rcm_permutation<S: Scalar>(m: &CsrMatrix<S>) -> Vec<u32> {
         queue.push_back(start);
         while let Some(v) = queue.pop_front() {
             order.push(v);
-            let mut neighbors: Vec<u32> = m
-                .row_cols(v as usize)
-                .iter()
-                .copied()
-                .filter(|&c| !visited[c as usize])
-                .collect();
+            let mut neighbors: Vec<u32> =
+                m.row_cols(v as usize).iter().copied().filter(|&c| !visited[c as usize]).collect();
             neighbors.sort_by_key(|&c| (m.row_len(c as usize), c));
             for c in neighbors {
                 if !visited[c as usize] {
@@ -91,11 +87,7 @@ pub fn permute_rows<S: Scalar>(m: &CsrMatrix<S>, perm: &[u32]) -> CsrMatrix<S> {
     assert_permutation(perm, m.rows());
     let mut coo = CooMatrix::new(m.rows(), m.cols());
     for (new_r, &old_r) in perm.iter().enumerate() {
-        for (&c, &v) in m
-            .row_cols(old_r as usize)
-            .iter()
-            .zip(m.row_values(old_r as usize))
-        {
+        for (&c, &v) in m.row_cols(old_r as usize).iter().zip(m.row_values(old_r as usize)) {
             coo.push(new_r, c as usize, v);
         }
     }
@@ -124,10 +116,7 @@ pub fn permute_symmetric<S: Scalar>(m: &CsrMatrix<S>, perm: &[u32]) -> CsrMatrix
 
 /// Pattern bandwidth: `max |i − j|` over nonzeros (0 for empty/diagonal).
 pub fn bandwidth<S: Scalar>(m: &CsrMatrix<S>) -> usize {
-    m.iter()
-        .map(|(r, c, _)| r.abs_diff(c))
-        .max()
-        .unwrap_or(0)
+    m.iter().map(|(r, c, _)| r.abs_diff(c)).max().unwrap_or(0)
 }
 
 #[cfg(test)]
@@ -231,10 +220,7 @@ mod tests {
         let g = CsrMatrix::from_coo(&rmat::<f32>(9, 6, RmatConfig::GRAPH500, true, 11));
         let before = window_cells(&g, 8);
         let after = window_cells(&permute_rows(&g, &degree_sort_permutation(&g)), 8);
-        assert!(
-            after < before,
-            "degree sort must reduce stored cells: {before} -> {after}"
-        );
+        assert!(after < before, "degree sort must reduce stored cells: {before} -> {after}");
     }
 
     #[test]

@@ -30,7 +30,7 @@ impl<S: Scalar> CscMatrix<S> {
         for i in 0..cols {
             col_ptr[i + 1] += col_ptr[i];
         }
-        let nnz = *col_ptr.last().unwrap();
+        let nnz = col_ptr[cols];
         let mut row_idx = vec![0u32; nnz];
         let mut values = vec![S::ZERO; nnz];
         for (i, &(_, r, v)) in t.entries().iter().enumerate() {
@@ -120,8 +120,7 @@ mod tests {
 
     #[test]
     fn column_access() {
-        let coo =
-            CooMatrix::from_entries(3, 2, vec![(0, 1, 1.0f32), (2, 1, 2.0), (1, 0, 3.0)]);
+        let coo = CooMatrix::from_entries(3, 2, vec![(0, 1, 1.0f32), (2, 1, 2.0), (1, 0, 3.0)]);
         let csc = CscMatrix::from_coo(&coo);
         assert_eq!(csc.col_rows(1), &[0, 2]);
         assert_eq!(csc.col_values(1), &[1.0, 2.0]);

@@ -29,7 +29,7 @@ impl<S: Scalar> CsrMatrix<S> {
     ) -> Self {
         assert_eq!(row_ptr.len(), rows + 1, "row_ptr length must be rows+1");
         assert_eq!(col_idx.len(), values.len(), "col_idx and values must be parallel");
-        assert_eq!(*row_ptr.last().unwrap(), col_idx.len(), "row_ptr must end at nnz");
+        assert_eq!(row_ptr[rows], col_idx.len(), "row_ptr must end at nnz");
         assert_eq!(row_ptr[0], 0, "row_ptr must start at 0");
         for w in row_ptr.windows(2) {
             assert!(w[0] <= w[1], "row_ptr must be non-decreasing");
@@ -42,7 +42,13 @@ impl<S: Scalar> CsrMatrix<S> {
 
     /// An empty matrix of the given shape.
     pub fn empty(rows: usize, cols: usize) -> Self {
-        CsrMatrix { rows, cols, row_ptr: vec![0; rows + 1], col_idx: Vec::new(), values: Vec::new() }
+        CsrMatrix {
+            rows,
+            cols,
+            row_ptr: vec![0; rows + 1],
+            col_idx: Vec::new(),
+            values: Vec::new(),
+        }
     }
 
     /// Compress a COO matrix (duplicates summed, columns sorted per row).
@@ -57,7 +63,7 @@ impl<S: Scalar> CsrMatrix<S> {
         for i in 0..rows {
             row_ptr[i + 1] += row_ptr[i];
         }
-        let nnz = *row_ptr.last().unwrap();
+        let nnz = row_ptr[rows];
         let mut col_idx = vec![0u32; nnz];
         let mut values = vec![S::ZERO; nnz];
         // Entries are already (row, col)-sorted after dedup.
@@ -131,10 +137,7 @@ impl<S: Scalar> CsrMatrix<S> {
     /// Iterate `(row, col, value)` in row-major order.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, S)> + '_ {
         (0..self.rows).flat_map(move |r| {
-            self.row_cols(r)
-                .iter()
-                .zip(self.row_values(r))
-                .map(move |(&c, &v)| (r, c as usize, v))
+            self.row_cols(r).iter().zip(self.row_values(r)).map(move |(&c, &v)| (r, c as usize, v))
         })
     }
 
@@ -315,11 +318,8 @@ mod tests {
     #[test]
     fn sddmm_reference_known_values() {
         // mask has nnz at (0,0) and (1,2); A=2x2, B=3x2.
-        let mask = CsrMatrix::from_coo(&CooMatrix::from_entries(
-            2,
-            3,
-            vec![(0, 0, 1.0), (1, 2, 2.0)],
-        ));
+        let mask =
+            CsrMatrix::from_coo(&CooMatrix::from_entries(2, 3, vec![(0, 0, 1.0), (1, 2, 2.0)]));
         let a = DenseMatrix::<f32>::from_f32_slice(2, 2, &[1.0, 2.0, 3.0, 4.0]);
         let b = DenseMatrix::<f32>::from_f32_slice(3, 2, &[1.0, 0.0, 0.0, 1.0, 1.0, 1.0]);
         let out = mask.sddmm_reference(&a, &b);

@@ -202,12 +202,7 @@ mod tests {
     #[test]
     fn table4_density_ordering_roughly_preserved() {
         let ds = table4_datasets(Scale::Tiny);
-        let get = |name: &str| {
-            ds.iter()
-                .find(|d| d.name == name)
-                .map(|d| d.matrix.nnz())
-                .unwrap()
-        };
+        let get = |name: &str| ds.iter().find(|d| d.name == name).map(|d| d.matrix.nnz()).unwrap();
         // Reddit (deg 493, capped to 64) must still be the densest;
         // Yeast (3.1) among the sparsest.
         assert!(get("Reddit") > get("Yeast"));

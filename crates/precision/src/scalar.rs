@@ -4,7 +4,7 @@
 //! operands are *stored and loaded* in; accumulation is always `f32`, which is
 //! what both the tensor-core MMA datapath and the CUDA-core baselines do.
 
-use crate::{F16, Tf32};
+use crate::{Tf32, F16};
 
 /// A storage scalar: something a matrix can hold and a (simulated) memory
 /// system can move, convertible losslessly-enough to `f32` for arithmetic.

@@ -1,6 +1,6 @@
 //! Property-based tests for the soft-float types.
 
-use fs_precision::{F16, Scalar, Tf32};
+use fs_precision::{Scalar, Tf32, F16};
 use proptest::prelude::*;
 
 proptest! {

@@ -1,0 +1,253 @@
+//! Std-only stand-in for the subset of the Criterion API this workspace's
+//! benches use: `criterion_group!` / `criterion_main!`, benchmark groups,
+//! `bench_function` / `bench_with_input`, `Bencher::iter`, `BenchmarkId`,
+//! and `Throughput`.
+//!
+//! Timing method: a short warm-up, then `sample_size` samples, each of
+//! enough iterations to cross ~1 ms; the per-iteration median, mean, and
+//! min are printed. No statistics files, plots, or regression baselines —
+//! A/B comparisons are made by reading the printed table.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a benchmarked computation.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declared throughput of a benchmark, printed alongside timings.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A `function-name/parameter` benchmark label.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+/// Labels accepted by `bench_function`.
+pub trait IntoBenchmarkLabel {
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchmarkLabel for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkLabel for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkLabel for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+/// Runs one benchmark's measurement loop.
+pub struct Bencher {
+    samples: usize,
+    /// Per-iteration nanoseconds, one entry per sample.
+    results: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measure `f` repeatedly; called once per benchmark by the group.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and iteration-count calibration: run until ~50 ms or 10
+        // iterations, whichever first.
+        let warmup_start = Instant::now();
+        let mut warmup_iters = 0u32;
+        while warmup_iters < 10 && warmup_start.elapsed() < Duration::from_millis(50) {
+            black_box(f());
+            warmup_iters += 1;
+        }
+        let per_iter = warmup_start.elapsed().as_secs_f64() / f64::from(warmup_iters.max(1));
+        // Enough iterations per sample to cross ~1 ms, capped at 1000.
+        let iters = ((1e-3 / per_iter.max(1e-9)).ceil() as u64).clamp(1, 1000);
+
+        self.results.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let ns = start.elapsed().as_secs_f64() * 1e9 / iters as f64;
+            self.results.push(ns);
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkLabel, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into_label();
+        let mut bencher = Bencher { samples: self.sample_size, results: Vec::new() };
+        f(&mut bencher);
+        self.report(&label, &mut bencher.results);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = id.label.clone();
+        let mut bencher = Bencher { samples: self.sample_size, results: Vec::new() };
+        f(&mut bencher, input);
+        self.report(&label, &mut bencher.results);
+        self
+    }
+
+    fn report(&self, label: &str, results: &mut [f64]) {
+        if results.is_empty() {
+            println!("{}/{label:<40} (no measurement)", self.name);
+            return;
+        }
+        results.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let median = results[results.len() / 2];
+        let mean = results.iter().sum::<f64>() / results.len() as f64;
+        let min = results[0];
+        let mut line = format!(
+            "{}/{label:<40} median {:>12}  mean {:>12}  min {:>12}",
+            self.name,
+            format_ns(median),
+            format_ns(mean),
+            format_ns(min)
+        );
+        if let Some(t) = self.throughput {
+            let (count, unit) = match t {
+                Throughput::Elements(n) => (n, "elem/s"),
+                Throughput::Bytes(n) => (n, "B/s"),
+            };
+            let rate = count as f64 / (median / 1e9);
+            line.push_str(&format!("  {rate:>12.3e} {unit}"));
+        }
+        println!("{line}");
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== bench group: {name}");
+        BenchmarkGroup { name, sample_size: 20, throughput: None, _criterion: self }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkLabel, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, f);
+        group.finish();
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim-test");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(64));
+        group.bench_with_input(BenchmarkId::new("sum", 64), &64u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.bench_function("plain", |b| b.iter(|| black_box(2 + 2)));
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs() {
+        criterion_group!(benches, sample_bench);
+        benches();
+    }
+}

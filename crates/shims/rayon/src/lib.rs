@@ -1,0 +1,127 @@
+//! A std-only, *sequential* stand-in for the subset of the [rayon] API this
+//! workspace uses.
+//!
+//! The build environment has no access to the crates.io registry, so the
+//! real rayon cannot be fetched. This shim preserves the source-level API
+//! (`par_iter`, `par_chunks_mut`, `into_par_iter`, `flat_map_iter`) but
+//! executes everything on the calling thread. That is semantically valid:
+//! rayon makes no ordering or interleaving guarantees, so any correct
+//! rayon program is also correct when run sequentially. Simulated-kernel
+//! determinism actually improves under this shim.
+//!
+//! [rayon]: https://docs.rs/rayon
+
+/// The adapter returned by all `par_*` entry points: a thin wrapper over a
+/// standard iterator that forwards `Iterator` and adds the few rayon-only
+/// combinators the workspace calls (`flat_map_iter`).
+pub struct Par<I>(pub I);
+
+impl<I: Iterator> Iterator for Par<I> {
+    type Item = I::Item;
+
+    #[inline]
+    fn next(&mut self) -> Option<I::Item> {
+        self.0.next()
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.0.size_hint()
+    }
+}
+
+impl<I: Iterator> Par<I> {
+    /// rayon's `flat_map_iter`: flat-map through a serial iterator.
+    #[inline]
+    pub fn flat_map_iter<U, F>(self, f: F) -> Par<std::iter::FlatMap<I, U, F>>
+    where
+        U: IntoIterator,
+        F: FnMut(I::Item) -> U,
+    {
+        Par(self.0.flat_map(f))
+    }
+}
+
+/// `into_par_iter()` for any owned collection or range.
+pub trait IntoParallelIterator: IntoIterator + Sized {
+    #[inline]
+    fn into_par_iter(self) -> Par<Self::IntoIter> {
+        Par(self.into_iter())
+    }
+}
+
+impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+
+/// `par_iter()` over shared slices (and anything that derefs to a slice).
+pub trait ParallelSlice<T> {
+    fn par_iter(&self) -> Par<std::slice::Iter<'_, T>>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    #[inline]
+    fn par_iter(&self) -> Par<std::slice::Iter<'_, T>> {
+        Par(self.iter())
+    }
+}
+
+/// `par_chunks_mut()` over mutable slices.
+pub trait ParallelSliceMut<T> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<std::slice::ChunksMut<'_, T>>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    #[inline]
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<std::slice::ChunksMut<'_, T>> {
+        Par(self.chunks_mut(chunk_size))
+    }
+}
+
+/// Run two closures (sequentially here) and return both results — rayon's
+/// fork-join primitive.
+#[inline]
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+pub mod prelude {
+    pub use crate::{join, IntoParallelIterator, Par, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn range_into_par_iter_collect() {
+        let v: Vec<usize> = (0..5usize).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v, vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn par_chunks_mut_enumerate() {
+        let mut data = vec![0u32; 8];
+        data.par_chunks_mut(2).enumerate().for_each(|(i, c)| {
+            for x in c.iter_mut() {
+                *x = i as u32;
+            }
+        });
+        assert_eq!(data, vec![0, 0, 1, 1, 2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn par_iter_and_sum() {
+        let v = vec![1u64, 2, 3];
+        let s: u64 = v.par_iter().map(|&x| x).sum();
+        assert_eq!(s, 6);
+    }
+
+    #[test]
+    fn flat_map_iter() {
+        let v: Vec<u32> = (0..3u32).into_par_iter().flat_map_iter(|x| vec![x, x]).collect();
+        assert_eq!(v, vec![0, 0, 1, 1, 2, 2]);
+    }
+}

@@ -152,11 +152,7 @@ mod tests {
     fn roofline_takes_the_max() {
         let m = model();
         // Huge compute, tiny memory → compute-dominated.
-        let k = KernelCounters {
-            tcu_flops: 10u64.pow(13),
-            bytes_loaded: 32,
-            ..Default::default()
-        };
+        let k = KernelCounters { tcu_flops: 10u64.pow(13), bytes_loaded: 32, ..Default::default() };
         let t = m.kernel_time(&k, ComputeClass::TcuFp16);
         let compute_only =
             10f64.powi(13) / m.sustained_flops(ComputeClass::TcuFp16) + m.gpu.launch_overhead_s;

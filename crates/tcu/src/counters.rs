@@ -32,6 +32,10 @@ pub struct KernelCounters {
     pub dense_operand_bytes: u64,
     /// Ideal load bytes attributable to index metadata.
     pub index_bytes: u64,
+    /// Sanitizer violations attributed to this kernel execution (zero
+    /// unless a [`crate::sanitize`] mode is active *and* the kernel
+    /// misbehaved).
+    pub sanitizer_violations: u64,
 }
 
 /// The source a warp load serves — lets experiments break the Figure 12
@@ -67,12 +71,34 @@ impl KernelCounters {
     }
 
     /// Fraction of transferred load bytes that were useful (1.0 = perfectly
-    /// coalesced).
+    /// coalesced). A kernel that loaded nothing is vacuously perfect.
     pub fn load_efficiency(&self) -> f64 {
         if self.bytes_loaded == 0 {
             1.0
         } else {
             self.ideal_bytes_loaded as f64 / self.bytes_loaded as f64
+        }
+    }
+
+    /// Fraction of transferred store bytes that were useful — the store
+    /// counterpart of [`Self::load_efficiency`], with the same guard: a
+    /// kernel that stored nothing is vacuously perfect rather than NaN.
+    pub fn store_efficiency(&self) -> f64 {
+        if self.bytes_stored == 0 {
+            1.0
+        } else {
+            self.ideal_bytes_stored as f64 / self.bytes_stored as f64
+        }
+    }
+
+    /// Combined load+store efficiency, guarded like the per-direction
+    /// accessors.
+    pub fn memory_efficiency(&self) -> f64 {
+        let moved = self.bytes_moved();
+        if moved == 0 {
+            1.0
+        } else {
+            (self.ideal_bytes_loaded + self.ideal_bytes_stored) as f64 / moved as f64
         }
     }
 
@@ -100,6 +126,7 @@ impl Add for KernelCounters {
             sparse_value_bytes: self.sparse_value_bytes + rhs.sparse_value_bytes,
             dense_operand_bytes: self.dense_operand_bytes + rhs.dense_operand_bytes,
             index_bytes: self.index_bytes + rhs.index_bytes,
+            sanitizer_violations: self.sanitizer_violations + rhs.sanitizer_violations,
         }
     }
 }
@@ -136,10 +163,33 @@ mod tests {
         let k = KernelCounters {
             bytes_loaded: 128,
             ideal_bytes_loaded: 64,
+            bytes_stored: 64,
+            ideal_bytes_stored: 48,
             ..Default::default()
         };
         assert!((k.load_efficiency() - 0.5).abs() < 1e-12);
-        assert_eq!(KernelCounters::default().load_efficiency(), 1.0);
+        assert!((k.store_efficiency() - 0.75).abs() < 1e-12);
+        assert!((k.memory_efficiency() - 112.0 / 192.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_transaction_kernel_has_finite_unit_ratios() {
+        // A kernel that never touched memory (e.g. an empty matrix) must
+        // report vacuously perfect ratios, not NaN.
+        let k = KernelCounters::default();
+        assert_eq!(k.load_efficiency(), 1.0);
+        assert_eq!(k.store_efficiency(), 1.0);
+        assert_eq!(k.memory_efficiency(), 1.0);
+        assert!(k.load_efficiency().is_finite());
+        assert!(k.store_efficiency().is_finite());
+        assert!(k.memory_efficiency().is_finite());
+    }
+
+    #[test]
+    fn sanitizer_violations_merge() {
+        let a = KernelCounters { sanitizer_violations: 2, ..Default::default() };
+        let b = KernelCounters { sanitizer_violations: 5, ..Default::default() };
+        assert_eq!((a + b).sanitizer_violations, 7);
     }
 
     #[test]

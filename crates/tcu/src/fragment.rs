@@ -8,6 +8,8 @@
 //! reasons directly about these layouts, so the simulator reproduces them
 //! exactly.
 
+use crate::sanitize::fragment::{check_lane_claim, FragShadow};
+use crate::sanitize::{record, sanitize_enabled, Violation};
 use crate::shape::{MmaShape, Precision};
 use crate::WARP_SIZE;
 
@@ -51,6 +53,18 @@ impl FragmentLayout {
             FragKind::B => s.b_elems() / WARP_SIZE,
             FragKind::CD => s.cd_elems() / WARP_SIZE,
         }
+    }
+
+    /// Which operand this layout describes.
+    #[inline]
+    pub fn kind(&self) -> FragKind {
+        self.kind
+    }
+
+    /// The MMA shape this layout belongs to.
+    #[inline]
+    pub fn shape(&self) -> MmaShape {
+        self.shape
     }
 
     /// Tile dimensions `(rows, cols)` of this operand.
@@ -113,17 +127,43 @@ impl FragmentLayout {
 /// A warp's register storage for one MMA operand: `WARP_SIZE ×
 /// regs_per_lane` f32 values (FP16/TF32 operands are stored widened; the
 /// rounding to the operand lattice happens at load time, as on hardware).
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug)]
 pub struct Fragment {
     layout: FragmentLayout,
     regs: Vec<f32>,
+    /// Sanitizer shadow; allocated only while sanitizing (see
+    /// [`crate::sanitize`]), never part of value equality.
+    shadow: Option<Box<FragShadow>>,
+}
+
+impl PartialEq for Fragment {
+    fn eq(&self, other: &Self) -> bool {
+        self.layout == other.layout && self.regs == other.regs
+    }
 }
 
 impl Fragment {
-    /// A zero-filled fragment for `shape`/`kind`.
+    /// A zero-filled fragment for `shape`/`kind`. Models registers the
+    /// kernel explicitly cleared, so every slot counts as initialized.
     pub fn zeros(shape: MmaShape, kind: FragKind) -> Self {
+        Self::with_shadow_fill(shape, kind, true)
+    }
+
+    /// A fragment whose registers were never written — a fresh register
+    /// allocation. Register values read as zero (as [`Self::zeros`]), but
+    /// under sanitize the slots count as uninitialized until stored to, so
+    /// consuming them in an MMA is reported.
+    pub fn uninit(shape: MmaShape, kind: FragKind) -> Self {
+        Self::with_shadow_fill(shape, kind, false)
+    }
+
+    fn with_shadow_fill(shape: MmaShape, kind: FragKind, initialized: bool) -> Self {
         let layout = FragmentLayout::of(shape, kind);
-        Fragment { layout, regs: vec![0.0; WARP_SIZE * layout.regs_per_lane()] }
+        Fragment {
+            layout,
+            regs: vec![0.0; WARP_SIZE * layout.regs_per_lane()],
+            shadow: sanitize_enabled().then(|| FragShadow::new(layout, initialized)),
+        }
     }
 
     /// The layout this fragment follows.
@@ -147,7 +187,44 @@ impl Fragment {
     /// Write register `reg` of lane `lane`.
     #[inline]
     pub fn set(&mut self, lane: usize, reg: usize, value: f32) {
-        self.regs[lane * self.layout.regs_per_lane() + reg] = value;
+        let slot = lane * self.layout.regs_per_lane() + reg;
+        if let Some(shadow) = &mut self.shadow {
+            shadow.mark_written(slot);
+        }
+        self.regs[slot] = value;
+    }
+
+    /// Store `value` as tile element `(row, col)` from the thread owning
+    /// `(lane, reg)` — the lane-level write a kernel's swap-and-transpose
+    /// index arithmetic performs. Under sanitize, the claimed `(row, col)`
+    /// is checked against the PTX layout's assignment for `(lane, reg)`
+    /// and a mismatch is reported with both positions ([`Violation::LaneOwnership`]).
+    ///
+    /// The store always lands in `(lane, reg)` — exactly like hardware,
+    /// where a thread can only write its own register, so a wrong index
+    /// silently corrupts the tile unless the sanitizer is watching.
+    ///
+    /// [`Violation::LaneOwnership`]: crate::sanitize::Violation::LaneOwnership
+    #[inline]
+    pub fn store_rc(&mut self, lane: usize, reg: usize, row: usize, col: usize, value: f32) {
+        if self.shadow.is_some() {
+            check_lane_claim(self.layout, lane, reg, (row, col));
+        }
+        self.set(lane, reg, value);
+    }
+
+    /// Read tile element `(row, col)` from the thread owning `(lane, reg)`
+    /// — the checked dual of [`Self::store_rc`]. Under sanitize, reports a
+    /// wrong ownership claim and a read of a never-written slot.
+    #[inline]
+    pub fn read_rc(&self, lane: usize, reg: usize, row: usize, col: usize) -> f32 {
+        if let Some(shadow) = &self.shadow {
+            check_lane_claim(self.layout, lane, reg, (row, col));
+            if shadow.is_uninit(lane * self.layout.regs_per_lane() + reg) {
+                record(Violation::UninitFragmentRead { kind: self.layout.kind(), lane, reg });
+            }
+        }
+        self.get(lane, reg)
     }
 
     /// Gather the fragment into a dense row-major tile.
@@ -163,7 +240,8 @@ impl Fragment {
         tile
     }
 
-    /// Scatter a dense row-major tile into the fragment.
+    /// Scatter a dense row-major tile into the fragment. Every slot is
+    /// written, so the whole fragment counts as initialized.
     pub fn load_tile(&mut self, tile: &[f32]) {
         let (rows, cols) = self.layout.dims();
         assert_eq!(tile.len(), rows * cols, "tile must match operand dims");
@@ -173,6 +251,21 @@ impl Fragment {
                 self.set(lane, reg, tile[r * cols + c]);
             }
         }
+        if let Some(shadow) = &mut self.shadow {
+            shadow.mark_all_written();
+        }
+    }
+
+    /// Sanitizer shadow, if this fragment carries one.
+    #[inline]
+    pub(crate) fn shadow(&self) -> Option<&FragShadow> {
+        self.shadow.as_deref()
+    }
+
+    /// Mutable sanitizer shadow.
+    #[inline]
+    pub(crate) fn shadow_mut(&mut self) -> Option<&mut FragShadow> {
+        self.shadow.as_deref_mut()
     }
 
     /// Build a fragment directly from a tile.

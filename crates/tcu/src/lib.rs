@@ -17,6 +17,10 @@
 //!   paper optimizes.
 //! * [`counters`] — MMA / transaction / byte counters accumulated by every
 //!   simulated kernel.
+//! * [`sanitize`] — a compute-sanitizer analogue: fragment shadow state
+//!   (uninitialized lanes, lane-ownership, accumulator aliasing) and
+//!   shadow memory (bounds, init bitmaps, warp write conflicts), all free
+//!   when switched off.
 //! * [`gpu`] — spec sheets for the paper's two evaluation GPUs (H100 PCIe,
 //!   RTX 4090).
 //! * [`cost`] — a roofline cost model translating counters into simulated
@@ -29,13 +33,16 @@ pub mod fragment;
 pub mod gpu;
 pub mod memory;
 pub mod mma;
+pub mod sanitize;
 pub mod shape;
 
 pub use counters::{KernelCounters, TrafficClass};
 pub use fragment::{FragKind, Fragment, FragmentLayout};
 pub use gpu::GpuSpec;
 pub use memory::TransactionCounter;
-pub use mma::{mma_execute, mma_execute_accum, AccumMode, wmma_execute_tf32};
+pub use mma::{mma_execute, mma_execute_accum, wmma_execute_tf32, AccumMode};
+pub use sanitize::shadow::ShadowRegion;
+pub use sanitize::{SanitizeMode, SanitizeScope};
 pub use shape::{MmaShape, Precision};
 
 /// Number of threads in a warp, fixed by the CUDA execution model.

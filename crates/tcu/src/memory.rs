@@ -10,6 +10,7 @@
 //! 16-vs-8-transaction comparison and the Figure 15 ablation.
 
 use crate::counters::{KernelCounters, TrafficClass};
+use crate::sanitize::shadow::ShadowRegion;
 
 /// Sector (minimum transaction) size in bytes on NVIDIA GPUs.
 pub const SECTOR_BYTES: u64 = 32;
@@ -96,6 +97,26 @@ impl TransactionCounter {
         self.warp_load(iter, counters)
     }
 
+    /// [`TransactionCounter::warp_load_as`] with an optional sanitizer
+    /// hook: when `shadow` carries a [`ShadowRegion`] and the issuing warp
+    /// id, the accesses are first checked for bounds and initialization
+    /// (see [`crate::sanitize::shadow`]). With `shadow == None` — the
+    /// sanitize-off path — this is one branch on top of `warp_load_as`.
+    #[inline]
+    pub fn warp_load_shadowed(
+        &mut self,
+        class: TrafficClass,
+        shadow: Option<(&ShadowRegion, u32)>,
+        accesses: impl IntoIterator<Item = (u64, u32), IntoIter: Clone>,
+        counters: &mut KernelCounters,
+    ) -> u64 {
+        let iter = accesses.into_iter();
+        if let Some((region, warp)) = shadow {
+            region.check_load(warp, iter.clone());
+        }
+        self.warp_load_as(class, iter, counters)
+    }
+
     /// Record a warp-wide **store**. Returns the number of 32-byte
     /// transactions; updates `counters`.
     pub fn warp_store(
@@ -110,6 +131,24 @@ impl TransactionCounter {
         counters.bytes_stored += tx * SECTOR_BYTES;
         counters.ideal_bytes_stored += ideal;
         tx
+    }
+
+    /// [`TransactionCounter::warp_store`] with the optional sanitizer hook
+    /// of [`TransactionCounter::warp_load_shadowed`]: checked stores mark
+    /// shadow bytes initialized and report write-write conflicts between
+    /// warps.
+    #[inline]
+    pub fn warp_store_shadowed(
+        &mut self,
+        shadow: Option<(&ShadowRegion, u32)>,
+        accesses: impl IntoIterator<Item = (u64, u32), IntoIter: Clone>,
+        counters: &mut KernelCounters,
+    ) -> u64 {
+        let iter = accesses.into_iter();
+        if let Some((region, warp)) = shadow {
+            region.check_store(warp, iter.clone());
+        }
+        self.warp_store(iter, counters)
     }
 }
 

@@ -4,6 +4,7 @@ use fs_precision::{f32_through_f16, f32_to_tf32};
 
 use crate::counters::KernelCounters;
 use crate::fragment::{FragKind, Fragment};
+use crate::sanitize::{record, sanitize_enabled, Violation};
 use crate::shape::{MmaShape, Precision};
 
 /// Round a value to the operand lattice of `precision` — what the tensor
@@ -67,6 +68,9 @@ pub fn mma_execute_accum(
             "f16 accumulation exists only for FP16 MMA shapes"
         );
     }
+    if sanitize_enabled() {
+        sanitize_operands(a, b, c, accum);
+    }
     let (m, n, k) = (shape.m, shape.n, shape.k);
     let a_tile = a.to_tile();
     let b_tile = b.to_tile();
@@ -106,7 +110,30 @@ pub fn mma_execute_accum(
     counters.mma_count += 1;
     counters.tcu_flops += shape.flops();
 
-    Fragment::from_tile(shape, FragKind::CD, &d_tile)
+    let mut d = Fragment::from_tile(shape, FragKind::CD, &d_tile);
+    if let Some(shadow) = d.shadow_mut() {
+        shadow.stamp_accum(accum);
+    }
+    d
+}
+
+/// Sanitize-on pre-checks of one MMA's operands: every consumed
+/// `(lane, reg)` must have been written, and a reused accumulator must
+/// keep its accumulation mode.
+#[cold]
+fn sanitize_operands(a: &Fragment, b: &Fragment, c: &Fragment, accum: AccumMode) {
+    for frag in [a, b, c] {
+        if let Some(shadow) = frag.shadow() {
+            if let Some((lane, reg)) = shadow.first_uninit(frag.regs_per_lane()) {
+                record(Violation::UninitFragmentRead { kind: frag.layout().kind(), lane, reg });
+            }
+        }
+    }
+    if let Some(prev) = c.shadow().and_then(|s| s.accum_mode()) {
+        if prev != accum {
+            record(Violation::AccumAliasing { previous: prev, requested: accum });
+        }
+    }
 }
 
 /// Execute a WMMA `m16n16k8` TF32 operation on whole tiles (the C++ WMMA
@@ -114,12 +141,7 @@ pub fn mma_execute_accum(
 ///
 /// `a` is 16×8 row-major, `b` is 8×16 row-major, `c` is 16×16 row-major
 /// (modified in place). Increments `counters` as one WMMA invocation.
-pub fn wmma_execute_tf32(
-    a: &[f32],
-    b: &[f32],
-    c: &mut [f32],
-    counters: &mut KernelCounters,
-) {
+pub fn wmma_execute_tf32(a: &[f32], b: &[f32], c: &mut [f32], counters: &mut KernelCounters) {
     const M: usize = 16;
     const N: usize = 16;
     const K: usize = 8;
@@ -280,7 +302,8 @@ mod tests {
     fn swap_and_transpose_identity() {
         let shape = MmaShape::M16N8K8_F16;
         // A_orig: 8×8 sparse-ish block; B_orig: 8×16 dense block.
-        let a_orig: Vec<f32> = (0..64).map(|i| if i % 3 == 0 { (i % 7) as f32 } else { 0.0 }).collect();
+        let a_orig: Vec<f32> =
+            (0..64).map(|i| if i % 3 == 0 { (i % 7) as f32 } else { 0.0 }).collect();
         let b_orig: Vec<f32> = (0..128).map(|i| ((i % 9) as f32 - 4.0) * 0.5).collect();
         // Direct product C = A_orig(8×8) × B_orig(8×16).
         let mut c_direct = vec![0.0f32; 8 * 16];

@@ -1,0 +1,77 @@
+//! Shadow state for [`crate::Fragment`]: which `(lane, reg)` slots have
+//! been written, and which accumulation mode last produced the fragment.
+//!
+//! Allocated only while sanitizing (a fragment created with the mode off
+//! carries no shadow, so the off-path cost is one `Option` branch).
+
+use crate::fragment::FragmentLayout;
+use crate::mma::AccumMode;
+use crate::WARP_SIZE;
+
+use super::{record, Violation};
+
+/// Per-fragment shadow: one init flag per `(lane, reg)` slot plus the
+/// accumulator-mode stamp.
+#[derive(Clone, Debug)]
+pub struct FragShadow {
+    init: Vec<bool>,
+    accum: Option<AccumMode>,
+}
+
+impl FragShadow {
+    /// A shadow for `layout` with every slot marked per `initialized`.
+    pub(crate) fn new(layout: FragmentLayout, initialized: bool) -> Box<FragShadow> {
+        Box::new(FragShadow {
+            init: vec![initialized; WARP_SIZE * layout.regs_per_lane()],
+            accum: None,
+        })
+    }
+
+    #[inline]
+    pub(crate) fn mark_written(&mut self, slot: usize) {
+        self.init[slot] = true;
+    }
+
+    pub(crate) fn mark_all_written(&mut self) {
+        self.init.iter_mut().for_each(|b| *b = true);
+    }
+
+    #[inline]
+    pub(crate) fn is_uninit(&self, slot: usize) -> bool {
+        !self.init[slot]
+    }
+
+    /// The first never-written `(lane, reg)`, if any.
+    pub(crate) fn first_uninit(&self, regs_per_lane: usize) -> Option<(usize, usize)> {
+        self.init.iter().position(|&b| !b).map(|slot| (slot / regs_per_lane, slot % regs_per_lane))
+    }
+
+    #[inline]
+    pub(crate) fn accum_mode(&self) -> Option<AccumMode> {
+        self.accum
+    }
+
+    pub(crate) fn stamp_accum(&mut self, mode: AccumMode) {
+        self.accum = Some(mode);
+    }
+}
+
+/// Check a thread's claim that `(lane, reg)` of a fragment with `layout`
+/// carries tile element `(row, col)`; records a [`Violation::LaneOwnership`]
+/// with the layout's actual assignment when the claim is wrong.
+///
+/// Returns `true` when the claim matches the PTX layout.
+pub fn check_lane_claim(
+    layout: FragmentLayout,
+    lane: usize,
+    reg: usize,
+    claimed: (usize, usize),
+) -> bool {
+    let expected = layout.pos(lane, reg);
+    if expected == claimed {
+        true
+    } else {
+        record(Violation::LaneOwnership { kind: layout.kind(), lane, reg, claimed, expected });
+        false
+    }
+}

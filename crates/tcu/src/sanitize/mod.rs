@@ -1,0 +1,318 @@
+//! A compute-sanitizer analogue for the software TCU.
+//!
+//! Real CUDA development leans on `compute-sanitizer` (memcheck /
+//! initcheck / racecheck) to catch the bug classes the hardware silently
+//! tolerates. This module reproduces that safety net for the simulator:
+//!
+//! * **Fragment checks** ([`fragment`]) — shadow state per [`crate::Fragment`]
+//!   detecting reads of never-written lanes before an MMA, lane-ownership
+//!   violations (a thread storing to a `(row, col)` the PTX layout does not
+//!   map to its lane), and accumulator aliasing across [`crate::AccumMode`]s.
+//! * **Shadow memory** ([`shadow`]) — per-buffer init bitmaps and bounds
+//!   metadata behind the transaction counter, detecting out-of-bounds
+//!   sectors, uninitialized loads, and write-write conflicts between
+//!   concurrently simulated warps.
+//!
+//! Everything is gated on a process-wide [`SanitizeMode`]; with the mode
+//! `Off` (the default) every hook is a single inlined branch on a relaxed
+//! atomic load or a `None` shadow handle, so the fast path stays intact
+//! (verified by the `sanitize` Criterion A/B benchmark in `fs-bench`).
+//!
+//! Violations are recorded to a thread-local report (the simulator's Rayon
+//! shim executes windows on the calling thread, so a kernel's violations
+//! land on its caller's report). Kernel entry points fold the report delta
+//! into [`crate::KernelCounters::sanitizer_violations`], so violations
+//! surface in `fs-bench` output like any other counter.
+
+pub mod fragment;
+pub mod shadow;
+
+use std::cell::{Cell, RefCell};
+use std::fmt;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::LazyLock;
+
+use parking_lot::Mutex;
+
+use crate::fragment::FragKind;
+use crate::mma::AccumMode;
+
+/// How the sanitizer responds to instrumented operations.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SanitizeMode {
+    /// No checking: shadows are not allocated, hooks early-return.
+    #[default]
+    Off,
+    /// Check and record violations to the thread-local report.
+    Record,
+    /// Check and panic on the first violation (useful under `proptest`).
+    Panic,
+}
+
+static MODE: AtomicU8 = AtomicU8::new(0);
+
+/// The current process-wide sanitize mode.
+pub fn sanitize_mode() -> SanitizeMode {
+    match MODE.load(Ordering::Relaxed) {
+        1 => SanitizeMode::Record,
+        2 => SanitizeMode::Panic,
+        _ => SanitizeMode::Off,
+    }
+}
+
+/// Set the process-wide sanitize mode. Prefer [`SanitizeScope`] in tests —
+/// it serializes against other sanitizing tests and restores the previous
+/// mode on drop.
+pub fn set_sanitize_mode(mode: SanitizeMode) {
+    let v = match mode {
+        SanitizeMode::Off => 0,
+        SanitizeMode::Record => 1,
+        SanitizeMode::Panic => 2,
+    };
+    MODE.store(v, Ordering::Relaxed);
+}
+
+/// Whether any checking is active. The single branch every off-path hook
+/// pays.
+#[inline]
+pub fn sanitize_enabled() -> bool {
+    MODE.load(Ordering::Relaxed) != 0
+}
+
+/// Whether a memory access stumbled on a load or a store.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessOp {
+    Load,
+    Store,
+}
+
+impl fmt::Display for AccessOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AccessOp::Load => "load",
+            AccessOp::Store => "store",
+        })
+    }
+}
+
+/// One detected violation, with enough context to locate the bug.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Violation {
+    /// An MMA consumed a fragment with a lane/register that was never
+    /// written.
+    UninitFragmentRead { kind: FragKind, lane: usize, reg: usize },
+    /// A thread claimed a `(row, col)` for a register that the PTX layout
+    /// assigns elsewhere.
+    LaneOwnership {
+        kind: FragKind,
+        lane: usize,
+        reg: usize,
+        /// The `(row, col)` the thread claimed to be handling.
+        claimed: (usize, usize),
+        /// The `(row, col)` the PTX layout actually assigns to this
+        /// `(lane, reg)`.
+        expected: (usize, usize),
+    },
+    /// The same accumulator fragment was fed through MMAs with different
+    /// accumulation modes.
+    AccumAliasing { previous: AccumMode, requested: AccumMode },
+    /// An access fell outside its buffer.
+    OutOfBounds { buffer: &'static str, op: AccessOp, addr: u64, size: u32, len: u64 },
+    /// A load touched bytes no store (and no host prefill) ever wrote.
+    UninitLoad { buffer: &'static str, addr: u64, warp: u32 },
+    /// Two different simulated warps stored to the same byte within one
+    /// epoch (no ordering between them → a data race on hardware).
+    WriteConflict { buffer: &'static str, addr: u64, epoch: u64, first_warp: u32, second_warp: u32 },
+    /// A sparse-format invariant failed (reported by the layer that owns
+    /// the format types; carried here as text).
+    Format { detail: String },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::UninitFragmentRead { kind, lane, reg } => write!(
+                f,
+                "uninitialized fragment read: {kind:?} operand consumed with lane {lane} \
+                 register {reg} never written"
+            ),
+            Violation::LaneOwnership { kind, lane, reg, claimed, expected } => write!(
+                f,
+                "lane-ownership violation: lane {lane} register {reg} of the {kind:?} operand \
+                 holds ({}, {}) per the PTX layout, but the thread addressed ({}, {})",
+                expected.0, expected.1, claimed.0, claimed.1
+            ),
+            Violation::AccumAliasing { previous, requested } => write!(
+                f,
+                "accumulator aliasing: fragment previously accumulated with {previous:?} \
+                 reused with {requested:?}"
+            ),
+            Violation::OutOfBounds { buffer, op, addr, size, len } => write!(
+                f,
+                "out-of-bounds {op}: [{addr}, {}) exceeds buffer `{buffer}` of {len} bytes",
+                addr + u64::from(*size)
+            ),
+            Violation::UninitLoad { buffer, addr, warp } => write!(
+                f,
+                "uninitialized load: warp {warp} read byte {addr} of `{buffer}` before any store"
+            ),
+            Violation::WriteConflict { buffer, addr, epoch, first_warp, second_warp } => write!(
+                f,
+                "write-write conflict: warps {first_warp} and {second_warp} both stored byte \
+                 {addr} of `{buffer}` in epoch {epoch}"
+            ),
+            Violation::Format { detail } => write!(f, "format invariant violated: {detail}"),
+        }
+    }
+}
+
+thread_local! {
+    static REPORT: RefCell<Vec<Violation>> = const { RefCell::new(Vec::new()) };
+    static RECORDED: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Record one violation according to the current mode. No-op when `Off`.
+#[cold]
+pub fn record(v: Violation) {
+    match sanitize_mode() {
+        SanitizeMode::Off => {}
+        SanitizeMode::Record => {
+            RECORDED.with(|c| c.set(c.get() + 1));
+            REPORT.with(|r| r.borrow_mut().push(v));
+        }
+        SanitizeMode::Panic => {
+            RECORDED.with(|c| c.set(c.get() + 1));
+            panic!("sanitizer violation: {v}");
+        }
+    }
+}
+
+/// Monotone count of violations recorded on this thread. Kernel entry
+/// points snapshot it before/after a launch and attribute the delta to
+/// [`crate::KernelCounters::sanitizer_violations`].
+pub fn recorded_count() -> u64 {
+    RECORDED.with(Cell::get)
+}
+
+/// Drain this thread's violation report.
+pub fn take_reports() -> Vec<Violation> {
+    REPORT.with(|r| std::mem::take(&mut *r.borrow_mut()))
+}
+
+static SCOPE_LOCK: LazyLock<Mutex<()>> = LazyLock::new(|| Mutex::new(()));
+
+/// RAII sanitize activation for tests: serializes against other scopes
+/// (the mode is process-wide), clears the thread report on entry, and
+/// restores the previous mode (and drains leftovers) on drop.
+pub struct SanitizeScope {
+    prev: SanitizeMode,
+    _lock: parking_lot::MutexGuard<'static, ()>,
+}
+
+impl SanitizeScope {
+    /// Enter [`SanitizeMode::Record`].
+    pub fn record() -> Self {
+        Self::with_mode(SanitizeMode::Record)
+    }
+
+    /// Enter [`SanitizeMode::Panic`].
+    pub fn panicking() -> Self {
+        Self::with_mode(SanitizeMode::Panic)
+    }
+
+    /// Force [`SanitizeMode::Off`] — for tests asserting the silent
+    /// off-path while still serializing against sanitizing tests.
+    pub fn off() -> Self {
+        Self::with_mode(SanitizeMode::Off)
+    }
+
+    fn with_mode(mode: SanitizeMode) -> Self {
+        let lock = SCOPE_LOCK.lock();
+        let prev = sanitize_mode();
+        let _ = take_reports();
+        set_sanitize_mode(mode);
+        SanitizeScope { prev, _lock: lock }
+    }
+}
+
+impl Drop for SanitizeScope {
+    fn drop(&mut self) {
+        set_sanitize_mode(self.prev);
+        let _ = take_reports();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_roundtrip_and_scope_restores() {
+        let _scope = SanitizeScope::record();
+        assert_eq!(sanitize_mode(), SanitizeMode::Record);
+        assert!(sanitize_enabled());
+        {
+            // Nested manual set; the scope restores on drop regardless.
+            set_sanitize_mode(SanitizeMode::Panic);
+            assert_eq!(sanitize_mode(), SanitizeMode::Panic);
+            set_sanitize_mode(SanitizeMode::Record);
+        }
+        drop(_scope);
+        assert_eq!(sanitize_mode(), SanitizeMode::Off);
+        assert!(!sanitize_enabled());
+    }
+
+    #[test]
+    fn record_mode_accumulates_reports() {
+        let _scope = SanitizeScope::record();
+        let before = recorded_count();
+        record(Violation::Format { detail: "test".into() });
+        record(Violation::AccumAliasing { previous: AccumMode::F32, requested: AccumMode::F16 });
+        assert_eq!(recorded_count() - before, 2);
+        let reports = take_reports();
+        assert_eq!(reports.len(), 2);
+        assert!(reports[0].to_string().contains("format invariant"));
+        assert!(reports[1].to_string().contains("accumulator aliasing"));
+    }
+
+    #[test]
+    fn off_mode_drops_reports() {
+        let _scope = SanitizeScope::record();
+        set_sanitize_mode(SanitizeMode::Off);
+        let before = recorded_count();
+        record(Violation::Format { detail: "dropped".into() });
+        assert_eq!(recorded_count(), before);
+        assert!(take_reports().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "sanitizer violation: uninitialized load")]
+    fn panic_mode_panics_with_diagnostic() {
+        let _scope = SanitizeScope::panicking();
+        record(Violation::UninitLoad { buffer: "test-buffer", addr: 42, warp: 3 });
+    }
+
+    #[test]
+    fn display_has_full_diagnostics() {
+        let v = Violation::LaneOwnership {
+            kind: FragKind::B,
+            lane: 5,
+            reg: 1,
+            claimed: (4, 1),
+            expected: (3, 1),
+        };
+        let s = v.to_string();
+        assert!(s.contains("lane 5"), "{s}");
+        assert!(s.contains("register 1"), "{s}");
+        assert!(s.contains("(3, 1)"), "{s}");
+        assert!(s.contains("(4, 1)"), "{s}");
+        let v = Violation::OutOfBounds {
+            buffer: "values",
+            op: AccessOp::Load,
+            addr: 100,
+            size: 4,
+            len: 96,
+        };
+        assert!(v.to_string().contains("[100, 104)"), "{v}");
+    }
+}

@@ -1,0 +1,279 @@
+//! Shadow memory: per-buffer init bitmaps, bounds metadata, and a
+//! per-byte write log for race detection between simulated warps.
+//!
+//! The transaction model addresses every array from byte 0 of its own
+//! synthetic address space, so shadow state is kept **per buffer** (one
+//! [`ShadowRegion`] per logical array of a kernel launch) rather than in a
+//! single flat heap.
+//!
+//! A region's write log is scoped to an *epoch*: all warps of one kernel
+//! launch are logically concurrent, so two distinct warps storing the same
+//! byte within an epoch is a write-write conflict (on hardware, a data
+//! race with an undefined winner). [`ShadowRegion::advance_epoch`] starts
+//! the next launch over the same buffer.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use super::{record, AccessOp, Violation};
+
+/// Violation reports per region are capped so one systematic bug doesn't
+/// flood the report with thousands of identical entries.
+const REPORT_CAP: u32 = 16;
+
+/// Shadow state for one logical buffer of a kernel launch.
+#[derive(Debug)]
+pub struct ShadowRegion {
+    name: &'static str,
+    len: u64,
+    state: Mutex<RegionState>,
+}
+
+#[derive(Debug)]
+struct RegionState {
+    /// One bit per byte: has the byte ever been written (or prefilled)?
+    init: Vec<u64>,
+    /// Byte address → warp that last stored it, within the current epoch.
+    writers: HashMap<u64, u32>,
+    epoch: u64,
+    reported: u32,
+}
+
+impl RegionState {
+    #[inline]
+    fn is_init(&self, byte: u64) -> bool {
+        let word = (byte / 64) as usize;
+        self.init.get(word).is_some_and(|w| w >> (byte % 64) & 1 == 1)
+    }
+
+    #[inline]
+    fn set_init(&mut self, byte: u64) {
+        let word = (byte / 64) as usize;
+        if let Some(w) = self.init.get_mut(word) {
+            *w |= 1 << (byte % 64);
+        }
+    }
+
+    fn report(&mut self, v: Violation) {
+        if self.reported < REPORT_CAP {
+            self.reported += 1;
+            record(v);
+        }
+    }
+}
+
+impl ShadowRegion {
+    /// A region of `len_bytes` with every byte *uninitialized* (a fresh
+    /// device allocation, e.g. a kernel's output buffer).
+    pub fn new(name: &'static str, len_bytes: u64) -> Self {
+        Self::with_fill(name, len_bytes, false)
+    }
+
+    /// A region of `len_bytes` with every byte already initialized (a
+    /// buffer the host filled before launch, e.g. the input arrays).
+    pub fn prefilled(name: &'static str, len_bytes: u64) -> Self {
+        Self::with_fill(name, len_bytes, true)
+    }
+
+    fn with_fill(name: &'static str, len_bytes: u64, filled: bool) -> Self {
+        let words = (len_bytes).div_ceil(64) as usize;
+        ShadowRegion {
+            name,
+            len: len_bytes,
+            state: Mutex::new(RegionState {
+                init: vec![if filled { u64::MAX } else { 0 }; words],
+                writers: HashMap::new(),
+                epoch: 0,
+                reported: 0,
+            }),
+        }
+    }
+
+    /// Buffer name used in diagnostics.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Buffer length in bytes.
+    pub fn len_bytes(&self) -> u64 {
+        self.len
+    }
+
+    /// Begin the next kernel launch over this buffer: clears the write
+    /// log (stores from different epochs are ordered by the launch
+    /// boundary, so they never conflict) and re-arms the report cap.
+    pub fn advance_epoch(&self) {
+        let mut st = self.state.lock();
+        st.writers.clear();
+        st.epoch += 1;
+        st.reported = 0;
+    }
+
+    /// Check one warp-wide load: bounds and byte-level initialization.
+    pub fn check_load(&self, warp: u32, accesses: impl IntoIterator<Item = (u64, u32)>) {
+        let mut st = self.state.lock();
+        for (addr, size) in accesses {
+            if size == 0 {
+                continue;
+            }
+            if addr + u64::from(size) > self.len {
+                st.report(Violation::OutOfBounds {
+                    buffer: self.name,
+                    op: AccessOp::Load,
+                    addr,
+                    size,
+                    len: self.len,
+                });
+                continue;
+            }
+            if let Some(byte) = (addr..addr + u64::from(size)).find(|&b| !st.is_init(b)) {
+                st.report(Violation::UninitLoad { buffer: self.name, addr: byte, warp });
+            }
+        }
+    }
+
+    /// Check one warp-wide store: bounds, then mark bytes initialized and
+    /// log the writer, reporting write-write conflicts with other warps in
+    /// the current epoch.
+    pub fn check_store(&self, warp: u32, accesses: impl IntoIterator<Item = (u64, u32)>) {
+        let mut st = self.state.lock();
+        let epoch = st.epoch;
+        for (addr, size) in accesses {
+            if size == 0 {
+                continue;
+            }
+            if addr + u64::from(size) > self.len {
+                st.report(Violation::OutOfBounds {
+                    buffer: self.name,
+                    op: AccessOp::Store,
+                    addr,
+                    size,
+                    len: self.len,
+                });
+                continue;
+            }
+            for byte in addr..addr + u64::from(size) {
+                st.set_init(byte);
+                match st.writers.insert(byte, warp) {
+                    Some(prev) if prev != warp => {
+                        st.report(Violation::WriteConflict {
+                            buffer: self.name,
+                            addr: byte,
+                            epoch,
+                            first_warp: prev,
+                            second_warp: warp,
+                        });
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sanitize::{take_reports, SanitizeScope};
+
+    #[test]
+    fn clean_store_then_load_reports_nothing() {
+        let _scope = SanitizeScope::record();
+        let region = ShadowRegion::new("buf", 128);
+        region.check_store(0, [(0u64, 64u32)]);
+        region.check_load(1, [(0u64, 64u32)]);
+        assert!(take_reports().is_empty());
+    }
+
+    #[test]
+    fn uninitialized_load_detected() {
+        let _scope = SanitizeScope::record();
+        let region = ShadowRegion::new("out", 128);
+        region.check_store(0, [(0u64, 8u32)]);
+        region.check_load(0, [(4u64, 8u32)]); // bytes 8..12 never stored
+        let reports = take_reports();
+        assert_eq!(reports.len(), 1);
+        assert!(
+            matches!(&reports[0], Violation::UninitLoad { buffer: "out", addr: 8, .. }),
+            "{reports:?}"
+        );
+    }
+
+    #[test]
+    fn prefilled_region_loads_clean() {
+        let _scope = SanitizeScope::record();
+        let region = ShadowRegion::prefilled("input", 96);
+        region.check_load(0, [(0u64, 96u32)]);
+        assert!(take_reports().is_empty());
+    }
+
+    #[test]
+    fn out_of_bounds_load_and_store_detected() {
+        let _scope = SanitizeScope::record();
+        let region = ShadowRegion::prefilled("vals", 100);
+        region.check_load(0, [(98u64, 4u32)]);
+        region.check_store(0, [(100u64, 2u32)]);
+        let reports = take_reports();
+        assert_eq!(reports.len(), 2);
+        assert!(matches!(
+            reports[0],
+            Violation::OutOfBounds { op: AccessOp::Load, addr: 98, size: 4, len: 100, .. }
+        ));
+        assert!(matches!(
+            reports[1],
+            Violation::OutOfBounds { op: AccessOp::Store, addr: 100, .. }
+        ));
+    }
+
+    #[test]
+    fn write_write_conflict_between_warps() {
+        let _scope = SanitizeScope::record();
+        let region = ShadowRegion::new("c", 64);
+        region.check_store(0, [(0u64, 4u32)]);
+        region.check_store(7, [(2u64, 4u32)]); // bytes 2,3 overlap warp 0's store
+        let reports = take_reports();
+        assert!(!reports.is_empty());
+        assert!(
+            matches!(
+                reports[0],
+                Violation::WriteConflict { addr: 2, first_warp: 0, second_warp: 7, .. }
+            ),
+            "{reports:?}"
+        );
+    }
+
+    #[test]
+    fn same_warp_rewrites_freely_and_epochs_reset_conflicts() {
+        let _scope = SanitizeScope::record();
+        let region = ShadowRegion::new("c", 64);
+        region.check_store(3, [(0u64, 8u32)]);
+        region.check_store(3, [(0u64, 8u32)]); // same warp: no conflict
+        assert!(take_reports().is_empty());
+        region.advance_epoch();
+        region.check_store(4, [(0u64, 8u32)]); // new epoch: no conflict either
+        assert!(take_reports().is_empty());
+        region.check_store(5, [(0u64, 1u32)]); // same epoch as warp 4: conflict
+        assert_eq!(take_reports().len(), 1);
+    }
+
+    #[test]
+    fn report_cap_bounds_the_flood() {
+        let _scope = SanitizeScope::record();
+        let region = ShadowRegion::new("flood", 8);
+        for i in 0..100u64 {
+            region.check_load(0, [(i % 8, 1u32)]); // all uninitialized
+        }
+        let reports = take_reports();
+        assert_eq!(reports.len(), REPORT_CAP as usize);
+    }
+
+    #[test]
+    fn zero_sized_accesses_ignored() {
+        let _scope = SanitizeScope::record();
+        let region = ShadowRegion::new("z", 8);
+        region.check_load(0, [(1000u64, 0u32)]);
+        region.check_store(0, [(1000u64, 0u32)]);
+        assert!(take_reports().is_empty());
+    }
+}

@@ -45,20 +45,16 @@ pub struct MmaShape {
 impl MmaShape {
     /// `mma.sync.aligned.m16n8k8.row.col.f32.f16.f16.f32` — the FP16 shape
     /// used by FlashSparse and DTC-SpMM.
-    pub const M16N8K8_F16: MmaShape =
-        MmaShape { m: 16, n: 8, k: 8, precision: Precision::Fp16 };
+    pub const M16N8K8_F16: MmaShape = MmaShape { m: 16, n: 8, k: 8, precision: Precision::Fp16 };
 
     /// `mma.sync.aligned.m16n8k16...f16` — the larger FP16 shape.
-    pub const M16N8K16_F16: MmaShape =
-        MmaShape { m: 16, n: 8, k: 16, precision: Precision::Fp16 };
+    pub const M16N8K16_F16: MmaShape = MmaShape { m: 16, n: 8, k: 16, precision: Precision::Fp16 };
 
     /// `mma.sync.aligned.m16n8k4...tf32` — the TF32 shape FlashSparse uses.
-    pub const M16N8K4_TF32: MmaShape =
-        MmaShape { m: 16, n: 8, k: 4, precision: Precision::Tf32 };
+    pub const M16N8K4_TF32: MmaShape = MmaShape { m: 16, n: 8, k: 4, precision: Precision::Tf32 };
 
     /// `mma.sync.aligned.m16n8k8...tf32` — the TF32 shape DTC-SpMM uses.
-    pub const M16N8K8_TF32: MmaShape =
-        MmaShape { m: 16, n: 8, k: 8, precision: Precision::Tf32 };
+    pub const M16N8K8_TF32: MmaShape = MmaShape { m: 16, n: 8, k: 8, precision: Precision::Tf32 };
 
     /// WMMA `m16n16k8` TF32 — the C++-API shape TC-GNN uses.
     pub const M16N16K8_WMMA_TF32: MmaShape =

@@ -10,12 +10,8 @@ use fs_tcu::{
 };
 use proptest::prelude::*;
 
-const SHAPES: [MmaShape; 4] = [
-    MmaShape::M16N8K8_F16,
-    MmaShape::M16N8K16_F16,
-    MmaShape::M16N8K4_TF32,
-    MmaShape::M16N8K8_TF32,
-];
+const SHAPES: [MmaShape; 4] =
+    [MmaShape::M16N8K8_F16, MmaShape::M16N8K16_F16, MmaShape::M16N8K4_TF32, MmaShape::M16N8K8_TF32];
 
 fn shape_strategy() -> impl Strategy<Value = MmaShape> {
     prop::sample::select(SHAPES.to_vec())

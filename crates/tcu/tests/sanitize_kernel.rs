@@ -1,0 +1,156 @@
+//! Acceptance tests for the fragment sanitizer: a deliberately broken
+//! swap-and-transpose kernel whose index arithmetic is off by one in a
+//! single lane. With sanitize on, the bug is reported with the lane, the
+//! register, and the `(row, col)` the PTX layout expected; with sanitize
+//! off the same kernel runs silently.
+
+use fs_tcu::mma::mma_execute_accum;
+use fs_tcu::sanitize::{recorded_count, take_reports, Violation};
+use fs_tcu::{
+    mma_execute, AccumMode, FragKind, Fragment, KernelCounters, MmaShape, SanitizeScope, WARP_SIZE,
+};
+
+const SHAPE: MmaShape = MmaShape::M16N8K8_F16;
+
+/// A miniature swap-and-transpose operand load: every lane stores the
+/// B-operand (the transposed sparse block, k×8) elements its registers
+/// carry, recomputing the PTX mapping (`row = t·2 + reg`, `col = g`) by
+/// hand — the arithmetic a real kernel performs. `broken_lane` injects
+/// the classic bug: that lane's row index is off by one.
+fn load_b_operand(at_tile: &[f32], broken_lane: Option<usize>) -> Fragment {
+    let mut frag = Fragment::uninit(SHAPE, FragKind::B);
+    let (rows, cols) = frag.layout().dims(); // 8×8
+    for lane in 0..WARP_SIZE {
+        for reg in 0..frag.regs_per_lane() {
+            let g = lane >> 2;
+            let t = lane & 3;
+            let mut row = t * 2 + reg;
+            let col = g;
+            if Some(lane) == broken_lane {
+                row = (row + 1) % rows;
+            }
+            frag.store_rc(lane, reg, row, col, at_tile[row * cols + col]);
+        }
+    }
+    frag
+}
+
+fn run_kernel(broken_lane: Option<usize>) -> Fragment {
+    let at_tile: Vec<f32> = (0..64).map(|i| (i % 9) as f32 - 4.0).collect();
+    let bt_tile: Vec<f32> = (0..128).map(|i| ((i % 5) as f32) * 0.5).collect();
+    let a = Fragment::from_tile(SHAPE, FragKind::A, &bt_tile);
+    let b = load_b_operand(&at_tile, broken_lane);
+    let c = Fragment::zeros(SHAPE, FragKind::CD);
+    let mut counters = KernelCounters::default();
+    mma_execute(SHAPE, &a, &b, &c, &mut counters)
+}
+
+#[test]
+fn broken_lane_caught_with_full_diagnostic() {
+    let _scope = SanitizeScope::record();
+    run_kernel(Some(5));
+    let reports = take_reports();
+    // Lane 5 (g=1, t=1) holds registers (2,1) and (3,1); the off-by-one
+    // shifts both claims down a row.
+    assert_eq!(reports.len(), 2, "{reports:?}");
+    assert_eq!(
+        reports[0],
+        Violation::LaneOwnership {
+            kind: FragKind::B,
+            lane: 5,
+            reg: 0,
+            claimed: (3, 1),
+            expected: (2, 1),
+        }
+    );
+    assert_eq!(
+        reports[1],
+        Violation::LaneOwnership {
+            kind: FragKind::B,
+            lane: 5,
+            reg: 1,
+            claimed: (4, 1),
+            expected: (3, 1),
+        }
+    );
+    // The diagnostic names the lane, the register, and the expected
+    // position — enough to locate the index bug without a debugger.
+    let msg = reports[0].to_string();
+    assert!(msg.contains("lane 5"), "{msg}");
+    assert!(msg.contains("register 0"), "{msg}");
+    assert!(msg.contains("(2, 1)"), "{msg}");
+    assert!(msg.contains("(3, 1)"), "{msg}");
+}
+
+#[test]
+fn correct_kernel_is_clean_under_sanitize() {
+    let _scope = SanitizeScope::record();
+    let before = recorded_count();
+    run_kernel(None);
+    assert_eq!(recorded_count(), before);
+    assert!(take_reports().is_empty());
+}
+
+#[test]
+fn broken_lane_runs_silently_with_sanitize_off() {
+    let _scope = SanitizeScope::off();
+    let before = recorded_count();
+    run_kernel(Some(5));
+    assert_eq!(recorded_count(), before, "off-path must not record");
+    assert!(take_reports().is_empty());
+}
+
+#[test]
+fn partially_written_operand_reported_before_mma() {
+    let _scope = SanitizeScope::record();
+    let a = Fragment::from_tile(SHAPE, FragKind::A, &vec![1.0; 128]);
+    let mut b = Fragment::uninit(SHAPE, FragKind::B);
+    // Only lane 0 writes its registers; 31 lanes never do.
+    b.set(0, 0, 1.0);
+    b.set(0, 1, 2.0);
+    let c = Fragment::zeros(SHAPE, FragKind::CD);
+    let mut counters = KernelCounters::default();
+    mma_execute(SHAPE, &a, &b, &c, &mut counters);
+    let reports = take_reports();
+    assert_eq!(reports.len(), 1, "{reports:?}");
+    assert_eq!(reports[0], Violation::UninitFragmentRead { kind: FragKind::B, lane: 1, reg: 0 });
+}
+
+#[test]
+fn accumulator_mode_aliasing_reported() {
+    let _scope = SanitizeScope::record();
+    let a = Fragment::from_tile(SHAPE, FragKind::A, &vec![0.5; 128]);
+    let b = Fragment::from_tile(SHAPE, FragKind::B, &vec![0.25; 64]);
+    let c = Fragment::zeros(SHAPE, FragKind::CD);
+    let mut counters = KernelCounters::default();
+    let d = mma_execute_accum(SHAPE, &a, &b, &c, AccumMode::F32, &mut counters);
+    assert!(take_reports().is_empty(), "first accumulation is clean");
+    // Feeding the f32-accumulated fragment back through an f16 MMA mixes
+    // accumulation lattices — the aliasing the sanitizer flags.
+    mma_execute_accum(SHAPE, &a, &b, &d, AccumMode::F16, &mut counters);
+    let reports = take_reports();
+    assert_eq!(
+        reports,
+        vec![Violation::AccumAliasing { previous: AccumMode::F32, requested: AccumMode::F16 }]
+    );
+}
+
+#[test]
+fn chained_accumulation_same_mode_is_clean() {
+    let _scope = SanitizeScope::record();
+    let a = Fragment::from_tile(SHAPE, FragKind::A, &vec![0.5; 128]);
+    let b = Fragment::from_tile(SHAPE, FragKind::B, &vec![0.25; 64]);
+    let mut c = Fragment::zeros(SHAPE, FragKind::CD);
+    let mut counters = KernelCounters::default();
+    for _ in 0..4 {
+        c = mma_execute(SHAPE, &a, &b, &c, &mut counters);
+    }
+    assert!(take_reports().is_empty());
+}
+
+#[test]
+#[should_panic(expected = "lane-ownership violation: lane 5")]
+fn panic_mode_aborts_on_first_violation() {
+    let _scope = SanitizeScope::panicking();
+    run_kernel(Some(5));
+}

@@ -1,0 +1,42 @@
+//! `cargo run -p xtask -- lint` — run the repo lint pass; see the library
+//! crate docs for the rules.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(),
+        Some(other) => {
+            eprintln!("unknown task `{other}`; available tasks: lint");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("usage: cargo run -p xtask -- lint");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn lint() -> ExitCode {
+    // CARGO_MANIFEST_DIR = <repo>/crates/xtask.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).ancestors().nth(2).expect("repo root"); // lint: allow-panic - compile-time path has two parents
+    let diags = match xtask::lint_tree(root) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("lint walk failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if diags.is_empty() {
+        println!("lint: clean ({} rules over the workspace)", 4);
+        ExitCode::SUCCESS
+    } else {
+        for d in &diags {
+            eprintln!("{d}");
+        }
+        eprintln!("lint: {} violation(s)", diags.len());
+        ExitCode::FAILURE
+    }
+}

@@ -15,8 +15,8 @@ use fs_tcu::GpuSpec;
 
 fn main() {
     // A social-network-like graph.
-    let adj = CsrMatrix::from_coo(&rmat::<F16>(9, 10, RmatConfig::GRAPH500, true, 7))
-        .with_unit_values();
+    let adj =
+        CsrMatrix::from_coo(&rmat::<F16>(9, 10, RmatConfig::GRAPH500, true, 7)).with_unit_values();
     let n = adj.rows();
     let d = 32;
     println!("graph: {} nodes, {} edges; feature dim {d}", n, adj.nnz());

@@ -6,8 +6,8 @@
 //! cargo run --release --example format_tradeoffs
 //! ```
 
-use fs_format::{vector_stats, MeBcrs, SrBcrs, TcFormatSpec};
 use fs_format::stats::spmm_mma_count;
+use fs_format::{vector_stats, MeBcrs, SrBcrs, TcFormatSpec};
 use fs_matrix::gen::{banded, block_sparse, random_uniform, rmat, RmatConfig};
 use fs_matrix::CsrMatrix;
 use fs_precision::F16;
@@ -23,10 +23,7 @@ fn main() {
             "stencil (banded)",
             CsrMatrix::from_coo(&banded::<F16>(1024, &[-32, -1, 0, 1, 32], 1.0, 3)),
         ),
-        (
-            "block sparse",
-            CsrMatrix::from_coo(&block_sparse::<F16>(1024, 1024, 8, 8, 0.03, 0.9, 4)),
-        ),
+        ("block sparse", CsrMatrix::from_coo(&block_sparse::<F16>(1024, 1024, 8, 8, 0.03, 0.9, 4))),
     ];
 
     println!(

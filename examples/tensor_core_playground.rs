@@ -8,8 +8,8 @@
 
 use fs_tcu::mma::AccumMode;
 use fs_tcu::{
-    mma_execute, mma_execute_accum, FragKind, Fragment, FragmentLayout, KernelCounters,
-    MmaShape, TransactionCounter,
+    mma_execute, mma_execute_accum, FragKind, Fragment, FragmentLayout, KernelCounters, MmaShape,
+    TransactionCounter,
 };
 
 fn main() {

@@ -33,12 +33,7 @@ fn gcn_all_backends_learn_the_sbm() {
         GnnBackend::FlashTf32,
     ] {
         let r = train_gcn(&ds, backend, GpuSpec::RTX4090, config);
-        assert!(
-            r.test_accuracy > 0.55,
-            "{}: {} (chance 0.25)",
-            backend.name(),
-            r.test_accuracy
-        );
+        assert!(r.test_accuracy > 0.55, "{}: {} (chance 0.25)", backend.name(), r.test_accuracy);
         accs.push((backend.name(), r.test_accuracy));
     }
     // All backends converge to comparable accuracy (Table 8's claim).
@@ -78,9 +73,8 @@ fn flashsparse_backends_are_faster_than_cuda_in_simulated_time() {
 fn sparse_ops_backends_numerically_consistent_in_training_context() {
     let ds = dataset(21);
     let adj = fs_gnn::ops::normalize_adjacency(&ds.adjacency);
-    let x = DenseMatrix::<f32>::from_fn(ds.features.rows(), 8, |r, c| {
-        ((r * 3 + c) % 9) as f32 * 0.1
-    });
+    let x =
+        DenseMatrix::<f32>::from_fn(ds.features.rows(), 8, |r, c| ((r * 3 + c) % 9) as f32 * 0.1);
     let gold = SparseOps::new(GnnBackend::CudaFp32, GpuSpec::RTX4090).spmm(&adj, &x);
     for backend in [GnnBackend::FlashFp16, GnnBackend::FlashTf32, GnnBackend::TcGnnTf32] {
         let out = SparseOps::new(backend, GpuSpec::RTX4090).spmm(&adj, &x);

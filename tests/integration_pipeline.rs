@@ -1,6 +1,7 @@
 //! Whole-pipeline invariants: counters, cost-model ordering, and the
 //! paper's headline qualitative claims at integration scope.
 
+use flashsparse::TcuPrecision;
 use flashsparse::{FlashSparseMatrix, ThreadMapping};
 use fs_baselines::cuda;
 use fs_baselines::tcu16::{dtc, SPEC16};
@@ -8,10 +9,9 @@ use fs_baselines::BaselineRun;
 use fs_format::{MeBcrs, SrBcrs, TcFormatSpec};
 use fs_matrix::gen::{rmat, RmatConfig};
 use fs_matrix::{CsrMatrix, DenseMatrix};
-use fs_precision::{F16, Tf32};
+use fs_precision::{Tf32, F16};
 use fs_tcu::cost::ComputeClass;
 use fs_tcu::GpuSpec;
-use flashsparse::TcuPrecision;
 
 fn graph() -> CsrMatrix<f32> {
     CsrMatrix::from_coo(&rmat::<f32>(9, 8, RmatConfig::GRAPH500, true, 77))
@@ -38,18 +38,8 @@ fn headline_speedups_hold() {
         let t_flash = flash.simulated_time(gpu);
         let t_dtc = dtc_run.simulated_time(gpu);
         let t_rode = rode_run.simulated_time(gpu);
-        assert!(
-            t_dtc / t_flash > 1.5,
-            "{}: vs DTC only {:.2}x",
-            gpu.name,
-            t_dtc / t_flash
-        );
-        assert!(
-            t_rode / t_flash > 1.5,
-            "{}: vs RoDe only {:.2}x",
-            gpu.name,
-            t_rode / t_flash
-        );
+        assert!(t_dtc / t_flash > 1.5, "{}: vs DTC only {:.2}x", gpu.name, t_dtc / t_flash);
+        assert!(t_rode / t_flash > 1.5, "{}: vs RoDe only {:.2}x", gpu.name, t_rode / t_flash);
     }
 }
 
@@ -67,11 +57,7 @@ fn transaction_accounting_invariants() {
         assert!(k.load_efficiency() <= 1.0 + 1e-9);
     }
     let (_, k_eff) = flashsparse::spmm(&me, &b, ThreadMapping::MemoryEfficient);
-    assert!(
-        k_eff.load_efficiency() > 0.8,
-        "coalesced efficiency {}",
-        k_eff.load_efficiency()
-    );
+    assert!(k_eff.load_efficiency() > 0.8, "coalesced efficiency {}", k_eff.load_efficiency());
 }
 
 /// ME-BCRS stores strictly less than SR-BCRS on ragged sparse inputs and
@@ -96,7 +82,8 @@ fn redundancy_is_reduced_not_eliminated() {
     let n = 128;
     let useful = 2 * csr.nnz() as u64 * n as u64;
     let fs = FlashSparseMatrix::from_csr(&csr.cast::<F16>());
-    let (_, k8) = fs.spmm(&DenseMatrix::<F16>::zeros(csr.cols(), n), ThreadMapping::MemoryEfficient);
+    let (_, k8) =
+        fs.spmm(&DenseMatrix::<F16>::zeros(csr.cols(), n), ThreadMapping::MemoryEfficient);
     let me16 = MeBcrs::from_csr(&csr.cast::<F16>(), SPEC16);
     let (_, r16) = dtc::spmm_16x1::<F16>(&me16, &DenseMatrix::<F16>::zeros(csr.cols(), n));
     assert!(k8.tcu_flops >= useful, "TCU work includes padding");
@@ -121,8 +108,5 @@ fn translation_is_amortizable() {
     assert!(me.num_vectors() > 0);
     // Host-side translation of a ~100k-nnz matrix stays well under a
     // second — the preprocessing is one parallel pass.
-    assert!(
-        translate_host.as_secs_f64() < 2.0,
-        "translation took {translate_host:?}"
-    );
+    assert!(translate_host.as_secs_f64() < 2.0, "translation took {translate_host:?}");
 }

@@ -7,20 +7,19 @@ use fs_baselines::tcu16::{dtc, tcgnn, SPEC16};
 use fs_format::MeBcrs;
 use fs_matrix::gen::{random_uniform, rmat, RmatConfig};
 use fs_matrix::{CsrMatrix, DenseMatrix};
-use fs_precision::{F16, Scalar, Tf32};
+use fs_precision::{Scalar, Tf32, F16};
 use proptest::prelude::*;
 
 fn dense<S: Scalar>(rows: usize, k: usize, salt: usize) -> DenseMatrix<S> {
-    DenseMatrix::from_fn(rows, k, |r, c| {
-        (((r * 7 + c * 11 + salt) % 19) as f32 - 9.0) * 0.0625
-    })
+    DenseMatrix::from_fn(rows, k, |r, c| (((r * 7 + c * 11 + salt) % 19) as f32 - 9.0) * 0.0625)
 }
 
 #[test]
 fn sddmm_matches_reference_all_k() {
-    let mask: CsrMatrix<F16> = CsrMatrix::from_coo(&rmat::<f32>(6, 6, RmatConfig::GRAPH500, true, 5))
-        .with_unit_values()
-        .cast();
+    let mask: CsrMatrix<F16> =
+        CsrMatrix::from_coo(&rmat::<f32>(6, 6, RmatConfig::GRAPH500, true, 5))
+            .with_unit_values()
+            .cast();
     for k in [1usize, 7, 8, 32, 100] {
         let a = dense::<F16>(mask.rows(), k, 0);
         let b = dense::<F16>(mask.cols(), k, 1);

@@ -7,7 +7,7 @@ use fs_baselines::tcu16::{dtc, SPEC16};
 use fs_format::MeBcrs;
 use fs_matrix::gen::{banded, block_sparse, random_uniform, rmat, RmatConfig};
 use fs_matrix::{CsrMatrix, DenseMatrix};
-use fs_precision::{F16, Scalar, Tf32};
+use fs_precision::{Scalar, Tf32, F16};
 use proptest::prelude::*;
 
 fn generators() -> Vec<(&'static str, CsrMatrix<f32>)> {
