@@ -16,4 +16,27 @@ cargo build --release
 echo "== cargo test -q"
 cargo test -q
 
+echo "== serving smoke test"
+# Start fs-serve on a loopback port, fire a short loadgen burst, and
+# require zero errors plus a clean acknowledged shutdown.
+SERVE_PORT="${SERVE_PORT:-7949}"
+./target/release/fs-serve --addr "127.0.0.1:${SERVE_PORT}" --workers 2 &
+SERVE_PID=$!
+SMOKE_OK=0
+if ./target/release/loadgen \
+    --addr "127.0.0.1:${SERVE_PORT}" \
+    --matrix uniform:256x256x4096 --n 16 \
+    --requests 40 --concurrency 2 \
+    --wait-ready-ms 10000 --shutdown --expect-zero-errors; then
+  SMOKE_OK=1
+fi
+if ! wait "$SERVE_PID"; then
+  echo "ci: fs-serve exited uncleanly" >&2
+  exit 1
+fi
+if [ "$SMOKE_OK" != 1 ]; then
+  echo "ci: serving smoke test failed" >&2
+  exit 1
+fi
+
 echo "ci: all gates passed"

@@ -1,0 +1,59 @@
+//! Serving-path wall-clock: warm (translated-format cache on) vs cold
+//! (translate + tune every request), driven in-process so the numbers
+//! measure the engine, not TCP.
+//!
+//! The warm/cold gap is the point of fs-serve — the ISSUE's acceptance
+//! bar is ≥5× steady-state throughput on repeated requests to the same
+//! matrix, and this bench tracks that ratio under Criterion.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fs_matrix::gen::{random_uniform, rmat, RmatConfig};
+use fs_matrix::{CsrMatrix, DenseMatrix};
+use fs_serve::{EngineConfig, ServeEngine, SpmmRequest};
+
+fn engine_request(engine: &ServeEngine, matrix_id: u64, b: &DenseMatrix<f32>) {
+    let outcome = engine.spmm_blocking(SpmmRequest {
+        tenant: "bench".to_string(),
+        matrix_id,
+        b: b.clone(),
+        deadline: None,
+    });
+    assert!(matches!(outcome, Ok(fs_serve::SpmmOutcome::Done(_))), "{outcome:?}");
+}
+
+fn bench_serving(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serving");
+    group.sample_size(10);
+    let n = 32;
+
+    for (name, csr) in [
+        ("uniform-512", CsrMatrix::from_coo(&random_uniform::<f32>(512, 512, 8192, 7))),
+        ("rmat-s9", CsrMatrix::from_coo(&rmat::<f32>(9, 8, RmatConfig::GRAPH500, true, 7))),
+    ] {
+        let b = DenseMatrix::from_f32_slice(
+            csr.cols(),
+            n,
+            &(0..csr.cols() * n).map(|i| (i % 7) as f32 * 0.25).collect::<Vec<f32>>(),
+        );
+
+        let warm = ServeEngine::start(EngineConfig { workers: 1, ..EngineConfig::default() });
+        let info = warm.register_matrix("bench", csr.clone());
+        engine_request(&warm, info.id, &b); // populate the cache
+        group.bench_function(format!("warm/{name}"), |bch| {
+            bch.iter(|| engine_request(&warm, info.id, &b))
+        });
+        warm.shutdown();
+
+        let cold =
+            ServeEngine::start(EngineConfig { workers: 1, cold: true, ..EngineConfig::default() });
+        let info = cold.register_matrix("bench", csr.clone());
+        group.bench_function(format!("cold/{name}"), |bch| {
+            bch.iter(|| engine_request(&cold, info.id, &b))
+        });
+        cold.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serving);
+criterion_main!(benches);

@@ -49,8 +49,34 @@ fn main() {
             other => wanted.push(other.to_string()),
         }
     }
-    if wanted.is_empty() {
-        eprintln!("usage: figures <fig1|table2|table4|fig11|table5|fig12|fig13|table6|fig14|fig15|table7|fig16|table8|ablation-k16|reorder|all> [--suite N] [--full]");
+    const EXPERIMENTS: &[&str] = &[
+        "fig1",
+        "table2",
+        "table4",
+        "fig11",
+        "table5",
+        "fig12",
+        "fig13",
+        "table6",
+        "fig14",
+        "fig15",
+        "table7",
+        "fig16",
+        "table8",
+        "ablation-k16",
+        "reorder",
+        "all",
+    ];
+    let unknown: Vec<&String> =
+        wanted.iter().filter(|w| !EXPERIMENTS.contains(&w.as_str())).collect();
+    if wanted.is_empty() || !unknown.is_empty() {
+        for w in &unknown {
+            eprintln!("figures: unknown experiment '{w}'");
+        }
+        eprintln!("available experiments: {}", EXPERIMENTS.join(" "));
+        eprintln!(
+            "usage: figures <experiment…|all> [--suite N] [--small-scale|--full] [--epochs N]"
+        );
         std::process::exit(2);
     }
     let all = wanted.iter().any(|w| w == "all");

@@ -21,7 +21,7 @@ use fs_tcu::GpuSpec;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: spmm_cli (--mtx FILE | --rmat SCALExEF | --uniform RxCxNNZ) [--n N] [--sddmm-k K]"
+        "usage: spmm_cli (--mtx FILE | --rmat SCALExEF | --uniform RxCxNNZ) [--n N] [--sddmm-k K] [--json]"
     );
     std::process::exit(2);
 }
@@ -32,6 +32,7 @@ fn main() {
     let mut source = String::new();
     let mut n = 128usize;
     let mut sddmm_k = 32usize;
+    let mut json = false;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -79,7 +80,11 @@ fn main() {
             "--sddmm-k" => {
                 sddmm_k = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
             }
-            _ => usage(),
+            "--json" => json = true,
+            other => {
+                eprintln!("spmm_cli: unknown argument '{other}'");
+                usage()
+            }
         }
     }
     let Some(csr) = matrix else { usage() };
@@ -136,6 +141,10 @@ fn main() {
             m.run.counters.mma_count + m.run.counters.wmma_count,
             m.run.counters.bytes_moved()
         );
+        if json {
+            // Same serializer the figures binary and server metrics use.
+            println!("  {{\"algo\":\"{}\",\"counters\":{}}}", m.algo, m.run.counters.to_json());
+        }
     }
 
     // --- SDDMM comparison ---

@@ -119,6 +119,9 @@ pub fn fig12(datasets: &[Dataset]) -> ((f64, f64), (f64, f64)) {
         mb(k16_total.index_bytes),
         mb(k16_total.ideal_bytes_stored),
     );
+    // Machine-readable aggregates, same serializer the server metrics use.
+    println!("  8x1 counters:  {}", k8_total.to_json());
+    println!("  16x1 counters: {}", k16_total.to_json());
     (spmm_summary, sddmm_summary)
 }
 

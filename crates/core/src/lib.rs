@@ -38,6 +38,7 @@
 //! ```
 
 pub mod api;
+pub mod dispatch;
 mod sanitize_hooks;
 pub mod sddmm;
 pub mod spmm;
@@ -46,6 +47,7 @@ pub mod tune;
 pub mod variant;
 
 pub use api::FlashSparseMatrix;
+pub use dispatch::TranslatedMatrix;
 pub use sddmm::sddmm;
 pub use spmm::{spmm, spmm_fp16_k16};
 pub use thread_map::ThreadMapping;

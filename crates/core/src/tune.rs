@@ -35,6 +35,20 @@ pub struct TuneChoice {
 }
 
 impl TuneChoice {
+    /// The documented fallback for degenerate inputs ([`auto_tune`] returns
+    /// it for empty matrices and `n = 0`): FP16 `k = 8` with the
+    /// memory-efficient mapping — the paper's headline configuration, valid
+    /// for every matrix, with a zero sampled time marking "not probed".
+    pub const FALLBACK: TuneChoice = TuneChoice {
+        precision: Precision::Fp16,
+        block_k: 8,
+        mapping: ThreadMapping::MemoryEfficient,
+        sampled_time: 0.0,
+    };
+
+    /// Size of the [`Self::to_bytes`] wire encoding.
+    pub const WIRE_BYTES: usize = 16;
+
     /// The format spec the winning kernel needs.
     pub fn spec(&self) -> TcFormatSpec {
         match (self.precision, self.block_k) {
@@ -43,6 +57,61 @@ impl TuneChoice {
             (Precision::Tf32, 4) => TcFormatSpec::FLASH_TF32,
             other => unreachable!("tuner never selects {other:?}"),
         }
+    }
+
+    /// A short stable name for the selected kernel variant (cache keys,
+    /// metrics, logs): e.g. `fp16-k8-me`, `tf32-k4-direct`.
+    pub fn variant_name(&self) -> String {
+        let map = match self.mapping {
+            ThreadMapping::MemoryEfficient => "me",
+            ThreadMapping::Direct => "direct",
+        };
+        format!("{}-k{}-{}", self.precision.name(), self.block_k, map)
+    }
+
+    /// Fixed-size little-endian wire encoding, so a tuned choice can be
+    /// cached next to its translated matrix or shipped over the serving
+    /// protocol: `[precision, block_k, mapping, 0 ×5, sampled_time f64]`.
+    pub fn to_bytes(&self) -> [u8; Self::WIRE_BYTES] {
+        let mut out = [0u8; Self::WIRE_BYTES];
+        out[0] = match self.precision {
+            Precision::Fp16 => 0,
+            Precision::Tf32 => 1,
+        };
+        out[1] = self.block_k.min(255) as u8;
+        out[2] = match self.mapping {
+            ThreadMapping::Direct => 0,
+            ThreadMapping::MemoryEfficient => 1,
+        };
+        out[8..16].copy_from_slice(&self.sampled_time.to_le_bytes());
+        out
+    }
+
+    /// Decode [`Self::to_bytes`]. Returns `None` for any byte pattern that
+    /// does not name a configuration the tuner can produce.
+    pub fn from_bytes(bytes: &[u8; Self::WIRE_BYTES]) -> Option<TuneChoice> {
+        let precision = match bytes[0] {
+            0 => Precision::Fp16,
+            1 => Precision::Tf32,
+            _ => return None,
+        };
+        let block_k = bytes[1] as usize;
+        match (precision, block_k) {
+            (Precision::Fp16, 8 | 16) | (Precision::Tf32, 4) => {}
+            _ => return None,
+        }
+        let mapping = match bytes[2] {
+            0 => ThreadMapping::Direct,
+            1 => ThreadMapping::MemoryEfficient,
+            _ => return None,
+        };
+        let mut t = [0u8; 8];
+        t.copy_from_slice(&bytes[8..16]);
+        let sampled_time = f64::from_le_bytes(t);
+        if !sampled_time.is_finite() || sampled_time < 0.0 {
+            return None;
+        }
+        Some(TuneChoice { precision, block_k, mapping, sampled_time })
     }
 }
 
@@ -57,6 +126,12 @@ const SAMPLE_ROWS: usize = 2048;
 /// cost — a handful of sample-sized kernel simulations — amortizes away,
 /// mirroring the paper's one-off preprocessing argument.
 pub fn auto_tune(csr: &CsrMatrix<f32>, n: usize, gpu: GpuSpec) -> TuneChoice {
+    // Degenerate inputs — nothing to sample, or a zero-width dense operand —
+    // would make every candidate score an identical 0.0 and the "winner"
+    // an accident of probe order. Return the documented fallback instead.
+    if csr.rows() == 0 || csr.cols() == 0 || csr.nnz() == 0 || n == 0 {
+        return TuneChoice::FALLBACK;
+    }
     let sample = csr.head_rows(SAMPLE_ROWS.min(csr.rows()));
     let model = CostModel::new(gpu);
     let b16 = DenseMatrix::<F16>::zeros(sample.cols(), n.min(64));
@@ -124,6 +199,57 @@ mod tests {
         if choice.precision == Precision::Fp16 {
             assert_eq!(choice.mapping, ThreadMapping::MemoryEfficient);
         }
+    }
+
+    #[test]
+    fn tuner_falls_back_on_degenerate_inputs() {
+        // Empty matrix (no rows / no nonzeros) and n = 0 must not panic and
+        // must return the documented fallback, not an arbitrary probe.
+        let empty = CsrMatrix::<f32>::empty(0, 0);
+        assert_eq!(auto_tune(&empty, 128, GpuSpec::RTX4090), TuneChoice::FALLBACK);
+
+        let no_nnz = CsrMatrix::<f32>::empty(64, 64);
+        assert_eq!(auto_tune(&no_nnz, 128, GpuSpec::RTX4090), TuneChoice::FALLBACK);
+
+        let csr = CsrMatrix::from_coo(&random_uniform::<f32>(64, 64, 200, 3));
+        assert_eq!(auto_tune(&csr, 0, GpuSpec::RTX4090), TuneChoice::FALLBACK);
+        // The fallback names a real kernel configuration.
+        assert_eq!(TuneChoice::FALLBACK.spec(), TcFormatSpec::FLASH_FP16);
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let csr = CsrMatrix::from_coo(&random_uniform::<f32>(256, 256, 2000, 4));
+        let choice = auto_tune(&csr, 64, GpuSpec::RTX4090);
+        let bytes = choice.to_bytes();
+        assert_eq!(TuneChoice::from_bytes(&bytes), Some(choice));
+        // Unknown precision tag, bad block width, bad mapping, bad time.
+        let mut bad = bytes;
+        bad[0] = 9;
+        assert_eq!(TuneChoice::from_bytes(&bad), None);
+        let mut bad = bytes;
+        bad[1] = 3;
+        assert_eq!(TuneChoice::from_bytes(&bad), None);
+        let mut bad = bytes;
+        bad[2] = 7;
+        assert_eq!(TuneChoice::from_bytes(&bad), None);
+        let mut bad = bytes;
+        bad[8..16].copy_from_slice(&f64::NAN.to_le_bytes());
+        assert_eq!(TuneChoice::from_bytes(&bad), None);
+    }
+
+    #[test]
+    fn variant_names_are_distinct() {
+        let mut names = std::collections::HashSet::new();
+        for (precision, block_k) in
+            [(Precision::Fp16, 8), (Precision::Fp16, 16), (Precision::Tf32, 4)]
+        {
+            for mapping in [ThreadMapping::Direct, ThreadMapping::MemoryEfficient] {
+                let c = TuneChoice { precision, block_k, mapping, sampled_time: 0.0 };
+                assert!(names.insert(c.variant_name()), "duplicate {}", c.variant_name());
+            }
+        }
+        assert_eq!(names.len(), 6);
     }
 
     #[test]

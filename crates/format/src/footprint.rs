@@ -1,0 +1,55 @@
+//! Resident-size accounting shared with the serving layer.
+//!
+//! The `fs-serve` format cache budgets translated matrices by bytes; this
+//! trait is the hook it keys on, so any format this crate grows (and any
+//! wrapper the serving layer builds around one) plugs into the same
+//! accounting that produces the paper's Table 7 numbers.
+
+use fs_precision::Scalar;
+
+use crate::mebcrs::MeBcrs;
+use crate::srbcrs::SrBcrs;
+
+/// Types whose resident byte size a byte-budgeted cache can account for.
+///
+/// Implementations must agree with the format's own `footprint_bytes`
+/// reporting (the Table 7 accounting: 4-byte pointers/indices plus the
+/// values payload at its storage precision).
+pub trait MemoryFootprint {
+    /// Bytes this value keeps resident while cached.
+    fn footprint_bytes(&self) -> usize;
+}
+
+impl<S: Scalar> MemoryFootprint for MeBcrs<S> {
+    fn footprint_bytes(&self) -> usize {
+        MeBcrs::footprint_bytes(self)
+    }
+}
+
+impl<S: Scalar> MemoryFootprint for SrBcrs<S> {
+    fn footprint_bytes(&self) -> usize {
+        SrBcrs::footprint_bytes(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::TcFormatSpec;
+    use fs_matrix::gen::random_uniform;
+    use fs_matrix::CsrMatrix;
+
+    fn trait_footprint<T: MemoryFootprint>(t: &T) -> usize {
+        t.footprint_bytes()
+    }
+
+    #[test]
+    fn trait_agrees_with_inherent_accounting() {
+        let csr = CsrMatrix::from_coo(&random_uniform::<f32>(64, 64, 400, 11));
+        let me = MeBcrs::from_csr(&csr, TcFormatSpec::FLASH_FP16);
+        let sr = SrBcrs::from_csr(&csr, TcFormatSpec::FLASH_FP16);
+        assert_eq!(trait_footprint(&me), me.footprint_bytes());
+        assert_eq!(trait_footprint(&sr), sr.footprint_bytes());
+        assert!(trait_footprint(&me) > 0);
+    }
+}

@@ -20,12 +20,14 @@
 // iterator rewrites would obscure it.
 #![allow(clippy::needless_range_loop)]
 
+pub mod footprint;
 pub mod mebcrs;
 pub mod spec;
 pub mod srbcrs;
 pub mod stats;
 pub mod validate;
 
+pub use footprint::MemoryFootprint;
 pub use mebcrs::MeBcrs;
 pub use spec::TcFormatSpec;
 pub use srbcrs::SrBcrs;

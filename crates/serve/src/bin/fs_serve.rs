@@ -1,0 +1,87 @@
+//! The `fs-serve` daemon: a batched SpMM serving engine on a TCP socket.
+//!
+//! ```text
+//! fs-serve [--addr 127.0.0.1:7949] [--workers 4] [--cache-mb 256]
+//!          [--queue-cap 256] [--max-batch 16] [--deadline-ms 5000]
+//!          [--gpu 4090|h100] [--cold]
+//! ```
+//!
+//! `--cold` disables the translated-format cache (budget 0) so every
+//! request pays translation + tuning — the baseline the load generator
+//! compares warm serving against.
+
+use std::time::Duration;
+
+use fs_serve::{EngineConfig, Server, ServerConfig};
+use fs_tcu::GpuSpec;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fs-serve [--addr HOST:PORT] [--workers N] [--cache-mb MB] [--queue-cap N]\n\
+         \x20               [--max-batch N] [--deadline-ms MS] [--gpu 4090|h100] [--cold]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg =
+        ServerConfig { addr: "127.0.0.1:7949".to_string(), engine: EngineConfig::default() };
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => cfg.addr = it.next().unwrap_or_else(|| usage()).clone(),
+            "--workers" => {
+                cfg.engine.workers =
+                    it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--cache-mb" => {
+                let mb: usize = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                cfg.engine.cache_budget_bytes = mb * (1 << 20);
+            }
+            "--queue-cap" => {
+                cfg.engine.queue_capacity =
+                    it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--max-batch" => {
+                cfg.engine.max_batch =
+                    it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--deadline-ms" => {
+                let ms: u64 = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                cfg.engine.default_deadline = Duration::from_millis(ms);
+            }
+            "--gpu" => match it.next().unwrap_or_else(|| usage()).as_str() {
+                "4090" => cfg.engine.gpu = GpuSpec::RTX4090,
+                "h100" => cfg.engine.gpu = GpuSpec::H100_PCIE,
+                _ => usage(),
+            },
+            "--cold" => cfg.engine.cold = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+
+    let server = match Server::bind(&cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("fs-serve: failed to bind {}: {e}", cfg.addr);
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "fs-serve listening on {} (workers={}, cache={}B{}, queue={}, max_batch={})",
+        server.local_addr(),
+        cfg.engine.workers,
+        cfg.engine.cache_budget_bytes,
+        if cfg.engine.cold { ", COLD" } else { "" },
+        cfg.engine.queue_capacity,
+        cfg.engine.max_batch
+    );
+    if let Err(e) = server.run() {
+        eprintln!("fs-serve: accept loop failed: {e}");
+        std::process::exit(1);
+    }
+    println!("fs-serve: drained and stopped");
+}

@@ -1,0 +1,138 @@
+//! Load generator for `fs-serve`.
+//!
+//! ```text
+//! loadgen [--addr 127.0.0.1:7949] [--matrix uniform:512x512x8192 | rmat:10x8]
+//!         [--n 32] [--requests 200] [--concurrency 4] [--tenants 1]
+//!         [--open-rps RPS] [--duration-s S] [--deadline-ms MS]
+//!         [--wait-ready-ms MS] [--shutdown] [--expect-zero-errors]
+//! ```
+//!
+//! Prints one JSON object with throughput (RPS), latency percentiles
+//! (p50/p95/p99), and the cache hit rate. `--shutdown` asks the server
+//! to drain and exit afterwards; `--expect-zero-errors` makes the
+//! process exit nonzero if any request was rejected, shed, or failed —
+//! the CI smoke-test contract.
+
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use fs_serve::loadgen::{run, LoadgenConfig, MatrixSpec};
+use fs_serve::ServeClient;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen [--addr HOST:PORT] [--matrix uniform:RxCxNNZ|rmat:SCALExEF] [--n N]\n\
+         \x20              [--requests N] [--concurrency N] [--tenants N] [--open-rps RPS]\n\
+         \x20              [--duration-s S] [--deadline-ms MS] [--wait-ready-ms MS]\n\
+         \x20              [--shutdown] [--expect-zero-errors]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_matrix(spec: &str) -> Option<MatrixSpec> {
+    let (kind, rest) = spec.split_once(':')?;
+    match kind {
+        "uniform" => {
+            let parts: Vec<usize> = rest.split('x').filter_map(|t| t.parse().ok()).collect();
+            if parts.len() != 3 {
+                return None;
+            }
+            Some(MatrixSpec::Uniform { rows: parts[0], cols: parts[1], nnz: parts[2] })
+        }
+        "rmat" => {
+            let (scale, ef) = rest.split_once('x')?;
+            Some(MatrixSpec::Rmat { scale: scale.parse().ok()?, edge_factor: ef.parse().ok()? })
+        }
+        _ => None,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = LoadgenConfig::default();
+    let mut shutdown_after = false;
+    let mut expect_zero_errors = false;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => {
+                let text = it.next().unwrap_or_else(|| usage());
+                cfg.addr = match text.parse::<SocketAddr>() {
+                    Ok(a) => a,
+                    Err(_) => {
+                        eprintln!("loadgen: bad address {text}");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--matrix" => {
+                let spec = it.next().unwrap_or_else(|| usage());
+                cfg.matrix = parse_matrix(spec).unwrap_or_else(|| usage());
+            }
+            "--n" => cfg.n = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--requests" => {
+                cfg.requests = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--concurrency" => {
+                cfg.concurrency = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--tenants" => {
+                cfg.tenants = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--open-rps" => {
+                cfg.open_rps =
+                    Some(it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()))
+            }
+            "--duration-s" => {
+                let s: u64 = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                cfg.duration = Duration::from_secs(s);
+            }
+            "--deadline-ms" => {
+                cfg.deadline_ms = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--wait-ready-ms" => {
+                let ms: u64 = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                cfg.ready_timeout = Duration::from_millis(ms);
+            }
+            "--shutdown" => shutdown_after = true,
+            "--expect-zero-errors" => expect_zero_errors = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+
+    let report = match run(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("{}", report.to_json());
+
+    if shutdown_after {
+        match ServeClient::connect_with_retry(&cfg.addr, Duration::from_secs(2))
+            .and_then(|mut c| c.shutdown())
+        {
+            Ok(()) => eprintln!("loadgen: server acknowledged shutdown"),
+            Err(e) => {
+                eprintln!("loadgen: shutdown failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if expect_zero_errors
+        && (report.errors > 0
+            || report.rejected > 0
+            || report.timed_out > 0
+            || report.completed == 0)
+    {
+        eprintln!(
+            "loadgen: expected zero errors but saw completed={} rejected={} timed_out={} errors={}",
+            report.completed, report.rejected, report.timed_out, report.errors
+        );
+        std::process::exit(1);
+    }
+}

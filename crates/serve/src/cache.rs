@@ -1,0 +1,299 @@
+//! The translated-format cache: translation + tuning paid once per matrix.
+//!
+//! Acc-SpMM and cuTeSpMM both observe that in real deployments the
+//! preprocessing cost (format translation, variant selection) dominates a
+//! single kernel launch by orders of magnitude and must be amortized.
+//! This cache holds [`CachedFormat`] entries — the ME-BCRS translation
+//! plus the [`TuneChoice`] that selected it — under a **byte budget**
+//! measured with fs-format's footprint accounting (the same numbers as
+//! the paper's Table 7), evicting least-recently-used entries to stay
+//! within it. Entries larger than the whole budget are served but never
+//! stored, so the budget is a hard invariant (proptested in
+//! `tests/cache_props.rs`).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use flashsparse::{TranslatedMatrix, TuneChoice};
+use fs_format::MemoryFootprint;
+
+use crate::fingerprint::Fingerprint;
+
+/// A fully preprocessed matrix: the translated storage and the tuned
+/// kernel configuration that chose it.
+#[derive(Clone, Debug)]
+pub struct CachedFormat {
+    /// The ME-BCRS translation in the chosen variant's layout.
+    pub translated: TranslatedMatrix,
+    /// The auto-tuner's winning configuration.
+    pub choice: TuneChoice,
+}
+
+impl CachedFormat {
+    /// Resident bytes this entry charges against the cache budget: the
+    /// translated arrays plus the (fixed-size) tune choice wire form.
+    pub fn footprint_bytes(&self) -> usize {
+        self.translated.footprint_bytes() + TuneChoice::WIRE_BYTES
+    }
+}
+
+/// Hit/miss/eviction counters, snapshot-able while the cache is live.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a resident entry.
+    pub hits: u64,
+    /// Lookups that found nothing (caller pays translation + tuning).
+    pub misses: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Inserts refused because the entry alone exceeds the budget.
+    pub rejected_oversize: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Bytes currently resident.
+    pub resident_bytes: usize,
+    /// The configured budget.
+    pub budget_bytes: usize,
+}
+
+impl CacheStats {
+    /// Hits over lookups (1.0 when no lookups yet — vacuously perfect,
+    /// matching the counter conventions elsewhere in the workspace).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// JSON object for the metrics endpoint.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"hits\":{},\"misses\":{},\"evictions\":{},\"rejected_oversize\":{},\
+             \"entries\":{},\"resident_bytes\":{},\"budget_bytes\":{},\"hit_rate\":{:.6}}}",
+            self.hits,
+            self.misses,
+            self.evictions,
+            self.rejected_oversize,
+            self.entries,
+            self.resident_bytes,
+            self.budget_bytes,
+            self.hit_rate()
+        )
+    }
+}
+
+/// An LRU cache of translated formats with a byte-footprint budget.
+///
+/// Not internally synchronized — the engine wraps it in a mutex. Entries
+/// are handed out as `Arc`s, so an eviction never invalidates an entry a
+/// worker is still multiplying against.
+pub struct FormatCache {
+    budget_bytes: usize,
+    resident_bytes: usize,
+    tick: u64,
+    entries: HashMap<Fingerprint, Slot>,
+    stats: CacheStats,
+}
+
+struct Slot {
+    format: Arc<CachedFormat>,
+    footprint: usize,
+    last_used: u64,
+}
+
+impl FormatCache {
+    /// An empty cache with the given byte budget. A zero budget disables
+    /// residency entirely (every lookup misses) — the serving engine's
+    /// "cold" configuration.
+    pub fn new(budget_bytes: usize) -> FormatCache {
+        FormatCache {
+            budget_bytes,
+            resident_bytes: 0,
+            tick: 0,
+            entries: HashMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Look up a fingerprint, refreshing its recency on a hit.
+    pub fn get(&mut self, fp: &Fingerprint) -> Option<Arc<CachedFormat>> {
+        self.tick += 1;
+        match self.entries.get_mut(fp) {
+            Some(slot) => {
+                slot.last_used = self.tick;
+                self.stats.hits += 1;
+                Some(Arc::clone(&slot.format))
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert a freshly translated entry, evicting LRU entries until it
+    /// fits. If the entry alone exceeds the budget it is *not* stored
+    /// (the caller still gets its `Arc` back) — the budget is never
+    /// exceeded, even transiently.
+    pub fn insert(&mut self, fp: Fingerprint, format: CachedFormat) -> Arc<CachedFormat> {
+        let format = Arc::new(format);
+        let footprint = format.footprint_bytes();
+        if footprint > self.budget_bytes {
+            self.stats.rejected_oversize += 1;
+            return format;
+        }
+        // A racing worker may have inserted the same fingerprint while we
+        // translated; keep the resident one and drop ours.
+        if let Some(slot) = self.entries.get(&fp) {
+            return Arc::clone(&slot.format);
+        }
+        while self.resident_bytes + footprint > self.budget_bytes {
+            if !self.evict_lru() {
+                break;
+            }
+        }
+        self.resident_bytes += footprint;
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.insert(fp, Slot { format: Arc::clone(&format), footprint, last_used: tick });
+        self.sync_stats();
+        format
+    }
+
+    /// Evict the least-recently-used entry. Returns false when empty.
+    fn evict_lru(&mut self) -> bool {
+        let victim = self.entries.iter().min_by_key(|(_, s)| s.last_used).map(|(fp, _)| *fp);
+        match victim {
+            Some(fp) => {
+                if let Some(slot) = self.entries.remove(&fp) {
+                    self.resident_bytes -= slot.footprint;
+                    self.stats.evictions += 1;
+                }
+                self.sync_stats();
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn sync_stats(&mut self) {
+        self.stats.entries = self.entries.len();
+        self.stats.resident_bytes = self.resident_bytes;
+        self.stats.budget_bytes = self.budget_bytes;
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        let mut s = self.stats;
+        s.entries = self.entries.len();
+        s.resident_bytes = self.resident_bytes;
+        s.budget_bytes = self.budget_bytes;
+        s
+    }
+
+    /// Bytes currently resident (the proptest invariant accessor).
+    pub fn resident_bytes(&self) -> usize {
+        self.resident_bytes
+    }
+
+    /// The configured budget.
+    pub fn budget_bytes(&self) -> usize {
+        self.budget_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fs_matrix::gen::random_uniform;
+    use fs_matrix::CsrMatrix;
+    use fs_tcu::GpuSpec;
+
+    fn entry(seed: u64, rows: usize) -> (Fingerprint, CachedFormat) {
+        let csr = CsrMatrix::from_coo(&random_uniform::<f32>(rows, rows, rows * 4, seed));
+        let choice = flashsparse::auto_tune(&csr, 16, GpuSpec::RTX4090);
+        let translated = TranslatedMatrix::translate(&csr, &choice);
+        (Fingerprint::of(&csr), CachedFormat { translated, choice })
+    }
+
+    #[test]
+    fn hit_miss_and_recency() {
+        let mut cache = FormatCache::new(64 << 20);
+        let (fp, e) = entry(1, 64);
+        assert!(cache.get(&fp).is_none());
+        cache.insert(fp, e);
+        assert!(cache.get(&fp).is_some());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        assert!(s.resident_bytes > 0);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        // Budget sized for two entries; inserting a third evicts the one
+        // touched least recently.
+        let (fp_a, a) = entry(1, 64);
+        let (fp_b, b) = entry(2, 64);
+        let (fp_c, c) = entry(3, 64);
+        let budget = a.footprint_bytes() + b.footprint_bytes() + c.footprint_bytes() / 2;
+        let mut cache = FormatCache::new(budget);
+        cache.insert(fp_a, a);
+        cache.insert(fp_b, b);
+        // Touch A so B becomes the LRU victim.
+        assert!(cache.get(&fp_a).is_some());
+        cache.insert(fp_c, c);
+        assert!(cache.get(&fp_a).is_some(), "recently used entry survived");
+        assert!(cache.get(&fp_b).is_none(), "LRU entry evicted");
+        assert!(cache.get(&fp_c).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.resident_bytes() <= cache.budget_bytes());
+    }
+
+    #[test]
+    fn oversize_entry_is_served_but_not_stored() {
+        let (fp, e) = entry(4, 64);
+        let mut cache = FormatCache::new(e.footprint_bytes() - 1);
+        let arc = cache.insert(fp, e);
+        assert!(arc.translated.rows() > 0);
+        assert_eq!(cache.resident_bytes(), 0);
+        assert_eq!(cache.stats().rejected_oversize, 1);
+        assert!(cache.get(&fp).is_none());
+    }
+
+    #[test]
+    fn zero_budget_caches_nothing() {
+        let (fp, e) = entry(5, 32);
+        let mut cache = FormatCache::new(0);
+        cache.insert(fp, e);
+        assert!(cache.get(&fp).is_none());
+        assert_eq!(cache.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn duplicate_insert_keeps_the_resident_entry() {
+        let (fp, e1) = entry(6, 48);
+        let (_, e2) = entry(6, 48);
+        let mut cache = FormatCache::new(64 << 20);
+        let first = cache.insert(fp, e1);
+        let before = cache.resident_bytes();
+        let second = cache.insert(fp, e2);
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(cache.resident_bytes(), before);
+        assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn stats_hit_rate() {
+        let mut s = CacheStats::default();
+        assert_eq!(s.hit_rate(), 1.0);
+        s.hits = 3;
+        s.misses = 1;
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+        let json = s.to_json();
+        assert!(json.contains("\"hits\":3"));
+        assert!(json.contains("\"hit_rate\":0.75"));
+    }
+}

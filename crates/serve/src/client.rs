@@ -1,0 +1,228 @@
+//! A blocking TCP client for the `fs-serve` protocol.
+
+use std::io;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use fs_matrix::CsrMatrix;
+
+use crate::protocol::{read_frame, write_frame, ErrorCode, ProtoError, Request, Response};
+
+/// What a client call can fail with.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// Malformed frame or payload.
+    Proto(ProtoError),
+    /// The server answered with an error response.
+    Server {
+        /// Machine-readable reason.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The server answered with a response of the wrong kind.
+    Unexpected(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Proto(e) => write!(f, "{e}"),
+            ClientError::Server { code, message } => write!(f, "server {code:?}: {message}"),
+            ClientError::Unexpected(m) => write!(f, "unexpected response: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> ClientError {
+        ClientError::Proto(e)
+    }
+}
+
+/// A loaded matrix as seen by the client.
+#[derive(Clone, Copy, Debug)]
+pub struct LoadedMatrix {
+    /// Server-assigned handle.
+    pub matrix_id: u64,
+    /// Content fingerprint (hi, lo) — equal across tenants for equal content.
+    pub fingerprint: (u64, u64),
+    /// Nonzeros after server-side deduplication.
+    pub nnz: u64,
+}
+
+/// One SpMM answer.
+#[derive(Clone, Debug)]
+pub struct SpmmResult {
+    /// Row-major output, `rows × n`.
+    pub out: Vec<f32>,
+    /// Output rows.
+    pub rows: usize,
+    /// Output columns.
+    pub n: usize,
+    /// Whether the server found the translated format in its cache.
+    pub cache_hit: bool,
+    /// Micro-batch size the request rode in.
+    pub batch_size: usize,
+    /// Microseconds queued server-side.
+    pub queue_micros: u64,
+    /// Microseconds of server-side execution.
+    pub service_micros: u64,
+}
+
+/// A blocking connection to an `fs-serve` server.
+pub struct ServeClient {
+    stream: TcpStream,
+}
+
+impl ServeClient {
+    /// Connect to `addr`.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<ServeClient, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(ServeClient { stream })
+    }
+
+    /// Connect, retrying until the server accepts or `timeout` elapses —
+    /// for scripts that race server startup (the CI smoke test).
+    pub fn connect_with_retry(
+        addr: &SocketAddr,
+        timeout: Duration,
+    ) -> Result<ServeClient, ClientError> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            match TcpStream::connect_timeout(addr, Duration::from_millis(250)) {
+                Ok(stream) => {
+                    stream.set_nodelay(true)?;
+                    let mut client = ServeClient { stream };
+                    if client.ping().is_ok() {
+                        return Ok(client);
+                    }
+                }
+                Err(e) => {
+                    if std::time::Instant::now() >= deadline {
+                        return Err(ClientError::Io(e));
+                    }
+                }
+            }
+            if std::time::Instant::now() >= deadline {
+                return Err(ClientError::Io(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "server did not become ready",
+                )));
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+
+    fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        let payload = req.encode()?;
+        write_frame(&mut self.stream, &payload)?;
+        let frame = read_frame(&mut self.stream)?
+            .ok_or_else(|| ClientError::Unexpected("server closed the connection".into()))?;
+        let resp = Response::decode(&frame)?;
+        if let Response::Error { code, message } = resp {
+            return Err(ClientError::Server { code, message });
+        }
+        Ok(resp)
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Register a CSR matrix under `tenant`.
+    pub fn load_matrix(
+        &mut self,
+        tenant: &str,
+        csr: &CsrMatrix<f32>,
+    ) -> Result<LoadedMatrix, ClientError> {
+        let entries: Vec<(u32, u32, f32)> = csr
+            .iter()
+            .map(|(r, c, v)| (r as u32, c as u32, v)) // lint: checked-cast - CSR indices are u32 internally
+            .collect();
+        let req = Request::Load {
+            tenant: tenant.to_string(),
+            rows: csr.rows() as u32,
+            cols: csr.cols() as u32,
+            entries,
+        };
+        match self.call(&req)? {
+            Response::Loaded { matrix_id, fingerprint_hi, fingerprint_lo, nnz } => {
+                Ok(LoadedMatrix { matrix_id, fingerprint: (fingerprint_hi, fingerprint_lo), nnz })
+            }
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// SpMM: multiply the loaded matrix by a row-major `b_rows × n` operand.
+    pub fn spmm(
+        &mut self,
+        tenant: &str,
+        matrix_id: u64,
+        b_rows: usize,
+        n: usize,
+        b: &[f32],
+        deadline_ms: u32,
+    ) -> Result<SpmmResult, ClientError> {
+        let req = Request::Spmm {
+            tenant: tenant.to_string(),
+            matrix_id,
+            deadline_ms,
+            b_rows: b_rows as u32,
+            n: n as u32,
+            b: b.to_vec(),
+        };
+        match self.call(&req)? {
+            Response::Spmm {
+                cache_hit,
+                batch_size,
+                queue_micros,
+                service_micros,
+                rows,
+                n,
+                out,
+            } => Ok(SpmmResult {
+                out,
+                rows: rows as usize,
+                n: n as usize,
+                cache_hit,
+                batch_size: batch_size as usize,
+                queue_micros,
+                service_micros,
+            }),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Fetch the metrics JSON document.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        match self.call(&Request::Metrics)? {
+            Response::Metrics { json } => Ok(json),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Ask the server to drain and exit.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Shutdown)? {
+            Response::ShutdownAck => Ok(()),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+}

@@ -1,0 +1,778 @@
+//! The serving engine: registered matrices, a bounded request queue, and
+//! a micro-batching worker pool.
+//!
+//! The execution model mirrors what GNN-inference serving needs (the
+//! paper's Fig. 16 end-to-end setting): a graph's adjacency matrix is
+//! registered once, then answers many SpMM requests. The engine
+//!
+//! * admits requests into a **bounded queue** — a full queue rejects at
+//!   submit time (backpressure, not unbounded memory growth);
+//! * **micro-batches** adjacent requests against the same matrix, so the
+//!   per-launch setup (format resolution, cache traffic) is paid once per
+//!   batch rather than once per request;
+//! * sheds requests whose **deadline** expired while they queued;
+//! * **isolates panics** to the batch that caused them (the worker
+//!   survives), and a supervisor respawns any worker that dies anyway;
+//! * drains the queue on shutdown before joining the pool.
+
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use flashsparse::{auto_tune, TranslatedMatrix};
+use fs_matrix::{CsrMatrix, DenseMatrix};
+use fs_tcu::{GpuSpec, KernelCounters};
+use parking_lot::{Mutex, RwLock};
+
+use crate::cache::{CacheStats, CachedFormat, FormatCache};
+use crate::fingerprint::Fingerprint;
+use crate::metrics::{json_escape, tenants_json, TenantStats};
+
+/// Engine configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Worker threads executing batches.
+    pub workers: usize,
+    /// Bounded queue capacity; submits beyond it are rejected.
+    pub queue_capacity: usize,
+    /// Byte budget of the translated-format cache.
+    pub cache_budget_bytes: usize,
+    /// Deadline applied when a request does not carry its own.
+    pub default_deadline: Duration,
+    /// Largest micro-batch a worker gathers per dequeue.
+    pub max_batch: usize,
+    /// Cold configuration: disable format caching entirely, so every
+    /// request pays translation + tuning (the baseline the ≥5× serving
+    /// speedup is measured against).
+    pub cold: bool,
+    /// Simulated GPU the auto-tuner scores candidates on.
+    pub gpu: GpuSpec,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            workers: 4,
+            queue_capacity: 256,
+            cache_budget_bytes: 256 << 20,
+            default_deadline: Duration::from_secs(5),
+            max_batch: 16,
+            cold: false,
+            gpu: GpuSpec::RTX4090,
+        }
+    }
+}
+
+/// What a registered matrix looks like to clients.
+#[derive(Clone, Copy, Debug)]
+pub struct MatrixInfo {
+    /// Engine-assigned handle used by subsequent requests.
+    pub id: u64,
+    /// Content fingerprint (the cache key — shared across tenants).
+    pub fingerprint: Fingerprint,
+    /// Rows of the sparse matrix.
+    pub rows: usize,
+    /// Columns of the sparse matrix.
+    pub cols: usize,
+    /// Nonzeros of the sparse matrix.
+    pub nnz: usize,
+}
+
+/// Why a submit was refused at admission.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is full — retry later (backpressure).
+    QueueFull,
+    /// The engine is draining.
+    ShuttingDown,
+    /// No matrix registered under this id.
+    UnknownMatrix(u64),
+    /// The dense operand's row count must equal the matrix's column count.
+    DimensionMismatch {
+        /// Rows the operand must have.
+        expected_rows: usize,
+        /// Rows it had.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull => write!(f, "queue full"),
+            SubmitError::ShuttingDown => write!(f, "shutting down"),
+            SubmitError::UnknownMatrix(id) => write!(f, "unknown matrix id {id}"),
+            SubmitError::DimensionMismatch { expected_rows, got } => {
+                write!(f, "dense operand has {got} rows, matrix needs {expected_rows}")
+            }
+        }
+    }
+}
+
+/// A successful SpMM execution.
+#[derive(Clone, Debug)]
+pub struct SpmmResponse {
+    /// The product, widened to f32.
+    pub out: DenseMatrix<f32>,
+    /// Counters of this request's kernel execution.
+    pub counters: KernelCounters,
+    /// Whether the translated format came from the cache.
+    pub cache_hit: bool,
+    /// Size of the micro-batch this request rode in.
+    pub batch_size: usize,
+    /// Microseconds spent queued before execution started.
+    pub queue_micros: u64,
+    /// Microseconds of kernel execution (batch-resolution included).
+    pub service_micros: u64,
+}
+
+/// Terminal state of an admitted request.
+#[derive(Clone, Debug)]
+pub enum SpmmOutcome {
+    /// Executed.
+    Done(SpmmResponse),
+    /// Shed: the deadline passed while the request was queued.
+    TimedOut,
+    /// A worker panic or internal error consumed the request.
+    Failed(String),
+}
+
+/// An SpMM request for [`ServeEngine::submit`].
+#[derive(Clone, Debug)]
+pub struct SpmmRequest {
+    /// Tenant the work is accounted to.
+    pub tenant: String,
+    /// Handle from [`ServeEngine::register_matrix`].
+    pub matrix_id: u64,
+    /// Dense operand (`matrix.cols × n`).
+    pub b: DenseMatrix<f32>,
+    /// Per-request deadline; `None` uses the engine default.
+    pub deadline: Option<Duration>,
+}
+
+/// Handle to an admitted request's eventual outcome.
+pub struct Ticket {
+    rx: mpsc::Receiver<SpmmOutcome>,
+}
+
+impl Ticket {
+    /// Block until the outcome arrives. A dropped worker (killed by an
+    /// escaped panic before replying) reports as `Failed`.
+    pub fn wait(self) -> SpmmOutcome {
+        self.rx
+            .recv()
+            .unwrap_or_else(|_| SpmmOutcome::Failed("response channel closed".to_string()))
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum JobOp {
+    Spmm,
+    /// Test hook: panic inside the batch-execution unwind boundary.
+    PanicInBatch,
+    /// Test hook: panic outside it, killing the worker thread.
+    PanicWorker,
+}
+
+struct Job {
+    tenant: String,
+    matrix_id: u64,
+    op: JobOp,
+    b: DenseMatrix<f32>,
+    deadline: Instant,
+    enqueued: Instant,
+    tx: mpsc::Sender<SpmmOutcome>,
+}
+
+struct Registered {
+    fingerprint: Fingerprint,
+    csr: CsrMatrix<f32>,
+}
+
+struct Inner {
+    cfg: EngineConfig,
+    queue: StdMutex<VecDeque<Job>>,
+    available: Condvar,
+    matrices: RwLock<HashMap<u64, Arc<Registered>>>,
+    cache: Mutex<FormatCache>,
+    tenants: Mutex<HashMap<String, TenantStats>>,
+    next_id: AtomicU64,
+    shutdown: AtomicBool,
+    worker_panics: AtomicU64,
+    worker_respawns: AtomicU64,
+}
+
+/// Recover a guard from a poisoned std mutex: the queue holds plain data
+/// (no invariants spanning the lock), so continuing past a worker panic
+/// is sound and exactly what panic isolation wants.
+fn lock_recover<T>(m: &StdMutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The multi-tenant batched SpMM serving engine.
+pub struct ServeEngine {
+    inner: Arc<Inner>,
+    workers: Arc<Mutex<Vec<Option<thread::JoinHandle<()>>>>>,
+    monitor: Mutex<Option<thread::JoinHandle<()>>>,
+}
+
+impl ServeEngine {
+    /// Start the engine: spawn the worker pool and its supervisor.
+    pub fn start(mut cfg: EngineConfig) -> ServeEngine {
+        cfg.workers = cfg.workers.max(1);
+        cfg.max_batch = cfg.max_batch.max(1);
+        let budget = if cfg.cold { 0 } else { cfg.cache_budget_bytes };
+        let inner = Arc::new(Inner {
+            cfg,
+            queue: StdMutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            matrices: RwLock::new(HashMap::new()),
+            cache: Mutex::new(FormatCache::new(budget)),
+            tenants: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            shutdown: AtomicBool::new(false),
+            worker_panics: AtomicU64::new(0),
+            worker_respawns: AtomicU64::new(0),
+        });
+        let workers = Arc::new(Mutex::new(
+            (0..cfg.workers).map(|_| Some(spawn_worker(Arc::clone(&inner)))).collect::<Vec<_>>(),
+        ));
+        let monitor = spawn_monitor(Arc::clone(&inner), Arc::clone(&workers));
+        ServeEngine { inner, workers, monitor: Mutex::new(Some(monitor)) }
+    }
+
+    /// Register a CSR matrix; returns the handle requests refer to. The
+    /// raw CSR stays resident so an evicted translation can be rebuilt.
+    pub fn register_matrix(&self, _tenant: &str, csr: CsrMatrix<f32>) -> MatrixInfo {
+        let fingerprint = Fingerprint::of(&csr);
+        let info = MatrixInfo {
+            id: self.inner.next_id.fetch_add(1, Ordering::Relaxed),
+            fingerprint,
+            rows: csr.rows(),
+            cols: csr.cols(),
+            nnz: csr.nnz(),
+        };
+        self.inner.matrices.write().insert(info.id, Arc::new(Registered { fingerprint, csr }));
+        info
+    }
+
+    /// Admit a request. `Err` means the request was *not* queued.
+    pub fn submit(&self, req: SpmmRequest) -> Result<Ticket, SubmitError> {
+        if self.inner.shutdown.load(Ordering::Acquire) {
+            return Err(SubmitError::ShuttingDown);
+        }
+        let reg = self
+            .inner
+            .matrices
+            .read()
+            .get(&req.matrix_id)
+            .cloned()
+            .ok_or(SubmitError::UnknownMatrix(req.matrix_id))?;
+        if req.b.rows() != reg.csr.cols() {
+            return Err(SubmitError::DimensionMismatch {
+                expected_rows: reg.csr.cols(),
+                got: req.b.rows(),
+            });
+        }
+        let (tx, rx) = mpsc::channel();
+        let now = Instant::now();
+        let job = Job {
+            tenant: req.tenant.clone(),
+            matrix_id: req.matrix_id,
+            op: JobOp::Spmm,
+            b: req.b,
+            deadline: now + req.deadline.unwrap_or(self.inner.cfg.default_deadline),
+            enqueued: now,
+            tx,
+        };
+        self.enqueue(job, &req.tenant)?;
+        Ok(Ticket { rx })
+    }
+
+    fn enqueue(&self, job: Job, tenant: &str) -> Result<(), SubmitError> {
+        let accepted = {
+            let mut q = lock_recover(&self.inner.queue);
+            if q.len() >= self.inner.cfg.queue_capacity {
+                false
+            } else {
+                q.push_back(job);
+                true
+            }
+        };
+        let mut tenants = self.inner.tenants.lock();
+        let stats = tenants.entry(tenant.to_string()).or_default();
+        if accepted {
+            stats.submitted += 1;
+            drop(tenants);
+            self.inner.available.notify_one();
+            Ok(())
+        } else {
+            stats.rejected += 1;
+            Err(SubmitError::QueueFull)
+        }
+    }
+
+    /// Submit and block for the outcome — the in-process client API.
+    pub fn spmm_blocking(&self, req: SpmmRequest) -> Result<SpmmOutcome, SubmitError> {
+        Ok(self.submit(req)?.wait())
+    }
+
+    /// Test hook: enqueue a request that panics during execution
+    /// (`escape_worker = false`, caught at the batch boundary) or at the
+    /// worker loop level (`escape_worker = true`, killing the thread so
+    /// the supervisor must respawn it).
+    #[doc(hidden)]
+    pub fn submit_poison(
+        &self,
+        tenant: &str,
+        matrix_id: u64,
+        escape_worker: bool,
+    ) -> Result<Ticket, SubmitError> {
+        let (tx, rx) = mpsc::channel();
+        let now = Instant::now();
+        let job = Job {
+            tenant: tenant.to_string(),
+            matrix_id,
+            op: if escape_worker { JobOp::PanicWorker } else { JobOp::PanicInBatch },
+            b: DenseMatrix::zeros(0, 0),
+            deadline: now + self.inner.cfg.default_deadline,
+            enqueued: now,
+            tx,
+        };
+        self.enqueue(job, tenant)?;
+        Ok(Ticket { rx })
+    }
+
+    /// Snapshot of the format-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.inner.cache.lock().stats()
+    }
+
+    /// Snapshot of one tenant's totals.
+    pub fn tenant_stats(&self, tenant: &str) -> TenantStats {
+        self.inner.tenants.lock().get(tenant).copied().unwrap_or_default()
+    }
+
+    /// Worker panics caught (batch-isolated) since start.
+    pub fn worker_panics(&self) -> u64 {
+        self.inner.worker_panics.load(Ordering::Relaxed)
+    }
+
+    /// Workers respawned by the supervisor since start.
+    pub fn worker_respawns(&self) -> u64 {
+        self.inner.worker_respawns.load(Ordering::Relaxed)
+    }
+
+    /// Requests currently queued.
+    pub fn queue_len(&self) -> usize {
+        lock_recover(&self.inner.queue).len()
+    }
+
+    /// The whole metrics document: cache, engine, and per-tenant stats.
+    pub fn metrics_json(&self) -> String {
+        let cache = self.cache_stats().to_json();
+        let tenants = tenants_json(&self.inner.tenants.lock());
+        let cfg = &self.inner.cfg;
+        format!(
+            "{{\"cache\":{cache},\"engine\":{{\"workers\":{},\"queue_capacity\":{},\
+             \"queue_len\":{},\"max_batch\":{},\"cold\":{},\"gpu\":\"{}\",\
+             \"worker_panics\":{},\"worker_respawns\":{}}},\"tenants\":{tenants}}}",
+            cfg.workers,
+            cfg.queue_capacity,
+            self.queue_len(),
+            cfg.max_batch,
+            cfg.cold,
+            json_escape(&format!("{:?}", cfg.gpu)),
+            self.worker_panics(),
+            self.worker_respawns(),
+        )
+    }
+
+    /// Graceful drain: stop admitting, let workers finish the queue, join
+    /// the pool. Idempotent.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        self.inner.available.notify_all();
+        if let Some(m) = self.monitor.lock().take() {
+            let _ = m.join();
+        }
+        let handles: Vec<thread::JoinHandle<()>> =
+            self.workers.lock().iter_mut().filter_map(Option::take).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServeEngine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn spawn_worker(inner: Arc<Inner>) -> thread::JoinHandle<()> {
+    thread::Builder::new()
+        .name("fs-serve-worker".to_string())
+        .spawn(move || worker_loop(&inner))
+        .unwrap_or_else(|e| panic!("failed to spawn worker thread: {e}")) // lint: allow-panic - thread spawn failure at startup is unrecoverable
+}
+
+fn spawn_monitor(
+    inner: Arc<Inner>,
+    workers: Arc<Mutex<Vec<Option<thread::JoinHandle<()>>>>>,
+) -> thread::JoinHandle<()> {
+    thread::Builder::new()
+        .name("fs-serve-monitor".to_string())
+        .spawn(move || {
+            while !inner.shutdown.load(Ordering::Acquire) {
+                {
+                    let mut pool = workers.lock();
+                    for slot in pool.iter_mut() {
+                        let dead = slot.as_ref().is_some_and(|h| h.is_finished());
+                        if dead && !inner.shutdown.load(Ordering::Acquire) {
+                            if let Some(h) = slot.take() {
+                                // The worker died from an escaped panic:
+                                // count it and put a fresh one in its slot.
+                                let _ = h.join();
+                                inner.worker_panics.fetch_add(1, Ordering::Relaxed);
+                                inner.worker_respawns.fetch_add(1, Ordering::Relaxed);
+                                *slot = Some(spawn_worker(Arc::clone(&inner)));
+                            }
+                        }
+                    }
+                }
+                thread::sleep(Duration::from_millis(20));
+            }
+        })
+        .unwrap_or_else(|e| panic!("failed to spawn monitor thread: {e}")) // lint: allow-panic - thread spawn failure at startup is unrecoverable
+}
+
+fn worker_loop(inner: &Arc<Inner>) {
+    loop {
+        let Some(batch) = next_batch(inner) else { return };
+        // The PanicWorker test hook escapes the unwind boundary on
+        // purpose: the thread dies and the supervisor must respawn it.
+        if batch.iter().any(|j| j.op == JobOp::PanicWorker) {
+            panic!("poison request escaped the batch boundary (test hook)");
+        }
+        run_batch(inner, batch);
+    }
+}
+
+/// Pop the next micro-batch: the frontmost job plus up to `max_batch - 1`
+/// queued jobs against the same matrix (in arrival order). Blocks while
+/// the queue is empty; returns `None` once the engine drains.
+fn next_batch(inner: &Arc<Inner>) -> Option<Vec<Job>> {
+    let mut q = lock_recover(&inner.queue);
+    loop {
+        if let Some(first) = q.pop_front() {
+            let matrix_id = first.matrix_id;
+            let mut batch = vec![first];
+            let mut i = 0;
+            while i < q.len() && batch.len() < inner.cfg.max_batch {
+                if q[i].matrix_id == matrix_id && q[i].op == JobOp::Spmm {
+                    if let Some(job) = q.remove(i) {
+                        batch.push(job);
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+            return Some(batch);
+        }
+        if inner.shutdown.load(Ordering::Acquire) {
+            return None;
+        }
+        let (guard, _) = inner
+            .available
+            .wait_timeout(q, Duration::from_millis(50))
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        q = guard;
+    }
+}
+
+fn run_batch(inner: &Arc<Inner>, batch: Vec<Job>) {
+    let now = Instant::now();
+    let mut live: Vec<Job> = Vec::with_capacity(batch.len());
+    for job in batch {
+        if now > job.deadline {
+            inner.tenants.lock().entry(job.tenant.clone()).or_default().timed_out += 1;
+            let _ = job.tx.send(SpmmOutcome::TimedOut);
+        } else {
+            live.push(job);
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+    let batch_size = live.len();
+    let started = Instant::now();
+    let result = catch_unwind(AssertUnwindSafe(|| execute_batch(inner, &live)));
+    let service_micros = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+
+    match result {
+        Ok((outputs, cache_hit)) => {
+            for (job, (out, counters)) in live.into_iter().zip(outputs) {
+                let queue_micros =
+                    started.duration_since(job.enqueued).as_micros().min(u128::from(u64::MAX))
+                        as u64;
+                {
+                    let mut tenants = inner.tenants.lock();
+                    let t = tenants.entry(job.tenant.clone()).or_default();
+                    t.completed += 1;
+                    t.counters += counters;
+                }
+                let _ = job.tx.send(SpmmOutcome::Done(SpmmResponse {
+                    out,
+                    counters,
+                    cache_hit,
+                    batch_size,
+                    queue_micros,
+                    service_micros,
+                }));
+            }
+        }
+        Err(_) => {
+            inner.worker_panics.fetch_add(1, Ordering::Relaxed);
+            for job in live {
+                inner.tenants.lock().entry(job.tenant.clone()).or_default().failed += 1;
+                let _ = job
+                    .tx
+                    .send(SpmmOutcome::Failed("worker panicked during batch execution".into()));
+            }
+        }
+    }
+}
+
+/// Resolve the translated format for the batch (cache hit or
+/// translate + tune), then run every request against it.
+fn execute_batch(
+    inner: &Arc<Inner>,
+    batch: &[Job],
+) -> (Vec<(DenseMatrix<f32>, KernelCounters)>, bool) {
+    let matrix_id = batch[0].matrix_id;
+    let reg = inner
+        .matrices
+        .read()
+        .get(&matrix_id)
+        .cloned()
+        .unwrap_or_else(|| panic!("matrix {matrix_id} disappeared")); // lint: allow-panic - registration precedes admission; caught by the batch unwind boundary
+    let n_hint = batch[0].b.cols().max(1);
+    let (format, cache_hit) = resolve_format(inner, &reg, n_hint);
+    let mut batches_stats = inner.tenants.lock();
+    for job in batch {
+        let t = batches_stats.entry(job.tenant.clone()).or_default();
+        t.batches += 1;
+        t.max_batch = t.max_batch.max(batch.len() as u64);
+    }
+    drop(batches_stats);
+    let outputs = batch
+        .iter()
+        .map(|job| {
+            if job.op == JobOp::PanicInBatch {
+                panic!("poison request (test hook)");
+            }
+            format.translated.spmm_f32(&job.b, format.choice.mapping)
+        })
+        .collect();
+    (outputs, cache_hit)
+}
+
+fn resolve_format(
+    inner: &Arc<Inner>,
+    reg: &Registered,
+    n_hint: usize,
+) -> (Arc<CachedFormat>, bool) {
+    if let Some(hit) = inner.cache.lock().get(&reg.fingerprint) {
+        return (hit, true);
+    }
+    // Miss: translate and tune *outside* the cache lock — this is the
+    // expensive path the cache exists to amortize.
+    let choice = auto_tune(&reg.csr, n_hint, inner.cfg.gpu);
+    let translated = TranslatedMatrix::translate(&reg.csr, &choice);
+    let arc = inner.cache.lock().insert(reg.fingerprint, CachedFormat { translated, choice });
+    (arc, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fs_matrix::gen::random_uniform;
+
+    fn engine(cfg: EngineConfig) -> (ServeEngine, MatrixInfo, CsrMatrix<f32>) {
+        let e = ServeEngine::start(cfg);
+        let csr = CsrMatrix::from_coo(&random_uniform::<f32>(96, 96, 800, 3));
+        let info = e.register_matrix("t0", csr.clone());
+        (e, info, csr)
+    }
+
+    fn request(info: &MatrixInfo, n: usize) -> SpmmRequest {
+        SpmmRequest {
+            tenant: "t0".to_string(),
+            matrix_id: info.id,
+            b: DenseMatrix::from_fn(info.cols, n, |r, c| ((r + c) % 5) as f32 * 0.25),
+            deadline: None,
+        }
+    }
+
+    #[test]
+    fn basic_request_roundtrip() {
+        let (e, info, csr) = engine(EngineConfig::default());
+        let outcome = e.spmm_blocking(request(&info, 16)).expect("admitted");
+        let SpmmOutcome::Done(resp) = outcome else { panic!("expected Done") };
+        assert_eq!(resp.out.rows(), 96);
+        assert!(resp.counters.mma_count > 0);
+        let reference = csr.spmm_reference(&request(&info, 16).b);
+        assert!(resp.out.max_abs_diff(&reference) < 0.6);
+        e.shutdown();
+    }
+
+    #[test]
+    fn second_request_hits_the_cache() {
+        let (e, info, _) = engine(EngineConfig::default());
+        let first = e.spmm_blocking(request(&info, 16)).expect("admitted");
+        let second = e.spmm_blocking(request(&info, 16)).expect("admitted");
+        let (SpmmOutcome::Done(a), SpmmOutcome::Done(b)) = (first, second) else {
+            panic!("expected Done")
+        };
+        assert!(!a.cache_hit);
+        assert!(b.cache_hit);
+        let stats = e.cache_stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        e.shutdown();
+    }
+
+    #[test]
+    fn cold_engine_never_hits() {
+        let (e, info, _) = engine(EngineConfig { cold: true, ..EngineConfig::default() });
+        for _ in 0..3 {
+            let outcome = e.spmm_blocking(request(&info, 8)).expect("admitted");
+            let SpmmOutcome::Done(resp) = outcome else { panic!("expected Done") };
+            assert!(!resp.cache_hit);
+        }
+        assert_eq!(e.cache_stats().hits, 0);
+        e.shutdown();
+    }
+
+    #[test]
+    fn unknown_matrix_and_bad_dims_are_rejected_at_admission() {
+        let (e, info, _) = engine(EngineConfig::default());
+        let mut bad = request(&info, 8);
+        bad.matrix_id = 999;
+        assert_eq!(e.submit(bad).err(), Some(SubmitError::UnknownMatrix(999)));
+        let wrong = SpmmRequest {
+            tenant: "t0".into(),
+            matrix_id: info.id,
+            b: DenseMatrix::zeros(7, 8),
+            deadline: None,
+        };
+        assert!(matches!(e.submit(wrong), Err(SubmitError::DimensionMismatch { .. })));
+        e.shutdown();
+    }
+
+    #[test]
+    fn expired_deadline_sheds_the_request() {
+        let (e, info, _) = engine(EngineConfig { workers: 1, ..EngineConfig::default() });
+        // A zero deadline is already expired by the time a worker sees it.
+        let mut req = request(&info, 8);
+        req.deadline = Some(Duration::from_millis(0));
+        // Saturate the worker briefly so the doomed request sits queued.
+        let hold = e.submit(request(&info, 64)).expect("admitted");
+        let doomed = e.submit(req).expect("admitted");
+        let _ = hold.wait();
+        assert!(matches!(doomed.wait(), SpmmOutcome::TimedOut));
+        assert_eq!(e.tenant_stats("t0").timed_out, 1);
+        e.shutdown();
+    }
+
+    #[test]
+    fn queue_full_rejects() {
+        let cfg = EngineConfig { workers: 1, queue_capacity: 1, ..EngineConfig::default() };
+        let e = ServeEngine::start(cfg);
+        let csr = CsrMatrix::from_coo(&random_uniform::<f32>(512, 512, 40_000, 3));
+        let info = e.register_matrix("t0", csr);
+        let req = || SpmmRequest {
+            tenant: "t0".to_string(),
+            matrix_id: info.id,
+            b: DenseMatrix::from_fn(info.cols, 32, |r, c| ((r + c) % 5) as f32),
+            deadline: None,
+        };
+        // Keep submitting until admission control pushes back.
+        let mut tickets = Vec::new();
+        let mut saw_reject = false;
+        for _ in 0..64 {
+            match e.submit(req()) {
+                Ok(t) => tickets.push(t),
+                Err(SubmitError::QueueFull) => {
+                    saw_reject = true;
+                    break;
+                }
+                Err(other) => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(saw_reject, "bounded queue never pushed back");
+        assert!(e.tenant_stats("t0").rejected >= 1);
+        for t in tickets {
+            let _ = t.wait();
+        }
+        e.shutdown();
+    }
+
+    #[test]
+    fn panic_in_batch_is_isolated() {
+        let (e, info, _) = engine(EngineConfig { workers: 1, ..EngineConfig::default() });
+        let poison = e.submit_poison("t0", info.id, false).expect("admitted");
+        assert!(matches!(poison.wait(), SpmmOutcome::Failed(_)));
+        assert_eq!(e.worker_panics(), 1);
+        // The same worker still serves normal requests.
+        let outcome = e.spmm_blocking(request(&info, 8)).expect("admitted");
+        assert!(matches!(outcome, SpmmOutcome::Done(_)));
+        assert_eq!(e.tenant_stats("t0").failed, 1);
+        e.shutdown();
+    }
+
+    #[test]
+    fn escaped_panic_respawns_the_worker() {
+        let (e, info, _) = engine(EngineConfig { workers: 1, ..EngineConfig::default() });
+        let poison = e.submit_poison("t0", info.id, true).expect("admitted");
+        assert!(matches!(poison.wait(), SpmmOutcome::Failed(_)));
+        // Wait for the supervisor to notice and respawn.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while e.worker_respawns() == 0 && Instant::now() < deadline {
+            thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(e.worker_respawns(), 1);
+        let outcome = e.spmm_blocking(request(&info, 8)).expect("admitted");
+        assert!(matches!(outcome, SpmmOutcome::Done(_)));
+        e.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_work() {
+        let (e, info, _) = engine(EngineConfig { workers: 2, ..EngineConfig::default() });
+        let tickets: Vec<Ticket> =
+            (0..8).map(|_| e.submit(request(&info, 16)).expect("admitted")).collect();
+        e.shutdown();
+        for t in tickets {
+            assert!(matches!(t.wait(), SpmmOutcome::Done(_)), "queued request lost in drain");
+        }
+        assert!(e.submit(request(&info, 16)).is_err());
+    }
+
+    #[test]
+    fn metrics_json_is_well_formed() {
+        let (e, info, _) = engine(EngineConfig::default());
+        let _ = e.spmm_blocking(request(&info, 8));
+        let j = e.metrics_json();
+        assert!(j.contains("\"cache\":{"));
+        assert!(j.contains("\"tenants\":{\"t0\":{"));
+        assert!(j.contains("\"counters\":{\"mma_count\":"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        e.shutdown();
+    }
+}

@@ -1,0 +1,119 @@
+//! Content fingerprints for sparse matrices.
+//!
+//! The format cache is keyed by *what the matrix is*, not by who loaded
+//! it: two tenants registering the same graph share one translated entry.
+//! The fingerprint therefore hashes the full CSR content — dimensions,
+//! structure, and value bits — with FNV-1a over two independent streams
+//! (forward and length-salted) to make accidental 64-bit collisions
+//! vanishingly unlikely without pulling in a crypto dependency.
+
+use fs_matrix::CsrMatrix;
+
+/// A 128-bit content fingerprint of a CSR matrix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint {
+    hi: u64,
+    lo: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+struct Fnv(u64);
+
+impl Fnv {
+    fn new(seed: u64) -> Fnv {
+        Fnv(FNV_OFFSET ^ seed)
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        for byte in v.to_le_bytes() {
+            self.0 = (self.0 ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+        }
+    }
+}
+
+impl Fingerprint {
+    /// Fingerprint a CSR matrix's content (dimensions, row pointers,
+    /// column indices, and the exact f32 value bits).
+    pub fn of(csr: &CsrMatrix<f32>) -> Fingerprint {
+        let mut a = Fnv::new(0);
+        let mut b = Fnv::new(0x9e37_79b9_7f4a_7c15);
+        let mut feed = |v: u64| {
+            a.write_u64(v);
+            b.write_u64(v.rotate_left(17));
+        };
+        feed(csr.rows() as u64);
+        feed(csr.cols() as u64);
+        feed(csr.nnz() as u64);
+        for &p in csr.row_ptr() {
+            feed(p as u64);
+        }
+        for &c in csr.col_idx() {
+            feed(u64::from(c));
+        }
+        for &v in csr.values() {
+            feed(u64::from(v.to_bits()));
+        }
+        Fingerprint { hi: a.0, lo: b.0 }
+    }
+
+    /// The high 64 bits (stable across runs; used on the wire).
+    pub fn hi(&self) -> u64 {
+        self.hi
+    }
+
+    /// The low 64 bits.
+    pub fn lo(&self) -> u64 {
+        self.lo
+    }
+}
+
+impl std::fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}{:016x}", self.hi, self.lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fs_matrix::gen::random_uniform;
+    use fs_matrix::CooMatrix;
+
+    #[test]
+    fn identical_content_same_fingerprint() {
+        let a = CsrMatrix::from_coo(&random_uniform::<f32>(64, 64, 300, 7));
+        let b = CsrMatrix::from_coo(&random_uniform::<f32>(64, 64, 300, 7));
+        assert_eq!(Fingerprint::of(&a), Fingerprint::of(&b));
+    }
+
+    #[test]
+    fn different_content_different_fingerprint() {
+        let a = CsrMatrix::from_coo(&random_uniform::<f32>(64, 64, 300, 7));
+        let b = CsrMatrix::from_coo(&random_uniform::<f32>(64, 64, 300, 8));
+        assert_ne!(Fingerprint::of(&a), Fingerprint::of(&b));
+    }
+
+    #[test]
+    fn value_bits_matter() {
+        let a = CsrMatrix::from_coo(&CooMatrix::from_entries(8, 8, vec![(0, 0, 1.0f32)]));
+        let b = CsrMatrix::from_coo(&CooMatrix::from_entries(8, 8, vec![(0, 0, 1.5f32)]));
+        assert_ne!(Fingerprint::of(&a), Fingerprint::of(&b));
+    }
+
+    #[test]
+    fn dimensions_matter_even_with_same_entries() {
+        let a = CsrMatrix::from_coo(&CooMatrix::from_entries(8, 8, vec![(0, 0, 1.0f32)]));
+        let b = CsrMatrix::from_coo(&CooMatrix::from_entries(16, 8, vec![(0, 0, 1.0f32)]));
+        assert_ne!(Fingerprint::of(&a), Fingerprint::of(&b));
+    }
+
+    #[test]
+    fn display_is_32_hex_chars() {
+        let a = CsrMatrix::from_coo(&random_uniform::<f32>(16, 16, 40, 1));
+        let s = Fingerprint::of(&a).to_string();
+        assert_eq!(s.len(), 32);
+        assert!(s.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+}

@@ -1,0 +1,37 @@
+//! fs-serve: a batched SpMM serving engine over the FlashSparse kernels.
+//!
+//! Production SpMM workloads (GNN inference, recommendation retrieval)
+//! reuse the same sparse matrix across many requests, so the expensive
+//! part of FlashSparse's pipeline — CSR → ME-BCRS translation plus
+//! auto-tune variant selection — should be paid once, not per request.
+//! This crate wraps the kernel library in a small serving engine:
+//!
+//! - [`cache`] — an LRU of translated formats keyed by content
+//!   fingerprint, bounded by a byte budget measured with the same
+//!   footprint accounting the paper's Table 7 uses.
+//! - [`engine`] — a bounded-queue, panic-isolated worker pool that
+//!   groups concurrent requests for the same matrix into micro-batches
+//!   and folds [`fs_tcu::KernelCounters`] into per-tenant totals.
+//! - [`protocol`]/[`server`]/[`client`] — a length-prefixed binary TCP
+//!   protocol (std::net only) plus a blocking client.
+//! - [`loadgen`] — open/closed-loop traffic generation with a JSON
+//!   latency/throughput report.
+//!
+//! Two binaries ship with the crate: `fs-serve` (the daemon) and
+//! `loadgen` (the measurement driver).
+
+pub mod cache;
+pub mod client;
+pub mod engine;
+pub mod fingerprint;
+pub mod loadgen;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+
+pub use cache::{CacheStats, CachedFormat, FormatCache};
+pub use client::{ClientError, LoadedMatrix, ServeClient, SpmmResult};
+pub use engine::{EngineConfig, ServeEngine, SpmmOutcome, SpmmRequest, SpmmResponse, SubmitError};
+pub use fingerprint::Fingerprint;
+pub use loadgen::{LoadReport, LoadgenConfig, MatrixSpec};
+pub use server::{Server, ServerConfig};

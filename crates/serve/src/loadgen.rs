@@ -1,0 +1,367 @@
+//! Traffic generation against a running `fs-serve`: open- and
+//! closed-loop drivers with a JSON latency/throughput report.
+//!
+//! Closed loop: `concurrency` workers each keep one request in flight —
+//! throughput is what the server sustains. Open loop: requests are fired
+//! on a fixed-rate schedule regardless of completions — latency includes
+//! the queueing a server under offered load actually builds up (the
+//! coordinated-omission-free number).
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use fs_matrix::gen::{random_uniform, rmat, RmatConfig};
+use fs_matrix::CsrMatrix;
+
+use crate::client::{ClientError, ServeClient};
+
+/// Which synthetic matrix the generator loads.
+#[derive(Clone, Copy, Debug)]
+pub enum MatrixSpec {
+    /// Power-law graph: `2^scale` nodes, `edge_factor` edges per node.
+    Rmat {
+        /// log2 of the node count.
+        scale: u32,
+        /// Edges per node.
+        edge_factor: usize,
+    },
+    /// Uniform random: `rows × cols` with `nnz` nonzeros.
+    Uniform {
+        /// Rows.
+        rows: usize,
+        /// Columns.
+        cols: usize,
+        /// Nonzeros.
+        nnz: usize,
+    },
+}
+
+impl MatrixSpec {
+    /// Materialize the matrix (deterministic seed, so every worker and
+    /// every run loads identical content — one cache entry server-side).
+    pub fn build(&self) -> CsrMatrix<f32> {
+        match *self {
+            MatrixSpec::Rmat { scale, edge_factor } => CsrMatrix::from_coo(&rmat::<f32>(
+                scale,
+                edge_factor,
+                RmatConfig::GRAPH500,
+                true,
+                42,
+            )),
+            MatrixSpec::Uniform { rows, cols, nnz } => {
+                CsrMatrix::from_coo(&random_uniform::<f32>(rows, cols, nnz, 42))
+            }
+        }
+    }
+}
+
+/// Load-generator settings.
+#[derive(Clone, Debug)]
+pub struct LoadgenConfig {
+    /// Server address.
+    pub addr: SocketAddr,
+    /// Worker connections.
+    pub concurrency: usize,
+    /// Distinct tenants to spread workers across.
+    pub tenants: usize,
+    /// Total requests (closed loop) or upper bound (open loop).
+    pub requests: usize,
+    /// Open-loop offered rate; `None` = closed loop.
+    pub open_rps: Option<f64>,
+    /// Open-loop duration.
+    pub duration: Duration,
+    /// Dense-operand columns.
+    pub n: usize,
+    /// The matrix to serve against.
+    pub matrix: MatrixSpec,
+    /// Per-request deadline in ms (0 = server default).
+    pub deadline_ms: u32,
+    /// How long to retry the initial connection.
+    pub ready_timeout: Duration,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> LoadgenConfig {
+        LoadgenConfig {
+            addr: SocketAddr::from(([127, 0, 0, 1], 7949)),
+            concurrency: 4,
+            tenants: 1,
+            requests: 200,
+            open_rps: None,
+            duration: Duration::from_secs(5),
+            n: 32,
+            matrix: MatrixSpec::Uniform { rows: 512, cols: 512, nnz: 8192 },
+            deadline_ms: 0,
+            ready_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Aggregated results of one run.
+#[derive(Clone, Debug, Default)]
+pub struct LoadReport {
+    /// `"closed"` or `"open"`.
+    pub mode: String,
+    /// Requests that completed successfully.
+    pub completed: u64,
+    /// Requests refused by admission control.
+    pub rejected: u64,
+    /// Requests shed on deadline.
+    pub timed_out: u64,
+    /// Transport/internal failures.
+    pub errors: u64,
+    /// Responses served from the format cache.
+    pub cache_hits: u64,
+    /// Wall-clock of the measurement window, milliseconds.
+    pub duration_ms: u64,
+    /// Completed requests per second.
+    pub rps: f64,
+    /// Latency percentiles over completed requests, microseconds.
+    pub p50_us: u64,
+    /// 95th percentile latency.
+    pub p95_us: u64,
+    /// 99th percentile latency.
+    pub p99_us: u64,
+    /// Mean latency.
+    pub mean_us: u64,
+    /// Largest micro-batch any response reported.
+    pub max_batch: u64,
+}
+
+impl LoadReport {
+    /// Cache hits over completed requests.
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.completed as f64
+        }
+    }
+
+    /// The run report as a single JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"mode\":\"{}\",\"completed\":{},\"rejected\":{},\"timed_out\":{},\"errors\":{},\
+             \"cache_hits\":{},\"cache_hit_rate\":{:.6},\"duration_ms\":{},\"rps\":{:.2},\
+             \"p50_us\":{},\"p95_us\":{},\"p99_us\":{},\"mean_us\":{},\"max_batch\":{}}}",
+            self.mode,
+            self.completed,
+            self.rejected,
+            self.timed_out,
+            self.errors,
+            self.cache_hits,
+            self.cache_hit_rate(),
+            self.duration_ms,
+            self.rps,
+            self.p50_us,
+            self.p95_us,
+            self.p99_us,
+            self.mean_us,
+            self.max_batch
+        )
+    }
+}
+
+/// Percentile of a sorted latency list (nearest-rank).
+pub fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+struct WorkerTally {
+    latencies: Vec<u64>,
+    rejected: u64,
+    timed_out: u64,
+    errors: u64,
+    cache_hits: u64,
+    max_batch: u64,
+}
+
+/// Run the configured workload. Returns the report, or an error string
+/// when the server cannot be reached at all.
+pub fn run(cfg: &LoadgenConfig) -> Result<LoadReport, String> {
+    let csr = Arc::new(cfg.matrix.build());
+    let b: Arc<Vec<f32>> =
+        Arc::new((0..csr.cols() * cfg.n).map(|i| ((i % 11) as f32 - 5.0) * 0.125).collect());
+
+    // One tenant-side registration per tenant name (identical content →
+    // one shared cache entry server-side).
+    let mut matrix_ids = Vec::with_capacity(cfg.tenants.max(1));
+    {
+        let mut probe = ServeClient::connect_with_retry(&cfg.addr, cfg.ready_timeout)
+            .map_err(|e| format!("server not reachable: {e}"))?;
+        for t in 0..cfg.tenants.max(1) {
+            let loaded = probe
+                .load_matrix(&format!("t{t}"), &csr)
+                .map_err(|e| format!("load failed: {e}"))?;
+            matrix_ids.push(loaded.matrix_id);
+        }
+    }
+
+    let issued = Arc::new(AtomicUsize::new(0));
+    let started = Instant::now();
+    let start_nanos = Arc::new(AtomicU64::new(0));
+    start_nanos.store(0, Ordering::Relaxed);
+
+    let mut handles = Vec::new();
+    for w in 0..cfg.concurrency.max(1) {
+        let cfg = cfg.clone();
+        let b = Arc::clone(&b);
+        let csr = Arc::clone(&csr);
+        let issued = Arc::clone(&issued);
+        let tenant_idx = w % cfg.tenants.max(1);
+        let matrix_id = matrix_ids[tenant_idx];
+        handles.push(thread::spawn(move || -> WorkerTally {
+            let mut tally = WorkerTally {
+                latencies: Vec::new(),
+                rejected: 0,
+                timed_out: 0,
+                errors: 0,
+                cache_hits: 0,
+                max_batch: 0,
+            };
+            let mut client = match ServeClient::connect_with_retry(&cfg.addr, cfg.ready_timeout) {
+                Ok(c) => c,
+                Err(_) => {
+                    tally.errors += 1;
+                    return tally;
+                }
+            };
+            let tenant = format!("t{tenant_idx}");
+            loop {
+                let slot = issued.fetch_add(1, Ordering::Relaxed);
+                if slot >= cfg.requests {
+                    break;
+                }
+                if let Some(rps) = cfg.open_rps {
+                    // Open loop: fire at the scheduled instant, not when
+                    // the previous response lands.
+                    let due = started + Duration::from_secs_f64(slot as f64 / rps);
+                    let now = Instant::now();
+                    if now < due {
+                        thread::sleep(due - now);
+                    }
+                    if started.elapsed() > cfg.duration {
+                        break;
+                    }
+                }
+                let t0 = Instant::now();
+                match client.spmm(&tenant, matrix_id, csr.cols(), cfg.n, &b, cfg.deadline_ms) {
+                    Ok(resp) => {
+                        let us = t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+                        tally.latencies.push(us);
+                        if resp.cache_hit {
+                            tally.cache_hits += 1;
+                        }
+                        tally.max_batch = tally.max_batch.max(resp.batch_size as u64);
+                    }
+                    Err(ClientError::Server { code, .. }) => match code {
+                        crate::protocol::ErrorCode::QueueFull => tally.rejected += 1,
+                        crate::protocol::ErrorCode::DeadlineExceeded => tally.timed_out += 1,
+                        _ => tally.errors += 1,
+                    },
+                    Err(_) => {
+                        tally.errors += 1;
+                        // Reconnect once; a dropped connection otherwise
+                        // wastes the rest of this worker's slots.
+                        match ServeClient::connect_with_retry(&cfg.addr, cfg.ready_timeout) {
+                            Ok(c) => client = c,
+                            Err(_) => break,
+                        }
+                    }
+                }
+            }
+            tally
+        }));
+    }
+
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut report = LoadReport {
+        mode: if cfg.open_rps.is_some() { "open" } else { "closed" }.to_string(),
+        ..LoadReport::default()
+    };
+    for h in handles {
+        match h.join() {
+            Ok(t) => {
+                latencies.extend(t.latencies);
+                report.rejected += t.rejected;
+                report.timed_out += t.timed_out;
+                report.errors += t.errors;
+                report.cache_hits += t.cache_hits;
+                report.max_batch = report.max_batch.max(t.max_batch);
+            }
+            Err(_) => report.errors += 1,
+        }
+    }
+    let elapsed = started.elapsed();
+    latencies.sort_unstable();
+    report.completed = latencies.len() as u64;
+    report.duration_ms = elapsed.as_millis().min(u128::from(u64::MAX)) as u64;
+    report.rps = if elapsed.as_secs_f64() > 0.0 {
+        report.completed as f64 / elapsed.as_secs_f64()
+    } else {
+        0.0
+    };
+    report.p50_us = percentile(&latencies, 50.0);
+    report.p95_us = percentile(&latencies, 95.0);
+    report.p99_us = percentile(&latencies, 99.0);
+    report.mean_us = if latencies.is_empty() {
+        0
+    } else {
+        latencies.iter().sum::<u64>() / latencies.len() as u64
+    };
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 50.0), 50);
+        assert_eq!(percentile(&v, 95.0), 95);
+        assert_eq!(percentile(&v, 99.0), 99);
+        assert_eq!(percentile(&v, 100.0), 100);
+        assert_eq!(percentile(&[], 50.0), 0);
+        assert_eq!(percentile(&[7], 99.0), 7);
+    }
+
+    #[test]
+    fn report_json_has_the_acceptance_fields() {
+        let mut r = LoadReport { mode: "closed".into(), ..LoadReport::default() };
+        r.completed = 10;
+        r.cache_hits = 9;
+        r.rps = 123.456;
+        r.p50_us = 1;
+        r.p95_us = 2;
+        r.p99_us = 3;
+        let j = r.to_json();
+        for key in [
+            "\"p50_us\":1",
+            "\"p95_us\":2",
+            "\"p99_us\":3",
+            "\"rps\":123.46",
+            "\"cache_hit_rate\":0.9",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+    }
+
+    #[test]
+    fn matrix_specs_are_deterministic() {
+        let a = MatrixSpec::Uniform { rows: 64, cols: 64, nnz: 300 }.build();
+        let b = MatrixSpec::Uniform { rows: 64, cols: 64, nnz: 300 }.build();
+        assert_eq!(
+            crate::fingerprint::Fingerprint::of(&a),
+            crate::fingerprint::Fingerprint::of(&b)
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! Per-tenant accounting and the metrics JSON document.
+//!
+//! Every executed micro-batch folds its [`KernelCounters`] into the
+//! owning tenant's running totals (the multi-tenant analogue of the
+//! per-experiment counter merging the bench harness does), alongside
+//! request-lifecycle counts — so a tenant's share of simulated tensor-core
+//! work is first-class, not reconstructed from logs.
+
+use std::collections::HashMap;
+
+use fs_tcu::KernelCounters;
+
+/// Lifecycle + kernel totals for one tenant.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TenantStats {
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests completed successfully.
+    pub completed: u64,
+    /// Requests refused at admission (queue full).
+    pub rejected: u64,
+    /// Requests shed because their deadline passed while queued.
+    pub timed_out: u64,
+    /// Requests failed by a worker panic or internal error.
+    pub failed: u64,
+    /// Micro-batches executed on behalf of this tenant.
+    pub batches: u64,
+    /// Largest micro-batch observed.
+    pub max_batch: u64,
+    /// Merged counters of every kernel run for this tenant.
+    pub counters: KernelCounters,
+}
+
+impl TenantStats {
+    /// JSON object (uses the shared [`KernelCounters::to_json`]).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"submitted\":{},\"completed\":{},\"rejected\":{},\"timed_out\":{},\
+             \"failed\":{},\"batches\":{},\"max_batch\":{},\"counters\":{}}}",
+            self.submitted,
+            self.completed,
+            self.rejected,
+            self.timed_out,
+            self.failed,
+            self.batches,
+            self.max_batch,
+            self.counters.to_json()
+        )
+    }
+}
+
+/// Escape a string for embedding in a JSON document.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render the tenant map as a JSON object keyed by tenant name.
+pub fn tenants_json(tenants: &HashMap<String, TenantStats>) -> String {
+    let mut names: Vec<&String> = tenants.keys().collect();
+    names.sort();
+    let body: Vec<String> = names
+        .iter()
+        .map(|name| format!("\"{}\":{}", json_escape(name), tenants[*name].to_json()))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tenant_json_embeds_shared_counter_serializer() {
+        let mut t = TenantStats::default();
+        t.completed = 4;
+        t.counters.mma_count = 9;
+        let j = t.to_json();
+        assert!(j.contains("\"completed\":4"));
+        assert!(j.contains("\"counters\":{\"mma_count\":9"));
+    }
+
+    #[test]
+    fn escape_handles_quotes_and_control() {
+        assert_eq!(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn tenants_render_sorted() {
+        let mut m = HashMap::new();
+        m.insert("b".to_string(), TenantStats::default());
+        m.insert("a".to_string(), TenantStats::default());
+        let j = tenants_json(&m);
+        assert!(j.find("\"a\"").expect("a present") < j.find("\"b\"").expect("b present"));
+    }
+}

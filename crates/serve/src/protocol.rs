@@ -1,0 +1,551 @@
+//! The length-prefixed binary protocol `fs-serve` speaks over TCP.
+//!
+//! Framing: every message is `[u32 LE payload length][payload]`; the
+//! payload's first byte is the message tag, the rest is the tag-specific
+//! body. All integers are little-endian; floats are IEEE-754 bit
+//! patterns; strings are `u16 LE length + UTF-8 bytes`. Frames above
+//! [`MAX_FRAME_BYTES`] are refused before allocation, so a garbage peer
+//! cannot OOM the server.
+
+use std::io::{self, Read, Write};
+
+/// Refuse frames larger than this (256 MiB) before allocating.
+pub const MAX_FRAME_BYTES: usize = 256 << 20;
+
+/// Client → server messages.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Register a COO matrix; the server replies [`Response::Loaded`].
+    Load {
+        /// Tenant the matrix (and later work) is accounted to.
+        tenant: String,
+        /// Matrix rows.
+        rows: u32,
+        /// Matrix columns.
+        cols: u32,
+        /// COO entries `(row, col, value)`.
+        entries: Vec<(u32, u32, f32)>,
+    },
+    /// SpMM against a registered matrix.
+    Spmm {
+        /// Tenant the work is accounted to.
+        tenant: String,
+        /// Handle from [`Response::Loaded`].
+        matrix_id: u64,
+        /// Deadline in milliseconds (0 = server default).
+        deadline_ms: u32,
+        /// Dense operand rows (must equal the matrix's column count).
+        b_rows: u32,
+        /// Dense operand columns (`n`).
+        n: u32,
+        /// Row-major operand data, `b_rows × n` values.
+        b: Vec<f32>,
+    },
+    /// Fetch the metrics JSON document.
+    Metrics,
+    /// Liveness probe.
+    Ping,
+    /// Ask the server to drain and exit.
+    Shutdown,
+}
+
+/// Server → client messages.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// A matrix was registered.
+    Loaded {
+        /// Handle for subsequent [`Request::Spmm`]s.
+        matrix_id: u64,
+        /// High 64 bits of the content fingerprint.
+        fingerprint_hi: u64,
+        /// Low 64 bits of the content fingerprint.
+        fingerprint_lo: u64,
+        /// Nonzeros after deduplication.
+        nnz: u64,
+    },
+    /// An SpMM completed.
+    Spmm {
+        /// Whether the translated format came from the cache.
+        cache_hit: bool,
+        /// Micro-batch size this request rode in.
+        batch_size: u32,
+        /// Microseconds queued.
+        queue_micros: u64,
+        /// Microseconds of execution.
+        service_micros: u64,
+        /// Output rows.
+        rows: u32,
+        /// Output columns.
+        n: u32,
+        /// Row-major output, `rows × n` values.
+        out: Vec<f32>,
+    },
+    /// The metrics document.
+    Metrics {
+        /// JSON text.
+        json: String,
+    },
+    /// Ping reply.
+    Pong,
+    /// Shutdown acknowledged; the server drains after sending this.
+    ShutdownAck,
+    /// The request failed.
+    Error {
+        /// Machine-readable reason.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// Why a request failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Admission control refused: the queue is full.
+    QueueFull,
+    /// The request's deadline passed before execution.
+    DeadlineExceeded,
+    /// A server-side failure (worker panic, internal error).
+    Internal,
+    /// The request was malformed.
+    BadRequest,
+    /// No matrix with that id.
+    UnknownMatrix,
+}
+
+impl ErrorCode {
+    fn to_byte(self) -> u8 {
+        match self {
+            ErrorCode::QueueFull => 1,
+            ErrorCode::DeadlineExceeded => 2,
+            ErrorCode::Internal => 3,
+            ErrorCode::BadRequest => 4,
+            ErrorCode::UnknownMatrix => 5,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<ErrorCode> {
+        match b {
+            1 => Some(ErrorCode::QueueFull),
+            2 => Some(ErrorCode::DeadlineExceeded),
+            3 => Some(ErrorCode::Internal),
+            4 => Some(ErrorCode::BadRequest),
+            5 => Some(ErrorCode::UnknownMatrix),
+            _ => None,
+        }
+    }
+}
+
+/// A malformed frame or payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProtoError(pub String);
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "protocol error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+// --- framing ---
+
+/// Write one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "frame exceeds MAX_FRAME_BYTES"));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one length-prefixed frame. `Ok(None)` on clean EOF at a frame
+/// boundary (the peer closed between messages).
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len_bytes = [0u8; 4];
+    match r.read_exact(&mut len_bytes) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "frame exceeds MAX_FRAME_BYTES"));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+// --- payload encoding ---
+
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(data: &'a [u8]) -> Cursor<'a> {
+        Cursor { data, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        if self.pos + n > self.data.len() {
+            return Err(ProtoError(format!(
+                "truncated payload: wanted {n} bytes at offset {}, have {}",
+                self.pos,
+                self.data.len()
+            )));
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ProtoError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    fn f32(&mut self) -> Result<f32, ProtoError> {
+        Ok(f32::from_bits(self.u32()?))
+    }
+
+    fn string(&mut self) -> Result<String, ProtoError> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| ProtoError("invalid UTF-8 string".into()))
+    }
+
+    fn f32_vec(&mut self, count: usize) -> Result<Vec<f32>, ProtoError> {
+        let bytes = self.take(
+            count.checked_mul(4).ok_or_else(|| ProtoError("f32 vector length overflows".into()))?,
+        )?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_bits(u32::from_le_bytes([c[0], c[1], c[2], c[3]])))
+            .collect())
+    }
+
+    fn done(&self) -> Result<(), ProtoError> {
+        if self.pos == self.data.len() {
+            Ok(())
+        } else {
+            Err(ProtoError(format!("{} trailing bytes", self.data.len() - self.pos)))
+        }
+    }
+}
+
+fn put_string(out: &mut Vec<u8>, s: &str) -> Result<(), ProtoError> {
+    let len =
+        u16::try_from(s.len()).map_err(|_| ProtoError("string longer than 65535 bytes".into()))?;
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+    Ok(())
+}
+
+fn put_f32s(out: &mut Vec<u8>, values: &[f32]) {
+    out.reserve(values.len() * 4);
+    for v in values {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+}
+
+const REQ_LOAD: u8 = 1;
+const REQ_SPMM: u8 = 2;
+const REQ_METRICS: u8 = 3;
+const REQ_PING: u8 = 4;
+const REQ_SHUTDOWN: u8 = 5;
+
+const RESP_LOADED: u8 = 128;
+const RESP_SPMM: u8 = 129;
+const RESP_METRICS: u8 = 130;
+const RESP_PONG: u8 = 131;
+const RESP_SHUTDOWN_ACK: u8 = 132;
+const RESP_ERROR: u8 = 255;
+
+impl Request {
+    /// Encode to a frame payload.
+    pub fn encode(&self) -> Result<Vec<u8>, ProtoError> {
+        let mut out = Vec::new();
+        match self {
+            Request::Load { tenant, rows, cols, entries } => {
+                out.push(REQ_LOAD);
+                put_string(&mut out, tenant)?;
+                out.extend_from_slice(&rows.to_le_bytes());
+                out.extend_from_slice(&cols.to_le_bytes());
+                let n = u64::try_from(entries.len())
+                    .map_err(|_| ProtoError("too many entries".into()))?;
+                out.extend_from_slice(&n.to_le_bytes());
+                for (r, c, v) in entries {
+                    out.extend_from_slice(&r.to_le_bytes());
+                    out.extend_from_slice(&c.to_le_bytes());
+                    out.extend_from_slice(&v.to_bits().to_le_bytes());
+                }
+            }
+            Request::Spmm { tenant, matrix_id, deadline_ms, b_rows, n, b } => {
+                if b.len() != *b_rows as usize * *n as usize {
+                    return Err(ProtoError(format!(
+                        "operand has {} values, dims say {}",
+                        b.len(),
+                        *b_rows as usize * *n as usize
+                    )));
+                }
+                out.push(REQ_SPMM);
+                put_string(&mut out, tenant)?;
+                out.extend_from_slice(&matrix_id.to_le_bytes());
+                out.extend_from_slice(&deadline_ms.to_le_bytes());
+                out.extend_from_slice(&b_rows.to_le_bytes());
+                out.extend_from_slice(&n.to_le_bytes());
+                put_f32s(&mut out, b);
+            }
+            Request::Metrics => out.push(REQ_METRICS),
+            Request::Ping => out.push(REQ_PING),
+            Request::Shutdown => out.push(REQ_SHUTDOWN),
+        }
+        Ok(out)
+    }
+
+    /// Decode a frame payload.
+    pub fn decode(payload: &[u8]) -> Result<Request, ProtoError> {
+        let mut c = Cursor::new(payload);
+        let req = match c.u8()? {
+            REQ_LOAD => {
+                let tenant = c.string()?;
+                let rows = c.u32()?;
+                let cols = c.u32()?;
+                let n = c.u64()? as usize;
+                let mut entries = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    entries.push((c.u32()?, c.u32()?, c.f32()?));
+                }
+                Request::Load { tenant, rows, cols, entries }
+            }
+            REQ_SPMM => {
+                let tenant = c.string()?;
+                let matrix_id = c.u64()?;
+                let deadline_ms = c.u32()?;
+                let b_rows = c.u32()?;
+                let n = c.u32()?;
+                let b = c.f32_vec(b_rows as usize * n as usize)?;
+                Request::Spmm { tenant, matrix_id, deadline_ms, b_rows, n, b }
+            }
+            REQ_METRICS => Request::Metrics,
+            REQ_PING => Request::Ping,
+            REQ_SHUTDOWN => Request::Shutdown,
+            tag => return Err(ProtoError(format!("unknown request tag {tag}"))),
+        };
+        c.done()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Encode to a frame payload.
+    pub fn encode(&self) -> Result<Vec<u8>, ProtoError> {
+        let mut out = Vec::new();
+        match self {
+            Response::Loaded { matrix_id, fingerprint_hi, fingerprint_lo, nnz } => {
+                out.push(RESP_LOADED);
+                out.extend_from_slice(&matrix_id.to_le_bytes());
+                out.extend_from_slice(&fingerprint_hi.to_le_bytes());
+                out.extend_from_slice(&fingerprint_lo.to_le_bytes());
+                out.extend_from_slice(&nnz.to_le_bytes());
+            }
+            Response::Spmm {
+                cache_hit,
+                batch_size,
+                queue_micros,
+                service_micros,
+                rows,
+                n,
+                out: data,
+            } => {
+                if data.len() != *rows as usize * *n as usize {
+                    return Err(ProtoError("output dims disagree with data length".into()));
+                }
+                out.push(RESP_SPMM);
+                out.push(u8::from(*cache_hit));
+                out.extend_from_slice(&batch_size.to_le_bytes());
+                out.extend_from_slice(&queue_micros.to_le_bytes());
+                out.extend_from_slice(&service_micros.to_le_bytes());
+                out.extend_from_slice(&rows.to_le_bytes());
+                out.extend_from_slice(&n.to_le_bytes());
+                put_f32s(&mut out, data);
+            }
+            Response::Metrics { json } => {
+                out.push(RESP_METRICS);
+                let len = u32::try_from(json.len())
+                    .map_err(|_| ProtoError("metrics document too large".into()))?;
+                out.extend_from_slice(&len.to_le_bytes());
+                out.extend_from_slice(json.as_bytes());
+            }
+            Response::Pong => out.push(RESP_PONG),
+            Response::ShutdownAck => out.push(RESP_SHUTDOWN_ACK),
+            Response::Error { code, message } => {
+                out.push(RESP_ERROR);
+                out.push(code.to_byte());
+                put_string(&mut out, message)?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Decode a frame payload.
+    pub fn decode(payload: &[u8]) -> Result<Response, ProtoError> {
+        let mut c = Cursor::new(payload);
+        let resp = match c.u8()? {
+            RESP_LOADED => Response::Loaded {
+                matrix_id: c.u64()?,
+                fingerprint_hi: c.u64()?,
+                fingerprint_lo: c.u64()?,
+                nnz: c.u64()?,
+            },
+            RESP_SPMM => {
+                let cache_hit = c.u8()? != 0;
+                let batch_size = c.u32()?;
+                let queue_micros = c.u64()?;
+                let service_micros = c.u64()?;
+                let rows = c.u32()?;
+                let n = c.u32()?;
+                let out = c.f32_vec(rows as usize * n as usize)?;
+                Response::Spmm { cache_hit, batch_size, queue_micros, service_micros, rows, n, out }
+            }
+            RESP_METRICS => {
+                let len = c.u32()? as usize;
+                let bytes = c.take(len)?;
+                let json = String::from_utf8(bytes.to_vec())
+                    .map_err(|_| ProtoError("metrics not UTF-8".into()))?;
+                Response::Metrics { json }
+            }
+            RESP_PONG => Response::Pong,
+            RESP_SHUTDOWN_ACK => Response::ShutdownAck,
+            RESP_ERROR => {
+                let code = ErrorCode::from_byte(c.u8()?)
+                    .ok_or_else(|| ProtoError("unknown error code".into()))?;
+                Response::Error { code, message: c.string()? }
+            }
+            tag => return Err(ProtoError(format!("unknown response tag {tag}"))),
+        };
+        c.done()?;
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_req(r: Request) {
+        let bytes = r.encode().expect("encode");
+        assert_eq!(Request::decode(&bytes).expect("decode"), r);
+    }
+
+    fn roundtrip_resp(r: Response) {
+        let bytes = r.encode().expect("encode");
+        assert_eq!(Response::decode(&bytes).expect("decode"), r);
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        roundtrip_req(Request::Load {
+            tenant: "tenant-α".into(),
+            rows: 16,
+            cols: 8,
+            entries: vec![(0, 1, 2.5), (15, 7, -0.125)],
+        });
+        roundtrip_req(Request::Spmm {
+            tenant: "t".into(),
+            matrix_id: 42,
+            deadline_ms: 250,
+            b_rows: 2,
+            n: 3,
+            b: vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+        });
+        roundtrip_req(Request::Metrics);
+        roundtrip_req(Request::Ping);
+        roundtrip_req(Request::Shutdown);
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        roundtrip_resp(Response::Loaded {
+            matrix_id: 7,
+            fingerprint_hi: u64::MAX,
+            fingerprint_lo: 1,
+            nnz: 99,
+        });
+        roundtrip_resp(Response::Spmm {
+            cache_hit: true,
+            batch_size: 4,
+            queue_micros: 10,
+            service_micros: 20,
+            rows: 2,
+            n: 2,
+            out: vec![0.0, -1.5, f32::MAX, 3.25],
+        });
+        roundtrip_resp(Response::Metrics { json: "{\"ok\":true}".into() });
+        roundtrip_resp(Response::Pong);
+        roundtrip_resp(Response::ShutdownAck);
+        roundtrip_resp(Response::Error { code: ErrorCode::QueueFull, message: "busy".into() });
+    }
+
+    #[test]
+    fn framing_roundtrips_and_eof_is_clean() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").expect("write");
+        write_frame(&mut buf, b"").expect("write");
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).expect("read").as_deref(), Some(&b"hello"[..]));
+        assert_eq!(read_frame(&mut r).expect("read").as_deref(), Some(&b""[..]));
+        assert_eq!(read_frame(&mut r).expect("read"), None);
+    }
+
+    #[test]
+    fn oversized_frame_is_refused_without_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let mut r = &buf[..];
+        assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn truncated_and_trailing_payloads_error() {
+        let good = Request::Ping.encode().expect("encode");
+        assert!(Request::decode(&good[..0]).is_err());
+        let mut trailing = good;
+        trailing.push(0);
+        assert!(Request::decode(&trailing).is_err());
+        assert!(Request::decode(&[99]).is_err());
+    }
+
+    #[test]
+    fn spmm_dims_are_validated_at_encode() {
+        let bad = Request::Spmm {
+            tenant: "t".into(),
+            matrix_id: 1,
+            deadline_ms: 0,
+            b_rows: 2,
+            n: 2,
+            b: vec![1.0; 3],
+        };
+        assert!(bad.encode().is_err());
+    }
+}

@@ -1,0 +1,215 @@
+//! The TCP front end: accept loop, per-connection handler threads, and
+//! the request → engine → response translation.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use fs_matrix::{CooMatrix, CsrMatrix, DenseMatrix};
+use parking_lot::Mutex;
+
+use crate::engine::{EngineConfig, ServeEngine, SpmmOutcome, SpmmRequest, SubmitError};
+use crate::protocol::{read_frame, write_frame, ErrorCode, Request, Response};
+
+/// Server configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Address to bind (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Engine settings.
+    pub engine: EngineConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig { addr: "127.0.0.1:0".to_string(), engine: EngineConfig::default() }
+    }
+}
+
+/// A bound, running server. Accepts until a `Shutdown` message arrives.
+pub struct Server {
+    engine: Arc<ServeEngine>,
+    listener: TcpListener,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    conns: Arc<Mutex<Vec<thread::JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Bind the listener and start the engine. The accept loop runs on
+    /// the caller's thread via [`Server::run`].
+    pub fn bind(cfg: &ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Server {
+            engine: Arc::new(ServeEngine::start(cfg.engine)),
+            listener,
+            addr,
+            stop: Arc::new(AtomicBool::new(false)),
+            conns: Arc::new(Mutex::new(Vec::new())),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The engine, for in-process use alongside the TCP front end.
+    pub fn engine(&self) -> &Arc<ServeEngine> {
+        &self.engine
+    }
+
+    /// Accept and serve connections until a `Shutdown` request arrives,
+    /// then drain the engine and join every connection thread.
+    pub fn run(self) -> io::Result<()> {
+        for conn in self.listener.incoming() {
+            if self.stop.load(Ordering::Acquire) {
+                break;
+            }
+            let stream = match conn {
+                Ok(s) => s,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => continue,
+                Err(e) => return Err(e),
+            };
+            let engine = Arc::clone(&self.engine);
+            let stop = Arc::clone(&self.stop);
+            let addr = self.addr;
+            let handle = thread::Builder::new()
+                .name("fs-serve-conn".to_string())
+                .spawn(move || handle_connection(stream, &engine, &stop, addr))?;
+            self.conns.lock().push(handle);
+            if self.stop.load(Ordering::Acquire) {
+                break;
+            }
+        }
+        // Drain: finish queued work, then join connection handlers.
+        self.engine.shutdown();
+        let handles: Vec<thread::JoinHandle<()>> = std::mem::take(&mut *self.conns.lock());
+        for h in handles {
+            let _ = h.join();
+        }
+        Ok(())
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    engine: &Arc<ServeEngine>,
+    stop: &Arc<AtomicBool>,
+    server_addr: SocketAddr,
+) {
+    let _ = stream.set_nodelay(true);
+    let mut reader = match stream.try_clone() {
+        Ok(r) => r,
+        Err(_) => return,
+    };
+    let mut writer = stream;
+    loop {
+        let payload = match read_frame(&mut reader) {
+            Ok(Some(p)) => p,
+            Ok(None) => return, // clean EOF
+            Err(_) => return,
+        };
+        let response = match Request::decode(&payload) {
+            Ok(req) => {
+                let is_shutdown = matches!(req, Request::Shutdown);
+                let resp = dispatch(req, engine);
+                if is_shutdown {
+                    let _ = resp.encode().map(|bytes| write_frame(&mut writer, &bytes));
+                    stop.store(true, Ordering::Release);
+                    // Wake the accept loop so `run` can drain and exit.
+                    let _ = TcpStream::connect_timeout(&server_addr, Duration::from_secs(1));
+                    return;
+                }
+                resp
+            }
+            Err(e) => Response::Error { code: ErrorCode::BadRequest, message: e.to_string() },
+        };
+        let bytes = match response.encode() {
+            Ok(b) => b,
+            Err(e) => {
+                let fallback =
+                    Response::Error { code: ErrorCode::Internal, message: e.to_string() };
+                match fallback.encode() {
+                    Ok(b) => b,
+                    Err(_) => return,
+                }
+            }
+        };
+        if write_frame(&mut writer, &bytes).is_err() {
+            return;
+        }
+    }
+}
+
+fn dispatch(req: Request, engine: &Arc<ServeEngine>) -> Response {
+    match req {
+        Request::Load { tenant, rows, cols, entries } => {
+            let mut coo = CooMatrix::new(rows as usize, cols as usize);
+            for (r, c, v) in &entries {
+                if *r >= rows || *c >= cols {
+                    return Response::Error {
+                        code: ErrorCode::BadRequest,
+                        message: format!("entry ({r},{c}) outside {rows}x{cols}"),
+                    };
+                }
+                coo.push(*r as usize, *c as usize, *v);
+            }
+            let csr = CsrMatrix::from_coo(&coo.dedup());
+            let info = engine.register_matrix(&tenant, csr);
+            Response::Loaded {
+                matrix_id: info.id,
+                fingerprint_hi: info.fingerprint.hi(),
+                fingerprint_lo: info.fingerprint.lo(),
+                nnz: info.nnz as u64,
+            }
+        }
+        Request::Spmm { tenant, matrix_id, deadline_ms, b_rows, n, b } => {
+            let deadline = if deadline_ms == 0 {
+                None
+            } else {
+                Some(Duration::from_millis(u64::from(deadline_ms)))
+            };
+            let request = SpmmRequest {
+                tenant,
+                matrix_id,
+                b: DenseMatrix::from_f32_slice(b_rows as usize, n as usize, &b),
+                deadline,
+            };
+            match engine.spmm_blocking(request) {
+                Ok(SpmmOutcome::Done(resp)) => Response::Spmm {
+                    cache_hit: resp.cache_hit,
+                    batch_size: resp.batch_size.min(u32::MAX as usize) as u32,
+                    queue_micros: resp.queue_micros,
+                    service_micros: resp.service_micros,
+                    rows: resp.out.rows().min(u32::MAX as usize) as u32,
+                    n: resp.out.cols().min(u32::MAX as usize) as u32,
+                    out: resp.out.to_f32_vec(),
+                },
+                Ok(SpmmOutcome::TimedOut) => Response::Error {
+                    code: ErrorCode::DeadlineExceeded,
+                    message: "deadline passed while queued".to_string(),
+                },
+                Ok(SpmmOutcome::Failed(msg)) => {
+                    Response::Error { code: ErrorCode::Internal, message: msg }
+                }
+                Err(SubmitError::QueueFull) => Response::Error {
+                    code: ErrorCode::QueueFull,
+                    message: "queue full".to_string(),
+                },
+                Err(SubmitError::UnknownMatrix(id)) => Response::Error {
+                    code: ErrorCode::UnknownMatrix,
+                    message: format!("unknown matrix id {id}"),
+                },
+                Err(e) => Response::Error { code: ErrorCode::BadRequest, message: e.to_string() },
+            }
+        }
+        Request::Metrics => Response::Metrics { json: engine.metrics_json() },
+        Request::Ping => Response::Pong,
+        Request::Shutdown => Response::ShutdownAck,
+    }
+}

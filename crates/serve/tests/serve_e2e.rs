@@ -1,0 +1,149 @@
+//! End-to-end serving tests: micro-batching equivalence under the
+//! sanitizer's `Record` mode, and the TCP protocol over loopback.
+
+use std::thread;
+use std::time::Duration;
+
+use fs_matrix::gen::{random_uniform, rmat, RmatConfig};
+use fs_matrix::{CsrMatrix, DenseMatrix};
+use fs_serve::{
+    EngineConfig, ServeClient, ServeEngine, Server, ServerConfig, SpmmOutcome, SpmmRequest,
+};
+use fs_tcu::SanitizeScope;
+
+fn dense_b(rows: usize, n: usize, salt: usize) -> DenseMatrix<f32> {
+    let vals: Vec<f32> =
+        (0..rows * n).map(|i| (((i + salt * 31) % 17) as f32 - 8.0) * 0.25).collect();
+    DenseMatrix::from_f32_slice(rows, n, &vals)
+}
+
+/// Micro-batched execution must produce exactly the same bits as
+/// one-at-a-time execution, with the sanitizer recording (not panicking)
+/// and reporting zero violations — the ISSUE's batching-equivalence
+/// acceptance test.
+#[test]
+fn micro_batched_results_match_one_at_a_time() {
+    let _scope = SanitizeScope::record();
+    let csr = CsrMatrix::from_coo(&rmat::<f32>(7, 6, RmatConfig::GRAPH500, true, 23));
+    let n = 24;
+    let requests = 24;
+    let operands: Vec<DenseMatrix<f32>> =
+        (0..requests).map(|i| dense_b(csr.cols(), n, i)).collect();
+
+    // Reference: a single-worker engine with max_batch = 1, requests
+    // issued strictly one at a time.
+    let seq =
+        ServeEngine::start(EngineConfig { workers: 1, max_batch: 1, ..EngineConfig::default() });
+    let seq_id = seq.register_matrix("ref", csr.clone()).id;
+    let mut reference = Vec::new();
+    for b in &operands {
+        match seq.spmm_blocking(SpmmRequest {
+            tenant: "ref".to_string(),
+            matrix_id: seq_id,
+            b: b.clone(),
+            deadline: Some(Duration::from_secs(60)),
+        }) {
+            Ok(SpmmOutcome::Done(resp)) => {
+                assert_eq!(resp.batch_size, 1);
+                assert_eq!(resp.counters.sanitizer_violations, 0);
+                reference.push(resp.out.to_f32_vec());
+            }
+            other => panic!("sequential request failed: {other:?}"),
+        }
+    }
+    seq.shutdown();
+
+    // Batched: enqueue everything before the workers drain the queue so
+    // micro-batches actually form, then wait on all tickets.
+    let batched =
+        ServeEngine::start(EngineConfig { workers: 2, max_batch: 8, ..EngineConfig::default() });
+    let bat_id = batched.register_matrix("bat", csr.clone()).id;
+    let tickets: Vec<_> = operands
+        .iter()
+        .map(|b| {
+            batched
+                .submit(SpmmRequest {
+                    tenant: "bat".to_string(),
+                    matrix_id: bat_id,
+                    b: b.clone(),
+                    deadline: Some(Duration::from_secs(60)),
+                })
+                .unwrap_or_else(|e| panic!("submit failed: {e}"))
+        })
+        .collect();
+    let mut max_batch_seen = 0;
+    for (i, t) in tickets.into_iter().enumerate() {
+        match t.wait() {
+            SpmmOutcome::Done(resp) => {
+                assert_eq!(resp.counters.sanitizer_violations, 0, "request {i}");
+                max_batch_seen = max_batch_seen.max(resp.batch_size);
+                let got: Vec<u32> = resp.out.to_f32_vec().iter().map(|v| v.to_bits()).collect();
+                let want: Vec<u32> = reference[i].iter().map(|v| v.to_bits()).collect();
+                assert_eq!(got, want, "request {i} diverged from the sequential reference");
+            }
+            other => panic!("batched request {i} failed: {other:?}"),
+        }
+    }
+    batched.shutdown();
+    // The engine's own sanitizer totals must also be clean.
+    let metrics = batched.metrics_json();
+    assert!(metrics.contains("\"sanitizer_violations\":0"), "{metrics}");
+    assert!(max_batch_seen >= 1);
+}
+
+/// Full TCP round trip on loopback: load, repeated SpMM showing the
+/// cache warming up, metrics, and an acknowledged drain/shutdown.
+#[test]
+fn tcp_round_trip_on_loopback() {
+    let server = Server::bind(&ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        engine: EngineConfig { workers: 2, ..EngineConfig::default() },
+    })
+    .unwrap_or_else(|e| panic!("bind failed: {e}"));
+    let addr = server.local_addr();
+    let server_thread = thread::spawn(move || server.run());
+
+    let mut client = ServeClient::connect_with_retry(&addr, Duration::from_secs(10))
+        .unwrap_or_else(|e| panic!("connect failed: {e}"));
+    let csr = CsrMatrix::from_coo(&random_uniform::<f32>(96, 80, 700, 5));
+    let loaded =
+        client.load_matrix("tenant-a", &csr).unwrap_or_else(|e| panic!("load failed: {e}"));
+    assert_eq!(loaded.nnz as usize, csr.nnz());
+
+    let n = 16;
+    let b: Vec<f32> = (0..csr.cols() * n).map(|i| (i % 5) as f32).collect();
+    let mut last = None;
+    let mut hits = 0;
+    for _ in 0..4 {
+        let resp = client
+            .spmm("tenant-a", loaded.matrix_id, csr.cols(), n, &b, 60_000)
+            .unwrap_or_else(|e| panic!("spmm failed: {e}"));
+        assert_eq!(resp.rows, csr.rows());
+        assert_eq!(resp.n, n);
+        if resp.cache_hit {
+            hits += 1;
+        }
+        if let Some(prev) = &last {
+            assert_eq!(prev, &resp.out, "served output must be deterministic");
+        }
+        last = Some(resp.out);
+    }
+    assert!(hits >= 3, "expected the warm path after the first request, saw {hits} hits");
+
+    // Dimension mismatch is a clean server-side error, not a dropped
+    // connection: the operand is well-formed on the wire but has the
+    // wrong number of rows for the loaded matrix.
+    let bad_b = vec![0.0f32; (csr.cols() + 1) * n];
+    let err = client.spmm("tenant-a", loaded.matrix_id, csr.cols() + 1, n, &bad_b, 0);
+    assert!(err.is_err(), "mismatched operand must be refused");
+
+    let metrics = client.metrics().unwrap_or_else(|e| panic!("metrics failed: {e}"));
+    assert!(metrics.contains("\"cache\""), "{metrics}");
+    assert!(metrics.contains("tenant-a"), "{metrics}");
+
+    client.shutdown().unwrap_or_else(|e| panic!("shutdown failed: {e}"));
+    server_thread
+        .join()
+        .unwrap_or_else(|_| panic!("server thread panicked"))
+        .unwrap_or_else(|e| panic!("server run failed: {e}"));
+}

@@ -107,6 +107,39 @@ impl KernelCounters {
     pub fn total_flops(&self) -> u64 {
         self.tcu_flops + self.cuda_flops
     }
+
+    /// The canonical JSON rendering of a counter set: every raw field plus
+    /// the derived efficiency ratios, as one object on one line. This is
+    /// the single serializer shared by `spmm_cli --json`, the `figures`
+    /// machine-readable output, and the `fs-serve` metrics endpoint — so
+    /// the three agree on field names.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"mma_count\":{},\"wmma_count\":{},\"tcu_flops\":{},\"cuda_flops\":{},\
+             \"load_transactions\":{},\"store_transactions\":{},\"bytes_loaded\":{},\
+             \"bytes_stored\":{},\"ideal_bytes_loaded\":{},\"ideal_bytes_stored\":{},\
+             \"sparse_value_bytes\":{},\"dense_operand_bytes\":{},\"index_bytes\":{},\
+             \"sanitizer_violations\":{},\"load_efficiency\":{:.6},\"store_efficiency\":{:.6},\
+             \"memory_efficiency\":{:.6}}}",
+            self.mma_count,
+            self.wmma_count,
+            self.tcu_flops,
+            self.cuda_flops,
+            self.load_transactions,
+            self.store_transactions,
+            self.bytes_loaded,
+            self.bytes_stored,
+            self.ideal_bytes_loaded,
+            self.ideal_bytes_stored,
+            self.sparse_value_bytes,
+            self.dense_operand_bytes,
+            self.index_bytes,
+            self.sanitizer_violations,
+            self.load_efficiency(),
+            self.store_efficiency(),
+            self.memory_efficiency()
+        )
+    }
 }
 
 impl Add for KernelCounters {
@@ -190,6 +223,26 @@ mod tests {
         let a = KernelCounters { sanitizer_violations: 2, ..Default::default() };
         let b = KernelCounters { sanitizer_violations: 5, ..Default::default() };
         assert_eq!((a + b).sanitizer_violations, 7);
+    }
+
+    #[test]
+    fn json_round_numbers() {
+        let k = KernelCounters {
+            mma_count: 7,
+            bytes_loaded: 128,
+            ideal_bytes_loaded: 64,
+            sanitizer_violations: 1,
+            ..Default::default()
+        };
+        let j = k.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"mma_count\":7"));
+        assert!(j.contains("\"bytes_loaded\":128"));
+        assert!(j.contains("\"sanitizer_violations\":1"));
+        assert!(j.contains("\"load_efficiency\":0.500000"));
+        // Exactly one object, no nesting, no trailing comma.
+        assert_eq!(j.matches('{').count(), 1);
+        assert!(!j.contains(",}"));
     }
 
     #[test]

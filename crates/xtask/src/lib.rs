@@ -268,6 +268,11 @@ mod tests {
         assert_eq!(classify(Path::new("crates/tcu/src/mma.rs")), FileClass::KernelLib);
         assert_eq!(classify(Path::new("crates/core/src/spmm.rs")), FileClass::KernelLib);
         assert_eq!(classify(Path::new("crates/format/src/mebcrs.rs")), FileClass::Lib);
+        // The serving crate is library code end to end: the engine, the
+        // protocol, and its binaries all get the allow-panic rule.
+        assert_eq!(classify(Path::new("crates/serve/src/engine.rs")), FileClass::Lib);
+        assert_eq!(classify(Path::new("crates/serve/src/bin/fs_serve.rs")), FileClass::Lib);
+        assert_eq!(classify(Path::new("crates/serve/tests/e2e.rs")), FileClass::TestOrBench);
         assert_eq!(classify(Path::new("crates/bench/src/algos.rs")), FileClass::TestOrBench);
         assert_eq!(classify(Path::new("crates/core/tests/x.rs")), FileClass::TestOrBench);
         assert_eq!(classify(Path::new("crates/tcu/benches/b.rs")), FileClass::TestOrBench);
