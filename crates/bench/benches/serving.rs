@@ -37,7 +37,7 @@ fn bench_serving(c: &mut Criterion) {
         );
 
         let warm = ServeEngine::start(EngineConfig { workers: 1, ..EngineConfig::default() });
-        let info = warm.register_matrix("bench", csr.clone());
+        let info = warm.register_matrix("bench", csr.clone()).expect("registered");
         engine_request(&warm, info.id, &b); // populate the cache
         group.bench_function(format!("warm/{name}"), |bch| {
             bch.iter(|| engine_request(&warm, info.id, &b))
@@ -46,7 +46,7 @@ fn bench_serving(c: &mut Criterion) {
 
         let cold =
             ServeEngine::start(EngineConfig { workers: 1, cold: true, ..EngineConfig::default() });
-        let info = cold.register_matrix("bench", csr.clone());
+        let info = cold.register_matrix("bench", csr.clone()).expect("registered");
         group.bench_function(format!("cold/{name}"), |bch| {
             bch.iter(|| engine_request(&cold, info.id, &b))
         });

@@ -3,6 +3,7 @@
 //! ```text
 //! fs-serve [--addr 127.0.0.1:7949] [--workers 4] [--cache-mb 256]
 //!          [--queue-cap 256] [--max-batch 16] [--deadline-ms 5000]
+//!          [--max-dim N] [--max-matrices N] [--max-matrix-mb MB]
 //!          [--gpu 4090|h100] [--cold]
 //! ```
 //!
@@ -12,21 +13,21 @@
 
 use std::time::Duration;
 
-use fs_serve::{EngineConfig, Server, ServerConfig};
+use fs_serve::{Server, ServerConfig};
 use fs_tcu::GpuSpec;
 
 fn usage() -> ! {
     eprintln!(
         "usage: fs-serve [--addr HOST:PORT] [--workers N] [--cache-mb MB] [--queue-cap N]\n\
-         \x20               [--max-batch N] [--deadline-ms MS] [--gpu 4090|h100] [--cold]"
+         \x20               [--max-batch N] [--deadline-ms MS] [--max-dim N] [--max-matrices N]\n\
+         \x20               [--max-matrix-mb MB] [--gpu 4090|h100] [--cold]"
     );
     std::process::exit(2);
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut cfg =
-        ServerConfig { addr: "127.0.0.1:7949".to_string(), engine: EngineConfig::default() };
+    let mut cfg = ServerConfig { addr: "127.0.0.1:7949".to_string(), ..ServerConfig::default() };
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -51,6 +52,17 @@ fn main() {
             "--deadline-ms" => {
                 let ms: u64 = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
                 cfg.engine.default_deadline = Duration::from_millis(ms);
+            }
+            "--max-dim" => {
+                cfg.max_load_dim = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--max-matrices" => {
+                cfg.engine.max_matrices =
+                    it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--max-matrix-mb" => {
+                let mb: usize = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                cfg.engine.max_matrix_bytes = mb * (1 << 20);
             }
             "--gpu" => match it.next().unwrap_or_else(|| usage()).as_str() {
                 "4090" => cfg.engine.gpu = GpuSpec::RTX4090,

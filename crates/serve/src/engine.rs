@@ -45,6 +45,12 @@ pub struct EngineConfig {
     pub default_deadline: Duration,
     /// Largest micro-batch a worker gathers per dequeue.
     pub max_batch: usize,
+    /// Most matrices that may be registered at once; further
+    /// registrations are rejected (bounds server-resident memory, like
+    /// the queue and cache budgets do for their structures).
+    pub max_matrices: usize,
+    /// Byte budget for the resident CSR copies of registered matrices.
+    pub max_matrix_bytes: usize,
     /// Cold configuration: disable format caching entirely, so every
     /// request pays translation + tuning (the baseline the ≥5× serving
     /// speedup is measured against).
@@ -61,6 +67,8 @@ impl Default for EngineConfig {
             cache_budget_bytes: 256 << 20,
             default_deadline: Duration::from_secs(5),
             max_batch: 16,
+            max_matrices: 1024,
+            max_matrix_bytes: 1 << 30,
             cold: false,
             gpu: GpuSpec::RTX4090,
         }
@@ -81,6 +89,44 @@ pub struct MatrixInfo {
     /// Nonzeros of the sparse matrix.
     pub nnz: usize,
 }
+
+/// Why [`ServeEngine::register_matrix`] refused a matrix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RegisterError {
+    /// The registry already holds `max_matrices` entries.
+    TooManyMatrices {
+        /// The configured count cap.
+        limit: usize,
+    },
+    /// Registering this matrix would exceed `max_matrix_bytes`.
+    ByteBudgetExceeded {
+        /// The configured byte cap.
+        limit: usize,
+        /// Bytes already resident.
+        resident: usize,
+        /// Bytes this matrix needs.
+        need: usize,
+    },
+}
+
+impl std::fmt::Display for RegisterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegisterError::TooManyMatrices { limit } => {
+                write!(f, "matrix registry full ({limit} matrices)")
+            }
+            RegisterError::ByteBudgetExceeded { limit, resident, need } => {
+                write!(
+                    f,
+                    "matrix registry byte budget exhausted ({resident} of {limit} bytes resident, \
+                     {need} more needed)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegisterError {}
 
 /// Why a submit was refused at admission.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -193,11 +239,24 @@ struct Registered {
     csr: CsrMatrix<f32>,
 }
 
+/// Bytes a registered CSR keeps resident: row pointers, column indices,
+/// and values.
+fn csr_resident_bytes(csr: &CsrMatrix<f32>) -> usize {
+    (csr.rows() + 1) * std::mem::size_of::<usize>()
+        + csr.nnz() * (std::mem::size_of::<u32>() + std::mem::size_of::<f32>())
+}
+
+#[derive(Default)]
+struct Registry {
+    map: HashMap<u64, Arc<Registered>>,
+    resident_bytes: usize,
+}
+
 struct Inner {
     cfg: EngineConfig,
     queue: StdMutex<VecDeque<Job>>,
     available: Condvar,
-    matrices: RwLock<HashMap<u64, Arc<Registered>>>,
+    matrices: RwLock<Registry>,
     cache: Mutex<FormatCache>,
     tenants: Mutex<HashMap<String, TenantStats>>,
     next_id: AtomicU64,
@@ -230,7 +289,7 @@ impl ServeEngine {
             cfg,
             queue: StdMutex::new(VecDeque::new()),
             available: Condvar::new(),
-            matrices: RwLock::new(HashMap::new()),
+            matrices: RwLock::new(Registry::default()),
             cache: Mutex::new(FormatCache::new(budget)),
             tenants: Mutex::new(HashMap::new()),
             next_id: AtomicU64::new(1),
@@ -246,9 +305,28 @@ impl ServeEngine {
     }
 
     /// Register a CSR matrix; returns the handle requests refer to. The
-    /// raw CSR stays resident so an evicted translation can be rebuilt.
-    pub fn register_matrix(&self, _tenant: &str, csr: CsrMatrix<f32>) -> MatrixInfo {
+    /// raw CSR stays resident so an evicted translation can be rebuilt,
+    /// which is why registration is budgeted: `max_matrices` entries and
+    /// `max_matrix_bytes` resident CSR bytes, enforced here so clients
+    /// cannot grow server memory without bound.
+    pub fn register_matrix(
+        &self,
+        _tenant: &str,
+        csr: CsrMatrix<f32>,
+    ) -> Result<MatrixInfo, RegisterError> {
+        let need = csr_resident_bytes(&csr);
         let fingerprint = Fingerprint::of(&csr);
+        let mut registry = self.inner.matrices.write();
+        if registry.map.len() >= self.inner.cfg.max_matrices {
+            return Err(RegisterError::TooManyMatrices { limit: self.inner.cfg.max_matrices });
+        }
+        if need > self.inner.cfg.max_matrix_bytes.saturating_sub(registry.resident_bytes) {
+            return Err(RegisterError::ByteBudgetExceeded {
+                limit: self.inner.cfg.max_matrix_bytes,
+                resident: registry.resident_bytes,
+                need,
+            });
+        }
         let info = MatrixInfo {
             id: self.inner.next_id.fetch_add(1, Ordering::Relaxed),
             fingerprint,
@@ -256,8 +334,15 @@ impl ServeEngine {
             cols: csr.cols(),
             nnz: csr.nnz(),
         };
-        self.inner.matrices.write().insert(info.id, Arc::new(Registered { fingerprint, csr }));
-        info
+        registry.resident_bytes += need;
+        registry.map.insert(info.id, Arc::new(Registered { fingerprint, csr }));
+        Ok(info)
+    }
+
+    /// Registered-matrix totals: `(count, resident CSR bytes)`.
+    pub fn registered_stats(&self) -> (usize, usize) {
+        let registry = self.inner.matrices.read();
+        (registry.map.len(), registry.resident_bytes)
     }
 
     /// Admit a request. `Err` means the request was *not* queued.
@@ -269,6 +354,7 @@ impl ServeEngine {
             .inner
             .matrices
             .read()
+            .map
             .get(&req.matrix_id)
             .cloned()
             .ok_or(SubmitError::UnknownMatrix(req.matrix_id))?;
@@ -296,6 +382,14 @@ impl ServeEngine {
     fn enqueue(&self, job: Job, tenant: &str) -> Result<(), SubmitError> {
         let accepted = {
             let mut q = lock_recover(&self.inner.queue);
+            // Re-check shutdown *under the queue lock*: a worker only
+            // exits after observing empty-queue + shutdown while holding
+            // this lock, so a push that wins the lock before that
+            // observation is guaranteed to be drained, and one that loses
+            // it is rejected here instead of stranding the caller.
+            if self.inner.shutdown.load(Ordering::Acquire) {
+                return Err(SubmitError::ShuttingDown);
+            }
             if q.len() >= self.inner.cfg.queue_capacity {
                 false
             } else {
@@ -376,10 +470,13 @@ impl ServeEngine {
     pub fn metrics_json(&self) -> String {
         let cache = self.cache_stats().to_json();
         let tenants = tenants_json(&self.inner.tenants.lock());
+        let (registered, registered_bytes) = self.registered_stats();
         let cfg = &self.inner.cfg;
         format!(
             "{{\"cache\":{cache},\"engine\":{{\"workers\":{},\"queue_capacity\":{},\
              \"queue_len\":{},\"max_batch\":{},\"cold\":{},\"gpu\":\"{}\",\
+             \"registered_matrices\":{registered},\"registered_bytes\":{registered_bytes},\
+             \"max_matrices\":{},\"max_matrix_bytes\":{},\
              \"worker_panics\":{},\"worker_respawns\":{}}},\"tenants\":{tenants}}}",
             cfg.workers,
             cfg.queue_capacity,
@@ -387,6 +484,8 @@ impl ServeEngine {
             cfg.max_batch,
             cfg.cold,
             json_escape(&format!("{:?}", cfg.gpu)),
+            cfg.max_matrices,
+            cfg.max_matrix_bytes,
             self.worker_panics(),
             self.worker_respawns(),
         )
@@ -404,6 +503,14 @@ impl ServeEngine {
             self.workers.lock().iter_mut().filter_map(Option::take).collect();
         for h in handles {
             let _ = h.join();
+        }
+        // Belt and braces for the submit/shutdown race: fail any job that
+        // slipped into the queue after the workers drained it, so no
+        // `Ticket::wait` blocks forever on a sender parked in the queue.
+        let leftovers: Vec<Job> = lock_recover(&self.inner.queue).drain(..).collect();
+        for job in leftovers {
+            self.inner.tenants.lock().entry(job.tenant.clone()).or_default().failed += 1;
+            let _ = job.tx.send(SpmmOutcome::Failed("engine shut down before execution".into()));
         }
     }
 }
@@ -558,6 +665,7 @@ fn execute_batch(
     let reg = inner
         .matrices
         .read()
+        .map
         .get(&matrix_id)
         .cloned()
         .unwrap_or_else(|| panic!("matrix {matrix_id} disappeared")); // lint: allow-panic - registration precedes admission; caught by the batch unwind boundary
@@ -606,7 +714,7 @@ mod tests {
     fn engine(cfg: EngineConfig) -> (ServeEngine, MatrixInfo, CsrMatrix<f32>) {
         let e = ServeEngine::start(cfg);
         let csr = CsrMatrix::from_coo(&random_uniform::<f32>(96, 96, 800, 3));
-        let info = e.register_matrix("t0", csr.clone());
+        let info = e.register_matrix("t0", csr.clone()).expect("registered");
         (e, info, csr)
     }
 
@@ -695,7 +803,7 @@ mod tests {
         let cfg = EngineConfig { workers: 1, queue_capacity: 1, ..EngineConfig::default() };
         let e = ServeEngine::start(cfg);
         let csr = CsrMatrix::from_coo(&random_uniform::<f32>(512, 512, 40_000, 3));
-        let info = e.register_matrix("t0", csr);
+        let info = e.register_matrix("t0", csr).expect("registered");
         let req = || SpmmRequest {
             tenant: "t0".to_string(),
             matrix_id: info.id,
@@ -762,6 +870,49 @@ mod tests {
             assert!(matches!(t.wait(), SpmmOutcome::Done(_)), "queued request lost in drain");
         }
         assert!(e.submit(request(&info, 16)).is_err());
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_rejected_not_stranded() {
+        let (e, info, _) = engine(EngineConfig::default());
+        e.shutdown();
+        // Admission must refuse — never enqueue into a drained pool where
+        // no worker will ever pick the job up.
+        assert_eq!(e.submit(request(&info, 8)).err(), Some(SubmitError::ShuttingDown));
+        assert_eq!(e.queue_len(), 0, "no job may be stranded in the queue after shutdown");
+    }
+
+    #[test]
+    fn registry_count_cap_rejects() {
+        let e = ServeEngine::start(EngineConfig { max_matrices: 2, ..EngineConfig::default() });
+        let csr = CsrMatrix::from_coo(&random_uniform::<f32>(32, 32, 100, 1));
+        assert!(e.register_matrix("t", csr.clone()).is_ok());
+        assert!(e.register_matrix("t", csr.clone()).is_ok());
+        assert_eq!(
+            e.register_matrix("t", csr).err(),
+            Some(RegisterError::TooManyMatrices { limit: 2 })
+        );
+        assert_eq!(e.registered_stats().0, 2);
+        e.shutdown();
+    }
+
+    #[test]
+    fn registry_byte_cap_rejects() {
+        let csr = CsrMatrix::from_coo(&random_uniform::<f32>(32, 32, 100, 1));
+        let one = csr_resident_bytes(&csr);
+        let e = ServeEngine::start(EngineConfig {
+            max_matrix_bytes: one + one / 2,
+            ..EngineConfig::default()
+        });
+        assert!(e.register_matrix("t", csr.clone()).is_ok());
+        assert!(matches!(
+            e.register_matrix("t", csr).err(),
+            Some(RegisterError::ByteBudgetExceeded { .. })
+        ));
+        let (count, bytes) = e.registered_stats();
+        assert_eq!(count, 1);
+        assert_eq!(bytes, one);
+        e.shutdown();
     }
 
     #[test]

@@ -31,7 +31,9 @@ pub mod server;
 
 pub use cache::{CacheStats, CachedFormat, FormatCache};
 pub use client::{ClientError, LoadedMatrix, ServeClient, SpmmResult};
-pub use engine::{EngineConfig, ServeEngine, SpmmOutcome, SpmmRequest, SpmmResponse, SubmitError};
+pub use engine::{
+    EngineConfig, RegisterError, ServeEngine, SpmmOutcome, SpmmRequest, SpmmResponse, SubmitError,
+};
 pub use fingerprint::Fingerprint;
 pub use loadgen::{LoadReport, LoadgenConfig, MatrixSpec};
-pub use server::{Server, ServerConfig};
+pub use server::{Server, ServerConfig, DEFAULT_MAX_LOAD_DIM};

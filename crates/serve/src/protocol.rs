@@ -111,6 +111,9 @@ pub enum ErrorCode {
     BadRequest,
     /// No matrix with that id.
     UnknownMatrix,
+    /// A server-side resource budget (registered-matrix count or bytes)
+    /// is exhausted.
+    ResourceExhausted,
 }
 
 impl ErrorCode {
@@ -121,6 +124,7 @@ impl ErrorCode {
             ErrorCode::Internal => 3,
             ErrorCode::BadRequest => 4,
             ErrorCode::UnknownMatrix => 5,
+            ErrorCode::ResourceExhausted => 6,
         }
     }
 
@@ -131,6 +135,7 @@ impl ErrorCode {
             3 => Some(ErrorCode::Internal),
             4 => Some(ErrorCode::BadRequest),
             5 => Some(ErrorCode::UnknownMatrix),
+            6 => Some(ErrorCode::ResourceExhausted),
             _ => None,
         }
     }
@@ -191,7 +196,11 @@ impl<'a> Cursor<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
-        if self.pos + n > self.data.len() {
+        // `pos <= data.len()` is an invariant, so `len - pos` cannot
+        // underflow; comparing this way (instead of `pos + n > len`)
+        // cannot wrap when an adversarial header implies a byte count
+        // near `usize::MAX`.
+        if n > self.data.len() - self.pos {
             return Err(ProtoError(format!(
                 "truncated payload: wanted {n} bytes at offset {}, have {}",
                 self.pos,
@@ -505,6 +514,10 @@ mod tests {
         roundtrip_resp(Response::Pong);
         roundtrip_resp(Response::ShutdownAck);
         roundtrip_resp(Response::Error { code: ErrorCode::QueueFull, message: "busy".into() });
+        roundtrip_resp(Response::Error {
+            code: ErrorCode::ResourceExhausted,
+            message: "matrix registry full".into(),
+        });
     }
 
     #[test]
@@ -534,6 +547,29 @@ mod tests {
         trailing.push(0);
         assert!(Request::decode(&trailing).is_err());
         assert!(Request::decode(&[99]).is_err());
+    }
+
+    /// `b_rows = 2^31 - 1` and `n = 2^31 + 1` multiply to a byte count of
+    /// `2^64 - 4`, which passes `checked_mul` on 64-bit targets; the
+    /// cursor bounds check must reject it cleanly instead of wrapping
+    /// (release) or panicking on the overflow / reversed range (debug).
+    #[test]
+    fn adversarial_spmm_lengths_error_cleanly() {
+        let mut payload = vec![REQ_SPMM];
+        payload.extend_from_slice(&0u16.to_le_bytes()); // empty tenant
+        payload.extend_from_slice(&1u64.to_le_bytes()); // matrix_id
+        payload.extend_from_slice(&0u32.to_le_bytes()); // deadline_ms
+        payload.extend_from_slice(&0x7FFF_FFFFu32.to_le_bytes()); // b_rows
+        payload.extend_from_slice(&0x8000_0001u32.to_le_bytes()); // n
+        assert!(Request::decode(&payload).is_err());
+        // Same shape on the response side.
+        let mut resp = vec![RESP_SPMM, 1];
+        resp.extend_from_slice(&1u32.to_le_bytes()); // batch_size
+        resp.extend_from_slice(&0u64.to_le_bytes()); // queue_micros
+        resp.extend_from_slice(&0u64.to_le_bytes()); // service_micros
+        resp.extend_from_slice(&0x7FFF_FFFFu32.to_le_bytes()); // rows
+        resp.extend_from_slice(&0x8000_0001u32.to_le_bytes()); // n
+        assert!(Response::decode(&resp).is_err());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! the request → engine → response translation.
 
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
@@ -14,18 +14,33 @@ use parking_lot::Mutex;
 use crate::engine::{EngineConfig, ServeEngine, SpmmOutcome, SpmmRequest, SubmitError};
 use crate::protocol::{read_frame, write_frame, ErrorCode, Request, Response};
 
+/// Default cap on the rows/cols a `Load` request may declare.
+///
+/// `CsrMatrix` allocates a `rows + 1` row-pointer array no matter how few
+/// entries arrive, so dimensions must be bounded *before* any structure
+/// is built — otherwise a ~30-byte frame claiming `u32::MAX` rows would
+/// make the server allocate ~34 GB. 2^22 rows keeps that array at 32 MiB.
+pub const DEFAULT_MAX_LOAD_DIM: u32 = 1 << 22;
+
 /// Server configuration.
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
     /// Address to bind (`127.0.0.1:0` picks an ephemeral port).
     pub addr: String,
+    /// Largest rows/cols a `Load` request may declare; anything bigger
+    /// is refused with `BadRequest` before any allocation.
+    pub max_load_dim: u32,
     /// Engine settings.
     pub engine: EngineConfig,
 }
 
 impl Default for ServerConfig {
     fn default() -> ServerConfig {
-        ServerConfig { addr: "127.0.0.1:0".to_string(), engine: EngineConfig::default() }
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            max_load_dim: DEFAULT_MAX_LOAD_DIM,
+            engine: EngineConfig::default(),
+        }
     }
 }
 
@@ -34,8 +49,12 @@ pub struct Server {
     engine: Arc<ServeEngine>,
     listener: TcpListener,
     addr: SocketAddr,
+    max_load_dim: u32,
     stop: Arc<AtomicBool>,
-    conns: Arc<Mutex<Vec<thread::JoinHandle<()>>>>,
+    /// Each handler thread plus a second handle to its stream, kept so
+    /// `run` can shut the read half down at drain time — an idle peer
+    /// parked in `read_frame` would otherwise block the join forever.
+    conns: Arc<Mutex<Vec<(thread::JoinHandle<()>, TcpStream)>>>,
 }
 
 impl Server {
@@ -48,6 +67,7 @@ impl Server {
             engine: Arc::new(ServeEngine::start(cfg.engine)),
             listener,
             addr,
+            max_load_dim: cfg.max_load_dim,
             stop: Arc::new(AtomicBool::new(false)),
             conns: Arc::new(Mutex::new(Vec::new())),
         })
@@ -75,21 +95,33 @@ impl Server {
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => continue,
                 Err(e) => return Err(e),
             };
+            let peer = match stream.try_clone() {
+                Ok(p) => p,
+                Err(_) => continue, // can't track it for drain — refuse it
+            };
             let engine = Arc::clone(&self.engine);
             let stop = Arc::clone(&self.stop);
             let addr = self.addr;
+            let max_load_dim = self.max_load_dim;
             let handle = thread::Builder::new()
                 .name("fs-serve-conn".to_string())
-                .spawn(move || handle_connection(stream, &engine, &stop, addr))?;
-            self.conns.lock().push(handle);
+                .spawn(move || handle_connection(stream, &engine, &stop, addr, max_load_dim))?;
+            self.conns.lock().push((handle, peer));
             if self.stop.load(Ordering::Acquire) {
                 break;
             }
         }
-        // Drain: finish queued work, then join connection handlers.
+        // Drain: finish queued work, then unblock and join connection
+        // handlers. Shutting down only the *read* half wakes a handler
+        // parked in `read_frame` (it sees clean EOF) while still letting
+        // an in-flight response finish writing.
         self.engine.shutdown();
-        let handles: Vec<thread::JoinHandle<()>> = std::mem::take(&mut *self.conns.lock());
-        for h in handles {
+        let conns: Vec<(thread::JoinHandle<()>, TcpStream)> =
+            std::mem::take(&mut *self.conns.lock());
+        for (_, peer) in &conns {
+            let _ = peer.shutdown(Shutdown::Read);
+        }
+        for (h, _) in conns {
             let _ = h.join();
         }
         Ok(())
@@ -101,6 +133,7 @@ fn handle_connection(
     engine: &Arc<ServeEngine>,
     stop: &Arc<AtomicBool>,
     server_addr: SocketAddr,
+    max_load_dim: u32,
 ) {
     let _ = stream.set_nodelay(true);
     let mut reader = match stream.try_clone() {
@@ -117,7 +150,7 @@ fn handle_connection(
         let response = match Request::decode(&payload) {
             Ok(req) => {
                 let is_shutdown = matches!(req, Request::Shutdown);
-                let resp = dispatch(req, engine);
+                let resp = dispatch(req, engine, max_load_dim);
                 if is_shutdown {
                     let _ = resp.encode().map(|bytes| write_frame(&mut writer, &bytes));
                     stop.store(true, Ordering::Release);
@@ -146,9 +179,21 @@ fn handle_connection(
     }
 }
 
-fn dispatch(req: Request, engine: &Arc<ServeEngine>) -> Response {
+fn dispatch(req: Request, engine: &Arc<ServeEngine>, max_load_dim: u32) -> Response {
     match req {
         Request::Load { tenant, rows, cols, entries } => {
+            // Bound the declared dimensions *before* building anything:
+            // CSR allocates `rows + 1` row pointers regardless of how few
+            // entries arrived, so an unchecked `rows = u32::MAX` in a
+            // tiny frame would be a remote OOM.
+            if rows > max_load_dim || cols > max_load_dim {
+                return Response::Error {
+                    code: ErrorCode::BadRequest,
+                    message: format!(
+                        "matrix dimensions {rows}x{cols} exceed the server cap {max_load_dim}"
+                    ),
+                };
+            }
             let mut coo = CooMatrix::new(rows as usize, cols as usize);
             for (r, c, v) in &entries {
                 if *r >= rows || *c >= cols {
@@ -160,7 +205,15 @@ fn dispatch(req: Request, engine: &Arc<ServeEngine>) -> Response {
                 coo.push(*r as usize, *c as usize, *v);
             }
             let csr = CsrMatrix::from_coo(&coo.dedup());
-            let info = engine.register_matrix(&tenant, csr);
+            let info = match engine.register_matrix(&tenant, csr) {
+                Ok(info) => info,
+                Err(e) => {
+                    return Response::Error {
+                        code: ErrorCode::ResourceExhausted,
+                        message: e.to_string(),
+                    }
+                }
+            };
             Response::Loaded {
                 matrix_id: info.id,
                 fingerprint_hi: info.fingerprint.hi(),

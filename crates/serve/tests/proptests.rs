@@ -24,7 +24,7 @@ fn translate(csr: &CsrMatrix<f32>, n: usize) -> CachedFormat {
 
 fn spmm_via_engine(cfg: EngineConfig, csr: &CsrMatrix<f32>, b: &DenseMatrix<f32>) -> Vec<Vec<f32>> {
     let engine = ServeEngine::start(cfg);
-    let info = engine.register_matrix("t", csr.clone());
+    let info = engine.register_matrix("t", csr.clone()).expect("registered");
     let mut outs = Vec::new();
     for _ in 0..2 {
         let outcome = engine.spmm_blocking(SpmmRequest {

@@ -6,6 +6,7 @@ use std::time::Duration;
 
 use fs_matrix::gen::{random_uniform, rmat, RmatConfig};
 use fs_matrix::{CsrMatrix, DenseMatrix};
+use fs_serve::protocol::{read_frame, write_frame, ErrorCode, Request, Response};
 use fs_serve::{
     EngineConfig, ServeClient, ServeEngine, Server, ServerConfig, SpmmOutcome, SpmmRequest,
 };
@@ -34,7 +35,7 @@ fn micro_batched_results_match_one_at_a_time() {
     // issued strictly one at a time.
     let seq =
         ServeEngine::start(EngineConfig { workers: 1, max_batch: 1, ..EngineConfig::default() });
-    let seq_id = seq.register_matrix("ref", csr.clone()).id;
+    let seq_id = seq.register_matrix("ref", csr.clone()).expect("registered").id;
     let mut reference = Vec::new();
     for b in &operands {
         match seq.spmm_blocking(SpmmRequest {
@@ -57,7 +58,7 @@ fn micro_batched_results_match_one_at_a_time() {
     // micro-batches actually form, then wait on all tickets.
     let batched =
         ServeEngine::start(EngineConfig { workers: 2, max_batch: 8, ..EngineConfig::default() });
-    let bat_id = batched.register_matrix("bat", csr.clone()).id;
+    let bat_id = batched.register_matrix("bat", csr.clone()).expect("registered").id;
     let tickets: Vec<_> = operands
         .iter()
         .map(|b| {
@@ -98,6 +99,7 @@ fn tcp_round_trip_on_loopback() {
     let server = Server::bind(&ServerConfig {
         addr: "127.0.0.1:0".to_string(),
         engine: EngineConfig { workers: 2, ..EngineConfig::default() },
+        ..ServerConfig::default()
     })
     .unwrap_or_else(|e| panic!("bind failed: {e}"));
     let addr = server.local_addr();
@@ -146,4 +148,67 @@ fn tcp_round_trip_on_loopback() {
         .join()
         .unwrap_or_else(|_| panic!("server thread panicked"))
         .unwrap_or_else(|e| panic!("server run failed: {e}"));
+}
+
+/// A ~30-byte `Load` frame declaring `u32::MAX` rows with zero entries
+/// must be refused with `BadRequest` before the server allocates
+/// anything, and the connection must stay usable (regression test for
+/// the remote-OOM via unvalidated dimensions).
+#[test]
+fn oversized_load_dimensions_are_refused_without_allocation() {
+    let server =
+        Server::bind(&ServerConfig::default()).unwrap_or_else(|e| panic!("bind failed: {e}"));
+    let addr = server.local_addr();
+    let server_thread = thread::spawn(move || server.run());
+
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    let req = Request::Load {
+        tenant: "attacker".to_string(),
+        rows: u32::MAX,
+        cols: 1,
+        entries: Vec::new(),
+    };
+    write_frame(&mut stream, &req.encode().expect("encode")).expect("write");
+    let frame = read_frame(&mut stream).expect("read").expect("response frame");
+    match Response::decode(&frame).expect("decode") {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::BadRequest),
+        other => panic!("expected BadRequest, got {other:?}"),
+    }
+    // The server survived and the same connection still answers.
+    write_frame(&mut stream, &Request::Ping.encode().expect("encode")).expect("write");
+    let frame = read_frame(&mut stream).expect("read").expect("pong frame");
+    assert_eq!(Response::decode(&frame).expect("decode"), Response::Pong);
+
+    write_frame(&mut stream, &Request::Shutdown.encode().expect("encode")).expect("write");
+    let _ = read_frame(&mut stream);
+    server_thread
+        .join()
+        .unwrap_or_else(|_| panic!("server thread panicked"))
+        .unwrap_or_else(|e| panic!("server run failed: {e}"));
+}
+
+/// A peer that connects and then goes silent must not block graceful
+/// shutdown: `Server::run` shuts the read half of every tracked
+/// connection at drain time, so the idle handler exits and the join
+/// completes (regression test for the shutdown hang).
+#[test]
+fn idle_connection_does_not_block_shutdown() {
+    let server =
+        Server::bind(&ServerConfig::default()).unwrap_or_else(|e| panic!("bind failed: {e}"));
+    let addr = server.local_addr();
+    let server_thread = thread::spawn(move || server.run());
+
+    // An idle peer: connects, sends nothing, and stays open.
+    let idle = std::net::TcpStream::connect(addr).expect("idle connect");
+
+    let mut client = ServeClient::connect_with_retry(&addr, Duration::from_secs(10))
+        .unwrap_or_else(|e| panic!("connect failed: {e}"));
+    client.shutdown().unwrap_or_else(|e| panic!("shutdown failed: {e}"));
+
+    // With the idle peer still open, run() must return anyway.
+    server_thread
+        .join()
+        .unwrap_or_else(|_| panic!("server thread panicked"))
+        .unwrap_or_else(|e| panic!("server run failed: {e}"));
+    drop(idle);
 }
