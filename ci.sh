@@ -39,4 +39,30 @@ if [ "$SMOKE_OK" != 1 ]; then
   exit 1
 fi
 
+echo "== chaos soak smoke test"
+# Same stack under a seeded fault plan: worker kills, frame corruption,
+# and fragment bit flips all active. The loadgen --chaos contract exits
+# nonzero if any completed response was silently wrong (errors are fine),
+# and the server must still drain and exit cleanly afterwards.
+CHAOS_PORT=$((SERVE_PORT + 1))
+./target/release/fs-serve --addr "127.0.0.1:${CHAOS_PORT}" --workers 2 \
+    --chaos "seed=7;frag-bit=0.001;worker-kill=0.02;frame-corrupt=0.02" &
+CHAOS_PID=$!
+CHAOS_OK=0
+if ./target/release/loadgen \
+    --addr "127.0.0.1:${CHAOS_PORT}" \
+    --matrix uniform:256x256x4096 --n 16 \
+    --requests 200 --concurrency 2 \
+    --wait-ready-ms 10000 --shutdown --chaos; then
+  CHAOS_OK=1
+fi
+if ! wait "$CHAOS_PID"; then
+  echo "ci: fs-serve exited uncleanly under chaos" >&2
+  exit 1
+fi
+if [ "$CHAOS_OK" != 1 ]; then
+  echo "ci: chaos soak smoke test failed" >&2
+  exit 1
+fi
+
 echo "ci: all gates passed"

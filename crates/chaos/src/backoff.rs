@@ -1,0 +1,98 @@
+//! Full-jitter exponential backoff for client retries.
+//!
+//! Delay for attempt `k` is uniform in `[0, min(cap, base * 2^k))` — the
+//! "full jitter" scheme, which decorrelates a thundering herd of
+//! retrying clients. Jitter is drawn from a [`splitmix64`] stream seeded
+//! per-backoff, so a fixed seed replays the exact delay sequence in
+//! tests.
+//!
+//! [`splitmix64`]: crate::splitmix64
+
+use std::time::Duration;
+
+use crate::splitmix64;
+
+/// Seeded full-jitter exponential backoff.
+#[derive(Clone, Debug)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    attempt: u32,
+    rng_state: u64,
+}
+
+impl Backoff {
+    /// A backoff starting at `base`, capped at `cap`, jittered from
+    /// `seed`.
+    pub fn new(base: Duration, cap: Duration, seed: u64) -> Backoff {
+        Backoff { base, cap, attempt: 0, rng_state: splitmix64(seed ^ 0xB0FF_B0FF_B0FF_B0FF) }
+    }
+
+    /// Sensible client defaults: 25ms base, 2s cap.
+    pub fn for_client(seed: u64) -> Backoff {
+        Backoff::new(Duration::from_millis(25), Duration::from_secs(2), seed)
+    }
+
+    /// The delay to sleep before the next retry; advances the attempt
+    /// counter. Uniform in `[0, min(cap, base << attempt))`.
+    pub fn next_delay(&mut self) -> Duration {
+        let exp = self.attempt.min(20); // 2^20 * base already dwarfs any cap
+        self.attempt = self.attempt.saturating_add(1);
+        let ceiling =
+            self.base.saturating_mul(1u32 << exp).min(self.cap).max(Duration::from_micros(1));
+        self.rng_state = splitmix64(self.rng_state);
+        let nanos = ceiling.as_nanos() as u64; // lint: checked-cast (cap <= 2s fits u64 nanos)
+        Duration::from_nanos(self.rng_state % nanos.max(1))
+    }
+
+    /// Number of delays handed out so far.
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Reset the attempt counter (after a success) without reseeding the
+    /// jitter stream.
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_are_bounded_by_exponential_ceiling_and_cap() {
+        let base = Duration::from_millis(25);
+        let cap = Duration::from_secs(2);
+        let mut b = Backoff::new(base, cap, 42);
+        for k in 0..12u32 {
+            let ceiling = base.saturating_mul(1u32 << k).min(cap);
+            let d = b.next_delay();
+            assert!(d < ceiling.max(Duration::from_micros(1)), "attempt {k}: {d:?} >= {ceiling:?}");
+        }
+        assert_eq!(b.attempts(), 12);
+    }
+
+    #[test]
+    fn same_seed_replays_identical_delays() {
+        let delays = |seed: u64| -> Vec<Duration> {
+            let mut b = Backoff::for_client(seed);
+            (0..8).map(|_| b.next_delay()).collect()
+        };
+        assert_eq!(delays(7), delays(7));
+        assert_ne!(delays(7), delays(8), "different seeds should decorrelate");
+    }
+
+    #[test]
+    fn reset_restarts_the_schedule() {
+        let mut b = Backoff::for_client(1);
+        for _ in 0..6 {
+            let _ = b.next_delay();
+        }
+        b.reset();
+        assert_eq!(b.attempts(), 0);
+        let d = b.next_delay();
+        assert!(d < Duration::from_millis(25), "post-reset delay back under base: {d:?}");
+    }
+}

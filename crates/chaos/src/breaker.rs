@@ -1,0 +1,172 @@
+//! A per-resource circuit breaker: after N consecutive failures stop
+//! trusting the fast path and go straight to the known-good fallback,
+//! then probe again after a cooldown.
+//!
+//! `fs-serve` keeps one breaker per registered matrix: N consecutive
+//! output-verification failures trip it, tripped requests run the scalar
+//! reference directly (skipping the tensor-core variants and the verify
+//! pass they would fail), and after the cooldown one half-open probe
+//! decides whether to close again.
+//!
+//! Every transition takes an explicit `now: Instant` so tests drive the
+//! clock deterministically instead of sleeping.
+
+use std::time::{Duration, Instant};
+
+/// Breaker tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip the breaker open.
+    pub threshold: u32,
+    /// How long the breaker stays open before allowing a half-open probe.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> BreakerConfig {
+        BreakerConfig { threshold: 3, cooldown: Duration::from_secs(5) }
+    }
+}
+
+/// The breaker's observable state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: requests take the fast path.
+    Closed,
+    /// Tripped: requests bypass to the fallback until the cooldown ends.
+    Open,
+    /// Cooldown expired: one probe is allowed through the fast path.
+    HalfOpen,
+}
+
+/// The state machine. `Closed -> Open` after `threshold` consecutive
+/// failures; `Open -> HalfOpen` once `cooldown` has elapsed;
+/// `HalfOpen -> Closed` on a probe success, `HalfOpen -> Open` on a
+/// probe failure.
+#[derive(Clone, Debug)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    consecutive_failures: u32,
+    opened_at: Option<Instant>,
+    half_open: bool,
+    trips: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker under `cfg`.
+    pub fn new(cfg: BreakerConfig) -> CircuitBreaker {
+        CircuitBreaker { cfg, consecutive_failures: 0, opened_at: None, half_open: false, trips: 0 }
+    }
+
+    /// Current state as of `now` (advances `Open -> HalfOpen` when the
+    /// cooldown has elapsed).
+    pub fn state(&mut self, now: Instant) -> BreakerState {
+        match self.opened_at {
+            None => BreakerState::Closed,
+            Some(at) => {
+                if self.half_open {
+                    BreakerState::HalfOpen
+                } else if now.duration_since(at) >= self.cfg.cooldown {
+                    self.half_open = true;
+                    BreakerState::HalfOpen
+                } else {
+                    BreakerState::Open
+                }
+            }
+        }
+    }
+
+    /// Should this request skip the fast path entirely? True while open;
+    /// false when closed or when this request is the half-open probe.
+    pub fn should_bypass(&mut self, now: Instant) -> bool {
+        self.state(now) == BreakerState::Open
+    }
+
+    /// Record a fast-path success: closes the breaker and resets the
+    /// failure streak.
+    pub fn record_success(&mut self) {
+        self.consecutive_failures = 0;
+        self.opened_at = None;
+        self.half_open = false;
+    }
+
+    /// Record a fast-path failure as of `now`. A half-open probe failure
+    /// or reaching the threshold (re)opens the breaker.
+    pub fn record_failure(&mut self, now: Instant) {
+        if self.half_open {
+            // Failed probe: restart the cooldown.
+            self.opened_at = Some(now);
+            self.half_open = false;
+            self.trips += 1;
+            return;
+        }
+        self.consecutive_failures += 1;
+        if self.opened_at.is_none() && self.consecutive_failures >= self.cfg.threshold {
+            self.opened_at = Some(now);
+            self.trips += 1;
+        }
+    }
+
+    /// How many times the breaker has tripped open (monotone; metrics).
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BreakerConfig {
+        BreakerConfig { threshold: 3, cooldown: Duration::from_millis(100) }
+    }
+
+    #[test]
+    fn trips_after_threshold_consecutive_failures() {
+        let mut b = CircuitBreaker::new(cfg());
+        let t0 = Instant::now();
+        b.record_failure(t0);
+        b.record_failure(t0);
+        assert!(!b.should_bypass(t0), "below threshold stays closed");
+        b.record_failure(t0);
+        assert!(b.should_bypass(t0), "third consecutive failure trips open");
+        assert_eq!(b.trips(), 1);
+    }
+
+    #[test]
+    fn success_resets_the_streak() {
+        let mut b = CircuitBreaker::new(cfg());
+        let t0 = Instant::now();
+        b.record_failure(t0);
+        b.record_failure(t0);
+        b.record_success();
+        b.record_failure(t0);
+        b.record_failure(t0);
+        assert!(!b.should_bypass(t0), "streak reset by success");
+    }
+
+    #[test]
+    fn half_open_probe_closes_on_success_reopens_on_failure() {
+        let mut b = CircuitBreaker::new(cfg());
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            b.record_failure(t0);
+        }
+        assert_eq!(b.state(t0), BreakerState::Open);
+        let t1 = t0 + Duration::from_millis(150);
+        assert_eq!(b.state(t1), BreakerState::HalfOpen);
+        assert!(!b.should_bypass(t1), "half-open lets the probe through");
+
+        // Probe fails: back to open, cooldown restarts from t1.
+        b.record_failure(t1);
+        assert_eq!(b.state(t1 + Duration::from_millis(50)), BreakerState::Open);
+        assert_eq!(b.trips(), 2);
+
+        // Cooldown elapses again; this probe succeeds.
+        let t2 = t1 + Duration::from_millis(150);
+        assert_eq!(b.state(t2), BreakerState::HalfOpen);
+        b.record_success();
+        assert_eq!(b.state(t2), BreakerState::Closed);
+        assert!(!b.should_bypass(t2));
+    }
+}

@@ -1,0 +1,184 @@
+//! The process-wide injector: the active plan, atomic per-site counters,
+//! and the one-branch fast path every hook pays when chaos is off.
+//!
+//! Mirrors the `fs_tcu::sanitize` design: a relaxed atomic enable flag
+//! ([`chaos_enabled`]), a [`ChaosScope`] RAII guard that serializes tests
+//! against each other, and delta attribution via [`FaultReport::since`].
+//!
+//! Determinism: each [`draw`] atomically claims the next per-site
+//! evaluation index, and the fire/no-fire decision plus payload entropy
+//! are pure functions of `(seed, site, index)`. With a deterministic
+//! evaluation order (single worker, or identical requests) the full
+//! fault sequence replays exactly from the plan string.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, LazyLock, Mutex, MutexGuard};
+use std::time::Duration;
+
+use crate::plan::{FaultDraw, FaultPlan, FaultSite};
+use crate::report::FaultReport;
+
+/// The active plan plus its per-site counters.
+struct ActivePlan {
+    plan: FaultPlan,
+    evaluated: [AtomicU64; FaultSite::COUNT],
+    injected: [AtomicU64; FaultSite::COUNT],
+}
+
+impl ActivePlan {
+    fn new(plan: FaultPlan) -> ActivePlan {
+        ActivePlan { plan, evaluated: Default::default(), injected: Default::default() }
+    }
+
+    fn snapshot(&self) -> FaultReport {
+        let mut r = FaultReport::default();
+        for i in 0..FaultSite::COUNT {
+            r.evaluated[i] = self.evaluated[i].load(Ordering::Relaxed);
+            r.injected[i] = self.injected[i].load(Ordering::Relaxed);
+        }
+        r
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static ACTIVE: Mutex<Option<Arc<ActivePlan>>> = Mutex::new(None);
+
+fn lock_active() -> MutexGuard<'static, Option<Arc<ActivePlan>>> {
+    ACTIVE.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Whether a fault plan is installed. The single relaxed load every
+/// off-path hook pays.
+#[inline]
+pub fn chaos_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Install `plan` process-wide. Counters start at zero. Prefer
+/// [`ChaosScope`] in tests — it serializes and uninstalls on drop.
+pub fn install(plan: FaultPlan) {
+    let active = plan.is_active();
+    *lock_active() = Some(Arc::new(ActivePlan::new(plan)));
+    ENABLED.store(active, Ordering::Relaxed);
+}
+
+/// Remove the active plan (hooks return to the one-branch off path).
+pub fn uninstall() {
+    ENABLED.store(false, Ordering::Relaxed);
+    *lock_active() = None;
+}
+
+/// Consult the active plan for `site`: claims the next evaluation index
+/// and returns the draw if it fires. `None` when chaos is off, no plan
+/// is installed, or this index does not fire.
+pub fn draw(site: FaultSite) -> Option<FaultDraw> {
+    if !chaos_enabled() {
+        return None;
+    }
+    let active = lock_active().clone()?;
+    let idx = active.evaluated[site.index()].fetch_add(1, Ordering::Relaxed);
+    let fired = active.plan.decide(site, idx);
+    if fired.is_some() {
+        active.injected[site.index()].fetch_add(1, Ordering::Relaxed);
+    }
+    fired
+}
+
+/// Snapshot the active plan's counters (zeros when none is installed).
+pub fn report() -> FaultReport {
+    lock_active().as_ref().map(|a| a.snapshot()).unwrap_or_default()
+}
+
+/// The active plan's worker-stall duration (the default when no plan is
+/// installed).
+pub fn stall_duration() -> Duration {
+    lock_active()
+        .as_ref()
+        .map(|a| a.plan.stall())
+        .unwrap_or(Duration::from_millis(crate::plan::DEFAULT_STALL_MS))
+}
+
+/// The active plan itself, for diagnostics (`fs-serve` echoes it at
+/// startup so any incident log carries the reproduce-from-seed string).
+pub fn active_plan() -> Option<FaultPlan> {
+    lock_active().as_ref().map(|a| a.plan.clone())
+}
+
+static SCOPE_LOCK: LazyLock<Mutex<()>> = LazyLock::new(|| Mutex::new(()));
+
+/// RAII chaos activation for tests: serializes against other scopes (the
+/// injector is process-wide), installs the plan on entry, and restores
+/// the previous plan (usually none) on drop.
+pub struct ChaosScope {
+    prev: Option<FaultPlan>,
+    _lock: MutexGuard<'static, ()>,
+}
+
+impl ChaosScope {
+    /// Install `plan` for the lifetime of the scope.
+    pub fn install(plan: FaultPlan) -> ChaosScope {
+        let lock = SCOPE_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let prev = active_plan();
+        install(plan);
+        ChaosScope { prev, _lock: lock }
+    }
+}
+
+impl Drop for ChaosScope {
+    fn drop(&mut self) {
+        match self.prev.take() {
+            Some(plan) => install(plan),
+            None => uninstall(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_path_draw_is_none_and_free() {
+        let _scope = ChaosScope::install(FaultPlan::new(0));
+        // Plan with all-zero rates: enabled flag stays off entirely.
+        assert!(!chaos_enabled());
+        assert!(draw(FaultSite::FragBitFlip).is_none());
+        assert_eq!(report().evaluated[0], 0, "off path must not count evaluations");
+    }
+
+    #[test]
+    fn draws_count_and_replay() {
+        let plan = FaultPlan::new(11).with_rate(FaultSite::TxnDrop, 0.5);
+        let run = || {
+            let _scope = ChaosScope::install(plan.clone());
+            assert!(chaos_enabled());
+            let fired: Vec<bool> = (0..200).map(|_| draw(FaultSite::TxnDrop).is_some()).collect();
+            (fired, report())
+        };
+        let (a_fired, a_report) = run();
+        let (b_fired, b_report) = run();
+        assert_eq!(a_fired, b_fired, "same plan must replay the same sequence");
+        assert_eq!(a_report, b_report);
+        assert_eq!(a_report.evaluated[FaultSite::TxnDrop.index()], 200);
+        let injected = a_report.injected[FaultSite::TxnDrop.index()];
+        assert!(injected > 50 && injected < 150, "{injected}");
+    }
+
+    #[test]
+    fn scope_restores_previous_state() {
+        let outer = FaultPlan::new(1).with_rate(FaultSite::WorkerKill, 1.0);
+        let scope = ChaosScope::install(outer.clone());
+        assert_eq!(active_plan(), Some(outer));
+        drop(scope);
+        assert!(active_plan().is_none());
+        assert!(!chaos_enabled());
+    }
+
+    #[test]
+    fn stall_duration_follows_plan() {
+        let mut plan = FaultPlan::new(2).with_rate(FaultSite::WorkerStall, 1.0);
+        plan.stall_ms = 3;
+        let _scope = ChaosScope::install(plan);
+        assert_eq!(stall_duration(), Duration::from_millis(3));
+    }
+}

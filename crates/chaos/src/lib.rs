@@ -1,0 +1,43 @@
+//! fs-chaos: deterministic, seed-replayable fault injection plus the
+//! self-healing primitives that turn detected faults into degraded-but-
+//! correct service.
+//!
+//! The layer has two halves:
+//!
+//! * **Injection** — a [`FaultPlan`] (seed + per-site rates) drives hooks
+//!   threaded through the stack: fragment/accumulator bit flips and
+//!   transaction drops in `fs-tcu`, shadow poisoning through the
+//!   sanitizer, worker kill/stall and protocol-frame corruption in
+//!   `fs-serve`. Every injection decision is a *pure function* of
+//!   `(seed, site, evaluation index)` — see [`FaultPlan::decide`] — so a
+//!   failure reproduces from the plan's [`Display`] string alone.
+//! * **Recovery** — a [`CircuitBreaker`] state machine (per-matrix in
+//!   `fs-serve`) and a jittered exponential [`Backoff`] for client
+//!   retries. The fallback ladder itself lives in
+//!   `flashsparse::resilient`, next to the kernels it guards.
+//!
+//! Off path, every hook costs one relaxed atomic load
+//! ([`chaos_enabled`]), mirroring `fs_tcu::sanitize_enabled`.
+
+pub mod backoff;
+pub mod breaker;
+pub mod inject;
+pub mod plan;
+pub mod report;
+
+pub use backoff::Backoff;
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+pub use inject::{chaos_enabled, draw, install, report, stall_duration, uninstall, ChaosScope};
+pub use plan::{FaultDraw, FaultPlan, FaultSite};
+pub use report::FaultReport;
+
+/// SplitMix64 finalizer — the stateless hash behind every injection
+/// decision. Public so layers deriving extra per-draw values (lane, bit,
+/// byte offset) stay consistent with the plan's own arithmetic.
+#[inline]
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}

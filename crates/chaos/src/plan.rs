@@ -1,0 +1,333 @@
+//! The fault plan: which sites fire, at what rate, under which seed.
+//!
+//! A plan is fully described by its [`Display`] string — e.g.
+//! `seed=42;frag-bit=0.001;worker-kill=0.02` — and [`FromStr`] parses
+//! that string back into a plan that replays the *identical* fault
+//! sequence (site, lane, bit), because every decision is a pure function
+//! of `(seed, site, evaluation index)`.
+
+use std::fmt;
+use std::str::FromStr;
+use std::time::Duration;
+
+use crate::splitmix64;
+
+/// Default worker-stall duration when a `worker-stall` draw fires.
+pub const DEFAULT_STALL_MS: u64 = 20;
+
+/// An injection site: where in the stack a fault class is introduced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// Flip one bit of one MMA input-fragment register (`fs-tcu`).
+    FragBitFlip,
+    /// Flip one bit of one MMA accumulator lane after the multiply.
+    AccumBitFlip,
+    /// Poison one shadow-memory byte so a sanitized load reads "uninit".
+    ShadowPoison,
+    /// Drop one 32-byte transaction from a coalesced warp load.
+    TxnDrop,
+    /// Kill the worker thread holding the batch (`fs-serve`).
+    WorkerKill,
+    /// Stall the worker thread for the plan's `stall-ms`.
+    WorkerStall,
+    /// Corrupt one byte of an outbound protocol frame (server side).
+    FrameCorrupt,
+    /// Truncate an outbound protocol frame mid-payload (server side).
+    FrameTruncate,
+}
+
+impl FaultSite {
+    /// Number of sites (array sizing for rates and counters).
+    pub const COUNT: usize = 8;
+
+    /// Every site, in index order.
+    pub const ALL: [FaultSite; FaultSite::COUNT] = [
+        FaultSite::FragBitFlip,
+        FaultSite::AccumBitFlip,
+        FaultSite::ShadowPoison,
+        FaultSite::TxnDrop,
+        FaultSite::WorkerKill,
+        FaultSite::WorkerStall,
+        FaultSite::FrameCorrupt,
+        FaultSite::FrameTruncate,
+    ];
+
+    /// Dense index into per-site arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            FaultSite::FragBitFlip => 0,
+            FaultSite::AccumBitFlip => 1,
+            FaultSite::ShadowPoison => 2,
+            FaultSite::TxnDrop => 3,
+            FaultSite::WorkerKill => 4,
+            FaultSite::WorkerStall => 5,
+            FaultSite::FrameCorrupt => 6,
+            FaultSite::FrameTruncate => 7,
+        }
+    }
+
+    /// The stable CLI token naming this site in a plan string.
+    pub fn token(self) -> &'static str {
+        match self {
+            FaultSite::FragBitFlip => "frag-bit",
+            FaultSite::AccumBitFlip => "accum-bit",
+            FaultSite::ShadowPoison => "shadow-poison",
+            FaultSite::TxnDrop => "txn-drop",
+            FaultSite::WorkerKill => "worker-kill",
+            FaultSite::WorkerStall => "worker-stall",
+            FaultSite::FrameCorrupt => "frame-corrupt",
+            FaultSite::FrameTruncate => "frame-truncate",
+        }
+    }
+
+    /// Parse a CLI token back to the site.
+    pub fn from_token(s: &str) -> Option<FaultSite> {
+        FaultSite::ALL.into_iter().find(|site| site.token() == s)
+    }
+}
+
+/// A deterministic fault plan: seeded site filters with per-site rates.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Seed mixed into every decision hash.
+    pub seed: u64,
+    /// Per-site injection probability in `[0, 1]`, indexed by
+    /// [`FaultSite::index`].
+    pub rates: [f64; FaultSite::COUNT],
+    /// How long a fired `worker-stall` sleeps.
+    pub stall_ms: u64,
+}
+
+/// One fired injection: carries the entropy later layers use to pick the
+/// lane, bit, or byte the fault lands on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultDraw {
+    /// The site that fired.
+    pub site: FaultSite,
+    /// The per-site evaluation index that fired.
+    pub index: u64,
+    /// Site/seed/index-derived entropy for payload selection.
+    pub payload: u64,
+}
+
+impl FaultDraw {
+    /// Deterministically select a value in `[0, bound)` for payload slot
+    /// `slot` (slot 0 = lane/element, slot 1 = bit, ...). Distinct slots
+    /// decorrelate, so lane and bit choices are independent.
+    #[inline]
+    pub fn select(&self, slot: u64, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        splitmix64(self.payload ^ slot.wrapping_mul(0xA076_1D64_78BD_642F)) % bound.max(1)
+    }
+}
+
+/// Per-site salt so different sites draw independent streams from one
+/// seed.
+fn site_salt(site: FaultSite) -> u64 {
+    // Any fixed distinct constants work; derived from the site index.
+    splitmix64(0xC0FF_EE00_D15E_A5E5 ^ (site.index() as u64))
+}
+
+impl FaultPlan {
+    /// A plan with every rate zero (no faults) under `seed`.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan { seed, rates: [0.0; FaultSite::COUNT], stall_ms: DEFAULT_STALL_MS }
+    }
+
+    /// Builder: set one site's rate (clamped to `[0, 1]`).
+    pub fn with_rate(mut self, site: FaultSite, rate: f64) -> FaultPlan {
+        self.rates[site.index()] = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// This plan's rate for `site`.
+    pub fn rate(&self, site: FaultSite) -> f64 {
+        self.rates[site.index()]
+    }
+
+    /// Whether any site can ever fire.
+    pub fn is_active(&self) -> bool {
+        self.rates.iter().any(|&r| r > 0.0)
+    }
+
+    /// The deterministic injection decision: does evaluation `index` of
+    /// `site` fire under this plan? Pure — no state, no clock — so the
+    /// same `(plan string, site, index)` always produces the same answer
+    /// and the same payload entropy.
+    pub fn decide(&self, site: FaultSite, index: u64) -> Option<FaultDraw> {
+        let rate = self.rates[site.index()];
+        if rate <= 0.0 {
+            return None;
+        }
+        let h = splitmix64(self.seed ^ site_salt(site) ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        // Compare the top 53 bits against the rate scaled to 2^53: exact
+        // for rate = 1.0 and monotone in the rate.
+        let threshold = (rate * (1u64 << 53) as f64) as u64;
+        if (h >> 11) < threshold {
+            Some(FaultDraw { site, index, payload: splitmix64(h) })
+        } else {
+            None
+        }
+    }
+
+    /// How long a fired `worker-stall` sleeps.
+    pub fn stall(&self) -> Duration {
+        Duration::from_millis(self.stall_ms)
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "seed={}", self.seed)?;
+        for site in FaultSite::ALL {
+            let rate = self.rates[site.index()];
+            if rate > 0.0 {
+                // `{}` on f64 prints the shortest string that round-trips,
+                // so Display → FromStr is lossless.
+                write!(f, ";{}={}", site.token(), rate)?;
+            }
+        }
+        if self.stall_ms != DEFAULT_STALL_MS {
+            write!(f, ";stall-ms={}", self.stall_ms)?;
+        }
+        Ok(())
+    }
+}
+
+/// Why a plan string failed to parse (names the offending key).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlanParseError(pub String);
+
+impl fmt::Display for PlanParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad fault plan: {}", self.0)
+    }
+}
+
+impl std::error::Error for PlanParseError {}
+
+impl FromStr for FaultPlan {
+    type Err = PlanParseError;
+
+    /// Parse `seed=N;site=rate;...;stall-ms=N` (any key order; `seed`
+    /// defaults to 0 when absent).
+    fn from_str(s: &str) -> Result<FaultPlan, PlanParseError> {
+        let mut plan = FaultPlan::new(0);
+        for part in s.split(';').map(str::trim).filter(|p| !p.is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| PlanParseError(format!("`{part}` is not key=value")))?;
+            match key {
+                "seed" => {
+                    plan.seed = value
+                        .parse()
+                        .map_err(|_| PlanParseError(format!("seed: `{value}` is not a u64")))?;
+                }
+                "stall-ms" => {
+                    plan.stall_ms = value
+                        .parse()
+                        .map_err(|_| PlanParseError(format!("stall-ms: `{value}` is not a u64")))?;
+                }
+                token => {
+                    let site = FaultSite::from_token(token)
+                        .ok_or_else(|| PlanParseError(format!("unknown site `{token}`")))?;
+                    let rate: f64 = value
+                        .parse()
+                        .map_err(|_| PlanParseError(format!("{token}: `{value}` is not a rate")))?;
+                    if !(0.0..=1.0).contains(&rate) {
+                        return Err(PlanParseError(format!("{token}: rate {rate} outside [0, 1]")));
+                    }
+                    plan.rates[site.index()] = rate;
+                }
+            }
+        }
+        Ok(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_parse_roundtrip() {
+        let plan = FaultPlan::new(42)
+            .with_rate(FaultSite::FragBitFlip, 1e-3)
+            .with_rate(FaultSite::WorkerKill, 0.02);
+        let s = plan.to_string();
+        assert_eq!(s, "seed=42;frag-bit=0.001;worker-kill=0.02");
+        let back: FaultPlan = s.parse().expect("parse");
+        assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn stall_ms_roundtrips_when_nondefault() {
+        let mut plan = FaultPlan::new(7).with_rate(FaultSite::WorkerStall, 0.5);
+        plan.stall_ms = 5;
+        let back: FaultPlan = plan.to_string().parse().expect("parse");
+        assert_eq!(back.stall_ms, 5);
+        assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn parse_errors_name_the_key() {
+        let err = "seed=abc".parse::<FaultPlan>().unwrap_err();
+        assert!(err.to_string().contains("seed"), "{err}");
+        let err = "frag-bit=nope".parse::<FaultPlan>().unwrap_err();
+        assert!(err.to_string().contains("frag-bit"), "{err}");
+        let err = "bogus-site=0.1".parse::<FaultPlan>().unwrap_err();
+        assert!(err.to_string().contains("bogus-site"), "{err}");
+        let err = "frag-bit=1.5".parse::<FaultPlan>().unwrap_err();
+        assert!(err.to_string().contains("outside"), "{err}");
+        assert!("frag-bit".parse::<FaultPlan>().is_err());
+    }
+
+    #[test]
+    fn decide_is_deterministic_and_rate_shaped() {
+        let plan = FaultPlan::new(99).with_rate(FaultSite::FragBitFlip, 0.1);
+        let fired: Vec<u64> =
+            (0..10_000).filter(|&i| plan.decide(FaultSite::FragBitFlip, i).is_some()).collect();
+        // ~1000 expected; loose bounds to stay robust.
+        assert!(fired.len() > 700 && fired.len() < 1300, "{}", fired.len());
+        // Replays exactly.
+        let again: Vec<u64> =
+            (0..10_000).filter(|&i| plan.decide(FaultSite::FragBitFlip, i).is_some()).collect();
+        assert_eq!(fired, again);
+        // A different site draws an independent stream.
+        let other: Vec<u64> =
+            (0..10_000).filter(|&i| plan.decide(FaultSite::AccumBitFlip, i).is_some()).collect();
+        assert!(other.is_empty(), "rate 0 site must never fire");
+    }
+
+    #[test]
+    fn rate_one_always_fires_rate_zero_never() {
+        let plan = FaultPlan::new(1).with_rate(FaultSite::TxnDrop, 1.0);
+        for i in 0..100 {
+            assert!(plan.decide(FaultSite::TxnDrop, i).is_some());
+            assert!(plan.decide(FaultSite::WorkerKill, i).is_none());
+        }
+    }
+
+    #[test]
+    fn draw_select_is_bounded_and_slot_independent() {
+        let plan = FaultPlan::new(3).with_rate(FaultSite::AccumBitFlip, 1.0);
+        let d = plan.decide(FaultSite::AccumBitFlip, 5).expect("fires");
+        for bound in [1u64, 2, 32, 128] {
+            for slot in 0..4 {
+                assert!(d.select(slot, bound) < bound);
+            }
+        }
+        // Not all slots collapse to the same value (entropy decorrelates).
+        let vals: Vec<u64> = (0..8).map(|s| d.select(s, 1 << 20)).collect();
+        assert!(vals.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn token_roundtrip_for_every_site() {
+        for site in FaultSite::ALL {
+            assert_eq!(FaultSite::from_token(site.token()), Some(site));
+        }
+        assert_eq!(FaultSite::from_token("nope"), None);
+    }
+}

@@ -1,0 +1,111 @@
+//! Per-site fault counters: evaluations, injections, and recoveries.
+
+use std::fmt;
+
+use crate::plan::FaultSite;
+
+/// Counters of one injection window: how many times each site was
+/// consulted and how many draws fired. Two runs of the same workload
+/// under the same plan string produce identical reports (the acceptance
+/// contract of the layer).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Per-site decision evaluations, indexed by [`FaultSite::index`].
+    pub evaluated: [u64; FaultSite::COUNT],
+    /// Per-site fired injections.
+    pub injected: [u64; FaultSite::COUNT],
+}
+
+impl FaultReport {
+    /// Total injections across every site.
+    pub fn injected_total(&self) -> u64 {
+        self.injected.iter().sum()
+    }
+
+    /// `(evaluated, injected)` for one site.
+    pub fn site(&self, site: FaultSite) -> (u64, u64) {
+        (self.evaluated[site.index()], self.injected[site.index()])
+    }
+
+    /// Counters accumulated since `earlier` (per-launch attribution).
+    pub fn since(&self, earlier: &FaultReport) -> FaultReport {
+        let mut out = FaultReport::default();
+        for i in 0..FaultSite::COUNT {
+            out.evaluated[i] = self.evaluated[i].saturating_sub(earlier.evaluated[i]);
+            out.injected[i] = self.injected[i].saturating_sub(earlier.injected[i]);
+        }
+        out
+    }
+
+    /// The report as one JSON object keyed by site token.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, site) in FaultSite::ALL.into_iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{}\":{{\"evaluated\":{},\"injected\":{}}}",
+                site.token(),
+                self.evaluated[site.index()],
+                self.injected[site.index()]
+            ));
+        }
+        out.push('}');
+        out
+    }
+}
+
+impl fmt::Display for FaultReport {
+    /// One line per site that was consulted: `token: injected/evaluated`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut any = false;
+        for site in FaultSite::ALL {
+            let (eval, inj) = self.site(site);
+            if eval > 0 {
+                if any {
+                    f.write_str(" ")?;
+                }
+                write!(f, "{}:{}/{}", site.token(), inj, eval)?;
+                any = true;
+            }
+        }
+        if !any {
+            f.write_str("no sites evaluated")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn since_subtracts_per_site() {
+        let mut a = FaultReport::default();
+        a.evaluated[0] = 10;
+        a.injected[0] = 2;
+        let mut b = a;
+        b.evaluated[0] = 25;
+        b.injected[0] = 3;
+        b.evaluated[4] = 7;
+        let d = b.since(&a);
+        assert_eq!(d.evaluated[0], 15);
+        assert_eq!(d.injected[0], 1);
+        assert_eq!(d.evaluated[4], 7);
+        assert_eq!(d.injected_total(), 1);
+    }
+
+    #[test]
+    fn json_and_display_are_well_formed() {
+        let mut r = FaultReport::default();
+        r.evaluated[FaultSite::FragBitFlip.index()] = 100;
+        r.injected[FaultSite::FragBitFlip.index()] = 3;
+        let j = r.to_json();
+        assert!(j.contains("\"frag-bit\":{\"evaluated\":100,\"injected\":3}"), "{j}");
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(r.to_string(), "frag-bit:3/100");
+        assert_eq!(FaultReport::default().to_string(), "no sites evaluated");
+    }
+}

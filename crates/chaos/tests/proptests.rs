@@ -1,0 +1,77 @@
+//! Property tests for the fault plan (ISSUE 3 satellite): the Display
+//! string is a complete, lossless description of the fault sequence —
+//! serialize, re-parse, and every decision (fire/no-fire, lane, bit)
+//! replays identically.
+
+use fs_chaos::{FaultPlan, FaultSite};
+use proptest::prelude::*;
+
+fn arb_plan() -> impl Strategy<Value = FaultPlan> {
+    (
+        0u64..u64::MAX,
+        prop::collection::vec((0usize..FaultSite::COUNT, 0.0f64..=1.0), 0..6),
+        1u64..500,
+    )
+        .prop_map(|(seed, rates, stall_ms)| {
+            let mut plan = FaultPlan::new(seed);
+            plan.stall_ms = stall_ms;
+            for (idx, rate) in rates {
+                plan = plan.with_rate(FaultSite::ALL[idx], rate);
+            }
+            plan
+        })
+}
+
+/// Random soup from the plan-string alphabet, for the parser-totality
+/// property (the vendored proptest shim has no regex strategies).
+fn arb_plan_soup() -> impl Strategy<Value = String> {
+    const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789=;.-";
+    prop::collection::vec(0usize..ALPHABET.len(), 0..64)
+        .prop_map(|idxs| idxs.into_iter().map(|i| ALPHABET[i] as char).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Display → FromStr is lossless: the re-parsed plan is structurally
+    /// equal and replays the identical fault sequence — same fired
+    /// indices, same lane (`select(0, ..)`), same bit (`select(1, 32)`)
+    /// — for every site over a window of evaluation indices.
+    #[test]
+    fn display_string_replays_identical_fault_sequence(plan in arb_plan()) {
+        let s = plan.to_string();
+        let reparsed: FaultPlan = s.parse().expect("display string parses");
+        prop_assert_eq!(&reparsed, &plan, "roundtrip of `{}`", s);
+
+        for site in FaultSite::ALL {
+            for index in 0..256u64 {
+                let a = plan.decide(site, index);
+                let b = reparsed.decide(site, index);
+                prop_assert_eq!(
+                    a.is_some(),
+                    b.is_some(),
+                    "fire mismatch at {}[{}]",
+                    site.token(),
+                    index
+                );
+                if let (Some(da), Some(db)) = (a, b) {
+                    prop_assert_eq!(da.payload, db.payload);
+                    // The derived fault coordinates (lane, bit) match too.
+                    prop_assert_eq!(da.select(0, 64), db.select(0, 64));
+                    prop_assert_eq!(da.select(1, 32), db.select(1, 32));
+                }
+            }
+        }
+    }
+
+    /// Parsing never panics on arbitrary input, and whatever does parse
+    /// re-displays to a string that parses back to the same plan.
+    #[test]
+    fn parse_is_total_and_idempotent(s in arb_plan_soup()) {
+        if let Ok(plan) = s.parse::<FaultPlan>() {
+            let redisplayed = plan.to_string();
+            let back: FaultPlan = redisplayed.parse().expect("re-display parses");
+            prop_assert_eq!(back, plan);
+        }
+    }
+}

@@ -39,6 +39,7 @@
 
 pub mod api;
 pub mod dispatch;
+pub mod resilient;
 mod sanitize_hooks;
 pub mod sddmm;
 pub mod spmm;
@@ -48,6 +49,10 @@ pub mod variant;
 
 pub use api::FlashSparseMatrix;
 pub use dispatch::TranslatedMatrix;
+pub use resilient::{
+    outputs_match, spmm_resilient, verify_sampled_rows, FallbackLevel, ResilientReport,
+    VerifyPolicy, DEFAULT_TOLERANCE,
+};
 pub use sddmm::sddmm;
 pub use spmm::{spmm, spmm_fp16_k16};
 pub use thread_map::ThreadMapping;

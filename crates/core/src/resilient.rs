@@ -1,0 +1,290 @@
+//! Self-healing SpMM execution: verify the tensor-core output against
+//! the scalar CSR reference on a sampled row subset, and on failure walk
+//! a fallback ladder until a trusted result emerges.
+//!
+//! The ladder has three rungs:
+//!
+//! 1. **Tuned** — the variant the auto-tuner picked (the fast path).
+//! 2. **Default** — the un-tuned [`TuneChoice::FALLBACK`] variant, a
+//!    different translation and kernel configuration that dodges faults
+//!    tied to one layout.
+//! 3. **Scalar** — [`CsrMatrix::spmm_reference`], the same code the
+//!    verifier trusts as ground truth. Never verified (it *is* the
+//!    reference) and immune to the TCU-level chaos sites, so the ladder
+//!    always terminates with a correct result.
+//!
+//! Verification compares blocked row checksums cheaply: a sampled subset
+//! of rows (`sample_rows = 0` means every row) is recomputed scalar and
+//! compared element-wise within a tolerance sized for fp16 operand
+//! rounding. A flipped high exponent bit or a NaN is far outside it;
+//! flips below it are indistinguishable from rounding by construction.
+
+use fs_matrix::{CsrMatrix, DenseMatrix};
+use fs_tcu::KernelCounters;
+
+use crate::dispatch::TranslatedMatrix;
+use crate::tune::TuneChoice;
+
+/// Default verification tolerance: generous for fp16 operand rounding at
+/// the magnitudes the tests and the serving fixture use, tiny against a
+/// flipped exponent bit.
+pub const DEFAULT_TOLERANCE: f32 = 0.5;
+
+/// Which rung of the fallback ladder produced the returned output.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FallbackLevel {
+    /// The tuned variant passed verification (or verification was off).
+    #[default]
+    Tuned = 0,
+    /// The un-tuned default variant passed after the tuned one failed.
+    Default = 1,
+    /// Scalar CSR reference (trusted ground truth; not verified).
+    Scalar = 2,
+}
+
+impl FallbackLevel {
+    /// Wire encoding for the serving protocol.
+    pub fn as_u8(self) -> u8 {
+        self as u8
+    }
+
+    /// Decode the wire encoding (unknown values clamp to `Scalar`).
+    pub fn from_u8(v: u8) -> FallbackLevel {
+        match v {
+            0 => FallbackLevel::Tuned,
+            1 => FallbackLevel::Default,
+            _ => FallbackLevel::Scalar,
+        }
+    }
+
+    /// Human-readable rung name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FallbackLevel::Tuned => "tuned",
+            FallbackLevel::Default => "default",
+            FallbackLevel::Scalar => "scalar",
+        }
+    }
+}
+
+/// How to verify a kernel's output against the scalar reference.
+#[derive(Clone, Copy, Debug)]
+pub struct VerifyPolicy {
+    /// How many rows to sample (strided over the matrix); `0` checks
+    /// every row.
+    pub sample_rows: usize,
+    /// Max absolute element difference accepted as rounding.
+    pub tolerance: f32,
+}
+
+impl Default for VerifyPolicy {
+    fn default() -> VerifyPolicy {
+        VerifyPolicy { sample_rows: 0, tolerance: DEFAULT_TOLERANCE }
+    }
+}
+
+/// What one resilient launch did: the rung that won, how many rungs
+/// failed verification, and the fault counters attributed to the launch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ResilientReport {
+    /// Rung that produced the returned output.
+    pub level: FallbackLevel,
+    /// Rungs that ran and failed verification before it.
+    pub verify_failures: u32,
+    /// Chaos counters accumulated during this launch (zeros off-chaos).
+    pub faults: fs_chaos::FaultReport,
+}
+
+/// Element-wise comparison within `tolerance`, NaN-hostile: any NaN or
+/// infinity in `out` is a mismatch (`!(diff <= tol)` catches it).
+pub fn outputs_match(out: &DenseMatrix<f32>, reference: &DenseMatrix<f32>, tolerance: f32) -> bool {
+    if out.rows() != reference.rows() || out.cols() != reference.cols() {
+        return false;
+    }
+    out.as_slice().iter().zip(reference.as_slice()).all(|(&a, &b)| (a - b).abs() <= tolerance)
+}
+
+/// Verify `out` against the scalar reference on the rows `policy`
+/// samples. Returns `true` when every checked element is within
+/// tolerance.
+pub fn verify_sampled_rows(
+    csr: &CsrMatrix<f32>,
+    b: &DenseMatrix<f32>,
+    out: &DenseMatrix<f32>,
+    policy: &VerifyPolicy,
+) -> bool {
+    let rows = csr.rows();
+    if out.rows() != rows || out.cols() != b.cols() || b.rows() != csr.cols() {
+        return false;
+    }
+    if rows == 0 {
+        return true;
+    }
+    let stride = if policy.sample_rows == 0 || policy.sample_rows >= rows {
+        1
+    } else {
+        rows / policy.sample_rows
+    };
+    let n = b.cols();
+    let mut expected = vec![0.0f32; n];
+    for r in (0..rows).step_by(stride.max(1)) {
+        expected.iter_mut().for_each(|e| *e = 0.0);
+        for (&col, &val) in csr.row_cols(r).iter().zip(csr.row_values(r)) {
+            let brow = b.row(col as usize);
+            for (e, &bv) in expected.iter_mut().zip(brow) {
+                *e += val * bv;
+            }
+        }
+        let got = out.row(r);
+        if !expected.iter().zip(got).all(|(&e, &g)| (e - g).abs() <= policy.tolerance) {
+            return false;
+        }
+    }
+    true
+}
+
+/// SpMM with output verification and the fallback ladder.
+///
+/// Runs `tuned` (the auto-tuned variant) first; on verification failure
+/// retries with `fallback` (the [`TuneChoice::FALLBACK`] translation, if
+/// the caller has one and it differs from `tuned`); on failure again
+/// computes the scalar reference, which is returned unverified as ground
+/// truth. The returned [`KernelCounters`] are those of the rung that
+/// won (zeros for the scalar rung — it never touches the TCU).
+pub fn spmm_resilient(
+    csr: &CsrMatrix<f32>,
+    tuned: &TranslatedMatrix,
+    choice: &TuneChoice,
+    fallback: Option<&TranslatedMatrix>,
+    b: &DenseMatrix<f32>,
+    policy: &VerifyPolicy,
+) -> (DenseMatrix<f32>, KernelCounters, ResilientReport) {
+    let before = fs_chaos::report();
+    let mut report = ResilientReport::default();
+
+    let (out, counters) = tuned.spmm_f32(b, choice.mapping);
+    if verify_sampled_rows(csr, b, &out, policy) {
+        report.level = FallbackLevel::Tuned;
+        report.faults = fs_chaos::report().since(&before);
+        return (out, counters, report);
+    }
+    report.verify_failures += 1;
+
+    if let Some(fb) = fallback {
+        let (out, counters) = fb.spmm_f32(b, TuneChoice::FALLBACK.mapping);
+        if verify_sampled_rows(csr, b, &out, policy) {
+            report.level = FallbackLevel::Default;
+            report.faults = fs_chaos::report().since(&before);
+            return (out, counters, report);
+        }
+        report.verify_failures += 1;
+    }
+
+    // Ground truth: the scalar reference the verifier itself trusts.
+    let out = csr.spmm_reference(b);
+    report.level = FallbackLevel::Scalar;
+    report.faults = fs_chaos::report().since(&before);
+    (out, KernelCounters::default(), report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fs_matrix::gen::random_uniform;
+    use fs_tcu::GpuSpec;
+
+    fn fixture() -> (CsrMatrix<f32>, DenseMatrix<f32>, TuneChoice, TranslatedMatrix) {
+        let csr = CsrMatrix::from_coo(&random_uniform::<f32>(96, 96, 800, 3));
+        let b = DenseMatrix::from_fn(96, 16, |r, c| ((r + c) % 5) as f32 * 0.25);
+        let choice = crate::auto_tune(&csr, 16, GpuSpec::RTX4090);
+        let tuned = TranslatedMatrix::translate(&csr, &choice);
+        (csr, b, choice, tuned)
+    }
+
+    #[test]
+    fn clean_run_stays_on_the_tuned_rung() {
+        let (csr, b, choice, tuned) = fixture();
+        let (out, counters, report) =
+            spmm_resilient(&csr, &tuned, &choice, None, &b, &VerifyPolicy::default());
+        assert_eq!(report.level, FallbackLevel::Tuned);
+        assert_eq!(report.verify_failures, 0);
+        assert_eq!(report.faults.injected_total(), 0);
+        assert!(counters.mma_count > 0);
+        let (direct, _) = tuned.spmm_f32(&b, choice.mapping);
+        assert_eq!(
+            out.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<u32>>(),
+            direct.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<u32>>(),
+            "resilient pass must not perturb the clean output"
+        );
+    }
+
+    #[test]
+    fn impossible_tolerance_walks_to_scalar() {
+        let (csr, b, choice, tuned) = fixture();
+        let fallback = TranslatedMatrix::translate(&csr, &TuneChoice::FALLBACK);
+        let policy = VerifyPolicy { sample_rows: 0, tolerance: -1.0 };
+        let (out, counters, report) =
+            spmm_resilient(&csr, &tuned, &choice, Some(&fallback), &b, &policy);
+        assert_eq!(report.level, FallbackLevel::Scalar);
+        assert_eq!(report.verify_failures, 2, "both TCU rungs must have been tried");
+        assert_eq!(counters.mma_count, 0, "scalar rung never touches the TCU");
+        let reference = csr.spmm_reference(&b);
+        assert_eq!(
+            out.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<u32>>(),
+            reference.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<u32>>(),
+            "scalar rung is the reference, bit for bit"
+        );
+    }
+
+    #[test]
+    fn sampled_verification_accepts_rounding_and_rejects_corruption() {
+        let (csr, b, choice, tuned) = fixture();
+        let (mut out, _) = tuned.spmm_f32(&b, choice.mapping);
+        let policy = VerifyPolicy::default();
+        assert!(verify_sampled_rows(&csr, &b, &out, &policy), "clean output verifies");
+
+        // Corrupt one element far outside tolerance: full verification
+        // must catch it; so must NaN.
+        let slice_len = out.as_slice().len();
+        out.row_mut(0)[0] += 1.0e6;
+        assert!(!verify_sampled_rows(&csr, &b, &out, &policy));
+        out.row_mut(0)[0] = f32::NAN;
+        assert!(!verify_sampled_rows(&csr, &b, &out, &policy));
+        assert!(slice_len > 0);
+    }
+
+    #[test]
+    fn sampling_strides_over_rows() {
+        let (csr, b, _, tuned) = fixture();
+        let (mut out, _) = tuned.spmm_f32(&b, crate::ThreadMapping::MemoryEfficient);
+        // Corrupt a row the 4-sample stride (96/4 = 24) never visits.
+        out.row_mut(1)[0] = f32::INFINITY;
+        let sparse = VerifyPolicy { sample_rows: 4, tolerance: DEFAULT_TOLERANCE };
+        assert!(verify_sampled_rows(&csr, &b, &out, &sparse), "row 1 is off the sample grid");
+        let full = VerifyPolicy::default();
+        assert!(!verify_sampled_rows(&csr, &b, &out, &full), "full coverage catches it");
+    }
+
+    #[test]
+    fn outputs_match_is_shape_and_nan_hostile() {
+        let a = DenseMatrix::<f32>::from_fn(4, 4, |r, c| (r + c) as f32);
+        let mut b = a.clone();
+        assert!(outputs_match(&a, &b, 0.0));
+        b.row_mut(2)[1] += 0.25;
+        assert!(outputs_match(&a, &b, 0.5));
+        assert!(!outputs_match(&a, &b, 0.1));
+        b.row_mut(2)[1] = f32::NAN;
+        assert!(!outputs_match(&a, &b, 1.0e9));
+        let c = DenseMatrix::<f32>::zeros(4, 3);
+        assert!(!outputs_match(&a, &c, f32::MAX));
+    }
+
+    #[test]
+    fn fallback_level_wire_encoding_roundtrips() {
+        for level in [FallbackLevel::Tuned, FallbackLevel::Default, FallbackLevel::Scalar] {
+            assert_eq!(FallbackLevel::from_u8(level.as_u8()), level);
+        }
+        assert_eq!(FallbackLevel::from_u8(200), FallbackLevel::Scalar);
+        assert_eq!(FallbackLevel::Tuned.name(), "tuned");
+    }
+}

@@ -1,0 +1,86 @@
+//! Chaos-on integration tests for the resilient execution ladder: with
+//! bit flips injected in the TCU, `spmm_resilient` must still deliver a
+//! correct output (by falling back), and the same plan string must
+//! replay identical fault attribution.
+//!
+//! Own test binary: chaos changes results, so it must never be active
+//! in the same process as the regular unit tests.
+
+use flashsparse::{
+    auto_tune, outputs_match, spmm_resilient, FallbackLevel, ResilientReport, TranslatedMatrix,
+    TuneChoice, VerifyPolicy, DEFAULT_TOLERANCE,
+};
+use fs_chaos::{ChaosScope, FaultPlan, FaultSite};
+use fs_matrix::gen::random_uniform;
+use fs_matrix::{CsrMatrix, DenseMatrix};
+use fs_tcu::GpuSpec;
+
+fn fixture() -> (CsrMatrix<f32>, DenseMatrix<f32>, TuneChoice, TranslatedMatrix, TranslatedMatrix) {
+    let csr = CsrMatrix::from_coo(&random_uniform::<f32>(96, 96, 800, 3));
+    let b = DenseMatrix::from_fn(96, 16, |r, c| ((r + c) % 5) as f32 * 0.25);
+    let choice = auto_tune(&csr, 16, GpuSpec::RTX4090);
+    let tuned = TranslatedMatrix::translate(&csr, &choice);
+    let fallback = TranslatedMatrix::translate(&csr, &TuneChoice::FALLBACK);
+    (csr, b, choice, tuned, fallback)
+}
+
+#[test]
+fn heavy_bit_flips_never_escape_the_ladder() {
+    let (csr, b, choice, tuned, fallback) = fixture();
+    let reference = csr.spmm_reference(&b);
+    let policy = VerifyPolicy::default();
+
+    // Rate 1.0: every MMA gets a fragment flip, on every rung that runs
+    // on the TCU. The ladder must end on the scalar rung and the output
+    // must still match the reference exactly.
+    let _scope = ChaosScope::install(FaultPlan::new(17).with_rate(FaultSite::FragBitFlip, 1.0));
+    let (out, counters, report) =
+        spmm_resilient(&csr, &tuned, &choice, Some(&fallback), &b, &policy);
+    assert_eq!(report.level, FallbackLevel::Scalar, "{report:?}");
+    assert_eq!(report.verify_failures, 2);
+    assert_eq!(counters.mma_count, 0, "scalar rung returns no TCU counters");
+    assert!(report.faults.injected_total() > 0);
+    let (eval, inj) = report.faults.site(FaultSite::FragBitFlip);
+    assert_eq!(eval, inj, "rate 1.0 fires on every evaluation");
+    assert!(
+        outputs_match(&out, &reference, 0.0),
+        "delivered output must be the exact scalar reference"
+    );
+}
+
+#[test]
+fn same_plan_replays_identical_fault_attribution() {
+    let (csr, b, choice, tuned, fallback) = fixture();
+    let plan = FaultPlan::new(1234).with_rate(FaultSite::FragBitFlip, 1e-3);
+    let policy = VerifyPolicy::default();
+
+    let run = || -> (Vec<u32>, ResilientReport) {
+        let _scope = ChaosScope::install(plan.clone());
+        let (out, _, report) = spmm_resilient(&csr, &tuned, &choice, Some(&fallback), &b, &policy);
+        (out.as_slice().iter().map(|v| v.to_bits()).collect(), report)
+    };
+    let (out_a, report_a) = run();
+    let (out_b, report_b) = run();
+    assert_eq!(report_a, report_b, "fault attribution must replay from the plan string");
+    assert_eq!(out_a, out_b, "delivered bits must replay too");
+    assert!(report_a.faults.site(FaultSite::FragBitFlip).0 > 0, "site was consulted");
+
+    // Whatever rung won, the delivered output is within tolerance of the
+    // reference — the zero-wrong-responses contract.
+    let reference = csr.spmm_reference(&b);
+    let delivered = DenseMatrix::from_f32_slice(
+        reference.rows(),
+        reference.cols(),
+        &out_a.iter().map(|&bits| f32::from_bits(bits)).collect::<Vec<f32>>(),
+    );
+    assert!(outputs_match(&delivered, &reference, DEFAULT_TOLERANCE));
+}
+
+#[test]
+fn chaos_off_report_is_all_zero() {
+    let (csr, b, choice, tuned, _) = fixture();
+    let _scope = ChaosScope::install(FaultPlan::new(0));
+    let (_, _, report) = spmm_resilient(&csr, &tuned, &choice, None, &b, &VerifyPolicy::default());
+    assert_eq!(report.level, FallbackLevel::Tuned);
+    assert_eq!(report.faults, fs_chaos::FaultReport::default());
+}

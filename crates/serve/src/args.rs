@@ -1,0 +1,111 @@
+//! Minimal typed command-line parsing shared by the crate's binaries
+//! (`fs-serve`, `loadgen`).
+//!
+//! Both binaries used to hand-roll `it.next().and_then(parse)` chains
+//! whose failures all collapsed into the same anonymous usage dump. This
+//! module keeps the deliberately tiny std-only flavor (no external
+//! parser crates) but names the failing flag and the bad value in every
+//! error, so `--workers banana` says so instead of just printing usage.
+
+use std::fmt::Display;
+use std::str::FromStr;
+
+/// Parse `raw` as a `T`, naming the flag in the error message.
+pub fn parse_value<T: FromStr>(flag: &str, raw: &str) -> Result<T, String>
+where
+    T::Err: Display,
+{
+    raw.parse::<T>().map_err(|e| format!("invalid value {raw:?} for {flag}: {e}"))
+}
+
+/// Sequential reader over argv: flags out, typed values on demand.
+pub struct FlagParser {
+    args: Vec<String>,
+    pos: usize,
+}
+
+impl FlagParser {
+    /// Wrap an argument list (tests pass one directly).
+    pub fn new(args: Vec<String>) -> FlagParser {
+        FlagParser { args, pos: 0 }
+    }
+
+    /// Wrap the process arguments, binary name skipped.
+    pub fn from_env() -> FlagParser {
+        FlagParser::new(std::env::args().skip(1).collect())
+    }
+
+    /// The next argument, expected to be a flag. `None` when exhausted.
+    pub fn next_flag(&mut self) -> Option<String> {
+        let arg = self.args.get(self.pos).cloned();
+        if arg.is_some() {
+            self.pos += 1;
+        }
+        arg
+    }
+
+    /// The raw value following `flag`; an error naming the flag when
+    /// argv ends instead.
+    pub fn value(&mut self, flag: &str) -> Result<String, String> {
+        match self.args.get(self.pos) {
+            Some(v) => {
+                self.pos += 1;
+                Ok(v.clone())
+            }
+            None => Err(format!("{flag} needs a value")),
+        }
+    }
+
+    /// The value following `flag`, parsed as `T`; errors name the flag.
+    pub fn typed<T: FromStr>(&mut self, flag: &str) -> Result<T, String>
+    where
+        T::Err: Display,
+    {
+        let raw = self.value(flag)?;
+        parse_value(flag, &raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parser(args: &[&str]) -> FlagParser {
+        FlagParser::new(args.iter().map(|s| s.to_string()).collect())
+    }
+
+    #[test]
+    fn typed_flags_parse_in_sequence() {
+        let mut p = parser(&["--workers", "4", "--rate", "0.25", "--cold"]);
+        assert_eq!(p.next_flag().as_deref(), Some("--workers"));
+        assert_eq!(p.typed::<usize>("--workers"), Ok(4));
+        assert_eq!(p.next_flag().as_deref(), Some("--rate"));
+        assert_eq!(p.typed::<f64>("--rate"), Ok(0.25));
+        assert_eq!(p.next_flag().as_deref(), Some("--cold"));
+        assert_eq!(p.next_flag(), None);
+    }
+
+    #[test]
+    fn errors_name_the_failing_flag() {
+        let mut p = parser(&["--workers", "banana"]);
+        let _ = p.next_flag();
+        let err = p.typed::<usize>("--workers").expect_err("must fail");
+        assert!(err.contains("--workers"), "{err}");
+        assert!(err.contains("banana"), "{err}");
+
+        let mut p = parser(&["--addr"]);
+        let _ = p.next_flag();
+        let err = p.value("--addr").expect_err("must fail");
+        assert_eq!(err, "--addr needs a value");
+    }
+
+    #[test]
+    fn parse_value_handles_fault_plans() {
+        let plan: fs_chaos::FaultPlan =
+            parse_value("--chaos", "seed=7;frag-bit=0.001").expect("valid plan");
+        assert_eq!(plan.seed, 7);
+        let err =
+            parse_value::<fs_chaos::FaultPlan>("--chaos", "seed=7;bogus=1").expect_err("must fail");
+        assert!(err.contains("--chaos"), "{err}");
+    }
+}

@@ -4,75 +4,87 @@
 //! fs-serve [--addr 127.0.0.1:7949] [--workers 4] [--cache-mb 256]
 //!          [--queue-cap 256] [--max-batch 16] [--deadline-ms 5000]
 //!          [--max-dim N] [--max-matrices N] [--max-matrix-mb MB]
-//!          [--gpu 4090|h100] [--cold]
+//!          [--gpu 4090|h100] [--cold] [--verify] [--chaos PLAN]
 //! ```
 //!
 //! `--cold` disables the translated-format cache (budget 0) so every
 //! request pays translation + tuning — the baseline the load generator
 //! compares warm serving against.
+//!
+//! `--verify` checks every response against the scalar reference and
+//! walks the fallback ladder on mismatch. `--chaos PLAN` installs a
+//! deterministic fault plan (e.g. `seed=7;frag-bit=0.001`) and forces
+//! `--verify` on — injected faults must heal, never corrupt. The final
+//! fault report prints on clean exit so a soak can be replayed and
+//! compared from the seed string alone.
 
 use std::time::Duration;
 
-use fs_serve::{Server, ServerConfig};
+use fs_serve::{FlagParser, Server, ServerConfig};
 use fs_tcu::GpuSpec;
 
 fn usage() -> ! {
     eprintln!(
         "usage: fs-serve [--addr HOST:PORT] [--workers N] [--cache-mb MB] [--queue-cap N]\n\
          \x20               [--max-batch N] [--deadline-ms MS] [--max-dim N] [--max-matrices N]\n\
-         \x20               [--max-matrix-mb MB] [--gpu 4090|h100] [--cold]"
+         \x20               [--max-matrix-mb MB] [--gpu 4090|h100] [--cold] [--verify]\n\
+         \x20               [--chaos PLAN]"
     );
     std::process::exit(2);
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut cfg = ServerConfig { addr: "127.0.0.1:7949".to_string(), ..ServerConfig::default() };
-
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--addr" => cfg.addr = it.next().unwrap_or_else(|| usage()).clone(),
-            "--workers" => {
-                cfg.engine.workers =
-                    it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
-            }
-            "--cache-mb" => {
-                let mb: usize = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
-                cfg.engine.cache_budget_bytes = mb * (1 << 20);
-            }
-            "--queue-cap" => {
-                cfg.engine.queue_capacity =
-                    it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
-            }
-            "--max-batch" => {
-                cfg.engine.max_batch =
-                    it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
-            }
-            "--deadline-ms" => {
-                let ms: u64 = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
-                cfg.engine.default_deadline = Duration::from_millis(ms);
-            }
-            "--max-dim" => {
-                cfg.max_load_dim = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
-            }
-            "--max-matrices" => {
-                cfg.engine.max_matrices =
-                    it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
-            }
-            "--max-matrix-mb" => {
-                let mb: usize = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
-                cfg.engine.max_matrix_bytes = mb * (1 << 20);
-            }
-            "--gpu" => match it.next().unwrap_or_else(|| usage()).as_str() {
-                "4090" => cfg.engine.gpu = GpuSpec::RTX4090,
-                "h100" => cfg.engine.gpu = GpuSpec::H100_PCIE,
-                _ => usage(),
-            },
-            "--cold" => cfg.engine.cold = true,
-            "--help" | "-h" => usage(),
-            _ => usage(),
+fn apply_flag(
+    flag: &str,
+    p: &mut FlagParser,
+    cfg: &mut ServerConfig,
+    chaos: &mut Option<fs_chaos::FaultPlan>,
+) -> Result<(), String> {
+    match flag {
+        "--addr" => cfg.addr = p.value(flag)?,
+        "--workers" => cfg.engine.workers = p.typed(flag)?,
+        "--cache-mb" => cfg.engine.cache_budget_bytes = p.typed::<usize>(flag)? * (1 << 20),
+        "--queue-cap" => cfg.engine.queue_capacity = p.typed(flag)?,
+        "--max-batch" => cfg.engine.max_batch = p.typed(flag)?,
+        "--deadline-ms" => {
+            cfg.engine.default_deadline = Duration::from_millis(p.typed::<u64>(flag)?);
         }
+        "--max-dim" => cfg.max_load_dim = p.typed(flag)?,
+        "--max-matrices" => cfg.engine.max_matrices = p.typed(flag)?,
+        "--max-matrix-mb" => cfg.engine.max_matrix_bytes = p.typed::<usize>(flag)? * (1 << 20),
+        "--gpu" => match p.value(flag)?.as_str() {
+            "4090" => cfg.engine.gpu = GpuSpec::RTX4090,
+            "h100" => cfg.engine.gpu = GpuSpec::H100_PCIE,
+            other => return Err(format!("invalid value {other:?} for --gpu (4090|h100)")),
+        },
+        "--cold" => cfg.engine.cold = true,
+        "--verify" => cfg.engine.verify = true,
+        "--chaos" => *chaos = Some(p.typed(flag)?),
+        other => return Err(format!("unknown flag {other}")),
+    }
+    Ok(())
+}
+
+fn main() {
+    let mut p = FlagParser::from_env();
+    let mut cfg = ServerConfig { addr: "127.0.0.1:7949".to_string(), ..ServerConfig::default() };
+    let mut chaos: Option<fs_chaos::FaultPlan> = None;
+
+    while let Some(flag) = p.next_flag() {
+        if matches!(flag.as_str(), "--help" | "-h") {
+            usage();
+        }
+        if let Err(msg) = apply_flag(&flag, &mut p, &mut cfg, &mut chaos) {
+            eprintln!("fs-serve: {msg}");
+            usage();
+        }
+    }
+
+    if let Some(plan) = &chaos {
+        // Injected faults must degrade service, never corrupt it: chaos
+        // forces response verification on.
+        cfg.engine.verify = true;
+        fs_chaos::install(plan.clone());
+        println!("fs-serve chaos plan: {plan}");
     }
 
     let server = match Server::bind(&cfg) {
@@ -83,17 +95,21 @@ fn main() {
         }
     };
     println!(
-        "fs-serve listening on {} (workers={}, cache={}B{}, queue={}, max_batch={})",
+        "fs-serve listening on {} (workers={}, cache={}B{}, queue={}, max_batch={}{})",
         server.local_addr(),
         cfg.engine.workers,
         cfg.engine.cache_budget_bytes,
         if cfg.engine.cold { ", COLD" } else { "" },
         cfg.engine.queue_capacity,
-        cfg.engine.max_batch
+        cfg.engine.max_batch,
+        if cfg.engine.verify { ", VERIFY" } else { "" },
     );
     if let Err(e) = server.run() {
         eprintln!("fs-serve: accept loop failed: {e}");
         std::process::exit(1);
+    }
+    if chaos.is_some() {
+        println!("fs-serve chaos faults: {}", fs_chaos::report().to_json());
     }
     println!("fs-serve: drained and stopped");
 }

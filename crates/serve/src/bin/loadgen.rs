@@ -4,7 +4,7 @@
 //! loadgen [--addr 127.0.0.1:7949] [--matrix uniform:512x512x8192 | rmat:10x8]
 //!         [--n 32] [--requests 200] [--concurrency 4] [--tenants 1]
 //!         [--open-rps RPS] [--duration-s S] [--deadline-ms MS]
-//!         [--wait-ready-ms MS] [--shutdown] [--expect-zero-errors]
+//!         [--wait-ready-ms MS] [--shutdown] [--expect-zero-errors] [--chaos]
 //! ```
 //!
 //! Prints one JSON object with throughput (RPS), latency percentiles
@@ -12,19 +12,26 @@
 //! to drain and exit afterwards; `--expect-zero-errors` makes the
 //! process exit nonzero if any request was rejected, shed, or failed —
 //! the CI smoke-test contract.
+//!
+//! `--chaos` is the soak contract for a server running under a fault
+//! plan: requests retry transient failures with jittered backoff and
+//! every completed response is checked against the scalar reference.
+//! Errors are tolerated (faults are the point); the process exits
+//! nonzero iff any response was silently *wrong* (`wrong > 0`) or
+//! nothing completed at all.
 
 use std::net::SocketAddr;
 use std::time::Duration;
 
 use fs_serve::loadgen::{run, LoadgenConfig, MatrixSpec};
-use fs_serve::ServeClient;
+use fs_serve::{parse_value, FlagParser, ServeClient};
 
 fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--addr HOST:PORT] [--matrix uniform:RxCxNNZ|rmat:SCALExEF] [--n N]\n\
          \x20              [--requests N] [--concurrency N] [--tenants N] [--open-rps RPS]\n\
          \x20              [--duration-s S] [--deadline-ms MS] [--wait-ready-ms MS]\n\
-         \x20              [--shutdown] [--expect-zero-errors]"
+         \x20              [--shutdown] [--expect-zero-errors] [--chaos]"
     );
     std::process::exit(2);
 }
@@ -47,60 +54,55 @@ fn parse_matrix(spec: &str) -> Option<MatrixSpec> {
     }
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut cfg = LoadgenConfig::default();
-    let mut shutdown_after = false;
-    let mut expect_zero_errors = false;
+struct Flags {
+    cfg: LoadgenConfig,
+    shutdown_after: bool,
+    expect_zero_errors: bool,
+}
 
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--addr" => {
-                let text = it.next().unwrap_or_else(|| usage());
-                cfg.addr = match text.parse::<SocketAddr>() {
-                    Ok(a) => a,
-                    Err(_) => {
-                        eprintln!("loadgen: bad address {text}");
-                        std::process::exit(2);
-                    }
-                };
-            }
-            "--matrix" => {
-                let spec = it.next().unwrap_or_else(|| usage());
-                cfg.matrix = parse_matrix(spec).unwrap_or_else(|| usage());
-            }
-            "--n" => cfg.n = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
-            "--requests" => {
-                cfg.requests = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
-            }
-            "--concurrency" => {
-                cfg.concurrency = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
-            }
-            "--tenants" => {
-                cfg.tenants = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
-            }
-            "--open-rps" => {
-                cfg.open_rps =
-                    Some(it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()))
-            }
-            "--duration-s" => {
-                let s: u64 = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
-                cfg.duration = Duration::from_secs(s);
-            }
-            "--deadline-ms" => {
-                cfg.deadline_ms = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
-            }
-            "--wait-ready-ms" => {
-                let ms: u64 = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
-                cfg.ready_timeout = Duration::from_millis(ms);
-            }
-            "--shutdown" => shutdown_after = true,
-            "--expect-zero-errors" => expect_zero_errors = true,
-            "--help" | "-h" => usage(),
-            _ => usage(),
+fn apply_flag(flag: &str, p: &mut FlagParser, flags: &mut Flags) -> Result<(), String> {
+    match flag {
+        "--addr" => {
+            flags.cfg.addr = parse_value::<SocketAddr>(flag, &p.value(flag)?)?;
+        }
+        "--matrix" => {
+            let spec = p.value(flag)?;
+            flags.cfg.matrix = parse_matrix(&spec)
+                .ok_or_else(|| format!("invalid value {spec:?} for --matrix"))?;
+        }
+        "--n" => flags.cfg.n = p.typed(flag)?,
+        "--requests" => flags.cfg.requests = p.typed(flag)?,
+        "--concurrency" => flags.cfg.concurrency = p.typed(flag)?,
+        "--tenants" => flags.cfg.tenants = p.typed(flag)?,
+        "--open-rps" => flags.cfg.open_rps = Some(p.typed(flag)?),
+        "--duration-s" => flags.cfg.duration = Duration::from_secs(p.typed::<u64>(flag)?),
+        "--deadline-ms" => flags.cfg.deadline_ms = p.typed(flag)?,
+        "--wait-ready-ms" => {
+            flags.cfg.ready_timeout = Duration::from_millis(p.typed::<u64>(flag)?);
+        }
+        "--shutdown" => flags.shutdown_after = true,
+        "--expect-zero-errors" => flags.expect_zero_errors = true,
+        "--chaos" => flags.cfg.chaos = true,
+        other => return Err(format!("unknown flag {other}")),
+    }
+    Ok(())
+}
+
+fn main() {
+    let mut p = FlagParser::from_env();
+    let mut flags =
+        Flags { cfg: LoadgenConfig::default(), shutdown_after: false, expect_zero_errors: false };
+
+    while let Some(flag) = p.next_flag() {
+        if matches!(flag.as_str(), "--help" | "-h") {
+            usage();
+        }
+        if let Err(msg) = apply_flag(&flag, &mut p, &mut flags) {
+            eprintln!("loadgen: {msg}");
+            usage();
         }
     }
+    let Flags { cfg, shutdown_after, expect_zero_errors } = flags;
 
     let report = match run(&cfg) {
         Ok(r) => r,
@@ -132,6 +134,15 @@ fn main() {
         eprintln!(
             "loadgen: expected zero errors but saw completed={} rejected={} timed_out={} errors={}",
             report.completed, report.rejected, report.timed_out, report.errors
+        );
+        std::process::exit(1);
+    }
+
+    // The chaos soak contract: errors are fine, silent corruption is not.
+    if cfg.chaos && (report.wrong > 0 || report.completed == 0) {
+        eprintln!(
+            "loadgen: chaos soak failed: completed={} wrong={} (must be zero)",
+            report.completed, report.wrong
         );
         std::process::exit(1);
     }

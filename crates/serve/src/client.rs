@@ -1,12 +1,24 @@
 //! A blocking TCP client for the `fs-serve` protocol.
+//!
+//! Sockets carry read/write timeouts ([`DEFAULT_IO_TIMEOUT`]) so a
+//! silent or wedged server surfaces as an [`io::Error`] instead of
+//! hanging the caller forever, and [`ServeClient::spmm_retrying`] layers
+//! jittered exponential backoff plus reconnection over transient
+//! failures (dropped connections, corrupted frames, queue pushback).
 
 use std::io;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
+use flashsparse::FallbackLevel;
+use fs_chaos::Backoff;
 use fs_matrix::CsrMatrix;
 
 use crate::protocol::{read_frame, write_frame, ErrorCode, ProtoError, Request, Response};
+
+/// Default socket read/write timeout: generous next to any sane request,
+/// tiny next to "forever".
+pub const DEFAULT_IO_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// What a client call can fail with.
 #[derive(Debug)]
@@ -79,19 +91,33 @@ pub struct SpmmResult {
     pub queue_micros: u64,
     /// Microseconds of server-side execution.
     pub service_micros: u64,
+    /// Which rung of the server's fallback ladder produced the output.
+    pub fallback_level: FallbackLevel,
+    /// Whether the server verified the output against (or produced it
+    /// by) the scalar reference.
+    pub verified: bool,
 }
 
 /// A blocking connection to an `fs-serve` server.
 pub struct ServeClient {
     stream: TcpStream,
+    addr: SocketAddr,
+    io_timeout: Option<Duration>,
+}
+
+fn configure(stream: &TcpStream, timeout: Option<Duration>) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(timeout)?;
+    stream.set_write_timeout(timeout)
 }
 
 impl ServeClient {
-    /// Connect to `addr`.
+    /// Connect to `addr` with the default socket timeouts.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<ServeClient, ClientError> {
         let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        Ok(ServeClient { stream })
+        configure(&stream, Some(DEFAULT_IO_TIMEOUT))?;
+        let addr = stream.peer_addr()?;
+        Ok(ServeClient { stream, addr, io_timeout: Some(DEFAULT_IO_TIMEOUT) })
     }
 
     /// Connect, retrying until the server accepts or `timeout` elapses —
@@ -104,8 +130,9 @@ impl ServeClient {
         loop {
             match TcpStream::connect_timeout(addr, Duration::from_millis(250)) {
                 Ok(stream) => {
-                    stream.set_nodelay(true)?;
-                    let mut client = ServeClient { stream };
+                    configure(&stream, Some(DEFAULT_IO_TIMEOUT))?;
+                    let mut client =
+                        ServeClient { stream, addr: *addr, io_timeout: Some(DEFAULT_IO_TIMEOUT) };
                     if client.ping().is_ok() {
                         return Ok(client);
                     }
@@ -124,6 +151,24 @@ impl ServeClient {
             }
             std::thread::sleep(Duration::from_millis(50));
         }
+    }
+
+    /// Override the socket read/write timeouts (`None` blocks forever —
+    /// only sensible for debugging).
+    pub fn set_io_timeouts(&mut self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.io_timeout = timeout;
+        self.stream.set_read_timeout(timeout)?;
+        self.stream.set_write_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// Tear down the current stream and dial the server again, keeping
+    /// the configured timeouts.
+    pub fn reconnect(&mut self) -> Result<(), ClientError> {
+        let stream = TcpStream::connect_timeout(&self.addr, Duration::from_secs(5))?;
+        configure(&stream, self.io_timeout)?;
+        self.stream = stream;
+        Ok(())
     }
 
     fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
@@ -194,6 +239,8 @@ impl ServeClient {
                 batch_size,
                 queue_micros,
                 service_micros,
+                fallback_level,
+                verified,
                 rows,
                 n,
                 out,
@@ -205,9 +252,49 @@ impl ServeClient {
                 batch_size: batch_size as usize,
                 queue_micros,
                 service_micros,
+                fallback_level: FallbackLevel::from_u8(fallback_level),
+                verified,
             }),
             other => Err(ClientError::Unexpected(format!("{other:?}"))),
         }
+    }
+
+    /// [`ServeClient::spmm`] with up to `attempts` tries, sleeping the
+    /// backoff's jittered delay between them and reconnecting after
+    /// transport-level failures. Retries transient errors only —
+    /// transport faults, corrupted frames, queue pushback, and internal
+    /// server failures (a crashed worker). Anything the server rejects
+    /// deterministically (bad dimensions, unknown matrix) returns
+    /// immediately.
+    #[allow(clippy::too_many_arguments)]
+    pub fn spmm_retrying(
+        &mut self,
+        tenant: &str,
+        matrix_id: u64,
+        b_rows: usize,
+        n: usize,
+        b: &[f32],
+        deadline_ms: u32,
+        attempts: u32,
+        backoff: &mut Backoff,
+    ) -> Result<SpmmResult, ClientError> {
+        let mut last: Option<ClientError> = None;
+        for attempt in 0..attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(backoff.next_delay());
+            }
+            match self.spmm(tenant, matrix_id, b_rows, n, b, deadline_ms) {
+                Ok(resp) => return Ok(resp),
+                Err(e) if retryable(&e) => {
+                    if needs_reconnect(&e) {
+                        let _ = self.reconnect();
+                    }
+                    last = Some(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| ClientError::Unexpected("no attempt was made".into())))
     }
 
     /// Fetch the metrics JSON document.
@@ -225,4 +312,22 @@ impl ServeClient {
             other => Err(ClientError::Unexpected(format!("{other:?}"))),
         }
     }
+}
+
+/// Whether an error is worth another attempt.
+fn retryable(e: &ClientError) -> bool {
+    match e {
+        // Transport trouble and corrupted/short frames: the request may
+        // well succeed on a fresh connection.
+        ClientError::Io(_) | ClientError::Proto(_) | ClientError::Unexpected(_) => true,
+        ClientError::Server { code, .. } => {
+            matches!(code, ErrorCode::Internal | ErrorCode::QueueFull)
+        }
+    }
+}
+
+/// Whether the connection itself is suspect after this error (versus a
+/// clean server-side rejection over a healthy stream).
+fn needs_reconnect(e: &ClientError) -> bool {
+    matches!(e, ClientError::Io(_) | ClientError::Proto(_) | ClientError::Unexpected(_))
 }

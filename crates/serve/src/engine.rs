@@ -13,17 +13,28 @@
 //! * sheds requests whose **deadline** expired while they queued;
 //! * **isolates panics** to the batch that caused them (the worker
 //!   survives), and a supervisor respawns any worker that dies anyway;
-//! * drains the queue on shutdown before joining the pool.
+//! * drains the queue on shutdown before joining the pool;
+//! * optionally **verifies** every response against the scalar CSR
+//!   reference and walks the `flashsparse::resilient` fallback ladder on
+//!   mismatch, with a per-matrix [`fs_chaos::CircuitBreaker`] that routes
+//!   persistently failing matrices straight to the trusted scalar path.
+//!
+//! Under an installed [`fs_chaos::FaultPlan`], workers additionally
+//! evaluate per-request kill/stall draws, exercising the supervisor and
+//! client retry machinery on demand.
 
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard, OnceLock};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use flashsparse::{auto_tune, TranslatedMatrix};
+use flashsparse::{
+    auto_tune, spmm_resilient, FallbackLevel, TranslatedMatrix, TuneChoice, VerifyPolicy,
+};
+use fs_chaos::{BreakerConfig, CircuitBreaker, FaultSite};
 use fs_matrix::{CsrMatrix, DenseMatrix};
 use fs_tcu::{GpuSpec, KernelCounters};
 use parking_lot::{Mutex, RwLock};
@@ -57,6 +68,21 @@ pub struct EngineConfig {
     pub cold: bool,
     /// Simulated GPU the auto-tuner scores candidates on.
     pub gpu: GpuSpec,
+    /// Verify every response against the scalar reference on sampled
+    /// rows and walk the fallback ladder on mismatch (the self-healing
+    /// path; off by default because the scalar recheck costs real time).
+    pub verify: bool,
+    /// Rows sampled per verification; `0` checks every row.
+    pub verify_sample_rows: usize,
+    /// Largest absolute element difference verification accepts as
+    /// fp16/tf32 rounding.
+    pub verify_tolerance: f32,
+    /// Consecutive failing launches that open a matrix's circuit
+    /// breaker (breakers only engage when `verify` is on).
+    pub breaker_threshold: u32,
+    /// How long an open breaker routes the matrix straight to the
+    /// scalar path before letting a probe try the TCU again.
+    pub breaker_cooldown: Duration,
 }
 
 impl Default for EngineConfig {
@@ -71,6 +97,11 @@ impl Default for EngineConfig {
             max_matrix_bytes: 1 << 30,
             cold: false,
             gpu: GpuSpec::RTX4090,
+            verify: false,
+            verify_sample_rows: 0,
+            verify_tolerance: flashsparse::DEFAULT_TOLERANCE,
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_secs(5),
         }
     }
 }
@@ -174,6 +205,11 @@ pub struct SpmmResponse {
     pub queue_micros: u64,
     /// Microseconds of kernel execution (batch-resolution included).
     pub service_micros: u64,
+    /// Which rung of the fallback ladder produced the output.
+    pub fallback_level: FallbackLevel,
+    /// Whether the output was verified against (or produced by) the
+    /// scalar reference. `false` when the engine runs with `verify` off.
+    pub verified: bool,
 }
 
 /// Terminal state of an admitted request.
@@ -237,6 +273,16 @@ struct Job {
 struct Registered {
     fingerprint: Fingerprint,
     csr: CsrMatrix<f32>,
+    /// Lazily built [`TuneChoice::FALLBACK`] translation — the middle
+    /// rung of the ladder. Built at most once per registered matrix, on
+    /// the first verification failure that needs it.
+    fallback: OnceLock<TranslatedMatrix>,
+}
+
+impl Registered {
+    fn fallback_format(&self) -> &TranslatedMatrix {
+        self.fallback.get_or_init(|| TranslatedMatrix::translate(&self.csr, &TuneChoice::FALLBACK))
+    }
 }
 
 /// Bytes a registered CSR keeps resident: row pointers, column indices,
@@ -263,6 +309,17 @@ struct Inner {
     shutdown: AtomicBool,
     worker_panics: AtomicU64,
     worker_respawns: AtomicU64,
+    breakers: Mutex<HashMap<u64, CircuitBreaker>>,
+    verify_failures: AtomicU64,
+    fallbacks_default: AtomicU64,
+    fallbacks_scalar: AtomicU64,
+    breaker_bypasses: AtomicU64,
+}
+
+impl Inner {
+    fn breaker_config(&self) -> BreakerConfig {
+        BreakerConfig { threshold: self.cfg.breaker_threshold, cooldown: self.cfg.breaker_cooldown }
+    }
 }
 
 /// Recover a guard from a poisoned std mutex: the queue holds plain data
@@ -296,6 +353,11 @@ impl ServeEngine {
             shutdown: AtomicBool::new(false),
             worker_panics: AtomicU64::new(0),
             worker_respawns: AtomicU64::new(0),
+            breakers: Mutex::new(HashMap::new()),
+            verify_failures: AtomicU64::new(0),
+            fallbacks_default: AtomicU64::new(0),
+            fallbacks_scalar: AtomicU64::new(0),
+            breaker_bypasses: AtomicU64::new(0),
         });
         let workers = Arc::new(Mutex::new(
             (0..cfg.workers).map(|_| Some(spawn_worker(Arc::clone(&inner)))).collect::<Vec<_>>(),
@@ -335,7 +397,9 @@ impl ServeEngine {
             nnz: csr.nnz(),
         };
         registry.resident_bytes += need;
-        registry.map.insert(info.id, Arc::new(Registered { fingerprint, csr }));
+        registry
+            .map
+            .insert(info.id, Arc::new(Registered { fingerprint, csr, fallback: OnceLock::new() }));
         Ok(info)
     }
 
@@ -461,23 +525,51 @@ impl ServeEngine {
         self.inner.worker_respawns.load(Ordering::Relaxed)
     }
 
+    /// Resilience totals since start: `(verify_failures,
+    /// fallbacks_default, fallbacks_scalar, breaker_bypasses)`.
+    pub fn resilience_stats(&self) -> (u64, u64, u64, u64) {
+        (
+            self.inner.verify_failures.load(Ordering::Relaxed),
+            self.inner.fallbacks_default.load(Ordering::Relaxed),
+            self.inner.fallbacks_scalar.load(Ordering::Relaxed),
+            self.inner.breaker_bypasses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Circuit-breaker trips summed over every registered matrix.
+    pub fn breaker_trips(&self) -> u64 {
+        self.inner.breakers.lock().values().map(CircuitBreaker::trips).sum()
+    }
+
     /// Requests currently queued.
     pub fn queue_len(&self) -> usize {
         lock_recover(&self.inner.queue).len()
     }
 
-    /// The whole metrics document: cache, engine, and per-tenant stats.
+    /// The whole metrics document: cache, engine, resilience, chaos, and
+    /// per-tenant stats.
     pub fn metrics_json(&self) -> String {
         let cache = self.cache_stats().to_json();
         let tenants = tenants_json(&self.inner.tenants.lock());
         let (registered, registered_bytes) = self.registered_stats();
+        let (verify_failures, fallbacks_default, fallbacks_scalar, breaker_bypasses) =
+            self.resilience_stats();
+        let chaos_plan = match fs_chaos::inject::active_plan() {
+            Some(plan) => format!("\"{}\"", json_escape(&plan.to_string())),
+            None => "null".to_string(),
+        };
         let cfg = &self.inner.cfg;
         format!(
             "{{\"cache\":{cache},\"engine\":{{\"workers\":{},\"queue_capacity\":{},\
              \"queue_len\":{},\"max_batch\":{},\"cold\":{},\"gpu\":\"{}\",\
              \"registered_matrices\":{registered},\"registered_bytes\":{registered_bytes},\
              \"max_matrices\":{},\"max_matrix_bytes\":{},\
-             \"worker_panics\":{},\"worker_respawns\":{}}},\"tenants\":{tenants}}}",
+             \"worker_panics\":{},\"worker_respawns\":{}}},\
+             \"resilience\":{{\"verify\":{},\"verify_failures\":{verify_failures},\
+             \"fallbacks_default\":{fallbacks_default},\"fallbacks_scalar\":{fallbacks_scalar},\
+             \"breaker_trips\":{},\"breaker_bypasses\":{breaker_bypasses}}},\
+             \"chaos\":{{\"enabled\":{},\"plan\":{chaos_plan},\"faults\":{}}},\
+             \"tenants\":{tenants}}}",
             cfg.workers,
             cfg.queue_capacity,
             self.queue_len(),
@@ -488,6 +580,10 @@ impl ServeEngine {
             cfg.max_matrix_bytes,
             self.worker_panics(),
             self.worker_respawns(),
+            cfg.verify,
+            self.breaker_trips(),
+            fs_chaos::chaos_enabled(),
+            fs_chaos::report().to_json(),
         )
     }
 
@@ -561,12 +657,42 @@ fn spawn_monitor(
 fn worker_loop(inner: &Arc<Inner>) {
     loop {
         let Some(batch) = next_batch(inner) else { return };
+        if fs_chaos::chaos_enabled() {
+            chaos_worker_faults(&batch);
+        }
         // The PanicWorker test hook escapes the unwind boundary on
         // purpose: the thread dies and the supervisor must respawn it.
         if batch.iter().any(|j| j.op == JobOp::PanicWorker) {
             panic!("poison request escaped the batch boundary (test hook)");
         }
         run_batch(inner, batch);
+    }
+}
+
+/// Evaluate the worker-level chaos draws — one stall and one kill draw
+/// *per job*, all up front, so the evaluation count depends only on how
+/// many requests flowed through, never on batch composition or on an
+/// early kill. A fired kill panics out of the worker loop (outside the
+/// batch unwind boundary): the jobs in hand drop, their clients see a
+/// failure, and the supervisor respawns the slot — exactly the crash the
+/// retry machinery must absorb.
+#[cold]
+fn chaos_worker_faults(batch: &[Job]) {
+    let mut stalls = 0u32;
+    let mut killed = false;
+    for _ in batch {
+        if fs_chaos::draw(FaultSite::WorkerStall).is_some() {
+            stalls += 1;
+        }
+        if fs_chaos::draw(FaultSite::WorkerKill).is_some() {
+            killed = true;
+        }
+    }
+    if stalls > 0 {
+        thread::sleep(fs_chaos::stall_duration() * stalls);
+    }
+    if killed {
+        panic!("chaos: worker kill injected"); // lint: allow-panic - injected crash; the supervisor respawns the worker
     }
 }
 
@@ -618,12 +744,13 @@ fn run_batch(inner: &Arc<Inner>, batch: Vec<Job>) {
     }
     let batch_size = live.len();
     let started = Instant::now();
+    // lint: counted-catch - Err is counted into worker_panics below and the monitor respawns the worker
     let result = catch_unwind(AssertUnwindSafe(|| execute_batch(inner, &live)));
     let service_micros = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
 
     match result {
         Ok((outputs, cache_hit)) => {
-            for (job, (out, counters)) in live.into_iter().zip(outputs) {
+            for (job, exec) in live.into_iter().zip(outputs) {
                 let queue_micros =
                     started.duration_since(job.enqueued).as_micros().min(u128::from(u64::MAX))
                         as u64;
@@ -631,15 +758,17 @@ fn run_batch(inner: &Arc<Inner>, batch: Vec<Job>) {
                     let mut tenants = inner.tenants.lock();
                     let t = tenants.entry(job.tenant.clone()).or_default();
                     t.completed += 1;
-                    t.counters += counters;
+                    t.counters += exec.counters;
                 }
                 let _ = job.tx.send(SpmmOutcome::Done(SpmmResponse {
-                    out,
-                    counters,
+                    out: exec.out,
+                    counters: exec.counters,
                     cache_hit,
                     batch_size,
                     queue_micros,
                     service_micros,
+                    fallback_level: exec.fallback_level,
+                    verified: exec.verified,
                 }));
             }
         }
@@ -655,12 +784,18 @@ fn run_batch(inner: &Arc<Inner>, batch: Vec<Job>) {
     }
 }
 
+/// One executed request: the output plus its provenance.
+struct Executed {
+    out: DenseMatrix<f32>,
+    counters: KernelCounters,
+    fallback_level: FallbackLevel,
+    verified: bool,
+}
+
 /// Resolve the translated format for the batch (cache hit or
-/// translate + tune), then run every request against it.
-fn execute_batch(
-    inner: &Arc<Inner>,
-    batch: &[Job],
-) -> (Vec<(DenseMatrix<f32>, KernelCounters)>, bool) {
+/// translate + tune), then run every request against it — through the
+/// verify-and-fall-back ladder when the engine runs with `verify` on.
+fn execute_batch(inner: &Arc<Inner>, batch: &[Job]) -> (Vec<Executed>, bool) {
     let matrix_id = batch[0].matrix_id;
     let reg = inner
         .matrices
@@ -669,8 +804,6 @@ fn execute_batch(
         .get(&matrix_id)
         .cloned()
         .unwrap_or_else(|| panic!("matrix {matrix_id} disappeared")); // lint: allow-panic - registration precedes admission; caught by the batch unwind boundary
-    let n_hint = batch[0].b.cols().max(1);
-    let (format, cache_hit) = resolve_format(inner, &reg, n_hint);
     let mut batches_stats = inner.tenants.lock();
     for job in batch {
         let t = batches_stats.entry(job.tenant.clone()).or_default();
@@ -678,16 +811,88 @@ fn execute_batch(
         t.max_batch = t.max_batch.max(batch.len() as u64);
     }
     drop(batches_stats);
+
+    // An open breaker routes the whole batch to the trusted scalar path
+    // without touching the TCU (or the cache — no format resolution).
+    if inner.cfg.verify && breaker_bypasses(inner, matrix_id) {
+        inner.breaker_bypasses.fetch_add(batch.len() as u64, Ordering::Relaxed);
+        let outputs = batch
+            .iter()
+            .map(|job| {
+                if job.op == JobOp::PanicInBatch {
+                    panic!("poison request (test hook)");
+                }
+                Executed {
+                    out: reg.csr.spmm_reference(&job.b),
+                    counters: KernelCounters::default(),
+                    fallback_level: FallbackLevel::Scalar,
+                    verified: true,
+                }
+            })
+            .collect();
+        return (outputs, false);
+    }
+
+    let n_hint = batch[0].b.cols().max(1);
+    let (format, cache_hit) = resolve_format(inner, &reg, n_hint);
+    let policy = VerifyPolicy {
+        sample_rows: inner.cfg.verify_sample_rows,
+        tolerance: inner.cfg.verify_tolerance,
+    };
     let outputs = batch
         .iter()
         .map(|job| {
             if job.op == JobOp::PanicInBatch {
                 panic!("poison request (test hook)");
             }
-            format.translated.spmm_f32(&job.b, format.choice.mapping)
+            if inner.cfg.verify {
+                let (out, counters, report) = spmm_resilient(
+                    &reg.csr,
+                    &format.translated,
+                    &format.choice,
+                    Some(reg.fallback_format()),
+                    &job.b,
+                    &policy,
+                );
+                record_resilience(inner, matrix_id, &report);
+                Executed { out, counters, fallback_level: report.level, verified: true }
+            } else {
+                let (out, counters) = format.translated.spmm_f32(&job.b, format.choice.mapping);
+                Executed { out, counters, fallback_level: FallbackLevel::Tuned, verified: false }
+            }
         })
         .collect();
     (outputs, cache_hit)
+}
+
+fn breaker_bypasses(inner: &Arc<Inner>, matrix_id: u64) -> bool {
+    let cfg = inner.breaker_config();
+    let mut breakers = inner.breakers.lock();
+    breakers
+        .entry(matrix_id)
+        .or_insert_with(|| CircuitBreaker::new(cfg))
+        .should_bypass(Instant::now())
+}
+
+fn record_resilience(inner: &Arc<Inner>, matrix_id: u64, report: &flashsparse::ResilientReport) {
+    inner.verify_failures.fetch_add(u64::from(report.verify_failures), Ordering::Relaxed);
+    match report.level {
+        FallbackLevel::Tuned => {}
+        FallbackLevel::Default => {
+            inner.fallbacks_default.fetch_add(1, Ordering::Relaxed);
+        }
+        FallbackLevel::Scalar => {
+            inner.fallbacks_scalar.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    let cfg = inner.breaker_config();
+    let mut breakers = inner.breakers.lock();
+    let breaker = breakers.entry(matrix_id).or_insert_with(|| CircuitBreaker::new(cfg));
+    if report.verify_failures > 0 {
+        breaker.record_failure(Instant::now());
+    } else {
+        breaker.record_success();
+    }
 }
 
 fn resolve_format(
@@ -912,6 +1117,54 @@ mod tests {
         let (count, bytes) = e.registered_stats();
         assert_eq!(count, 1);
         assert_eq!(bytes, one);
+        e.shutdown();
+    }
+
+    #[test]
+    fn verified_response_reports_its_rung() {
+        let (e, info, csr) = engine(EngineConfig { verify: true, ..EngineConfig::default() });
+        let outcome = e.spmm_blocking(request(&info, 16)).expect("admitted");
+        let SpmmOutcome::Done(resp) = outcome else { panic!("expected Done") };
+        assert!(resp.verified);
+        assert_eq!(resp.fallback_level, FallbackLevel::Tuned);
+        assert_eq!(e.resilience_stats(), (0, 0, 0, 0), "clean run needs no healing");
+        let reference = csr.spmm_reference(&request(&info, 16).b);
+        assert!(resp.out.max_abs_diff(&reference) < 0.6);
+        e.shutdown();
+    }
+
+    #[test]
+    fn impossible_tolerance_falls_back_and_trips_the_breaker() {
+        let cfg = EngineConfig {
+            workers: 1,
+            verify: true,
+            verify_tolerance: -1.0,
+            breaker_threshold: 2,
+            breaker_cooldown: Duration::from_secs(600),
+            ..EngineConfig::default()
+        };
+        let (e, info, csr) = engine(cfg);
+        let reference = csr.spmm_reference(&request(&info, 8).b);
+        for i in 0..4 {
+            let outcome = e.spmm_blocking(request(&info, 8)).expect("admitted");
+            let SpmmOutcome::Done(resp) = outcome else { panic!("expected Done") };
+            // Every response still lands on the trusted scalar rung —
+            // degraded, never wrong.
+            assert_eq!(resp.fallback_level, FallbackLevel::Scalar, "request {i}");
+            assert!(resp.verified);
+            assert_eq!(resp.counters.mma_count, 0, "scalar rung never touches the TCU");
+            assert_eq!(resp.out.to_f32_vec(), reference.to_f32_vec());
+        }
+        // Two ladder walks (2 rungs failing each) trip the threshold-2
+        // breaker; the last two requests bypass straight to scalar.
+        assert_eq!(e.breaker_trips(), 1);
+        let (verify_failures, _, scalar, bypasses) = e.resilience_stats();
+        assert_eq!(verify_failures, 4);
+        assert_eq!(scalar, 2);
+        assert_eq!(bypasses, 2);
+        let j = e.metrics_json();
+        assert!(j.contains("\"resilience\":{\"verify\":true"));
+        assert!(j.contains("\"breaker_trips\":1"));
         e.shutdown();
     }
 

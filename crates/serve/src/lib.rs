@@ -15,11 +15,20 @@
 //! - [`protocol`]/[`server`]/[`client`] — a length-prefixed binary TCP
 //!   protocol (std::net only) plus a blocking client.
 //! - [`loadgen`] — open/closed-loop traffic generation with a JSON
-//!   latency/throughput report.
+//!   latency/throughput report, plus a `--chaos` soak mode that verifies
+//!   every response against the scalar reference while a fault plan is
+//!   active (errors are allowed; silent corruption is not).
+//! - [`args`] — the shared typed flag parser both binaries use.
+//!
+//! Under `fs_chaos`, the engine verifies responses through the
+//! `flashsparse::resilient` fallback ladder, trips per-matrix circuit
+//! breakers, and survives injected worker kills/stalls and frame
+//! corruption — see `DESIGN.md` §8.
 //!
 //! Two binaries ship with the crate: `fs-serve` (the daemon) and
 //! `loadgen` (the measurement driver).
 
+pub mod args;
 pub mod cache;
 pub mod client;
 pub mod engine;
@@ -29,8 +38,9 @@ pub mod metrics;
 pub mod protocol;
 pub mod server;
 
+pub use args::{parse_value, FlagParser};
 pub use cache::{CacheStats, CachedFormat, FormatCache};
-pub use client::{ClientError, LoadedMatrix, ServeClient, SpmmResult};
+pub use client::{ClientError, LoadedMatrix, ServeClient, SpmmResult, DEFAULT_IO_TIMEOUT};
 pub use engine::{
     EngineConfig, RegisterError, ServeEngine, SpmmOutcome, SpmmRequest, SpmmResponse, SubmitError,
 };

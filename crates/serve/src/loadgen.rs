@@ -13,10 +13,15 @@ use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
+use flashsparse::{FallbackLevel, DEFAULT_TOLERANCE};
+use fs_chaos::Backoff;
 use fs_matrix::gen::{random_uniform, rmat, RmatConfig};
-use fs_matrix::CsrMatrix;
+use fs_matrix::{CsrMatrix, DenseMatrix};
 
 use crate::client::{ClientError, ServeClient};
+
+/// Attempts per request in chaos mode (first try + retries).
+const CHAOS_ATTEMPTS: u32 = 6;
 
 /// Which synthetic matrix the generator loads.
 #[derive(Clone, Copy, Debug)]
@@ -81,6 +86,12 @@ pub struct LoadgenConfig {
     pub deadline_ms: u32,
     /// How long to retry the initial connection.
     pub ready_timeout: Duration,
+    /// Chaos soak mode: retry transient failures with jittered backoff
+    /// and verify every completed response against the scalar reference
+    /// computed client-side. Errors are tolerated (they are the point);
+    /// a response whose numbers are wrong is counted in
+    /// [`LoadReport::wrong`] — the one number that must stay zero.
+    pub chaos: bool,
 }
 
 impl Default for LoadgenConfig {
@@ -96,6 +107,7 @@ impl Default for LoadgenConfig {
             matrix: MatrixSpec::Uniform { rows: 512, cols: 512, nnz: 8192 },
             deadline_ms: 0,
             ready_timeout: Duration::from_secs(10),
+            chaos: false,
         }
     }
 }
@@ -129,6 +141,13 @@ pub struct LoadReport {
     pub mean_us: u64,
     /// Largest micro-batch any response reported.
     pub max_batch: u64,
+    /// Chaos mode: completed responses whose numbers did not match the
+    /// client-side scalar reference — silent corruption. Must be zero.
+    pub wrong: u64,
+    /// Chaos mode: retry attempts spent recovering transient failures.
+    pub retried: u64,
+    /// Chaos mode: responses served from a fallback rung (not tuned).
+    pub fallbacks: u64,
 }
 
 impl LoadReport {
@@ -146,7 +165,8 @@ impl LoadReport {
         format!(
             "{{\"mode\":\"{}\",\"completed\":{},\"rejected\":{},\"timed_out\":{},\"errors\":{},\
              \"cache_hits\":{},\"cache_hit_rate\":{:.6},\"duration_ms\":{},\"rps\":{:.2},\
-             \"p50_us\":{},\"p95_us\":{},\"p99_us\":{},\"mean_us\":{},\"max_batch\":{}}}",
+             \"p50_us\":{},\"p95_us\":{},\"p99_us\":{},\"mean_us\":{},\"max_batch\":{},\
+             \"wrong\":{},\"retried\":{},\"fallbacks\":{}}}",
             self.mode,
             self.completed,
             self.rejected,
@@ -160,7 +180,10 @@ impl LoadReport {
             self.p95_us,
             self.p99_us,
             self.mean_us,
-            self.max_batch
+            self.max_batch,
+            self.wrong,
+            self.retried,
+            self.fallbacks
         )
     }
 }
@@ -181,6 +204,41 @@ struct WorkerTally {
     errors: u64,
     cache_hits: u64,
     max_batch: u64,
+    wrong: u64,
+    retried: u64,
+    fallbacks: u64,
+}
+
+/// Chaos-mode response check: the served numbers against the scalar
+/// reference, NaN-hostile (`!(diff <= tol)` rejects NaN).
+fn response_matches(out: &[f32], expected: &[f32]) -> bool {
+    out.len() == expected.len()
+        && out.iter().zip(expected).all(|(&a, &e)| (a - e).abs() <= DEFAULT_TOLERANCE)
+}
+
+/// Register the matrix, retrying through chaos-injected frame faults. A
+/// duplicate registration after a corrupted Loaded response is harmless:
+/// identical content shares one cache entry server-side.
+fn load_with_retry(
+    client: &mut ServeClient,
+    cfg: &LoadgenConfig,
+    tenant: &str,
+    csr: &CsrMatrix<f32>,
+) -> Result<crate::client::LoadedMatrix, String> {
+    let attempts = if cfg.chaos { CHAOS_ATTEMPTS } else { 1 };
+    let mut backoff = Backoff::for_client(0x10AD);
+    let mut last = "load failed: no attempt made".to_string();
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            thread::sleep(backoff.next_delay());
+            let _ = client.reconnect();
+        }
+        match client.load_matrix(tenant, csr) {
+            Ok(loaded) => return Ok(loaded),
+            Err(e) => last = format!("load failed: {e}"),
+        }
+    }
+    Err(last)
 }
 
 /// Run the configured workload. Returns the report, or an error string
@@ -189,6 +247,15 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadReport, String> {
     let csr = Arc::new(cfg.matrix.build());
     let b: Arc<Vec<f32>> =
         Arc::new((0..csr.cols() * cfg.n).map(|i| ((i % 11) as f32 - 5.0) * 0.125).collect());
+    // Chaos mode holds the server to the zero-wrong-responses contract:
+    // every request is identical, so one client-side scalar reference
+    // checks them all.
+    let expected: Option<Arc<Vec<f32>>> = if cfg.chaos {
+        let dense = DenseMatrix::<f32>::from_f32_slice(csr.cols(), cfg.n, &b);
+        Some(Arc::new(csr.spmm_reference(&dense).as_slice().to_vec()))
+    } else {
+        None
+    };
 
     // One tenant-side registration per tenant name (identical content →
     // one shared cache entry server-side).
@@ -197,9 +264,7 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadReport, String> {
         let mut probe = ServeClient::connect_with_retry(&cfg.addr, cfg.ready_timeout)
             .map_err(|e| format!("server not reachable: {e}"))?;
         for t in 0..cfg.tenants.max(1) {
-            let loaded = probe
-                .load_matrix(&format!("t{t}"), &csr)
-                .map_err(|e| format!("load failed: {e}"))?;
+            let loaded = load_with_retry(&mut probe, cfg, &format!("t{t}"), &csr)?;
             matrix_ids.push(loaded.matrix_id);
         }
     }
@@ -215,6 +280,7 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadReport, String> {
         let b = Arc::clone(&b);
         let csr = Arc::clone(&csr);
         let issued = Arc::clone(&issued);
+        let expected = expected.clone();
         let tenant_idx = w % cfg.tenants.max(1);
         let matrix_id = matrix_ids[tenant_idx];
         handles.push(thread::spawn(move || -> WorkerTally {
@@ -225,7 +291,11 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadReport, String> {
                 errors: 0,
                 cache_hits: 0,
                 max_batch: 0,
+                wrong: 0,
+                retried: 0,
+                fallbacks: 0,
             };
+            let mut backoff = Backoff::for_client(w as u64);
             let mut client = match ServeClient::connect_with_retry(&cfg.addr, cfg.ready_timeout) {
                 Ok(c) => c,
                 Err(_) => {
@@ -252,7 +322,23 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadReport, String> {
                     }
                 }
                 let t0 = Instant::now();
-                match client.spmm(&tenant, matrix_id, csr.cols(), cfg.n, &b, cfg.deadline_ms) {
+                let result = if cfg.chaos {
+                    client.spmm_retrying(
+                        &tenant,
+                        matrix_id,
+                        csr.cols(),
+                        cfg.n,
+                        &b,
+                        cfg.deadline_ms,
+                        CHAOS_ATTEMPTS,
+                        &mut backoff,
+                    )
+                } else {
+                    client.spmm(&tenant, matrix_id, csr.cols(), cfg.n, &b, cfg.deadline_ms)
+                };
+                tally.retried += u64::from(backoff.attempts());
+                backoff.reset();
+                match result {
                     Ok(resp) => {
                         let us = t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
                         tally.latencies.push(us);
@@ -260,6 +346,14 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadReport, String> {
                             tally.cache_hits += 1;
                         }
                         tally.max_batch = tally.max_batch.max(resp.batch_size as u64);
+                        if resp.fallback_level != FallbackLevel::Tuned {
+                            tally.fallbacks += 1;
+                        }
+                        if let Some(exp) = &expected {
+                            if !response_matches(&resp.out, exp) {
+                                tally.wrong += 1;
+                            }
+                        }
                     }
                     Err(ClientError::Server { code, .. }) => match code {
                         crate::protocol::ErrorCode::QueueFull => tally.rejected += 1,
@@ -295,6 +389,9 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadReport, String> {
                 report.errors += t.errors;
                 report.cache_hits += t.cache_hits;
                 report.max_batch = report.max_batch.max(t.max_batch);
+                report.wrong += t.wrong;
+                report.retried += t.retried;
+                report.fallbacks += t.fallbacks;
             }
             Err(_) => report.errors += 1,
         }

@@ -1,11 +1,16 @@
 //! The length-prefixed binary protocol `fs-serve` speaks over TCP.
 //!
-//! Framing: every message is `[u32 LE payload length][payload]`; the
-//! payload's first byte is the message tag, the rest is the tag-specific
-//! body. All integers are little-endian; floats are IEEE-754 bit
-//! patterns; strings are `u16 LE length + UTF-8 bytes`. Frames above
-//! [`MAX_FRAME_BYTES`] are refused before allocation, so a garbage peer
-//! cannot OOM the server.
+//! Framing: every message is `[u32 LE payload length][u64 LE FNV-1a
+//! checksum][payload]`; the payload's first byte is the message tag, the
+//! rest is the tag-specific body. All integers are little-endian; floats
+//! are IEEE-754 bit patterns; strings are `u16 LE length + UTF-8 bytes`.
+//! Frames above [`MAX_FRAME_BYTES`] are refused before allocation, so a
+//! garbage peer cannot OOM the server.
+//!
+//! The checksum turns silent wire corruption (a flipped byte anywhere in
+//! the payload — which the chaos layer injects deliberately) into a
+//! clean [`io::ErrorKind::InvalidData`] error the client can retry,
+//! instead of a plausibly-decoded frame carrying wrong numbers.
 
 use std::io::{self, Read, Write};
 
@@ -73,6 +78,13 @@ pub enum Response {
         queue_micros: u64,
         /// Microseconds of execution.
         service_micros: u64,
+        /// Which fallback-ladder rung produced the output
+        /// (`flashsparse::FallbackLevel` wire encoding: 0 = tuned,
+        /// 1 = default variant, 2 = scalar reference).
+        fallback_level: u8,
+        /// Whether the output passed server-side verification (scalar
+        /// outputs report `true`: they *are* the reference).
+        verified: bool,
         /// Output rows.
         rows: u32,
         /// Output columns.
@@ -155,31 +167,64 @@ impl std::error::Error for ProtoError {}
 
 // --- framing ---
 
-/// Write one length-prefixed frame.
-pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+/// Bytes of the frame header: a `u32` little-endian payload length
+/// followed by a `u64` little-endian FNV-1a payload checksum.
+pub const FRAME_HEADER_BYTES: usize = 12;
+
+/// FNV-1a over `bytes`: the frame integrity checksum. Not cryptographic
+/// — it guards against corruption, not forgery.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// The complete wire bytes of one frame: header (length + checksum)
+/// followed by the payload. Exposed so the server's chaos write path can
+/// corrupt or truncate the exact bytes a healthy write would send.
+pub fn frame_bytes(payload: &[u8]) -> io::Result<Vec<u8>> {
     if payload.len() > MAX_FRAME_BYTES {
         return Err(io::Error::new(io::ErrorKind::InvalidData, "frame exceeds MAX_FRAME_BYTES"));
     }
-    w.write_all(&(payload.len() as u32).to_le_bytes())?;
-    w.write_all(payload)?;
+    let mut out = Vec::with_capacity(FRAME_HEADER_BYTES + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    Ok(out)
+}
+
+/// Write one length-prefixed, checksummed frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    w.write_all(&frame_bytes(payload)?)?;
     w.flush()
 }
 
-/// Read one length-prefixed frame. `Ok(None)` on clean EOF at a frame
-/// boundary (the peer closed between messages).
+/// Read one length-prefixed frame and verify its checksum. `Ok(None)` on
+/// clean EOF at a frame boundary (the peer closed between messages); an
+/// [`io::ErrorKind::InvalidData`] error when the payload does not match
+/// its checksum (wire corruption).
 pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
-    let mut len_bytes = [0u8; 4];
-    match r.read_exact(&mut len_bytes) {
+    let mut header = [0u8; FRAME_HEADER_BYTES];
+    match r.read_exact(&mut header) {
         Ok(()) => {}
         Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
         Err(e) => return Err(e),
     }
-    let len = u32::from_le_bytes(len_bytes) as usize;
+    let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]) as usize;
+    let mut checksum = [0u8; 8];
+    checksum.copy_from_slice(&header[4..12]);
+    let checksum = u64::from_le_bytes(checksum);
     if len > MAX_FRAME_BYTES {
         return Err(io::Error::new(io::ErrorKind::InvalidData, "frame exceeds MAX_FRAME_BYTES"));
     }
     let mut payload = vec![0u8; len];
     r.read_exact(&mut payload)?;
+    if fnv1a64(&payload) != checksum {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "frame checksum mismatch"));
+    }
     Ok(Some(payload))
 }
 
@@ -383,6 +428,8 @@ impl Response {
                 batch_size,
                 queue_micros,
                 service_micros,
+                fallback_level,
+                verified,
                 rows,
                 n,
                 out: data,
@@ -395,6 +442,8 @@ impl Response {
                 out.extend_from_slice(&batch_size.to_le_bytes());
                 out.extend_from_slice(&queue_micros.to_le_bytes());
                 out.extend_from_slice(&service_micros.to_le_bytes());
+                out.push(*fallback_level);
+                out.push(u8::from(*verified));
                 out.extend_from_slice(&rows.to_le_bytes());
                 out.extend_from_slice(&n.to_le_bytes());
                 put_f32s(&mut out, data);
@@ -432,10 +481,22 @@ impl Response {
                 let batch_size = c.u32()?;
                 let queue_micros = c.u64()?;
                 let service_micros = c.u64()?;
+                let fallback_level = c.u8()?;
+                let verified = c.u8()? != 0;
                 let rows = c.u32()?;
                 let n = c.u32()?;
                 let out = c.f32_vec(rows as usize * n as usize)?;
-                Response::Spmm { cache_hit, batch_size, queue_micros, service_micros, rows, n, out }
+                Response::Spmm {
+                    cache_hit,
+                    batch_size,
+                    queue_micros,
+                    service_micros,
+                    fallback_level,
+                    verified,
+                    rows,
+                    n,
+                    out,
+                }
             }
             RESP_METRICS => {
                 let len = c.u32()? as usize;
@@ -506,6 +567,8 @@ mod tests {
             batch_size: 4,
             queue_micros: 10,
             service_micros: 20,
+            fallback_level: 1,
+            verified: true,
             rows: 2,
             n: 2,
             out: vec![0.0, -1.5, f32::MAX, 3.25],
@@ -535,8 +598,48 @@ mod tests {
     fn oversized_frame_is_refused_without_allocation() {
         let mut buf = Vec::new();
         buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes()); // checksum field
         let mut r = &buf[..];
         assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn corrupted_frame_byte_is_detected_anywhere() {
+        let payload = Request::Spmm {
+            tenant: "t".into(),
+            matrix_id: 9,
+            deadline_ms: 0,
+            b_rows: 2,
+            n: 2,
+            b: vec![1.0, 2.0, 3.0, 4.0],
+        }
+        .encode()
+        .expect("encode");
+        let clean = frame_bytes(&payload).expect("frame");
+        // Flip one bit of every payload byte in turn: the checksum must
+        // catch each one (the header's length bytes are covered by the
+        // read-size checks; its checksum bytes by definition mismatch).
+        for i in 12..clean.len() {
+            let mut bad = clean.clone();
+            bad[i] ^= 0x10;
+            let err = read_frame(&mut &bad[..]).expect_err("corruption at byte must error");
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "byte {i}");
+        }
+        // And the clean frame still reads back.
+        assert_eq!(read_frame(&mut &clean[..]).expect("read").as_deref(), Some(&payload[..]));
+    }
+
+    #[test]
+    fn truncated_frame_is_an_error_not_a_short_payload() {
+        let clean = frame_bytes(b"some payload bytes").expect("frame");
+        for cut in 1..clean.len() {
+            let r = read_frame(&mut &clean[..cut]);
+            match r {
+                Err(_) => {}
+                Ok(None) => assert!(cut < 12, "EOF is clean only inside the header: cut {cut}"),
+                Ok(Some(p)) => panic!("truncated frame decoded to {} bytes at cut {cut}", p.len()),
+            }
+        }
     }
 
     #[test]
@@ -567,6 +670,8 @@ mod tests {
         resp.extend_from_slice(&1u32.to_le_bytes()); // batch_size
         resp.extend_from_slice(&0u64.to_le_bytes()); // queue_micros
         resp.extend_from_slice(&0u64.to_le_bytes()); // service_micros
+        resp.push(0); // fallback_level
+        resp.push(1); // verified
         resp.extend_from_slice(&0x7FFF_FFFFu32.to_le_bytes()); // rows
         resp.extend_from_slice(&0x8000_0001u32.to_le_bytes()); // n
         assert!(Response::decode(&resp).is_err());

@@ -8,11 +8,14 @@ use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
 
+use fs_chaos::FaultSite;
 use fs_matrix::{CooMatrix, CsrMatrix, DenseMatrix};
 use parking_lot::Mutex;
 
 use crate::engine::{EngineConfig, ServeEngine, SpmmOutcome, SpmmRequest, SubmitError};
-use crate::protocol::{read_frame, write_frame, ErrorCode, Request, Response};
+use crate::protocol::{
+    frame_bytes, read_frame, write_frame, ErrorCode, Request, Response, FRAME_HEADER_BYTES,
+};
 
 /// Default cap on the rows/cols a `Load` request may declare.
 ///
@@ -173,10 +176,61 @@ fn handle_connection(
                 }
             }
         };
-        if write_frame(&mut writer, &bytes).is_err() {
-            return;
+        // `Pong` is control plane (readiness probing), exempt from frame
+        // chaos; `ShutdownAck` goes through the dedicated path above.
+        let control = matches!(response, Response::Pong);
+        match write_response(&mut writer, &bytes, control) {
+            Ok(true) => {}
+            Ok(false) | Err(_) => return,
         }
     }
+}
+
+/// Write one response frame, consulting the chaos frame sites for
+/// data-plane responses. `Ok(false)` means injected truncation left the
+/// stream mid-frame, so the connection must close.
+fn write_response(writer: &mut TcpStream, payload: &[u8], control: bool) -> io::Result<bool> {
+    if !control && fs_chaos::chaos_enabled() {
+        if let Some(alive) = chaos_write(writer, payload)? {
+            return Ok(alive);
+        }
+    }
+    write_frame(writer, payload)?;
+    Ok(true)
+}
+
+/// Evaluate the frame chaos sites for one outgoing response. Corruption
+/// flips one *payload* byte inside the framed bytes — past the header,
+/// so the checksum guarantees the client detects it as `InvalidData`
+/// rather than decoding garbage. Truncation sends a prefix and closes
+/// the connection (the client sees an unexpected EOF). Both draws are
+/// always evaluated so replay counts stay aligned with the plan.
+/// `Ok(None)` means no draw fired and the ordinary write path should run.
+#[cold]
+fn chaos_write(writer: &mut TcpStream, payload: &[u8]) -> io::Result<Option<bool>> {
+    use std::io::Write as _;
+    let corrupt = fs_chaos::draw(FaultSite::FrameCorrupt);
+    let truncate = fs_chaos::draw(FaultSite::FrameTruncate);
+    if corrupt.is_none() && truncate.is_none() {
+        return Ok(None);
+    }
+    let mut framed = frame_bytes(payload)?;
+    if let Some(d) = corrupt {
+        if framed.len() > FRAME_HEADER_BYTES {
+            let span = (framed.len() - FRAME_HEADER_BYTES) as u64;
+            let i = FRAME_HEADER_BYTES + d.select(0, span) as usize;
+            framed[i] ^= 1u8 << d.select(1, 8);
+        }
+    }
+    if let Some(d) = truncate {
+        let keep = d.select(0, framed.len() as u64) as usize;
+        writer.write_all(&framed[..keep])?;
+        writer.flush()?;
+        return Ok(Some(false));
+    }
+    writer.write_all(&framed)?;
+    writer.flush()?;
+    Ok(Some(true))
 }
 
 fn dispatch(req: Request, engine: &Arc<ServeEngine>, max_load_dim: u32) -> Response {
@@ -239,6 +293,8 @@ fn dispatch(req: Request, engine: &Arc<ServeEngine>, max_load_dim: u32) -> Respo
                     batch_size: resp.batch_size.min(u32::MAX as usize) as u32,
                     queue_micros: resp.queue_micros,
                     service_micros: resp.service_micros,
+                    fallback_level: resp.fallback_level.as_u8(),
+                    verified: resp.verified,
                     rows: resp.out.rows().min(u32::MAX as usize) as u32,
                     n: resp.out.cols().min(u32::MAX as usize) as u32,
                     out: resp.out.to_f32_vec(),

@@ -1,0 +1,167 @@
+//! Chaos soaks for the serving stack: injected faults must degrade
+//! service (errors, retries, fallbacks) but never corrupt it, and
+//! kernel-site plans must replay identical injection counters from the
+//! seed string alone.
+//!
+//! Own test binary: an installed fault plan is process-global state, so
+//! these tests must never share a process with the regular suites. Every
+//! test here holds a [`ChaosScope`] — including the chaos-free ones —
+//! because the scope also serializes the tests against each other;
+//! unscoped traffic racing a scoped test would consume draw indices and
+//! break replay.
+
+use std::time::{Duration, Instant};
+
+use flashsparse::{outputs_match, DEFAULT_TOLERANCE};
+use fs_chaos::{ChaosScope, FaultPlan, FaultSite};
+use fs_matrix::gen::random_uniform;
+use fs_matrix::{CsrMatrix, DenseMatrix};
+use fs_serve::loadgen::{run, LoadgenConfig, MatrixSpec};
+use fs_serve::{
+    ClientError, EngineConfig, ServeClient, ServeEngine, Server, ServerConfig, SpmmOutcome,
+    SpmmRequest,
+};
+
+/// The ISSUE's acceptance soak, engine-level: a seeded fragment-bit plan
+/// at rate 1e-3 over 200 identical requests on a single worker. Every
+/// response must verify against the scalar reference (zero wrong), and
+/// re-running the identical plan must reproduce identical fault
+/// counters, resilience totals, and output bits.
+#[test]
+fn seeded_soak_is_wrong_free_and_replays_identically() {
+    let plan: FaultPlan = "seed=99;frag-bit=0.001".parse().expect("plan parses");
+    let (outs_a, report_a, stats_a) = engine_soak(&plan, 200);
+    let (outs_b, report_b, stats_b) = engine_soak(&plan, 200);
+    assert_eq!(report_a, report_b, "fault counters must replay from the plan string");
+    assert_eq!(stats_a, stats_b, "resilience totals must replay too");
+    assert_eq!(outs_a, outs_b, "delivered bits must replay too");
+    let (evaluated, injected) = report_a.site(FaultSite::FragBitFlip);
+    assert!(evaluated > 1_000, "200 requests drive thousands of MMA draws, saw {evaluated}");
+    assert!(injected > 0, "rate 1e-3 over {evaluated} evaluations should fire");
+}
+
+/// Run `requests` identical requests through a verifying single-worker
+/// engine under `plan`; returns (output bits, fault report, resilience
+/// stats), asserting zero wrong responses along the way.
+fn engine_soak(
+    plan: &FaultPlan,
+    requests: usize,
+) -> (Vec<Vec<u32>>, fs_chaos::FaultReport, (u64, u64, u64, u64)) {
+    let _scope = ChaosScope::install(plan.clone());
+    let e = ServeEngine::start(EngineConfig {
+        workers: 1,
+        max_batch: 1,
+        verify: true,
+        // The breaker bypass decision depends on wall-clock cooldowns;
+        // disable it so the soak stays a pure function of the plan.
+        breaker_threshold: u32::MAX,
+        ..EngineConfig::default()
+    });
+    let csr = CsrMatrix::from_coo(&random_uniform::<f32>(96, 96, 800, 3));
+    let info = e.register_matrix("t0", csr.clone()).expect("registered");
+    let b = DenseMatrix::from_fn(96, 16, |r, c| ((r + c) % 5) as f32 * 0.25);
+    let reference = csr.spmm_reference(&b);
+    let mut outs = Vec::with_capacity(requests);
+    for i in 0..requests {
+        let outcome = e.spmm_blocking(SpmmRequest {
+            tenant: "t0".to_string(),
+            matrix_id: info.id,
+            b: b.clone(),
+            deadline: Some(Duration::from_secs(60)),
+        });
+        match outcome {
+            Ok(SpmmOutcome::Done(resp)) => {
+                assert!(resp.verified, "request {i}");
+                assert!(
+                    outputs_match(&resp.out, &reference, DEFAULT_TOLERANCE),
+                    "request {i} delivered a wrong response (level {:?})",
+                    resp.fallback_level
+                );
+                outs.push(resp.out.to_f32_vec().iter().map(|v| v.to_bits()).collect());
+            }
+            other => panic!("request {i} failed: {other:?}"),
+        }
+    }
+    let report = fs_chaos::report();
+    let stats = e.resilience_stats();
+    e.shutdown();
+    (outs, report, stats)
+}
+
+/// Full-stack soak over TCP: worker kills, stalls, frame corruption and
+/// truncation all active at once. Clients retry with backoff and
+/// reconnect; the contract is completed > 0 and wrong == 0 — errors are
+/// expected, silent corruption is not. (Transport-layer plans replay
+/// statistically, not bit-exactly: thread scheduling reorders draws.)
+#[test]
+fn tcp_soak_with_kills_and_frame_faults_serves_no_wrong_bytes() {
+    let plan: FaultPlan = "seed=7;frag-bit=0.001;worker-kill=0.02;worker-stall=0.05;\
+                           frame-corrupt=0.05;frame-truncate=0.02;stall-ms=5"
+        .parse()
+        .expect("plan parses");
+    let _scope = ChaosScope::install(plan);
+    let server = Server::bind(&ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        engine: EngineConfig { workers: 2, verify: true, ..EngineConfig::default() },
+        ..ServerConfig::default()
+    })
+    .unwrap_or_else(|e| panic!("bind failed: {e}"));
+    let addr = server.local_addr();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    let report = run(&LoadgenConfig {
+        addr,
+        concurrency: 2,
+        requests: 120,
+        n: 16,
+        matrix: MatrixSpec::Uniform { rows: 128, cols: 128, nnz: 2000 },
+        chaos: true,
+        ..LoadgenConfig::default()
+    })
+    .unwrap_or_else(|e| panic!("loadgen failed: {e}"));
+
+    assert_eq!(report.wrong, 0, "chaos must never corrupt a response: {}", report.to_json());
+    assert!(
+        report.completed >= 60,
+        "retries should recover most of the 120 requests: {}",
+        report.to_json()
+    );
+
+    let mut c = ServeClient::connect_with_retry(&addr, Duration::from_secs(10))
+        .unwrap_or_else(|e| panic!("connect failed: {e}"));
+    c.shutdown().unwrap_or_else(|e| panic!("shutdown failed: {e}"));
+    server_thread
+        .join()
+        .unwrap_or_else(|_| panic!("server thread panicked"))
+        .unwrap_or_else(|e| panic!("server run failed: {e}"));
+}
+
+/// Regression test for the client socket timeouts: a listener that
+/// accepts and then never answers must surface as a prompt I/O error,
+/// not a forever-hung client.
+#[test]
+fn silent_listener_times_out_instead_of_hanging() {
+    // Zero-rate plan: chaos-free, the scope only serializes this test
+    // against the soaks above.
+    let _scope = ChaosScope::install(FaultPlan::new(0));
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let hold = std::thread::spawn(move || {
+        // Accept, read nothing, answer nothing, hang up after a while.
+        let conn = listener.accept();
+        std::thread::sleep(Duration::from_millis(1500));
+        drop(conn);
+    });
+
+    let mut client = ServeClient::connect(addr).expect("connect succeeds (SYN is accepted)");
+    client.set_io_timeouts(Some(Duration::from_millis(250))).expect("timeouts");
+    let t0 = Instant::now();
+    let err = client.ping().expect_err("a silent listener must not produce a pong");
+    assert!(
+        t0.elapsed() < Duration::from_secs(3),
+        "ping must fail via the read timeout, not hang: {:?}",
+        t0.elapsed()
+    );
+    assert!(matches!(err, ClientError::Io(_)), "expected an I/O timeout, got {err:?}");
+    let _ = hold.join();
+}

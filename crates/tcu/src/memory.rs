@@ -9,6 +9,8 @@
 //! transactions, which is exactly the arithmetic behind Figure 7's
 //! 16-vs-8-transaction comparison and the Figure 15 ablation.
 
+use fs_chaos::{chaos_enabled, FaultSite};
+
 use crate::counters::{KernelCounters, TrafficClass};
 use crate::sanitize::shadow::ShadowRegion;
 
@@ -72,7 +74,12 @@ impl TransactionCounter {
     ) -> u64 {
         let iter = accesses.into_iter();
         let ideal: u64 = iter.clone().map(|(_, s)| s as u64).sum();
-        let tx = self.sectors(iter);
+        let mut tx = self.sectors(iter);
+        // Chaos hook: a fired txn-drop draw loses one 32-byte transaction
+        // from this warp request (the coalescer "forgets" a sector).
+        if chaos_enabled() && tx > 0 && fs_chaos::draw(FaultSite::TxnDrop).is_some() {
+            tx -= 1;
+        }
         counters.load_transactions += tx;
         counters.bytes_loaded += tx * SECTOR_BYTES;
         counters.ideal_bytes_loaded += ideal;
@@ -112,6 +119,13 @@ impl TransactionCounter {
     ) -> u64 {
         let iter = accesses.into_iter();
         if let Some((region, warp)) = shadow {
+            // Chaos hook: poison one accessed shadow byte first, so the
+            // sanitizer observes the fault as an uninitialized load.
+            if chaos_enabled() {
+                if let Some(d) = fs_chaos::draw(FaultSite::ShadowPoison) {
+                    region.chaos_poison(&d, iter.clone());
+                }
+            }
             region.check_load(warp, iter.clone());
         }
         self.warp_load_as(class, iter, counters)

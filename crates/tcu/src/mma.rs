@@ -1,5 +1,6 @@
 //! Execution of MMA instructions over warp fragments.
 
+use fs_chaos::{chaos_enabled, FaultDraw, FaultSite};
 use fs_precision::{f32_through_f16, f32_to_tf32};
 
 use crate::counters::KernelCounters;
@@ -72,7 +73,12 @@ pub fn mma_execute_accum(
         sanitize_operands(a, b, c, accum);
     }
     let (m, n, k) = (shape.m, shape.n, shape.k);
-    let a_tile = a.to_tile();
+    let mut a_tile = a.to_tile();
+    if chaos_enabled() {
+        if let Some(d) = fs_chaos::draw(FaultSite::FragBitFlip) {
+            chaos_flip_bit(&mut a_tile, &d);
+        }
+    }
     let b_tile = b.to_tile();
     let c_tile = c.to_tile();
     debug_assert_eq!(a_tile.len(), m * k);
@@ -107,6 +113,12 @@ pub fn mma_execute_accum(
         }
     }
 
+    if chaos_enabled() {
+        if let Some(d) = fs_chaos::draw(FaultSite::AccumBitFlip) {
+            chaos_flip_bit(&mut d_tile, &d);
+        }
+    }
+
     counters.mma_count += 1;
     counters.tcu_flops += shape.flops();
 
@@ -115,6 +127,19 @@ pub fn mma_execute_accum(
         shadow.stamp_accum(accum);
     }
     d
+}
+
+/// Apply one fired bit-flip draw to a tile: the draw's payload picks the
+/// element (slot 0) and the bit (slot 1), so a replayed plan lands the
+/// identical fault.
+#[cold]
+fn chaos_flip_bit(tile: &mut [f32], d: &FaultDraw) {
+    if tile.is_empty() {
+        return;
+    }
+    let elem = d.select(0, tile.len() as u64) as usize;
+    let bit = d.select(1, 32) as u32; // lint: checked-cast - select(_, 32) < 32
+    tile[elem] = f32::from_bits(tile[elem].to_bits() ^ (1u32 << bit));
 }
 
 /// Sanitize-on pre-checks of one MMA's operands: every consumed

@@ -133,6 +133,31 @@ impl ShadowRegion {
         }
     }
 
+    /// Fault-injection hook: clear the init bit of one in-bounds byte of
+    /// `accesses` so a following [`ShadowRegion::check_load`] observes the
+    /// fault as an [`Violation::UninitLoad`]. The draw's payload picks
+    /// which byte, so a replayed plan poisons the identical address.
+    pub fn chaos_poison(
+        &self,
+        draw: &fs_chaos::FaultDraw,
+        accesses: impl IntoIterator<Item = (u64, u32)>,
+    ) {
+        let bytes: Vec<u64> = accesses
+            .into_iter()
+            .flat_map(|(addr, size)| addr..addr + u64::from(size))
+            .filter(|&b| b < self.len)
+            .collect();
+        if bytes.is_empty() {
+            return;
+        }
+        let byte = bytes[draw.select(0, bytes.len() as u64) as usize];
+        let mut st = self.state.lock();
+        let word = (byte / 64) as usize;
+        if let Some(w) = st.init.get_mut(word) {
+            *w &= !(1u64 << (byte % 64));
+        }
+    }
+
     /// Check one warp-wide store: bounds, then mark bytes initialized and
     /// log the writer, reporting write-write conflicts with other warps in
     /// the current epoch.

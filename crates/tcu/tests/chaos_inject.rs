@@ -1,0 +1,121 @@
+//! Integration tests for the chaos hooks in the TCU simulator.
+//!
+//! These live in their own test binary (own process): unlike the
+//! sanitizer, chaos changes *results*, so it must never be active while
+//! the regular unit tests run. Every test here holds a `ChaosScope` —
+//! including the chaos-off test, via an all-zero plan — because the
+//! scope's lock is what serializes tests against the process-global
+//! injector (an unscoped MMA would consume draw indices from a
+//! neighboring test's plan).
+
+use fs_chaos::{ChaosScope, FaultPlan, FaultReport, FaultSite};
+use fs_tcu::mma::mma_execute;
+use fs_tcu::sanitize::{take_reports, Violation};
+use fs_tcu::{
+    FragKind, Fragment, KernelCounters, MmaShape, SanitizeScope, ShadowRegion, TrafficClass,
+    TransactionCounter,
+};
+
+/// f32 tiles as raw bit patterns: flipped exponent bits can make NaN,
+/// and NaN != NaN would break an `assert_eq!` on float values.
+fn bits(tiles: &[Vec<f32>]) -> Vec<Vec<u32>> {
+    tiles.iter().map(|t| t.iter().map(|v| v.to_bits()).collect()).collect()
+}
+
+fn run_mmas(count: usize) -> (Vec<Vec<f32>>, KernelCounters) {
+    let shape = MmaShape::M16N8K8_F16;
+    let a_tile: Vec<f32> = (0..128).map(|i| ((i * 7 % 13) as f32 - 6.0) * 0.25).collect();
+    let b_tile: Vec<f32> = (0..64).map(|i| ((i * 5 % 11) as f32 - 5.0) * 0.5).collect();
+    let a = Fragment::from_tile(shape, FragKind::A, &a_tile);
+    let b = Fragment::from_tile(shape, FragKind::B, &b_tile);
+    let c = Fragment::zeros(shape, FragKind::CD);
+    let mut counters = KernelCounters::default();
+    let outs =
+        (0..count).map(|_| mma_execute(shape, &a, &b, &c, &mut counters).to_tile()).collect();
+    (outs, counters)
+}
+
+#[test]
+fn frag_bit_flips_fire_and_replay_identically() {
+    let plan = FaultPlan::new(42).with_rate(FaultSite::FragBitFlip, 0.25);
+    let run = |p: &FaultPlan| -> (Vec<Vec<f32>>, FaultReport) {
+        let _scope = ChaosScope::install(p.clone());
+        let (outs, _) = run_mmas(64);
+        (outs, fs_chaos::report())
+    };
+    let (outs_a, report_a) = run(&plan);
+    let (outs_b, report_b) = run(&plan);
+
+    let (eval, inj) = report_a.site(FaultSite::FragBitFlip);
+    assert_eq!(eval, 64, "one draw per MMA");
+    assert!(inj > 4 && inj < 32, "rate 0.25 over 64 draws: got {inj}");
+    assert_eq!(report_a, report_b, "same plan replays identical counters");
+    assert_eq!(bits(&outs_a), bits(&outs_b), "same plan replays bit-identical corrupted outputs");
+
+    // And the clean run differs from the corrupted one somewhere.
+    let (clean, _) = run(&FaultPlan::new(42));
+    assert_ne!(bits(&outs_a), bits(&clean), "injected flips must perturb at least one output");
+}
+
+#[test]
+fn accum_bit_flips_perturb_after_the_multiply() {
+    let corrupted = {
+        let _scope = ChaosScope::install(FaultPlan::new(9).with_rate(FaultSite::AccumBitFlip, 1.0));
+        run_mmas(4).0
+    };
+    let clean = {
+        let _scope = ChaosScope::install(FaultPlan::new(9));
+        run_mmas(4).0
+    };
+    for (bad, good) in bits(&corrupted).iter().zip(&bits(&clean)) {
+        assert_ne!(bad, good, "rate-1.0 accumulator flip must land in every MMA");
+    }
+}
+
+#[test]
+fn chaos_off_is_bit_identical_to_clean() {
+    let _scope = ChaosScope::install(FaultPlan::new(0));
+    let (a, ka) = run_mmas(8);
+    let (b, kb) = run_mmas(8);
+    assert_eq!(bits(&a), bits(&b));
+    assert_eq!(ka.mma_count, kb.mma_count);
+    assert_eq!(fs_chaos::report(), FaultReport::default(), "zero-rate plan evaluates nothing");
+}
+
+#[test]
+fn txn_drop_loses_one_transaction_per_fired_draw() {
+    let _scope = ChaosScope::install(FaultPlan::new(5).with_rate(FaultSite::TxnDrop, 1.0));
+    let accesses: Vec<(u64, u32)> = (0..32u64).map(|t| (t * 4, 4)).collect();
+    let mut k = KernelCounters::default();
+    let tx = TransactionCounter::new().warp_load(accesses, &mut k);
+    // A clean fully-coalesced 32×f32 warp load is 4 sectors (see the
+    // memory module's doctest); the rate-1.0 drop removes exactly one.
+    assert_eq!(tx, 3);
+    assert_eq!(k.load_transactions, 3);
+    assert_eq!(k.bytes_loaded, 3 * 32);
+    assert_eq!(k.ideal_bytes_loaded, 128, "ideal accounting is not perturbed");
+    let (eval, inj) = fs_chaos::report().site(FaultSite::TxnDrop);
+    assert_eq!((eval, inj), (1, 1));
+}
+
+#[test]
+fn shadow_poison_surfaces_as_uninit_load_under_sanitizer() {
+    let _chaos = ChaosScope::install(FaultPlan::new(3).with_rate(FaultSite::ShadowPoison, 1.0));
+    let _sanitize = SanitizeScope::record();
+
+    // A prefilled region would load clean; the poison draw must flip one
+    // accessed byte back to uninitialized before the check runs.
+    let region = ShadowRegion::prefilled("poisoned", 256);
+    let mut tc = TransactionCounter::new();
+    let mut k = KernelCounters::default();
+    let accesses: Vec<(u64, u32)> = (0..32u64).map(|t| (t * 4, 4)).collect();
+    tc.warp_load_shadowed(TrafficClass::DenseOperand, Some((&region, 0)), accesses, &mut k);
+
+    let reports = take_reports();
+    assert!(
+        reports.iter().any(|v| matches!(v, Violation::UninitLoad { buffer: "poisoned", .. })),
+        "poisoned byte must be caught by the sanitizer: {reports:?}"
+    );
+    let (eval, inj) = fs_chaos::report().site(FaultSite::ShadowPoison);
+    assert_eq!((eval, inj), (1, 1));
+}

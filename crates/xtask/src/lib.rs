@@ -1,6 +1,6 @@
 //! The repo's custom lint pass (`cargo run -p xtask -- lint`).
 //!
-//! Four rules tuned to the failure modes of this codebase, enforced on top
+//! Five rules tuned to the failure modes of this codebase, enforced on top
 //! of the `[workspace.lints]` clippy configuration (which cannot express
 //! them — they are path- and annotation-sensitive):
 //!
@@ -15,6 +15,11 @@
 //! 3. **no-unsafe** — `unsafe` anywhere outside the (currently empty)
 //!    allowlist. The simulator is pure safe Rust; keep it that way.
 //! 4. **no-todo** — `todo!` / `unimplemented!` anywhere, tests included.
+//! 5. **counted-catch** — `catch_unwind` in library code. A swallowed
+//!    panic is how injected faults (fs-chaos worker kills) or real bugs
+//!    turn into silent corruption; every unwind boundary must carry a
+//!    `// lint: counted-catch` note saying where the panic is counted
+//!    and surfaced. Vendored shims under `crates/shims/` are exempt.
 //!
 //! The pass is deliberately lexical (line-based with comment/test-module
 //! awareness), not a parser: it runs in milliseconds, works offline, and
@@ -30,6 +35,7 @@ pub enum Rule {
     AllowPanic,
     NoUnsafe,
     NoTodo,
+    CountedCatch,
 }
 
 impl fmt::Display for Rule {
@@ -39,6 +45,7 @@ impl fmt::Display for Rule {
             Rule::AllowPanic => "allow-panic",
             Rule::NoUnsafe => "no-unsafe",
             Rule::NoTodo => "no-todo",
+            Rule::CountedCatch => "counted-catch",
         })
     }
 }
@@ -61,9 +68,9 @@ impl fmt::Display for Diagnostic {
 /// How a file is classified, deciding which rules apply.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FileClass {
-    /// Kernel/simulator library code: all four rules.
+    /// Kernel/simulator library code: all five rules.
     KernelLib,
-    /// Other library code: panic, unsafe, and todo rules.
+    /// Other library code: panic, unsafe, todo, and counted-catch rules.
     Lib,
     /// Tests, benches, examples, the bench harness, and xtask itself:
     /// only unsafe and todo rules.
@@ -93,6 +100,10 @@ pub fn classify(path: &Path) -> FileClass {
 /// the whole workspace is safe Rust.
 pub const UNSAFE_ALLOWLIST: &[&str] = &[];
 
+/// Paths (substring match) exempt from the counted-catch rule: vendored
+/// shims mirror external crates' APIs and own their panic handling.
+pub const COUNTED_CATCH_EXEMPT: &[&str] = &["crates/shims/"];
+
 fn is_comment_only(trimmed: &str) -> bool {
     trimmed.starts_with("//")
 }
@@ -104,6 +115,9 @@ pub fn lint_source(path: &Path, content: &str, class: FileClass) -> Vec<Diagnost
     let mut out = Vec::new();
     let unsafe_allowed =
         UNSAFE_ALLOWLIST.iter().any(|allow| path.to_string_lossy().contains(allow));
+    let counted_catch_exempt = COUNTED_CATCH_EXEMPT
+        .iter()
+        .any(|allow| path.to_string_lossy().replace('\\', "/").contains(allow));
     // Heuristic matching this repo's layout: the first `#[cfg(test)]`
     // starts the test module, which by convention is the tail of the file.
     let mut in_tests = false;
@@ -173,6 +187,23 @@ pub fn lint_source(path: &Path, content: &str, class: FileClass) -> Vec<Diagnost
                 rule: Rule::AllowPanic,
                 message: "unwrap/expect in library code needs a \
                           `// lint: allow-panic` justification"
+                    .into(),
+            });
+        }
+
+        if !counted_catch_exempt
+            && contains_word(line, "catch_unwind")
+            // Importing the name is not an unwind boundary; only a call is.
+            && !trimmed.starts_with("use ")
+            && !annotated("lint: counted-catch")
+        {
+            out.push(Diagnostic {
+                file: path.to_path_buf(),
+                line: lineno,
+                rule: Rule::CountedCatch,
+                message: "catch_unwind in library code needs a \
+                          `// lint: counted-catch` note saying where the \
+                          panic is counted and surfaced"
                     .into(),
             });
         }
@@ -364,6 +395,35 @@ mod tests {
         assert_eq!(d[0].line, 3);
         let d = lint_fixture("crates/tcu/src/x.rs", "unimplemented!()\n", FileClass::KernelLib);
         assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn catch_unwind_in_lib_needs_counted_catch_note() {
+        let src = "let r = std::panic::catch_unwind(|| run());\n";
+        let d = lint_fixture("crates/serve/src/x.rs", src, FileClass::Lib);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, Rule::CountedCatch);
+        let ok =
+            "let r = catch_unwind(|| run()); // lint: counted-catch - panics counted in stats\n";
+        assert!(lint_fixture("crates/serve/src/x.rs", ok, FileClass::Lib).is_empty());
+        // The note also works on the preceding comment line.
+        let above =
+            "// lint: counted-catch - worker respawned by the monitor\nlet r = catch_unwind(f);\n";
+        assert!(lint_fixture("crates/serve/src/x.rs", above, FileClass::Lib).is_empty());
+    }
+
+    #[test]
+    fn catch_unwind_in_tests_and_shims_exempt() {
+        let src = "let r = std::panic::catch_unwind(|| run());\n";
+        assert!(lint_fixture("crates/serve/tests/x.rs", src, FileClass::TestOrBench).is_empty());
+        let in_mod = "fn f() {}\n#[cfg(test)]\nmod tests {\n  fn g() { catch_unwind(h); }\n}\n";
+        assert!(lint_fixture("crates/matrix/src/x.rs", in_mod, FileClass::Lib).is_empty());
+        assert!(lint_fixture("crates/shims/proptest/src/lib.rs", src, FileClass::Lib).is_empty());
+        // A longer identifier is not a hit, and neither is the import.
+        let ident = "let my_catch_unwind_count = 1;\n";
+        assert!(lint_fixture("crates/serve/src/x.rs", ident, FileClass::Lib).is_empty());
+        let import = "use std::panic::{catch_unwind, AssertUnwindSafe};\n";
+        assert!(lint_fixture("crates/serve/src/x.rs", import, FileClass::Lib).is_empty());
     }
 
     #[test]
