@@ -16,6 +16,19 @@ cargo build --release
 echo "== cargo test -q"
 cargo test -q
 
+echo "== exec-mode perf baseline"
+# Record the fast-path vs simulator wall-clock baseline. The fast path
+# is bit-identical (enforced by the exec_mode_props suite above), so the
+# only question here is how much host time it saves; the JSON keeps a
+# tracked record per dataset x precision x mode.
+./target/release/spmm_cli --bench-json BENCH_spmm.json
+MIN_SPEEDUP=$(sed -n 's/.*"min_speedup":\([0-9.]*\).*/\1/p' BENCH_spmm.json)
+if ! awk -v s="$MIN_SPEEDUP" 'BEGIN { exit !(s >= 3.0) }'; then
+  echo "ci: fast-path speedup regressed below 3x (min ${MIN_SPEEDUP}x)" >&2
+  exit 1
+fi
+echo "ci: fast-path min speedup ${MIN_SPEEDUP}x"
+
 echo "== serving smoke test"
 # Start fs-serve on a loopback port, fire a short loadgen burst, and
 # require zero errors plus a clean acknowledged shutdown.

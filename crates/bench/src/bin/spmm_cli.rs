@@ -9,21 +9,172 @@
 //! Prints the sparsity pattern, format statistics, the auto-tuner's
 //! choice, and a simulated-performance comparison on both paper GPUs.
 
-use flashsparse::auto_tune;
+use std::time::Instant;
+
+use flashsparse::{
+    auto_tune, spmm_fp16_k16_with_mode, spmm_with_mode, TcuPrecision, ThreadMapping,
+};
 use fs_bench::algos::{measure_sddmm_all, measure_spmm_all};
-use fs_format::{vector_stats, TcFormatSpec};
+use fs_format::{vector_stats, MeBcrs, TcFormatSpec};
 use fs_matrix::gen::{random_uniform, rmat, RmatConfig};
 use fs_matrix::io::read_mtx_file;
 use fs_matrix::render::render_sparsity;
 use fs_matrix::stats::sparsity_stats;
-use fs_matrix::CsrMatrix;
-use fs_tcu::GpuSpec;
+use fs_matrix::{CsrMatrix, DenseMatrix};
+use fs_precision::{Tf32, F16};
+use fs_tcu::{ExecMode, GpuSpec};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: spmm_cli (--mtx FILE | --rmat SCALExEF | --uniform RxCxNNZ) [--n N] [--sddmm-k K] [--json]"
+        "usage: spmm_cli (--mtx FILE | --rmat SCALExEF | --uniform RxCxNNZ) [--n N] [--sddmm-k K] [--json]\n       spmm_cli --bench-json FILE   # write the exec-mode wall-clock baseline"
     );
     std::process::exit(2);
+}
+
+/// Median wall-clock seconds of `iters` runs of `f` (one warm-up run).
+fn median_secs<F: FnMut()>(iters: usize, mut f: F) -> f64 {
+    f();
+    let mut samples: Vec<f64> = (0..iters)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+struct BenchRow {
+    dataset: &'static str,
+    precision: &'static str,
+    nnz: usize,
+    fast_secs: f64,
+    simulate_secs: f64,
+    gflops_equiv_fast: f64,
+    gflops_equiv_simulate: f64,
+}
+
+impl BenchRow {
+    fn speedup(&self) -> f64 {
+        self.simulate_secs / self.fast_secs
+    }
+}
+
+/// Time both execution modes on a fixed synthetic suite and write the
+/// per-(dataset, precision, mode) medians as JSON. The "GFLOP-equiv"
+/// figure charges each run the useful work `2 * nnz * N` regardless of
+/// tile padding, so the two modes are directly comparable.
+fn run_bench_json(path: &str) {
+    const ITERS: usize = 5;
+    let n = 128usize;
+    let datasets: [(&str, CsrMatrix<f32>); 2] = [
+        ("rmat-s8", CsrMatrix::from_coo(&rmat::<f32>(8, 8, RmatConfig::GRAPH500, true, 42))),
+        ("uniform-512", CsrMatrix::from_coo(&random_uniform::<f32>(512, 512, 8192, 42))),
+    ];
+    let mut rows: Vec<BenchRow> = Vec::new();
+    for (name, csr) in &datasets {
+        let flops = 2.0 * csr.nnz() as f64 * n as f64;
+        let b16 = DenseMatrix::<F16>::from_fn(csr.cols(), n, |r, c| ((r + c) % 7) as f32 * 0.25);
+        let b32 = DenseMatrix::<Tf32>::from_fn(csr.cols(), n, |r, c| ((r + c) % 7) as f32 * 0.25);
+        let mut push = |precision: &'static str, fast_secs: f64, simulate_secs: f64| {
+            rows.push(BenchRow {
+                dataset: name,
+                precision,
+                nnz: csr.nnz(),
+                fast_secs,
+                simulate_secs,
+                gflops_equiv_fast: flops / fast_secs / 1e9,
+                gflops_equiv_simulate: flops / simulate_secs / 1e9,
+            });
+        };
+        let me16: MeBcrs<F16> = MeBcrs::from_csr(&csr.cast(), F16::SPEC);
+        push(
+            "fp16",
+            median_secs(ITERS, || {
+                spmm_with_mode(&me16, &b16, ThreadMapping::MemoryEfficient, ExecMode::Fast);
+            }),
+            median_secs(ITERS, || {
+                spmm_with_mode(&me16, &b16, ThreadMapping::MemoryEfficient, ExecMode::Simulate);
+            }),
+        );
+        let me32: MeBcrs<Tf32> = MeBcrs::from_csr(&csr.cast(), Tf32::SPEC);
+        push(
+            "tf32",
+            median_secs(ITERS, || {
+                spmm_with_mode(&me32, &b32, ThreadMapping::MemoryEfficient, ExecMode::Fast);
+            }),
+            median_secs(ITERS, || {
+                spmm_with_mode(&me32, &b32, ThreadMapping::MemoryEfficient, ExecMode::Simulate);
+            }),
+        );
+        let mek16: MeBcrs<F16> = MeBcrs::from_csr(&csr.cast(), TcFormatSpec::FLASH_FP16_K16);
+        push(
+            "fp16-k16",
+            median_secs(ITERS, || {
+                spmm_fp16_k16_with_mode(
+                    &mek16,
+                    &b16,
+                    ThreadMapping::MemoryEfficient,
+                    ExecMode::Fast,
+                );
+            }),
+            median_secs(ITERS, || {
+                spmm_fp16_k16_with_mode(
+                    &mek16,
+                    &b16,
+                    ThreadMapping::MemoryEfficient,
+                    ExecMode::Simulate,
+                );
+            }),
+        );
+    }
+
+    let mut json =
+        String::from("{\"bench\":\"spmm_exec_mode\",\"n\":128,\"iters\":5,\"results\":[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!(
+            "{{\"dataset\":\"{}\",\"precision\":\"{}\",\"nnz\":{},\
+             \"fast_median_secs\":{:.6e},\"simulate_median_secs\":{:.6e},\
+             \"gflops_equiv_fast\":{:.4},\"gflops_equiv_simulate\":{:.4},\
+             \"speedup\":{:.3}}}",
+            r.dataset,
+            r.precision,
+            r.nnz,
+            r.fast_secs,
+            r.simulate_secs,
+            r.gflops_equiv_fast,
+            r.gflops_equiv_simulate,
+            r.speedup()
+        ));
+    }
+    let min_speedup = rows.iter().map(BenchRow::speedup).fold(f64::INFINITY, f64::min);
+    json.push_str(&format!("],\"min_speedup\":{min_speedup:.3}}}\n"));
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("failed to write {path}: {e}");
+        std::process::exit(1);
+    }
+
+    println!("SpMM exec-mode baseline (N={n}, median of {ITERS}):");
+    println!(
+        "{:<14} {:<9} {:>10} {:>16} {:>16} {:>9}",
+        "dataset", "precision", "nnz", "fast GFLOP-eq", "simulate GFLOP-eq", "speedup"
+    );
+    for r in &rows {
+        println!(
+            "{:<14} {:<9} {:>10} {:>16.2} {:>16.2} {:>8.2}x",
+            r.dataset,
+            r.precision,
+            r.nnz,
+            r.gflops_equiv_fast,
+            r.gflops_equiv_simulate,
+            r.speedup()
+        );
+    }
+    println!("wrote {path} (min speedup {min_speedup:.2}x)");
 }
 
 fn main() {
@@ -81,6 +232,11 @@ fn main() {
                 sddmm_k = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
             }
             "--json" => json = true,
+            "--bench-json" => {
+                let path = it.next().unwrap_or_else(|| usage());
+                run_bench_json(path);
+                return;
+            }
             other => {
                 eprintln!("spmm_cli: unknown argument '{other}'");
                 usage()

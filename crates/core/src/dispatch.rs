@@ -101,6 +101,18 @@ impl TranslatedMatrix {
             TranslatedMatrix::Tf32K4(me) => me.nnz(),
         }
     }
+
+    /// Whether the underlying ME-BCRS carries the structural-validity
+    /// witness (set by [`translate`](Self::translate), which builds via
+    /// `from_csr`). Witnessed matrices skip the per-launch validation
+    /// walk on the fast path — what lets a serving cache validate once
+    /// at translation and never again per request.
+    pub fn is_validated(&self) -> bool {
+        match self {
+            TranslatedMatrix::Fp16K8(me) | TranslatedMatrix::Fp16K16(me) => me.is_validated(),
+            TranslatedMatrix::Tf32K4(me) => me.is_validated(),
+        }
+    }
 }
 
 impl MemoryFootprint for TranslatedMatrix {

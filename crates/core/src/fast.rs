@@ -1,0 +1,475 @@
+//! The fast execution path ([`fs_tcu::ExecMode::Fast`]).
+//!
+//! Bit-identical to the simulator — same [`round_operand`] rounding of
+//! every operand, same f32 accumulation order inside every MMA, same
+//! output cast — but with all simulator scaffolding removed:
+//!
+//! * **No fragment materialization.** `Fragment::from_tile`/`to_tile`
+//!   are exact bijections, so the MMA semantics reduce to a plain
+//!   triple loop over the gathered tiles. Skipping the zero-filled tail
+//!   of ragged blocks is safe because an accumulator that starts at
+//!   `+0.0` can never become `-0.0` (IEEE round-to-nearest returns `+0`
+//!   for any exactly-zero sum unless both addends are `-0`), so the
+//!   skipped `+0.0` products can never flip a sign bit.
+//! * **Operands rounded once.** The simulator calls [`round_operand`]
+//!   on every operand of every MMA; rounding is a pure function, so the
+//!   fast path pre-rounds each sparse value once per window and each
+//!   dense element once per gather.
+//! * **Analytic counters.** MMA counts follow from block geometry;
+//!   memory transactions come from [`AnalyticCounter`] over closed-form
+//!   request spans ([`block_request_spans`]) instead of replaying
+//!   per-lane accesses. Full 16-column tiles shift every address by
+//!   16 elements × 2 or 4 bytes — a multiple of the 32-byte sector — so
+//!   one computation is committed once per full tile (`times`).
+//! * **No per-launch validation walk.** Matrices carrying the
+//!   [`MeBcrs::is_validated`] witness skip it; unwitnessed ones are
+//!   checked once up front (the fast path has no sanitizer to report
+//!   violations, so it refuses malformed input outright).
+//!
+//! Scratch buffers live in a thread-local arena reused across windows
+//! and launches: a window allocates nothing.
+
+use std::cell::RefCell;
+
+use fs_format::MeBcrs;
+use fs_matrix::DenseMatrix;
+use fs_precision::Scalar;
+use fs_tcu::mma::round_operand;
+use fs_tcu::{AnalyticCounter, KernelCounters, MmaShape, TrafficClass};
+use rayon::prelude::*;
+
+use crate::sddmm::VEC_GROUP;
+use crate::spmm::N_TILE;
+use crate::thread_map::{block_request_spans, RequestSpan, ThreadMapping};
+use crate::variant::TcuPrecision;
+
+/// Row windows per parallel work unit. Small matrices stop paying
+/// per-window task overhead; large ones still expose plenty of
+/// parallelism (see DESIGN.md §9 for the measurement behind the value).
+pub(crate) const WINDOW_BATCH: usize = 8;
+
+/// Reusable per-thread scratch for the fused kernels.
+#[derive(Default)]
+struct FastScratch {
+    /// Pre-rounded sparse values of the current window (SpMM) or the
+    /// pre-rounded dense rows (SDDMM).
+    rounded: Vec<f32>,
+    /// Second rounding buffer (SDDMM group rows).
+    rounded_b: Vec<f32>,
+    /// Gathered dense tile (SpMM left operand).
+    a_tile: Vec<f32>,
+    /// 16×8 output accumulator tile.
+    c_tile: Vec<f32>,
+    /// Closed-form transaction accounting.
+    counter: AnalyticCounter,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<FastScratch> = RefCell::new(FastScratch::default());
+}
+
+/// Grow-only resize: never shrinks, so steady-state launches stop
+/// allocating entirely.
+#[inline]
+fn reserve(buf: &mut Vec<f32>, len: usize) {
+    if buf.len() < len {
+        buf.resize(len, 0.0);
+    }
+}
+
+/// The fast path's stand-in for the per-launch `validate_format` walk:
+/// witnessed matrices skip it; unwitnessed ones are checked once.
+///
+/// # Panics
+/// Panics when an unwitnessed matrix fails validation — the fast path
+/// has no sanitizer to record violations against.
+fn ensure_valid<S: Scalar>(m: &MeBcrs<S>) {
+    if !m.is_validated() {
+        let violations = m.validate();
+        assert!(
+            violations.is_empty(),
+            "fast path requires a well-formed ME-BCRS matrix: {violations:?}"
+        );
+    }
+}
+
+/// Fused SpMM (`C = A × B`), bit-identical to the simulated kernel.
+/// Dimension/spec assertions are the dispatching caller's job.
+pub(crate) fn spmm_fast<S: TcuPrecision>(
+    a: &MeBcrs<S>,
+    b: &DenseMatrix<S>,
+    mapping: ThreadMapping,
+    shape: MmaShape,
+) -> (DenseMatrix<S>, KernelCounters) {
+    ensure_valid(a);
+    let v = shape.n;
+    let n = b.cols();
+    let rows = a.rows();
+    let mut out = DenseMatrix::<S>::zeros(rows, n);
+    if n == 0 || rows == 0 {
+        return (out, KernelCounters::default());
+    }
+    let load_spans = block_request_spans(mapping, shape.k);
+    let store_spans = block_request_spans(mapping, 8);
+
+    let counters = out
+        .as_mut_slice()
+        .par_chunks_mut(WINDOW_BATCH * v * n)
+        .enumerate()
+        .map(|(chunk, windows)| {
+            SCRATCH.with(|cell| {
+                let scratch = &mut *cell.borrow_mut();
+                let mut counters = KernelCounters::default();
+                for (i, out_window) in windows.chunks_mut(v * n).enumerate() {
+                    spmm_window(
+                        a,
+                        b,
+                        chunk * WINDOW_BATCH + i,
+                        out_window,
+                        shape,
+                        &load_spans,
+                        &store_spans,
+                        scratch,
+                        &mut counters,
+                    );
+                }
+                counters
+            })
+        })
+        .sum();
+
+    (out, counters)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn spmm_window<S: TcuPrecision>(
+    a: &MeBcrs<S>,
+    b: &DenseMatrix<S>,
+    w: usize,
+    out_window: &mut [S],
+    shape: MmaShape,
+    load_spans: &[RequestSpan],
+    store_spans: &[RequestSpan],
+    scratch: &mut FastScratch,
+    counters: &mut KernelCounters,
+) {
+    let v = shape.n;
+    let k = shape.k;
+    let n = b.cols();
+    let window_rows = (a.rows() - w * v).min(v);
+    let num_blocks = a.blocks_in_window(w);
+    if num_blocks == 0 {
+        return;
+    }
+
+    let full_tiles = n / N_TILE;
+    let ragged = n % N_TILE;
+    let n_tiles = (full_tiles + usize::from(ragged > 0)) as u64;
+
+    // ---- MMA counters from block geometry. ----
+    counters.mma_count += num_blocks as u64 * n_tiles;
+    counters.tcu_flops += num_blocks as u64 * n_tiles * shape.flops();
+
+    let FastScratch { rounded, a_tile, c_tile, counter: ac, .. } = scratch;
+
+    // ---- Pre-round the window's sparse values once. ----
+    let vals = &a.values()[a.window_ptr()[w] * v..a.window_ptr()[w + 1] * v];
+    reserve(rounded, vals.len());
+    for (dst, src) in rounded.iter_mut().zip(vals) {
+        *dst = round_operand(src.to_f32(), S::PRECISION);
+    }
+
+    // ---- Memory traffic, one pass over the blocks. ----
+    for blk in 0..num_blocks {
+        let w_b = a.block_width(w, blk);
+        let cols = a.block_cols(w, blk);
+
+        // Column indices: one request per block, once per window.
+        ac.range((a.window_ptr()[w] + blk * k) as u64 * 4, w_b as u64 * 4);
+        ac.load(TrafficClass::Indices, counters, 1);
+
+        // Sparse values: one warp request per block whose lanes cover,
+        // for each of the 8 fragment rows, the row's full `w_b` elements
+        // contiguously (FP16 paired 4-byte loads + ragged 2-byte tail,
+        // TF32 per-lane 4-byte loads — both unions are the whole row).
+        // The request addresses are tile-independent, so it repeats
+        // verbatim at every column tile.
+        for g in 0..8 {
+            ac.range(a.value_addr(w, blk, g, 0), (w_b * S::BYTES) as u64);
+        }
+        ac.load(TrafficClass::SparseValues, counters, n_tiles);
+
+        // Dense operand: full tiles shift addresses by 32 or 64 bytes —
+        // whole sectors — so one computation covers them all; the ragged
+        // tail tile is computed separately.
+        if full_tiles > 0 {
+            dense_loads(ac, counters, b, cols, w_b, 0, N_TILE, load_spans, full_tiles as u64);
+        }
+        if ragged > 0 {
+            dense_loads(ac, counters, b, cols, w_b, full_tiles * N_TILE, ragged, load_spans, 1);
+        }
+    }
+
+    // ---- Output stores: same tile-shift collapse. ----
+    let out_base = (w * v) as u64 * n as u64 * S::BYTES as u64;
+    let store = |ac: &mut AnalyticCounter,
+                 counters: &mut KernelCounters,
+                 j0: usize,
+                 tile_cols: usize,
+                 times: u64| {
+        for span in store_spans {
+            let width = span.col_hi.min(tile_cols).saturating_sub(span.col_lo);
+            if width > 0 {
+                for &r in &span.rows {
+                    if r < window_rows {
+                        ac.range(
+                            out_base + ((r * n + j0 + span.col_lo) * S::BYTES) as u64,
+                            (width * S::BYTES) as u64,
+                        );
+                    }
+                }
+            }
+            ac.store(counters, times);
+        }
+    };
+    if full_tiles > 0 {
+        store(ac, counters, 0, N_TILE, full_tiles as u64);
+    }
+    if ragged > 0 {
+        store(ac, counters, full_tiles * N_TILE, ragged, 1);
+    }
+
+    // ---- Numerics: the fused gather-round-multiply kernel. ----
+    reserve(a_tile, N_TILE * k);
+    reserve(c_tile, N_TILE * v);
+    for j0 in (0..n).step_by(N_TILE) {
+        let tile_cols = (n - j0).min(N_TILE);
+        c_tile[..N_TILE * v].fill(0.0);
+
+        for blk in 0..num_blocks {
+            let w_b = a.block_width(w, blk);
+            let cols = a.block_cols(w, blk);
+
+            for (t, &c) in cols.iter().enumerate() {
+                let brow = b.row(c as usize);
+                for i in 0..tile_cols {
+                    a_tile[i * k + t] = round_operand(brow[j0 + i].to_f32(), S::PRECISION);
+                }
+            }
+
+            // Same accumulation order as `mma_execute`: ascending t,
+            // one f32 accumulator per output cell, added to the running
+            // tile value after the block. Entries past `w_b` are +0.0
+            // products in the simulator and cannot change any sum.
+            let blk_base = blk * k * v;
+            for i in 0..tile_cols {
+                for j in 0..window_rows {
+                    let mut acc = 0.0f32;
+                    for t in 0..w_b {
+                        acc += a_tile[i * k + t] * rounded[blk_base + j * w_b + t];
+                    }
+                    c_tile[i * v + j] += acc;
+                }
+            }
+        }
+
+        for j in 0..window_rows {
+            for i in 0..tile_cols {
+                out_window[j * n + j0 + i] = S::from_f32(c_tile[i * v + j]);
+            }
+        }
+    }
+}
+
+/// Commit one column tile's dense-operand requests from the closed-form
+/// spans, clipped to the valid row (`w_b`) and column (`tile_cols`)
+/// prefixes.
+#[allow(clippy::too_many_arguments)]
+fn dense_loads<S: TcuPrecision>(
+    ac: &mut AnalyticCounter,
+    counters: &mut KernelCounters,
+    b: &DenseMatrix<S>,
+    cols: &[u32],
+    w_b: usize,
+    j0: usize,
+    tile_cols: usize,
+    spans: &[RequestSpan],
+    times: u64,
+) {
+    for span in spans {
+        let width = span.col_hi.min(tile_cols).saturating_sub(span.col_lo);
+        if width > 0 {
+            for &r in &span.rows {
+                if r < w_b {
+                    ac.range(
+                        b.addr_of(cols[r] as usize, j0 + span.col_lo),
+                        (width * S::BYTES) as u64,
+                    );
+                }
+            }
+        }
+        ac.load(TrafficClass::DenseOperand, counters, times);
+    }
+}
+
+/// Fused SDDMM (`C = (A × Bᵀ) ⊙ mask`), bit-identical to the simulated
+/// kernel. Dimension/spec assertions are the dispatching caller's job.
+pub(crate) fn sddmm_fast<S: TcuPrecision>(
+    mask: &MeBcrs<S>,
+    a: &DenseMatrix<S>,
+    b: &DenseMatrix<S>,
+) -> (MeBcrs<S>, KernelCounters) {
+    ensure_valid(mask);
+    let v = S::SHAPE.n;
+    let num_windows = mask.num_windows();
+    let mut values = vec![S::ZERO; mask.values().len()];
+
+    // Each window owns a disjoint slice of the output values array.
+    let mut slices: Vec<&mut [S]> = Vec::with_capacity(num_windows);
+    let mut rest = values.as_mut_slice();
+    for w in 0..num_windows {
+        let len = (mask.window_ptr()[w + 1] - mask.window_ptr()[w]) * v;
+        let (head, tail) = rest.split_at_mut(len);
+        slices.push(head);
+        rest = tail;
+    }
+
+    let counters = slices
+        .as_mut_slice()
+        .par_chunks_mut(WINDOW_BATCH)
+        .enumerate()
+        .map(|(chunk, windows)| {
+            SCRATCH.with(|cell| {
+                let scratch = &mut *cell.borrow_mut();
+                let mut counters = KernelCounters::default();
+                for (i, out) in windows.iter_mut().enumerate() {
+                    sddmm_window(mask, a, b, chunk * WINDOW_BATCH + i, out, scratch, &mut counters);
+                }
+                counters
+            })
+        })
+        .sum();
+
+    (mask.with_values(values), counters)
+}
+
+fn sddmm_window<S: TcuPrecision>(
+    mask: &MeBcrs<S>,
+    a: &DenseMatrix<S>,
+    b: &DenseMatrix<S>,
+    w: usize,
+    out: &mut [S],
+    scratch: &mut FastScratch,
+    counters: &mut KernelCounters,
+) {
+    let shape = S::SHAPE;
+    let v = shape.n;
+    let k = shape.k;
+    let kk = a.cols();
+    let window_rows = (mask.rows() - w * v).min(v);
+    let nv = mask.vectors_in_window(w);
+    let window_val_base = mask.window_ptr()[w] * v;
+    if nv == 0 {
+        return;
+    }
+
+    let FastScratch { rounded, rounded_b, c_tile, counter: ac, .. } = scratch;
+
+    // Column indices: one request for the whole window.
+    let win_range = mask.window_ptr()[w]..mask.window_ptr()[w + 1];
+    let win_cols = &mask.col_indices()[win_range.clone()];
+    ac.range(win_range.start as u64 * 4, nv as u64 * 4);
+    ac.load(TrafficClass::Indices, counters, 1);
+
+    let chunks = kk.div_ceil(k) as u64;
+
+    // Pre-round the window's rows of A once (reused by every group).
+    reserve(rounded, window_rows * kk);
+    for i in 0..window_rows {
+        let arow = a.row(w * v + i);
+        for t in 0..kk {
+            rounded[i * kk + t] = round_operand(arow[t].to_f32(), S::PRECISION);
+        }
+    }
+    reserve(rounded_b, VEC_GROUP * kk);
+    reserve(c_tile, VEC_GROUP * v);
+
+    for jj0 in (0..nv).step_by(VEC_GROUP) {
+        let group = (nv - jj0).min(VEC_GROUP);
+
+        counters.mma_count += chunks;
+        counters.tcu_flops += chunks * shape.flops();
+
+        // Pre-round the group's sampled rows of B.
+        for jj in 0..group {
+            let brow = b.row(win_cols[jj0 + jj] as usize);
+            for t in 0..kk {
+                rounded_b[jj * kk + t] = round_operand(brow[t].to_f32(), S::PRECISION);
+            }
+        }
+
+        // Dense loads: one A-rows and one B-rows request per k-chunk
+        // (the k-chunk stride is below a sector, so no tile collapse).
+        for k0 in (0..kk).step_by(k) {
+            let kw = (kk - k0).min(k);
+            for jj in 0..group {
+                ac.range(b.addr_of(win_cols[jj0 + jj] as usize, k0), (kw * S::BYTES) as u64);
+            }
+            ac.load(TrafficClass::DenseOperand, counters, 1);
+            for i in 0..window_rows {
+                ac.range(a.addr_of(w * v + i, k0), (kw * S::BYTES) as u64);
+            }
+            ac.load(TrafficClass::DenseOperand, counters, 1);
+        }
+
+        // Numerics: per-chunk partial sums folded in chunk order, the
+        // exact accumulation the chained MMAs perform.
+        for jj in 0..group {
+            for i in 0..window_rows {
+                let mut d = 0.0f32;
+                for k0 in (0..kk).step_by(k) {
+                    let kw = (kk - k0).min(k);
+                    let mut acc = 0.0f32;
+                    for t in 0..kw {
+                        acc += rounded_b[jj * kk + k0 + t] * rounded[i * kk + k0 + t];
+                    }
+                    d += acc;
+                }
+                c_tile[jj * v + i] = d;
+            }
+        }
+
+        // Algorithm 1 writeback, identical to the simulated kernel
+        // (including the sign of masked zero products).
+        for jj in 0..group {
+            let jv = jj0 + jj;
+            let (blk, jl) = (jv / k, jv % k);
+            for i in 0..window_rows {
+                let m = mask.block_row(w, blk, i)[jl];
+                if !m.is_zero() {
+                    let idx = mask.value_index(w, blk, i, jl) - window_val_base;
+                    out[idx] = S::from_f32(c_tile[jj * v + i] * m.to_f32());
+                }
+            }
+        }
+
+        // Store traffic: the scatter is mask-dependent, so enumerate the
+        // surviving lanes of the 4 register requests directly.
+        for reg in 0..4usize {
+            for lane in 0..32usize {
+                let g = lane >> 2;
+                let t = lane & 3;
+                let jj = g + 8 * (reg >> 1);
+                let i = t * 2 + (reg & 1);
+                if jj < group && i < window_rows {
+                    let jv = jj0 + jj;
+                    let (blk, jl) = (jv / k, jv % k);
+                    if !mask.block_row(w, blk, i)[jl].is_zero() {
+                        ac.range(mask.value_addr(w, blk, i, jl), S::BYTES as u64);
+                    }
+                }
+            }
+            ac.store(counters, 1);
+        }
+    }
+}

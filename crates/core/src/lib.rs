@@ -16,6 +16,12 @@
 //! * **SDDMM** (Section 3.4, [`sddmm`]): sampled dense-dense multiply with
 //!   the output-splitting writeback of Algorithm 1, producing the output
 //!   directly in the ME-BCRS layout the subsequent SpMM consumes.
+//! * **Dual-mode execution** ([`ExecMode`]): every kernel runs either on
+//!   the full per-lane simulator (`Simulate`) or on a fused fast path
+//!   (`Fast`) that produces bit-identical outputs and counters without
+//!   fragment materialization or transaction replay. The mode is selected
+//!   automatically — `Fast` whenever sanitize and chaos are both off —
+//!   and can be forced via the `*_with_mode` variants.
 //!
 //! Kernels execute on the [`fs_tcu`] warp-level tensor-core simulator:
 //! results are numerically faithful to the hardware datapath (FP16/TF32
@@ -39,6 +45,7 @@
 
 pub mod api;
 pub mod dispatch;
+mod fast;
 pub mod resilient;
 mod sanitize_hooks;
 pub mod sddmm;
@@ -49,12 +56,13 @@ pub mod variant;
 
 pub use api::FlashSparseMatrix;
 pub use dispatch::TranslatedMatrix;
+pub use fs_tcu::ExecMode;
 pub use resilient::{
     outputs_match, spmm_resilient, verify_sampled_rows, FallbackLevel, ResilientReport,
     VerifyPolicy, DEFAULT_TOLERANCE,
 };
-pub use sddmm::sddmm;
-pub use spmm::{spmm, spmm_fp16_k16};
+pub use sddmm::{sddmm, sddmm_with_mode};
+pub use spmm::{spmm, spmm_fp16_k16, spmm_fp16_k16_with_mode, spmm_with_mode};
 pub use thread_map::ThreadMapping;
 pub use tune::{auto_tune, TuneChoice};
 pub use variant::TcuPrecision;

@@ -19,9 +19,12 @@
 use fs_format::MeBcrs;
 use fs_matrix::DenseMatrix;
 use fs_precision::Scalar;
-use fs_tcu::{mma_execute, FragKind, Fragment, KernelCounters, TrafficClass, TransactionCounter};
+use fs_tcu::{
+    mma_execute, ExecMode, FragKind, Fragment, KernelCounters, TrafficClass, TransactionCounter,
+};
 use rayon::prelude::*;
 
+use crate::fast::{sddmm_fast, WINDOW_BATCH};
 use crate::sanitize_hooks::{validate_format, SddmmShadow, ViolationSnapshot};
 use crate::variant::TcuPrecision;
 
@@ -42,11 +45,38 @@ pub fn sddmm<S: TcuPrecision>(
     a: &DenseMatrix<S>,
     b: &DenseMatrix<S>,
 ) -> (MeBcrs<S>, KernelCounters) {
+    sddmm_with_mode(mask, a, b, ExecMode::auto())
+}
+
+/// [`sddmm`] with an explicit [`ExecMode`] instead of the automatic
+/// selection. Both modes produce bit-identical output values and
+/// counters; `Fast` skips the simulator scaffolding and is the
+/// production path whenever sanitize and chaos are off.
+///
+/// # Panics
+/// Panics on spec or dimension mismatch, or — in `Fast` mode — if an
+/// unwitnessed `mask` fails the up-front structural validation.
+pub fn sddmm_with_mode<S: TcuPrecision>(
+    mask: &MeBcrs<S>,
+    a: &DenseMatrix<S>,
+    b: &DenseMatrix<S>,
+    mode: ExecMode,
+) -> (MeBcrs<S>, KernelCounters) {
     assert_eq!(mask.spec(), S::SPEC, "format spec must match the kernel precision");
     assert_eq!(a.rows(), mask.rows(), "A rows must match mask rows");
     assert_eq!(b.rows(), mask.cols(), "B rows must match mask cols");
     assert_eq!(a.cols(), b.cols(), "A and B must share the inner dimension K");
+    match mode {
+        ExecMode::Simulate => sddmm_simulated(mask, a, b),
+        ExecMode::Fast => sddmm_fast(mask, a, b),
+    }
+}
 
+fn sddmm_simulated<S: TcuPrecision>(
+    mask: &MeBcrs<S>,
+    a: &DenseMatrix<S>,
+    b: &DenseMatrix<S>,
+) -> (MeBcrs<S>, KernelCounters) {
     let v = S::SHAPE.n;
     let num_windows = mask.num_windows();
     let mut values = vec![S::ZERO; mask.values().len()];
@@ -67,6 +97,7 @@ pub fn sddmm<S: TcuPrecision>(
 
     let mut counters: KernelCounters = slices
         .into_par_iter()
+        .with_min_len(WINDOW_BATCH)
         .enumerate()
         .map(|(w, out)| simulate_window(mask, a, b, w, out, shadow.as_ref()))
         .sum();

@@ -21,10 +21,12 @@
 use fs_format::MeBcrs;
 use fs_matrix::DenseMatrix;
 use fs_tcu::{
-    mma_execute, FragKind, Fragment, KernelCounters, ShadowRegion, TrafficClass, TransactionCounter,
+    mma_execute, ExecMode, FragKind, Fragment, KernelCounters, ShadowRegion, TrafficClass,
+    TransactionCounter,
 };
 use rayon::prelude::*;
 
+use crate::fast::{spmm_fast, WINDOW_BATCH};
 use crate::sanitize_hooks::{validate_format, SpmmShadow, ViolationSnapshot};
 use crate::thread_map::{block_requests, ThreadMapping};
 use crate::variant::TcuPrecision;
@@ -47,8 +49,31 @@ pub fn spmm<S: TcuPrecision>(
     b: &DenseMatrix<S>,
     mapping: ThreadMapping,
 ) -> (DenseMatrix<S>, KernelCounters) {
+    spmm_with_mode(a, b, mapping, ExecMode::auto())
+}
+
+/// [`spmm`] with an explicit [`ExecMode`] instead of the automatic
+/// selection. Both modes produce bit-identical outputs and counters;
+/// `Fast` skips the simulator scaffolding (fragments, per-lane
+/// transaction replay, per-launch validation of witnessed matrices) and
+/// is the production path whenever sanitize and chaos are off.
+///
+/// # Panics
+/// Panics if `a` was built with a different spec than `S` requires, if
+/// the inner dimensions disagree, or — in `Fast` mode — if an
+/// unwitnessed `a` fails the up-front structural validation.
+pub fn spmm_with_mode<S: TcuPrecision>(
+    a: &MeBcrs<S>,
+    b: &DenseMatrix<S>,
+    mapping: ThreadMapping,
+    mode: ExecMode,
+) -> (DenseMatrix<S>, KernelCounters) {
     assert_eq!(a.spec(), S::SPEC, "format spec must match the kernel precision");
-    spmm_shaped(a, b, mapping, S::SHAPE)
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    match mode {
+        ExecMode::Simulate => spmm_shaped(a, b, mapping, S::SHAPE),
+        ExecMode::Fast => spmm_fast(a, b, mapping, S::SHAPE),
+    }
 }
 
 /// FlashSparse SpMM with the wide FP16 MMA (`mma.m16n8k16`): sparse TC
@@ -61,12 +86,32 @@ pub fn spmm_fp16_k16(
     b: &DenseMatrix<fs_precision::F16>,
     mapping: ThreadMapping,
 ) -> (DenseMatrix<fs_precision::F16>, KernelCounters) {
+    spmm_fp16_k16_with_mode(a, b, mapping, ExecMode::auto())
+}
+
+/// [`spmm_fp16_k16`] with an explicit [`ExecMode`] (see
+/// [`spmm_with_mode`] for the mode contract).
+///
+/// # Panics
+/// Panics if `a` is not in the k=16 layout, if the inner dimensions
+/// disagree, or — in `Fast` mode — if an unwitnessed `a` fails the
+/// up-front structural validation.
+pub fn spmm_fp16_k16_with_mode(
+    a: &MeBcrs<fs_precision::F16>,
+    b: &DenseMatrix<fs_precision::F16>,
+    mapping: ThreadMapping,
+    mode: ExecMode,
+) -> (DenseMatrix<fs_precision::F16>, KernelCounters) {
     assert_eq!(
         a.spec(),
         fs_format::TcFormatSpec::FLASH_FP16_K16,
         "k16 kernel requires the k=16 layout"
     );
-    spmm_shaped(a, b, mapping, fs_tcu::MmaShape::M16N8K16_F16)
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    match mode {
+        ExecMode::Simulate => spmm_shaped(a, b, mapping, fs_tcu::MmaShape::M16N8K16_F16),
+        ExecMode::Fast => spmm_fast(a, b, mapping, fs_tcu::MmaShape::M16N8K16_F16),
+    }
 }
 
 fn spmm_shaped<S: TcuPrecision>(
@@ -93,6 +138,7 @@ fn spmm_shaped<S: TcuPrecision>(
         let shadow = SpmmShadow::new_if_enabled(a, b, (rows * n * S::BYTES) as u64);
         out.as_mut_slice()
             .par_chunks_mut(v * n)
+            .with_min_len(WINDOW_BATCH)
             .enumerate()
             .map(|(w, out_window)| {
                 simulate_window(a, b, mapping, w, out_window, shape, shadow.as_ref())

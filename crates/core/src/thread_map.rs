@@ -119,10 +119,74 @@ fn coalesced_requests(rows: usize, elem_bytes: u32, addr: AddrFn<'_>) -> Vec<Vec
     requests
 }
 
+/// One warp request of [`block_requests`] in closed form: the four block
+/// rows its 32 lanes touch and the contiguous column span each row covers.
+///
+/// Both mappings share this shape: a request's 8 column groups always
+/// cover adjacent columns, and its 4 lane quadruples always cover 4
+/// distinct rows. The fast path clips the span to the valid column prefix
+/// (`tile_cols`) and keeps only rows below the valid row limit, which is
+/// exactly the traffic the per-lane `addr` closure admits — coalesced
+/// widened/split pairs cover the same bytes either way, so byte ranges
+/// (and therefore sectors and ideal bytes) are identical.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct RequestSpan {
+    /// The four distinct block rows of the request's lanes.
+    pub rows: [usize; 4],
+    /// First column of the span (inclusive).
+    pub col_lo: usize,
+    /// Last column of the span (exclusive).
+    pub col_hi: usize,
+}
+
+/// The closed-form counterpart of [`block_requests`]: one [`RequestSpan`]
+/// per issued warp request, in the same order.
+pub(crate) fn block_request_spans(mapping: ThreadMapping, rows: usize) -> Vec<RequestSpan> {
+    assert!(rows == 4 || rows == 8 || rows == 16, "TC blocks are 4, 8 or 16 rows tall");
+    match mapping {
+        ThreadMapping::Direct => {
+            let regs = rows * 16 / 32;
+            (0..regs)
+                .map(|reg| {
+                    let (base, lo) = match rows {
+                        8 => (reg & 1, 8 * (reg >> 1)),
+                        4 => (0, 8 * reg),
+                        _ => ((reg & 1) + 8 * (reg >> 2), 8 * ((reg >> 1) & 1)),
+                    };
+                    let step = if rows == 4 { 1 } else { 2 };
+                    RequestSpan {
+                        rows: [base, base + step, base + 2 * step, base + 3 * step],
+                        col_lo: lo,
+                        col_hi: lo + 8,
+                    }
+                })
+                .collect()
+        }
+        ThreadMapping::MemoryEfficient => {
+            let row_pairs = (rows / 4).max(1);
+            (0..row_pairs)
+                .map(|dr| {
+                    let base = match rows {
+                        8 => dr,
+                        4 => 0,
+                        _ => (dr & 1) + 8 * (dr >> 1),
+                    };
+                    let step = if rows == 4 { 1 } else { 2 };
+                    RequestSpan {
+                        rows: [base, base + step, base + 2 * step, base + 3 * step],
+                        col_lo: 0,
+                        col_hi: 16,
+                    }
+                })
+                .collect()
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fs_tcu::{KernelCounters, TransactionCounter};
+    use fs_tcu::{AnalyticCounter, KernelCounters, TrafficClass, TransactionCounter};
 
     /// Row-major 8×16 FP16 block, fully resident.
     fn fp16_addr(row: usize, col: usize) -> Option<u64> {
@@ -193,6 +257,61 @@ mod tests {
         let reqs = block_requests(ThreadMapping::MemoryEfficient, 8, 2, &addr);
         let n_accesses: usize = reqs.iter().map(|r| r.len()).sum();
         assert_eq!(n_accesses, 2 * 32 * 2, "two scalar accesses per lane per request");
+    }
+
+    #[test]
+    fn spans_reproduce_block_requests_exactly() {
+        // The fast path's closed-form spans must generate the same
+        // transactions and ideal bytes as the per-lane replay for every
+        // mapping × block height × element size × ragged column prefix ×
+        // valid-row limit, under several address layouts (contiguous rows
+        // that share sectors, and scattered rows like a sparse gather).
+        let strides: &[u64] = &[16, 23, 37 * 64];
+        for mapping in [ThreadMapping::Direct, ThreadMapping::MemoryEfficient] {
+            for rows in [4usize, 8, 16] {
+                for eb in [2u32, 4] {
+                    for &stride in strides {
+                        for tile_cols in 1..=16usize {
+                            for row_limit in 0..=rows {
+                                let row_base = move |r: usize| (r as u64 * stride + 5) * eb as u64;
+                                let addr = |r: usize, c: usize| {
+                                    if r < row_limit && c < tile_cols {
+                                        Some(row_base(r) + c as u64 * eb as u64)
+                                    } else {
+                                        None
+                                    }
+                                };
+                                let mut tc = TransactionCounter::new();
+                                let mut k_ref = KernelCounters::default();
+                                for req in block_requests(mapping, rows, eb, &addr) {
+                                    tc.warp_load_as(TrafficClass::DenseOperand, req, &mut k_ref);
+                                }
+                                let mut ac = AnalyticCounter::new();
+                                let mut k = KernelCounters::default();
+                                for span in block_request_spans(mapping, rows) {
+                                    let lo = span.col_lo;
+                                    let width = span.col_hi.min(tile_cols).saturating_sub(lo);
+                                    for &r in &span.rows {
+                                        if r < row_limit {
+                                            ac.range(
+                                                row_base(r) + lo as u64 * eb as u64,
+                                                (width * eb as usize) as u64,
+                                            );
+                                        }
+                                    }
+                                    ac.load(TrafficClass::DenseOperand, &mut k, 1);
+                                }
+                                assert_eq!(
+                                    k, k_ref,
+                                    "{mapping:?} rows={rows} eb={eb} stride={stride} \
+                                     tile_cols={tile_cols} row_limit={row_limit}"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,121 @@
+//! Dual-mode equivalence properties: the fast path must be
+//! **bit-identical** to the simulator — every output element and every
+//! [`KernelCounters`] field — across precisions, MMA shapes, thread
+//! mappings, and ragged shapes (rows not a multiple of the window,
+//! dense columns not a multiple of the 16-wide tile, ragged last
+//! blocks, ragged K).
+//!
+//! No sanitize/chaos scope is held here, so no global mode flags are
+//! touched and the properties can run in parallel. The mode-routing
+//! regression tests live in `exec_mode_regression.rs` (their scopes
+//! would otherwise flip concurrently-running launches into Simulate).
+
+use flashsparse::{
+    sddmm_with_mode, spmm_fp16_k16_with_mode, spmm_with_mode, TcuPrecision, ThreadMapping,
+};
+use fs_format::{MeBcrs, TcFormatSpec};
+use fs_matrix::gen::random_uniform;
+use fs_matrix::{CsrMatrix, DenseMatrix};
+use fs_precision::{Scalar, Tf32, F16};
+use fs_tcu::ExecMode;
+use proptest::prelude::*;
+
+const MAPPINGS: [ThreadMapping; 2] = [ThreadMapping::Direct, ThreadMapping::MemoryEfficient];
+
+/// Bit pattern of every stored element, widened exactly to f32 (the
+/// widening preserves distinct f16/tf32 payloads including signed
+/// zeros, so equal bit vectors ⇔ bit-identical storage).
+fn dense_bits<S: Scalar>(m: &DenseMatrix<S>) -> Vec<u32> {
+    m.as_slice().iter().map(|v| v.to_f32().to_bits()).collect()
+}
+
+fn value_bits<S: Scalar>(m: &MeBcrs<S>) -> Vec<u32> {
+    m.values().iter().map(|v| v.to_f32().to_bits()).collect()
+}
+
+/// Sparse matrices with ragged windows and ragged last blocks, plus a
+/// dense operand whose column count strays off the 16-wide tile.
+fn arb_spmm_case() -> impl Strategy<Value = (CsrMatrix<f32>, usize, u64)> {
+    (1usize..90, 1usize..70, 0usize..500, 1usize..40, 0u64..10_000).prop_map(
+        |(r, c, nnz, n, seed)| {
+            (CsrMatrix::from_coo(&random_uniform::<f32>(r, c, nnz, seed)), n, seed)
+        },
+    )
+}
+
+fn check_spmm<S: TcuPrecision>(csr: &CsrMatrix<f32>, n: usize, seed: u64) {
+    let me = MeBcrs::from_csr(&csr.cast::<S>(), S::SPEC);
+    let b = DenseMatrix::<S>::from_fn(csr.cols(), n, |r, c| {
+        ((((r * 7 + c * 5 + seed as usize) % 17) as f32) - 8.0) * 0.25
+    });
+    for mapping in MAPPINGS {
+        let (c_sim, k_sim) = spmm_with_mode(&me, &b, mapping, ExecMode::Simulate);
+        let (c_fast, k_fast) = spmm_with_mode(&me, &b, mapping, ExecMode::Fast);
+        assert_eq!(dense_bits(&c_sim), dense_bits(&c_fast), "{} {mapping:?} output", S::NAME);
+        assert_eq!(k_sim, k_fast, "{} {mapping:?} counters", S::NAME);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// FP16 `m16n8k8` SpMM: outputs and counters bit-identical.
+    #[test]
+    fn spmm_fp16_fast_is_bit_identical(case in arb_spmm_case()) {
+        let (csr, n, seed) = case;
+        check_spmm::<F16>(&csr, n, seed);
+    }
+
+    /// TF32 `m16n8k4` SpMM: outputs and counters bit-identical.
+    #[test]
+    fn spmm_tf32_fast_is_bit_identical(case in arb_spmm_case()) {
+        let (csr, n, seed) = case;
+        check_spmm::<Tf32>(&csr, n, seed);
+    }
+
+    /// FP16 `m16n8k16` SpMM (wide blocks): outputs and counters
+    /// bit-identical.
+    #[test]
+    fn spmm_k16_fast_is_bit_identical(case in arb_spmm_case()) {
+        let (csr, n, seed) = case;
+        let me = MeBcrs::from_csr(&csr.cast::<F16>(), TcFormatSpec::FLASH_FP16_K16);
+        let b = DenseMatrix::<F16>::from_fn(csr.cols(), n, |r, c| {
+            ((((r * 3 + c * 11 + seed as usize) % 13) as f32) - 6.0) * 0.25
+        });
+        for mapping in MAPPINGS {
+            let (c_sim, k_sim) = spmm_fp16_k16_with_mode(&me, &b, mapping, ExecMode::Simulate);
+            let (c_fast, k_fast) = spmm_fp16_k16_with_mode(&me, &b, mapping, ExecMode::Fast);
+            prop_assert_eq!(dense_bits(&c_sim), dense_bits(&c_fast), "{:?} output", mapping);
+            prop_assert_eq!(k_sim, k_fast, "{:?} counters", mapping);
+        }
+    }
+
+    /// SDDMM (FP16 and TF32, ragged K): output values and counters
+    /// bit-identical. The mask keeps its generated (possibly negative)
+    /// values so the masked-scale writeback path is exercised too.
+    #[test]
+    fn sddmm_fast_is_bit_identical(
+        case in (1usize..70, 1usize..70, 0usize..350, 1usize..40, 0u64..10_000)
+            .prop_map(|(r, c, nnz, kk, seed)| {
+                (CsrMatrix::from_coo(&random_uniform::<f32>(r, c, nnz, seed)), kk, seed)
+            })
+    ) {
+        let (csr, kk, seed) = case;
+        fn check<S: TcuPrecision>(csr: &CsrMatrix<f32>, kk: usize, seed: u64) {
+            let mask = MeBcrs::from_csr(&csr.cast::<S>(), S::SPEC);
+            let a = DenseMatrix::<S>::from_fn(csr.rows(), kk, |r, c| {
+                ((((r * 5 + c * 3 + seed as usize) % 11) as f32) - 5.0) * 0.25
+            });
+            let b = DenseMatrix::<S>::from_fn(csr.cols(), kk, |r, c| {
+                ((((r * 2 + c * 7 + seed as usize) % 9) as f32) - 4.0) * 0.25
+            });
+            let (o_sim, k_sim) = sddmm_with_mode(&mask, &a, &b, ExecMode::Simulate);
+            let (o_fast, k_fast) = sddmm_with_mode(&mask, &a, &b, ExecMode::Fast);
+            assert_eq!(value_bits(&o_sim), value_bits(&o_fast), "{} values", S::NAME);
+            assert_eq!(o_sim.nnz(), o_fast.nnz(), "{} nnz", S::NAME);
+            assert_eq!(k_sim, k_fast, "{} counters", S::NAME);
+        }
+        check::<F16>(&csr, kk, seed);
+        check::<Tf32>(&csr, kk, seed);
+    }
+}

@@ -1,0 +1,74 @@
+//! Mode-routing regressions: enabling the sanitizer or chaos injection
+//! must force the kernels back onto the full simulator. These tests
+//! flip process-global mode flags, so they live in their own test
+//! binary (separate process from the equivalence properties).
+
+use flashsparse::{spmm, ThreadMapping};
+use fs_chaos::{ChaosScope, FaultPlan, FaultSite};
+use fs_format::{MeBcrs, TcFormatSpec};
+use fs_matrix::gen::random_uniform;
+use fs_matrix::{CsrMatrix, DenseMatrix};
+use fs_precision::F16;
+use fs_tcu::{ExecMode, SanitizeScope};
+
+fn small_launch() {
+    let csr = CsrMatrix::from_coo(&random_uniform::<F16>(32, 32, 200, 5));
+    let me = MeBcrs::from_csr(&csr, TcFormatSpec::FLASH_FP16);
+    let b = DenseMatrix::<F16>::from_fn(32, 16, |r, c| ((r + c) % 3) as f32);
+    let (_, counters) = spmm(&me, &b, ThreadMapping::MemoryEfficient);
+    assert!(counters.mma_count > 0);
+}
+
+#[test]
+fn chaos_forces_the_simulate_path() {
+    // FragBitFlip decisions are only evaluated inside the simulator's
+    // mma_execute; a launch that (wrongly) took the fast path would
+    // leave the evaluation counter untouched.
+    let plan = FaultPlan::new(3).with_rate(FaultSite::FragBitFlip, 0.0001);
+    let scope = ChaosScope::install(plan);
+    assert_eq!(ExecMode::auto(), ExecMode::Simulate);
+    let before = fs_chaos::report();
+    small_launch();
+    let after = fs_chaos::report().since(&before);
+    assert!(
+        after.evaluated[FaultSite::FragBitFlip.index()] > 0,
+        "chaos-armed launch must run on the simulator"
+    );
+    drop(scope);
+}
+
+#[test]
+fn sanitize_forces_the_simulate_path() {
+    // A corrupt unwitnessed matrix distinguishes the paths: the
+    // simulator records a violation, while the fast path would panic
+    // before producing counters.
+    let _scope = SanitizeScope::record();
+    assert_eq!(ExecMode::auto(), ExecMode::Simulate);
+    let csr = CsrMatrix::from_coo(&random_uniform::<F16>(32, 32, 200, 8));
+    let me = MeBcrs::from_csr(&csr, TcFormatSpec::FLASH_FP16);
+    let mut cols = me.col_indices().to_vec();
+    cols.swap(0, 1);
+    let bad = MeBcrs::from_raw_parts(
+        me.spec(),
+        me.rows(),
+        me.cols(),
+        me.window_ptr().to_vec(),
+        cols,
+        me.values().to_vec(),
+        me.nnz(),
+    );
+    let b = DenseMatrix::<F16>::from_fn(32, 16, |r, c| ((r + c) % 3) as f32);
+    let (_, counters) = spmm(&bad, &b, ThreadMapping::MemoryEfficient);
+    assert!(counters.sanitizer_violations > 0, "the simulate path must have validated");
+    let _ = fs_tcu::sanitize::take_reports();
+}
+
+#[test]
+fn quiet_process_defaults_to_fast() {
+    // Neither switch armed: automatic selection is Fast. Holding both
+    // scopes (sanitize off, an all-zero-rate chaos plan) serializes
+    // against the armed tests above while leaving both switches off.
+    let _sanitize = SanitizeScope::off();
+    let _chaos = ChaosScope::install(FaultPlan::new(0));
+    assert_eq!(ExecMode::auto(), ExecMode::Fast);
+}

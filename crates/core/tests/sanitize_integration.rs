@@ -9,7 +9,7 @@ use fs_matrix::gen::random_uniform;
 use fs_matrix::{CsrMatrix, DenseMatrix};
 use fs_precision::{Tf32, F16};
 use fs_tcu::sanitize::take_reports;
-use fs_tcu::SanitizeScope;
+use fs_tcu::{ExecMode, SanitizeScope};
 
 #[test]
 fn spmm_is_clean_under_full_sanitize() {
@@ -82,14 +82,12 @@ fn corrupt_format_surfaces_in_kernel_counters() {
     );
 }
 
-#[test]
-fn sanitize_off_reports_nothing_for_corrupt_format() {
-    let _scope = SanitizeScope::off();
+fn corrupt_matrix() -> MeBcrs<F16> {
     let csr = CsrMatrix::from_coo(&random_uniform::<F16>(32, 32, 200, 8));
     let me = MeBcrs::from_csr(&csr, TcFormatSpec::FLASH_FP16);
     let mut cols = me.col_indices().to_vec();
     cols.swap(0, 1);
-    let bad = MeBcrs::from_raw_parts(
+    MeBcrs::from_raw_parts(
         me.spec(),
         me.rows(),
         me.cols(),
@@ -97,9 +95,31 @@ fn sanitize_off_reports_nothing_for_corrupt_format() {
         cols,
         me.values().to_vec(),
         me.nnz(),
-    );
+    )
+}
+
+#[test]
+fn sanitize_off_reports_nothing_for_corrupt_format() {
+    // Pinned to Simulate: with the sanitizer off the simulated kernel
+    // runs corrupt input silently (no recording is active). The fast
+    // path has a different contract, tested below.
+    let _scope = SanitizeScope::off();
+    let bad = corrupt_matrix();
     let b = DenseMatrix::<F16>::from_fn(32, 16, |r, c| ((r + c) % 3) as f32);
-    let (_, counters) = spmm(&bad, &b, ThreadMapping::MemoryEfficient);
+    let (_, counters) =
+        flashsparse::spmm_with_mode(&bad, &b, ThreadMapping::MemoryEfficient, ExecMode::Simulate);
     assert_eq!(counters.sanitizer_violations, 0);
     assert!(take_reports().is_empty());
+}
+
+#[test]
+#[should_panic(expected = "well-formed ME-BCRS")]
+fn fast_path_refuses_corrupt_unwitnessed_format() {
+    // The fast path has no sanitizer to report against, so an unwitnessed
+    // matrix that fails the one-time up-front validation is a hard error
+    // rather than a silent wrong answer.
+    let _scope = SanitizeScope::off();
+    let bad = corrupt_matrix();
+    let b = DenseMatrix::<F16>::from_fn(32, 16, |r, c| ((r + c) % 3) as f32);
+    let _ = flashsparse::spmm_with_mode(&bad, &b, ThreadMapping::MemoryEfficient, ExecMode::Fast);
 }

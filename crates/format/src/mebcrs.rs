@@ -20,7 +20,7 @@ use rayon::prelude::*;
 use crate::spec::TcFormatSpec;
 
 /// A sparse matrix in ME-BCRS form.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug)]
 pub struct MeBcrs<S: Scalar> {
     spec: TcFormatSpec,
     rows: usize,
@@ -31,6 +31,26 @@ pub struct MeBcrs<S: Scalar> {
     /// Nonzeros of the original matrix (excluding fill zeros inside
     /// nonzero vectors) — kept for statistics.
     nnz: usize,
+    /// Structural-validity witness: `true` when the arrays are known to
+    /// satisfy every [`MeBcrs::validate`] invariant ([`MeBcrs::from_csr`]
+    /// guarantees it by construction). Kernels on the fast execution path
+    /// skip their per-launch format walk when the witness is set;
+    /// [`MeBcrs::from_raw_parts`] leaves it unset.
+    validated: bool,
+}
+
+/// Equality compares the matrix itself (spec, shape, and arrays); the
+/// `validated` witness is provenance metadata, not part of the value.
+impl<S: Scalar> PartialEq for MeBcrs<S> {
+    fn eq(&self, other: &Self) -> bool {
+        self.spec == other.spec
+            && self.rows == other.rows
+            && self.cols == other.cols
+            && self.nnz == other.nnz
+            && self.window_ptr == other.window_ptr
+            && self.col_indices == other.col_indices
+            && self.values == other.values
+    }
 }
 
 impl<S: Scalar> MeBcrs<S> {
@@ -120,6 +140,10 @@ impl<S: Scalar> MeBcrs<S> {
             col_indices,
             values,
             nnz: csr.nnz(),
+            // Correct by construction: pass 1 emits sorted distinct
+            // columns and a monotone prefix sum, pass 2 only scatters
+            // values (debug builds re-check below).
+            validated: true,
         };
         #[cfg(debug_assertions)]
         {
@@ -148,7 +172,25 @@ impl<S: Scalar> MeBcrs<S> {
         values: Vec<S>,
         nnz: usize,
     ) -> Self {
-        MeBcrs { spec, rows, cols, window_ptr, col_indices, values, nnz }
+        MeBcrs { spec, rows, cols, window_ptr, col_indices, values, nnz, validated: false }
+    }
+
+    /// Whether this matrix carries the structural-validity witness (see
+    /// the field docs): `true` means every [`MeBcrs::validate`] invariant
+    /// is known to hold and per-launch re-validation can be skipped.
+    #[inline]
+    pub fn is_validated(&self) -> bool {
+        self.validated
+    }
+
+    /// Run [`MeBcrs::validate`] and set the witness when it comes back
+    /// clean. Returns the witness state afterwards — `false` means the
+    /// arrays are malformed and the witness stays unset.
+    pub fn mark_validated(&mut self) -> bool {
+        if !self.validated {
+            self.validated = self.validate().is_empty();
+        }
+        self.validated
     }
 
     /// The format spec (vector height, block width).
@@ -286,6 +328,9 @@ impl<S: Scalar> MeBcrs<S> {
             col_indices: self.col_indices.clone(),
             values,
             nnz,
+            // The structure is cloned verbatim, so the witness carries
+            // over (validity never depends on the value payload).
+            validated: self.validated,
         }
     }
 
@@ -487,6 +532,44 @@ mod tests {
         assert_eq!(me.num_vectors(), 0);
         assert_eq!(me.num_blocks(), 0);
         assert_eq!(me.to_dense(), csr.to_dense());
+    }
+
+    #[test]
+    fn validity_witness_follows_provenance() {
+        let csr = figure2_matrix();
+        let me = MeBcrs::from_csr(&csr, TcFormatSpec::FLASH_FP16);
+        assert!(me.is_validated(), "from_csr is correct by construction");
+        assert!(me.with_values(me.values().to_vec()).is_validated(), "structure clone carries it");
+        assert!(me.clone().is_validated());
+
+        // Raw assembly starts unwitnessed even when the arrays are fine;
+        // mark_validated runs the checks and sets it.
+        let mut raw = MeBcrs::from_raw_parts(
+            me.spec(),
+            me.rows(),
+            me.cols(),
+            me.window_ptr().to_vec(),
+            me.col_indices().to_vec(),
+            me.values().to_vec(),
+            me.nnz(),
+        );
+        assert!(!raw.is_validated());
+        assert_eq!(raw, me, "the witness is metadata, not part of the value");
+        assert!(raw.mark_validated());
+        assert!(raw.is_validated());
+
+        // A malformed matrix never earns the witness.
+        let mut bad = MeBcrs::<f32>::from_raw_parts(
+            TcFormatSpec::FLASH_FP16,
+            8,
+            8,
+            vec![0, 2],
+            vec![5, 3], // not ascending
+            vec![0.0; 16],
+            2,
+        );
+        assert!(!bad.mark_validated());
+        assert!(!bad.is_validated());
     }
 
     #[test]

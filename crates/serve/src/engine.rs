@@ -32,7 +32,7 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use flashsparse::{
-    auto_tune, spmm_resilient, FallbackLevel, TranslatedMatrix, TuneChoice, VerifyPolicy,
+    auto_tune, spmm_resilient, ExecMode, FallbackLevel, TranslatedMatrix, TuneChoice, VerifyPolicy,
 };
 use fs_chaos::{BreakerConfig, CircuitBreaker, FaultSite};
 use fs_matrix::{CsrMatrix, DenseMatrix};
@@ -314,6 +314,9 @@ struct Inner {
     fallbacks_default: AtomicU64,
     fallbacks_scalar: AtomicU64,
     breaker_bypasses: AtomicU64,
+    exec_fast: AtomicU64,
+    exec_simulate: AtomicU64,
+    validate_skips: AtomicU64,
 }
 
 impl Inner {
@@ -358,6 +361,9 @@ impl ServeEngine {
             fallbacks_default: AtomicU64::new(0),
             fallbacks_scalar: AtomicU64::new(0),
             breaker_bypasses: AtomicU64::new(0),
+            exec_fast: AtomicU64::new(0),
+            exec_simulate: AtomicU64::new(0),
+            validate_skips: AtomicU64::new(0),
         });
         let workers = Arc::new(Mutex::new(
             (0..cfg.workers).map(|_| Some(spawn_worker(Arc::clone(&inner)))).collect::<Vec<_>>(),
@@ -536,6 +542,17 @@ impl ServeEngine {
         )
     }
 
+    /// Execution-mode accounting: `(fast launches, simulate launches,
+    /// validate-skip hits)`. Breaker-bypassed requests run on the scalar
+    /// path and count under neither mode.
+    pub fn exec_stats(&self) -> (u64, u64, u64) {
+        (
+            self.inner.exec_fast.load(Ordering::Relaxed),
+            self.inner.exec_simulate.load(Ordering::Relaxed),
+            self.inner.validate_skips.load(Ordering::Relaxed),
+        )
+    }
+
     /// Circuit-breaker trips summed over every registered matrix.
     pub fn breaker_trips(&self) -> u64 {
         self.inner.breakers.lock().values().map(CircuitBreaker::trips).sum()
@@ -554,6 +571,7 @@ impl ServeEngine {
         let (registered, registered_bytes) = self.registered_stats();
         let (verify_failures, fallbacks_default, fallbacks_scalar, breaker_bypasses) =
             self.resilience_stats();
+        let (exec_fast, exec_simulate, validate_skips) = self.exec_stats();
         let chaos_plan = match fs_chaos::inject::active_plan() {
             Some(plan) => format!("\"{}\"", json_escape(&plan.to_string())),
             None => "null".to_string(),
@@ -568,6 +586,8 @@ impl ServeEngine {
              \"resilience\":{{\"verify\":{},\"verify_failures\":{verify_failures},\
              \"fallbacks_default\":{fallbacks_default},\"fallbacks_scalar\":{fallbacks_scalar},\
              \"breaker_trips\":{},\"breaker_bypasses\":{breaker_bypasses}}},\
+             \"exec\":{{\"fast\":{exec_fast},\"simulate\":{exec_simulate},\
+             \"validate_skips\":{validate_skips}}},\
              \"chaos\":{{\"enabled\":{},\"plan\":{chaos_plan},\"faults\":{}}},\
              \"tenants\":{tenants}}}",
             cfg.workers,
@@ -835,6 +855,18 @@ fn execute_batch(inner: &Arc<Inner>, batch: &[Job]) -> (Vec<Executed>, bool) {
 
     let n_hint = batch[0].b.cols().max(1);
     let (format, cache_hit) = resolve_format(inner, &reg, n_hint);
+    // One mode decision per batch: the switches it reads are process-wide
+    // and launch-independent, so every launch below shares it.
+    let mode = ExecMode::auto();
+    match mode {
+        ExecMode::Fast => inner.exec_fast.fetch_add(batch.len() as u64, Ordering::Relaxed),
+        ExecMode::Simulate => inner.exec_simulate.fetch_add(batch.len() as u64, Ordering::Relaxed),
+    };
+    if mode.is_fast() && format.translated.is_validated() {
+        // Fast launches on a witnessed cached format skip the per-launch
+        // validation walk entirely — the cache's validate-once payoff.
+        inner.validate_skips.fetch_add(batch.len() as u64, Ordering::Relaxed);
+    }
     let policy = VerifyPolicy {
         sample_rows: inner.cfg.verify_sample_rows,
         tolerance: inner.cfg.verify_tolerance,
@@ -1174,9 +1206,28 @@ mod tests {
         let _ = e.spmm_blocking(request(&info, 8));
         let j = e.metrics_json();
         assert!(j.contains("\"cache\":{"));
+        assert!(j.contains("\"exec\":{\"fast\":"));
         assert!(j.contains("\"tenants\":{\"t0\":{"));
         assert!(j.contains("\"counters\":{\"mma_count\":"));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
+        e.shutdown();
+    }
+
+    #[test]
+    fn exec_stats_count_every_tcu_launch() {
+        let (e, info, _) = engine(EngineConfig::default());
+        for _ in 0..5 {
+            let outcome = e.spmm_blocking(request(&info, 8)).expect("admitted");
+            assert!(matches!(outcome, SpmmOutcome::Done(_)));
+        }
+        let (fast, simulate, skips) = e.exec_stats();
+        // Every launch lands in exactly one mode bucket (concurrent tests
+        // in this binary may arm chaos, flipping the auto selection, so
+        // only the sum is pinned); validate skips happen only on fast
+        // launches, and translation always sets the witness, so every
+        // fast launch skips.
+        assert_eq!(fast + simulate, 5);
+        assert_eq!(skips, fast);
         e.shutdown();
     }
 }

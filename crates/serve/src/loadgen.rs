@@ -148,6 +148,14 @@ pub struct LoadReport {
     pub retried: u64,
     /// Chaos mode: responses served from a fallback rung (not tuned).
     pub fallbacks: u64,
+    /// Server-side launches executed on the fast path (from the
+    /// engine's cumulative metrics, fetched at the end of the run).
+    pub fast_launches: u64,
+    /// Server-side launches executed on the full simulator.
+    pub simulate_launches: u64,
+    /// Fast launches that skipped the per-launch format validation
+    /// because the cached format carries the translation-time witness.
+    pub validate_skips: u64,
 }
 
 impl LoadReport {
@@ -166,7 +174,8 @@ impl LoadReport {
             "{{\"mode\":\"{}\",\"completed\":{},\"rejected\":{},\"timed_out\":{},\"errors\":{},\
              \"cache_hits\":{},\"cache_hit_rate\":{:.6},\"duration_ms\":{},\"rps\":{:.2},\
              \"p50_us\":{},\"p95_us\":{},\"p99_us\":{},\"mean_us\":{},\"max_batch\":{},\
-             \"wrong\":{},\"retried\":{},\"fallbacks\":{}}}",
+             \"wrong\":{},\"retried\":{},\"fallbacks\":{},\
+             \"fast_launches\":{},\"simulate_launches\":{},\"validate_skips\":{}}}",
             self.mode,
             self.completed,
             self.rejected,
@@ -183,9 +192,25 @@ impl LoadReport {
             self.max_batch,
             self.wrong,
             self.retried,
-            self.fallbacks
+            self.fallbacks,
+            self.fast_launches,
+            self.simulate_launches,
+            self.validate_skips
         )
     }
+}
+
+/// Pull a `"key":123` integer out of a JSON fragment (first occurrence
+/// wins; callers narrow the fragment to the section they mean).
+fn extract_u64(json: &str, key: &str) -> u64 {
+    let needle = format!("\"{key}\":");
+    json.find(&needle)
+        .and_then(|i| {
+            let rest = &json[i + needle.len()..];
+            let end = rest.find(|c: char| !c.is_ascii_digit()).unwrap_or(rest.len());
+            rest[..end].parse().ok()
+        })
+        .unwrap_or(0)
 }
 
 /// Percentile of a sorted latency list (nearest-rank).
@@ -413,6 +438,17 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadReport, String> {
     } else {
         latencies.iter().sum::<u64>() / latencies.len() as u64
     };
+    // Execution-mode accounting from the server's cumulative metrics
+    // (best effort: a run against an unreachable/older server reports
+    // zeros rather than failing the whole workload).
+    if let Ok(mut c) = ServeClient::connect_with_retry(&cfg.addr, cfg.ready_timeout) {
+        if let Ok(m) = c.metrics() {
+            let exec = m.find("\"exec\":{").map(|i| &m[i..]).unwrap_or("");
+            report.fast_launches = extract_u64(exec, "fast");
+            report.simulate_launches = extract_u64(exec, "simulate");
+            report.validate_skips = extract_u64(exec, "validate_skips");
+        }
+    }
     Ok(report)
 }
 
@@ -440,6 +476,9 @@ mod tests {
         r.p50_us = 1;
         r.p95_us = 2;
         r.p99_us = 3;
+        r.fast_launches = 8;
+        r.simulate_launches = 2;
+        r.validate_skips = 7;
         let j = r.to_json();
         for key in [
             "\"p50_us\":1",
@@ -447,9 +486,23 @@ mod tests {
             "\"p99_us\":3",
             "\"rps\":123.46",
             "\"cache_hit_rate\":0.9",
+            "\"fast_launches\":8",
+            "\"simulate_launches\":2",
+            "\"validate_skips\":7",
         ] {
             assert!(j.contains(key), "missing {key} in {j}");
         }
+    }
+
+    #[test]
+    fn extract_u64_reads_the_exec_section() {
+        let m = "{\"resilience\":{\"fallbacks_scalar\":4},\
+                 \"exec\":{\"fast\":12,\"simulate\":3,\"validate_skips\":11}}";
+        let exec = m.find("\"exec\":{").map(|i| &m[i..]).unwrap_or("");
+        assert_eq!(extract_u64(exec, "fast"), 12);
+        assert_eq!(extract_u64(exec, "simulate"), 3);
+        assert_eq!(extract_u64(exec, "validate_skips"), 11);
+        assert_eq!(extract_u64(exec, "missing"), 0);
     }
 
     #[test]

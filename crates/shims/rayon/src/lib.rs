@@ -40,6 +40,14 @@ impl<I: Iterator> Par<I> {
     {
         Par(self.0.flat_map(f))
     }
+
+    /// rayon's `with_min_len`: a scheduling hint bounding how finely the
+    /// iterator may be split. Sequential execution never splits, so the
+    /// hint is a no-op here — kept so callers can tune real-rayon builds.
+    #[inline]
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
 }
 
 /// `into_par_iter()` for any owned collection or range.

@@ -1,0 +1,94 @@
+//! Dual-mode execution selection.
+//!
+//! Every FlashSparse kernel can run in one of two modes:
+//!
+//! * [`ExecMode::Simulate`] — full simulator fidelity: per-lane
+//!   [`Fragment`](crate::Fragment) materialization, every warp request
+//!   replayed through [`TransactionCounter`](crate::TransactionCounter),
+//!   and the sanitize / chaos hooks live at every site.
+//! * [`ExecMode::Fast`] — a fused per-window kernel that computes
+//!   **bit-identical** numerics (same [`round_operand`](crate::mma)
+//!   rounding, same f32 accumulation order per MMA) and **identical**
+//!   [`KernelCounters`](crate::KernelCounters), but derives the counters
+//!   analytically from block geometry and a closed-form coalescer model
+//!   ([`crate::analytic`]) instead of simulating fragments and replaying
+//!   memory requests.
+//!
+//! [`ExecMode::auto`] picks the mode: `Fast` is only legal when both the
+//! sanitizer and chaos injection are disabled, because the fast path has
+//! no fragment shadow state to check and no per-request hooks for faults
+//! to land on. Whenever either subsystem is armed, the kernels fall back
+//! to full simulation.
+
+/// Which execution engine a kernel launch uses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Full simulator fidelity (fragments, transaction replay, hooks).
+    Simulate,
+    /// Fused bit-identical kernel with analytic counters.
+    #[default]
+    Fast,
+}
+
+impl ExecMode {
+    /// The mode the current process state allows: [`ExecMode::Fast`] iff
+    /// both the sanitizer and chaos injection are off, otherwise
+    /// [`ExecMode::Simulate`].
+    #[inline]
+    pub fn auto() -> ExecMode {
+        if crate::sanitize::sanitize_enabled() || fs_chaos::chaos_enabled() {
+            ExecMode::Simulate
+        } else {
+            ExecMode::Fast
+        }
+    }
+
+    /// `true` for [`ExecMode::Fast`].
+    #[inline]
+    pub fn is_fast(self) -> bool {
+        matches!(self, ExecMode::Fast)
+    }
+
+    /// Stable lowercase name for logs and metrics.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExecMode::Simulate => "simulate",
+            ExecMode::Fast => "fast",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SanitizeScope;
+    use fs_chaos::{ChaosScope, FaultPlan, FaultSite};
+
+    // One test, not three: the mode flag is process-wide, and splitting
+    // the assertions across parallel test threads would race it.
+    #[test]
+    fn mode_selection_follows_the_sanitize_and_chaos_switches() {
+        // Hold the sanitize scope lock in Off mode so no concurrently
+        // running sanitizing test can flip the global underneath us.
+        let off = SanitizeScope::off();
+        assert_eq!(ExecMode::auto(), ExecMode::Fast);
+        assert!(ExecMode::auto().is_fast());
+        {
+            let _chaos = ChaosScope::install(FaultPlan::new(7).with_rate(FaultSite::TxnDrop, 1.0));
+            assert_eq!(ExecMode::auto(), ExecMode::Simulate, "chaos must force Simulate");
+            assert!(!ExecMode::auto().is_fast());
+        }
+        assert_eq!(ExecMode::auto(), ExecMode::Fast, "chaos scope restored Fast");
+        drop(off);
+
+        let _record = SanitizeScope::record();
+        assert_eq!(ExecMode::auto(), ExecMode::Simulate, "sanitize must force Simulate");
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(ExecMode::Fast.name(), "fast");
+        assert_eq!(ExecMode::Simulate.name(), "simulate");
+        assert_eq!(ExecMode::default(), ExecMode::Fast);
+    }
+}

@@ -17,6 +17,10 @@
 //!   paper optimizes.
 //! * [`counters`] — MMA / transaction / byte counters accumulated by every
 //!   simulated kernel.
+//! * [`exec`] / [`analytic`] — the dual-mode execution engine: kernels
+//!   run in [`ExecMode::Fast`] when sanitize and chaos are both off,
+//!   computing bit-identical numerics without fragment materialization
+//!   and deriving the same counters from a closed-form coalescer model.
 //! * [`sanitize`] — a compute-sanitizer analogue: fragment shadow state
 //!   (uninitialized lanes, lane-ownership, accumulator aliasing) and
 //!   shadow memory (bounds, init bitmaps, warp write conflicts), all free
@@ -27,8 +31,10 @@
 //!   kernel time and GFLOPS, which reproduces the *shape* of the paper's
 //!   performance plots without the hardware.
 
+pub mod analytic;
 pub mod cost;
 pub mod counters;
+pub mod exec;
 pub mod fragment;
 pub mod gpu;
 pub mod memory;
@@ -36,7 +42,9 @@ pub mod mma;
 pub mod sanitize;
 pub mod shape;
 
+pub use analytic::AnalyticCounter;
 pub use counters::{KernelCounters, TrafficClass};
+pub use exec::ExecMode;
 pub use fragment::{FragKind, Fragment, FragmentLayout};
 pub use gpu::GpuSpec;
 pub use memory::TransactionCounter;
