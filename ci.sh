@@ -16,6 +16,12 @@ cargo build --release
 echo "== cargo test -q"
 cargo test -q
 
+echo "== cargo doc (warnings denied) + doctests"
+# Every crate front page must document itself cleanly, and the runnable
+# examples in those pages must actually run.
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+cargo test -q --workspace --doc
+
 echo "== exec-mode perf baseline"
 # Record the fast-path vs simulator wall-clock baseline. The fast path
 # is bit-identical (enforced by the exec_mode_props suite above), so the
@@ -29,18 +35,36 @@ if ! awk -v s="$MIN_SPEEDUP" 'BEGIN { exit !(s >= 3.0) }'; then
 fi
 echo "ci: fast-path min speedup ${MIN_SPEEDUP}x"
 
-echo "== serving smoke test"
-# Start fs-serve on a loopback port, fire a short loadgen burst, and
-# require zero errors plus a clean acknowledged shutdown.
+echo "== tracing overhead gate"
+# The zero-cost claim, measured: a disarmed span site is one relaxed
+# atomic load and must stay in the low tens of nanoseconds per call.
+# (The armed/disarmed fast-path ratio is recorded in the JSON for the
+# report; the wall-clock gate is the deterministic per-site bound.)
+./target/release/spmm_cli --trace-ab-json BENCH_trace.json
+SITE_NS=$(sed -n 's/.*"site_disarmed_ns":\([0-9.]*\).*/\1/p' BENCH_trace.json)
+if ! awk -v n="$SITE_NS" 'BEGIN { exit !(n <= 100.0) }'; then
+  echo "ci: disarmed span site costs ${SITE_NS} ns/call (budget 100)" >&2
+  exit 1
+fi
+echo "ci: disarmed span site ${SITE_NS} ns/call"
+
+echo "== serving smoke test (tracing armed)"
+# Start fs-serve on a loopback port with tracing armed, fire a short
+# loadgen burst, and require zero errors plus a clean acknowledged
+# shutdown. The loadgen fetches the server's trace exports: the
+# Prometheus text must carry a full quantile summary for every
+# serve-stage span site, and the chrome timeline must be non-empty.
 SERVE_PORT="${SERVE_PORT:-7949}"
-./target/release/fs-serve --addr "127.0.0.1:${SERVE_PORT}" --workers 2 &
+SMOKE_LOG=$(mktemp)
+./target/release/fs-serve --addr "127.0.0.1:${SERVE_PORT}" --workers 2 --trace &
 SERVE_PID=$!
 SMOKE_OK=0
 if ./target/release/loadgen \
     --addr "127.0.0.1:${SERVE_PORT}" \
     --matrix uniform:256x256x4096 --n 16 \
     --requests 40 --concurrency 2 \
-    --wait-ready-ms 10000 --shutdown --expect-zero-errors; then
+    --wait-ready-ms 10000 --shutdown --expect-zero-errors \
+    --trace --trace-out TRACE_serve.json | tee "$SMOKE_LOG"; then
   SMOKE_OK=1
 fi
 if ! wait "$SERVE_PID"; then
@@ -51,6 +75,25 @@ if [ "$SMOKE_OK" != 1 ]; then
   echo "ci: serving smoke test failed" >&2
   exit 1
 fi
+for STAGE in serve.decode serve.queue serve.batch serve.execute serve.encode; do
+  for Q in 0.5 0.95 0.99; do
+    if ! grep -q "fs_span_seconds{site=\"${STAGE}\",quantile=\"${Q}\"}" "$SMOKE_LOG"; then
+      echo "ci: trace export missing ${STAGE} quantile ${Q}" >&2
+      exit 1
+    fi
+  done
+  STAGE_COUNT=$(sed -n "s/^fs_span_seconds_count{site=\"${STAGE}\"} //p" "$SMOKE_LOG")
+  if ! awk -v c="${STAGE_COUNT:-0}" 'BEGIN { exit !(c > 0) }'; then
+    echo "ci: trace export recorded no ${STAGE} spans" >&2
+    exit 1
+  fi
+done
+if ! grep -q '"traceEvents":\[{' TRACE_serve.json; then
+  echo "ci: chrome trace timeline is empty" >&2
+  exit 1
+fi
+rm -f "$SMOKE_LOG"
+echo "ci: armed serving smoke exported all serve-stage spans"
 
 echo "== chaos soak smoke test"
 # Same stack under a seeded fault plan: worker kills, frame corruption,

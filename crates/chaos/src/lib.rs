@@ -10,7 +10,7 @@
 //!   sanitizer, worker kill/stall and protocol-frame corruption in
 //!   `fs-serve`. Every injection decision is a *pure function* of
 //!   `(seed, site, evaluation index)` — see [`FaultPlan::decide`] — so a
-//!   failure reproduces from the plan's [`Display`] string alone.
+//!   failure reproduces from the plan's [`std::fmt::Display`] string alone.
 //! * **Recovery** — a [`CircuitBreaker`] state machine (per-matrix in
 //!   `fs-serve`) and a jittered exponential [`Backoff`] for client
 //!   retries. The fallback ladder itself lives in
@@ -18,6 +18,23 @@
 //!
 //! Off path, every hook costs one relaxed atomic load
 //! ([`chaos_enabled`]), mirroring `fs_tcu::sanitize_enabled`.
+//!
+//! # Example
+//!
+//! A plan's `Display` string is a complete description of the fault
+//! sequence — re-parsing it replays every injection decision:
+//!
+//! ```
+//! use fs_chaos::{FaultPlan, FaultSite};
+//!
+//! let plan: FaultPlan = "seed=7;frag-bit=0.25".parse().expect("plan parses");
+//! let replay: FaultPlan = plan.to_string().parse().expect("roundtrips");
+//! for index in 0..64 {
+//!     let a = plan.decide(FaultSite::FragBitFlip, index);
+//!     let b = replay.decide(FaultSite::FragBitFlip, index);
+//!     assert_eq!(a.is_some(), b.is_some());
+//! }
+//! ```
 
 pub mod backoff;
 pub mod breaker;

@@ -1,7 +1,7 @@
 //! The fault plan: which sites fire, at what rate, under which seed.
 //!
-//! A plan is fully described by its [`Display`] string — e.g.
-//! `seed=42;frag-bit=0.001;worker-kill=0.02` — and [`FromStr`] parses
+//! A plan is fully described by its [`std::fmt::Display`] string — e.g.
+//! `seed=42;frag-bit=0.001;worker-kill=0.02` — and [`std::str::FromStr`] parses
 //! that string back into a plan that replays the *identical* fault
 //! sequence (site, lane, bit), because every decision is a pure function
 //! of `(seed, site, evaluation index)`.

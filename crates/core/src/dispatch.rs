@@ -34,6 +34,7 @@ impl TranslatedMatrix {
     /// cast to the variant's storage precision during translation, exactly
     /// as the one-off preprocessing would on hardware.
     pub fn translate(csr: &CsrMatrix<f32>, choice: &TuneChoice) -> TranslatedMatrix {
+        let _span = fs_trace::span(fs_trace::Site::Translate);
         match (choice.precision, choice.block_k) {
             (Precision::Fp16, 8) => TranslatedMatrix::Fp16K8(MeBcrs::from_csr(
                 &csr.cast::<F16>(),

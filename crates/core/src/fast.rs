@@ -117,6 +117,7 @@ pub(crate) fn spmm_fast<S: TcuPrecision>(
         .par_chunks_mut(WINDOW_BATCH * v * n)
         .enumerate()
         .map(|(chunk, windows)| {
+            let _span = fs_trace::span(fs_trace::Site::WindowBatch);
             SCRATCH.with(|cell| {
                 let scratch = &mut *cell.borrow_mut();
                 let mut counters = KernelCounters::default();
@@ -339,6 +340,7 @@ pub(crate) fn sddmm_fast<S: TcuPrecision>(
         .par_chunks_mut(WINDOW_BATCH)
         .enumerate()
         .map(|(chunk, windows)| {
+            let _span = fs_trace::span(fs_trace::Site::WindowBatch);
             SCRATCH.with(|cell| {
                 let scratch = &mut *cell.borrow_mut();
                 let mut counters = KernelCounters::default();

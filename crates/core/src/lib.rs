@@ -8,12 +8,12 @@
 //!   sparse block be the MMA *right* operand, shrinking the nonzero-vector
 //!   height from the MMA's `m = 16` to its `n = 8` and roughly halving
 //!   zero-fill, computation, and data access.
-//! * **SpMM** (Section 3.3, [`spmm`]): sparse `A` (ME-BCRS) × dense `B`,
+//! * **SpMM** (Section 3.3, [`spmm()`]): sparse `A` (ME-BCRS) × dense `B`,
 //!   FP16 (`m16n8k8`) and TF32 (`m16n8k4`), with both thread mappings.
 //! * **Memory-efficient thread mapping** (Section 3.3 / Figure 7,
 //!   [`thread_map`]): the column-shuffled 2×2-block mapping that halves
 //!   32-byte memory transactions versus the direct PTX fragment mapping.
-//! * **SDDMM** (Section 3.4, [`sddmm`]): sampled dense-dense multiply with
+//! * **SDDMM** (Section 3.4, [`sddmm()`]): sampled dense-dense multiply with
 //!   the output-splitting writeback of Algorithm 1, producing the output
 //!   directly in the ME-BCRS layout the subsequent SpMM consumes.
 //! * **Dual-mode execution** ([`ExecMode`]): every kernel runs either on

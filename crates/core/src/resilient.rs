@@ -113,6 +113,7 @@ pub fn verify_sampled_rows(
     out: &DenseMatrix<f32>,
     policy: &VerifyPolicy,
 ) -> bool {
+    let _span = fs_trace::span(fs_trace::Site::Verify);
     let rows = csr.rows();
     if out.rows() != rows || out.cols() != b.cols() || b.rows() != csr.cols() {
         return false;
@@ -166,6 +167,7 @@ pub fn spmm_resilient(
     if verify_sampled_rows(csr, b, &out, policy) {
         report.level = FallbackLevel::Tuned;
         report.faults = fs_chaos::report().since(&before);
+        trace_faults(&report);
         return (out, counters, report);
     }
     report.verify_failures += 1;
@@ -175,6 +177,7 @@ pub fn spmm_resilient(
         if verify_sampled_rows(csr, b, &out, policy) {
             report.level = FallbackLevel::Default;
             report.faults = fs_chaos::report().since(&before);
+            trace_faults(&report);
             return (out, counters, report);
         }
         report.verify_failures += 1;
@@ -184,7 +187,15 @@ pub fn spmm_resilient(
     let out = csr.spmm_reference(b);
     report.level = FallbackLevel::Scalar;
     report.faults = fs_chaos::report().since(&before);
+    trace_faults(&report);
     (out, KernelCounters::default(), report)
+}
+
+/// Attach a launch's observed chaos-fault total to the trace registry.
+fn trace_faults(report: &ResilientReport) {
+    if fs_trace::trace_enabled() {
+        fs_trace::add(fs_trace::TraceCounter::ChaosFaults, report.faults.injected_total());
+    }
 }
 
 #[cfg(test)]

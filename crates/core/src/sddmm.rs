@@ -66,10 +66,12 @@ pub fn sddmm_with_mode<S: TcuPrecision>(
     assert_eq!(a.rows(), mask.rows(), "A rows must match mask rows");
     assert_eq!(b.rows(), mask.cols(), "B rows must match mask cols");
     assert_eq!(a.cols(), b.cols(), "A and B must share the inner dimension K");
-    match mode {
+    let (out, counters) = match mode {
         ExecMode::Simulate => sddmm_simulated(mask, a, b),
         ExecMode::Fast => sddmm_fast(mask, a, b),
-    }
+    };
+    crate::spmm::trace_launch(mode, &counters);
+    (out, counters)
 }
 
 fn sddmm_simulated<S: TcuPrecision>(
@@ -99,7 +101,10 @@ fn sddmm_simulated<S: TcuPrecision>(
         .into_par_iter()
         .with_min_len(WINDOW_BATCH)
         .enumerate()
-        .map(|(w, out)| simulate_window(mask, a, b, w, out, shadow.as_ref()))
+        .map(|(w, out)| {
+            let _span = fs_trace::span(fs_trace::Site::WindowBatch);
+            simulate_window(mask, a, b, w, out, shadow.as_ref())
+        })
         .sum();
     snapshot.attribute(&mut counters);
 

@@ -70,10 +70,25 @@ pub fn spmm_with_mode<S: TcuPrecision>(
 ) -> (DenseMatrix<S>, KernelCounters) {
     assert_eq!(a.spec(), S::SPEC, "format spec must match the kernel precision");
     assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
-    match mode {
+    let (out, counters) = match mode {
         ExecMode::Simulate => spmm_shaped(a, b, mapping, S::SHAPE),
         ExecMode::Fast => spmm_fast(a, b, mapping, S::SHAPE),
+    };
+    trace_launch(mode, &counters);
+    (out, counters)
+}
+
+/// Attach one finished launch's work totals (and its exec mode) to the
+/// trace registry. One relaxed load when tracing is disarmed.
+pub(crate) fn trace_launch(mode: ExecMode, counters: &KernelCounters) {
+    if !fs_trace::trace_enabled() {
+        return;
     }
+    use fs_trace::TraceCounter as C;
+    fs_trace::add(C::Mmas, counters.mma_count + counters.wmma_count);
+    fs_trace::add(C::Sectors, counters.load_transactions + counters.store_transactions);
+    fs_trace::add(C::Bytes, counters.bytes_loaded + counters.bytes_stored);
+    fs_trace::add(if mode.is_fast() { C::ExecFast } else { C::ExecSimulate }, 1);
 }
 
 /// FlashSparse SpMM with the wide FP16 MMA (`mma.m16n8k16`): sparse TC
@@ -108,10 +123,12 @@ pub fn spmm_fp16_k16_with_mode(
         "k16 kernel requires the k=16 layout"
     );
     assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
-    match mode {
+    let (out, counters) = match mode {
         ExecMode::Simulate => spmm_shaped(a, b, mapping, fs_tcu::MmaShape::M16N8K16_F16),
         ExecMode::Fast => spmm_fast(a, b, mapping, fs_tcu::MmaShape::M16N8K16_F16),
-    }
+    };
+    trace_launch(mode, &counters);
+    (out, counters)
 }
 
 fn spmm_shaped<S: TcuPrecision>(
@@ -141,6 +158,7 @@ fn spmm_shaped<S: TcuPrecision>(
             .with_min_len(WINDOW_BATCH)
             .enumerate()
             .map(|(w, out_window)| {
+                let _span = fs_trace::span(fs_trace::Site::WindowBatch);
                 simulate_window(a, b, mapping, w, out_window, shape, shadow.as_ref())
             })
             .sum()

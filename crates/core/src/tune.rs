@@ -126,6 +126,7 @@ const SAMPLE_ROWS: usize = 2048;
 /// cost — a handful of sample-sized kernel simulations — amortizes away,
 /// mirroring the paper's one-off preprocessing argument.
 pub fn auto_tune(csr: &CsrMatrix<f32>, n: usize, gpu: GpuSpec) -> TuneChoice {
+    let _span = fs_trace::span(fs_trace::Site::Tune);
     // Degenerate inputs — nothing to sample, or a zero-width dense operand —
     // would make every candidate score an identical 0.0 and the "winner"
     // an accident of probe order. Return the documented fallback instead.

@@ -1,5 +1,5 @@
 //! SR-BCRS: the zero-vector-padding storage scheme of Li et al. (SC'22,
-//! reference [26] of the paper) that ME-BCRS is compared against in
+//! reference \[26\] of the paper) that ME-BCRS is compared against in
 //! Table 7.
 //!
 //! Every window's nonzero vectors are padded with zero vectors up to a

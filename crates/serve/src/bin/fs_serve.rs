@@ -5,6 +5,7 @@
 //!          [--queue-cap 256] [--max-batch 16] [--deadline-ms 5000]
 //!          [--max-dim N] [--max-matrices N] [--max-matrix-mb MB]
 //!          [--gpu 4090|h100] [--cold] [--verify] [--chaos PLAN]
+//!          [--trace] [--trace-out FILE]
 //! ```
 //!
 //! `--cold` disables the translated-format cache (budget 0) so every
@@ -17,6 +18,12 @@
 //! `--verify` on — injected faults must heal, never corrupt. The final
 //! fault report prints on clean exit so a soak can be replayed and
 //! compared from the seed string alone.
+//!
+//! `--trace` arms the fs-trace span recorder for the lifetime of the
+//! process: clients can fetch live exports over the `Trace` request,
+//! and on clean shutdown the Prometheus text dump prints to stdout.
+//! `--trace-out FILE` additionally writes the chrome://tracing JSON
+//! timeline there on exit.
 
 use std::time::Duration;
 
@@ -28,9 +35,14 @@ fn usage() -> ! {
         "usage: fs-serve [--addr HOST:PORT] [--workers N] [--cache-mb MB] [--queue-cap N]\n\
          \x20               [--max-batch N] [--deadline-ms MS] [--max-dim N] [--max-matrices N]\n\
          \x20               [--max-matrix-mb MB] [--gpu 4090|h100] [--cold] [--verify]\n\
-         \x20               [--chaos PLAN]"
+         \x20               [--chaos PLAN] [--trace] [--trace-out FILE]"
     );
     std::process::exit(2);
+}
+
+struct TraceFlags {
+    armed: bool,
+    out: Option<String>,
 }
 
 fn apply_flag(
@@ -38,6 +50,7 @@ fn apply_flag(
     p: &mut FlagParser,
     cfg: &mut ServerConfig,
     chaos: &mut Option<fs_chaos::FaultPlan>,
+    trace: &mut TraceFlags,
 ) -> Result<(), String> {
     match flag {
         "--addr" => cfg.addr = p.value(flag)?,
@@ -59,6 +72,11 @@ fn apply_flag(
         "--cold" => cfg.engine.cold = true,
         "--verify" => cfg.engine.verify = true,
         "--chaos" => *chaos = Some(p.typed(flag)?),
+        "--trace" => trace.armed = true,
+        "--trace-out" => {
+            trace.armed = true;
+            trace.out = Some(p.value(flag)?);
+        }
         other => return Err(format!("unknown flag {other}")),
     }
     Ok(())
@@ -68,15 +86,21 @@ fn main() {
     let mut p = FlagParser::from_env();
     let mut cfg = ServerConfig { addr: "127.0.0.1:7949".to_string(), ..ServerConfig::default() };
     let mut chaos: Option<fs_chaos::FaultPlan> = None;
+    let mut trace = TraceFlags { armed: false, out: None };
 
     while let Some(flag) = p.next_flag() {
         if matches!(flag.as_str(), "--help" | "-h") {
             usage();
         }
-        if let Err(msg) = apply_flag(&flag, &mut p, &mut cfg, &mut chaos) {
+        if let Err(msg) = apply_flag(&flag, &mut p, &mut cfg, &mut chaos, &mut trace) {
             eprintln!("fs-serve: {msg}");
             usage();
         }
+    }
+
+    if trace.armed {
+        fs_trace::set_armed(true);
+        println!("fs-serve tracing: armed");
     }
 
     if let Some(plan) = &chaos {
@@ -110,6 +134,20 @@ fn main() {
     }
     if chaos.is_some() {
         println!("fs-serve chaos faults: {}", fs_chaos::report().to_json());
+    }
+    if trace.armed {
+        let snap = fs_trace::snapshot();
+        print!("{}", fs_trace::export::prometheus_text(&snap));
+        if let Some(path) = &trace.out {
+            let chrome = fs_trace::export::chrome_trace(&snap);
+            match std::fs::write(path, chrome) {
+                Ok(()) => println!("fs-serve trace timeline: {path}"),
+                Err(e) => {
+                    eprintln!("fs-serve: failed to write {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
     }
     println!("fs-serve: drained and stopped");
 }

@@ -5,6 +5,7 @@
 //!         [--n 32] [--requests 200] [--concurrency 4] [--tenants 1]
 //!         [--open-rps RPS] [--duration-s S] [--deadline-ms MS]
 //!         [--wait-ready-ms MS] [--shutdown] [--expect-zero-errors] [--chaos]
+//!         [--trace] [--trace-out FILE]
 //! ```
 //!
 //! Prints one JSON object with throughput (RPS), latency percentiles
@@ -19,6 +20,13 @@
 //! Errors are tolerated (faults are the point); the process exits
 //! nonzero iff any response was silently *wrong* (`wrong > 0`) or
 //! nothing completed at all.
+//!
+//! `--trace` fetches the server's trace exports after the run and
+//! prints the Prometheus text (per-site span quantiles and counters)
+//! after the report JSON; `--trace-out FILE` also writes the server's
+//! chrome://tracing timeline there — open it at `chrome://tracing` or
+//! <https://ui.perfetto.dev>. Both require a server started with
+//! `--trace`; against a disarmed server the exports are empty.
 
 use std::net::SocketAddr;
 use std::time::Duration;
@@ -31,7 +39,8 @@ fn usage() -> ! {
         "usage: loadgen [--addr HOST:PORT] [--matrix uniform:RxCxNNZ|rmat:SCALExEF] [--n N]\n\
          \x20              [--requests N] [--concurrency N] [--tenants N] [--open-rps RPS]\n\
          \x20              [--duration-s S] [--deadline-ms MS] [--wait-ready-ms MS]\n\
-         \x20              [--shutdown] [--expect-zero-errors] [--chaos]"
+         \x20              [--shutdown] [--expect-zero-errors] [--chaos]\n\
+         \x20              [--trace] [--trace-out FILE]"
     );
     std::process::exit(2);
 }
@@ -58,6 +67,8 @@ struct Flags {
     cfg: LoadgenConfig,
     shutdown_after: bool,
     expect_zero_errors: bool,
+    trace: bool,
+    trace_out: Option<String>,
 }
 
 fn apply_flag(flag: &str, p: &mut FlagParser, flags: &mut Flags) -> Result<(), String> {
@@ -83,6 +94,11 @@ fn apply_flag(flag: &str, p: &mut FlagParser, flags: &mut Flags) -> Result<(), S
         "--shutdown" => flags.shutdown_after = true,
         "--expect-zero-errors" => flags.expect_zero_errors = true,
         "--chaos" => flags.cfg.chaos = true,
+        "--trace" => flags.trace = true,
+        "--trace-out" => {
+            flags.trace = true;
+            flags.trace_out = Some(p.value(flag)?);
+        }
         other => return Err(format!("unknown flag {other}")),
     }
     Ok(())
@@ -90,8 +106,13 @@ fn apply_flag(flag: &str, p: &mut FlagParser, flags: &mut Flags) -> Result<(), S
 
 fn main() {
     let mut p = FlagParser::from_env();
-    let mut flags =
-        Flags { cfg: LoadgenConfig::default(), shutdown_after: false, expect_zero_errors: false };
+    let mut flags = Flags {
+        cfg: LoadgenConfig::default(),
+        shutdown_after: false,
+        expect_zero_errors: false,
+        trace: false,
+        trace_out: None,
+    };
 
     while let Some(flag) = p.next_flag() {
         if matches!(flag.as_str(), "--help" | "-h") {
@@ -102,7 +123,7 @@ fn main() {
             usage();
         }
     }
-    let Flags { cfg, shutdown_after, expect_zero_errors } = flags;
+    let Flags { cfg, shutdown_after, expect_zero_errors, trace, trace_out } = flags;
 
     let report = match run(&cfg) {
         Ok(r) => r,
@@ -112,6 +133,31 @@ fn main() {
         }
     };
     println!("{}", report.to_json());
+
+    // Fetch the trace exports before any shutdown request: the span
+    // data lives in the server process.
+    if trace {
+        match ServeClient::connect_with_retry(&cfg.addr, Duration::from_secs(2))
+            .and_then(|mut c| c.trace())
+        {
+            Ok((prometheus, chrome)) => {
+                print!("{prometheus}");
+                if let Some(path) = &trace_out {
+                    match std::fs::write(path, &chrome) {
+                        Ok(()) => eprintln!("loadgen: wrote trace timeline to {path}"),
+                        Err(e) => {
+                            eprintln!("loadgen: failed to write {path}: {e}");
+                            std::process::exit(1);
+                        }
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("loadgen: trace fetch failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 
     if shutdown_after {
         match ServeClient::connect_with_retry(&cfg.addr, Duration::from_secs(2))

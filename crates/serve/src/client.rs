@@ -305,6 +305,16 @@ impl ServeClient {
         }
     }
 
+    /// Fetch the trace exports: `(prometheus_text, chrome_trace_json)`.
+    /// Both are empty-but-well-formed when the server runs with tracing
+    /// disarmed.
+    pub fn trace(&mut self) -> Result<(String, String), ClientError> {
+        match self.call(&Request::Trace)? {
+            Response::Trace { prometheus, chrome } => Ok((prometheus, chrome)),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
     /// Ask the server to drain and exit.
     pub fn shutdown(&mut self) -> Result<(), ClientError> {
         match self.call(&Request::Shutdown)? {

@@ -589,6 +589,7 @@ impl ServeEngine {
              \"exec\":{{\"fast\":{exec_fast},\"simulate\":{exec_simulate},\
              \"validate_skips\":{validate_skips}}},\
              \"chaos\":{{\"enabled\":{},\"plan\":{chaos_plan},\"faults\":{}}},\
+             \"trace\":{{\"armed\":{},\"spans\":{}}},\
              \"tenants\":{tenants}}}",
             cfg.workers,
             cfg.queue_capacity,
@@ -604,6 +605,8 @@ impl ServeEngine {
             self.breaker_trips(),
             fs_chaos::chaos_enabled(),
             fs_chaos::report().to_json(),
+            fs_trace::trace_enabled(),
+            fs_trace::snapshot().total_spans(),
         )
     }
 
@@ -763,6 +766,7 @@ fn run_batch(inner: &Arc<Inner>, batch: Vec<Job>) {
         return;
     }
     let batch_size = live.len();
+    let _batch_span = fs_trace::span(fs_trace::Site::ServeBatch);
     let started = Instant::now();
     // lint: counted-catch - Err is counted into worker_panics below and the monitor respawns the worker
     let result = catch_unwind(AssertUnwindSafe(|| execute_batch(inner, &live)));
@@ -771,9 +775,9 @@ fn run_batch(inner: &Arc<Inner>, batch: Vec<Job>) {
     match result {
         Ok((outputs, cache_hit)) => {
             for (job, exec) in live.into_iter().zip(outputs) {
-                let queue_micros =
-                    started.duration_since(job.enqueued).as_micros().min(u128::from(u64::MAX))
-                        as u64;
+                let queued = started.duration_since(job.enqueued);
+                fs_trace::record_duration(fs_trace::Site::ServeQueue, queued);
+                let queue_micros = queued.as_micros().min(u128::from(u64::MAX)) as u64;
                 {
                     let mut tenants = inner.tenants.lock();
                     let t = tenants.entry(job.tenant.clone()).or_default();
@@ -816,6 +820,7 @@ struct Executed {
 /// translate + tune), then run every request against it — through the
 /// verify-and-fall-back ladder when the engine runs with `verify` on.
 fn execute_batch(inner: &Arc<Inner>, batch: &[Job]) -> (Vec<Executed>, bool) {
+    let _span = fs_trace::span(fs_trace::Site::ServeExecute);
     let matrix_id = batch[0].matrix_id;
     let reg = inner
         .matrices
@@ -933,8 +938,10 @@ fn resolve_format(
     n_hint: usize,
 ) -> (Arc<CachedFormat>, bool) {
     if let Some(hit) = inner.cache.lock().get(&reg.fingerprint) {
+        fs_trace::add(fs_trace::TraceCounter::CacheHits, 1);
         return (hit, true);
     }
+    fs_trace::add(fs_trace::TraceCounter::CacheMisses, 1);
     // Miss: translate and tune *outside* the cache lock — this is the
     // expensive path the cache exists to amortize.
     let choice = auto_tune(&reg.csr, n_hint, inner.cfg.gpu);

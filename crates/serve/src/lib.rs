@@ -27,6 +27,32 @@
 //!
 //! Two binaries ship with the crate: `fs-serve` (the daemon) and
 //! `loadgen` (the measurement driver).
+//!
+//! # Example
+//!
+//! Run one request through an in-process engine (no TCP): register a
+//! matrix, multiply, and shut down:
+//!
+//! ```
+//! use std::time::Duration;
+//! use fs_matrix::gen::random_uniform;
+//! use fs_matrix::{CsrMatrix, DenseMatrix};
+//! use fs_serve::{EngineConfig, ServeEngine, SpmmOutcome, SpmmRequest};
+//!
+//! let engine = ServeEngine::start(EngineConfig { workers: 1, ..EngineConfig::default() });
+//! let csr = CsrMatrix::from_coo(&random_uniform::<f32>(64, 64, 500, 1));
+//! let info = engine.register_matrix("tenant", csr).expect("registered");
+//! let b = DenseMatrix::from_fn(64, 8, |r, c| (r + c) as f32);
+//! let outcome = engine.spmm_blocking(SpmmRequest {
+//!     tenant: "tenant".to_string(),
+//!     matrix_id: info.id,
+//!     b,
+//!     deadline: Some(Duration::from_secs(30)),
+//! });
+//! let SpmmOutcome::Done(resp) = outcome.expect("accepted") else { panic!("shed") };
+//! assert_eq!(resp.out.rows(), 64);
+//! engine.shutdown();
+//! ```
 
 pub mod args;
 pub mod cache;

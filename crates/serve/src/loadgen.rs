@@ -168,35 +168,33 @@ impl LoadReport {
         }
     }
 
-    /// The run report as a single JSON object.
+    /// The run report as a single JSON object (built with the shared
+    /// [`fs_trace::export::JsonWriter`], so string fields are escaped).
     pub fn to_json(&self) -> String {
-        format!(
-            "{{\"mode\":\"{}\",\"completed\":{},\"rejected\":{},\"timed_out\":{},\"errors\":{},\
-             \"cache_hits\":{},\"cache_hit_rate\":{:.6},\"duration_ms\":{},\"rps\":{:.2},\
-             \"p50_us\":{},\"p95_us\":{},\"p99_us\":{},\"mean_us\":{},\"max_batch\":{},\
-             \"wrong\":{},\"retried\":{},\"fallbacks\":{},\
-             \"fast_launches\":{},\"simulate_launches\":{},\"validate_skips\":{}}}",
-            self.mode,
-            self.completed,
-            self.rejected,
-            self.timed_out,
-            self.errors,
-            self.cache_hits,
-            self.cache_hit_rate(),
-            self.duration_ms,
-            self.rps,
-            self.p50_us,
-            self.p95_us,
-            self.p99_us,
-            self.mean_us,
-            self.max_batch,
-            self.wrong,
-            self.retried,
-            self.fallbacks,
-            self.fast_launches,
-            self.simulate_launches,
-            self.validate_skips
-        )
+        let mut w = fs_trace::export::JsonWriter::new();
+        w.begin_object();
+        w.field_str("mode", &self.mode);
+        w.field_u64("completed", self.completed);
+        w.field_u64("rejected", self.rejected);
+        w.field_u64("timed_out", self.timed_out);
+        w.field_u64("errors", self.errors);
+        w.field_u64("cache_hits", self.cache_hits);
+        w.field_f64("cache_hit_rate", self.cache_hit_rate());
+        w.field_u64("duration_ms", self.duration_ms);
+        w.field_f64("rps", self.rps);
+        w.field_u64("p50_us", self.p50_us);
+        w.field_u64("p95_us", self.p95_us);
+        w.field_u64("p99_us", self.p99_us);
+        w.field_u64("mean_us", self.mean_us);
+        w.field_u64("max_batch", self.max_batch);
+        w.field_u64("wrong", self.wrong);
+        w.field_u64("retried", self.retried);
+        w.field_u64("fallbacks", self.fallbacks);
+        w.field_u64("fast_launches", self.fast_launches);
+        w.field_u64("simulate_launches", self.simulate_launches);
+        w.field_u64("validate_skips", self.validate_skips);
+        w.end_object();
+        w.finish()
     }
 }
 
@@ -484,7 +482,7 @@ mod tests {
             "\"p50_us\":1",
             "\"p95_us\":2",
             "\"p99_us\":3",
-            "\"rps\":123.46",
+            "\"rps\":123.456",
             "\"cache_hit_rate\":0.9",
             "\"fast_launches\":8",
             "\"simulate_launches\":2",

@@ -51,19 +51,10 @@ impl TenantStats {
 
 /// Escape a string for embedding in a JSON document.
 pub fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
+    // One escaping implementation for the whole workspace: delegate to
+    // the shared helper in fs-trace's export module (also behind the
+    // loadgen report and `spmm_cli --bench-json`).
+    fs_trace::export::json_escape(s)
 }
 
 /// Render the tenant map as a JSON object keyed by tenant name.

@@ -48,6 +48,10 @@ pub enum Request {
     },
     /// Fetch the metrics JSON document.
     Metrics,
+    /// Fetch the trace exports (Prometheus text + chrome trace JSON) —
+    /// the metrics path's tracing extension. Empty dumps when the
+    /// server runs with tracing disarmed.
+    Trace,
     /// Liveness probe.
     Ping,
     /// Ask the server to drain and exit.
@@ -96,6 +100,13 @@ pub enum Response {
     Metrics {
         /// JSON text.
         json: String,
+    },
+    /// The trace exports.
+    Trace {
+        /// Prometheus text exposition dump.
+        prometheus: String,
+        /// chrome://tracing `trace_events` JSON document.
+        chrome: String,
     },
     /// Ping reply.
     Pong,
@@ -327,12 +338,14 @@ const REQ_SPMM: u8 = 2;
 const REQ_METRICS: u8 = 3;
 const REQ_PING: u8 = 4;
 const REQ_SHUTDOWN: u8 = 5;
+const REQ_TRACE: u8 = 6;
 
 const RESP_LOADED: u8 = 128;
 const RESP_SPMM: u8 = 129;
 const RESP_METRICS: u8 = 130;
 const RESP_PONG: u8 = 131;
 const RESP_SHUTDOWN_ACK: u8 = 132;
+const RESP_TRACE: u8 = 133;
 const RESP_ERROR: u8 = 255;
 
 impl Request {
@@ -371,6 +384,7 @@ impl Request {
                 put_f32s(&mut out, b);
             }
             Request::Metrics => out.push(REQ_METRICS),
+            Request::Trace => out.push(REQ_TRACE),
             Request::Ping => out.push(REQ_PING),
             Request::Shutdown => out.push(REQ_SHUTDOWN),
         }
@@ -402,6 +416,7 @@ impl Request {
                 Request::Spmm { tenant, matrix_id, deadline_ms, b_rows, n, b }
             }
             REQ_METRICS => Request::Metrics,
+            REQ_TRACE => Request::Trace,
             REQ_PING => Request::Ping,
             REQ_SHUTDOWN => Request::Shutdown,
             tag => return Err(ProtoError(format!("unknown request tag {tag}"))),
@@ -455,6 +470,15 @@ impl Response {
                 out.extend_from_slice(&len.to_le_bytes());
                 out.extend_from_slice(json.as_bytes());
             }
+            Response::Trace { prometheus, chrome } => {
+                out.push(RESP_TRACE);
+                for doc in [prometheus, chrome] {
+                    let len = u32::try_from(doc.len())
+                        .map_err(|_| ProtoError("trace document too large".into()))?;
+                    out.extend_from_slice(&len.to_le_bytes());
+                    out.extend_from_slice(doc.as_bytes());
+                }
+            }
             Response::Pong => out.push(RESP_PONG),
             Response::ShutdownAck => out.push(RESP_SHUTDOWN_ACK),
             Response::Error { code, message } => {
@@ -505,6 +529,20 @@ impl Response {
                     .map_err(|_| ProtoError("metrics not UTF-8".into()))?;
                 Response::Metrics { json }
             }
+            RESP_TRACE => {
+                let mut docs = Vec::with_capacity(2);
+                for _ in 0..2 {
+                    let len = c.u32()? as usize;
+                    let bytes = c.take(len)?;
+                    docs.push(
+                        String::from_utf8(bytes.to_vec())
+                            .map_err(|_| ProtoError("trace document not UTF-8".into()))?,
+                    );
+                }
+                let chrome = docs.pop().unwrap_or_default();
+                let prometheus = docs.pop().unwrap_or_default();
+                Response::Trace { prometheus, chrome }
+            }
             RESP_PONG => Response::Pong,
             RESP_SHUTDOWN_ACK => Response::ShutdownAck,
             RESP_ERROR => {
@@ -550,8 +588,18 @@ mod tests {
             b: vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
         });
         roundtrip_req(Request::Metrics);
+        roundtrip_req(Request::Trace);
         roundtrip_req(Request::Ping);
         roundtrip_req(Request::Shutdown);
+    }
+
+    #[test]
+    fn trace_response_roundtrips() {
+        roundtrip_resp(Response::Trace {
+            prometheus: "fs_span_seconds_count{site=\"serve.batch\"} 3\n".into(),
+            chrome: "{\"traceEvents\":[]}".into(),
+        });
+        roundtrip_resp(Response::Trace { prometheus: String::new(), chrome: String::new() });
     }
 
     #[test]

@@ -150,7 +150,11 @@ fn handle_connection(
             Ok(None) => return, // clean EOF
             Err(_) => return,
         };
-        let response = match Request::decode(&payload) {
+        let decoded = {
+            let _span = fs_trace::span(fs_trace::Site::ServeDecode);
+            Request::decode(&payload)
+        };
+        let response = match decoded {
             Ok(req) => {
                 let is_shutdown = matches!(req, Request::Shutdown);
                 let resp = dispatch(req, engine, max_load_dim);
@@ -165,6 +169,7 @@ fn handle_connection(
             }
             Err(e) => Response::Error { code: ErrorCode::BadRequest, message: e.to_string() },
         };
+        let _span = fs_trace::span(fs_trace::Site::ServeEncode);
         let bytes = match response.encode() {
             Ok(b) => b,
             Err(e) => {
@@ -318,6 +323,13 @@ fn dispatch(req: Request, engine: &Arc<ServeEngine>, max_load_dim: u32) -> Respo
             }
         }
         Request::Metrics => Response::Metrics { json: engine.metrics_json() },
+        Request::Trace => {
+            let snap = fs_trace::snapshot();
+            Response::Trace {
+                prometheus: fs_trace::export::prometheus_text(&snap),
+                chrome: fs_trace::export::chrome_trace(&snap),
+            }
+        }
         Request::Ping => Response::Pong,
         Request::Shutdown => Response::ShutdownAck,
     }

@@ -3,7 +3,7 @@
 //! An MMA operand is distributed over the 32 lanes of a warp: lane `l`
 //! holds `regs_per_lane` values, and the PTX ISA specifies exactly which
 //! `(row, col)` of the tile each `(lane, reg)` pair carries (see "Matrix
-//! Fragments for mma.m16n8k8" in the PTX documentation, reference [33] of
+//! Fragments for mma.m16n8k8" in the PTX documentation, reference \[33\] of
 //! the paper). FlashSparse's thread-mapping optimization (Section 3.3)
 //! reasons directly about these layouts, so the simulator reproduces them
 //! exactly.

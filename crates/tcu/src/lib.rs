@@ -30,6 +30,21 @@
 //! * [`cost`] — a roofline cost model translating counters into simulated
 //!   kernel time and GFLOPS, which reproduces the *shape* of the paper's
 //!   performance plots without the hardware.
+//!
+//! # Example
+//!
+//! The paper's key instruction is `mma.sync.m16n8k8` with FP16 operands
+//! — 16×8×8 = 1024 multiply-adds per issue — and with the sanitizer and
+//! chaos layers both off, kernels select the fast execution path:
+//!
+//! ```
+//! use fs_tcu::{ExecMode, MmaShape};
+//!
+//! let shape = MmaShape::M16N8K8_F16;
+//! assert_eq!((shape.m, shape.n, shape.k), (16, 8, 8));
+//! assert_eq!(shape.flops(), 2 * 16 * 8 * 8);
+//! assert!(ExecMode::auto().is_fast());
+//! ```
 
 pub mod analytic;
 pub mod cost;

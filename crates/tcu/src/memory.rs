@@ -72,6 +72,7 @@ impl TransactionCounter {
         accesses: impl IntoIterator<Item = (u64, u32), IntoIter: Clone>,
         counters: &mut KernelCounters,
     ) -> u64 {
+        let _span = fs_trace::span(fs_trace::Site::Coalesce);
         let iter = accesses.into_iter();
         let ideal: u64 = iter.clone().map(|(_, s)| s as u64).sum();
         let mut tx = self.sectors(iter);
@@ -138,6 +139,7 @@ impl TransactionCounter {
         accesses: impl IntoIterator<Item = (u64, u32), IntoIter: Clone>,
         counters: &mut KernelCounters,
     ) -> u64 {
+        let _span = fs_trace::span(fs_trace::Site::Coalesce);
         let iter = accesses.into_iter();
         let ideal: u64 = iter.clone().map(|(_, s)| s as u64).sum();
         let tx = self.sectors(iter);

@@ -62,6 +62,7 @@ pub fn mma_execute_accum(
     accum: AccumMode,
     counters: &mut KernelCounters,
 ) -> Fragment {
+    let _span = fs_trace::span(fs_trace::Site::Mma);
     if accum == AccumMode::F16 {
         assert_eq!(
             shape.precision,
@@ -167,6 +168,7 @@ fn sanitize_operands(a: &Fragment, b: &Fragment, c: &Fragment, accum: AccumMode)
 /// `a` is 16×8 row-major, `b` is 8×16 row-major, `c` is 16×16 row-major
 /// (modified in place). Increments `counters` as one WMMA invocation.
 pub fn wmma_execute_tf32(a: &[f32], b: &[f32], c: &mut [f32], counters: &mut KernelCounters) {
+    let _span = fs_trace::span(fs_trace::Site::Mma);
     const M: usize = 16;
     const N: usize = 16;
     const K: usize = 8;

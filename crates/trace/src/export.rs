@@ -1,0 +1,388 @@
+//! Exporters and the workspace's shared hand-rolled JSON plumbing.
+//!
+//! Two export targets, both plain text so they need no dependencies:
+//!
+//! * [`chrome_trace`] — the chrome://tracing `trace_events` format
+//!   (load the file at `chrome://tracing` or <https://ui.perfetto.dev>):
+//!   one complete (`"ph":"X"`) event per buffered span, plus a final
+//!   counter (`"ph":"C"`) event carrying every site's *total* span
+//!   count, so totals survive both the event cap and the hot sites that
+//!   never buffer events.
+//! * [`prometheus_text`] — the Prometheus text exposition format: a
+//!   summary family per span site (`_count`, `_sum`, and p50/p95/p99
+//!   `quantile` gauges) plus one counter family for the
+//!   [`TraceCounter`](crate::TraceCounter) totals.
+//!
+//! [`json_escape`] and [`JsonWriter`] are also the escaping/writer
+//! helpers behind `fs-serve`'s metrics document, the loadgen report,
+//! and `spmm_cli --bench-json` — one implementation instead of three
+//! hand-rolled ones.
+
+use crate::registry::TraceSnapshot;
+use crate::site::Site;
+
+/// Escape `s` for inclusion inside a JSON string literal (no
+/// surrounding quotes added). Handles quotes, backslashes, and all
+/// control characters.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A minimal streaming JSON writer: tracks comma placement per nesting
+/// level so call sites only state structure. Produces compact
+/// single-line documents (the style the existing metrics/report JSON
+/// uses).
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    buf: String,
+    /// One flag per open container: whether a value was already written
+    /// at that level (so the next one needs a comma).
+    stack: Vec<bool>,
+    /// A key was just written; the next value attaches to it comma-free.
+    pending_key: bool,
+}
+
+impl JsonWriter {
+    /// A fresh writer.
+    pub fn new() -> JsonWriter {
+        JsonWriter::default()
+    }
+
+    fn separate(&mut self) {
+        if let Some(used) = self.stack.last_mut() {
+            if *used {
+                self.buf.push(',');
+            }
+            *used = true;
+        }
+    }
+
+    fn pre_value(&mut self) {
+        if self.pending_key {
+            self.pending_key = false;
+        } else {
+            self.separate();
+        }
+    }
+
+    /// Open `{`.
+    pub fn begin_object(&mut self) -> &mut Self {
+        self.pre_value();
+        self.buf.push('{');
+        self.stack.push(false);
+        self
+    }
+
+    /// Close `}`.
+    pub fn end_object(&mut self) -> &mut Self {
+        self.stack.pop();
+        self.buf.push('}');
+        self
+    }
+
+    /// Open `[`.
+    pub fn begin_array(&mut self) -> &mut Self {
+        self.pre_value();
+        self.buf.push('[');
+        self.stack.push(false);
+        self
+    }
+
+    /// Close `]`.
+    pub fn end_array(&mut self) -> &mut Self {
+        self.stack.pop();
+        self.buf.push(']');
+        self
+    }
+
+    /// Write an object key (escaped); the next write supplies its value.
+    pub fn key(&mut self, k: &str) -> &mut Self {
+        self.separate();
+        self.buf.push('"');
+        self.buf.push_str(&json_escape(k));
+        self.buf.push_str("\":");
+        self.pending_key = true;
+        self
+    }
+
+    /// A string value.
+    pub fn value_str(&mut self, v: &str) -> &mut Self {
+        self.pre_value();
+        self.buf.push('"');
+        self.buf.push_str(&json_escape(v));
+        self.buf.push('"');
+        self
+    }
+
+    /// An unsigned integer value.
+    pub fn value_u64(&mut self, v: u64) -> &mut Self {
+        self.pre_value();
+        self.buf.push_str(&v.to_string());
+        self
+    }
+
+    /// A float value (`null` for non-finite).
+    pub fn value_f64(&mut self, v: f64) -> &mut Self {
+        self.pre_value();
+        if v.is_finite() {
+            self.buf.push_str(&format!("{v}"));
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    /// A boolean value.
+    pub fn value_bool(&mut self, v: bool) -> &mut Self {
+        self.pre_value();
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// A pre-serialized JSON value, inserted verbatim.
+    pub fn value_raw(&mut self, v: &str) -> &mut Self {
+        self.pre_value();
+        self.buf.push_str(v);
+        self
+    }
+
+    /// `"key": "string"` in one call.
+    pub fn field_str(&mut self, k: &str, v: &str) -> &mut Self {
+        self.key(k).value_str(v)
+    }
+
+    /// `"key": 42` in one call.
+    pub fn field_u64(&mut self, k: &str, v: u64) -> &mut Self {
+        self.key(k).value_u64(v)
+    }
+
+    /// `"key": 1.5` in one call.
+    pub fn field_f64(&mut self, k: &str, v: f64) -> &mut Self {
+        self.key(k).value_f64(v)
+    }
+
+    /// `"key": true` in one call.
+    pub fn field_bool(&mut self, k: &str, v: bool) -> &mut Self {
+        self.key(k).value_bool(v)
+    }
+
+    /// The document built so far.
+    pub fn finish(self) -> String {
+        self.buf
+    }
+}
+
+impl JsonWriter {
+    fn value_micros(&mut self, ns: u64) -> &mut Self {
+        // chrome trace `ts`/`dur` are microseconds; keep nanosecond
+        // precision with three decimals.
+        self.pre_value();
+        self.buf.push_str(&format!("{}.{:03}", ns / 1_000, ns % 1_000));
+        self
+    }
+}
+
+/// Render `snap` in chrome://tracing `trace_events` JSON.
+pub fn chrome_trace(snap: &TraceSnapshot) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_str("displayTimeUnit", "ns");
+    w.key("traceEvents").begin_array();
+    for ev in &snap.events {
+        w.begin_object()
+            .field_str("name", ev.site.name())
+            .field_str("cat", "fs")
+            .field_str("ph", "X")
+            .field_u64("pid", 1)
+            .field_u64("tid", ev.tid);
+        w.key("ts").value_micros(ev.start_ns);
+        w.key("dur").value_micros(ev.dur_ns);
+        w.end_object();
+    }
+    // Totals survive the event cap and the hot (non-eventful) sites:
+    // one counter event carrying every site's full span count.
+    w.begin_object()
+        .field_str("name", "span_counts")
+        .field_str("ph", "C")
+        .field_u64("pid", 1)
+        .field_u64("ts", 0);
+    w.key("args").begin_object();
+    for stats in &snap.spans {
+        w.field_u64(stats.site.name(), stats.hist.count);
+    }
+    w.end_object(); // args
+    w.end_object(); // counter event
+    w.end_array(); // traceEvents
+    w.field_u64("droppedEvents", snap.dropped_events);
+    w.end_object();
+    w.finish()
+}
+
+fn push_seconds(out: &mut String, ns: u64) {
+    // u64::MAX ns (open-ended top bucket) renders as +Inf per the
+    // Prometheus convention for unbounded observations.
+    if ns == u64::MAX {
+        out.push_str("+Inf");
+    } else {
+        out.push_str(&format!("{}.{:09}", ns / 1_000_000_000, ns % 1_000_000_000));
+    }
+}
+
+/// Render `snap` in the Prometheus text exposition format.
+pub fn prometheus_text(snap: &TraceSnapshot) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "# HELP fs_span_seconds Span latency summary per site (log2-bucket upper bounds).\n",
+    );
+    out.push_str("# TYPE fs_span_seconds summary\n");
+    for stats in &snap.spans {
+        let site = stats.site.name();
+        for (q, v) in [
+            ("0.5", stats.hist.p50_ns()),
+            ("0.95", stats.hist.p95_ns()),
+            ("0.99", stats.hist.p99_ns()),
+        ] {
+            out.push_str(&format!("fs_span_seconds{{site=\"{site}\",quantile=\"{q}\"}} "));
+            push_seconds(&mut out, v);
+            out.push('\n');
+        }
+        out.push_str(&format!("fs_span_seconds_sum{{site=\"{site}\"}} "));
+        push_seconds(&mut out, stats.hist.sum_ns);
+        out.push('\n');
+        out.push_str(&format!("fs_span_seconds_count{{site=\"{site}\"}} {}\n", stats.hist.count));
+    }
+    out.push_str("# HELP fs_trace_counter Cross-span work totals.\n");
+    out.push_str("# TYPE fs_trace_counter counter\n");
+    for (name, total) in &snap.counters {
+        out.push_str(&format!("fs_trace_counter{{name=\"{name}\"}} {total}\n"));
+    }
+    out.push_str("# HELP fs_trace_dropped_events Chrome-trace events shed past the buffer cap.\n");
+    out.push_str("# TYPE fs_trace_dropped_events counter\n");
+    out.push_str(&format!("fs_trace_dropped_events {}\n", snap.dropped_events));
+    out
+}
+
+/// Scrape `fs_span_seconds_count{site="..."}` totals back out of a
+/// [`prometheus_text`] dump, in [`Site::ALL`] order. Used by the
+/// round-trip tests and the loadgen trace report.
+pub fn scrape_prometheus_counts(text: &str) -> Vec<(&'static str, u64)> {
+    Site::ALL
+        .iter()
+        .map(|site| {
+            let needle = format!("fs_span_seconds_count{{site=\"{}\"}} ", site.name());
+            let total = text
+                .lines()
+                .find_map(|l| l.strip_prefix(needle.as_str()))
+                .and_then(|rest| rest.trim().parse::<u64>().ok())
+                .unwrap_or(0);
+            (site.name(), total)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{add, record_duration, snapshot, span, TraceScope};
+    use crate::site::TraceCounter;
+    use std::time::Duration;
+
+    #[test]
+    fn escape_handles_quotes_backslashes_and_controls() {
+        assert_eq!(json_escape(r#"a"b"#), r#"a\"b"#);
+        assert_eq!(json_escape(r"a\b"), r"a\\b");
+        assert_eq!(json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        assert_eq!(json_escape("plain ascii"), "plain ascii");
+    }
+
+    #[test]
+    fn writer_nests_objects_arrays_and_commas() {
+        let mut w = JsonWriter::new();
+        w.begin_object().field_str("name", "x").field_u64("count", 3).key("list").begin_array();
+        w.begin_object().field_bool("ok", true).end_object();
+        w.begin_object().field_f64("v", 1.5).end_object();
+        w.end_array().key("nested").begin_object().field_str("k", "v").end_object();
+        w.end_object();
+        assert_eq!(
+            w.finish(),
+            r#"{"name":"x","count":3,"list":[{"ok":true},{"v":1.5}],"nested":{"k":"v"}}"#
+        );
+    }
+
+    #[test]
+    fn writer_escapes_keys_with_quotes_and_backslashes() {
+        // The regression the shared helper exists for: hand-assembled
+        // JSON in spmm_cli/loadgen would emit broken documents for keys
+        // or values containing quotes or backslashes.
+        let mut w = JsonWriter::new();
+        w.begin_object().field_str(r#"da"ta\set"#, r#"C:\tmp\"x""#).end_object();
+        assert_eq!(w.finish(), r#"{"da\"ta\\set":"C:\\tmp\\\"x\""}"#);
+    }
+
+    #[test]
+    fn writer_non_finite_floats_become_null() {
+        let mut w = JsonWriter::new();
+        w.begin_object().field_f64("nan", f64::NAN).field_f64("inf", f64::INFINITY).end_object();
+        assert_eq!(w.finish(), r#"{"nan":null,"inf":null}"#);
+    }
+
+    #[test]
+    fn chrome_trace_counts_round_trip() {
+        let _scope = TraceScope::armed();
+        drop(span(Site::Translate));
+        drop(span(Site::Mma)); // hot: count-only
+        drop(span(Site::Mma));
+        record_duration(Site::ServeQueue, Duration::from_micros(10));
+        let snap = snapshot();
+        let doc = chrome_trace(&snap);
+        // The counter event carries every site's total, including the
+        // hot mma site that never buffers timeline events.
+        assert!(doc.contains(r#""mma":2"#), "{doc}");
+        assert!(doc.contains(r#""translate":1"#), "{doc}");
+        assert!(doc.contains(r#""serve.queue":1"#), "{doc}");
+        assert!(doc.contains(r#""name":"translate""#), "translate span event present: {doc}");
+        assert!(!doc.contains(r#""name":"mma","cat""#), "no mma timeline events: {doc}");
+        assert!(doc.contains(r#""droppedEvents":0"#));
+    }
+
+    #[test]
+    fn prometheus_scrape_round_trips() {
+        let _scope = TraceScope::armed();
+        for _ in 0..5 {
+            drop(span(Site::Verify));
+        }
+        add(TraceCounter::Bytes, 1024);
+        let snap = snapshot();
+        let text = prometheus_text(&snap);
+        let counts = scrape_prometheus_counts(&text);
+        assert_eq!(counts[Site::Verify.index()], ("verify", 5));
+        assert_eq!(counts[Site::Tune.index()], ("tune", 0));
+        assert!(text.contains(r#"fs_trace_counter{name="bytes"} 1024"#), "{text}");
+        assert!(text.contains(r#"fs_span_seconds{site="verify",quantile="0.99"}"#), "{text}");
+    }
+
+    #[test]
+    fn prometheus_open_bucket_renders_inf() {
+        let mut out = String::new();
+        push_seconds(&mut out, u64::MAX);
+        assert_eq!(out, "+Inf");
+        out.clear();
+        push_seconds(&mut out, 1_500_000_000);
+        assert_eq!(out, "1.500000000");
+    }
+}

@@ -1,0 +1,154 @@
+//! Fixed-bucket log₂ latency histograms.
+//!
+//! Durations land in one of [`BUCKETS`] power-of-two nanosecond buckets:
+//! bucket `0` holds exactly-zero durations, bucket `i ≥ 1` holds
+//! `[2^(i-1), 2^i)` ns. Bucketing is a `leading_zeros` — no floats, no
+//! search — and the whole histogram is a fixed array, so recording is
+//! wait-free on atomics and snapshots are a memcpy. Quantiles come out
+//! as the *upper bound* of the bucket holding the nearest-rank sample
+//! (≤ 2× overestimate, never an underestimate), which is plenty for the
+//! p50/p95/p99 reporting this layer feeds.
+
+/// Number of histogram buckets. 64 covers the entire `u64` nanosecond
+/// range: bucket 63 holds everything from ~2.6 minutes up.
+pub const BUCKETS: usize = 64;
+
+/// The bucket index a duration of `ns` nanoseconds falls into.
+#[inline]
+pub fn bucket_index(ns: u64) -> usize {
+    if ns == 0 {
+        0
+    } else {
+        (64 - ns.leading_zeros() as usize).min(BUCKETS - 1)
+    }
+}
+
+/// Inclusive upper bound (ns) of bucket `i` — the value quantiles report.
+pub fn bucket_upper_ns(i: usize) -> u64 {
+    if i >= BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// An owned (snapshot) histogram: bucket counts plus the exact count/sum.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Histogram {
+    /// Per-bucket sample counts.
+    pub buckets: Vec<u64>,
+    /// Total samples.
+    pub count: u64,
+    /// Exact sum of all recorded durations, nanoseconds.
+    pub sum_ns: u64,
+}
+
+impl Histogram {
+    /// An empty histogram with all [`BUCKETS`] slots present.
+    pub fn new() -> Histogram {
+        Histogram { buckets: vec![0; BUCKETS], count: 0, sum_ns: 0 }
+    }
+
+    /// Record one duration (used by tests and offline aggregation; the
+    /// live registry records straight into atomics).
+    pub fn record(&mut self, ns: u64) {
+        self.buckets[bucket_index(ns)] += 1;
+        self.count += 1;
+        self.sum_ns = self.sum_ns.saturating_add(ns);
+    }
+
+    /// Nearest-rank quantile, reported as the holding bucket's upper
+    /// bound in nanoseconds. `0` when the histogram is empty.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Nearest-rank: the smallest rank r with r ≥ q·count, min 1.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper_ns(i);
+            }
+        }
+        bucket_upper_ns(BUCKETS - 1)
+    }
+
+    /// p50 in nanoseconds.
+    pub fn p50_ns(&self) -> u64 {
+        self.quantile_ns(0.50)
+    }
+
+    /// p95 in nanoseconds.
+    pub fn p95_ns(&self) -> u64 {
+        self.quantile_ns(0.95)
+    }
+
+    /// p99 in nanoseconds.
+    pub fn p99_ns(&self) -> u64 {
+        self.quantile_ns(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        // Every bucket's samples are ≤ its upper bound.
+        for ns in [0u64, 1, 7, 255, 4096, 1 << 40] {
+            assert!(ns <= bucket_upper_ns(bucket_index(ns)), "ns={ns}");
+        }
+    }
+
+    #[test]
+    fn quantiles_never_underestimate() {
+        let mut h = Histogram::new();
+        for ns in [10u64, 20, 30, 40, 1000] {
+            h.record(ns);
+        }
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum_ns, 1100);
+        // The true p50 is 30; the bucket upper bound for [16,32) is 31.
+        assert_eq!(h.p50_ns(), 31);
+        // p99 lands in the bucket holding 1000: [512, 1024) → 1023.
+        assert_eq!(h.p99_ns(), 1023);
+        assert!(h.p95_ns() >= h.p50_ns());
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.p50_ns(), 0);
+        assert_eq!(h.p99_ns(), 0);
+    }
+
+    #[test]
+    fn single_sample_all_quantiles_agree() {
+        let mut h = Histogram::new();
+        h.record(100);
+        let expect = bucket_upper_ns(bucket_index(100));
+        assert_eq!(h.p50_ns(), expect);
+        assert_eq!(h.p95_ns(), expect);
+        assert_eq!(h.p99_ns(), expect);
+    }
+
+    #[test]
+    fn sum_saturates_instead_of_wrapping() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.sum_ns, u64::MAX);
+    }
+}

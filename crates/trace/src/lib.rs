@@ -1,0 +1,62 @@
+//! fs-trace: zero-cost hierarchical span tracing and metrics for the
+//! FlashSparse stack.
+//!
+//! Every instrumented region of the kernel and serving pipeline — format
+//! translation, tuning, window batches, simulated MMAs and coalesced
+//! memory requests, output verification, and the five `serve.*` request
+//! stages — is a [`Site`]. An armed [`span`] records the region's
+//! monotonic wall time into that site's fixed-bucket log₂ histogram
+//! ([`hist`]) and, for non-hot sites, into a bounded timeline buffer.
+//! Work totals ride along as [`TraceCounter`] attachments (MMAs,
+//! sectors, bytes, cache hits, exec-mode launches, chaos faults).
+//!
+//! The registry exports two ways ([`export`]):
+//!
+//! * [`export::chrome_trace`] — a chrome://tracing `trace_events` JSON
+//!   document for flamegraph-style inspection;
+//! * [`export::prometheus_text`] — a Prometheus text dump with
+//!   p50/p95/p99 per site, served on `fs-serve`'s metrics path and
+//!   printed by `spmm_cli --trace` and `loadgen --trace`.
+//!
+//! **Disarmed (the default), the whole layer is one relaxed atomic load
+//! per span site** — no clock read, no allocation, no lock — mirroring
+//! `fs_tcu::sanitize_enabled` and `fs_chaos::chaos_enabled`. The claim
+//! is enforced by the `trace` Criterion A/B bench and a `ci.sh` gate
+//! (`spmm_cli --trace-ab-json`). Armed under `ExecMode::Simulate`, span
+//! *counts* are deterministic for a deterministic request sequence
+//! (times are not — see DESIGN.md §10).
+//!
+//! ```
+//! use fs_trace::{Site, TraceCounter};
+//!
+//! // Tests/binaries arm tracing through a scope (or fs_trace::set_armed).
+//! let _scope = fs_trace::TraceScope::armed();
+//!
+//! {
+//!     let _span = fs_trace::span(Site::Translate);
+//!     fs_trace::add(TraceCounter::Bytes, 4096);
+//!     // ... translate a matrix ...
+//! } // span records its wall time here
+//!
+//! let snap = fs_trace::snapshot();
+//! assert_eq!(snap.site(Site::Translate).hist.count, 1);
+//! assert_eq!(snap.counter(TraceCounter::Bytes), 4096);
+//!
+//! // Export for chrome://tracing or a Prometheus scrape:
+//! let chrome = fs_trace::export::chrome_trace(&snap);
+//! let prom = fs_trace::export::prometheus_text(&snap);
+//! assert!(chrome.contains("\"translate\":1"));
+//! assert!(prom.contains("fs_span_seconds_count{site=\"translate\"} 1"));
+//! ```
+
+pub mod export;
+pub mod hist;
+pub mod registry;
+pub mod site;
+
+pub use hist::Histogram;
+pub use registry::{
+    add, record_duration, reset, set_armed, snapshot, span, trace_enabled, Span, SpanStats,
+    TraceEvent, TraceScope, TraceSnapshot, EVENT_CAP,
+};
+pub use site::{Site, TraceCounter, COUNTER_COUNT, SITE_COUNT};

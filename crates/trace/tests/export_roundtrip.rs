@@ -1,0 +1,84 @@
+//! Export round-trip properties: whatever the registry recorded, both
+//! export formats must report — the Prometheus text's per-site
+//! `_count` samples and the chrome trace's closing `span_counts`
+//! counter event each reproduce the registry's span counts exactly,
+//! for any mix of sites (including the hot, event-excluded ones).
+
+use std::time::Duration;
+
+use fs_trace::export::{chrome_trace, prometheus_text, scrape_prometheus_counts};
+use fs_trace::{Site, TraceScope, SITE_COUNT};
+use proptest::prelude::*;
+
+/// Pull the per-site counts back out of the chrome export's final
+/// `span_counts` counter event (`"args":{"translate":N,...}`).
+fn scrape_chrome_counts(chrome: &str) -> Vec<(&'static str, u64)> {
+    let start = chrome.find("\"name\":\"span_counts\"").expect("span_counts event present");
+    let args_key = "\"args\":{";
+    let args_at = chrome[start..].find(args_key).expect("span_counts has args") + start;
+    let body = &chrome[args_at + args_key.len()..];
+    let end = body.find('}').expect("args object closes");
+    let body = &body[..end];
+    Site::ALL
+        .iter()
+        .map(|site| {
+            let needle = format!("\"{}\":", site.name());
+            let at = body.find(&needle).expect("every site keyed in span_counts");
+            let rest = &body[at + needle.len()..];
+            let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+            (site.name(), digits.parse().expect("count is an integer"))
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Record an arbitrary burst of spans, then check that the registry
+    /// snapshot, the Prometheus text, and the chrome counter event all
+    /// agree with the locally-computed expectation.
+    #[test]
+    fn exports_round_trip_span_counts(
+        burst in prop::collection::vec((0usize..SITE_COUNT, 0u64..40, 1u64..1_000_000), 0..64)
+    ) {
+        let _scope = TraceScope::armed();
+        let mut expected = vec![0u64; SITE_COUNT];
+        for &(idx, reps, ns) in &burst {
+            for _ in 0..reps {
+                fs_trace::record_duration(Site::ALL[idx], Duration::from_nanos(ns));
+            }
+            expected[idx] += reps;
+        }
+
+        let snap = fs_trace::snapshot();
+        let want: Vec<(&'static str, u64)> =
+            Site::ALL.iter().map(|s| (s.name(), expected[s.index()])).collect();
+        prop_assert_eq!(&snap.span_counts(), &want, "registry snapshot");
+
+        let prom = prometheus_text(&snap);
+        prop_assert_eq!(&scrape_prometheus_counts(&prom), &want, "prometheus _count samples");
+
+        let chrome = chrome_trace(&snap);
+        prop_assert_eq!(&scrape_chrome_counts(&chrome), &want, "chrome span_counts event");
+    }
+
+    /// Histogram sums survive the Prometheus export: `_sum` renders the
+    /// recorded nanosecond total as seconds with nine fractional digits.
+    #[test]
+    fn prometheus_sum_matches_recorded_nanos(
+        reps in 1u64..20, ns in 1u64..1_000_000_000
+    ) {
+        let _scope = TraceScope::armed();
+        for _ in 0..reps {
+            fs_trace::record_duration(Site::Verify, Duration::from_nanos(ns));
+        }
+        let total = reps * ns;
+        let rendered = format!(
+            "fs_span_seconds_sum{{site=\"verify\"}} {}.{:09}",
+            total / 1_000_000_000,
+            total % 1_000_000_000
+        );
+        let prom = prometheus_text(&fs_trace::snapshot());
+        prop_assert!(prom.contains(&rendered), "missing `{}` in:\n{}", rendered, prom);
+    }
+}
