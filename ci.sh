@@ -10,6 +10,17 @@ cargo fmt --check
 echo "== cargo run -p xtask -- lint"
 cargo run -p xtask --quiet -- lint
 
+echo "== cargo run -p analyze -- check (baseline gate)"
+# Token-level workspace analyses (lock-order, atomic-ordering, protocol,
+# trace-site, counter parity) gated against the committed baseline:
+# findings not in analyze-baseline.json fail, and so do stale baseline
+# entries that no longer fire. After reviewing a finding you intend to
+# accept, run:
+#   cargo run -p analyze -- check --baseline analyze-baseline.json --update-baseline
+# and commit the regenerated file.
+cargo run -p analyze --quiet -- check --json ANALYZE_findings.json \
+    --baseline analyze-baseline.json
+
 echo "== cargo build --release"
 cargo build --release
 

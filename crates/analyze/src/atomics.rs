@@ -1,0 +1,182 @@
+//! Atomic-ordering audit.
+//!
+//! Flags `Ordering::Relaxed` on *flag-like* atomics — `AtomicBool` /
+//! `AtomicU8` declarations, the shapes this codebase uses to gate
+//! non-atomic data (armed/enabled/mode switches). A Relaxed store on a
+//! flag that publishes data written just before it (store-then-signal),
+//! or a Relaxed load that guards a read of that data (load-then-read),
+//! is only correct when the flag genuinely synchronizes nothing; such
+//! sites must say so with `// lint: relaxed-ok <reason>`.
+//!
+//! Wide counter atomics (`AtomicU64` etc.) are exempt: monotonically
+//! aggregated statistics are the textbook Relaxed use and this repo has
+//! hundreds of them.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::TokKind;
+use crate::model::FileModel;
+
+const FLAG_TYPES: &[&str] = &["AtomicBool", "AtomicU8"];
+const ATOMIC_METHODS: &[&str] = &[
+    "load",
+    "store",
+    "swap",
+    "fetch_or",
+    "fetch_and",
+    "fetch_xor",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_nand",
+    "compare_exchange",
+    "compare_exchange_weak",
+    "fetch_update",
+];
+
+/// Collect the names declared with a flag-like atomic type in this file
+/// (`static ARMED: AtomicBool`, `shutdown: AtomicBool,` fields, …).
+fn flag_atomics(m: &FileModel) -> Vec<String> {
+    let mut out = Vec::new();
+    for ci in 0..m.len().saturating_sub(2) {
+        if m.kind(ci) != TokKind::Ident || !m.is_punct(ci + 1, ':') {
+            continue;
+        }
+        // Walk the type path: idents and `::` only; anything else ends it.
+        let mut j = ci + 2;
+        let mut last_ident: Option<&str> = None;
+        while j < m.len() {
+            if m.kind(j) == TokKind::Ident {
+                last_ident = Some(m.text(j));
+                j += 1;
+            } else if m.is_punct(j, ':') {
+                j += 1;
+            } else {
+                break;
+            }
+        }
+        if last_ident.is_some_and(|t| FLAG_TYPES.contains(&t)) {
+            out.push(m.text(ci).to_string());
+        }
+    }
+    out
+}
+
+/// Audit one file.
+pub fn analyze_file(m: &FileModel) -> Vec<Diagnostic> {
+    let flags = flag_atomics(m);
+    if flags.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let limit = m.test_start.unwrap_or(m.len());
+    for ci in 0..limit {
+        if m.kind(ci) != TokKind::Ident
+            || !ATOMIC_METHODS.contains(&m.text(ci))
+            || ci == 0
+            || !m.is_punct(ci - 1, '.')
+            || ci + 1 >= m.len()
+            || !m.is_punct(ci + 1, '(')
+        {
+            continue;
+        }
+        let path = m.receiver_path(ci - 1);
+        let Some(&receiver) = path.last() else { continue };
+        if !flags.iter().any(|f| f == receiver) {
+            continue;
+        }
+        // Scan the argument list for `Relaxed`.
+        let mut depth = 1i32;
+        let mut j = ci + 2;
+        let mut relaxed_at: Option<u32> = None;
+        while j < limit && depth > 0 {
+            if m.is_punct(j, '(') {
+                depth += 1;
+            } else if m.is_punct(j, ')') {
+                depth -= 1;
+            } else if m.is_ident(j, "Relaxed") {
+                relaxed_at = Some(m.line(j));
+            }
+            j += 1;
+        }
+        let line = m.line(ci);
+        if let Some(rl) = relaxed_at {
+            if !m.annotated(line, "lint: relaxed-ok") && !m.annotated(rl, "lint: relaxed-ok") {
+                out.push(Diagnostic::new(
+                    "atomic-ordering",
+                    Severity::Warning,
+                    &m.path,
+                    line,
+                    format!(
+                        "`Ordering::Relaxed` on flag atomic `{receiver}` \
+                         (store-then-signal / load-then-read hazard): use Acquire/Release or \
+                         justify with `// lint: relaxed-ok <reason>`"
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        analyze_file(&FileModel::new(PathBuf::from("crates/x/src/a.rs"), src.to_string()))
+    }
+
+    #[test]
+    fn relaxed_store_on_bool_flag_flagged() {
+        let src = "static READY: AtomicBool = AtomicBool::new(false);\n\
+                   fn publish() { DATA = 1; READY.store(true, Ordering::Relaxed); }\n";
+        let d = run(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "atomic-ordering");
+        assert!(d[0].message.contains("READY"));
+    }
+
+    #[test]
+    fn relaxed_load_on_u8_mode_flagged_annotation_accepted() {
+        let src = "static MODE: AtomicU8 = AtomicU8::new(0);\n\
+                   fn mode() -> u8 { MODE.load(Ordering::Relaxed) }\n";
+        assert_eq!(run(src).len(), 1);
+        let ok = "static MODE: AtomicU8 = AtomicU8::new(0);\n\
+                  // lint: relaxed-ok - mode gates no non-atomic data\n\
+                  fn mode() -> u8 { MODE.load(Ordering::Relaxed) }\n";
+        assert!(run(ok).is_empty());
+    }
+
+    #[test]
+    fn acquire_release_and_wide_counters_pass() {
+        let src = "static READY: AtomicBool = AtomicBool::new(false);\n\
+                   static HITS: AtomicU64 = AtomicU64::new(0);\n\
+                   fn f() { READY.store(true, Ordering::Release); let _ = READY.load(Ordering::Acquire); \
+                   HITS.fetch_add(1, Ordering::Relaxed); }\n";
+        assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+
+    #[test]
+    fn field_atomics_resolved_through_receiver_path() {
+        let src = "struct Inner { shutdown: AtomicBool }\n\
+                   fn f(i: &Inner) { i.shutdown.store(true, Ordering::Relaxed); }\n";
+        assert_eq!(run(src).len(), 1);
+    }
+
+    #[test]
+    fn tests_and_unrelated_receivers_skipped() {
+        let src = "static READY: AtomicBool = AtomicBool::new(false);\n\
+                   #[cfg(test)]\nmod tests { fn t() { READY.store(true, Ordering::Relaxed); } }\n";
+        assert!(run(src).is_empty());
+        let other = "static READY: AtomicBool = AtomicBool::new(false);\n\
+                     fn f(v: &SomethingElse) { v.counter.store(1, Ordering::Relaxed); }\n";
+        assert!(run(other).is_empty());
+    }
+
+    #[test]
+    fn multiline_call_annotation_on_ordering_line_accepted() {
+        let src = "static READY: AtomicBool = AtomicBool::new(false);\n\
+                   fn f() { READY.store(\n  true,\n  Ordering::Relaxed, // lint: relaxed-ok - readers re-check under the lock\n ); }\n";
+        assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+}

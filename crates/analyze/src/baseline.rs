@@ -1,0 +1,163 @@
+//! The accepted-findings baseline consumed by the `ci.sh` gate.
+//!
+//! `analyze-baseline.json` records findings the team has explicitly
+//! accepted: CI fails on any finding *not* in the baseline (a new
+//! problem) and on any baseline entry that no longer fires (a stale
+//! acceptance that should be deleted, so the file can only shrink as
+//! debt is paid down). Entries are keyed by `(rule, file, message)` —
+//! no line numbers — so unrelated edits above an accepted finding don't
+//! churn the file.
+
+use std::collections::HashMap;
+
+use fs_trace::export::JsonWriter;
+
+use crate::diag::Diagnostic;
+use crate::json::{self, Json};
+
+/// One accepted finding.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct BaselineEntry {
+    pub rule: String,
+    pub file: String,
+    pub message: String,
+}
+
+/// The gate verdict: findings not covered by the baseline, and baseline
+/// entries that no longer fire.
+pub struct Gate<'a> {
+    pub new: Vec<&'a Diagnostic>,
+    pub stale: Vec<&'a BaselineEntry>,
+}
+
+impl Gate<'_> {
+    /// Whether the gate passes (nothing new, nothing stale).
+    pub fn clean(&self) -> bool {
+        self.new.is_empty() && self.stale.is_empty()
+    }
+}
+
+/// Parse a baseline document.
+pub fn parse(text: &str) -> Result<Vec<BaselineEntry>, String> {
+    let doc = json::parse(text)?;
+    let entries = doc
+        .get("entries")
+        .and_then(Json::as_arr)
+        .ok_or("baseline must be an object with an `entries` array")?;
+    let mut out = Vec::with_capacity(entries.len());
+    for (i, e) in entries.iter().enumerate() {
+        let field = |k: &str| {
+            e.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or(format!("baseline entry {i} is missing string field `{k}`"))
+        };
+        out.push(BaselineEntry {
+            rule: field("rule")?,
+            file: field("file")?,
+            message: field("message")?,
+        });
+    }
+    Ok(out)
+}
+
+/// Render the current findings as a baseline document (the
+/// `--update-baseline` output). One entry per line keeps diffs reviewable.
+pub fn render(findings: &[Diagnostic]) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("version").value_u64(1);
+    w.key("entries").begin_array();
+    for d in findings {
+        w.begin_object()
+            .field_str("rule", d.rule)
+            .field_str("file", &d.file.to_string_lossy())
+            .field_str("message", &d.message)
+            .end_object();
+    }
+    w.end_array();
+    w.end_object();
+    // Pretty-print shallowly: one entry object per line.
+    w.finish().replace("},{", "},\n{").replace("[{", "[\n{").replace("}]}", "}\n]}") + "\n"
+}
+
+/// Match findings against the baseline as multisets keyed by
+/// `(rule, file, message)`.
+pub fn compare<'a>(findings: &'a [Diagnostic], baseline: &'a [BaselineEntry]) -> Gate<'a> {
+    let mut budget: HashMap<(String, String, String), usize> = HashMap::new();
+    for b in baseline {
+        *budget.entry((b.rule.clone(), b.file.clone(), b.message.clone())).or_insert(0) += 1;
+    }
+    let mut new = Vec::new();
+    for d in findings {
+        match budget.get_mut(&d.baseline_key()) {
+            Some(n) if *n > 0 => *n -= 1,
+            _ => new.push(d),
+        }
+    }
+    let mut stale = Vec::new();
+    for b in baseline {
+        let key = (b.rule.clone(), b.file.clone(), b.message.clone());
+        if let Some(n) = budget.get_mut(&key) {
+            if *n > 0 {
+                *n -= 1;
+                stale.push(b);
+            }
+        }
+    }
+    Gate { new, stale }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+
+    fn d(rule: &'static str, file: &str, msg: &str) -> Diagnostic {
+        Diagnostic::new(rule, Severity::Error, file, 1, msg)
+    }
+
+    #[test]
+    fn roundtrip_render_parse() {
+        let findings = vec![d("lock-order", "a.rs", "cycle a -> b"), d("no-todo", "b.rs", "todo")];
+        let text = render(&findings);
+        let parsed = parse(&text).expect("parse own output");
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].rule, "lock-order");
+        assert_eq!(parsed[1].file, "b.rs");
+        let empty = parse(&render(&[])).expect("empty baseline");
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn gate_flags_new_and_stale() {
+        let findings = vec![d("r", "f.rs", "m1"), d("r", "f.rs", "m2")];
+        let baseline =
+            vec![BaselineEntry { rule: "r".into(), file: "f.rs".into(), message: "m1".into() }];
+        let gate = compare(&findings, &baseline);
+        assert_eq!(gate.new.len(), 1);
+        assert_eq!(gate.new[0].message, "m2");
+        assert!(gate.stale.is_empty());
+        // Baseline entry with no matching finding is stale.
+        let wider = [
+            baseline[0].clone(),
+            BaselineEntry { rule: "r".into(), file: "gone.rs".into(), message: "m".into() },
+        ];
+        let gate = compare(&findings[..1], &wider);
+        assert!(gate.new.is_empty());
+        assert_eq!(gate.stale.len(), 1);
+        assert_eq!(gate.stale[0].file, "gone.rs");
+        assert!(!gate.clean());
+    }
+
+    #[test]
+    fn duplicate_findings_need_duplicate_entries() {
+        let findings = vec![d("r", "f.rs", "m"), d("r", "f.rs", "m")];
+        let one =
+            vec![BaselineEntry { rule: "r".into(), file: "f.rs".into(), message: "m".into() }];
+        let gate = compare(&findings, &one);
+        assert_eq!(gate.new.len(), 1, "second occurrence is new");
+        let two = vec![one[0].clone(), one[0].clone()];
+        assert!(compare(&findings, &two).clean());
+    }
+}

@@ -1,0 +1,196 @@
+//! Counter parity.
+//!
+//! `KernelCounters` is the single source of truth for what the kernel
+//! measures; three other surfaces must track its field set so the fast
+//! path can never silently drop a counter:
+//!
+//! - `to_json` must serialize every field (dashboards see the full set);
+//! - the `Add` impl must merge every field (a forgotten field silently
+//!   zeroes out in per-launch aggregation);
+//! - every field must be *produced* by the analytic fast path
+//!   (`core/src/fast.rs` or `tcu/src/analytic.rs`) — or carry a
+//!   `// lint: fast-exempt <reason>` note on its declaration explaining
+//!   why only the simulator can produce it (e.g. a baseline-kernel-only
+//!   counter). This is the tripwire for the dual-mode bit-identity
+//!   guarantee: adding a simulator counter without teaching the fast
+//!   path (or exempting it) breaks parity silently.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::TokKind;
+use crate::model::FileModel;
+
+/// Inputs: the declaring file and the fast-path files.
+pub struct CounterInputs<'a> {
+    pub counters_rs: Option<&'a FileModel>,
+    pub fast_path: Vec<&'a FileModel>,
+}
+
+/// `pub <name>:` fields at depth 1 of `struct <strukt> { … }`.
+fn struct_fields(m: &FileModel, strukt: &str) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    for ci in 0..m.len().saturating_sub(2) {
+        if m.is_ident(ci, "struct") && m.is_ident(ci + 1, strukt) {
+            let Some(open) = (ci + 2..m.len()).find(|&j| m.is_punct(j, '{')) else { return out };
+            let close = m.matching_brace(open);
+            let mut depth = 1usize;
+            let mut j = open + 1;
+            while j < close {
+                if m.is_punct(j, '{') || m.is_punct(j, '(') || m.is_punct(j, '[') {
+                    depth += 1;
+                } else if m.is_punct(j, '}') || m.is_punct(j, ')') || m.is_punct(j, ']') {
+                    depth -= 1;
+                } else if depth == 1
+                    && m.kind(j) == TokKind::Ident
+                    && j + 1 < close
+                    && m.is_punct(j + 1, ':')
+                {
+                    out.push((m.text(j).to_string(), m.line(j)));
+                }
+                j += 1;
+            }
+            return out;
+        }
+    }
+    out
+}
+
+/// Whether `word` appears as a code identifier anywhere outside tests.
+fn mentions_ident(m: &FileModel, word: &str) -> bool {
+    let limit = m.test_start.unwrap_or(m.len());
+    (0..limit).any(|ci| m.is_ident(ci, word))
+}
+
+/// Whether any string literal inside the code range mentions `word`.
+fn range_strings_contain(m: &FileModel, range: (usize, usize), word: &str) -> bool {
+    (range.0..range.1).any(|ci| m.kind(ci) == TokKind::Str && m.text(ci).contains(word))
+}
+
+/// Whether `word` appears as an identifier inside the code range.
+fn range_idents_contain(m: &FileModel, range: (usize, usize), word: &str) -> bool {
+    (range.0..range.1).any(|ci| m.is_ident(ci, word))
+}
+
+/// Run the analysis.
+pub fn analyze(inp: &CounterInputs<'_>) -> Vec<Diagnostic> {
+    let Some(cm) = inp.counters_rs else { return Vec::new() };
+    let fields = struct_fields(cm, "KernelCounters");
+    if fields.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let to_json = cm.fn_body("to_json", None);
+    let add = cm.fn_body("add", None);
+    for (field, line) in &fields {
+        if let Some(range) = to_json {
+            if !range_strings_contain(cm, range, field) {
+                out.push(Diagnostic::new(
+                    "counter-parity",
+                    Severity::Error,
+                    &cm.path,
+                    *line,
+                    format!("counter field `{field}` is missing from `to_json` export"),
+                ));
+            }
+        }
+        if let Some(range) = add {
+            if !range_idents_contain(cm, range, field) {
+                out.push(Diagnostic::new(
+                    "counter-parity",
+                    Severity::Error,
+                    &cm.path,
+                    *line,
+                    format!("counter field `{field}` is dropped by the `Add` merge"),
+                ));
+            }
+        }
+        let produced = inp.fast_path.iter().any(|f| mentions_ident(f, field));
+        if !produced && !cm.annotated(*line, "lint: fast-exempt") {
+            out.push(Diagnostic::new(
+                "counter-parity",
+                Severity::Error,
+                &cm.path,
+                *line,
+                format!(
+                    "counter field `{field}` is not produced by the fast path \
+                     (fast.rs/analytic.rs) and not marked `// lint: fast-exempt`"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn model(path: &str, src: &str) -> FileModel {
+        FileModel::new(PathBuf::from(path), src.to_string())
+    }
+
+    const COUNTERS: &str = "pub struct KernelCounters {\n\
+          pub mma_count: u64,\n\
+          pub bytes_loaded: u64,\n\
+          // lint: fast-exempt - produced only by baseline kernels\n\
+          pub cuda_flops: u64,\n\
+        }\n\
+        impl KernelCounters {\n\
+          pub fn to_json(&self) -> String {\n\
+            format!(\"{{\\\"mma_count\\\":{},\\\"bytes_loaded\\\":{},\\\"cuda_flops\\\":{}}}\", self.mma_count, self.bytes_loaded, self.cuda_flops)\n\
+          }\n\
+        }\n\
+        impl Add for KernelCounters {\n\
+          fn add(self, o: Self) -> Self {\n\
+            KernelCounters { mma_count: self.mma_count + o.mma_count, bytes_loaded: self.bytes_loaded + o.bytes_loaded, cuda_flops: self.cuda_flops + o.cuda_flops }\n\
+          }\n\
+        }\n";
+
+    #[test]
+    fn complete_counters_are_clean() {
+        let cm = model("crates/tcu/src/counters.rs", COUNTERS);
+        let fast = model(
+            "crates/core/src/fast.rs",
+            "fn run(c: &mut KernelCounters) { c.mma_count += 1; c.bytes_loaded += 64; }\n",
+        );
+        let d = analyze(&CounterInputs { counters_rs: Some(&cm), fast_path: vec![&fast] });
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn dropped_field_flagged_on_every_surface() {
+        // A new field the author forgot everywhere: to_json, Add, fast path.
+        let src = COUNTERS
+            .replace("pub mma_count: u64,", "pub mma_count: u64,\n  pub stall_cycles: u64,");
+        let cm = model("crates/tcu/src/counters.rs", &src);
+        let fast = model(
+            "crates/core/src/fast.rs",
+            "fn run(c: &mut KernelCounters) { c.mma_count += 1; c.bytes_loaded += 64; }\n",
+        );
+        let d = analyze(&CounterInputs { counters_rs: Some(&cm), fast_path: vec![&fast] });
+        assert_eq!(d.len(), 3, "{d:?}");
+        assert!(d.iter().all(|x| x.message.contains("stall_cycles")));
+        assert!(d.iter().any(|x| x.message.contains("to_json")));
+        assert!(d.iter().any(|x| x.message.contains("Add")));
+        assert!(d.iter().any(|x| x.message.contains("fast path")));
+    }
+
+    #[test]
+    fn fast_exempt_annotation_covers_simulator_only_fields() {
+        // cuda_flops is absent from fast.rs but carries the annotation.
+        let cm = model("crates/tcu/src/counters.rs", COUNTERS);
+        let fast = model(
+            "crates/core/src/fast.rs",
+            "fn run(c: &mut KernelCounters) { c.mma_count += 1; c.bytes_loaded += 64; }\n",
+        );
+        let d = analyze(&CounterInputs { counters_rs: Some(&cm), fast_path: vec![&fast] });
+        assert!(d.is_empty(), "{d:?}");
+        // Remove the annotation and it fires.
+        let src =
+            COUNTERS.replace("// lint: fast-exempt - produced only by baseline kernels\n", "");
+        let cm = model("crates/tcu/src/counters.rs", &src);
+        let d = analyze(&CounterInputs { counters_rs: Some(&cm), fast_path: vec![&fast] });
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("cuda_flops"));
+    }
+}

@@ -1,0 +1,160 @@
+//! `fs-analyze` CLI.
+//!
+//! ```text
+//! analyze check [--root DIR] [--json FILE|-] \
+//!               [--baseline FILE] [--update-baseline]
+//! ```
+//!
+//! Exit codes: 0 = clean (or every finding baselined and no stale
+//! entries), 1 = new findings or stale baseline entries, 2 = usage or
+//! I/O error.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use analyze::baseline;
+use analyze::diag::findings_to_json;
+use analyze::workspace::Workspace;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: analyze check [--root DIR] [--json FILE|-] [--baseline FILE] [--update-baseline]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    match it.next().map(String::as_str) {
+        Some("check") => {}
+        _ => return usage(),
+    }
+    let mut root: Option<PathBuf> = None;
+    let mut json_out: Option<String> = None;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut update_baseline = false;
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(v) => root = Some(PathBuf::from(v)),
+                None => return usage(),
+            },
+            "--json" => match it.next() {
+                Some(v) => json_out = Some(v.clone()),
+                None => return usage(),
+            },
+            "--baseline" => match it.next() {
+                Some(v) => baseline_path = Some(PathBuf::from(v)),
+                None => return usage(),
+            },
+            "--update-baseline" => update_baseline = true,
+            _ => return usage(),
+        }
+    }
+    if update_baseline && baseline_path.is_none() {
+        eprintln!("analyze: --update-baseline requires --baseline FILE");
+        return ExitCode::from(2);
+    }
+
+    let root = root.unwrap_or_else(|| find_root(&std::env::current_dir().unwrap_or_default()));
+    let start = std::time::Instant::now();
+    let ws = match Workspace::load(&root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("analyze: failed to load workspace at {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let findings = ws.run_all();
+
+    if let Some(dest) = &json_out {
+        let payload = findings_to_json(&findings);
+        if dest == "-" {
+            println!("{payload}");
+        } else if let Err(e) = std::fs::write(dest, payload) {
+            eprintln!("analyze: failed to write {dest}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    let Some(bp) = &baseline_path else {
+        for d in &findings {
+            eprintln!("{d}");
+        }
+        return report(findings.len(), 0, ws.files.len(), start);
+    };
+
+    if update_baseline {
+        if let Err(e) = std::fs::write(bp, baseline::render(&findings)) {
+            eprintln!("analyze: failed to write {}: {e}", bp.display());
+            return ExitCode::from(2);
+        }
+        eprintln!("analyze: baseline updated with {} entr(y/ies)", findings.len());
+        return ExitCode::SUCCESS;
+    }
+
+    let text = match std::fs::read_to_string(bp) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("analyze: failed to read baseline {}: {e}", bp.display());
+            return ExitCode::from(2);
+        }
+    };
+    let base = match baseline::parse(&text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("analyze: bad baseline {}: {e}", bp.display());
+            return ExitCode::from(2);
+        }
+    };
+    let gate = baseline::compare(&findings, &base);
+    for d in &gate.new {
+        eprintln!("NEW {d}");
+    }
+    for s in &gate.stale {
+        eprintln!("STALE baseline entry no longer fires: [{}] {}: {}", s.rule, s.file, s.message);
+    }
+    if !gate.clean() {
+        eprintln!(
+            "analyze: {} new finding(s), {} stale baseline entr(y/ies) \
+             (run with --update-baseline after review)",
+            gate.new.len(),
+            gate.stale.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    report(gate.new.len(), findings.len(), ws.files.len(), start)
+}
+
+fn report(blocking: usize, baselined: usize, files: usize, start: std::time::Instant) -> ExitCode {
+    let ms = start.elapsed().as_millis();
+    if blocking == 0 {
+        if baselined > 0 {
+            eprintln!("analyze: clean ({files} files, {baselined} baselined finding(s), {ms} ms)");
+        } else {
+            eprintln!("analyze: clean ({files} files, {ms} ms)");
+        }
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("analyze: {blocking} finding(s) over {files} files ({ms} ms)");
+        ExitCode::FAILURE
+    }
+}
+
+/// Walk up from `start` to the workspace root (directory containing a
+/// `Cargo.toml` that declares `[workspace]`).
+fn find_root(start: &Path) -> PathBuf {
+    let mut cur = start.to_path_buf();
+    loop {
+        let manifest = cur.join("Cargo.toml");
+        if let Ok(t) = std::fs::read_to_string(&manifest) {
+            if t.contains("[workspace]") {
+                return cur;
+            }
+        }
+        if !cur.pop() {
+            return start.to_path_buf();
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! Protocol exhaustiveness.
+//!
+//! The fs-serve wire protocol is a hand-maintained table: `REQ_*` /
+//! `RESP_*` opcode constants in `protocol.rs`, a dispatch `match` in
+//! `server.rs`, one `ServeClient` method per request in `client.rs`,
+//! and a protocol table in DESIGN.md. This analysis keeps the four in
+//! sync:
+//!
+//! - opcode values must be unique within each direction;
+//! - every `REQ_X` needs a response opcode — `RESP_X`, a `RESP_X…`
+//!   prefix extension (`REQ_LOAD` → `RESP_LOADED`), or an explicit
+//!   `// lint: resp-pair RESP_Y` annotation for asymmetric names
+//!   (`REQ_PING` → `RESP_PONG`);
+//! - every `Request` enum variant needs a `Request::V` dispatch arm in
+//!   `server.rs` and a `Request::V` construction in `client.rs`;
+//! - every `REQ_*` constant must be mentioned in DESIGN.md.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::TokKind;
+use crate::model::FileModel;
+
+/// Inputs: the three protocol-relevant file models (any may be absent,
+/// which skips the checks needing it) and the DESIGN.md text.
+pub struct ProtocolInputs<'a> {
+    pub protocol: Option<&'a FileModel>,
+    pub server: Option<&'a FileModel>,
+    pub client: Option<&'a FileModel>,
+    pub design_md: Option<&'a str>,
+}
+
+struct OpConst {
+    name: String,
+    value: String,
+    line: u32,
+}
+
+fn opcode_consts(m: &FileModel) -> Vec<OpConst> {
+    let mut out = Vec::new();
+    for ci in 0..m.len().saturating_sub(5) {
+        if !m.is_ident(ci, "const") || m.kind(ci + 1) != TokKind::Ident {
+            continue;
+        }
+        let name = m.text(ci + 1);
+        if !name.starts_with("REQ_") && !name.starts_with("RESP_") {
+            continue;
+        }
+        // const NAME : u8 = <number> ;
+        if m.is_punct(ci + 2, ':')
+            && m.is_ident(ci + 3, "u8")
+            && m.is_punct(ci + 4, '=')
+            && m.kind(ci + 5) == TokKind::Number
+        {
+            out.push(OpConst {
+                name: name.to_string(),
+                value: m.text(ci + 5).to_string(),
+                line: m.line(ci + 1),
+            });
+        }
+    }
+    out
+}
+
+/// Run the analysis.
+pub fn analyze(inp: &ProtocolInputs<'_>) -> Vec<Diagnostic> {
+    let Some(proto) = inp.protocol else { return Vec::new() };
+    let mut out = Vec::new();
+    let consts = opcode_consts(proto);
+    let reqs: Vec<&OpConst> = consts.iter().filter(|c| c.name.starts_with("REQ_")).collect();
+    let resps: Vec<&OpConst> = consts.iter().filter(|c| c.name.starts_with("RESP_")).collect();
+
+    // Unique opcode values per direction.
+    for set in [&reqs, &resps] {
+        for (i, a) in set.iter().enumerate() {
+            if let Some(b) = set[..i].iter().find(|b| b.value == a.value) {
+                out.push(Diagnostic::new(
+                    "protocol",
+                    Severity::Error,
+                    &proto.path,
+                    a.line,
+                    format!("opcode `{}` reuses value {} of `{}`", a.name, a.value, b.name),
+                ));
+            }
+        }
+    }
+
+    // Request/response pairing.
+    for r in &reqs {
+        let suffix = &r.name["REQ_".len()..];
+        let paired = resps.iter().any(|p| p.name["RESP_".len()..].starts_with(suffix));
+        let annotated = proto.annotation_arg(r.line, "lint: resp-pair");
+        match (paired, annotated) {
+            (true, _) => {}
+            (false, Some(named)) => {
+                if !resps.iter().any(|p| p.name == named) {
+                    out.push(Diagnostic::new(
+                        "protocol",
+                        Severity::Error,
+                        &proto.path,
+                        r.line,
+                        format!(
+                            "`{}` is annotated as paired with `{named}`, which does not exist",
+                            r.name
+                        ),
+                    ));
+                }
+            }
+            (false, None) => {
+                out.push(Diagnostic::new(
+                    "protocol",
+                    Severity::Error,
+                    &proto.path,
+                    r.line,
+                    format!(
+                        "`{}` has no matching RESP_* opcode (add one, or annotate the \
+                         asymmetric pair with `// lint: resp-pair RESP_Y`)",
+                        r.name
+                    ),
+                ));
+            }
+        }
+        if let Some(design) = inp.design_md {
+            if !design.contains(&r.name) {
+                out.push(Diagnostic::new(
+                    "protocol",
+                    Severity::Error,
+                    &proto.path,
+                    r.line,
+                    format!("`{}` is not documented in DESIGN.md", r.name),
+                ));
+            }
+        }
+    }
+
+    // Enum-variant coverage in server dispatch and client construction.
+    for (variant, line) in proto.enum_variants("Request") {
+        if let Some(server) = inp.server {
+            if !server.has_path("Request", &variant) {
+                out.push(Diagnostic::new(
+                    "protocol",
+                    Severity::Error,
+                    &proto.path,
+                    line,
+                    format!(
+                        "`Request::{variant}` has no dispatch arm in {}",
+                        server.path.display()
+                    ),
+                ));
+            }
+        }
+        if let Some(client) = inp.client {
+            if !client.has_path("Request", &variant) {
+                out.push(Diagnostic::new(
+                    "protocol",
+                    Severity::Error,
+                    &proto.path,
+                    line,
+                    format!(
+                        "no ServeClient method constructs `Request::{variant}` in {}",
+                        client.path.display()
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn model(path: &str, src: &str) -> FileModel {
+        FileModel::new(PathBuf::from(path), src.to_string())
+    }
+
+    const PROTO: &str =
+        "pub const REQ_LOAD: u8 = 1;\npub const REQ_PING: u8 = 4; // lint: resp-pair RESP_PONG\n\
+        pub const RESP_LOADED: u8 = 128;\npub const RESP_PONG: u8 = 131;\n\
+        pub enum Request { Load { id: u64 }, Ping, }\n";
+
+    #[test]
+    fn complete_protocol_is_clean() {
+        let proto = model("crates/serve/src/protocol.rs", PROTO);
+        let server = model(
+            "crates/serve/src/server.rs",
+            "fn dispatch(r: Request) { match r { Request::Load { .. } => {}, Request::Ping => {} } }\n",
+        );
+        let client = model(
+            "crates/serve/src/client.rs",
+            "impl ServeClient { fn load(&self) { send(Request::Load { id: 0 }); } fn ping(&self) { send(Request::Ping); } }\n",
+        );
+        let d = analyze(&ProtocolInputs {
+            protocol: Some(&proto),
+            server: Some(&server),
+            client: Some(&client),
+            design_md: Some("| `REQ_LOAD` | 1 | | `REQ_PING` | 4 |"),
+        });
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn missing_client_method_flagged() {
+        let proto = model("crates/serve/src/protocol.rs", PROTO);
+        let client = model(
+            "crates/serve/src/client.rs",
+            "impl ServeClient { fn load(&self) { send(Request::Load { id: 0 }); } }\n",
+        );
+        let d = analyze(&ProtocolInputs {
+            protocol: Some(&proto),
+            server: None,
+            client: Some(&client),
+            design_md: None,
+        });
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("Request::Ping"), "{}", d[0].message);
+        assert!(d[0].message.contains("ServeClient"));
+    }
+
+    #[test]
+    fn unpaired_req_and_unknown_annotation_flagged() {
+        let src = "pub const REQ_EVICT: u8 = 9;\npub const RESP_LOADED: u8 = 128;\n";
+        let proto = model("crates/serve/src/protocol.rs", src);
+        let d = analyze(&ProtocolInputs {
+            protocol: Some(&proto),
+            server: None,
+            client: None,
+            design_md: None,
+        });
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("no matching RESP_*"));
+        let bad = "pub const REQ_EVICT: u8 = 9; // lint: resp-pair RESP_GONE\npub const RESP_LOADED: u8 = 128;\n";
+        let proto = model("crates/serve/src/protocol.rs", bad);
+        let d = analyze(&ProtocolInputs {
+            protocol: Some(&proto),
+            server: None,
+            client: None,
+            design_md: None,
+        });
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("RESP_GONE"));
+    }
+
+    #[test]
+    fn duplicate_opcode_values_flagged() {
+        let src = "pub const REQ_A: u8 = 1;\npub const REQ_B: u8 = 1;\npub const RESP_A: u8 = 128;\npub const RESP_B: u8 = 129;\n";
+        let proto = model("crates/serve/src/protocol.rs", src);
+        let d = analyze(&ProtocolInputs {
+            protocol: Some(&proto),
+            server: None,
+            client: None,
+            design_md: None,
+        });
+        assert!(d.iter().any(|x| x.message.contains("reuses value 1")), "{d:?}");
+    }
+
+    #[test]
+    fn undocumented_req_flagged() {
+        let src = "pub const REQ_LOAD: u8 = 1;\npub const RESP_LOADED: u8 = 128;\n";
+        let proto = model("crates/serve/src/protocol.rs", src);
+        let d = analyze(&ProtocolInputs {
+            protocol: Some(&proto),
+            server: None,
+            client: None,
+            design_md: Some("the protocol is documented elsewhere"),
+        });
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("DESIGN.md"));
+    }
+}

@@ -1,0 +1,359 @@
+//! Trace-site consistency.
+//!
+//! fs-trace's `Site` / `TraceCounter` taxonomy is a closed enum with a
+//! hand-maintained quartet per variant: the `ALL` export array, the
+//! dense `index()`, the stable `name()` string, and the two exporters
+//! that enumerate the registry. This analysis keeps them in sync and —
+//! the cross-file part — verifies that every `site="…"` string spelled
+//! anywhere in the workspace (tests asserting on exporter output, the
+//! `ci.sh` smoke-gate greps, docs) names a registered site.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::TokKind;
+use crate::model::FileModel;
+
+/// Inputs: the registry/exporter models plus every raw text to scan for
+/// `site="…"` references (path, content) — typically all `.rs` files,
+/// `ci.sh`, and the docs.
+pub struct TraceInputs<'a> {
+    pub site_rs: Option<&'a FileModel>,
+    pub export_rs: Option<&'a FileModel>,
+    pub reference_texts: &'a [(&'a Path, &'a str)],
+}
+
+/// Parse the `variant → name string` map of `impl <enum_name> { fn
+/// name(…) { match … } }`.
+fn name_arms(m: &FileModel, enum_name: &str) -> BTreeMap<String, String> {
+    let mut out = BTreeMap::new();
+    let Some((open, close)) = m.impl_body(enum_name) else { return out };
+    let Some((fn_open, fn_close)) = m.fn_body("name", Some((open, close))) else { return out };
+    let mut ci = fn_open;
+    while ci + 4 < fn_close {
+        // <Enum> :: <Variant> => "literal"
+        if m.is_ident(ci, enum_name)
+            && m.is_punct(ci + 1, ':')
+            && m.is_punct(ci + 2, ':')
+            && m.kind(ci + 3) == TokKind::Ident
+            && m.is_punct(ci + 4, '=')
+            && ci + 6 < fn_close
+            && m.is_punct(ci + 5, '>')
+            && m.kind(ci + 6) == TokKind::Str
+        {
+            out.insert(m.text(ci + 3).to_string(), m.str_value(ci + 6));
+            ci += 7;
+        } else {
+            ci += 1;
+        }
+    }
+    out
+}
+
+/// Count `Enum::Variant` occurrences inside the `ALL` const of the impl.
+fn all_array_counts(m: &FileModel, enum_name: &str) -> BTreeMap<String, usize> {
+    let mut out = BTreeMap::new();
+    let Some((open, close)) = m.impl_body(enum_name) else { return out };
+    // Find `const ALL` then the `[` … `]` initializer.
+    for ci in open..close {
+        if m.is_ident(ci, "const") && m.is_ident(ci + 1, "ALL") {
+            let Some(start) = (ci..close).find(|&j| m.is_punct(j, '=')) else { return out };
+            let mut j = start;
+            let mut depth = 0i32;
+            while j < close {
+                if m.is_punct(j, '[') {
+                    depth += 1;
+                } else if m.is_punct(j, ']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if depth > 0
+                    && m.is_ident(j, enum_name)
+                    && j + 3 < close
+                    && m.is_punct(j + 1, ':')
+                    && m.is_punct(j + 2, ':')
+                    && m.kind(j + 3) == TokKind::Ident
+                {
+                    *out.entry(m.text(j + 3).to_string()).or_insert(0) += 1;
+                }
+                j += 1;
+            }
+            return out;
+        }
+    }
+    out
+}
+
+fn check_enum(
+    m: &FileModel,
+    enum_name: &str,
+    count_const: &str,
+    out: &mut Vec<Diagnostic>,
+) -> BTreeMap<String, String> {
+    let variants = m.enum_variants(enum_name);
+    let names = name_arms(m, enum_name);
+    let all = all_array_counts(m, enum_name);
+    for (v, line) in &variants {
+        if !names.contains_key(v) {
+            out.push(Diagnostic::new(
+                "trace-site",
+                Severity::Error,
+                &m.path,
+                *line,
+                format!("`{enum_name}::{v}` has no arm in `name()`"),
+            ));
+        }
+        match all.get(v) {
+            Some(1) => {}
+            Some(n) => out.push(Diagnostic::new(
+                "trace-site",
+                Severity::Error,
+                &m.path,
+                *line,
+                format!("`{enum_name}::{v}` appears {n} times in `{enum_name}::ALL`"),
+            )),
+            None => out.push(Diagnostic::new(
+                "trace-site",
+                Severity::Error,
+                &m.path,
+                *line,
+                format!("`{enum_name}::{v}` is missing from `{enum_name}::ALL`"),
+            )),
+        }
+    }
+    // Duplicate export names would silently merge series.
+    let mut seen: BTreeMap<&str, &str> = BTreeMap::new();
+    for (v, n) in &names {
+        if let Some(prev) = seen.insert(n.as_str(), v.as_str()) {
+            out.push(Diagnostic::new(
+                "trace-site",
+                Severity::Error,
+                &m.path,
+                1,
+                format!("`{enum_name}::{v}` and `{enum_name}::{prev}` share export name {n:?}"),
+            ));
+        }
+    }
+    // The declared count must match the variant count.
+    for ci in 0..m.len().saturating_sub(5) {
+        if m.is_ident(ci, "const")
+            && m.is_ident(ci + 1, count_const)
+            && m.is_punct(ci + 4, '=')
+            && m.kind(ci + 5) == TokKind::Number
+        {
+            let declared: usize = m.text(ci + 5).parse().unwrap_or(0);
+            if declared != variants.len() {
+                out.push(Diagnostic::new(
+                    "trace-site",
+                    Severity::Error,
+                    &m.path,
+                    m.line(ci + 1),
+                    format!(
+                        "`{count_const}` is {declared} but `{enum_name}` has {} variants",
+                        variants.len()
+                    ),
+                ));
+            }
+        }
+    }
+    names
+}
+
+/// Extract every `site="NAME"` reference from raw text (handles both
+/// shell/doc text and `site=\"NAME\"` spelled inside Rust string
+/// literals).
+fn site_refs(text: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    let bytes = text.as_bytes();
+    let mut search = 0usize;
+    while let Some(pos) = text[search..].find("site=") {
+        let mut i = search + pos + "site=".len();
+        // Optional escaped or plain quote.
+        if bytes.get(i) == Some(&b'\\') {
+            i += 1;
+        }
+        if bytes.get(i) == Some(&b'"') {
+            i += 1;
+            let start = i;
+            while i < bytes.len()
+                && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'.' || bytes[i] == b'_')
+            {
+                i += 1;
+            }
+            let name = &text[start..i];
+            // Registered names are lowercase dotted identifiers; skip
+            // documentation placeholders (`site="NAME"`, `site="..."`).
+            let plausible = name.bytes().any(|b| b.is_ascii_lowercase())
+                && !name.bytes().any(|b| b.is_ascii_uppercase());
+            if i > start
+                && plausible
+                && (bytes.get(i) == Some(&b'"') || bytes.get(i) == Some(&b'\\'))
+            {
+                let line = text[..start].matches('\n').count() + 1;
+                out.push((line, name.to_string()));
+            }
+        }
+        search = search + pos + "site=".len();
+    }
+    out
+}
+
+/// Run the analysis.
+pub fn analyze(inp: &TraceInputs<'_>) -> Vec<Diagnostic> {
+    let Some(site) = inp.site_rs else { return Vec::new() };
+    let mut out = Vec::new();
+    let site_names = check_enum(site, "Site", "SITE_COUNT", &mut out);
+    let counter_names = check_enum(site, "TraceCounter", "COUNTER_COUNT", &mut out);
+
+    // Both exporters must enumerate the registry's span slots (and the
+    // Prometheus exporter the counter slots too) — that's what makes
+    // "every registered site appears in both exports" true by
+    // construction.
+    if let Some(export) = inp.export_rs {
+        for (fn_name, needs_counters) in [("chrome_trace", false), ("prometheus_text", true)] {
+            match export.fn_body(fn_name, None) {
+                Some((open, close)) => {
+                    let mentions = |word: &str| (open..close).any(|ci| export.is_ident(ci, word));
+                    if !mentions("spans") {
+                        out.push(Diagnostic::new(
+                            "trace-site",
+                            Severity::Error,
+                            &export.path,
+                            export.line(open),
+                            format!("exporter `{fn_name}` does not enumerate registry span slots"),
+                        ));
+                    }
+                    if needs_counters && !mentions("counters") {
+                        out.push(Diagnostic::new(
+                            "trace-site",
+                            Severity::Error,
+                            &export.path,
+                            export.line(open),
+                            format!("exporter `{fn_name}` does not enumerate registry counters"),
+                        ));
+                    }
+                }
+                None => out.push(Diagnostic::new(
+                    "trace-site",
+                    Severity::Error,
+                    &export.path,
+                    1,
+                    format!("exporter `{fn_name}` not found"),
+                )),
+            }
+        }
+    }
+
+    // Every site="…" string reference anywhere must name a registered site.
+    let registered: Vec<&str> =
+        site_names.values().chain(counter_names.values()).map(String::as_str).collect();
+    for (path, text) in inp.reference_texts {
+        for (line, name) in site_refs(text) {
+            if !registered.contains(&name.as_str()) {
+                out.push(Diagnostic::new(
+                    "trace-site",
+                    Severity::Error,
+                    *path,
+                    u32::try_from(line).unwrap_or(u32::MAX),
+                    format!("reference to unregistered trace site {name:?}"),
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    const SITE_FIXTURE: &str = "pub enum Site { Translate, Verify, }\n\
+        pub const SITE_COUNT: usize = 2;\n\
+        impl Site {\n\
+          pub const ALL: [Site; SITE_COUNT] = [Site::Translate, Site::Verify];\n\
+          pub fn name(self) -> &'static str { match self { Site::Translate => \"translate\", Site::Verify => \"verify\" } }\n\
+        }\n\
+        pub enum TraceCounter { Mmas, }\n\
+        pub const COUNTER_COUNT: usize = 1;\n\
+        impl TraceCounter {\n\
+          pub const ALL: [TraceCounter; COUNTER_COUNT] = [TraceCounter::Mmas];\n\
+          pub fn name(self) -> &'static str { match self { TraceCounter::Mmas => \"mmas\" } }\n\
+        }\n";
+
+    fn site_model(src: &str) -> FileModel {
+        FileModel::new(PathBuf::from("crates/trace/src/site.rs"), src.to_string())
+    }
+
+    #[test]
+    fn consistent_registry_is_clean() {
+        let site = site_model(SITE_FIXTURE);
+        let d =
+            analyze(&TraceInputs { site_rs: Some(&site), export_rs: None, reference_texts: &[] });
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn missing_all_entry_and_count_mismatch_flagged() {
+        let src = SITE_FIXTURE.replace(", Site::Verify]", "]");
+        let site = site_model(&src);
+        let d =
+            analyze(&TraceInputs { site_rs: Some(&site), export_rs: None, reference_texts: &[] });
+        assert!(d.iter().any(|x| x.message.contains("missing from `Site::ALL`")), "{d:?}");
+        let src = SITE_FIXTURE.replace("SITE_COUNT: usize = 2", "SITE_COUNT: usize = 3");
+        let site = site_model(&src);
+        let d =
+            analyze(&TraceInputs { site_rs: Some(&site), export_rs: None, reference_texts: &[] });
+        assert!(d.iter().any(|x| x.message.contains("`SITE_COUNT` is 3")), "{d:?}");
+    }
+
+    #[test]
+    fn missing_name_arm_flagged() {
+        let src =
+            SITE_FIXTURE.replace("Site::Verify => \"verify\"", "Site::Verify => \"translate\"");
+        let site = site_model(&src);
+        let d =
+            analyze(&TraceInputs { site_rs: Some(&site), export_rs: None, reference_texts: &[] });
+        assert!(d.iter().any(|x| x.message.contains("share export name")), "{d:?}");
+    }
+
+    #[test]
+    fn unregistered_site_reference_flagged() {
+        let site = site_model(SITE_FIXTURE);
+        let ci_sh = "grep -q 'site=\"serve.bogus\"' trace.json\ngrep 'site=\"verify\"' x\n";
+        let p = PathBuf::from("ci.sh");
+        let refs: Vec<(&Path, &str)> = vec![(p.as_path(), ci_sh)];
+        let d =
+            analyze(&TraceInputs { site_rs: Some(&site), export_rs: None, reference_texts: &refs });
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("serve.bogus"));
+        assert_eq!(d[0].line, 1);
+    }
+
+    #[test]
+    fn rust_escaped_site_reference_parsed() {
+        let refs = site_refs("assert!(text.contains(\"site=\\\"verify\\\"\"));");
+        assert_eq!(refs.len(), 1);
+        assert_eq!(refs[0].1, "verify");
+    }
+
+    #[test]
+    fn exporter_must_enumerate_registry() {
+        let site = site_model(SITE_FIXTURE);
+        let export = FileModel::new(
+            PathBuf::from("crates/trace/src/export.rs"),
+            "pub fn chrome_trace(snap: &S) -> String { for s in &snap.spans {} String::new() }\n\
+             pub fn prometheus_text(snap: &S) -> String { format!(\"{}\", snap.events.len()) }\n"
+                .to_string(),
+        );
+        let d = analyze(&TraceInputs {
+            site_rs: Some(&site),
+            export_rs: Some(&export),
+            reference_texts: &[],
+        });
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d.iter().all(|x| x.message.contains("prometheus_text")), "{d:?}");
+    }
+}

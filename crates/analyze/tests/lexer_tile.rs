@@ -1,0 +1,85 @@
+//! The lexer's one structural invariant, checked exhaustively: token
+//! spans exactly tile the input — no gaps, no overlaps, no dropped
+//! bytes — for randomly composed Rust-ish sources (proptest) and for
+//! every real `.rs` file in the workspace.
+
+use std::path::Path;
+
+use analyze::lexer::{lex, Token};
+use proptest::prelude::*;
+
+fn assert_tiles(src: &str, ctx: &str) {
+    let tokens: Vec<Token> = lex(src);
+    let mut pos = 0usize;
+    for t in &tokens {
+        assert_eq!(t.start, pos, "{ctx}: gap or overlap before byte {pos}");
+        assert!(t.end > t.start, "{ctx}: empty token at byte {pos}");
+        pos = t.end;
+    }
+    assert_eq!(pos, src.len(), "{ctx}: trailing bytes not tokenized");
+    if src.is_empty() {
+        assert!(tokens.is_empty(), "{ctx}: tokens from empty input");
+    }
+}
+
+// Fragments chosen to hit the tricky lexer states: raw strings with
+// varying hash counts, nested block comments, char-vs-lifetime, escaped
+// quotes, byte strings, raw identifiers, multibyte UTF-8, and unclosed
+// delimiters (the lexer must still terminate and tile).
+const FRAGMENTS: &[&str] = &[
+    "fn f() { }",
+    "let s = \"a \\\" b\";",
+    "let r = r#\"x \" y\"#;",
+    "let r2 = r##\"# \"# #\"##;",
+    "/* outer /* inner */ still */",
+    "// line comment\n",
+    "/// doc with `code` and \"quotes\"\n",
+    "let c = 'x';",
+    "let esc = '\\'';",
+    "let nl = '\\n';",
+    "&'static str",
+    "'label: loop { break 'label; }",
+    "let b = b\"bytes\";",
+    "let br = br#\"raw bytes\"#;",
+    "let r#type = 1;",
+    "let emoji = \"héllo → ∎\";",
+    "x as u32",
+    "0x1f_u64",
+    "1.5e-3",
+    "0..=9",
+    "m.lock()",
+    "\"unterminated",
+    "/* unterminated",
+    "r#\"unterminated",
+    "'",
+    "#",
+    "::<>",
+    "\n\t ",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn token_spans_tile_random_sources(
+        parts in prop::collection::vec(prop::sample::select(FRAGMENTS.to_vec()), 0..24)
+    ) {
+        let src = parts.join(" ");
+        assert_tiles(&src, "random source");
+        // Also without separators, so fragments can fuse mid-token.
+        let fused = parts.concat();
+        assert_tiles(&fused, "fused source");
+    }
+}
+
+#[test]
+fn token_spans_tile_every_workspace_file() {
+    // CARGO_MANIFEST_DIR = <repo>/crates/analyze → repo root is two up.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).ancestors().nth(2).expect("repo root");
+    let files = analyze::model::collect_rs_files(root).expect("workspace walk");
+    assert!(files.len() > 100, "expected a real workspace, found {} files", files.len());
+    for rel in files {
+        let src = std::fs::read_to_string(root.join(&rel)).expect("read source");
+        assert_tiles(&src, &rel.to_string_lossy());
+    }
+}

@@ -51,6 +51,7 @@ fn lock_active() -> MutexGuard<'static, Option<Arc<ActivePlan>>> {
 /// off-path hook pays.
 #[inline]
 pub fn chaos_enabled() -> bool {
+    // lint: relaxed-ok - the plan itself lives behind the ACTIVE mutex, which synchronizes
     ENABLED.load(Ordering::Relaxed)
 }
 
@@ -59,11 +60,13 @@ pub fn chaos_enabled() -> bool {
 pub fn install(plan: FaultPlan) {
     let active = plan.is_active();
     *lock_active() = Some(Arc::new(ActivePlan::new(plan)));
+    // lint: relaxed-ok - ENABLED is a hint; readers take the ACTIVE mutex before touching the plan
     ENABLED.store(active, Ordering::Relaxed);
 }
 
 /// Remove the active plan (hooks return to the one-branch off path).
 pub fn uninstall() {
+    // lint: relaxed-ok - readers that still see true find None under the mutex and back off
     ENABLED.store(false, Ordering::Relaxed);
     *lock_active() = None;
 }

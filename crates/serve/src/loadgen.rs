@@ -8,7 +8,7 @@
 //! coordinated-omission-free number).
 
 use std::net::SocketAddr;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
@@ -294,8 +294,6 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadReport, String> {
 
     let issued = Arc::new(AtomicUsize::new(0));
     let started = Instant::now();
-    let start_nanos = Arc::new(AtomicU64::new(0));
-    start_nanos.store(0, Ordering::Relaxed);
 
     let mut handles = Vec::new();
     for w in 0..cfg.concurrency.max(1) {

@@ -336,7 +336,7 @@ fn put_f32s(out: &mut Vec<u8>, values: &[f32]) {
 const REQ_LOAD: u8 = 1;
 const REQ_SPMM: u8 = 2;
 const REQ_METRICS: u8 = 3;
-const REQ_PING: u8 = 4;
+const REQ_PING: u8 = 4; // lint: resp-pair RESP_PONG
 const REQ_SHUTDOWN: u8 = 5;
 const REQ_TRACE: u8 = 6;
 

@@ -9,10 +9,12 @@ pub struct KernelCounters {
     /// `mma.sync` invocations.
     pub mma_count: u64,
     /// WMMA (C++ API) invocations.
+    // lint: fast-exempt - written only by baseline kernels (tcgnn), which never take the fast path
     pub wmma_count: u64,
     /// Floating-point ops performed on tensor cores (2·m·n·k per MMA).
     pub tcu_flops: u64,
     /// Floating-point ops performed on CUDA cores (2 per FMA).
+    // lint: fast-exempt - written only by CUDA-core baselines (cusparse-like), never the fast path
     pub cuda_flops: u64,
     /// 32-byte load transactions issued to global memory.
     pub load_transactions: u64,
@@ -35,6 +37,7 @@ pub struct KernelCounters {
     /// Sanitizer violations attributed to this kernel execution (zero
     /// unless a [`crate::sanitize`] mode is active *and* the kernel
     /// misbehaved).
+    // lint: fast-exempt - only the instrumented simulator can observe violations; fast path skips it
     pub sanitizer_violations: u64,
 }
 

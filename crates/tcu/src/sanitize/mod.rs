@@ -53,6 +53,7 @@ static MODE: AtomicU8 = AtomicU8::new(0);
 
 /// The current process-wide sanitize mode.
 pub fn sanitize_mode() -> SanitizeMode {
+    // lint: relaxed-ok - MODE gates thread-local report state only; no cross-thread publication
     match MODE.load(Ordering::Relaxed) {
         1 => SanitizeMode::Record,
         2 => SanitizeMode::Panic,
@@ -69,6 +70,7 @@ pub fn set_sanitize_mode(mode: SanitizeMode) {
         SanitizeMode::Record => 1,
         SanitizeMode::Panic => 2,
     };
+    // lint: relaxed-ok - SanitizeScope serializes mode changes; violations land thread-locally
     MODE.store(v, Ordering::Relaxed);
 }
 
@@ -76,6 +78,7 @@ pub fn set_sanitize_mode(mode: SanitizeMode) {
 /// pays.
 #[inline]
 pub fn sanitize_enabled() -> bool {
+    // lint: relaxed-ok - one-branch off-path check; gates no shared non-atomic data
     MODE.load(Ordering::Relaxed) != 0
 }
 

@@ -39,12 +39,14 @@ static ARMED: AtomicBool = AtomicBool::new(false);
 /// site pays.
 #[inline]
 pub fn trace_enabled() -> bool {
+    // lint: relaxed-ok - ARMED gates no non-atomic data; a racing span is included or excluded
     ARMED.load(Ordering::Relaxed)
 }
 
 /// Arm or disarm tracing process-wide. Prefer [`TraceScope`] in tests;
 /// binaries arm once at startup.
 pub fn set_armed(on: bool) {
+    // lint: relaxed-ok - arming happens-before observed traffic via thread spawn / request send
     ARMED.store(on, Ordering::Relaxed);
 }
 
