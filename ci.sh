@@ -132,4 +132,58 @@ if [ "$CHAOS_OK" != 1 ]; then
   exit 1
 fi
 
+echo "== cluster smoke test"
+# Three plain fs-serve shards behind an fs-cluster router carrying a
+# seeded shard-kill plan. loadgen --cluster --chaos verifies every
+# completed response row-by-row against its local reference (present
+# rows within tolerance, lost rows exactly zero) and exits nonzero on
+# any silently wrong row; the seeded kills must surface as degraded
+# responses in the report. The slab-exact bitmap assertions live in
+# crates/cluster/tests/cluster_e2e.rs.
+SHARD1_PORT=$((SERVE_PORT + 2))
+SHARD2_PORT=$((SERVE_PORT + 3))
+SHARD3_PORT=$((SERVE_PORT + 4))
+ROUTER_PORT=$((SERVE_PORT + 5))
+CLUSTER_LOG=$(mktemp)
+./target/release/fs-serve --addr "127.0.0.1:${SHARD1_PORT}" --workers 1 &
+SHARD1_PID=$!
+./target/release/fs-serve --addr "127.0.0.1:${SHARD2_PORT}" --workers 1 &
+SHARD2_PID=$!
+./target/release/fs-serve --addr "127.0.0.1:${SHARD3_PORT}" --workers 1 &
+SHARD3_PID=$!
+./target/release/fs-cluster --addr "127.0.0.1:${ROUTER_PORT}" \
+    --shards "127.0.0.1:${SHARD1_PORT},127.0.0.1:${SHARD2_PORT},127.0.0.1:${SHARD3_PORT}" \
+    --connect-timeout-ms 10000 \
+    --chaos "seed=11;shard-kill=0.05;shard-stall=0.05;stall-ms=1" &
+ROUTER_PID=$!
+CLUSTER_OK=0
+if ./target/release/loadgen \
+    --addr "127.0.0.1:${ROUTER_PORT}" --cluster \
+    --matrix uniform:256x256x4096 --n 16 \
+    --requests 120 --concurrency 2 \
+    --wait-ready-ms 15000 --shutdown --chaos | tee "$CLUSTER_LOG"; then
+  CLUSTER_OK=1
+fi
+if ! wait "$ROUTER_PID"; then
+  echo "ci: fs-cluster exited uncleanly" >&2
+  exit 1
+fi
+for PID in "$SHARD1_PID" "$SHARD2_PID" "$SHARD3_PID"; do
+  if ! wait "$PID"; then
+    echo "ci: a cluster shard exited uncleanly" >&2
+    exit 1
+  fi
+done
+if [ "$CLUSTER_OK" != 1 ]; then
+  echo "ci: cluster smoke test failed" >&2
+  exit 1
+fi
+DEGRADED=$(sed -n 's/.*"degraded":\([0-9]*\).*/\1/p' "$CLUSTER_LOG")
+if ! awk -v d="${DEGRADED:-0}" 'BEGIN { exit !(d > 0) }'; then
+  echo "ci: seeded shard kills produced no degraded responses" >&2
+  exit 1
+fi
+rm -f "$CLUSTER_LOG"
+echo "ci: cluster smoke survived ${DEGRADED} degraded responses with zero wrong rows"
+
 echo "ci: all gates passed"

@@ -34,11 +34,15 @@ pub enum FaultSite {
     FrameCorrupt,
     /// Truncate an outbound protocol frame mid-payload (server side).
     FrameTruncate,
+    /// Kill one shard for the rest of a scatter round (`fs-cluster`).
+    ShardKill,
+    /// Stall one shard's scatter call for the plan's `stall-ms`.
+    ShardStall,
 }
 
 impl FaultSite {
     /// Number of sites (array sizing for rates and counters).
-    pub const COUNT: usize = 8;
+    pub const COUNT: usize = 10;
 
     /// Every site, in index order.
     pub const ALL: [FaultSite; FaultSite::COUNT] = [
@@ -50,6 +54,8 @@ impl FaultSite {
         FaultSite::WorkerStall,
         FaultSite::FrameCorrupt,
         FaultSite::FrameTruncate,
+        FaultSite::ShardKill,
+        FaultSite::ShardStall,
     ];
 
     /// Dense index into per-site arrays.
@@ -64,6 +70,8 @@ impl FaultSite {
             FaultSite::WorkerStall => 5,
             FaultSite::FrameCorrupt => 6,
             FaultSite::FrameTruncate => 7,
+            FaultSite::ShardKill => 8,
+            FaultSite::ShardStall => 9,
         }
     }
 
@@ -78,6 +86,8 @@ impl FaultSite {
             FaultSite::WorkerStall => "worker-stall",
             FaultSite::FrameCorrupt => "frame-corrupt",
             FaultSite::FrameTruncate => "frame-truncate",
+            FaultSite::ShardKill => "shard-kill",
+            FaultSite::ShardStall => "shard-stall",
         }
     }
 

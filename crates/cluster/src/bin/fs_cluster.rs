@@ -1,0 +1,172 @@
+//! The `fs-cluster` router daemon: scatter-gather SpMM over fs-serve shards.
+//!
+//! ```text
+//! fs-cluster --shards HOST:PORT,HOST:PORT,... [--addr 127.0.0.1:7948]
+//!            [--replicate] [--deadline-ms MS] [--connect-timeout-ms MS]
+//!            [--max-dim N] [--chaos PLAN] [--trace] [--trace-out FILE]
+//! ```
+//!
+//! Shards are plain `fs-serve` processes started separately; the router
+//! pings each one at startup and records its `start_epoch` from the
+//! metrics document so later restarts are detected. `--replicate`
+//! registers every row slab on a second shard so a single shard loss
+//! degrades nothing.
+//!
+//! `--chaos PLAN` installs a deterministic fault plan (e.g.
+//! `seed=7;shard-kill=0.05`) on the *router* — injected shard kills and
+//! stalls exercise the retry/degrade paths without touching the real
+//! shard processes, and the final fault report prints on clean exit so
+//! a soak replays from the seed string alone.
+
+use std::time::Duration;
+
+use fs_cluster::{parse_start_epoch, Router, RouterConfig};
+use fs_serve::{FlagParser, ServeClient};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fs-cluster --shards HOST:PORT,... [--addr HOST:PORT] [--replicate]\n\
+         \x20                 [--deadline-ms MS] [--connect-timeout-ms MS] [--max-dim N]\n\
+         \x20                 [--chaos PLAN] [--trace] [--trace-out FILE]"
+    );
+    std::process::exit(2);
+}
+
+struct TraceFlags {
+    armed: bool,
+    out: Option<String>,
+}
+
+fn apply_flag(
+    flag: &str,
+    p: &mut FlagParser,
+    cfg: &mut RouterConfig,
+    chaos: &mut Option<fs_chaos::FaultPlan>,
+    trace: &mut TraceFlags,
+) -> Result<(), String> {
+    match flag {
+        "--addr" => cfg.addr = p.value(flag)?,
+        "--shards" => {
+            cfg.shards = p.value(flag)?.split(',').map(str::trim).map(str::to_string).collect();
+            cfg.shards.retain(|s| !s.is_empty());
+        }
+        "--replicate" => cfg.replicate = true,
+        "--deadline-ms" => cfg.default_deadline_ms = p.typed(flag)?,
+        "--connect-timeout-ms" => {
+            cfg.connect_timeout = Duration::from_millis(p.typed::<u64>(flag)?);
+        }
+        "--max-dim" => cfg.max_load_dim = p.typed(flag)?,
+        "--chaos" => *chaos = Some(p.typed(flag)?),
+        "--trace" => trace.armed = true,
+        "--trace-out" => {
+            trace.armed = true;
+            trace.out = Some(p.value(flag)?);
+        }
+        other => return Err(format!("unknown flag {other}")),
+    }
+    Ok(())
+}
+
+/// Probe one shard: ping it and read its `start_epoch` so the router
+/// can tell a restart from a reconnect later. A refused dial (shard
+/// still coming up) is retried until the connect-timeout budget is
+/// spent, so router and shards can be launched in the same breath.
+fn probe_shard(addr: &str, connect_timeout: Duration) -> Result<u64, String> {
+    let deadline = std::time::Instant::now() + connect_timeout;
+    let mut client = loop {
+        match ServeClient::connect_with_timeout(addr, connect_timeout) {
+            Ok(c) => break c,
+            Err(_) if std::time::Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => return Err(format!("shard {addr} unreachable: {e}")),
+        }
+    };
+    let metrics = client.metrics().map_err(|e| format!("shard {addr} metrics failed: {e}"))?;
+    parse_start_epoch(&metrics).ok_or_else(|| format!("shard {addr} metrics carry no start_epoch"))
+}
+
+fn main() {
+    let mut p = FlagParser::from_env();
+    let mut cfg = RouterConfig { addr: "127.0.0.1:7948".to_string(), ..RouterConfig::default() };
+    let mut chaos: Option<fs_chaos::FaultPlan> = None;
+    let mut trace = TraceFlags { armed: false, out: None };
+
+    while let Some(flag) = p.next_flag() {
+        if matches!(flag.as_str(), "--help" | "-h") {
+            usage();
+        }
+        if let Err(msg) = apply_flag(&flag, &mut p, &mut cfg, &mut chaos, &mut trace) {
+            eprintln!("fs-cluster: {msg}");
+            usage();
+        }
+    }
+    if cfg.shards.is_empty() {
+        eprintln!("fs-cluster: at least one --shards address is required");
+        usage();
+    }
+
+    if trace.armed {
+        fs_trace::set_armed(true);
+        println!("fs-cluster tracing: armed");
+    }
+    if let Some(plan) = &chaos {
+        fs_chaos::install(plan.clone());
+        println!("fs-cluster chaos plan: {plan}");
+    }
+
+    // Probe every static shard up front: fail fast on a typo'd address
+    // instead of degrading the first real request.
+    let mut epochs = Vec::with_capacity(cfg.shards.len());
+    for addr in &cfg.shards {
+        match probe_shard(addr, cfg.connect_timeout) {
+            Ok(epoch) => {
+                println!("fs-cluster shard {addr}: start_epoch={epoch}");
+                epochs.push((addr.clone(), epoch));
+            }
+            Err(msg) => {
+                eprintln!("fs-cluster: {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let router = match Router::bind(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fs-cluster: failed to bind {}: {e}", cfg.addr);
+            std::process::exit(1);
+        }
+    };
+    for (addr, epoch) in epochs {
+        router.state().join_shard(addr, epoch);
+    }
+    println!(
+        "fs-cluster routing on {} over {} shard(s){}",
+        router.local_addr(),
+        cfg.shards.len(),
+        if cfg.replicate { ", REPLICATED" } else { "" },
+    );
+    if let Err(e) = router.run() {
+        eprintln!("fs-cluster: accept loop failed: {e}");
+        std::process::exit(1);
+    }
+    if chaos.is_some() {
+        println!("fs-cluster chaos faults: {}", fs_chaos::report().to_json());
+    }
+    if trace.armed {
+        let snap = fs_trace::snapshot();
+        print!("{}", fs_trace::export::prometheus_text(&snap));
+        if let Some(path) = &trace.out {
+            let chrome = fs_trace::export::chrome_trace(&snap);
+            match std::fs::write(path, chrome) {
+                Ok(()) => println!("fs-cluster trace timeline: {path}"),
+                Err(e) => {
+                    eprintln!("fs-cluster: failed to write {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+    println!("fs-cluster: drained and stopped");
+}

@@ -1,0 +1,58 @@
+//! fs-cluster: sharded multi-node serving with scatter-gather SpMM.
+//!
+//! One `fs-serve` process caps how large a registered matrix can be
+//! (`--max-matrix-mb`) and how much SpMM throughput one socket can
+//! carry. This crate shards *across* processes without touching them:
+//! shards are plain `fs-serve` servers, and the router speaks the same
+//! length-prefixed protocol on both sides.
+//!
+//! - [`shardmap`] — rendezvous-hash placement of matrices onto shard
+//!   *addresses* plus contiguous near-even row-slab assignment, so the
+//!   slab layout is a pure function of `(shard set, fingerprint)` and
+//!   survives router restarts.
+//! - [`router`] — the front-end daemon: `Load` splits a matrix into row
+//!   slabs and registers each on its primary (and optional replica)
+//!   shard; `ClusterSpmm` scatters the dense operand, bounds each shard
+//!   by the request deadline, retries lost slabs on replicas, and
+//!   gathers the row slabs back into one output. A slab lost past its
+//!   replica degrades the response — zero-filled rows plus a
+//!   present-rows bitmap — instead of failing it.
+//!
+//! Row partitioning is exact for SpMM: each output row of `A·B` depends
+//! only on its own sparse row of `A`, so concatenating per-slab outputs
+//! is bit-identical to the unsharded product (pinned by proptests in
+//! `tests/partition.rs`).
+//!
+//! Chaos integration: `shard-kill` / `shard-stall` fault sites are drawn
+//! sequentially per slab on the request thread before the scatter fans
+//! out, so a seeded soak replays bit-identical response bytes and fault
+//! counters from the plan string alone. Scatter phases are traced under
+//! the `cluster.route` / `cluster.scatter` / `cluster.gather` /
+//! `cluster.shard_wait` spans.
+//!
+//! # Example
+//!
+//! Placement is deterministic and join-order independent:
+//!
+//! ```
+//! use fs_cluster::ShardMap;
+//!
+//! let a = ShardMap::from_addrs(vec!["10.0.0.1:7949", "10.0.0.2:7949"], true);
+//! let b = ShardMap::from_addrs(vec!["10.0.0.2:7949", "10.0.0.1:7949"], true);
+//! let fingerprint = (0x5EED, 0xF00D);
+//! let slabs = a.assign(fingerprint, 100);
+//! assert_eq!(slabs.len(), 2);
+//! assert_eq!(slabs[0].rows, 0..50);
+//! // Same addresses, different join order: same slab -> address map.
+//! let addr = |m: &ShardMap, i: usize| m.shards()[i].addr.clone();
+//! assert_eq!(
+//!     addr(&a, a.assign(fingerprint, 100)[0].primary),
+//!     addr(&b, b.assign(fingerprint, 100)[0].primary),
+//! );
+//! ```
+
+pub mod router;
+pub mod shardmap;
+
+pub use router::{parse_start_epoch, Router, RouterConfig, RouterState};
+pub use shardmap::{JoinOutcome, ShardInfo, ShardMap, SlabAssignment};

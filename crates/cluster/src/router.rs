@@ -1,0 +1,742 @@
+//! The scatter-gather router: the TCP front end clients talk to when a
+//! matrix is too large (or too hot) for one `fs-serve` process.
+//!
+//! The router speaks the same length-prefixed protocol as the shards it
+//! fronts. `Load` row-partitions the matrix into contiguous slabs —
+//! placement by [`crate::ShardMap`] — and registers each slab (rebased
+//! to slab-local row indices) on its primary shard and, when replication
+//! is on, its replica. `ClusterSpmm` scatters the dense operand to every
+//! slab holder in parallel, bounded per shard by the request deadline,
+//! and gathers the row slabs back into one output.
+//!
+//! ## Partial failure
+//!
+//! A slab whose primary fails (connection refused, deadline, injected
+//! `shard-kill`) is retried on its replica; a slab lost past its replica
+//! degrades the response instead of failing it: missing rows are
+//! zero-filled and a present-rows bitmap tells the client exactly which
+//! rows to trust. `shards_ok` / `shards_failed` make the retry traffic
+//! visible per response.
+//!
+//! ## Determinism under chaos
+//!
+//! The `shard-kill` / `shard-stall` draws for all slabs are taken
+//! *sequentially on the request thread before the fan-out spawns*, in
+//! slab order — the parallel scatter workers never touch the injector —
+//! so a seeded soak over one connection replays bit-identical response
+//! bytes and fault counters from the plan string alone.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+use fs_chaos::FaultSite;
+use fs_matrix::{CooMatrix, CsrMatrix};
+use fs_serve::client::{ClientError, ServeClient};
+use fs_serve::protocol::{read_frame, write_frame, ErrorCode, Request, Response};
+use fs_serve::{Fingerprint, DEFAULT_MAX_LOAD_DIM};
+use fs_trace::Site;
+use parking_lot::Mutex;
+
+use crate::shardmap::ShardMap;
+
+/// Router configuration.
+#[derive(Clone, Debug)]
+pub struct RouterConfig {
+    /// Address to bind (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Static shard addresses (more can join via `ShardJoin`).
+    pub shards: Vec<String>,
+    /// Register every slab on a replica shard as well.
+    pub replicate: bool,
+    /// TCP dial bound for shard connections.
+    pub connect_timeout: Duration,
+    /// Per-shard deadline when a request carries none.
+    pub default_deadline_ms: u32,
+    /// Largest rows/cols a `Load` may declare (same guard as the shard
+    /// front end: dimensions are bounded before anything allocates).
+    pub max_load_dim: u32,
+}
+
+impl Default for RouterConfig {
+    fn default() -> RouterConfig {
+        RouterConfig {
+            addr: "127.0.0.1:0".to_string(),
+            shards: Vec::new(),
+            replicate: false,
+            connect_timeout: Duration::from_secs(2),
+            default_deadline_ms: 0,
+            max_load_dim: DEFAULT_MAX_LOAD_DIM,
+        }
+    }
+}
+
+/// One slab of a registered matrix: where its rows live.
+#[derive(Clone, Debug)]
+struct SlabState {
+    /// Global row range.
+    rows: Range<usize>,
+    /// Primary shard index.
+    primary: usize,
+    /// The slab's matrix id on the primary shard.
+    primary_id: u64,
+    /// Replica shard index and the slab's matrix id there.
+    replica: Option<(usize, u64)>,
+}
+
+/// A matrix registered through the router.
+#[derive(Debug)]
+struct ClusterMatrix {
+    tenant: String,
+    rows: usize,
+    cols: usize,
+    slabs: Vec<SlabState>,
+}
+
+/// A pooled connection to one shard. The slot is `None` until first use
+/// and after a transport error (the next call redials).
+#[derive(Default)]
+struct ShardConn {
+    client: Mutex<Option<ServeClient>>,
+}
+
+/// Cumulative router counters (exported in the metrics document).
+#[derive(Default)]
+struct RouterStats {
+    cluster_requests: AtomicU64,
+    degraded: AtomicU64,
+    shard_failures: AtomicU64,
+    replica_serves: AtomicU64,
+    shard_restarts: AtomicU64,
+}
+
+/// Shared router state: topology, matrix registry, connection pool.
+pub struct RouterState {
+    map: Mutex<ShardMap>,
+    matrices: Mutex<HashMap<u64, Arc<ClusterMatrix>>>,
+    conns: Mutex<HashMap<String, Arc<ShardConn>>>,
+    next_id: AtomicU64,
+    stats: RouterStats,
+    connect_timeout: Duration,
+    default_deadline_ms: u32,
+    max_load_dim: u32,
+}
+
+impl RouterState {
+    fn new(cfg: &RouterConfig) -> RouterState {
+        RouterState {
+            map: Mutex::new(ShardMap::from_addrs(cfg.shards.clone(), cfg.replicate)),
+            matrices: Mutex::new(HashMap::new()),
+            conns: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            stats: RouterStats::default(),
+            connect_timeout: cfg.connect_timeout,
+            default_deadline_ms: cfg.default_deadline_ms,
+            max_load_dim: cfg.max_load_dim,
+        }
+    }
+
+    /// The pooled connection slot for `addr` (created on first use).
+    /// Takes only the pool-map lock; the per-shard client lock is the
+    /// caller's, so two slabs on different shards never serialize.
+    fn conn(&self, addr: &str) -> Arc<ShardConn> {
+        let mut conns = self.conns.lock();
+        Arc::clone(conns.entry(addr.to_string()).or_default())
+    }
+
+    /// Run `f` against the pooled client for `addr`, dialing if the slot
+    /// is empty and dropping the connection after transport-level
+    /// failures so the next call starts fresh.
+    fn shard_call<T>(
+        &self,
+        addr: &str,
+        f: impl FnOnce(&mut ServeClient) -> Result<T, ClientError>,
+    ) -> Result<T, ClientError> {
+        let conn = self.conn(addr);
+        let mut slot = conn.client.lock();
+        if slot.is_none() {
+            *slot = Some(ServeClient::connect_with_timeout(addr, self.connect_timeout)?);
+        }
+        let result = match slot.as_mut() {
+            Some(client) => f(client),
+            None => Err(ClientError::Unexpected("no shard connection".to_string())),
+        };
+        if matches!(
+            result,
+            Err(ClientError::Io(_) | ClientError::Proto(_) | ClientError::Unexpected(_))
+        ) {
+            *slot = None;
+        }
+        result
+    }
+
+    /// Address of shard `index` (snapshot under the map lock).
+    fn shard_addr(&self, index: usize) -> Option<String> {
+        self.map.lock().shard(index).map(|s| s.addr.clone())
+    }
+
+    /// Register a shard (or refresh its epoch) — what the `ShardJoin`
+    /// request does, exposed for the daemon's startup probe.
+    pub fn join_shard(&self, addr: String, start_epoch: u64) -> crate::shardmap::JoinOutcome {
+        let outcome = self.map.lock().join(addr, start_epoch);
+        if outcome.restarted {
+            // lint: relaxed-ok - monotonic counter, read only for metrics
+            self.stats.shard_restarts.fetch_add(1, Ordering::Relaxed);
+        }
+        outcome
+    }
+}
+
+/// A bound, running router. Accepts until a `Shutdown` message arrives.
+pub struct Router {
+    state: Arc<RouterState>,
+    listener: TcpListener,
+    addr: SocketAddr,
+    start_epoch: u64,
+    stop: Arc<AtomicBool>,
+    conns: Arc<Mutex<Vec<(thread::JoinHandle<()>, TcpStream)>>>,
+}
+
+impl Router {
+    /// Bind the listener. The accept loop runs on the caller's thread
+    /// via [`Router::run`].
+    pub fn bind(cfg: &RouterConfig) -> io::Result<Router> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let start_epoch = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis().min(u128::from(u64::MAX)) as u64) // lint: checked-cast - clamped
+            .unwrap_or(0);
+        Ok(Router {
+            state: Arc::new(RouterState::new(cfg)),
+            listener,
+            addr,
+            start_epoch,
+            stop: Arc::new(AtomicBool::new(false)),
+            conns: Arc::new(Mutex::new(Vec::new())),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared router state (topology and counters).
+    pub fn state(&self) -> &Arc<RouterState> {
+        &self.state
+    }
+
+    /// Accept and serve connections until a `Shutdown` request arrives,
+    /// then propagate the shutdown to every shard and join every
+    /// connection thread.
+    pub fn run(self) -> io::Result<()> {
+        for conn in self.listener.incoming() {
+            if self.stop.load(Ordering::Acquire) {
+                break;
+            }
+            let stream = match conn {
+                Ok(s) => s,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => continue,
+                Err(e) => return Err(e),
+            };
+            let peer = match stream.try_clone() {
+                Ok(p) => p,
+                Err(_) => continue,
+            };
+            let state = Arc::clone(&self.state);
+            let stop = Arc::clone(&self.stop);
+            let addr = self.addr;
+            let start_epoch = self.start_epoch;
+            let handle = thread::Builder::new()
+                .name("fs-cluster-conn".to_string())
+                .spawn(move || handle_connection(stream, &state, &stop, addr, start_epoch))?;
+            self.conns.lock().push((handle, peer));
+            if self.stop.load(Ordering::Acquire) {
+                break;
+            }
+        }
+        // Tell every shard to drain too: one Shutdown against the router
+        // tears the whole cluster down, which is what scripted runs want.
+        let addrs: Vec<String> =
+            self.state.map.lock().shards().iter().map(|s| s.addr.clone()).collect();
+        for addr in addrs {
+            let _ = self.state.shard_call(&addr, |c| c.shutdown());
+        }
+        let conns: Vec<(thread::JoinHandle<()>, TcpStream)> =
+            std::mem::take(&mut *self.conns.lock());
+        for (_, peer) in &conns {
+            let _ = peer.shutdown(Shutdown::Read);
+        }
+        for (h, _) in conns {
+            let _ = h.join();
+        }
+        Ok(())
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    state: &Arc<RouterState>,
+    stop: &Arc<AtomicBool>,
+    router_addr: SocketAddr,
+    start_epoch: u64,
+) {
+    let _ = stream.set_nodelay(true);
+    let mut reader = match stream.try_clone() {
+        Ok(r) => r,
+        Err(_) => return,
+    };
+    let mut writer = stream;
+    loop {
+        let payload = match read_frame(&mut reader) {
+            Ok(Some(p)) => p,
+            Ok(None) => return,
+            Err(_) => return,
+        };
+        let response = match Request::decode(&payload) {
+            Ok(req) => {
+                let is_shutdown = matches!(req, Request::Shutdown);
+                let resp = dispatch(req, state, router_addr, start_epoch);
+                if is_shutdown {
+                    let _ = resp.encode().map(|bytes| write_frame(&mut writer, &bytes));
+                    stop.store(true, Ordering::Release);
+                    let _ = TcpStream::connect_timeout(&router_addr, Duration::from_secs(1));
+                    return;
+                }
+                resp
+            }
+            Err(e) => Response::Error { code: ErrorCode::BadRequest, message: e.to_string() },
+        };
+        let bytes = match response.encode() {
+            Ok(b) => b,
+            Err(e) => {
+                let fallback =
+                    Response::Error { code: ErrorCode::Internal, message: e.to_string() };
+                match fallback.encode() {
+                    Ok(b) => b,
+                    Err(_) => return,
+                }
+            }
+        };
+        if write_frame(&mut writer, &bytes).is_err() {
+            return;
+        }
+    }
+}
+
+fn dispatch(
+    req: Request,
+    state: &Arc<RouterState>,
+    addr: SocketAddr,
+    start_epoch: u64,
+) -> Response {
+    match req {
+        Request::Ping => Response::Pong,
+        Request::Shutdown => Response::ShutdownAck,
+        Request::Metrics => Response::Metrics { json: metrics_json(state, addr, start_epoch) },
+        Request::Trace => {
+            let snap = fs_trace::snapshot();
+            Response::Trace {
+                prometheus: fs_trace::export::prometheus_text(&snap),
+                chrome: fs_trace::export::chrome_trace(&snap),
+            }
+        }
+        Request::ShardJoin { addr: shard_addr, start_epoch: shard_epoch } => {
+            let outcome = state.join_shard(shard_addr, shard_epoch);
+            let count = state.map.lock().len();
+            Response::ShardJoined {
+                shard_index: outcome.index.min(u32::MAX as usize) as u32,
+                shard_count: count.min(u32::MAX as usize) as u32,
+            }
+        }
+        Request::Load { tenant, rows, cols, entries } => {
+            route_load(state, tenant, rows, cols, entries)
+        }
+        Request::ClusterSpmm { tenant: _, matrix_id, deadline_ms, b_rows, n, b } => {
+            cluster_spmm(state, matrix_id, deadline_ms, b_rows, n, b)
+        }
+        Request::Spmm { .. } => Response::Error {
+            code: ErrorCode::BadRequest,
+            message: "this is a router: use the cluster SpMM op (REQ_CLUSTER_SPMM)".to_string(),
+        },
+    }
+}
+
+/// Partition `entries` into row slabs and register each slab on its
+/// primary (and replica) shard. The router's matrix id maps to the
+/// per-shard slab ids.
+fn route_load(
+    state: &Arc<RouterState>,
+    tenant: String,
+    rows: u32,
+    cols: u32,
+    entries: Vec<(u32, u32, f32)>,
+) -> Response {
+    let _route = fs_trace::span(Site::ClusterRoute);
+    if rows > state.max_load_dim || cols > state.max_load_dim {
+        return Response::Error {
+            code: ErrorCode::BadRequest,
+            message: format!(
+                "matrix dimensions {rows}x{cols} exceed the router cap {}",
+                state.max_load_dim
+            ),
+        };
+    }
+    let (rows, cols) = (rows as usize, cols as usize);
+    let mut coo = CooMatrix::new(rows, cols);
+    for (r, c, v) in &entries {
+        if *r as usize >= rows || *c as usize >= cols {
+            return Response::Error {
+                code: ErrorCode::BadRequest,
+                message: format!("entry ({r},{c}) outside {rows}x{cols}"),
+            };
+        }
+        coo.push(*r as usize, *c as usize, *v);
+    }
+    let csr = CsrMatrix::from_coo(&coo.dedup());
+    let fp = Fingerprint::of(&csr);
+    let assignments = state.map.lock().assign((fp.hi(), fp.lo()), rows);
+    if assignments.is_empty() {
+        return Response::Error {
+            code: ErrorCode::ResourceExhausted,
+            message: "no shards joined".to_string(),
+        };
+    }
+
+    let mut slabs = Vec::with_capacity(assignments.len());
+    for a in &assignments {
+        // Rebase the slab's entries to slab-local row indices; columns
+        // are untouched (a row slab keeps every column).
+        let mut slab_coo = CooMatrix::new(a.rows.len(), cols);
+        for r in a.rows.clone() {
+            for (c, v) in csr.row_cols(r).iter().zip(csr.row_values(r)) {
+                slab_coo.push(r - a.rows.start, *c as usize, *v);
+            }
+        }
+        let slab_csr = CsrMatrix::from_coo(&slab_coo);
+        let primary_id = {
+            let Some(addr) = state.shard_addr(a.primary) else {
+                return Response::Error {
+                    code: ErrorCode::Internal,
+                    message: format!("shard {} left the map", a.primary),
+                };
+            };
+            match state.shard_call(&addr, |c| c.load_matrix(&tenant, &slab_csr)) {
+                Ok(loaded) => loaded.matrix_id,
+                Err(ClientError::Server { code, message }) => {
+                    return Response::Error { code, message }
+                }
+                Err(e) => {
+                    return Response::Error {
+                        code: ErrorCode::Internal,
+                        message: format!("slab load on {addr} failed: {e}"),
+                    }
+                }
+            }
+        };
+        // Replica registration is best-effort: a slab without a replica
+        // still serves, it just cannot survive a primary failure.
+        let replica = a.replica.and_then(|idx| {
+            let addr = state.shard_addr(idx)?;
+            state
+                .shard_call(&addr, |c| c.load_matrix(&tenant, &slab_csr))
+                .ok()
+                .map(|loaded| (idx, loaded.matrix_id))
+        });
+        slabs.push(SlabState { rows: a.rows.clone(), primary: a.primary, primary_id, replica });
+    }
+
+    let nnz = csr.nnz() as u64;
+    // lint: relaxed-ok - id allocation needs uniqueness, not ordering
+    let matrix_id = state.next_id.fetch_add(1, Ordering::Relaxed);
+    let matrix = Arc::new(ClusterMatrix { tenant, rows, cols, slabs });
+    state.matrices.lock().insert(matrix_id, matrix);
+    Response::Loaded { matrix_id, fingerprint_hi: fp.hi(), fingerprint_lo: fp.lo(), nnz }
+}
+
+/// One slab's scatter outcome.
+struct SlabOutcome {
+    rows: Range<usize>,
+    out: Option<Vec<f32>>,
+    failures: u64,
+    replica_served: bool,
+}
+
+/// Scatter the operand to every slab holder, gather the row slabs back.
+fn cluster_spmm(
+    state: &Arc<RouterState>,
+    matrix_id: u64,
+    deadline_ms: u32,
+    b_rows: u32,
+    n: u32,
+    b: Vec<f32>,
+) -> Response {
+    // lint: relaxed-ok - monotonic counter, read only for metrics
+    state.stats.cluster_requests.fetch_add(1, Ordering::Relaxed);
+    let matrix = {
+        let _route = fs_trace::span(Site::ClusterRoute);
+        match state.matrices.lock().get(&matrix_id) {
+            Some(m) => Arc::clone(m),
+            None => {
+                return Response::Error {
+                    code: ErrorCode::UnknownMatrix,
+                    message: format!("unknown matrix id {matrix_id}"),
+                }
+            }
+        }
+    };
+    if b_rows as usize != matrix.cols || b.len() != b_rows as usize * n as usize {
+        return Response::Error {
+            code: ErrorCode::BadRequest,
+            message: format!(
+                "operand is {b_rows}x{n} ({} values); matrix needs {} rows",
+                b.len(),
+                matrix.cols
+            ),
+        };
+    }
+    let deadline_ms = if deadline_ms == 0 { state.default_deadline_ms } else { deadline_ms };
+
+    // All chaos decisions for this request are drawn here, sequentially,
+    // in slab order — before any parallelism — so a seeded soak replays
+    // the identical fault pattern regardless of scatter thread timing.
+    let faults: Vec<(bool, bool)> = matrix
+        .slabs
+        .iter()
+        .map(|_| {
+            (
+                fs_chaos::draw(FaultSite::ShardKill).is_some(),
+                fs_chaos::draw(FaultSite::ShardStall).is_some(),
+            )
+        })
+        .collect();
+    let stall = fs_chaos::stall_duration();
+
+    let n_usize = n as usize;
+    let outcomes: Vec<SlabOutcome> = {
+        let _scatter = fs_trace::span(Site::ClusterScatter);
+        thread::scope(|scope| {
+            let handles: Vec<_> = matrix
+                .slabs
+                .iter()
+                .zip(&faults)
+                .map(|(slab, &(kill, stall_hit))| {
+                    let state = Arc::clone(state);
+                    let tenant = matrix.tenant.clone();
+                    let b = &b;
+                    scope.spawn(move || {
+                        serve_slab(&state, &tenant, slab, b, n_usize, deadline_ms, kill, {
+                            if stall_hit {
+                                Some(stall)
+                            } else {
+                                None
+                            }
+                        })
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .zip(&matrix.slabs)
+                .map(|(h, slab)| match h.join() {
+                    Ok(outcome) => outcome,
+                    Err(_) => SlabOutcome {
+                        rows: slab.rows.clone(),
+                        out: None,
+                        failures: 1,
+                        replica_served: false,
+                    },
+                })
+                .collect()
+        })
+    };
+
+    let _gather = fs_trace::span(Site::ClusterGather);
+    let rows = matrix.rows;
+    let mut out = vec![0.0f32; rows * n_usize];
+    let mut present = vec![0u8; rows.div_ceil(8)];
+    let mut degraded = false;
+    let mut shards_ok: u32 = 0;
+    let mut shards_failed: u64 = 0;
+    let mut replica_serves: u64 = 0;
+    for o in &outcomes {
+        shards_failed += o.failures;
+        if o.replica_served {
+            replica_serves += 1;
+        }
+        match &o.out {
+            Some(slab_out) => {
+                out[o.rows.start * n_usize..o.rows.end * n_usize].copy_from_slice(slab_out);
+                for r in o.rows.clone() {
+                    present[r / 8] |= 1 << (r % 8);
+                }
+                shards_ok += 1;
+            }
+            None => degraded = true,
+        }
+    }
+    if degraded {
+        // lint: relaxed-ok - monotonic counter, read only for metrics
+        state.stats.degraded.fetch_add(1, Ordering::Relaxed);
+    }
+    // lint: relaxed-ok - monotonic counter, read only for metrics
+    state.stats.shard_failures.fetch_add(shards_failed, Ordering::Relaxed);
+    // lint: relaxed-ok - monotonic counter, read only for metrics
+    state.stats.replica_serves.fetch_add(replica_serves, Ordering::Relaxed);
+    Response::ClusterSpmm {
+        rows: rows.min(u32::MAX as usize) as u32,
+        n,
+        out,
+        degraded,
+        present: if degraded { present } else { Vec::new() },
+        shards_ok,
+        shards_failed: shards_failed.min(u64::from(u32::MAX)) as u32,
+    }
+}
+
+/// One slab of a scatter: primary, then replica, inside a
+/// `cluster.shard_wait` span (the per-shard contribution to the fan-out
+/// tail).
+#[allow(clippy::too_many_arguments)]
+fn serve_slab(
+    state: &RouterState,
+    tenant: &str,
+    slab: &SlabState,
+    b: &[f32],
+    n: usize,
+    deadline_ms: u32,
+    kill: bool,
+    stall: Option<Duration>,
+) -> SlabOutcome {
+    let _wait = fs_trace::span(Site::ClusterShardWait);
+    if let Some(d) = stall {
+        thread::sleep(d);
+    }
+    let mut failures = 0u64;
+    let slab_rows = slab.rows.len();
+    // An injected kill means "the primary is gone this round": the
+    // attempt fails without touching the wire, exactly like a dead host
+    // behind a connect timeout, minus the wait.
+    if !kill {
+        if let Some(addr) = state.shard_addr(slab.primary) {
+            match state.shard_call(&addr, |c| {
+                c.spmm(tenant, slab.primary_id, b.len() / n.max(1), n, b, deadline_ms)
+            }) {
+                Ok(resp) if resp.rows == slab_rows && resp.n == n => {
+                    return SlabOutcome {
+                        rows: slab.rows.clone(),
+                        out: Some(resp.out),
+                        failures,
+                        replica_served: false,
+                    };
+                }
+                _ => failures += 1,
+            }
+        } else {
+            failures += 1;
+        }
+    } else {
+        failures += 1;
+    }
+    if let Some((replica_idx, replica_id)) = slab.replica {
+        if let Some(addr) = state.shard_addr(replica_idx) {
+            match state.shard_call(&addr, |c| {
+                c.spmm(tenant, replica_id, b.len() / n.max(1), n, b, deadline_ms)
+            }) {
+                Ok(resp) if resp.rows == slab_rows && resp.n == n => {
+                    return SlabOutcome {
+                        rows: slab.rows.clone(),
+                        out: Some(resp.out),
+                        failures,
+                        replica_served: true,
+                    };
+                }
+                _ => failures += 1,
+            }
+        } else {
+            failures += 1;
+        }
+    }
+    SlabOutcome { rows: slab.rows.clone(), out: None, failures, replica_served: false }
+}
+
+/// The router's metrics document: a `server` section (shape-compatible
+/// with the shard one, so clients parse either), the shard topology, and
+/// the cumulative scatter-gather counters.
+fn metrics_json(state: &Arc<RouterState>, addr: SocketAddr, start_epoch: u64) -> String {
+    let (shards, replicated) = {
+        let map = state.map.lock();
+        let shards: Vec<(String, u64)> =
+            map.shards().iter().map(|s| (s.addr.clone(), s.start_epoch)).collect();
+        (shards, map.replicated())
+    };
+    let matrices = state.matrices.lock().len();
+    let mut shard_items = String::new();
+    for (i, (shard_addr, epoch)) in shards.iter().enumerate() {
+        if i > 0 {
+            shard_items.push(',');
+        }
+        shard_items.push_str(&format!("{{\"addr\":\"{shard_addr}\",\"start_epoch\":{epoch}}}"));
+    }
+    let s = &state.stats;
+    format!(
+        "{{\"server\":{{\"addr\":\"{addr}\",\"start_epoch\":{start_epoch}}},\
+         \"cluster\":{{\"shards\":[{shard_items}],\"replicate\":{replicated},\
+         \"matrices\":{matrices},\"requests\":{},\"degraded\":{},\"shard_failures\":{},\
+         \"replica_serves\":{},\"shard_restarts\":{}}}}}",
+        s.cluster_requests.load(Ordering::Relaxed), // lint: relaxed-ok - metrics read
+        s.degraded.load(Ordering::Relaxed),         // lint: relaxed-ok - metrics read
+        s.shard_failures.load(Ordering::Relaxed),   // lint: relaxed-ok - metrics read
+        s.replica_serves.load(Ordering::Relaxed),   // lint: relaxed-ok - metrics read
+        s.shard_restarts.load(Ordering::Relaxed),   // lint: relaxed-ok - metrics read
+    )
+}
+
+/// Pull `"start_epoch":N` out of a shard's metrics document (the
+/// `server` section leads, so the first occurrence is the server's).
+pub fn parse_start_epoch(metrics_json: &str) -> Option<u64> {
+    let needle = "\"start_epoch\":";
+    let i = metrics_json.find(needle)?;
+    let rest = &metrics_json[i + needle.len()..];
+    let end = rest.find(|c: char| !c.is_ascii_digit()).unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_start_epoch_reads_the_server_section() {
+        let m = "{\"server\":{\"addr\":\"127.0.0.1:9\",\"start_epoch\":1234},\"cache\":{}}";
+        assert_eq!(parse_start_epoch(m), Some(1234));
+        assert_eq!(parse_start_epoch("{}"), None);
+    }
+
+    #[test]
+    fn router_metrics_document_shape() {
+        let cfg = RouterConfig {
+            shards: vec!["127.0.0.1:1".into(), "127.0.0.1:2".into()],
+            replicate: true,
+            ..RouterConfig::default()
+        };
+        let state = Arc::new(RouterState::new(&cfg));
+        let json = metrics_json(&state, SocketAddr::from(([127, 0, 0, 1], 7)), 42);
+        for key in [
+            "\"server\":{\"addr\":\"127.0.0.1:7\",\"start_epoch\":42}",
+            "\"shards\":[{\"addr\":\"127.0.0.1:1\",\"start_epoch\":0}",
+            "\"replicate\":true",
+            "\"requests\":0",
+            "\"degraded\":0",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert_eq!(parse_start_epoch(&json), Some(42));
+    }
+}

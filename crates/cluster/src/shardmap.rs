@@ -1,0 +1,232 @@
+//! Shard topology: which shard owns which row slab of which matrix.
+//!
+//! Placement is rendezvous (highest-random-weight) hashing of the
+//! matrix's content fingerprint against each shard's *address* — not its
+//! join index — so the slab → shard assignment is a pure function of
+//! `(shard address set, fingerprint)`. A router that restarts and
+//! re-learns the same shards in any order reproduces the identical
+//! placement, which is what lets it re-route to shards that still hold
+//! their slabs instead of reloading the world.
+//!
+//! Row slabs are contiguous and near-even: slab `s` of `k` over `rows`
+//! rows is `[rows·s/k, rows·(s+1)/k)`. SpMM partitions cleanly along
+//! sparse rows (each output row depends only on its own sparse row), so
+//! concatenating per-slab outputs reproduces the unsharded result bit
+//! for bit — the property the partition proptests pin down.
+
+use std::ops::Range;
+
+use fs_chaos::splitmix64;
+use fs_serve::protocol::fnv1a64;
+
+/// One shard the router knows about.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardInfo {
+    /// The shard's listen address (`host:port`) — its identity for
+    /// placement purposes.
+    pub addr: String,
+    /// The shard's bind-time epoch (milliseconds since the Unix epoch);
+    /// a higher value than previously recorded means the shard
+    /// restarted and lost its registered slabs.
+    pub start_epoch: u64,
+}
+
+/// Outcome of a [`ShardMap::join`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JoinOutcome {
+    /// The shard's index in the map.
+    pub index: usize,
+    /// Whether this address was already registered with an older
+    /// `start_epoch` — i.e. the shard restarted.
+    pub restarted: bool,
+}
+
+/// The slab → shard assignment for one matrix.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SlabAssignment {
+    /// The global row range this slab covers.
+    pub rows: Range<usize>,
+    /// Shard index serving the slab.
+    pub primary: usize,
+    /// Shard index holding the replica copy (replicated maps with ≥ 2
+    /// shards only).
+    pub replica: Option<usize>,
+}
+
+/// The shard set plus the placement and slab-split rules.
+#[derive(Clone, Debug, Default)]
+pub struct ShardMap {
+    shards: Vec<ShardInfo>,
+    replicate: bool,
+}
+
+/// Rendezvous weight of `addr` for a matrix fingerprint: a pure mix of
+/// the two, so every (shard, matrix) pair draws an independent score.
+fn weight(addr: &str, fingerprint: (u64, u64)) -> u64 {
+    splitmix64(fnv1a64(addr.as_bytes()) ^ splitmix64(fingerprint.0 ^ splitmix64(fingerprint.1)))
+}
+
+impl ShardMap {
+    /// An empty map; `replicate` turns on per-slab replica assignment.
+    pub fn new(replicate: bool) -> ShardMap {
+        ShardMap { shards: Vec::new(), replicate }
+    }
+
+    /// A map pre-seeded with `addrs` (epochs unknown until they join).
+    pub fn from_addrs<S: Into<String>>(addrs: Vec<S>, replicate: bool) -> ShardMap {
+        let mut map = ShardMap::new(replicate);
+        for addr in addrs {
+            map.join(addr.into(), 0);
+        }
+        map
+    }
+
+    /// Register `addr` (or refresh its epoch). Re-joining with a higher
+    /// epoch reports `restarted = true`: the process behind the address
+    /// is new and its registered slabs are gone.
+    pub fn join(&mut self, addr: String, start_epoch: u64) -> JoinOutcome {
+        if let Some(index) = self.shards.iter().position(|s| s.addr == addr) {
+            let restarted = start_epoch > self.shards[index].start_epoch;
+            if restarted {
+                self.shards[index].start_epoch = start_epoch;
+            }
+            return JoinOutcome { index, restarted };
+        }
+        self.shards.push(ShardInfo { addr, start_epoch });
+        JoinOutcome { index: self.shards.len() - 1, restarted: false }
+    }
+
+    /// Whether replica slabs are assigned.
+    pub fn replicated(&self) -> bool {
+        self.replicate
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Whether the map has no shards.
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// Every shard, in join order.
+    pub fn shards(&self) -> &[ShardInfo] {
+        &self.shards
+    }
+
+    /// The shard at `index`, if any.
+    pub fn shard(&self, index: usize) -> Option<&ShardInfo> {
+        self.shards.get(index)
+    }
+
+    /// Shard indices ordered by descending rendezvous weight for
+    /// `fingerprint` (ties broken by address so the order is total).
+    /// The *addresses* along this order depend only on the shard set and
+    /// the fingerprint — never on join order.
+    pub fn placement(&self, fingerprint: (u64, u64)) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.shards.len()).collect();
+        order.sort_by(|&a, &b| {
+            let (wa, wb) = (
+                weight(&self.shards[a].addr, fingerprint),
+                weight(&self.shards[b].addr, fingerprint),
+            );
+            wb.cmp(&wa).then_with(|| self.shards[a].addr.cmp(&self.shards[b].addr))
+        });
+        order
+    }
+
+    /// Contiguous near-even row split: `parts` ranges covering
+    /// `0..rows`, sizes differing by at most one, none empty (parts is
+    /// clamped to `rows` for tiny matrices).
+    pub fn slab_ranges(rows: usize, parts: usize) -> Vec<Range<usize>> {
+        let parts = parts.clamp(1, rows.max(1));
+        (0..parts).map(|s| (rows * s / parts)..(rows * (s + 1) / parts)).collect()
+    }
+
+    /// The full slab → shard assignment for a matrix: one slab per
+    /// shard (fewer for matrices with fewer rows than shards), primary
+    /// shards in placement order, replica = the next shard along the
+    /// placement ring when replication is on.
+    pub fn assign(&self, fingerprint: (u64, u64), rows: usize) -> Vec<SlabAssignment> {
+        let order = self.placement(fingerprint);
+        let k = order.len();
+        if k == 0 {
+            return Vec::new();
+        }
+        ShardMap::slab_ranges(rows, k)
+            .into_iter()
+            .enumerate()
+            .map(|(s, range)| SlabAssignment {
+                rows: range,
+                primary: order[s % k],
+                replica: if self.replicate && k > 1 { Some(order[(s + 1) % k]) } else { None },
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slab_ranges_cover_contiguously() {
+        for rows in [1usize, 2, 3, 7, 100, 101] {
+            for parts in [1usize, 2, 3, 5] {
+                let ranges = ShardMap::slab_ranges(rows, parts);
+                assert_eq!(ranges[0].start, 0);
+                assert_eq!(ranges.last().map(|r| r.end), Some(rows));
+                for w in ranges.windows(2) {
+                    assert_eq!(w[0].end, w[1].start);
+                }
+                assert!(ranges.iter().all(|r| !r.is_empty()), "{rows} rows / {parts}");
+            }
+        }
+    }
+
+    #[test]
+    fn placement_is_independent_of_join_order() {
+        let fp = (0xDEAD_BEEF, 0x1234_5678);
+        let a = ShardMap::from_addrs(vec!["s1:1", "s2:2", "s3:3"], true);
+        let b = ShardMap::from_addrs(vec!["s3:3", "s1:1", "s2:2"], true);
+        let addrs = |m: &ShardMap, fp| -> Vec<String> {
+            m.placement(fp).into_iter().map(|i| m.shards()[i].addr.clone()).collect()
+        };
+        assert_eq!(addrs(&a, fp), addrs(&b, fp));
+    }
+
+    #[test]
+    fn assignment_spreads_and_replicas_differ() {
+        let map = ShardMap::from_addrs(vec!["a:1", "b:2", "c:3"], true);
+        let slabs = map.assign((1, 2), 90);
+        assert_eq!(slabs.len(), 3);
+        let mut primaries: Vec<usize> = slabs.iter().map(|s| s.primary).collect();
+        primaries.sort_unstable();
+        assert_eq!(primaries, vec![0, 1, 2], "each shard serves exactly one slab");
+        for slab in &slabs {
+            let replica = slab.replica.expect("replicated map");
+            assert_ne!(replica, slab.primary);
+        }
+    }
+
+    #[test]
+    fn join_detects_restarts() {
+        let mut map = ShardMap::new(false);
+        let first = map.join("s:1".into(), 100);
+        assert_eq!(first, JoinOutcome { index: 0, restarted: false });
+        assert_eq!(map.join("s:1".into(), 100), JoinOutcome { index: 0, restarted: false });
+        assert_eq!(map.join("s:1".into(), 250), JoinOutcome { index: 0, restarted: true });
+        assert_eq!(map.shard(0).map(|s| s.start_epoch), Some(250));
+        assert_eq!(map.join("t:2".into(), 50), JoinOutcome { index: 1, restarted: false });
+    }
+
+    #[test]
+    fn single_shard_has_no_replica_even_when_replicated() {
+        let map = ShardMap::from_addrs(vec!["only:1"], true);
+        let slabs = map.assign((9, 9), 10);
+        assert_eq!(slabs.len(), 1);
+        assert_eq!(slabs[0].replica, None);
+    }
+}

@@ -1,0 +1,356 @@
+//! End-to-end cluster tests: 3 in-process `fs-serve` shards behind a
+//! router, all over real loopback TCP.
+//!
+//! Own test binary: an installed fault plan is process-global state, so
+//! every test here holds a [`ChaosScope`] — including the chaos-free
+//! ones — because the scope also serializes the tests against each
+//! other; unscoped traffic racing a scoped soak would consume draw
+//! indices and break replay.
+
+use std::net::SocketAddr;
+use std::thread;
+use std::time::Duration;
+
+use flashsparse::auto_tune;
+use fs_chaos::{ChaosScope, FaultPlan, FaultSite};
+use fs_cluster::{Router, RouterConfig, ShardMap};
+use fs_matrix::gen::random_uniform;
+use fs_matrix::{CooMatrix, CsrMatrix, DenseMatrix};
+use fs_serve::protocol::ErrorCode;
+use fs_serve::{ClientError, EngineConfig, ServeClient, Server, ServerConfig};
+use fs_tcu::GpuSpec;
+
+type ServerHandle = thread::JoinHandle<std::io::Result<()>>;
+
+/// Start one in-process shard; returns its address, bind epoch, and the
+/// accept-loop handle (joined after the router propagates shutdown).
+fn start_shard(max_matrix_bytes: usize) -> (SocketAddr, u64, ServerHandle) {
+    let server = Server::bind(&ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        engine: EngineConfig {
+            workers: 1,
+            max_batch: 1,
+            // Breaker bypass depends on wall-clock cooldowns; keep the
+            // soak a pure function of the fault plan.
+            breaker_threshold: u32::MAX,
+            max_matrix_bytes,
+            ..EngineConfig::default()
+        },
+        ..ServerConfig::default()
+    })
+    .unwrap_or_else(|e| panic!("shard bind failed: {e}"));
+    let addr = server.local_addr();
+    let epoch = server.start_epoch();
+    (addr, epoch, thread::spawn(move || server.run()))
+}
+
+/// Start a router over `shards`; returns its address and accept-loop
+/// handle. Shutting the router down tears the shards down too.
+fn start_router(
+    shards: &[(SocketAddr, u64)],
+    replicate: bool,
+) -> (SocketAddr, thread::JoinHandle<std::io::Result<()>>) {
+    let router = Router::bind(&RouterConfig { replicate, ..RouterConfig::default() })
+        .unwrap_or_else(|e| panic!("router bind failed: {e}"));
+    for (addr, epoch) in shards {
+        router.state().join_shard(addr.to_string(), *epoch);
+    }
+    let addr = router.local_addr();
+    (addr, thread::spawn(move || router.run()))
+}
+
+fn join_all(router: ServerHandle, shards: Vec<ServerHandle>) {
+    router
+        .join()
+        .unwrap_or_else(|_| panic!("router thread panicked"))
+        .unwrap_or_else(|e| panic!("router run failed: {e}"));
+    for s in shards {
+        s.join()
+            .unwrap_or_else(|_| panic!("shard thread panicked"))
+            .unwrap_or_else(|e| panic!("shard run failed: {e}"));
+    }
+}
+
+/// Rows slab `range` of `csr`, rebased — the router's Load split,
+/// reproduced here to pre-check that every slab tunes to the same
+/// variant as the full matrix (the precondition for bit-identity).
+fn slice_rows(csr: &CsrMatrix<f32>, range: std::ops::Range<usize>) -> CsrMatrix<f32> {
+    let mut coo = CooMatrix::new(range.len(), csr.cols());
+    for r in range.clone() {
+        for (c, v) in csr.row_cols(r).iter().zip(csr.row_values(r)) {
+            coo.push(r - range.start, *c as usize, *v);
+        }
+    }
+    CsrMatrix::from_coo(&coo)
+}
+
+/// The ISSUE's budget acceptance: a matrix whose resident bytes exceed
+/// any single shard's `max_matrix_bytes` must be refused by a shard,
+/// served by the cluster, and the scatter-gather output must be
+/// bit-identical to an unsharded server with room for the whole thing.
+#[test]
+fn over_budget_matrix_is_served_bit_identical_to_unsharded() {
+    let plan: FaultPlan = "seed=1".parse().expect("plan parses");
+    let _scope = ChaosScope::install(plan);
+
+    // ~51 KiB resident ((rows+1)*8 + nnz*8) against a 24 KiB budget:
+    // the full matrix busts one shard, each third fits comfortably.
+    let budget = 24_000;
+    let csr = CsrMatrix::from_coo(&random_uniform::<f32>(384, 256, 6000, 17));
+    let n = 32;
+    let b: Vec<f32> = (0..csr.cols() * n).map(|i| ((i % 13) as f32 - 6.0) * 0.125).collect();
+
+    // Bit-identity across the cluster requires every shard to pick the
+    // variant the unsharded server picks; identical configs tune by
+    // content, so check the precondition explicitly.
+    let full_choice = auto_tune(&csr, n, GpuSpec::RTX4090);
+    for range in ShardMap::slab_ranges(csr.rows(), 3) {
+        let slab_choice = auto_tune(&slice_rows(&csr, range.clone()), n, GpuSpec::RTX4090);
+        assert_eq!(
+            slab_choice.variant_name(),
+            full_choice.variant_name(),
+            "slab {range:?} tunes differently; pick a different test matrix"
+        );
+    }
+
+    let shards: Vec<(SocketAddr, u64, ServerHandle)> =
+        (0..3).map(|_| start_shard(budget)).collect();
+    let shard_ids: Vec<(SocketAddr, u64)> = shards.iter().map(|s| (s.0, s.1)).collect();
+    let (router_addr, router_handle) = start_router(&shard_ids, false);
+    let (ref_addr, _ref_epoch, ref_handle) = start_shard(1 << 30);
+
+    // A single shard refuses the full matrix: the budget is real.
+    let mut direct = ServeClient::connect_with_retry(&shards[0].0, Duration::from_secs(10))
+        .unwrap_or_else(|e| panic!("shard connect failed: {e}"));
+    match direct.load_matrix("t", &csr) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::ResourceExhausted),
+        other => panic!("full matrix must bust the shard budget, got {other:?}"),
+    }
+
+    // The cluster serves it: three slabs, each within budget.
+    let mut client = ServeClient::connect_with_retry(&router_addr, Duration::from_secs(10))
+        .unwrap_or_else(|e| panic!("router connect failed: {e}"));
+    let loaded = client.load_matrix("t", &csr).unwrap_or_else(|e| panic!("cluster load: {e}"));
+    assert_eq!(loaded.nnz as usize, csr.nnz());
+    let got = client
+        .cluster_spmm("t", loaded.matrix_id, csr.cols(), n, &b, 60_000)
+        .unwrap_or_else(|e| panic!("cluster spmm: {e}"));
+    assert!(!got.degraded, "healthy cluster must not degrade");
+    assert_eq!((got.rows, got.n), (csr.rows(), n));
+    assert_eq!(got.shards_ok, 3);
+    assert_eq!(got.shards_failed, 0);
+    assert!(got.row_present(0) && got.row_present(csr.rows() - 1));
+
+    // The unsharded reference: same content, one big server.
+    let mut reference = ServeClient::connect_with_retry(&ref_addr, Duration::from_secs(10))
+        .unwrap_or_else(|e| panic!("reference connect failed: {e}"));
+    let ref_loaded =
+        reference.load_matrix("t", &csr).unwrap_or_else(|e| panic!("reference load: {e}"));
+    let want = reference
+        .spmm("t", ref_loaded.matrix_id, csr.cols(), n, &b, 60_000)
+        .unwrap_or_else(|e| panic!("reference spmm: {e}"));
+
+    assert_eq!(got.out.len(), want.out.len());
+    for (i, (g, w)) in got.out.iter().zip(&want.out).enumerate() {
+        assert_eq!(g.to_bits(), w.to_bits(), "row {} col {} differs: {g} vs {w}", i / n, i % n);
+    }
+
+    reference.shutdown().unwrap_or_else(|e| panic!("reference shutdown: {e}"));
+    ref_handle
+        .join()
+        .unwrap_or_else(|_| panic!("reference thread panicked"))
+        .unwrap_or_else(|e| panic!("reference run failed: {e}"));
+    client.shutdown().unwrap_or_else(|e| panic!("router shutdown: {e}"));
+    join_all(router_handle, shards.into_iter().map(|s| s.2).collect());
+}
+
+/// One response from a seeded soak, everything that must replay.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct SoakResponse {
+    out_bits: Vec<u32>,
+    degraded: bool,
+    present: Vec<u8>,
+    shards_ok: u32,
+    shards_failed: u32,
+}
+
+struct SoakOutcome {
+    responses: Vec<SoakResponse>,
+    kill_counters: (u64, u64),
+    stall_counters: (u64, u64),
+}
+
+/// Run `requests` identical cluster SpMMs through 3 shards + router
+/// under `plan`, over ONE connection so draws are sequential. Verifies
+/// every response row-wise (present rows correct, absent rows zero) and
+/// that every degraded bitmap is slab-aligned: a row slab is lost whole
+/// or not at all.
+fn cluster_soak(plan: &FaultPlan, requests: usize, replicate: bool) -> SoakOutcome {
+    let _scope = ChaosScope::install(plan.clone());
+    let shards: Vec<(SocketAddr, u64, ServerHandle)> =
+        (0..3).map(|_| start_shard(1 << 30)).collect();
+    let shard_ids: Vec<(SocketAddr, u64)> = shards.iter().map(|s| (s.0, s.1)).collect();
+    let (router_addr, router_handle) = start_router(&shard_ids, replicate);
+
+    let csr = CsrMatrix::from_coo(&random_uniform::<f32>(96, 96, 800, 3));
+    let n = 16;
+    let b: Vec<f32> = (0..csr.cols() * n).map(|i| ((i % 5) as f32) * 0.25).collect();
+    let dense = DenseMatrix::<f32>::from_f32_slice(csr.cols(), n, &b);
+    let reference = csr.spmm_reference(&dense).as_slice().to_vec();
+    let slab_ranges = ShardMap::slab_ranges(csr.rows(), 3);
+
+    let mut client = ServeClient::connect_with_retry(&router_addr, Duration::from_secs(10))
+        .unwrap_or_else(|e| panic!("router connect failed: {e}"));
+    let loaded = client.load_matrix("t", &csr).unwrap_or_else(|e| panic!("cluster load: {e}"));
+
+    let mut responses = Vec::with_capacity(requests);
+    for i in 0..requests {
+        let resp = client
+            .cluster_spmm("t", loaded.matrix_id, csr.cols(), n, &b, 60_000)
+            .unwrap_or_else(|e| panic!("request {i}: {e}"));
+        assert_eq!((resp.rows, resp.n), (csr.rows(), n), "request {i}");
+        // Row-wise verification: the soak contract is that a lost slab
+        // degrades the response, never corrupts it.
+        for r in 0..resp.rows {
+            let row = &resp.out[r * n..(r + 1) * n];
+            if resp.row_present(r) {
+                let exp = &reference[r * n..(r + 1) * n];
+                assert!(
+                    row.iter().zip(exp).all(|(a, e)| (a - e).abs() <= 0.5),
+                    "request {i} row {r}: wrong present row"
+                );
+            } else {
+                assert!(
+                    row.iter().all(|&v| v == 0.0),
+                    "request {i} row {r}: absent row not zero-filled"
+                );
+            }
+        }
+        // Bitmap is slab-aligned: each slab is lost whole or not at all,
+        // so the absent set is exactly the union of killed shards' slabs.
+        for range in &slab_ranges {
+            let present: Vec<bool> = range.clone().map(|r| resp.row_present(r)).collect();
+            assert!(
+                present.iter().all(|&p| p) || present.iter().all(|&p| !p),
+                "request {i}: slab {range:?} partially present"
+            );
+        }
+        if !resp.degraded {
+            assert!(resp.present.is_empty(), "request {i}: clean response with a bitmap");
+        }
+        responses.push(SoakResponse {
+            out_bits: resp.out.iter().map(|v| v.to_bits()).collect(),
+            degraded: resp.degraded,
+            present: resp.present,
+            shards_ok: resp.shards_ok,
+            shards_failed: resp.shards_failed,
+        });
+    }
+
+    let report = fs_chaos::report();
+    let outcome = SoakOutcome {
+        responses,
+        kill_counters: report.site(FaultSite::ShardKill),
+        stall_counters: report.site(FaultSite::ShardStall),
+    };
+    client.shutdown().unwrap_or_else(|e| panic!("router shutdown: {e}"));
+    join_all(router_handle, shards.into_iter().map(|s| s.2).collect());
+    outcome
+}
+
+/// The ISSUE's seed-replay acceptance: the same plan string must
+/// reproduce bit-identical response bytes (including degraded bitmaps)
+/// and identical shard-kill/stall counters across two full cluster
+/// soaks — fresh processes, fresh ports, same seed.
+#[test]
+fn seeded_cluster_soak_replays_bit_identically() {
+    let plan: FaultPlan =
+        "seed=11;shard-kill=0.15;shard-stall=0.1;stall-ms=2".parse().expect("plan parses");
+    let requests = 30;
+    let a = cluster_soak(&plan, requests, false);
+    let b = cluster_soak(&plan, requests, false);
+
+    assert_eq!(a.responses, b.responses, "response bytes must replay from the seed alone");
+    assert_eq!(a.kill_counters, b.kill_counters, "shard-kill counters must replay");
+    assert_eq!(a.stall_counters, b.stall_counters, "shard-stall counters must replay");
+
+    // The plan must actually bite: every request draws once per slab,
+    // and rate 0.15 over 90 draws fires with near-certainty.
+    assert_eq!(a.kill_counters.0, (requests * 3) as u64, "one kill draw per slab per request");
+    assert!(a.kill_counters.1 > 0, "no kills fired at rate 0.15 over 90 draws");
+    assert!(a.responses.iter().any(|r| r.degraded), "kills without replicas must degrade");
+    assert!(a.responses.iter().any(|r| !r.degraded), "some requests must come through clean");
+}
+
+/// With replication on, every injected primary kill is absorbed by the
+/// replica: zero degraded responses, bit-identical output throughout,
+/// and the failures are visible in `shards_failed`.
+#[test]
+fn replicas_absorb_injected_shard_kills() {
+    let plan: FaultPlan = "seed=11;shard-kill=0.15".parse().expect("plan parses");
+    let outcome = cluster_soak(&plan, 30, true);
+
+    assert!(outcome.kill_counters.1 > 0, "plan must inject kills");
+    assert!(
+        outcome.responses.iter().all(|r| !r.degraded),
+        "a replicated cluster must absorb single-shard kills"
+    );
+    assert!(
+        outcome.responses.iter().any(|r| r.shards_failed > 0),
+        "replica serves must be visible as failed primary attempts"
+    );
+    let first = &outcome.responses[0].out_bits;
+    assert!(
+        outcome.responses.iter().all(|r| &r.out_bits == first),
+        "replica-served responses must be bit-identical to primary-served ones"
+    );
+}
+
+/// Topology plumbing: `ShardJoin` through the wire, restart detection
+/// in the router metrics, and the wrong-op rejections in both
+/// directions (plain SpMM at a router, cluster ops at a shard).
+#[test]
+fn shard_join_restart_detection_and_wrong_op_rejections() {
+    let plan: FaultPlan = "seed=1".parse().expect("plan parses");
+    let _scope = ChaosScope::install(plan);
+    let (shard_addr, shard_epoch, shard_handle) = start_shard(1 << 30);
+    let (router_addr, router_handle) = start_router(&[(shard_addr, shard_epoch)], false);
+
+    let mut client = ServeClient::connect_with_retry(&router_addr, Duration::from_secs(10))
+        .unwrap_or_else(|e| panic!("router connect failed: {e}"));
+
+    // A second shard joins over the wire.
+    let (index, count) =
+        client.shard_join("127.0.0.1:1", 5).unwrap_or_else(|e| panic!("join failed: {e}"));
+    assert_eq!((index, count), (1, 2));
+    // Same address, advanced epoch: the process restarted.
+    let (index, count) =
+        client.shard_join("127.0.0.1:1", 9).unwrap_or_else(|e| panic!("rejoin failed: {e}"));
+    assert_eq!((index, count), (1, 2));
+    let metrics = client.metrics().unwrap_or_else(|e| panic!("metrics failed: {e}"));
+    assert!(metrics.contains("\"shard_restarts\":1"), "{metrics}");
+    assert!(metrics.contains("\"addr\":\"127.0.0.1:1\",\"start_epoch\":9"), "{metrics}");
+
+    // Plain SpMM at a router is a clean BadRequest, not a hang.
+    match client.spmm("t", 1, 4, 4, &[0.0; 16], 0) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::BadRequest),
+        other => panic!("router must reject plain SpMM, got {other:?}"),
+    }
+
+    // Cluster ops at a plain shard are BadRequest too.
+    let mut direct = ServeClient::connect_with_retry(&shard_addr, Duration::from_secs(10))
+        .unwrap_or_else(|e| panic!("shard connect failed: {e}"));
+    match direct.shard_join("127.0.0.1:1", 1) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::BadRequest),
+        other => panic!("shard must reject ShardJoin, got {other:?}"),
+    }
+    match direct.cluster_spmm("t", 1, 4, 4, &[0.0; 16], 0) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::BadRequest),
+        other => panic!("shard must reject ClusterSpmm, got {other:?}"),
+    }
+
+    client.shutdown().unwrap_or_else(|e| panic!("router shutdown: {e}"));
+    // The router propagates shutdown to reachable shards; the fake
+    // 10.9.9.9 one is simply skipped after its dial fails.
+    join_all(router_handle, vec![shard_handle]);
+}

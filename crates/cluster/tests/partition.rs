@@ -1,0 +1,145 @@
+//! Property tests for the two facts the cluster layer leans on:
+//!
+//! 1. Row partitioning is *exact* for SpMM: each output row of `A·B`
+//!    depends only on its own sparse row of `A`, so concatenating
+//!    per-slab fast-path outputs over ANY ragged row partition is
+//!    bit-identical to the unsharded fast path — provided every slab
+//!    runs the same tuned variant, which is why the test pins the
+//!    full-matrix [`TuneChoice`] for all slabs the way a cluster of
+//!    identically-configured shards would.
+//! 2. [`ShardMap`] placement is a pure function of the shard *address
+//!    set* and the matrix fingerprint — join order never matters — so a
+//!    restarted router reproduces the identical slab → shard map.
+
+use flashsparse::{auto_tune, ThreadMapping, TranslatedMatrix};
+use fs_chaos::splitmix64;
+use fs_cluster::ShardMap;
+use fs_matrix::gen::random_uniform;
+use fs_matrix::{CooMatrix, CsrMatrix, DenseMatrix};
+use fs_tcu::GpuSpec;
+use proptest::prelude::*;
+
+/// Extract rows `range` of `csr` as a standalone CSR with slab-local
+/// row indices — the same rebase the router performs at `Load`.
+fn slice_rows(csr: &CsrMatrix<f32>, range: std::ops::Range<usize>) -> CsrMatrix<f32> {
+    let mut coo = CooMatrix::new(range.len(), csr.cols());
+    for r in range.clone() {
+        for (c, v) in csr.row_cols(r).iter().zip(csr.row_values(r)) {
+            coo.push(r - range.start, *c as usize, *v);
+        }
+    }
+    CsrMatrix::from_coo(&coo)
+}
+
+/// Turn arbitrary cut fractions into a ragged partition of `0..rows`:
+/// contiguous, covering, arbitrarily uneven, no empty slabs.
+fn ragged_partition(rows: usize, fractions: &[f64]) -> Vec<std::ops::Range<usize>> {
+    let mut cuts: Vec<usize> =
+        fractions.iter().map(|f| ((f.clamp(0.0, 1.0)) * rows as f64) as usize).collect();
+    cuts.push(0);
+    cuts.push(rows);
+    cuts.sort_unstable();
+    cuts.dedup();
+    cuts.windows(2).map(|w| w[0]..w[1]).filter(|r| !r.is_empty()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Concatenated per-slab fast-path outputs over a ragged row
+    /// partition are bit-identical to the single-process fast path.
+    #[test]
+    fn ragged_row_partition_concat_is_bit_identical(
+        rows in 1usize..140,
+        cols in 1usize..120,
+        nnz in 0usize..900,
+        n in 1usize..40,
+        seed in 0u64..10_000,
+        fractions in prop::collection::vec(0.0f64..1.0, 0..6),
+    ) {
+        let csr = CsrMatrix::from_coo(&random_uniform::<f32>(rows, cols, nnz, seed));
+        let b = DenseMatrix::from_fn(cols, n, |r, c| {
+            (((r * 7 + c * 13 + 1) % 23) as f32 - 11.0) * 0.25
+        });
+
+        // One tuned variant for the whole cluster, as identically
+        // configured shards would pick for identical content.
+        let choice = auto_tune(&csr, n, GpuSpec::RTX4090);
+        let full = TranslatedMatrix::translate(&csr, &choice)
+            .spmm_f32(&b, ThreadMapping::default())
+            .0
+            .to_f32_vec();
+
+        let mut concat: Vec<f32> = Vec::with_capacity(rows * n);
+        for range in ragged_partition(rows, &fractions) {
+            let slab = slice_rows(&csr, range);
+            let out = TranslatedMatrix::translate(&slab, &choice)
+                .spmm_f32(&b, ThreadMapping::default())
+                .0
+                .to_f32_vec();
+            concat.extend_from_slice(&out);
+        }
+
+        prop_assert_eq!(full.len(), concat.len());
+        for (i, (a, c)) in full.iter().zip(&concat).enumerate() {
+            prop_assert_eq!(
+                a.to_bits(), c.to_bits(),
+                "row {} col {} differs: {} vs {}", i / n, i % n, a, c
+            );
+        }
+    }
+
+    /// Placement (and the full slab assignment) is identical across any
+    /// join order of the same address set — the router-restart contract.
+    #[test]
+    fn placement_is_join_order_independent(
+        count in 1usize..8,
+        shuffle_seed in 0u64..10_000,
+        fp_hi in 0u64..u64::MAX,
+        fp_lo in 0u64..u64::MAX,
+        rows in 1usize..500,
+    ) {
+        let addrs: Vec<String> = (0..count).map(|i| format!("10.0.0.{i}:7949")).collect();
+        let mut shuffled = addrs.clone();
+        // Fisher-Yates off a deterministic stream.
+        let mut s = shuffle_seed;
+        for i in (1..shuffled.len()).rev() {
+            s = splitmix64(s);
+            shuffled.swap(i, (s % (i as u64 + 1)) as usize);
+        }
+
+        let a = ShardMap::from_addrs(addrs, true);
+        let b = ShardMap::from_addrs(shuffled, true);
+        let fp = (fp_hi, fp_lo);
+
+        let slab_addrs = |m: &ShardMap| -> Vec<(std::ops::Range<usize>, String, Option<String>)> {
+            m.assign(fp, rows)
+                .into_iter()
+                .map(|s| {
+                    (
+                        s.rows,
+                        m.shards()[s.primary].addr.clone(),
+                        s.replica.map(|r| m.shards()[r].addr.clone()),
+                    )
+                })
+                .collect()
+        };
+        prop_assert_eq!(slab_addrs(&a), slab_addrs(&b));
+    }
+
+    /// Slab ranges partition `0..rows` exactly for any shard count.
+    #[test]
+    fn slab_ranges_always_partition(rows in 0usize..10_000, parts in 0usize..40) {
+        let ranges = ShardMap::slab_ranges(rows, parts);
+        let mut expect = 0usize;
+        for r in &ranges {
+            prop_assert_eq!(r.start, expect);
+            prop_assert!(r.end >= r.start);
+            expect = r.end;
+        }
+        prop_assert_eq!(expect, rows);
+        if rows > 0 {
+            prop_assert!(ranges.iter().all(|r| !r.is_empty()));
+        }
+    }
+}

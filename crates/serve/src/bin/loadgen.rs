@@ -5,8 +5,15 @@
 //!         [--n 32] [--requests 200] [--concurrency 4] [--tenants 1]
 //!         [--open-rps RPS] [--duration-s S] [--deadline-ms MS]
 //!         [--wait-ready-ms MS] [--shutdown] [--expect-zero-errors] [--chaos]
-//!         [--trace] [--trace-out FILE]
+//!         [--cluster] [--trace] [--trace-out FILE]
 //! ```
+//!
+//! `--cluster` drives an `fs-cluster` router instead of a plain server:
+//! requests go through the scatter-gather SpMM op, and the report gains
+//! `degraded` / `shard_failures`. Combined with `--chaos`, verification
+//! is degradation-aware — present rows must match the reference, absent
+//! rows must be zero-filled — so losing a shard is tolerated but
+//! corrupting a row is not.
 //!
 //! Prints one JSON object with throughput (RPS), latency percentiles
 //! (p50/p95/p99), and the cache hit rate. `--shutdown` asks the server
@@ -39,7 +46,7 @@ fn usage() -> ! {
         "usage: loadgen [--addr HOST:PORT] [--matrix uniform:RxCxNNZ|rmat:SCALExEF] [--n N]\n\
          \x20              [--requests N] [--concurrency N] [--tenants N] [--open-rps RPS]\n\
          \x20              [--duration-s S] [--deadline-ms MS] [--wait-ready-ms MS]\n\
-         \x20              [--shutdown] [--expect-zero-errors] [--chaos]\n\
+         \x20              [--shutdown] [--expect-zero-errors] [--chaos] [--cluster]\n\
          \x20              [--trace] [--trace-out FILE]"
     );
     std::process::exit(2);
@@ -94,6 +101,7 @@ fn apply_flag(flag: &str, p: &mut FlagParser, flags: &mut Flags) -> Result<(), S
         "--shutdown" => flags.shutdown_after = true,
         "--expect-zero-errors" => flags.expect_zero_errors = true,
         "--chaos" => flags.cfg.chaos = true,
+        "--cluster" => flags.cfg.cluster = true,
         "--trace" => flags.trace = true,
         "--trace-out" => {
             flags.trace = true;

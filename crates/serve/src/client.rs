@@ -20,6 +20,12 @@ use crate::protocol::{read_frame, write_frame, ErrorCode, ProtoError, Request, R
 /// tiny next to "forever".
 pub const DEFAULT_IO_TIMEOUT: Duration = Duration::from_secs(30);
 
+/// Default TCP connect timeout. Dialing is bounded separately from the
+/// per-call read/write timeouts: a SYN-dropped peer (firewalled shard,
+/// dead host) would otherwise hold the caller for the kernel's minutes-
+/// long handshake retry schedule, which a fan-out router cannot afford.
+pub const DEFAULT_CONNECT_TIMEOUT: Duration = Duration::from_secs(5);
+
 /// What a client call can fail with.
 #[derive(Debug)]
 pub enum ClientError {
@@ -98,11 +104,43 @@ pub struct SpmmResult {
     pub verified: bool,
 }
 
+/// One scatter-gather SpMM answer from a router.
+#[derive(Clone, Debug)]
+pub struct ClusterSpmmResult {
+    /// Row-major output, `rows × n`; missing rows are zero-filled.
+    pub out: Vec<f32>,
+    /// Output rows (full matrix row count even when degraded).
+    pub rows: usize,
+    /// Output columns.
+    pub n: usize,
+    /// Whether any slab was lost.
+    pub degraded: bool,
+    /// Present-rows bitmap (see [`Response::ClusterSpmm`]); empty when
+    /// not degraded.
+    pub present: Vec<u8>,
+    /// Shards that returned their slab.
+    pub shards_ok: u32,
+    /// Shard attempts (including replica retries) that failed.
+    pub shards_failed: u32,
+}
+
+impl ClusterSpmmResult {
+    /// Whether output row `r` was produced by a live shard (always true
+    /// on a non-degraded response).
+    pub fn row_present(&self, r: usize) -> bool {
+        if !self.degraded {
+            return true;
+        }
+        self.present.get(r / 8).is_some_and(|byte| byte & (1 << (r % 8)) != 0)
+    }
+}
+
 /// A blocking connection to an `fs-serve` server.
 pub struct ServeClient {
     stream: TcpStream,
     addr: SocketAddr,
     io_timeout: Option<Duration>,
+    connect_timeout: Duration,
 }
 
 fn configure(stream: &TcpStream, timeout: Option<Duration>) -> io::Result<()> {
@@ -112,12 +150,37 @@ fn configure(stream: &TcpStream, timeout: Option<Duration>) -> io::Result<()> {
 }
 
 impl ServeClient {
-    /// Connect to `addr` with the default socket timeouts.
+    /// Connect to `addr` with the default socket timeouts (including
+    /// [`DEFAULT_CONNECT_TIMEOUT`] on the dial itself).
     pub fn connect(addr: impl ToSocketAddrs) -> Result<ServeClient, ClientError> {
-        let stream = TcpStream::connect(addr)?;
-        configure(&stream, Some(DEFAULT_IO_TIMEOUT))?;
-        let addr = stream.peer_addr()?;
-        Ok(ServeClient { stream, addr, io_timeout: Some(DEFAULT_IO_TIMEOUT) })
+        ServeClient::connect_with_timeout(addr, DEFAULT_CONNECT_TIMEOUT)
+    }
+
+    /// Connect to `addr`, bounding the TCP dial by `connect_timeout`.
+    /// The timeout applies per resolved address; the first address that
+    /// accepts wins, and the last dial error is returned when none does.
+    pub fn connect_with_timeout(
+        addr: impl ToSocketAddrs,
+        connect_timeout: Duration,
+    ) -> Result<ServeClient, ClientError> {
+        let mut last: Option<io::Error> = None;
+        for candidate in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&candidate, connect_timeout) {
+                Ok(stream) => {
+                    configure(&stream, Some(DEFAULT_IO_TIMEOUT))?;
+                    return Ok(ServeClient {
+                        stream,
+                        addr: candidate,
+                        io_timeout: Some(DEFAULT_IO_TIMEOUT),
+                        connect_timeout,
+                    });
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(ClientError::Io(last.unwrap_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
+        })))
     }
 
     /// Connect, retrying until the server accepts or `timeout` elapses —
@@ -131,8 +194,12 @@ impl ServeClient {
             match TcpStream::connect_timeout(addr, Duration::from_millis(250)) {
                 Ok(stream) => {
                     configure(&stream, Some(DEFAULT_IO_TIMEOUT))?;
-                    let mut client =
-                        ServeClient { stream, addr: *addr, io_timeout: Some(DEFAULT_IO_TIMEOUT) };
+                    let mut client = ServeClient {
+                        stream,
+                        addr: *addr,
+                        io_timeout: Some(DEFAULT_IO_TIMEOUT),
+                        connect_timeout: DEFAULT_CONNECT_TIMEOUT,
+                    };
                     if client.ping().is_ok() {
                         return Ok(client);
                     }
@@ -162,10 +229,15 @@ impl ServeClient {
         Ok(())
     }
 
+    /// Override the TCP dial bound used by [`ServeClient::reconnect`].
+    pub fn set_connect_timeout(&mut self, timeout: Duration) {
+        self.connect_timeout = timeout;
+    }
+
     /// Tear down the current stream and dial the server again, keeping
     /// the configured timeouts.
     pub fn reconnect(&mut self) -> Result<(), ClientError> {
-        let stream = TcpStream::connect_timeout(&self.addr, Duration::from_secs(5))?;
+        let stream = TcpStream::connect_timeout(&self.addr, self.connect_timeout)?;
         configure(&stream, self.io_timeout)?;
         self.stream = stream;
         Ok(())
@@ -319,6 +391,57 @@ impl ServeClient {
     pub fn shutdown(&mut self) -> Result<(), ClientError> {
         match self.call(&Request::Shutdown)? {
             Response::ShutdownAck => Ok(()),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Announce a shard to a router: `(shard_index, shard_count)` on
+    /// success. Plain shards reject this with `BadRequest`.
+    pub fn shard_join(
+        &mut self,
+        shard_addr: &str,
+        start_epoch: u64,
+    ) -> Result<(u32, u32), ClientError> {
+        let req = Request::ShardJoin { addr: shard_addr.to_string(), start_epoch };
+        match self.call(&req)? {
+            Response::ShardJoined { shard_index, shard_count } => Ok((shard_index, shard_count)),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Scatter-gather SpMM through a router. Degraded responses (a slab
+    /// lost past its replica) come back `Ok` with `degraded = true` and
+    /// the present-rows bitmap set; callers that cannot use partial
+    /// output should check [`ClusterSpmmResult::degraded`].
+    pub fn cluster_spmm(
+        &mut self,
+        tenant: &str,
+        matrix_id: u64,
+        b_rows: usize,
+        n: usize,
+        b: &[f32],
+        deadline_ms: u32,
+    ) -> Result<ClusterSpmmResult, ClientError> {
+        let req = Request::ClusterSpmm {
+            tenant: tenant.to_string(),
+            matrix_id,
+            deadline_ms,
+            b_rows: b_rows as u32,
+            n: n as u32,
+            b: b.to_vec(),
+        };
+        match self.call(&req)? {
+            Response::ClusterSpmm { rows, n, out, degraded, present, shards_ok, shards_failed } => {
+                Ok(ClusterSpmmResult {
+                    out,
+                    rows: rows as usize,
+                    n: n as usize,
+                    degraded,
+                    present,
+                    shards_ok,
+                    shards_failed,
+                })
+            }
             other => Err(ClientError::Unexpected(format!("{other:?}"))),
         }
     }

@@ -66,7 +66,10 @@ pub mod server;
 
 pub use args::{parse_value, FlagParser};
 pub use cache::{CacheStats, CachedFormat, FormatCache};
-pub use client::{ClientError, LoadedMatrix, ServeClient, SpmmResult, DEFAULT_IO_TIMEOUT};
+pub use client::{
+    ClientError, ClusterSpmmResult, LoadedMatrix, ServeClient, SpmmResult, DEFAULT_CONNECT_TIMEOUT,
+    DEFAULT_IO_TIMEOUT,
+};
 pub use engine::{
     EngineConfig, RegisterError, ServeEngine, SpmmOutcome, SpmmRequest, SpmmResponse, SubmitError,
 };

@@ -18,7 +18,7 @@ use fs_chaos::Backoff;
 use fs_matrix::gen::{random_uniform, rmat, RmatConfig};
 use fs_matrix::{CsrMatrix, DenseMatrix};
 
-use crate::client::{ClientError, ServeClient};
+use crate::client::{ClientError, ClusterSpmmResult, ServeClient};
 
 /// Attempts per request in chaos mode (first try + retries).
 const CHAOS_ATTEMPTS: u32 = 6;
@@ -92,6 +92,11 @@ pub struct LoadgenConfig {
     /// a response whose numbers are wrong is counted in
     /// [`LoadReport::wrong`] — the one number that must stay zero.
     pub chaos: bool,
+    /// Drive an `fs-cluster` router instead of a plain server: requests
+    /// go through the scatter-gather op, and chaos verification checks
+    /// degraded responses row-wise — present rows against the reference,
+    /// absent rows all-zero as the bitmap promises.
+    pub cluster: bool,
 }
 
 impl Default for LoadgenConfig {
@@ -108,6 +113,7 @@ impl Default for LoadgenConfig {
             deadline_ms: 0,
             ready_timeout: Duration::from_secs(10),
             chaos: false,
+            cluster: false,
         }
     }
 }
@@ -156,6 +162,18 @@ pub struct LoadReport {
     /// Fast launches that skipped the per-launch format validation
     /// because the cached format carries the translation-time witness.
     pub validate_skips: u64,
+    /// Cluster mode: completed responses that came back degraded (a row
+    /// slab lost past its replica, reported via the present-rows bitmap).
+    pub degraded: u64,
+    /// Cluster mode: shard attempts (including replica retries) that
+    /// failed across all completed responses.
+    pub shard_failures: u64,
+    /// The server's listen address as its metrics document reports it
+    /// (empty when the end-of-run metrics fetch failed).
+    pub server_addr: String,
+    /// The server's bind-time epoch (ms since the Unix epoch): a run
+    /// script comparing this across runs detects server restarts.
+    pub server_start_epoch: u64,
 }
 
 impl LoadReport {
@@ -193,6 +211,10 @@ impl LoadReport {
         w.field_u64("fast_launches", self.fast_launches);
         w.field_u64("simulate_launches", self.simulate_launches);
         w.field_u64("validate_skips", self.validate_skips);
+        w.field_u64("degraded", self.degraded);
+        w.field_u64("shard_failures", self.shard_failures);
+        w.field_str("server_addr", &self.server_addr);
+        w.field_u64("server_start_epoch", self.server_start_epoch);
         w.end_object();
         w.finish()
     }
@@ -209,6 +231,19 @@ fn extract_u64(json: &str, key: &str) -> u64 {
             rest[..end].parse().ok()
         })
         .unwrap_or(0)
+}
+
+/// Pull a `"key":"value"` string out of a JSON fragment (first
+/// occurrence; values are assumed escape-free, which holds for the
+/// socket addresses this reads).
+fn extract_str(json: &str, key: &str) -> String {
+    let needle = format!("\"{key}\":\"");
+    json.find(&needle)
+        .and_then(|i| {
+            let rest = &json[i + needle.len()..];
+            rest.find('"').map(|end| rest[..end].to_string())
+        })
+        .unwrap_or_default()
 }
 
 /// Percentile of a sorted latency list (nearest-rank).
@@ -230,6 +265,8 @@ struct WorkerTally {
     wrong: u64,
     retried: u64,
     fallbacks: u64,
+    degraded: u64,
+    shard_failures: u64,
 }
 
 /// Chaos-mode response check: the served numbers against the scalar
@@ -237,6 +274,64 @@ struct WorkerTally {
 fn response_matches(out: &[f32], expected: &[f32]) -> bool {
     out.len() == expected.len()
         && out.iter().zip(expected).all(|(&a, &e)| (a - e).abs() <= DEFAULT_TOLERANCE)
+}
+
+/// Cluster-mode response check, degradation-aware: rows the bitmap marks
+/// present must match the reference; rows it marks absent must be
+/// exactly zero (the router's zero-fill contract). A degraded response
+/// with correct present rows is NOT wrong — losing a slab is the fault
+/// model working, corrupting one is not.
+fn cluster_response_matches(resp: &ClusterSpmmResult, expected: &[f32], n: usize) -> bool {
+    if resp.out.len() != expected.len() || n == 0 {
+        return false;
+    }
+    (0..resp.rows).all(|r| {
+        let (row, exp) = (&resp.out[r * n..(r + 1) * n], &expected[r * n..(r + 1) * n]);
+        if resp.row_present(r) {
+            row.iter().zip(exp).all(|(&a, &e)| (a - e).abs() <= DEFAULT_TOLERANCE)
+        } else {
+            row.iter().all(|&v| v == 0.0)
+        }
+    })
+}
+
+/// [`ServeClient::cluster_spmm`] with retry/reconnect over transient
+/// failures — the cluster-mode analogue of `spmm_retrying`.
+#[allow(clippy::too_many_arguments)]
+fn cluster_spmm_retrying(
+    client: &mut ServeClient,
+    tenant: &str,
+    matrix_id: u64,
+    b_rows: usize,
+    n: usize,
+    b: &[f32],
+    deadline_ms: u32,
+    attempts: u32,
+    backoff: &mut Backoff,
+) -> Result<ClusterSpmmResult, ClientError> {
+    let mut last: Option<ClientError> = None;
+    for attempt in 0..attempts.max(1) {
+        if attempt > 0 {
+            thread::sleep(backoff.next_delay());
+        }
+        match client.cluster_spmm(tenant, matrix_id, b_rows, n, b, deadline_ms) {
+            Ok(resp) => return Ok(resp),
+            Err(e @ (ClientError::Io(_) | ClientError::Proto(_) | ClientError::Unexpected(_))) => {
+                let _ = client.reconnect();
+                last = Some(e);
+            }
+            Err(ClientError::Server { code, message })
+                if matches!(
+                    code,
+                    crate::protocol::ErrorCode::Internal | crate::protocol::ErrorCode::QueueFull
+                ) =>
+            {
+                last = Some(ClientError::Server { code, message });
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last.unwrap_or_else(|| ClientError::Unexpected("no attempt was made".into())))
 }
 
 /// Register the matrix, retrying through chaos-injected frame faults. A
@@ -315,6 +410,8 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadReport, String> {
                 wrong: 0,
                 retried: 0,
                 fallbacks: 0,
+                degraded: 0,
+                shard_failures: 0,
             };
             let mut backoff = Backoff::for_client(w as u64);
             let mut client = match ServeClient::connect_with_retry(&cfg.addr, cfg.ready_timeout) {
@@ -343,6 +440,60 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadReport, String> {
                     }
                 }
                 let t0 = Instant::now();
+                if cfg.cluster {
+                    let result = if cfg.chaos {
+                        cluster_spmm_retrying(
+                            &mut client,
+                            &tenant,
+                            matrix_id,
+                            csr.cols(),
+                            cfg.n,
+                            &b,
+                            cfg.deadline_ms,
+                            CHAOS_ATTEMPTS,
+                            &mut backoff,
+                        )
+                    } else {
+                        client.cluster_spmm(
+                            &tenant,
+                            matrix_id,
+                            csr.cols(),
+                            cfg.n,
+                            &b,
+                            cfg.deadline_ms,
+                        )
+                    };
+                    tally.retried += u64::from(backoff.attempts());
+                    backoff.reset();
+                    match result {
+                        Ok(resp) => {
+                            let us = t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+                            tally.latencies.push(us);
+                            if resp.degraded {
+                                tally.degraded += 1;
+                            }
+                            tally.shard_failures += u64::from(resp.shards_failed);
+                            if let Some(exp) = &expected {
+                                if !cluster_response_matches(&resp, exp, cfg.n) {
+                                    tally.wrong += 1;
+                                }
+                            }
+                        }
+                        Err(ClientError::Server { code, .. }) => match code {
+                            crate::protocol::ErrorCode::QueueFull => tally.rejected += 1,
+                            crate::protocol::ErrorCode::DeadlineExceeded => tally.timed_out += 1,
+                            _ => tally.errors += 1,
+                        },
+                        Err(_) => {
+                            tally.errors += 1;
+                            match ServeClient::connect_with_retry(&cfg.addr, cfg.ready_timeout) {
+                                Ok(c) => client = c,
+                                Err(_) => break,
+                            }
+                        }
+                    }
+                    continue;
+                }
                 let result = if cfg.chaos {
                     client.spmm_retrying(
                         &tenant,
@@ -413,6 +564,8 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadReport, String> {
                 report.wrong += t.wrong;
                 report.retried += t.retried;
                 report.fallbacks += t.fallbacks;
+                report.degraded += t.degraded;
+                report.shard_failures += t.shard_failures;
             }
             Err(_) => report.errors += 1,
         }
@@ -443,6 +596,12 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadReport, String> {
             report.fast_launches = extract_u64(exec, "fast");
             report.simulate_launches = extract_u64(exec, "simulate");
             report.validate_skips = extract_u64(exec, "validate_skips");
+            // Echo the server's identity so a run script can tell a
+            // measured process from a silently restarted one (the epoch
+            // advances on every bind).
+            let server = m.find("\"server\":{").map(|i| &m[i..]).unwrap_or("");
+            report.server_addr = extract_str(server, "addr");
+            report.server_start_epoch = extract_u64(server, "start_epoch");
         }
     }
     Ok(report)
@@ -499,6 +658,73 @@ mod tests {
         assert_eq!(extract_u64(exec, "simulate"), 3);
         assert_eq!(extract_u64(exec, "validate_skips"), 11);
         assert_eq!(extract_u64(exec, "missing"), 0);
+    }
+
+    #[test]
+    fn extract_str_reads_the_server_section() {
+        let m = "{\"server\":{\"addr\":\"127.0.0.1:7949\",\"start_epoch\":171},\"exec\":{}}";
+        let server = m.find("\"server\":{").map(|i| &m[i..]).unwrap_or("");
+        assert_eq!(extract_str(server, "addr"), "127.0.0.1:7949");
+        assert_eq!(extract_u64(server, "start_epoch"), 171);
+        assert_eq!(extract_str(server, "missing"), "");
+    }
+
+    #[test]
+    fn cluster_check_accepts_degraded_zero_fill_and_rejects_corruption() {
+        let expected = vec![1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let healthy = ClusterSpmmResult {
+            out: expected.clone(),
+            rows: 3,
+            n: 2,
+            degraded: false,
+            present: Vec::new(),
+            shards_ok: 3,
+            shards_failed: 0,
+        };
+        assert!(cluster_response_matches(&healthy, &expected, 2));
+
+        // Row 1 lost: present bitmap 0b101, lost row zero-filled.
+        let degraded = ClusterSpmmResult {
+            out: vec![1.0, 2.0, 0.0, 0.0, 5.0, 6.0],
+            rows: 3,
+            n: 2,
+            degraded: true,
+            present: vec![0b101],
+            shards_ok: 2,
+            shards_failed: 1,
+        };
+        assert!(cluster_response_matches(&degraded, &expected, 2));
+
+        // A lost row carrying nonzero garbage violates the zero-fill
+        // contract even though the bitmap disclaims it.
+        let garbage =
+            ClusterSpmmResult { out: vec![1.0, 2.0, 9.0, 0.0, 5.0, 6.0], ..degraded.clone() };
+        assert!(!cluster_response_matches(&garbage, &expected, 2));
+
+        // A *present* row with wrong numbers is silent corruption.
+        let corrupt = ClusterSpmmResult { out: vec![1.0, 7.0, 0.0, 0.0, 5.0, 6.0], ..degraded };
+        assert!(!cluster_response_matches(&corrupt, &expected, 2));
+    }
+
+    #[test]
+    fn report_json_has_the_cluster_fields() {
+        let r = LoadReport {
+            mode: "closed".into(),
+            degraded: 3,
+            shard_failures: 5,
+            server_addr: "127.0.0.1:7948".into(),
+            server_start_epoch: 99,
+            ..LoadReport::default()
+        };
+        let j = r.to_json();
+        for key in [
+            "\"degraded\":3",
+            "\"shard_failures\":5",
+            "\"server_addr\":\"127.0.0.1:7948\"",
+            "\"server_start_epoch\":99",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
     }
 
     #[test]

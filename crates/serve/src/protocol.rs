@@ -56,6 +56,37 @@ pub enum Request {
     Ping,
     /// Ask the server to drain and exit.
     Shutdown,
+    /// Announce a shard to a router: the shard's listen address and its
+    /// `start_epoch` (from the metrics document), so the router can tell
+    /// a restarted shard from the one it registered slabs on. Plain
+    /// `fs-serve` shards reject this with [`ErrorCode::BadRequest`];
+    /// only routers accept it.
+    ShardJoin {
+        /// The shard's listen address (`host:port`).
+        addr: String,
+        /// The shard's start epoch (milliseconds since the Unix epoch at
+        /// bind time; strictly increases across restarts).
+        start_epoch: u64,
+    },
+    /// SpMM against a row-partitioned matrix: the router scatters the
+    /// dense operand to every shard holding a slab and gathers the row
+    /// slabs back. Same argument shape as [`Request::Spmm`]. Plain
+    /// shards reject this with [`ErrorCode::BadRequest`].
+    ClusterSpmm {
+        /// Tenant the work is accounted to.
+        tenant: String,
+        /// Handle from [`Response::Loaded`] (router-issued).
+        matrix_id: u64,
+        /// Deadline in milliseconds (0 = router default); also the
+        /// per-shard wait bound during scatter.
+        deadline_ms: u32,
+        /// Dense operand rows (must equal the matrix's column count).
+        b_rows: u32,
+        /// Dense operand columns (`n`).
+        n: u32,
+        /// Row-major operand data, `b_rows × n` values.
+        b: Vec<f32>,
+    },
 }
 
 /// Server → client messages.
@@ -112,6 +143,33 @@ pub enum Response {
     Pong,
     /// Shutdown acknowledged; the server drains after sending this.
     ShutdownAck,
+    /// A shard was registered with the router.
+    ShardJoined {
+        /// The shard's position in the router's ring.
+        shard_index: u32,
+        /// Total shards the router now knows.
+        shard_count: u32,
+    },
+    /// A scatter-gather SpMM completed (possibly degraded).
+    ClusterSpmm {
+        /// Output rows (the full matrix's row count, even when degraded).
+        rows: u32,
+        /// Output columns.
+        n: u32,
+        /// Row-major output, `rows × n` values; rows whose slab was lost
+        /// are zero-filled and cleared in `present`.
+        out: Vec<f32>,
+        /// Whether any slab was lost (some rows are missing).
+        degraded: bool,
+        /// Present-rows bitmap, `ceil(rows / 8)` bytes, row `r` present
+        /// iff bit `r % 8` of byte `r / 8` is set. Empty when not
+        /// degraded (all rows present).
+        present: Vec<u8>,
+        /// Shards that returned their slab.
+        shards_ok: u32,
+        /// Shards (counting replica retries) that failed or timed out.
+        shards_failed: u32,
+    },
     /// The request failed.
     Error {
         /// Machine-readable reason.
@@ -339,6 +397,8 @@ const REQ_METRICS: u8 = 3;
 const REQ_PING: u8 = 4; // lint: resp-pair RESP_PONG
 const REQ_SHUTDOWN: u8 = 5;
 const REQ_TRACE: u8 = 6;
+const REQ_SHARD_JOIN: u8 = 7;
+const REQ_CLUSTER_SPMM: u8 = 8;
 
 const RESP_LOADED: u8 = 128;
 const RESP_SPMM: u8 = 129;
@@ -346,6 +406,8 @@ const RESP_METRICS: u8 = 130;
 const RESP_PONG: u8 = 131;
 const RESP_SHUTDOWN_ACK: u8 = 132;
 const RESP_TRACE: u8 = 133;
+const RESP_SHARD_JOINED: u8 = 134;
+const RESP_CLUSTER_SPMM: u8 = 135;
 const RESP_ERROR: u8 = 255;
 
 impl Request {
@@ -387,6 +449,27 @@ impl Request {
             Request::Trace => out.push(REQ_TRACE),
             Request::Ping => out.push(REQ_PING),
             Request::Shutdown => out.push(REQ_SHUTDOWN),
+            Request::ShardJoin { addr, start_epoch } => {
+                out.push(REQ_SHARD_JOIN);
+                put_string(&mut out, addr)?;
+                out.extend_from_slice(&start_epoch.to_le_bytes());
+            }
+            Request::ClusterSpmm { tenant, matrix_id, deadline_ms, b_rows, n, b } => {
+                if b.len() != *b_rows as usize * *n as usize {
+                    return Err(ProtoError(format!(
+                        "operand has {} values, dims say {}",
+                        b.len(),
+                        *b_rows as usize * *n as usize
+                    )));
+                }
+                out.push(REQ_CLUSTER_SPMM);
+                put_string(&mut out, tenant)?;
+                out.extend_from_slice(&matrix_id.to_le_bytes());
+                out.extend_from_slice(&deadline_ms.to_le_bytes());
+                out.extend_from_slice(&b_rows.to_le_bytes());
+                out.extend_from_slice(&n.to_le_bytes());
+                put_f32s(&mut out, b);
+            }
         }
         Ok(out)
     }
@@ -419,6 +502,16 @@ impl Request {
             REQ_TRACE => Request::Trace,
             REQ_PING => Request::Ping,
             REQ_SHUTDOWN => Request::Shutdown,
+            REQ_SHARD_JOIN => Request::ShardJoin { addr: c.string()?, start_epoch: c.u64()? },
+            REQ_CLUSTER_SPMM => {
+                let tenant = c.string()?;
+                let matrix_id = c.u64()?;
+                let deadline_ms = c.u32()?;
+                let b_rows = c.u32()?;
+                let n = c.u32()?;
+                let b = c.f32_vec(b_rows as usize * n as usize)?;
+                Request::ClusterSpmm { tenant, matrix_id, deadline_ms, b_rows, n, b }
+            }
             tag => return Err(ProtoError(format!("unknown request tag {tag}"))),
         };
         c.done()?;
@@ -481,6 +574,38 @@ impl Response {
             }
             Response::Pong => out.push(RESP_PONG),
             Response::ShutdownAck => out.push(RESP_SHUTDOWN_ACK),
+            Response::ShardJoined { shard_index, shard_count } => {
+                out.push(RESP_SHARD_JOINED);
+                out.extend_from_slice(&shard_index.to_le_bytes());
+                out.extend_from_slice(&shard_count.to_le_bytes());
+            }
+            Response::ClusterSpmm {
+                rows,
+                n,
+                out: data,
+                degraded,
+                present,
+                shards_ok,
+                shards_failed,
+            } => {
+                if data.len() != *rows as usize * *n as usize {
+                    return Err(ProtoError("output dims disagree with data length".into()));
+                }
+                if *degraded && present.len() != (*rows as usize).div_ceil(8) {
+                    return Err(ProtoError("present bitmap length disagrees with rows".into()));
+                }
+                out.push(RESP_CLUSTER_SPMM);
+                out.extend_from_slice(&rows.to_le_bytes());
+                out.extend_from_slice(&n.to_le_bytes());
+                put_f32s(&mut out, data);
+                out.push(u8::from(*degraded));
+                let len = u32::try_from(present.len())
+                    .map_err(|_| ProtoError("present bitmap too large".into()))?;
+                out.extend_from_slice(&len.to_le_bytes());
+                out.extend_from_slice(present);
+                out.extend_from_slice(&shards_ok.to_le_bytes());
+                out.extend_from_slice(&shards_failed.to_le_bytes());
+            }
             Response::Error { code, message } => {
                 out.push(RESP_ERROR);
                 out.push(code.to_byte());
@@ -545,6 +670,20 @@ impl Response {
             }
             RESP_PONG => Response::Pong,
             RESP_SHUTDOWN_ACK => Response::ShutdownAck,
+            RESP_SHARD_JOINED => {
+                Response::ShardJoined { shard_index: c.u32()?, shard_count: c.u32()? }
+            }
+            RESP_CLUSTER_SPMM => {
+                let rows = c.u32()?;
+                let n = c.u32()?;
+                let out = c.f32_vec(rows as usize * n as usize)?;
+                let degraded = c.u8()? != 0;
+                let len = c.u32()? as usize;
+                let present = c.take(len)?.to_vec();
+                let shards_ok = c.u32()?;
+                let shards_failed = c.u32()?;
+                Response::ClusterSpmm { rows, n, out, degraded, present, shards_ok, shards_failed }
+            }
             RESP_ERROR => {
                 let code = ErrorCode::from_byte(c.u8()?)
                     .ok_or_else(|| ProtoError("unknown error code".into()))?;
@@ -591,6 +730,52 @@ mod tests {
         roundtrip_req(Request::Trace);
         roundtrip_req(Request::Ping);
         roundtrip_req(Request::Shutdown);
+        roundtrip_req(Request::ShardJoin { addr: "127.0.0.1:7950".into(), start_epoch: 1_699 });
+        roundtrip_req(Request::ClusterSpmm {
+            tenant: "t".into(),
+            matrix_id: 11,
+            deadline_ms: 500,
+            b_rows: 2,
+            n: 2,
+            b: vec![1.0, 0.0, -2.5, 4.0],
+        });
+    }
+
+    #[test]
+    fn cluster_responses_roundtrip() {
+        roundtrip_resp(Response::ShardJoined { shard_index: 1, shard_count: 3 });
+        roundtrip_resp(Response::ClusterSpmm {
+            rows: 3,
+            n: 2,
+            out: vec![1.0; 6],
+            degraded: false,
+            present: vec![],
+            shards_ok: 3,
+            shards_failed: 0,
+        });
+        roundtrip_resp(Response::ClusterSpmm {
+            rows: 9,
+            n: 1,
+            out: vec![0.5; 9],
+            degraded: true,
+            present: vec![0b0000_0111, 0b0000_0001],
+            shards_ok: 2,
+            shards_failed: 1,
+        });
+    }
+
+    #[test]
+    fn degraded_bitmap_length_is_validated_at_encode() {
+        let bad = Response::ClusterSpmm {
+            rows: 9,
+            n: 1,
+            out: vec![0.0; 9],
+            degraded: true,
+            present: vec![0xFF], // 9 rows need 2 bytes
+            shards_ok: 2,
+            shards_failed: 1,
+        };
+        assert!(bad.encode().is_err());
     }
 
     #[test]

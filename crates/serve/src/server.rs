@@ -6,7 +6,7 @@ use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
 
 use fs_chaos::FaultSite;
 use fs_matrix::{CooMatrix, CsrMatrix, DenseMatrix};
@@ -52,6 +52,7 @@ pub struct Server {
     engine: Arc<ServeEngine>,
     listener: TcpListener,
     addr: SocketAddr,
+    start_epoch: u64,
     max_load_dim: u32,
     stop: Arc<AtomicBool>,
     /// Each handler thread plus a second handle to its stream, kept so
@@ -66,10 +67,19 @@ impl Server {
     pub fn bind(cfg: &ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
+        // Wall-clock millis at bind: strictly increases across restarts
+        // of the same shard, which is all a router needs to tell "the
+        // shard I registered slabs on" from "a fresh process that lost
+        // them".
+        let start_epoch = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis().min(u128::from(u64::MAX)) as u64) // lint: checked-cast - clamped
+            .unwrap_or(0);
         Ok(Server {
             engine: Arc::new(ServeEngine::start(cfg.engine)),
             listener,
             addr,
+            start_epoch,
             max_load_dim: cfg.max_load_dim,
             stop: Arc::new(AtomicBool::new(false)),
             conns: Arc::new(Mutex::new(Vec::new())),
@@ -79,6 +89,12 @@ impl Server {
     /// The bound address (useful with port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Milliseconds since the Unix epoch at bind time — the restart
+    /// marker echoed in the metrics document's `server` section.
+    pub fn start_epoch(&self) -> u64 {
+        self.start_epoch
     }
 
     /// The engine, for in-process use alongside the TCP front end.
@@ -105,10 +121,12 @@ impl Server {
             let engine = Arc::clone(&self.engine);
             let stop = Arc::clone(&self.stop);
             let addr = self.addr;
+            let start_epoch = self.start_epoch;
             let max_load_dim = self.max_load_dim;
-            let handle = thread::Builder::new()
-                .name("fs-serve-conn".to_string())
-                .spawn(move || handle_connection(stream, &engine, &stop, addr, max_load_dim))?;
+            let handle =
+                thread::Builder::new().name("fs-serve-conn".to_string()).spawn(move || {
+                    handle_connection(stream, &engine, &stop, addr, start_epoch, max_load_dim)
+                })?;
             self.conns.lock().push((handle, peer));
             if self.stop.load(Ordering::Acquire) {
                 break;
@@ -136,6 +154,7 @@ fn handle_connection(
     engine: &Arc<ServeEngine>,
     stop: &Arc<AtomicBool>,
     server_addr: SocketAddr,
+    start_epoch: u64,
     max_load_dim: u32,
 ) {
     let _ = stream.set_nodelay(true);
@@ -157,7 +176,7 @@ fn handle_connection(
         let response = match decoded {
             Ok(req) => {
                 let is_shutdown = matches!(req, Request::Shutdown);
-                let resp = dispatch(req, engine, max_load_dim);
+                let resp = dispatch(req, engine, server_addr, start_epoch, max_load_dim);
                 if is_shutdown {
                     let _ = resp.encode().map(|bytes| write_frame(&mut writer, &bytes));
                     stop.store(true, Ordering::Release);
@@ -238,7 +257,24 @@ fn chaos_write(writer: &mut TcpStream, payload: &[u8]) -> io::Result<Option<bool
     Ok(Some(true))
 }
 
-fn dispatch(req: Request, engine: &Arc<ServeEngine>, max_load_dim: u32) -> Response {
+/// Prefix the engine's metrics document with a `server` section carrying
+/// the listen address and the bind-time `start_epoch` — the two facts a
+/// router needs to recognize a shard (and notice when it restarted).
+fn metrics_with_server(engine_json: &str, addr: SocketAddr, start_epoch: u64) -> String {
+    let server = format!("\"server\":{{\"addr\":\"{addr}\",\"start_epoch\":{start_epoch}}}");
+    match engine_json.strip_prefix('{') {
+        Some(rest) if !rest.trim_start().starts_with('}') => format!("{{{server},{rest}"),
+        _ => format!("{{{server}}}"),
+    }
+}
+
+fn dispatch(
+    req: Request,
+    engine: &Arc<ServeEngine>,
+    addr: SocketAddr,
+    start_epoch: u64,
+    max_load_dim: u32,
+) -> Response {
     match req {
         Request::Load { tenant, rows, cols, entries } => {
             // Bound the declared dimensions *before* building anything:
@@ -322,7 +358,9 @@ fn dispatch(req: Request, engine: &Arc<ServeEngine>, max_load_dim: u32) -> Respo
                 Err(e) => Response::Error { code: ErrorCode::BadRequest, message: e.to_string() },
             }
         }
-        Request::Metrics => Response::Metrics { json: engine.metrics_json() },
+        Request::Metrics => Response::Metrics {
+            json: metrics_with_server(&engine.metrics_json(), addr, start_epoch),
+        },
         Request::Trace => {
             let snap = fs_trace::snapshot();
             Response::Trace {
@@ -332,5 +370,16 @@ fn dispatch(req: Request, engine: &Arc<ServeEngine>, max_load_dim: u32) -> Respo
         }
         Request::Ping => Response::Pong,
         Request::Shutdown => Response::ShutdownAck,
+        // Cluster ops belong to the fs-cluster router; a plain shard
+        // rejecting them (instead of ignoring them) turns a mis-pointed
+        // client into a clear error rather than a hang.
+        Request::ShardJoin { addr: shard, .. } => Response::Error {
+            code: ErrorCode::BadRequest,
+            message: format!("this is a shard, not a router: cannot register {shard}"),
+        },
+        Request::ClusterSpmm { .. } => Response::Error {
+            code: ErrorCode::BadRequest,
+            message: "cluster SpMM needs an fs-cluster router; this is a plain shard".to_string(),
+        },
     }
 }

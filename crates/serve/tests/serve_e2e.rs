@@ -212,3 +212,77 @@ fn idle_connection_does_not_block_shutdown() {
         .unwrap_or_else(|e| panic!("server run failed: {e}"));
     drop(idle);
 }
+
+/// A peer that never accepts must fail the dial within the configured
+/// connect timeout, not the kernel's minutes-long SYN retry schedule
+/// (regression test for the unbounded `TcpStream::connect` a fan-out
+/// router cannot afford). A listener that never calls `accept` still
+/// completes handshakes from its kernel backlog, so the test first
+/// saturates the backlog with held connections; once it is full the
+/// kernel drops further SYNs and the dial genuinely hangs.
+#[test]
+fn connect_timeout_bounds_the_dial() {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("local addr");
+
+    // Fill the accept queue (backlog is typically 128; stop at the
+    // first dial the kernel no longer answers).
+    let budget = Duration::from_millis(250);
+    let mut held = Vec::new();
+    let mut saturated = None;
+    for _ in 0..1024 {
+        let t0 = std::time::Instant::now();
+        match std::net::TcpStream::connect_timeout(&addr, budget) {
+            Ok(s) => held.push(s),
+            Err(_) => {
+                saturated = Some(t0.elapsed());
+                break;
+            }
+        }
+    }
+    let elapsed = saturated.expect("backlog never saturated; cannot exercise the timeout");
+    assert!(
+        elapsed < budget + Duration::from_secs(2),
+        "raw dial took {elapsed:?} against a {budget:?} timeout"
+    );
+
+    // The client's dial path must honor the same bound.
+    let t0 = std::time::Instant::now();
+    let result = ServeClient::connect_with_timeout(addr, budget);
+    let elapsed = t0.elapsed();
+    assert!(result.is_err(), "a full backlog must not accept");
+    assert!(
+        elapsed < budget + Duration::from_secs(2),
+        "client dial took {elapsed:?}; the {budget:?} connect timeout did not bound it"
+    );
+    drop(held);
+    drop(listener);
+}
+
+/// The metrics document leads with a `server` section carrying the
+/// listen address and the bind-time epoch, so a router (or run script)
+/// can tell a measured process from a silently restarted one.
+#[test]
+fn metrics_carry_server_identity() {
+    let server =
+        Server::bind(&ServerConfig::default()).unwrap_or_else(|e| panic!("bind failed: {e}"));
+    let addr = server.local_addr();
+    let epoch = server.start_epoch();
+    assert!(epoch > 0, "bind-time epoch must be set");
+    let server_thread = thread::spawn(move || server.run());
+
+    let mut client = ServeClient::connect_with_retry(&addr, Duration::from_secs(10))
+        .unwrap_or_else(|e| panic!("connect failed: {e}"));
+    let metrics = client.metrics().unwrap_or_else(|e| panic!("metrics failed: {e}"));
+    assert!(
+        metrics
+            .starts_with(&format!("{{\"server\":{{\"addr\":\"{addr}\",\"start_epoch\":{epoch}}}")),
+        "metrics must lead with the server section: {metrics}"
+    );
+
+    client.shutdown().unwrap_or_else(|e| panic!("shutdown failed: {e}"));
+    server_thread
+        .join()
+        .unwrap_or_else(|_| panic!("server thread panicked"))
+        .unwrap_or_else(|e| panic!("server run failed: {e}"));
+}

@@ -38,10 +38,19 @@ pub enum Site {
     ServeExecute,
     /// Response encode + socket write, server side.
     ServeEncode,
+    /// Router-side placement lookup for one cluster request.
+    ClusterRoute,
+    /// Fan-out of one cluster SpMM across its shard slabs.
+    ClusterScatter,
+    /// Concatenation of per-shard slab outputs into one response.
+    ClusterGather,
+    /// One shard's slice of a scatter round (per-shard wait; the p99 of
+    /// the max over shards is the fan-out tail amplification).
+    ClusterShardWait,
 }
 
 /// Number of span sites (histogram slots).
-pub const SITE_COUNT: usize = 11;
+pub const SITE_COUNT: usize = 15;
 
 impl Site {
     /// Every site, in export order.
@@ -57,6 +66,10 @@ impl Site {
         Site::ServeBatch,
         Site::ServeExecute,
         Site::ServeEncode,
+        Site::ClusterRoute,
+        Site::ClusterScatter,
+        Site::ClusterGather,
+        Site::ClusterShardWait,
     ];
 
     /// Dense index into the registry's per-site slots.
@@ -74,6 +87,10 @@ impl Site {
             Site::ServeBatch => 8,
             Site::ServeExecute => 9,
             Site::ServeEncode => 10,
+            Site::ClusterRoute => 11,
+            Site::ClusterScatter => 12,
+            Site::ClusterGather => 13,
+            Site::ClusterShardWait => 14,
         }
     }
 
@@ -91,6 +108,10 @@ impl Site {
             Site::ServeBatch => "serve.batch",
             Site::ServeExecute => "serve.execute",
             Site::ServeEncode => "serve.encode",
+            Site::ClusterRoute => "cluster.route",
+            Site::ClusterScatter => "cluster.scatter",
+            Site::ClusterGather => "cluster.gather",
+            Site::ClusterShardWait => "cluster.shard_wait",
         }
     }
 
