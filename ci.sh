@@ -186,4 +186,142 @@ fi
 rm -f "$CLUSTER_LOG"
 echo "ci: cluster smoke survived ${DEGRADED} degraded responses with zero wrong rows"
 
+echo "== heal gate (kill -> degrade -> repair -> router restart)"
+# The fs-heal acceptance story end-to-end: a replicated 3-shard cluster
+# under a seeded kill plan (rate 1.0 — every primary attempt is
+# injected-killed, so every slab serves from its replica and a real
+# shard death is observable as degradation the moment it happens).
+# Phase 1 must be clean, phase 2 (one shard really dead) must degrade,
+# phase 3 (after the heal loop re-replicates onto the survivors) must
+# be clean again with repairs on the books, and phase 4 (a fresh router
+# recovering the manifest from the journal, never re-sent a Load) must
+# serve the same matrix with zero wrong rows. Every loadgen run is
+# --chaos: exit is nonzero on any silently wrong row.
+HEAL1_PORT=$((SERVE_PORT + 6))
+HEAL2_PORT=$((SERVE_PORT + 7))
+HEAL3_PORT=$((SERVE_PORT + 8))
+HEAL_ROUTER_PORT=$((SERVE_PORT + 9))
+HEAL_JOURNAL=$(mktemp)
+HEAL_LOG=$(mktemp)
+HEAL_ROUTER_LOG=$(mktemp)
+./target/release/fs-serve --addr "127.0.0.1:${HEAL1_PORT}" --workers 1 &
+HEAL1_PID=$!
+./target/release/fs-serve --addr "127.0.0.1:${HEAL2_PORT}" --workers 1 &
+HEAL2_PID=$!
+./target/release/fs-serve --addr "127.0.0.1:${HEAL3_PORT}" --workers 1 &
+HEAL3_PID=$!
+./target/release/fs-cluster --addr "127.0.0.1:${HEAL_ROUTER_PORT}" \
+    --shards "127.0.0.1:${HEAL1_PORT},127.0.0.1:${HEAL2_PORT},127.0.0.1:${HEAL3_PORT}" \
+    --replicate --connect-timeout-ms 10000 \
+    --probe-interval-ms 200 --suspect-after 1 --down-after 2 \
+    --journal "$HEAL_JOURNAL" --keep-shards \
+    --chaos "seed=13;shard-kill=1.0" &
+HEAL_ROUTER_PID=$!
+
+# Phase 1: all shards up — the replicas absorb every injected kill.
+./target/release/loadgen \
+    --addr "127.0.0.1:${HEAL_ROUTER_PORT}" --cluster \
+    --matrix uniform:256x256x4096 --n 16 \
+    --requests 40 --concurrency 2 \
+    --wait-ready-ms 15000 --chaos | tee "$HEAL_LOG"
+DEGRADED=$(sed -n 's/.*"degraded":\([0-9]*\).*/\1/p' "$HEAL_LOG")
+if [ "${DEGRADED:-1}" != 0 ]; then
+  echo "ci: heal gate degraded before any real kill (${DEGRADED})" >&2
+  exit 1
+fi
+
+# Kill one shard for real (clean drain, so its exit status stays checkable).
+./target/release/loadgen --addr "127.0.0.1:${HEAL3_PORT}" \
+    --matrix uniform:64x64x512 --n 4 --requests 1 --concurrency 1 \
+    --wait-ready-ms 10000 --shutdown > /dev/null
+if ! wait "$HEAL3_PID"; then
+  echo "ci: killed shard exited uncleanly" >&2
+  exit 1
+fi
+
+# Phase 2: the dead shard backed a replica; with primaries
+# injected-killed that slab has no copies — degradation must appear.
+./target/release/loadgen \
+    --addr "127.0.0.1:${HEAL_ROUTER_PORT}" --cluster \
+    --matrix uniform:256x256x4096 --n 16 \
+    --requests 40 --concurrency 2 \
+    --wait-ready-ms 15000 --chaos | tee "$HEAL_LOG"
+DEGRADED=$(sed -n 's/.*"degraded":\([0-9]*\).*/\1/p' "$HEAL_LOG")
+if ! awk -v d="${DEGRADED:-0}" 'BEGIN { exit !(d > 0) }'; then
+  echo "ci: real shard kill produced no degraded responses" >&2
+  exit 1
+fi
+if ! grep -q '"degraded_timeline":\[' "$HEAL_LOG"; then
+  echo "ci: loadgen report carries no degraded_timeline" >&2
+  exit 1
+fi
+
+# Phase 3: give the heal loop a beat (probe 200ms, Down after 2 misses,
+# repair on the Down tick) — responses must be clean again and the
+# echoed heal section must show the repair and the Down shard.
+sleep 2
+./target/release/loadgen \
+    --addr "127.0.0.1:${HEAL_ROUTER_PORT}" --cluster \
+    --matrix uniform:256x256x4096 --n 16 \
+    --requests 40 --concurrency 2 \
+    --wait-ready-ms 15000 --chaos --shutdown | tee "$HEAL_LOG"
+DEGRADED=$(sed -n 's/.*"degraded":\([0-9]*\).*/\1/p' "$HEAL_LOG")
+if [ "${DEGRADED:-1}" != 0 ]; then
+  echo "ci: responses still degraded after repair (${DEGRADED})" >&2
+  exit 1
+fi
+REPAIRS=$(sed -n 's/.*"heal_repairs_completed":\([0-9]*\).*/\1/p' "$HEAL_LOG")
+if ! awk -v r="${REPAIRS:-0}" 'BEGIN { exit !(r > 0) }'; then
+  echo "ci: router reported no completed repairs" >&2
+  exit 1
+fi
+if ! grep -q '"heal_shard_states":\[.*"down"' "$HEAL_LOG"; then
+  echo "ci: heal echo does not show the dead shard as down" >&2
+  exit 1
+fi
+if ! wait "$HEAL_ROUTER_PID"; then
+  echo "ci: fs-cluster (heal, first router) exited uncleanly" >&2
+  exit 1
+fi
+
+# Phase 4: a fresh router on the same journal — the manifest must come
+# back from the journal's valid prefix (the survivors are the only
+# static shards; the dead one is re-joined from the journal and stays
+# Down). The loadgen re-sends its registration, which must resolve
+# idempotently; rows are verified against the reference as always.
+./target/release/fs-cluster --addr "127.0.0.1:${HEAL_ROUTER_PORT}" \
+    --shards "127.0.0.1:${HEAL1_PORT},127.0.0.1:${HEAL2_PORT}" \
+    --replicate --connect-timeout-ms 10000 \
+    --probe-interval-ms 200 --suspect-after 1 --down-after 2 \
+    --journal "$HEAL_JOURNAL" \
+    --chaos "seed=13;shard-kill=1.0" > "$HEAL_ROUTER_LOG" &
+HEAL_ROUTER_PID=$!
+./target/release/loadgen \
+    --addr "127.0.0.1:${HEAL_ROUTER_PORT}" --cluster \
+    --matrix uniform:256x256x4096 --n 16 \
+    --requests 40 --concurrency 2 \
+    --wait-ready-ms 15000 --chaos --shutdown | tee "$HEAL_LOG"
+DEGRADED=$(sed -n 's/.*"degraded":\([0-9]*\).*/\1/p' "$HEAL_LOG")
+if [ "${DEGRADED:-1}" != 0 ]; then
+  echo "ci: restarted router served degraded responses (${DEGRADED})" >&2
+  exit 1
+fi
+if ! wait "$HEAL_ROUTER_PID"; then
+  echo "ci: fs-cluster (heal, restarted router) exited uncleanly" >&2
+  exit 1
+fi
+if ! grep -q "1 matrix(es) recovered" "$HEAL_ROUTER_LOG"; then
+  echo "ci: restarted router did not recover the manifest from the journal" >&2
+  cat "$HEAL_ROUTER_LOG" >&2
+  exit 1
+fi
+for PID in "$HEAL1_PID" "$HEAL2_PID"; do
+  if ! wait "$PID"; then
+    echo "ci: a heal-gate shard exited uncleanly" >&2
+    exit 1
+  fi
+done
+rm -f "$HEAL_LOG" "$HEAL_ROUTER_LOG" "$HEAL_JOURNAL"
+echo "ci: heal gate passed (degrade -> repair -> journal-recovered restart, zero wrong rows)"
+
 echo "ci: all gates passed"

@@ -45,6 +45,22 @@ impl Backoff {
         Duration::from_nanos(self.rng_state % nanos.max(1))
     }
 
+    /// Equal-jitter variant: half the exponential ceiling guaranteed,
+    /// the other half jittered — `ceiling/2 + uniform[0, ceiling/2)`.
+    /// Use where a floor matters more than decorrelation: a dial gate
+    /// holding off a dead shard must never hand out a ~0 delay, or the
+    /// caller spins exactly the way backoff exists to prevent.
+    pub fn next_delay_floored(&mut self) -> Duration {
+        let exp = self.attempt.min(20);
+        self.attempt = self.attempt.saturating_add(1);
+        let ceiling =
+            self.base.saturating_mul(1u32 << exp).min(self.cap).max(Duration::from_micros(2));
+        self.rng_state = splitmix64(self.rng_state);
+        let half = ceiling / 2;
+        let nanos = half.as_nanos() as u64; // lint: checked-cast (cap <= 2s fits u64 nanos)
+        half + Duration::from_nanos(self.rng_state % nanos.max(1))
+    }
+
     /// Number of delays handed out so far.
     pub fn attempts(&self) -> u32 {
         self.attempt
@@ -82,6 +98,25 @@ mod tests {
         };
         assert_eq!(delays(7), delays(7));
         assert_ne!(delays(7), delays(8), "different seeds should decorrelate");
+    }
+
+    #[test]
+    fn floored_delays_never_drop_below_half_the_ceiling() {
+        let base = Duration::from_millis(25);
+        let cap = Duration::from_secs(2);
+        let mut b = Backoff::new(base, cap, 9);
+        for k in 0..12u32 {
+            let ceiling = base.saturating_mul(1u32 << k).min(cap);
+            let d = b.next_delay_floored();
+            assert!(d >= ceiling / 2, "attempt {k}: {d:?} < {:?}", ceiling / 2);
+            assert!(d < ceiling.max(Duration::from_micros(2)), "attempt {k}: {d:?}");
+        }
+        // Deterministic under a fixed seed.
+        let replay = |seed: u64| -> Vec<Duration> {
+            let mut b = Backoff::new(base, cap, seed);
+            (0..8).map(|_| b.next_delay_floored()).collect()
+        };
+        assert_eq!(replay(9), replay(9));
     }
 
     #[test]

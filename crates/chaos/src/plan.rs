@@ -38,11 +38,17 @@ pub enum FaultSite {
     ShardKill,
     /// Stall one shard's scatter call for the plan's `stall-ms`.
     ShardStall,
+    /// Fail one shard's heartbeat probe so the failure detector sees a
+    /// flapping shard (`fs-heal`); the shard process stays alive.
+    ShardFlap,
+    /// Corrupt one byte of a manifest journal record as it is appended
+    /// (`fs-heal`), exercising checksummed prefix recovery.
+    JournalCorrupt,
 }
 
 impl FaultSite {
     /// Number of sites (array sizing for rates and counters).
-    pub const COUNT: usize = 10;
+    pub const COUNT: usize = 12;
 
     /// Every site, in index order.
     pub const ALL: [FaultSite; FaultSite::COUNT] = [
@@ -56,6 +62,8 @@ impl FaultSite {
         FaultSite::FrameTruncate,
         FaultSite::ShardKill,
         FaultSite::ShardStall,
+        FaultSite::ShardFlap,
+        FaultSite::JournalCorrupt,
     ];
 
     /// Dense index into per-site arrays.
@@ -72,6 +80,8 @@ impl FaultSite {
             FaultSite::FrameTruncate => 7,
             FaultSite::ShardKill => 8,
             FaultSite::ShardStall => 9,
+            FaultSite::ShardFlap => 10,
+            FaultSite::JournalCorrupt => 11,
         }
     }
 
@@ -88,6 +98,8 @@ impl FaultSite {
             FaultSite::FrameTruncate => "frame-truncate",
             FaultSite::ShardKill => "shard-kill",
             FaultSite::ShardStall => "shard-stall",
+            FaultSite::ShardFlap => "shard-flap",
+            FaultSite::JournalCorrupt => "journal-corrupt",
         }
     }
 

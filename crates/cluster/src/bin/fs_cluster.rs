@@ -3,7 +3,9 @@
 //! ```text
 //! fs-cluster --shards HOST:PORT,HOST:PORT,... [--addr 127.0.0.1:7948]
 //!            [--replicate] [--deadline-ms MS] [--connect-timeout-ms MS]
-//!            [--max-dim N] [--chaos PLAN] [--trace] [--trace-out FILE]
+//!            [--max-dim N] [--journal FILE] [--probe-interval-ms MS]
+//!            [--suspect-after N] [--down-after N] [--keep-shards]
+//!            [--chaos PLAN] [--trace] [--trace-out FILE]
 //! ```
 //!
 //! Shards are plain `fs-serve` processes started separately; the router
@@ -11,6 +13,16 @@
 //! metrics document so later restarts are detected. `--replicate`
 //! registers every row slab on a second shard so a single shard loss
 //! degrades nothing.
+//!
+//! Self-healing: `--probe-interval-ms` runs the heartbeat failure
+//! detector (Up→Suspect→Down per shard, thresholds from
+//! `--suspect-after` / `--down-after`), which re-replicates the slabs of
+//! a Down shard onto survivors and reconciles a returning shard's
+//! inventory against the manifest. `--journal FILE` makes the manifest
+//! durable: a restarted router pointed at the same journal rebuilds its
+//! shard map and matrix registry — and re-validates shard residency —
+//! without re-receiving a single `Load`. `--keep-shards` stops the
+//! router's own shutdown from propagating to the shards (for restarts).
 //!
 //! `--chaos PLAN` installs a deterministic fault plan (e.g.
 //! `seed=7;shard-kill=0.05`) on the *router* — injected shard kills and
@@ -27,6 +39,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: fs-cluster --shards HOST:PORT,... [--addr HOST:PORT] [--replicate]\n\
          \x20                 [--deadline-ms MS] [--connect-timeout-ms MS] [--max-dim N]\n\
+         \x20                 [--journal FILE] [--probe-interval-ms MS] [--suspect-after N]\n\
+         \x20                 [--down-after N] [--keep-shards]\n\
          \x20                 [--chaos PLAN] [--trace] [--trace-out FILE]"
     );
     std::process::exit(2);
@@ -56,6 +70,13 @@ fn apply_flag(
             cfg.connect_timeout = Duration::from_millis(p.typed::<u64>(flag)?);
         }
         "--max-dim" => cfg.max_load_dim = p.typed(flag)?,
+        "--journal" => cfg.journal = Some(std::path::PathBuf::from(p.value(flag)?)),
+        "--probe-interval-ms" => {
+            cfg.heal.probe_interval = Duration::from_millis(p.typed::<u64>(flag)?);
+        }
+        "--suspect-after" => cfg.heal.suspect_after = p.typed(flag)?,
+        "--down-after" => cfg.heal.down_after = p.typed(flag)?,
+        "--keep-shards" => cfg.propagate_shutdown = false,
         "--chaos" => *chaos = Some(p.typed(flag)?),
         "--trace" => trace.armed = true,
         "--trace-out" => {
@@ -140,6 +161,16 @@ fn main() {
     };
     for (addr, epoch) in epochs {
         router.state().join_shard(addr, epoch);
+    }
+    if cfg.journal.is_some() {
+        // A recovered manifest is only a claim about residency; ask
+        // every shard what it actually holds and repair the difference.
+        let reconciled = fs_cluster::revalidate(router.state());
+        let matrices = router.state().matrix_count();
+        println!(
+            "fs-cluster journal: {} matrix(es) recovered, {reconciled} shard(s) revalidated",
+            matrices
+        );
     }
     println!(
         "fs-cluster routing on {} over {} shard(s){}",

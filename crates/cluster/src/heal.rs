@@ -1,0 +1,567 @@
+//! Failure detection and self-healing replication for the router.
+//!
+//! Three cooperating mechanisms keep a replicated cluster serving clean
+//! (non-degraded) responses across shard failures:
+//!
+//! 1. **Failure detector** — [`heal_tick`] probes every shard with a
+//!    `Ping` (under a `heal.probe` span) and runs a per-shard
+//!    Up→Suspect→Down state machine on consecutive failures. The
+//!    thresholds live in [`HealConfig`]; transitions are appended to the
+//!    heal log and exported in the router's `heal` metrics section.
+//! 2. **Repair** — when a shard transitions to Down, every slab it held
+//!    is repaired in deterministic order (matrix id ascending, then slab
+//!    index ascending): a lost primary is promoted from its replica (or
+//!    re-pushed from the retained source entries when no replica
+//!    survives), and replication is restored by exporting the slab from
+//!    a surviving holder — falling back to re-slicing the source — onto
+//!    the next healthy shard along the placement ring. Each move is
+//!    journaled as an `Assign` record.
+//! 3. **Anti-entropy rejoin** — when a Down shard probes healthy again,
+//!    its resident-matrix inventory (the extended `RESP_SHARD_JOINED`)
+//!    is reconciled against the manifest: slabs the manifest no longer
+//!    places there are evicted, slabs it should hold but lost are
+//!    re-pushed, and ids that diverged (a restarted shard hands out
+//!    fresh ids) are adopted.
+//!
+//! ## Determinism
+//!
+//! Nothing here reads the wall clock or an unseeded RNG. The tick
+//! counter is logical; repair ordering is total; the `shard-flap` chaos
+//! draw is taken once per shard per tick in index order *before* any
+//! network traffic, so a seeded kill→recover→rejoin soak replays
+//! bit-identical heal logs from the plan string alone.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use fs_chaos::FaultSite;
+use fs_matrix::{CooMatrix, CsrMatrix};
+use fs_serve::Fingerprint;
+use fs_trace::Site;
+use parking_lot::Mutex;
+
+use crate::router::{ClusterMatrix, RouterState, SlabState};
+
+/// One shard's health as seen by the failure detector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardHealth {
+    /// Responding to probes.
+    Up,
+    /// At least `suspect_after` consecutive probe failures — still
+    /// routed to, but on notice.
+    Suspect,
+    /// At least `down_after` consecutive probe failures — skipped by the
+    /// scatter path and scheduled for repair.
+    Down,
+}
+
+impl ShardHealth {
+    /// Lowercase wire/metrics name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ShardHealth::Up => "up",
+            ShardHealth::Suspect => "suspect",
+            ShardHealth::Down => "down",
+        }
+    }
+}
+
+/// Failure-detector tuning.
+#[derive(Clone, Debug)]
+pub struct HealConfig {
+    /// Cadence of the router's background probe thread. `Duration::ZERO`
+    /// (the default) disables the thread; ticks are then driven
+    /// explicitly via [`heal_tick`] — what the deterministic tests do.
+    pub probe_interval: Duration,
+    /// Consecutive probe failures before Up→Suspect.
+    pub suspect_after: u32,
+    /// Consecutive probe failures before →Down (triggers repair).
+    pub down_after: u32,
+}
+
+impl Default for HealConfig {
+    fn default() -> HealConfig {
+        HealConfig { probe_interval: Duration::ZERO, suspect_after: 1, down_after: 2 }
+    }
+}
+
+/// Per-shard detector entry.
+#[derive(Clone, Debug)]
+struct ShardEntry {
+    failures: u32,
+    health: ShardHealth,
+}
+
+/// Detector state, repair counters, and the append-only heal log.
+/// Lives in [`RouterState`]; indexed by shard-map index.
+pub struct HealState {
+    cfg: HealConfig,
+    shards: Mutex<Vec<ShardEntry>>,
+    tick: AtomicU64,
+    repairs_completed: AtomicU64,
+    last_repair_tick: AtomicU64,
+    rejoins: AtomicU64,
+    log: Mutex<Vec<String>>,
+}
+
+impl HealState {
+    /// Fresh state: every shard starts Up with zero failures.
+    pub fn new(cfg: HealConfig) -> HealState {
+        HealState {
+            cfg,
+            shards: Mutex::new(Vec::new()),
+            tick: AtomicU64::new(0),
+            repairs_completed: AtomicU64::new(0),
+            last_repair_tick: AtomicU64::new(0),
+            rejoins: AtomicU64::new(0),
+            log: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The detector's configuration.
+    pub fn config(&self) -> &HealConfig {
+        &self.cfg
+    }
+
+    /// Whether shard `index` is currently Down (unknown shards are Up).
+    pub fn is_down(&self, index: usize) -> bool {
+        self.shards.lock().get(index).map(|e| e.health == ShardHealth::Down).unwrap_or(false)
+    }
+
+    /// Every tracked shard's health, by shard-map index.
+    pub fn health(&self) -> Vec<ShardHealth> {
+        self.shards.lock().iter().map(|e| e.health).collect()
+    }
+
+    /// Logical ticks elapsed (one per [`heal_tick`] call).
+    pub fn ticks(&self) -> u64 {
+        self.tick.load(Ordering::Relaxed) // lint: relaxed-ok - metrics read
+    }
+
+    /// Slab repairs completed since start.
+    pub fn repairs_completed(&self) -> u64 {
+        self.repairs_completed.load(Ordering::Relaxed) // lint: relaxed-ok - metrics read
+    }
+
+    /// Logical tick of the most recent completed repair (0 = never).
+    pub fn last_repair_tick(&self) -> u64 {
+        self.last_repair_tick.load(Ordering::Relaxed) // lint: relaxed-ok - metrics read
+    }
+
+    /// Anti-entropy rejoin passes completed.
+    pub fn rejoins(&self) -> u64 {
+        self.rejoins.load(Ordering::Relaxed) // lint: relaxed-ok - metrics read
+    }
+
+    /// Snapshot of the append-only heal log (state transitions, repairs,
+    /// rejoins — one deterministic line each).
+    pub fn log_lines(&self) -> Vec<String> {
+        self.log.lock().clone()
+    }
+
+    fn log(&self, line: String) {
+        self.log.lock().push(line);
+    }
+
+    /// Grow the per-shard table to cover `n` shards (new entries Up).
+    fn ensure(&self, n: usize) {
+        let mut shards = self.shards.lock();
+        while shards.len() < n {
+            shards.push(ShardEntry { failures: 0, health: ShardHealth::Up });
+        }
+    }
+
+    /// Feed one probe result into the state machine; returns the
+    /// (old, new) health pair.
+    fn observe(&self, index: usize, ok: bool) -> (ShardHealth, ShardHealth) {
+        let mut shards = self.shards.lock();
+        let entry = &mut shards[index];
+        let old = entry.health;
+        if ok {
+            entry.failures = 0;
+            entry.health = ShardHealth::Up;
+        } else {
+            entry.failures = entry.failures.saturating_add(1);
+            if entry.failures >= self.cfg.down_after {
+                entry.health = ShardHealth::Down;
+            } else if entry.failures >= self.cfg.suspect_after {
+                entry.health = ShardHealth::Suspect;
+            }
+        }
+        (old, entry.health)
+    }
+}
+
+/// What one [`heal_tick`] did.
+#[derive(Clone, Debug, Default)]
+pub struct TickReport {
+    /// The logical tick number (1-based).
+    pub tick: u64,
+    /// Shards that transitioned to Down this tick.
+    pub went_down: Vec<usize>,
+    /// Shards that transitioned Down → Up this tick.
+    pub came_up: Vec<usize>,
+    /// Slab repairs completed this tick.
+    pub repaired_slabs: u64,
+    /// Rejoin reconciliations completed this tick.
+    pub rejoined: usize,
+}
+
+/// One detector round: probe every shard in index order, run the state
+/// machine, repair shards that went Down, reconcile shards that came
+/// back Up. All chaos draws (`shard-flap`) happen sequentially on this
+/// thread before any repair traffic, in shard-index order.
+pub fn heal_tick(state: &Arc<RouterState>) -> TickReport {
+    // lint: relaxed-ok - logical clock, single heal thread advances it
+    let tick = state.heal.tick.fetch_add(1, Ordering::Relaxed) + 1;
+    let addrs: Vec<String> = state.map.lock().shards().iter().map(|s| s.addr.clone()).collect();
+    state.heal.ensure(addrs.len());
+
+    let mut went_down = Vec::new();
+    let mut came_up = Vec::new();
+    for (i, addr) in addrs.iter().enumerate() {
+        // An injected flap forces this probe to fail without touching
+        // the wire — the shard "looks dead" to the detector only.
+        let flap = fs_chaos::draw(FaultSite::ShardFlap).is_some();
+        let ok = if flap {
+            false
+        } else {
+            let _probe = fs_trace::span(Site::HealProbe);
+            state.shard_call(addr, |c| c.ping()).is_ok()
+        };
+        let (old, new) = state.heal.observe(i, ok);
+        if old != new {
+            state.heal.log(format!("tick={tick} shard={i} {}->{}", old.name(), new.name()));
+            if new == ShardHealth::Down {
+                went_down.push(i);
+            } else if old == ShardHealth::Down {
+                came_up.push(i);
+            }
+        }
+    }
+
+    let mut repaired_slabs = 0u64;
+    for &down in &went_down {
+        repaired_slabs += repair_shard(state, tick, down);
+    }
+    let mut rejoined = 0usize;
+    for &up in &came_up {
+        if rejoin_shard(state, tick, up) {
+            rejoined += 1;
+        }
+    }
+    TickReport { tick, went_down, came_up, repaired_slabs, rejoined }
+}
+
+/// Re-validate every shard's residency against the manifest — the
+/// post-recovery pass a restarted router runs after rebuilding its
+/// registry from the journal. Returns how many shards reconciled
+/// (unreachable shards are skipped; the detector picks them up).
+pub fn revalidate(state: &Arc<RouterState>) -> usize {
+    let n = state.map.lock().len();
+    state.heal.ensure(n);
+    let tick = state.heal.ticks();
+    (0..n).filter(|&i| rejoin_shard(state, tick, i)).count()
+}
+
+/// Clone-out read of one manifest entry: the registry lock is released
+/// before the caller does any repair network I/O.
+fn matrix_snapshot(state: &RouterState, id: u64) -> Option<Arc<ClusterMatrix>> {
+    state.matrices.lock().get(&id).cloned()
+}
+
+/// Repair every slab the Down shard `down` held, in deterministic order
+/// (matrix id ascending, slab index ascending). Returns slabs repaired.
+fn repair_shard(state: &Arc<RouterState>, tick: u64, down: usize) -> u64 {
+    let mut ids: Vec<u64> = state.matrices.lock().keys().copied().collect();
+    ids.sort_unstable();
+    let mut repaired = 0u64;
+    for id in ids {
+        let Some(matrix) = matrix_snapshot(state, id) else { continue };
+        for s in 0..matrix.slabs.len() {
+            // Re-read: an earlier slab's repair swapped in a new Arc.
+            let Some(matrix) = matrix_snapshot(state, id) else { break };
+            let slab = &matrix.slabs[s];
+            let touches = slab.primary == down || slab.replica.map(|(i, _)| i) == Some(down);
+            if !touches {
+                continue;
+            }
+            let _span = fs_trace::span(Site::HealRepair);
+            match repair_slab(state, down, &matrix, s) {
+                Some(new_slab) => {
+                    let line = format!(
+                        "tick={tick} repair matrix={id} slab={s} primary={} replica={}",
+                        new_slab.primary,
+                        new_slab
+                            .replica
+                            .map(|(i, _)| i.to_string())
+                            .unwrap_or_else(|| "-".to_string()),
+                    );
+                    state.commit_slab(id, s, new_slab);
+                    state.heal.log(line);
+                    repaired += 1;
+                }
+                None => {
+                    state.heal.log(format!("tick={tick} repair matrix={id} slab={s} failed"));
+                }
+            }
+        }
+    }
+    if repaired > 0 {
+        // lint: relaxed-ok - monotonic counter, read only for metrics
+        state.heal.repairs_completed.fetch_add(repaired, Ordering::Relaxed);
+        // lint: relaxed-ok - logical clock, read only for metrics
+        state.heal.last_repair_tick.store(tick, Ordering::Relaxed);
+    }
+    repaired
+}
+
+/// Compute the repaired placement of `matrix`'s slab `s` after shard
+/// `down` died: promote or re-push the primary, then restore the
+/// replica. `None` only when the primary is unrecoverable (no healthy
+/// target or every push failed).
+fn repair_slab(
+    state: &Arc<RouterState>,
+    down: usize,
+    matrix: &ClusterMatrix,
+    s: usize,
+) -> Option<SlabState> {
+    let mut next = matrix.slabs[s].clone();
+    if next.replica.map(|(i, _)| i) == Some(down) {
+        next.replica = None;
+    }
+    if next.primary == down {
+        if let Some((replica_idx, replica_id)) = next.replica.take() {
+            // The replica survives: promote it — no bytes move.
+            next.primary = replica_idx;
+            next.primary_id = replica_id;
+        } else {
+            // No replica: re-push the slab from the retained source
+            // entries onto the first healthy shard along the ring.
+            let target = pick_target(state, matrix.fp, &[down])?;
+            let new_id = push_slab(state, matrix, s, None, target)?;
+            next.primary = target;
+            next.primary_id = new_id;
+        }
+    }
+    // Restore replication: export from the surviving primary (falling
+    // back to a re-slice) onto the next healthy distinct shard.
+    if state.map.lock().replicated() && next.replica.is_none() {
+        if let Some(target) = pick_target(state, matrix.fp, &[down, next.primary]) {
+            let holder = Some((next.primary, next.primary_id));
+            if let Some(new_id) = push_slab(state, matrix, s, holder, target) {
+                next.replica = Some((target, new_id));
+            }
+        }
+    }
+    Some(next)
+}
+
+/// First shard along the placement ring for `fp` that is neither
+/// excluded nor Down.
+fn pick_target(state: &RouterState, fp: (u64, u64), exclude: &[usize]) -> Option<usize> {
+    let order = state.map.lock().placement(fp);
+    order.into_iter().find(|i| !exclude.contains(i) && !state.heal.is_down(*i))
+}
+
+/// Materialize `matrix`'s slab `s` and load it onto shard `target`,
+/// returning the target-side matrix id. Data comes from `holder`
+/// (a surviving `(shard, id)` copy, fetched via `Export` and verified
+/// against the slab fingerprint) or, failing that, a re-slice of the
+/// retained source entries — bit-identical by construction, since both
+/// paths rebuild the same rebased CSR the original `Load` registered.
+fn push_slab(
+    state: &Arc<RouterState>,
+    matrix: &ClusterMatrix,
+    s: usize,
+    holder: Option<(usize, u64)>,
+    target: usize,
+) -> Option<u64> {
+    let slab = &matrix.slabs[s];
+    let csr = holder
+        .and_then(|(idx, id)| export_slab(state, &matrix.tenant, idx, id, slab))
+        .unwrap_or_else(|| reslice_slab(matrix, s));
+    let addr = state.shard_addr(target)?;
+    state.shard_call(&addr, |c| c.load_matrix(&matrix.tenant, &csr)).ok().map(|l| l.matrix_id)
+}
+
+/// Fetch a slab copy from a surviving holder and rebuild its CSR,
+/// rejecting it (→ the caller re-slices) when the holder is Down, the
+/// export fails, or the content no longer matches the slab fingerprint.
+fn export_slab(
+    state: &Arc<RouterState>,
+    tenant: &str,
+    holder_idx: usize,
+    holder_id: u64,
+    slab: &SlabState,
+) -> Option<CsrMatrix<f32>> {
+    if state.heal.is_down(holder_idx) {
+        return None;
+    }
+    let addr = state.shard_addr(holder_idx)?;
+    let (rows, cols, entries) =
+        state.shard_call(&addr, |c| c.export_matrix(tenant, holder_id)).ok()?;
+    let mut coo = CooMatrix::new(rows as usize, cols as usize);
+    for (r, c, v) in &entries {
+        coo.push(*r as usize, *c as usize, *v);
+    }
+    let csr = CsrMatrix::from_coo(&coo);
+    let fp = Fingerprint::of(&csr);
+    ((fp.hi(), fp.lo()) == slab.fp).then_some(csr)
+}
+
+/// Rebuild `matrix`'s slab `s` from the retained source entries: the
+/// same rebase `route_load` performed, so the CSR — and its fingerprint
+/// — is identical.
+fn reslice_slab(matrix: &ClusterMatrix, s: usize) -> CsrMatrix<f32> {
+    let range = &matrix.slabs[s].rows;
+    let mut coo = CooMatrix::new(range.len(), matrix.cols);
+    for (r, c, v) in matrix.entries.iter() {
+        let r = *r as usize;
+        if range.contains(&r) {
+            coo.push(r - range.start, *c as usize, *v);
+        }
+    }
+    CsrMatrix::from_coo(&coo)
+}
+
+/// The slabs the manifest places on shard `index`, in deterministic
+/// order: `(matrix_id, slab_index, fingerprint, is_primary, shard-side id)`.
+fn expected_on(state: &RouterState, index: usize) -> Vec<(u64, usize, (u64, u64), bool, u64)> {
+    let matrices = state.matrices.lock();
+    let mut ids: Vec<u64> = matrices.keys().copied().collect();
+    ids.sort_unstable();
+    let mut expected = Vec::new();
+    for id in ids {
+        let matrix = &matrices[&id];
+        for (s, slab) in matrix.slabs.iter().enumerate() {
+            if slab.primary == index {
+                expected.push((id, s, slab.fp, true, slab.primary_id));
+            }
+            if let Some((ri, rid)) = slab.replica {
+                if ri == index {
+                    expected.push((id, s, slab.fp, false, rid));
+                }
+            }
+        }
+    }
+    expected
+}
+
+/// Anti-entropy reconciliation for shard `index` (a shard that just came
+/// back Up, or any shard during post-recovery [`revalidate`]): fetch its
+/// resident inventory, evict slabs the manifest does not place there,
+/// adopt diverged ids, and re-push slabs it should hold but lost.
+/// Returns `false` when the shard cannot be reached.
+fn rejoin_shard(state: &Arc<RouterState>, tick: u64, index: usize) -> bool {
+    let _span = fs_trace::span(Site::HealRejoin);
+    let Some(addr) = state.shard_addr(index) else { return false };
+    let Ok((_, _, resident)) = state.shard_call(&addr, |c| c.shard_join(&addr, 0)) else {
+        return false;
+    };
+    let inventory: HashMap<(u64, u64), u64> =
+        resident.iter().map(|&(hi, lo, id)| ((hi, lo), id)).collect();
+    let expected = expected_on(state, index);
+    let expected_fps: Vec<(u64, u64)> = expected.iter().map(|e| e.2).collect();
+
+    // Evict resident matrices the manifest no longer places here, in
+    // ascending shard-side id order (deterministic).
+    let mut evicted = 0usize;
+    let mut stray: Vec<u64> = resident
+        .iter()
+        .filter(|(hi, lo, _)| !expected_fps.contains(&(*hi, *lo)))
+        .map(|&(_, _, id)| id)
+        .collect();
+    stray.sort_unstable();
+    for id in stray {
+        if state.shard_call(&addr, |c| c.evict_matrix("", id)).unwrap_or(false) {
+            evicted += 1;
+        }
+    }
+
+    let mut adopted = 0usize;
+    let mut pushed = 0usize;
+    for (matrix_id, s, fp, is_primary, current_id) in expected {
+        let new_id = match inventory.get(&fp) {
+            Some(&shard_id) if shard_id == current_id => continue,
+            Some(&shard_id) => Some(shard_id), // resident under a diverged id: adopt
+            None => {
+                // Lost: re-push from the other holder, else re-slice.
+                let Some(matrix) = matrix_snapshot(state, matrix_id) else { continue };
+                let slab = &matrix.slabs[s];
+                let holder = if is_primary {
+                    slab.replica.filter(|(i, _)| *i != index)
+                } else {
+                    (slab.primary != index).then_some((slab.primary, slab.primary_id))
+                };
+                push_slab(state, &matrix, s, holder, index)
+            }
+        };
+        let Some(new_id) = new_id else { continue };
+        let Some(matrix) = matrix_snapshot(state, matrix_id) else { continue };
+        let mut slab = matrix.slabs[s].clone();
+        if is_primary {
+            slab.primary_id = new_id;
+        } else {
+            slab.replica = Some((index, new_id));
+        }
+        state.commit_slab(matrix_id, s, slab);
+        if inventory.contains_key(&fp) {
+            adopted += 1;
+        } else {
+            pushed += 1;
+        }
+    }
+
+    state.heal.log(format!(
+        "tick={tick} rejoin shard={index} evicted={evicted} adopted={adopted} pushed={pushed}"
+    ));
+    // lint: relaxed-ok - monotonic counter, read only for metrics
+    state.heal.rejoins.fetch_add(1, Ordering::Relaxed);
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_machine_escalates_and_recovers() {
+        let heal =
+            HealState::new(HealConfig { suspect_after: 1, down_after: 3, ..HealConfig::default() });
+        heal.ensure(1);
+        assert_eq!(heal.observe(0, false), (ShardHealth::Up, ShardHealth::Suspect));
+        assert_eq!(heal.observe(0, false), (ShardHealth::Suspect, ShardHealth::Suspect));
+        assert_eq!(heal.observe(0, false), (ShardHealth::Suspect, ShardHealth::Down));
+        assert!(heal.is_down(0));
+        assert_eq!(heal.observe(0, true), (ShardHealth::Down, ShardHealth::Up));
+        assert!(!heal.is_down(0));
+    }
+
+    #[test]
+    fn one_success_fully_resets_the_failure_count() {
+        let heal =
+            HealState::new(HealConfig { suspect_after: 1, down_after: 2, ..HealConfig::default() });
+        heal.ensure(1);
+        let _ = heal.observe(0, false);
+        let _ = heal.observe(0, true);
+        // A fresh failure starts from zero again: Suspect, not Down.
+        assert_eq!(heal.observe(0, false).1, ShardHealth::Suspect);
+    }
+
+    #[test]
+    fn unknown_shards_default_to_up() {
+        let heal = HealState::new(HealConfig::default());
+        assert!(!heal.is_down(7));
+        assert!(heal.health().is_empty());
+    }
+
+    #[test]
+    fn health_names_are_stable() {
+        assert_eq!(ShardHealth::Up.name(), "up");
+        assert_eq!(ShardHealth::Suspect.name(), "suspect");
+        assert_eq!(ShardHealth::Down.name(), "down");
+    }
+}

@@ -1,0 +1,439 @@
+//! The durable cluster manifest: an append-only journal of every
+//! successful `Load` (and every repair-driven reassignment), so a
+//! restarted router rebuilds its matrix registry and slab map without
+//! re-receiving a single `Load` request.
+//!
+//! ## Record format
+//!
+//! Each record rides in the same frame the wire protocol uses — `[u32 LE
+//! payload length][u64 LE FNV-1a checksum][payload]` — so a torn or
+//! corrupted tail is detected exactly like wire corruption. Recovery
+//! reads the longest valid prefix and stops at the first short or
+//! checksum-failing record: a partial record can never contribute a
+//! partial matrix to the rebuilt map (pinned by the corrupt-tail
+//! proptest in `tests/heal_props.rs`).
+//!
+//! The `journal-corrupt` chaos site corrupts one payload byte of a
+//! record as it is appended, which is how the seeded soaks exercise the
+//! prefix-recovery path deterministically.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufReader, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use fs_chaos::FaultSite;
+use fs_serve::protocol::{frame_bytes, read_frame, FRAME_HEADER_BYTES};
+
+/// Where one slab of a journaled matrix lives.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SlabRecord {
+    /// Global row range `[start, end)`.
+    pub start: u64,
+    /// Global row range end (exclusive).
+    pub end: u64,
+    /// Content fingerprint of the slab's rebased CSR — the identity the
+    /// anti-entropy pass matches against a shard's resident inventory.
+    pub fp: (u64, u64),
+    /// Primary shard address.
+    pub primary_addr: String,
+    /// The slab's matrix id on the primary shard.
+    pub primary_id: u64,
+    /// Replica shard address and shard-side id, when replicated.
+    pub replica: Option<(String, u64)>,
+}
+
+/// One journal record.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Record {
+    /// A matrix was registered through the router. Carries the spilled
+    /// source entries so a repair can re-slice any slab even when no
+    /// replica survives.
+    Load {
+        /// Router-issued matrix id.
+        matrix_id: u64,
+        /// Tenant the matrix was registered under.
+        tenant: String,
+        /// Content fingerprint of the full (deduplicated) matrix.
+        fp: (u64, u64),
+        /// Matrix rows.
+        rows: u64,
+        /// Matrix columns.
+        cols: u64,
+        /// Deduplicated COO entries in CSR iteration order.
+        entries: Vec<(u32, u32, f32)>,
+        /// Slab placement at load time.
+        slabs: Vec<SlabRecord>,
+    },
+    /// A repair (or rejoin) moved one slab; applied over the matching
+    /// `Load` record in journal order at recovery.
+    Assign {
+        /// Router-issued matrix id the slab belongs to.
+        matrix_id: u64,
+        /// Slab index within the matrix.
+        slab_index: u32,
+        /// The slab's new placement.
+        slab: SlabRecord,
+    },
+}
+
+const REC_LOAD: u8 = 1;
+const REC_ASSIGN: u8 = 2;
+
+fn put_string(out: &mut Vec<u8>, s: &str) {
+    let bytes = s.as_bytes();
+    let len = bytes.len().min(u16::MAX as usize) as u16; // lint: checked-cast - clamped
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(&bytes[..len as usize]);
+}
+
+fn put_slab(out: &mut Vec<u8>, slab: &SlabRecord) {
+    out.extend_from_slice(&slab.start.to_le_bytes());
+    out.extend_from_slice(&slab.end.to_le_bytes());
+    out.extend_from_slice(&slab.fp.0.to_le_bytes());
+    out.extend_from_slice(&slab.fp.1.to_le_bytes());
+    put_string(out, &slab.primary_addr);
+    out.extend_from_slice(&slab.primary_id.to_le_bytes());
+    match &slab.replica {
+        Some((addr, id)) => {
+            out.push(1);
+            put_string(out, addr);
+            out.extend_from_slice(&id.to_le_bytes());
+        }
+        None => out.push(0),
+    }
+}
+
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        if n > self.data.len() - self.pos {
+            return None;
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Some(s)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|b| b[0])
+    }
+
+    fn u16(&mut self) -> Option<u16> {
+        self.take(2).map(|b| u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4).map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8).map(|b| {
+            let mut a = [0u8; 8];
+            a.copy_from_slice(b);
+            u64::from_le_bytes(a)
+        })
+    }
+
+    fn string(&mut self) -> Option<String> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+
+    fn slab(&mut self) -> Option<SlabRecord> {
+        let start = self.u64()?;
+        let end = self.u64()?;
+        let fp = (self.u64()?, self.u64()?);
+        let primary_addr = self.string()?;
+        let primary_id = self.u64()?;
+        let replica = match self.u8()? {
+            0 => None,
+            _ => Some((self.string()?, self.u64()?)),
+        };
+        Some(SlabRecord { start, end, fp, primary_addr, primary_id, replica })
+    }
+}
+
+/// Encode one record to its frame payload (the checksummed frame is
+/// added by [`Journal::append`]).
+pub fn encode_record(rec: &Record) -> Vec<u8> {
+    let mut out = Vec::new();
+    match rec {
+        Record::Load { matrix_id, tenant, fp, rows, cols, entries, slabs } => {
+            out.push(REC_LOAD);
+            out.extend_from_slice(&matrix_id.to_le_bytes());
+            put_string(&mut out, tenant);
+            out.extend_from_slice(&fp.0.to_le_bytes());
+            out.extend_from_slice(&fp.1.to_le_bytes());
+            out.extend_from_slice(&rows.to_le_bytes());
+            out.extend_from_slice(&cols.to_le_bytes());
+            out.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+            for (r, c, v) in entries {
+                out.extend_from_slice(&r.to_le_bytes());
+                out.extend_from_slice(&c.to_le_bytes());
+                out.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+            let n = slabs.len().min(u32::MAX as usize) as u32; // lint: checked-cast - clamped
+            out.extend_from_slice(&n.to_le_bytes());
+            for slab in slabs {
+                put_slab(&mut out, slab);
+            }
+        }
+        Record::Assign { matrix_id, slab_index, slab } => {
+            out.push(REC_ASSIGN);
+            out.extend_from_slice(&matrix_id.to_le_bytes());
+            out.extend_from_slice(&slab_index.to_le_bytes());
+            put_slab(&mut out, slab);
+        }
+    }
+    out
+}
+
+/// Decode one record payload; `None` on any truncation or malformed
+/// field (recovery treats it as end-of-valid-prefix).
+pub fn decode_record(payload: &[u8]) -> Option<Record> {
+    let mut c = Cursor { data: payload, pos: 0 };
+    let rec = match c.u8()? {
+        REC_LOAD => {
+            let matrix_id = c.u64()?;
+            let tenant = c.string()?;
+            let fp = (c.u64()?, c.u64()?);
+            let rows = c.u64()?;
+            let cols = c.u64()?;
+            let n = c.u64()? as usize;
+            let mut entries = Vec::with_capacity(n.min(1 << 20));
+            for _ in 0..n {
+                entries.push((c.u32()?, c.u32()?, f32::from_bits(c.u32()?)));
+            }
+            let slab_count = c.u32()? as usize;
+            let mut slabs = Vec::with_capacity(slab_count.min(1 << 10));
+            for _ in 0..slab_count {
+                slabs.push(c.slab()?);
+            }
+            Record::Load { matrix_id, tenant, fp, rows, cols, entries, slabs }
+        }
+        REC_ASSIGN => Record::Assign { matrix_id: c.u64()?, slab_index: c.u32()?, slab: c.slab()? },
+        _ => return None,
+    };
+    if c.pos != c.data.len() {
+        return None;
+    }
+    Some(rec)
+}
+
+/// What recovery found in an existing journal file.
+#[derive(Debug)]
+pub struct Recovered {
+    /// Every record in the valid prefix, in append order.
+    pub records: Vec<Record>,
+    /// Byte length of the valid prefix.
+    pub valid_bytes: u64,
+    /// Whether a corrupt or torn tail was dropped (the file is truncated
+    /// back to `valid_bytes` so future appends extend a clean prefix).
+    pub dropped_tail: bool,
+}
+
+/// An open, append-only manifest journal.
+pub struct Journal {
+    file: File,
+    path: PathBuf,
+    appended: u64,
+}
+
+impl Journal {
+    /// Open (creating if absent) the journal at `path`, recover its
+    /// valid record prefix, and truncate any corrupt tail so appends
+    /// continue from a clean boundary.
+    pub fn open(path: &Path) -> io::Result<(Journal, Recovered)> {
+        let mut file = OpenOptions::new().read(true).write(true).create(true).open(path)?;
+        let mut records = Vec::new();
+        let mut valid_bytes: u64 = 0;
+        let mut dropped_tail = false;
+        {
+            let mut reader = BufReader::new(&mut file);
+            loop {
+                match read_frame(&mut reader) {
+                    Ok(Some(payload)) => match decode_record(&payload) {
+                        Some(rec) => {
+                            valid_bytes += (FRAME_HEADER_BYTES + payload.len()) as u64;
+                            records.push(rec);
+                        }
+                        None => {
+                            dropped_tail = true;
+                            break;
+                        }
+                    },
+                    Ok(None) => break, // clean EOF at a record boundary
+                    Err(_) => {
+                        // Short read mid-record or checksum mismatch:
+                        // the valid prefix ends here.
+                        dropped_tail = true;
+                        break;
+                    }
+                }
+            }
+        }
+        let total = file.metadata()?.len();
+        if dropped_tail || total > valid_bytes {
+            file.set_len(valid_bytes)?;
+            dropped_tail = true;
+        }
+        file.seek(SeekFrom::Start(valid_bytes))?;
+        let journal = Journal { file, path: path.to_path_buf(), appended: 0 };
+        Ok((journal, Recovered { records, valid_bytes, dropped_tail }))
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Records appended through this handle (not counting the recovered
+    /// prefix).
+    pub fn appended(&self) -> u64 {
+        self.appended
+    }
+
+    /// Append one record, fsync-free (the durability story is "survives
+    /// a router restart", not "survives power loss"). Consults the
+    /// `journal-corrupt` chaos site: a fired draw flips one payload byte
+    /// of the framed record, which recovery later detects and truncates.
+    pub fn append(&mut self, rec: &Record) -> io::Result<()> {
+        let payload = encode_record(rec);
+        let mut framed = frame_bytes(&payload)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        if fs_chaos::chaos_enabled() {
+            if let Some(d) = fs_chaos::draw(FaultSite::JournalCorrupt) {
+                if framed.len() > FRAME_HEADER_BYTES {
+                    let span = (framed.len() - FRAME_HEADER_BYTES) as u64;
+                    let i = FRAME_HEADER_BYTES + d.select(0, span) as usize;
+                    framed[i] ^= 1u8 << d.select(1, 8);
+                }
+            }
+        }
+        self.file.write_all(&framed)?;
+        self.file.flush()?;
+        self.appended += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_load(id: u64) -> Record {
+        Record::Load {
+            matrix_id: id,
+            tenant: "t".into(),
+            fp: (0xAB, 0xCD),
+            rows: 10,
+            cols: 8,
+            entries: vec![(0, 1, 1.5), (9, 7, -0.25)],
+            slabs: vec![
+                SlabRecord {
+                    start: 0,
+                    end: 5,
+                    fp: (1, 2),
+                    primary_addr: "127.0.0.1:7001".into(),
+                    primary_id: 3,
+                    replica: Some(("127.0.0.1:7002".into(), 4)),
+                },
+                SlabRecord {
+                    start: 5,
+                    end: 10,
+                    fp: (5, 6),
+                    primary_addr: "127.0.0.1:7002".into(),
+                    primary_id: 7,
+                    replica: None,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn records_roundtrip() {
+        let load = sample_load(1);
+        assert_eq!(decode_record(&encode_record(&load)), Some(load));
+        let assign = Record::Assign {
+            matrix_id: 9,
+            slab_index: 1,
+            slab: SlabRecord {
+                start: 5,
+                end: 10,
+                fp: (5, 6),
+                primary_addr: "127.0.0.1:7003".into(),
+                primary_id: 11,
+                replica: Some(("127.0.0.1:7001".into(), 12)),
+            },
+        };
+        assert_eq!(decode_record(&encode_record(&assign)), Some(assign));
+    }
+
+    #[test]
+    fn truncated_and_trailing_payloads_are_rejected() {
+        let bytes = encode_record(&sample_load(1));
+        for cut in 0..bytes.len() {
+            assert_eq!(decode_record(&bytes[..cut]), None, "cut at {cut}");
+        }
+        let mut trailing = bytes;
+        trailing.push(0);
+        assert_eq!(decode_record(&trailing), None);
+        assert_eq!(decode_record(&[99]), None);
+    }
+
+    #[test]
+    fn open_append_reopen_recovers_everything() {
+        let dir = std::env::temp_dir().join(format!("fs-heal-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("roundtrip.journal");
+        let _ = std::fs::remove_file(&path);
+        let (mut j, rec) = Journal::open(&path).expect("open");
+        assert!(rec.records.is_empty());
+        assert!(!rec.dropped_tail);
+        j.append(&sample_load(1)).expect("append");
+        j.append(&sample_load(2)).expect("append");
+        drop(j);
+        let (_, rec) = Journal::open(&path).expect("reopen");
+        assert_eq!(rec.records.len(), 2);
+        assert!(!rec.dropped_tail);
+        assert_eq!(rec.records[0], sample_load(1));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_tail_is_truncated_and_appends_continue() {
+        let dir = std::env::temp_dir().join(format!("fs-heal-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("corrupt.journal");
+        let _ = std::fs::remove_file(&path);
+        let (mut j, _) = Journal::open(&path).expect("open");
+        j.append(&sample_load(1)).expect("append");
+        j.append(&sample_load(2)).expect("append");
+        drop(j);
+        // Flip a byte inside the second record's payload.
+        let mut bytes = std::fs::read(&path).expect("read");
+        let first_len = {
+            let first = frame_bytes(&encode_record(&sample_load(1))).expect("frame");
+            first.len()
+        };
+        bytes[first_len + FRAME_HEADER_BYTES + 3] ^= 0x40;
+        std::fs::write(&path, &bytes).expect("write");
+        let (mut j, rec) = Journal::open(&path).expect("reopen");
+        assert_eq!(rec.records.len(), 1, "only the intact prefix survives");
+        assert!(rec.dropped_tail);
+        assert_eq!(rec.valid_bytes, first_len as u64);
+        // The file was truncated; a fresh append lands on a clean boundary.
+        j.append(&sample_load(3)).expect("append after truncate");
+        drop(j);
+        let (_, rec) = Journal::open(&path).expect("re-reopen");
+        assert_eq!(rec.records.len(), 2);
+        assert_eq!(rec.records[1], sample_load(3));
+        assert!(!rec.dropped_tail);
+        let _ = std::fs::remove_file(&path);
+    }
+}

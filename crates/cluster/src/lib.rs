@@ -23,12 +23,26 @@
 //! is bit-identical to the unsharded product (pinned by proptests in
 //! `tests/partition.rs`).
 //!
+//! - [`heal`] — self-healing: a heartbeat failure detector
+//!   (Up→Suspect→Down per shard), deterministic re-replication of the
+//!   slabs a Down shard held, and anti-entropy reconciliation of a
+//!   returning shard's resident inventory against the manifest.
+//! - [`journal`] — the durable cluster manifest: every successful
+//!   `Load` and every repair reassignment appended as a checksummed
+//!   record, so a restarted router rebuilds its shard map and matrix
+//!   registry from the journal's valid prefix without re-receiving a
+//!   single `Load`.
+//!
 //! Chaos integration: `shard-kill` / `shard-stall` fault sites are drawn
 //! sequentially per slab on the request thread before the scatter fans
-//! out, so a seeded soak replays bit-identical response bytes and fault
-//! counters from the plan string alone. Scatter phases are traced under
-//! the `cluster.route` / `cluster.scatter` / `cluster.gather` /
-//! `cluster.shard_wait` spans.
+//! out, and the heal loop draws `shard-flap` per shard (plus
+//! `journal-corrupt` per journal append) in index order before any
+//! repair traffic — so a seeded kill→recover→rejoin soak replays
+//! bit-identical response bytes, repair logs, and fault counters from
+//! the plan string alone. Scatter phases are traced under the
+//! `cluster.route` / `cluster.scatter` / `cluster.gather` /
+//! `cluster.shard_wait` spans; the heal loop under `heal.probe` /
+//! `heal.repair` / `heal.rejoin`.
 //!
 //! # Example
 //!
@@ -51,8 +65,12 @@
 //! );
 //! ```
 
+pub mod heal;
+pub mod journal;
 pub mod router;
 pub mod shardmap;
 
+pub use heal::{heal_tick, revalidate, HealConfig, HealState, ShardHealth, TickReport};
+pub use journal::{Journal, Record, Recovered, SlabRecord};
 pub use router::{parse_start_epoch, Router, RouterConfig, RouterState};
 pub use shardmap::{JoinOutcome, ShardInfo, ShardMap, SlabAssignment};

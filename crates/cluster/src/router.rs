@@ -30,19 +30,22 @@ use std::collections::HashMap;
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::ops::Range;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
-use std::time::{Duration, SystemTime, UNIX_EPOCH};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
-use fs_chaos::FaultSite;
+use fs_chaos::{Backoff, FaultSite};
 use fs_matrix::{CooMatrix, CsrMatrix};
 use fs_serve::client::{ClientError, ServeClient};
-use fs_serve::protocol::{read_frame, write_frame, ErrorCode, Request, Response};
+use fs_serve::protocol::{fnv1a64, read_frame, write_frame, ErrorCode, Request, Response};
 use fs_serve::{Fingerprint, DEFAULT_MAX_LOAD_DIM};
 use fs_trace::Site;
 use parking_lot::Mutex;
 
+use crate::heal::{HealConfig, HealState};
+use crate::journal::{Journal, Record, SlabRecord};
 use crate::shardmap::ShardMap;
 
 /// Router configuration.
@@ -61,6 +64,18 @@ pub struct RouterConfig {
     /// Largest rows/cols a `Load` may declare (same guard as the shard
     /// front end: dimensions are bounded before anything allocates).
     pub max_load_dim: u32,
+    /// Failure-detector settings (probe cadence and the consecutive-
+    /// failure thresholds of the Up→Suspect→Down state machine). A zero
+    /// `probe_interval` disables the background heal thread; ticks can
+    /// still be driven explicitly via [`crate::heal::heal_tick`].
+    pub heal: HealConfig,
+    /// Durable manifest journal path. When set, every successful `Load`
+    /// and every repair reassignment is appended, and `bind` recovers
+    /// the registry from the journal's valid prefix.
+    pub journal: Option<PathBuf>,
+    /// Propagate a router `Shutdown` to every shard (the scripted-run
+    /// default). Turn off to restart the router under live shards.
+    pub propagate_shutdown: bool,
 }
 
 impl Default for RouterConfig {
@@ -72,37 +87,72 @@ impl Default for RouterConfig {
             connect_timeout: Duration::from_secs(2),
             default_deadline_ms: 0,
             max_load_dim: DEFAULT_MAX_LOAD_DIM,
+            heal: HealConfig::default(),
+            journal: None,
+            propagate_shutdown: true,
         }
     }
 }
 
 /// One slab of a registered matrix: where its rows live.
 #[derive(Clone, Debug)]
-struct SlabState {
+pub(crate) struct SlabState {
     /// Global row range.
-    rows: Range<usize>,
+    pub(crate) rows: Range<usize>,
+    /// Content fingerprint of the slab's rebased CSR — the identity the
+    /// anti-entropy pass matches against shard inventories.
+    pub(crate) fp: (u64, u64),
     /// Primary shard index.
-    primary: usize,
+    pub(crate) primary: usize,
     /// The slab's matrix id on the primary shard.
-    primary_id: u64,
+    pub(crate) primary_id: u64,
     /// Replica shard index and the slab's matrix id there.
-    replica: Option<(usize, u64)>,
+    pub(crate) replica: Option<(usize, u64)>,
 }
 
 /// A matrix registered through the router.
-#[derive(Debug)]
-struct ClusterMatrix {
-    tenant: String,
-    rows: usize,
-    cols: usize,
-    slabs: Vec<SlabState>,
+#[derive(Clone, Debug)]
+pub(crate) struct ClusterMatrix {
+    pub(crate) tenant: String,
+    /// Content fingerprint of the full deduplicated matrix — the
+    /// placement key and the `Load` idempotency key.
+    pub(crate) fp: (u64, u64),
+    pub(crate) rows: usize,
+    pub(crate) cols: usize,
+    /// The deduplicated source entries, retained so repair can re-slice
+    /// any slab when no replica survives (the journal spills the same
+    /// bytes for a restarted router).
+    pub(crate) entries: Arc<Vec<(u32, u32, f32)>>,
+    pub(crate) slabs: Vec<SlabState>,
 }
 
 /// A pooled connection to one shard. The slot is `None` until first use
-/// and after a transport error (the next call redials).
-#[derive(Default)]
+/// and after a transport error; redials go through a capped
+/// exponential-backoff gate so a dead shard cannot spin callers (the
+/// repair thread probes every tick) into tight reconnect loops.
 struct ShardConn {
     client: Mutex<Option<ServeClient>>,
+    gate: Mutex<DialGate>,
+}
+
+/// Dial-backoff bookkeeping for one shard address. Jitter is seeded from
+/// the address, so the delay schedule is deterministic per shard.
+struct DialGate {
+    backoff: Backoff,
+    /// Dialing is allowed again at this instant (`None` = now).
+    not_before: Option<Instant>,
+}
+
+impl ShardConn {
+    fn new(addr: &str) -> ShardConn {
+        ShardConn {
+            client: Mutex::new(None),
+            gate: Mutex::new(DialGate {
+                backoff: Backoff::for_client(fnv1a64(addr.as_bytes())),
+                not_before: None,
+            }),
+        }
+    }
 }
 
 /// Cumulative router counters (exported in the metrics document).
@@ -113,31 +163,101 @@ struct RouterStats {
     shard_failures: AtomicU64,
     replica_serves: AtomicU64,
     shard_restarts: AtomicU64,
+    /// Actual TCP dials attempted (successful or not). Stays far below
+    /// the call count against a dead shard — the backoff-gate contract
+    /// pinned by `dial_backoff_gates_reconnect_attempts`.
+    dial_attempts: AtomicU64,
+    /// Calls refused by the dial gate without touching the wire.
+    dial_suppressed: AtomicU64,
 }
 
-/// Shared router state: topology, matrix registry, connection pool.
+/// Shared router state: topology, matrix registry, connection pool,
+/// failure detector, and the durable manifest journal.
 pub struct RouterState {
-    map: Mutex<ShardMap>,
-    matrices: Mutex<HashMap<u64, Arc<ClusterMatrix>>>,
+    pub(crate) map: Mutex<ShardMap>,
+    pub(crate) matrices: Mutex<HashMap<u64, Arc<ClusterMatrix>>>,
     conns: Mutex<HashMap<String, Arc<ShardConn>>>,
     next_id: AtomicU64,
     stats: RouterStats,
+    pub(crate) heal: HealState,
+    pub(crate) journal: Mutex<Option<Journal>>,
     connect_timeout: Duration,
     default_deadline_ms: u32,
     max_load_dim: u32,
 }
 
 impl RouterState {
-    fn new(cfg: &RouterConfig) -> RouterState {
-        RouterState {
+    fn new(cfg: &RouterConfig) -> io::Result<RouterState> {
+        let state = RouterState {
             map: Mutex::new(ShardMap::from_addrs(cfg.shards.clone(), cfg.replicate)),
             matrices: Mutex::new(HashMap::new()),
             conns: Mutex::new(HashMap::new()),
             next_id: AtomicU64::new(1),
             stats: RouterStats::default(),
+            heal: HealState::new(cfg.heal.clone()),
+            journal: Mutex::new(None),
             connect_timeout: cfg.connect_timeout,
             default_deadline_ms: cfg.default_deadline_ms,
             max_load_dim: cfg.max_load_dim,
+        };
+        if let Some(path) = &cfg.journal {
+            let (journal, recovered) = Journal::open(path)?;
+            state.rebuild_from_journal(recovered.records);
+            *state.journal.lock() = Some(journal);
+        }
+        Ok(state)
+    }
+
+    /// Rebuild the matrix registry from a recovered journal prefix:
+    /// `Load` records re-create matrices (joining their shard addresses
+    /// into the map), `Assign` records replay repair-time reassignments
+    /// in order. Pure bookkeeping — no shard is contacted; residency is
+    /// re-validated separately via [`crate::heal::revalidate`].
+    fn rebuild_from_journal(&self, records: Vec<Record>) {
+        let mut max_id = 0u64;
+        for rec in records {
+            match rec {
+                Record::Load { matrix_id, tenant, fp, rows, cols, entries, slabs } => {
+                    max_id = max_id.max(matrix_id);
+                    let slabs = slabs.into_iter().map(|s| self.slab_from_record(s)).collect();
+                    let matrix = Arc::new(ClusterMatrix {
+                        tenant,
+                        fp,
+                        rows: rows as usize,
+                        cols: cols as usize,
+                        entries: Arc::new(entries),
+                        slabs,
+                    });
+                    self.matrices.lock().insert(matrix_id, matrix);
+                }
+                Record::Assign { matrix_id, slab_index, slab } => {
+                    let mut matrices = self.matrices.lock();
+                    if let Some(m) = matrices.get(&matrix_id) {
+                        let mut next = (**m).clone();
+                        if let Some(s) = next.slabs.get_mut(slab_index as usize) {
+                            *s = self.slab_from_record(slab);
+                            matrices.insert(matrix_id, Arc::new(next));
+                        }
+                    }
+                }
+            }
+        }
+        let floor = max_id + 1;
+        self.next_id.fetch_max(floor, Ordering::Relaxed); // lint: relaxed-ok - id allocation needs uniqueness, not ordering
+    }
+
+    /// Resolve a journal slab record's addresses back to map indices
+    /// (joining addresses the map has not seen yet).
+    fn slab_from_record(&self, s: SlabRecord) -> SlabState {
+        let mut map = self.map.lock();
+        let primary = map.join(s.primary_addr, 0).index;
+        let replica = s.replica.map(|(addr, id)| (map.join(addr, 0).index, id));
+        SlabState {
+            rows: s.start as usize..s.end as usize,
+            fp: s.fp,
+            primary,
+            primary_id: s.primary_id,
+            replica,
         }
     }
 
@@ -146,13 +266,15 @@ impl RouterState {
     /// caller's, so two slabs on different shards never serialize.
     fn conn(&self, addr: &str) -> Arc<ShardConn> {
         let mut conns = self.conns.lock();
-        Arc::clone(conns.entry(addr.to_string()).or_default())
+        Arc::clone(conns.entry(addr.to_string()).or_insert_with(|| Arc::new(ShardConn::new(addr))))
     }
 
     /// Run `f` against the pooled client for `addr`, dialing if the slot
     /// is empty and dropping the connection after transport-level
-    /// failures so the next call starts fresh.
-    fn shard_call<T>(
+    /// failures so the next call starts fresh. Redials are gated by the
+    /// address's backoff schedule: inside the hold-off window the call
+    /// fails immediately (`WouldBlock`) without touching the wire.
+    pub(crate) fn shard_call<T>(
         &self,
         addr: &str,
         f: impl FnOnce(&mut ServeClient) -> Result<T, ClientError>,
@@ -160,7 +282,31 @@ impl RouterState {
         let conn = self.conn(addr);
         let mut slot = conn.client.lock();
         if slot.is_none() {
-            *slot = Some(ServeClient::connect_with_timeout(addr, self.connect_timeout)?);
+            let mut gate = conn.gate.lock();
+            if let Some(t) = gate.not_before {
+                if Instant::now() < t {
+                    // lint: relaxed-ok - monotonic counter, read only for metrics
+                    self.stats.dial_suppressed.fetch_add(1, Ordering::Relaxed);
+                    return Err(ClientError::Io(io::Error::new(
+                        io::ErrorKind::WouldBlock,
+                        format!("dial backoff holding off {addr}"),
+                    )));
+                }
+            }
+            // lint: relaxed-ok - monotonic counter, read only for metrics
+            self.stats.dial_attempts.fetch_add(1, Ordering::Relaxed);
+            match ServeClient::connect_with_timeout(addr, self.connect_timeout) {
+                Ok(client) => {
+                    gate.backoff.reset();
+                    gate.not_before = None;
+                    *slot = Some(client);
+                }
+                Err(e) => {
+                    let delay = gate.backoff.next_delay_floored();
+                    gate.not_before = Some(Instant::now() + delay);
+                    return Err(e);
+                }
+            }
         }
         let result = match slot.as_mut() {
             Some(client) => f(client),
@@ -176,8 +322,97 @@ impl RouterState {
     }
 
     /// Address of shard `index` (snapshot under the map lock).
-    fn shard_addr(&self, index: usize) -> Option<String> {
+    pub(crate) fn shard_addr(&self, index: usize) -> Option<String> {
         self.map.lock().shard(index).map(|s| s.addr.clone())
+    }
+
+    /// Serialize a slab's placement for the journal (indices → addrs).
+    pub(crate) fn slab_record(&self, slab: &SlabState) -> Option<SlabRecord> {
+        let map = self.map.lock();
+        let primary_addr = map.shard(slab.primary)?.addr.clone();
+        let replica = match slab.replica {
+            Some((i, id)) => Some((map.shard(i)?.addr.clone(), id)),
+            None => None,
+        };
+        Some(SlabRecord {
+            start: slab.rows.start as u64,
+            end: slab.rows.end as u64,
+            fp: slab.fp,
+            primary_addr,
+            primary_id: slab.primary_id,
+            replica,
+        })
+    }
+
+    /// Append a record to the manifest journal, if one is configured.
+    /// Append failures are swallowed: the in-memory manifest stays
+    /// authoritative for this process; only recovery fidelity degrades.
+    pub(crate) fn append_journal(&self, rec: &Record) {
+        if let Some(journal) = self.journal.lock().as_mut() {
+            let _ = journal.append(rec);
+        }
+    }
+
+    /// Swap slab `slab_index` of matrix `matrix_id` to `new_slab`:
+    /// journal the reassignment, then publish a copy-on-write update of
+    /// the matrix so in-flight scatters keep their consistent snapshot.
+    pub(crate) fn commit_slab(&self, matrix_id: u64, slab_index: usize, new_slab: SlabState) {
+        if let Some(slab) = self.slab_record(&new_slab) {
+            self.append_journal(&Record::Assign {
+                matrix_id,
+                slab_index: slab_index.min(u32::MAX as usize) as u32, // lint: checked-cast - clamped
+                slab,
+            });
+        }
+        let mut matrices = self.matrices.lock();
+        if let Some(m) = matrices.get(&matrix_id) {
+            let mut next = (**m).clone();
+            if let Some(slot) = next.slabs.get_mut(slab_index) {
+                *slot = new_slab;
+                matrices.insert(matrix_id, Arc::new(next));
+            }
+        }
+    }
+
+    /// Number of matrices in the manifest.
+    pub fn matrix_count(&self) -> usize {
+        self.matrices.lock().len()
+    }
+
+    /// The failure detector's state and counters.
+    pub fn heal_state(&self) -> &HealState {
+        &self.heal
+    }
+
+    /// Shard addresses in map-index order.
+    pub fn shard_addrs(&self) -> Vec<String> {
+        self.map.lock().shards().iter().map(|s| s.addr.clone()).collect()
+    }
+
+    /// The manifest's slab placements, sorted by matrix id: for each
+    /// matrix, each slab's `(fingerprint, primary index, replica index)`.
+    /// Inspection surface for tests and the recovery acceptance check —
+    /// two routers whose placements compare equal agree
+    /// fingerprint-for-fingerprint on who holds what.
+    pub fn placements(&self) -> Vec<(u64, Vec<((u64, u64), usize, Option<usize>)>)> {
+        let matrices = self.matrices.lock();
+        let mut out: Vec<(u64, Vec<((u64, u64), usize, Option<usize>)>)> = matrices
+            .iter()
+            .map(|(&id, m)| {
+                (id, m.slabs.iter().map(|s| (s.fp, s.primary, s.replica.map(|(i, _)| i))).collect())
+            })
+            .collect();
+        out.sort_by_key(|(id, _)| *id);
+        out
+    }
+
+    /// Dial-gate counters: `(attempts, suppressed)` — actual TCP dials
+    /// vs. calls the backoff gate refused without touching the wire.
+    pub fn dial_stats(&self) -> (u64, u64) {
+        (
+            self.stats.dial_attempts.load(Ordering::Relaxed), // lint: relaxed-ok - metrics read
+            self.stats.dial_suppressed.load(Ordering::Relaxed), // lint: relaxed-ok - metrics read
+        )
     }
 
     /// Register a shard (or refresh its epoch) — what the `ShardJoin`
@@ -200,11 +435,13 @@ pub struct Router {
     start_epoch: u64,
     stop: Arc<AtomicBool>,
     conns: Arc<Mutex<Vec<(thread::JoinHandle<()>, TcpStream)>>>,
+    propagate_shutdown: bool,
 }
 
 impl Router {
     /// Bind the listener. The accept loop runs on the caller's thread
-    /// via [`Router::run`].
+    /// via [`Router::run`]. When a journal is configured, the manifest
+    /// is recovered from its valid prefix before the listener accepts.
     pub fn bind(cfg: &RouterConfig) -> io::Result<Router> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
@@ -213,12 +450,13 @@ impl Router {
             .map(|d| d.as_millis().min(u128::from(u64::MAX)) as u64) // lint: checked-cast - clamped
             .unwrap_or(0);
         Ok(Router {
-            state: Arc::new(RouterState::new(cfg)),
+            state: Arc::new(RouterState::new(cfg)?),
             listener,
             addr,
             start_epoch,
             stop: Arc::new(AtomicBool::new(false)),
             conns: Arc::new(Mutex::new(Vec::new())),
+            propagate_shutdown: cfg.propagate_shutdown,
         })
     }
 
@@ -233,9 +471,31 @@ impl Router {
     }
 
     /// Accept and serve connections until a `Shutdown` request arrives,
-    /// then propagate the shutdown to every shard and join every
-    /// connection thread.
+    /// then propagate the shutdown to every shard (unless configured
+    /// not to) and join every connection thread. A non-zero
+    /// `probe_interval` also runs the heal loop — probe, repair,
+    /// rejoin — on a background thread for the router's lifetime.
     pub fn run(self) -> io::Result<()> {
+        let heal_handle = {
+            let interval = self.state.heal.config().probe_interval;
+            if interval > Duration::ZERO {
+                let stop = Arc::clone(&self.stop);
+                let state = Arc::clone(&self.state);
+                Some(thread::Builder::new().name("fs-cluster-heal".to_string()).spawn(
+                    move || {
+                        while !stop.load(Ordering::Acquire) {
+                            thread::sleep(interval);
+                            if stop.load(Ordering::Acquire) {
+                                break;
+                            }
+                            let _ = crate::heal::heal_tick(&state);
+                        }
+                    },
+                )?)
+            } else {
+                None
+            }
+        };
         for conn in self.listener.incoming() {
             if self.stop.load(Ordering::Acquire) {
                 break;
@@ -261,12 +521,18 @@ impl Router {
                 break;
             }
         }
+        if let Some(h) = heal_handle {
+            let _ = h.join();
+        }
         // Tell every shard to drain too: one Shutdown against the router
         // tears the whole cluster down, which is what scripted runs want.
-        let addrs: Vec<String> =
-            self.state.map.lock().shards().iter().map(|s| s.addr.clone()).collect();
-        for addr in addrs {
-            let _ = self.state.shard_call(&addr, |c| c.shutdown());
+        // (A restart-bound router leaves its shards running instead.)
+        if self.propagate_shutdown {
+            let addrs: Vec<String> =
+                self.state.map.lock().shards().iter().map(|s| s.addr.clone()).collect();
+            for addr in addrs {
+                let _ = self.state.shard_call(&addr, |c| c.shutdown());
+            }
         }
         let conns: Vec<(thread::JoinHandle<()>, TcpStream)> =
             std::mem::take(&mut *self.conns.lock());
@@ -353,8 +619,16 @@ fn dispatch(
             Response::ShardJoined {
                 shard_index: outcome.index.min(u32::MAX as usize) as u32,
                 shard_count: count.min(u32::MAX as usize) as u32,
+                // Routers hold no slabs themselves; the inventory reply
+                // is the shards' side of the anti-entropy protocol.
+                resident: Vec::new(),
             }
         }
+        Request::Export { .. } | Request::Evict { .. } => Response::Error {
+            code: ErrorCode::BadRequest,
+            message: "export/evict are shard-level ops; the router manages slabs itself"
+                .to_string(),
+        },
         Request::Load { tenant, rows, cols, entries } => {
             route_load(state, tenant, rows, cols, entries)
         }
@@ -401,7 +675,24 @@ fn route_load(
     }
     let csr = CsrMatrix::from_coo(&coo.dedup());
     let fp = Fingerprint::of(&csr);
-    let assignments = state.map.lock().assign((fp.hi(), fp.lo()), rows);
+    let fp_pair = (fp.hi(), fp.lo());
+    let nnz = csr.nnz() as u64;
+    // Idempotent by (tenant, fingerprint): a client replaying its Load
+    // against a recovered router (whose manifest already has the matrix
+    // from the journal) gets the original id back — nothing re-pushes.
+    {
+        let matrices = state.matrices.lock();
+        if let Some((&id, _)) = matrices.iter().find(|(_, m)| m.fp == fp_pair && m.tenant == tenant)
+        {
+            return Response::Loaded {
+                matrix_id: id,
+                fingerprint_hi: fp.hi(),
+                fingerprint_lo: fp.lo(),
+                nnz,
+            };
+        }
+    }
+    let assignments = state.map.lock().assign(fp_pair, rows);
     if assignments.is_empty() {
         return Response::Error {
             code: ErrorCode::ResourceExhausted,
@@ -420,6 +711,7 @@ fn route_load(
             }
         }
         let slab_csr = CsrMatrix::from_coo(&slab_coo);
+        let slab_fp = Fingerprint::of(&slab_csr);
         let primary_id = {
             let Some(addr) = state.shard_addr(a.primary) else {
                 return Response::Error {
@@ -449,13 +741,47 @@ fn route_load(
                 .ok()
                 .map(|loaded| (idx, loaded.matrix_id))
         });
-        slabs.push(SlabState { rows: a.rows.clone(), primary: a.primary, primary_id, replica });
+        slabs.push(SlabState {
+            rows: a.rows.clone(),
+            fp: (slab_fp.hi(), slab_fp.lo()),
+            primary: a.primary,
+            primary_id,
+            replica,
+        });
     }
 
-    let nnz = csr.nnz() as u64;
+    // Retain the deduplicated entries in CSR iteration order: the repair
+    // path re-slices slabs from them, and the journal spills the same
+    // bytes so a restarted router can too.
+    let mut dedup_entries = Vec::with_capacity(csr.nnz());
+    for r in 0..rows {
+        for (c, v) in csr.row_cols(r).iter().zip(csr.row_values(r)) {
+            dedup_entries.push((r.min(u32::MAX as usize) as u32, *c, *v)); // lint: checked-cast - rows capped by max_load_dim
+        }
+    }
     // lint: relaxed-ok - id allocation needs uniqueness, not ordering
     let matrix_id = state.next_id.fetch_add(1, Ordering::Relaxed);
-    let matrix = Arc::new(ClusterMatrix { tenant, rows, cols, slabs });
+    let matrix = Arc::new(ClusterMatrix {
+        tenant,
+        fp: fp_pair,
+        rows,
+        cols,
+        entries: Arc::new(dedup_entries),
+        slabs,
+    });
+    let slab_records: Option<Vec<SlabRecord>> =
+        matrix.slabs.iter().map(|s| state.slab_record(s)).collect();
+    if let Some(slab_records) = slab_records {
+        state.append_journal(&Record::Load {
+            matrix_id,
+            tenant: matrix.tenant.clone(),
+            fp: fp_pair,
+            rows: rows as u64,
+            cols: cols as u64,
+            entries: (*matrix.entries).clone(),
+            slabs: slab_records,
+        });
+    }
     state.matrices.lock().insert(matrix_id, matrix);
     Response::Loaded { matrix_id, fingerprint_hi: fp.hi(), fingerprint_lo: fp.lo(), nnz }
 }
@@ -622,8 +948,10 @@ fn serve_slab(
     let slab_rows = slab.rows.len();
     // An injected kill means "the primary is gone this round": the
     // attempt fails without touching the wire, exactly like a dead host
-    // behind a connect timeout, minus the wait.
-    if !kill {
+    // behind a connect timeout, minus the wait. A shard the failure
+    // detector holds Down is skipped the same way — fail fast to the
+    // replica instead of burning the deadline on a dead host.
+    if !kill && !state.heal.is_down(slab.primary) {
         if let Some(addr) = state.shard_addr(slab.primary) {
             match state.shard_call(&addr, |c| {
                 c.spmm(tenant, slab.primary_id, b.len() / n.max(1), n, b, deadline_ms)
@@ -645,6 +973,14 @@ fn serve_slab(
         failures += 1;
     }
     if let Some((replica_idx, replica_id)) = slab.replica {
+        if state.heal.is_down(replica_idx) {
+            return SlabOutcome {
+                rows: slab.rows.clone(),
+                out: None,
+                failures: failures + 1,
+                replica_served: false,
+            };
+        }
         if let Some(addr) = state.shard_addr(replica_idx) {
             match state.shard_call(&addr, |c| {
                 c.spmm(tenant, replica_id, b.len() / n.max(1), n, b, deadline_ms)
@@ -684,17 +1020,35 @@ fn metrics_json(state: &Arc<RouterState>, addr: SocketAddr, start_epoch: u64) ->
         }
         shard_items.push_str(&format!("{{\"addr\":\"{shard_addr}\",\"start_epoch\":{epoch}}}"));
     }
+    let health = state.heal.health();
+    let mut heal_states = String::new();
+    for (i, (shard_addr, _)) in shards.iter().enumerate() {
+        if i > 0 {
+            heal_states.push(',');
+        }
+        let name = health.get(i).map(|h| h.name()).unwrap_or("up");
+        heal_states
+            .push_str(&format!("{{\"shard\":{i},\"addr\":\"{shard_addr}\",\"state\":\"{name}\"}}"));
+    }
     let s = &state.stats;
     format!(
         "{{\"server\":{{\"addr\":\"{addr}\",\"start_epoch\":{start_epoch}}},\
          \"cluster\":{{\"shards\":[{shard_items}],\"replicate\":{replicated},\
          \"matrices\":{matrices},\"requests\":{},\"degraded\":{},\"shard_failures\":{},\
-         \"replica_serves\":{},\"shard_restarts\":{}}}}}",
+         \"replica_serves\":{},\"shard_restarts\":{}}},\
+         \"heal\":{{\"states\":[{heal_states}],\"ticks\":{},\"repairs_completed\":{},\
+         \"last_repair_epoch\":{},\"rejoins\":{},\"dial_attempts\":{},\"dial_suppressed\":{}}}}}",
         s.cluster_requests.load(Ordering::Relaxed), // lint: relaxed-ok - metrics read
         s.degraded.load(Ordering::Relaxed),         // lint: relaxed-ok - metrics read
         s.shard_failures.load(Ordering::Relaxed),   // lint: relaxed-ok - metrics read
         s.replica_serves.load(Ordering::Relaxed),   // lint: relaxed-ok - metrics read
         s.shard_restarts.load(Ordering::Relaxed),   // lint: relaxed-ok - metrics read
+        state.heal.ticks(),
+        state.heal.repairs_completed(),
+        state.heal.last_repair_tick(),
+        state.heal.rejoins(),
+        s.dial_attempts.load(Ordering::Relaxed), // lint: relaxed-ok - metrics read
+        s.dial_suppressed.load(Ordering::Relaxed), // lint: relaxed-ok - metrics read
     )
 }
 
@@ -720,13 +1074,34 @@ mod tests {
     }
 
     #[test]
+    fn dial_backoff_gates_reconnect_attempts() {
+        // A dead address: every dial is refused. Without the gate, all
+        // 50 calls would dial; with it, the exponential hold-off windows
+        // absorb almost all of them without touching the wire.
+        let dead = "127.0.0.1:1";
+        let cfg = RouterConfig {
+            shards: vec![dead.to_string()],
+            connect_timeout: Duration::from_millis(50),
+            ..RouterConfig::default()
+        };
+        let state = Arc::new(RouterState::new(&cfg).expect("no journal: state is infallible"));
+        for _ in 0..50 {
+            let _ = state.shard_call(dead, |c| c.ping());
+        }
+        let (attempts, suppressed) = state.dial_stats();
+        assert!(attempts >= 1, "the first call must really dial");
+        assert!(attempts <= 10, "backoff gate must suppress most dials, saw {attempts}");
+        assert_eq!(attempts + suppressed, 50, "every call either dials or is suppressed");
+    }
+
+    #[test]
     fn router_metrics_document_shape() {
         let cfg = RouterConfig {
             shards: vec!["127.0.0.1:1".into(), "127.0.0.1:2".into()],
             replicate: true,
             ..RouterConfig::default()
         };
-        let state = Arc::new(RouterState::new(&cfg));
+        let state = Arc::new(RouterState::new(&cfg).expect("no journal: state is infallible"));
         let json = metrics_json(&state, SocketAddr::from(([127, 0, 0, 1], 7)), 42);
         for key in [
             "\"server\":{\"addr\":\"127.0.0.1:7\",\"start_epoch\":42}",
@@ -734,6 +1109,10 @@ mod tests {
             "\"replicate\":true",
             "\"requests\":0",
             "\"degraded\":0",
+            "\"heal\":{\"states\":[",
+            "\"repairs_completed\":0",
+            "\"last_repair_epoch\":0",
+            "\"dial_attempts\":0",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

@@ -319,12 +319,14 @@ fn shard_join_restart_detection_and_wrong_op_rejections() {
     let mut client = ServeClient::connect_with_retry(&router_addr, Duration::from_secs(10))
         .unwrap_or_else(|e| panic!("router connect failed: {e}"));
 
-    // A second shard joins over the wire.
-    let (index, count) =
+    // A second shard joins over the wire. The router holds no slabs
+    // itself, so its inventory reply is always empty.
+    let (index, count, resident) =
         client.shard_join("127.0.0.1:1", 5).unwrap_or_else(|e| panic!("join failed: {e}"));
     assert_eq!((index, count), (1, 2));
+    assert!(resident.is_empty(), "router inventory must be empty");
     // Same address, advanced epoch: the process restarted.
-    let (index, count) =
+    let (index, count, _) =
         client.shard_join("127.0.0.1:1", 9).unwrap_or_else(|e| panic!("rejoin failed: {e}"));
     assert_eq!((index, count), (1, 2));
     let metrics = client.metrics().unwrap_or_else(|e| panic!("metrics failed: {e}"));
@@ -337,13 +339,14 @@ fn shard_join_restart_detection_and_wrong_op_rejections() {
         other => panic!("router must reject plain SpMM, got {other:?}"),
     }
 
-    // Cluster ops at a plain shard are BadRequest too.
+    // A shard answers ShardJoin with its resident inventory — the
+    // anti-entropy handshake — rather than rejecting it.
     let mut direct = ServeClient::connect_with_retry(&shard_addr, Duration::from_secs(10))
         .unwrap_or_else(|e| panic!("shard connect failed: {e}"));
-    match direct.shard_join("127.0.0.1:1", 1) {
-        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::BadRequest),
-        other => panic!("shard must reject ShardJoin, got {other:?}"),
-    }
+    let (_, _, resident) =
+        direct.shard_join("127.0.0.1:1", 1).unwrap_or_else(|e| panic!("inventory failed: {e}"));
+    assert!(resident.is_empty(), "fresh shard must report no resident matrices");
+    // ClusterSpmm at a plain shard is still a clean BadRequest.
     match direct.cluster_spmm("t", 1, 4, 4, &[0.0; 16], 0) {
         Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::BadRequest),
         other => panic!("shard must reject ClusterSpmm, got {other:?}"),

@@ -1,0 +1,494 @@
+//! End-to-end self-healing tests: real shards behind a router over
+//! loopback TCP, real kills, the heal loop driven tick by tick.
+//!
+//! Every test holds a [`ChaosScope`] — the scope serializes tests
+//! against each other and pins the global draw stream, which is what
+//! makes the seeded replay test meaningful.
+
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use fs_chaos::{ChaosScope, FaultPlan, FaultSite};
+use fs_cluster::{heal_tick, revalidate, Router, RouterConfig, RouterState};
+use fs_matrix::gen::random_uniform;
+use fs_matrix::CsrMatrix;
+use fs_serve::{EngineConfig, ServeClient, Server, ServerConfig};
+
+type ServerHandle = thread::JoinHandle<std::io::Result<()>>;
+
+fn start_shard_at(addr: &str) -> (SocketAddr, u64, ServerHandle) {
+    // A fixed port may linger briefly after the previous run's listener
+    // closed; retry the bind for a moment instead of flaking.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    let server = loop {
+        match Server::bind(&ServerConfig {
+            addr: addr.to_string(),
+            engine: EngineConfig {
+                workers: 1,
+                max_batch: 1,
+                breaker_threshold: u32::MAX,
+                ..EngineConfig::default()
+            },
+            ..ServerConfig::default()
+        }) {
+            Ok(s) => break s,
+            Err(_) if std::time::Instant::now() < deadline => {
+                thread::sleep(Duration::from_millis(50));
+            }
+            Err(e) => panic!("shard bind {addr} failed: {e}"),
+        }
+    };
+    let bound = server.local_addr();
+    let epoch = server.start_epoch();
+    (bound, epoch, thread::spawn(move || server.run()))
+}
+
+fn start_router(cfg: &RouterConfig, shards: &[(SocketAddr, u64)]) -> (Router, SocketAddr) {
+    let router = Router::bind(cfg).unwrap_or_else(|e| panic!("router bind failed: {e}"));
+    for (addr, epoch) in shards {
+        router.state().join_shard(addr.to_string(), *epoch);
+    }
+    let addr = router.local_addr();
+    (router, addr)
+}
+
+/// Per-shard assignment counts `(as_primary, as_replica)` from the live
+/// manifest — placement hashes shard addresses, so which shard holds
+/// what differs per run and tests must pick victims from the manifest.
+fn held_by(state: &RouterState, shard_count: usize) -> Vec<(usize, usize)> {
+    let mut held = vec![(0usize, 0usize); shard_count];
+    for (_, slabs) in state.placements() {
+        for (_, primary, replica) in slabs {
+            held[primary].0 += 1;
+            if let Some(r) = replica {
+                held[r].1 += 1;
+            }
+        }
+    }
+    held
+}
+
+/// Normalize a manifest to addresses so two routers with different join
+/// orders compare fingerprint-for-fingerprint.
+fn placements_by_addr(
+    state: &RouterState,
+) -> Vec<(u64, Vec<((u64, u64), String, Option<String>)>)> {
+    let addrs = state.shard_addrs();
+    state
+        .placements()
+        .into_iter()
+        .map(|(id, slabs)| {
+            (
+                id,
+                slabs
+                    .into_iter()
+                    .map(|(fp, p, r)| (fp, addrs[p].clone(), r.map(|i| addrs[i].clone())))
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// The ISSUE's mid-soak acceptance: kill one shard of a replicated
+/// 3-shard cluster under an injected-kill plan — responses degrade
+/// (the slab whose replica died loses both copies), the heal loop
+/// detects and repairs, and post-repair responses are clean (empty
+/// bitmap) and bit-identical to the pre-kill output.
+#[test]
+fn kill_degrades_then_repair_restores_clean_responses() {
+    // Rate 1.0: every primary attempt is injected-killed, so every slab
+    // serves from its replica — which makes "the replica's shard died"
+    // observable as a degraded response, whatever the placement.
+    let plan: FaultPlan = "seed=3;shard-kill=1.0".parse().expect("plan parses");
+    let _scope = ChaosScope::install(plan);
+
+    let shards: Vec<(SocketAddr, u64, ServerHandle)> =
+        (0..3).map(|_| start_shard_at("127.0.0.1:0")).collect();
+    let shard_ids: Vec<(SocketAddr, u64)> = shards.iter().map(|s| (s.0, s.1)).collect();
+    let (router, router_addr) = start_router(
+        &RouterConfig {
+            replicate: true,
+            connect_timeout: Duration::from_millis(300),
+            ..RouterConfig::default()
+        },
+        &shard_ids,
+    );
+    let state = Arc::clone(router.state());
+    let router_handle = thread::spawn(move || router.run());
+
+    let csr = CsrMatrix::from_coo(&random_uniform::<f32>(96, 96, 800, 3));
+    let n = 16;
+    let b: Vec<f32> = (0..csr.cols() * n).map(|i| ((i % 5) as f32) * 0.25).collect();
+    let mut client = ServeClient::connect_with_retry(&router_addr, Duration::from_secs(10))
+        .expect("router connect");
+    let loaded = client.load_matrix("t", &csr).expect("cluster load");
+
+    // Healthy phase: primaries all killed by chaos, replicas absorb.
+    let clean = client
+        .cluster_spmm("t", loaded.matrix_id, csr.cols(), n, &b, 60_000)
+        .expect("healthy spmm");
+    assert!(!clean.degraded, "replicas must absorb injected kills");
+    assert_eq!(clean.shards_failed, 3, "all three primaries chaos-killed");
+
+    // Kill a shard that backs at least one replica — with primaries
+    // injected-killed, that slab then has no copies left.
+    let victim = held_by(&state, 3)
+        .iter()
+        .position(|&(_, as_replica)| as_replica > 0)
+        .expect("every slab has a replica, so some shard backs one");
+    let mut shards = shards;
+    let mut victim_client =
+        ServeClient::connect_with_retry(&shards[victim].0, Duration::from_secs(10))
+            .expect("victim connect");
+    victim_client.shutdown().expect("victim shutdown");
+    let (_, _, victim_handle) = shards.remove(victim);
+    victim_handle.join().expect("victim thread").expect("victim run");
+
+    let degraded = client
+        .cluster_spmm("t", loaded.matrix_id, csr.cols(), n, &b, 60_000)
+        .expect("degraded spmm");
+    assert!(degraded.degraded, "losing a replica under kill=1.0 must degrade");
+    assert!(!degraded.present.is_empty(), "degraded response carries the bitmap");
+    assert!(
+        (0..degraded.rows).any(|r| !degraded.row_present(r)),
+        "some rows must be marked absent"
+    );
+
+    // Two ticks: Suspect, then Down → repair.
+    let t1 = heal_tick(&state);
+    assert!(t1.went_down.is_empty(), "first failure is only Suspect");
+    let t2 = heal_tick(&state);
+    assert_eq!(t2.went_down, vec![victim]);
+    assert!(t2.repaired_slabs > 0, "repair must move the dead shard's slabs");
+    assert!(state.heal_state().repairs_completed() > 0);
+    assert!(
+        state
+            .heal_state()
+            .log_lines()
+            .iter()
+            .any(|l| l.contains(&format!("shard={victim} suspect->down"))),
+        "transition must be logged: {:?}",
+        state.heal_state().log_lines()
+    );
+
+    // Degraded flips back to clean: replication is restored on the two
+    // survivors, so injected kills are absorbed again — bit-identically.
+    let healed =
+        client.cluster_spmm("t", loaded.matrix_id, csr.cols(), n, &b, 60_000).expect("healed spmm");
+    assert!(!healed.degraded, "repair must restore clean responses");
+    assert!(healed.present.is_empty());
+    for (h, c) in healed.out.iter().zip(&clean.out) {
+        assert_eq!(h.to_bits(), c.to_bits(), "post-repair output must match pre-kill output");
+    }
+
+    client.shutdown().expect("router shutdown");
+    router_handle.join().expect("router thread").expect("router run");
+    for (_, _, handle) in shards {
+        handle.join().expect("shard thread").expect("shard run");
+    }
+}
+
+/// One observed response in a replayable soak.
+#[derive(Debug, PartialEq)]
+struct SoakStep {
+    out_bits: Vec<u32>,
+    degraded: bool,
+    present: Vec<u8>,
+    shards_ok: u32,
+    shards_failed: u32,
+}
+
+/// One full kill→detect→repair soak on FIXED shard ports (placement
+/// hashes addresses, so replay across runs needs identical addresses).
+fn heal_soak(plan: &FaultPlan) -> (Vec<SoakStep>, Vec<String>, (u64, u64), (u64, u64)) {
+    let _scope = ChaosScope::install(plan.clone());
+    let ports = ["127.0.0.1:38651", "127.0.0.1:38652", "127.0.0.1:38653"];
+    let shards: Vec<(SocketAddr, u64, ServerHandle)> =
+        ports.iter().map(|p| start_shard_at(p)).collect();
+    let shard_ids: Vec<(SocketAddr, u64)> = shards.iter().map(|s| (s.0, s.1)).collect();
+    let (router, router_addr) = start_router(
+        &RouterConfig {
+            replicate: true,
+            connect_timeout: Duration::from_millis(300),
+            ..RouterConfig::default()
+        },
+        &shard_ids,
+    );
+    let state = Arc::clone(router.state());
+    let router_handle = thread::spawn(move || router.run());
+
+    let csr = CsrMatrix::from_coo(&random_uniform::<f32>(96, 96, 800, 7));
+    let n = 16;
+    let b: Vec<f32> = (0..csr.cols() * n).map(|i| ((i % 5) as f32) * 0.25).collect();
+    let mut client = ServeClient::connect_with_retry(&router_addr, Duration::from_secs(10))
+        .expect("router connect");
+    let loaded = client.load_matrix("t", &csr).expect("cluster load");
+
+    let mut shards = shards;
+    let mut steps = Vec::new();
+    for i in 0..8 {
+        // Kill the shard on port 38653 (map index 2) for real between
+        // request 2 and 3 — the same point in the draw stream every run.
+        if i == 3 {
+            let mut victim = ServeClient::connect_with_retry(&shards[2].0, Duration::from_secs(10))
+                .expect("victim connect");
+            victim.shutdown().expect("victim shutdown");
+            let (_, _, handle) = shards.remove(2);
+            handle.join().expect("victim thread").expect("victim run");
+        }
+        let resp = client
+            .cluster_spmm("t", loaded.matrix_id, csr.cols(), n, &b, 60_000)
+            .unwrap_or_else(|e| panic!("request {i}: {e}"));
+        steps.push(SoakStep {
+            out_bits: resp.out.iter().map(|v| v.to_bits()).collect(),
+            degraded: resp.degraded,
+            present: resp.present,
+            shards_ok: resp.shards_ok,
+            shards_failed: resp.shards_failed,
+        });
+        let _ = heal_tick(&state);
+    }
+
+    let log = state.heal_state().log_lines();
+    let report = fs_chaos::report();
+    let kills = report.site(FaultSite::ShardKill);
+    let flaps = report.site(FaultSite::ShardFlap);
+
+    client.shutdown().expect("router shutdown");
+    router_handle.join().expect("router thread").expect("router run");
+    for (_, _, handle) in shards {
+        handle.join().expect("shard thread").expect("shard run");
+    }
+    (steps, log, kills, flaps)
+}
+
+/// The ISSUE's replay acceptance: the same seeded kill→recover soak —
+/// fresh listeners, same fixed addresses — replays bit-identical
+/// response bytes, identical repair logs, and identical fault counters.
+#[test]
+fn seeded_kill_recover_soak_replays_identically() {
+    let plan: FaultPlan = "seed=5;shard-kill=0.4;shard-flap=0.15".parse().expect("plan parses");
+    let a = heal_soak(&plan);
+    let b = heal_soak(&plan);
+    assert_eq!(a.0, b.0, "response bytes must replay from the plan string alone");
+    assert_eq!(a.1, b.1, "heal/repair logs must replay line for line");
+    assert_eq!(a.2, b.2, "shard-kill counters must replay");
+    assert_eq!(a.3, b.3, "shard-flap counters must replay");
+    // The soak must actually exercise the heal path: the real kill takes
+    // the shard Down and its slabs get repaired.
+    assert!(
+        a.1.iter().any(|l| l.contains("->down")),
+        "the killed shard must be detected: {:?}",
+        a.1
+    );
+    assert!(a.1.iter().any(|l| l.contains(" repair ")), "repairs must be logged: {:?}", a.1);
+    assert_eq!(a.3 .0, 8 * 3, "one flap draw per shard per tick");
+}
+
+/// The ISSUE's recovery acceptance: a restarted router pointed at the
+/// same journal rebuilds an identical manifest — shard map and
+/// placements, fingerprint-for-fingerprint — without re-receiving a
+/// single Load, re-validates residency against the live shards, and a
+/// replayed client Load resolves idempotently to the original id.
+#[test]
+fn router_restart_rebuilds_manifest_from_journal() {
+    let plan: FaultPlan = "seed=1".parse().expect("plan parses");
+    let _scope = ChaosScope::install(plan);
+    let journal_path: PathBuf =
+        std::env::temp_dir().join(format!("fs-heal-e2e-restart-{}.journal", std::process::id()));
+    let _ = std::fs::remove_file(&journal_path);
+
+    let shards: Vec<(SocketAddr, u64, ServerHandle)> =
+        (0..3).map(|_| start_shard_at("127.0.0.1:0")).collect();
+    let shard_ids: Vec<(SocketAddr, u64)> = shards.iter().map(|s| (s.0, s.1)).collect();
+
+    // Router A journals its manifest and leaves the shards running on
+    // shutdown.
+    let (router_a, addr_a) = start_router(
+        &RouterConfig {
+            replicate: true,
+            journal: Some(journal_path.clone()),
+            propagate_shutdown: false,
+            connect_timeout: Duration::from_millis(300),
+            ..RouterConfig::default()
+        },
+        &shard_ids,
+    );
+    let state_a = Arc::clone(router_a.state());
+    let handle_a = thread::spawn(move || router_a.run());
+
+    let csr = CsrMatrix::from_coo(&random_uniform::<f32>(96, 96, 800, 9));
+    let n = 16;
+    let b: Vec<f32> = (0..csr.cols() * n).map(|i| ((i % 5) as f32) * 0.25).collect();
+    let mut client =
+        ServeClient::connect_with_retry(&addr_a, Duration::from_secs(10)).expect("connect A");
+    let loaded = client.load_matrix("t", &csr).expect("load via A");
+    let before =
+        client.cluster_spmm("t", loaded.matrix_id, csr.cols(), n, &b, 60_000).expect("spmm via A");
+    assert!(!before.degraded);
+    let manifest_a = placements_by_addr(&state_a);
+    let addrs_a = {
+        let mut a = state_a.shard_addrs();
+        a.sort();
+        a
+    };
+
+    client.shutdown().expect("shutdown A");
+    handle_a.join().expect("router A thread").expect("router A run");
+
+    // Router B: no static shards, no Loads — everything from the journal.
+    let (router_b, addr_b) = start_router(
+        &RouterConfig {
+            replicate: true,
+            journal: Some(journal_path.clone()),
+            connect_timeout: Duration::from_millis(300),
+            ..RouterConfig::default()
+        },
+        &[],
+    );
+    let state_b = Arc::clone(router_b.state());
+    assert_eq!(state_b.matrix_count(), 1, "manifest must be rebuilt from the journal");
+    let addrs_b = {
+        let mut a = state_b.shard_addrs();
+        a.sort();
+        a
+    };
+    assert_eq!(addrs_a, addrs_b, "shard map must be rebuilt from the journal");
+    assert_eq!(
+        manifest_a,
+        placements_by_addr(&state_b),
+        "placements must match fingerprint-for-fingerprint"
+    );
+
+    let handle_b = thread::spawn(move || router_b.run());
+
+    // Residency re-validation: the shards never restarted, so the
+    // manifest's ids all still resolve — nothing evicted, nothing pushed.
+    let reconciled = revalidate(&state_b);
+    assert_eq!(reconciled, 3, "all three shards must answer the inventory call");
+    assert!(
+        state_b
+            .heal_state()
+            .log_lines()
+            .iter()
+            .all(|l| !l.contains("rejoin") || l.contains("evicted=0 adopted=0 pushed=0")),
+        "no divergence expected on a clean restart: {:?}",
+        state_b.heal_state().log_lines()
+    );
+
+    // Serving continues bit-identically without any re-Load...
+    let mut client_b =
+        ServeClient::connect_with_retry(&addr_b, Duration::from_secs(10)).expect("connect B");
+    let after = client_b
+        .cluster_spmm("t", loaded.matrix_id, csr.cols(), n, &b, 60_000)
+        .expect("spmm via B");
+    assert!(!after.degraded, "recovered manifest must serve clean");
+    for (x, y) in after.out.iter().zip(&before.out) {
+        assert_eq!(x.to_bits(), y.to_bits(), "recovered router must serve identical bytes");
+    }
+
+    // ...and a client replaying its Load gets the original id back.
+    let reloaded = client_b.load_matrix("t", &csr).expect("idempotent re-load");
+    assert_eq!(reloaded.matrix_id, loaded.matrix_id, "Load must be idempotent by fingerprint");
+    assert_eq!(state_b.matrix_count(), 1, "re-load must not duplicate the matrix");
+
+    client_b.shutdown().expect("shutdown B");
+    handle_b.join().expect("router B thread").expect("router B run");
+    for (_, _, handle) in shards {
+        handle.join().expect("shard thread").expect("shard run");
+    }
+    let _ = std::fs::remove_file(&journal_path);
+}
+
+/// Anti-entropy: a shard that flaps Down (probe-level only — the
+/// process stays alive and keeps its slabs) has its slabs repaired
+/// away; when it probes healthy again, the rejoin pass evicts the
+/// now-stale copies it still holds.
+#[test]
+fn flapped_shard_rejoins_and_stale_slabs_are_evicted() {
+    let _scope = ChaosScope::install("seed=1".parse().expect("plan parses"));
+
+    let shards: Vec<(SocketAddr, u64, ServerHandle)> =
+        (0..3).map(|_| start_shard_at("127.0.0.1:0")).collect();
+    let shard_ids: Vec<(SocketAddr, u64)> = shards.iter().map(|s| (s.0, s.1)).collect();
+    let (router, router_addr) = start_router(
+        &RouterConfig {
+            replicate: true,
+            connect_timeout: Duration::from_millis(300),
+            ..RouterConfig::default()
+        },
+        &shard_ids,
+    );
+    let state = Arc::clone(router.state());
+    let router_handle = thread::spawn(move || router.run());
+
+    let csr = CsrMatrix::from_coo(&random_uniform::<f32>(96, 96, 800, 5));
+    let mut client = ServeClient::connect_with_retry(&router_addr, Duration::from_secs(10))
+        .expect("router connect");
+    let _loaded = client.load_matrix("t", &csr).expect("cluster load");
+
+    // Flap a shard that actually holds slabs.
+    let victim = held_by(&state, 3)
+        .iter()
+        .position(|&(p, r)| p + r > 0)
+        .expect("six assignments over three shards: someone holds one");
+    let mut direct = ServeClient::connect_with_retry(&shards[victim].0, Duration::from_secs(10))
+        .expect("direct connect");
+    let (_, _, resident_before) = direct.shard_join("inventory-probe", 0).expect("inventory");
+    assert!(!resident_before.is_empty(), "victim must report its slabs");
+
+    // Drive the flap through the real `shard-flap` site: scan for a
+    // seed whose draw stream flaps exactly the victim on ticks 1 and 2
+    // (one draw per shard per tick, index order) and nobody on tick 3.
+    // `FaultPlan::decide` is pure, so the scan is cheap and exact;
+    // installing the plan restarts the draw counters at zero. The
+    // ChaosScope stays held throughout — only the plan changes.
+    let want: Vec<bool> = (0..9).map(|i| i % 3 == victim && i / 3 < 2).collect();
+    let seed = (0u64..1_000_000)
+        .find(|s| {
+            let plan: FaultPlan = format!("seed={s};shard-flap=0.5").parse().expect("plan parses");
+            want.iter()
+                .enumerate()
+                .all(|(i, w)| plan.decide(FaultSite::ShardFlap, i as u64).is_some() == *w)
+        })
+        .expect("a 9-draw pattern at rate 0.5 appears within a million seeds");
+    fs_chaos::install(format!("seed={seed};shard-flap=0.5").parse().expect("plan parses"));
+
+    let t1 = heal_tick(&state);
+    assert!(t1.went_down.is_empty(), "first flap is only Suspect");
+    let t2 = heal_tick(&state);
+    assert_eq!(t2.went_down, vec![victim], "second flap must take the victim Down");
+    assert!(t2.repaired_slabs > 0, "slabs must be repaired away from the flapped shard");
+
+    // The flap clears: the next tick probes the victim successfully
+    // (the process never died), the rejoin pass runs, and the stale
+    // copies it still held are evicted.
+    let t3 = heal_tick(&state);
+    assert_eq!(t3.came_up, vec![victim], "victim must come back Up");
+    assert_eq!(t3.rejoined, 1, "rejoin must reconcile the returning shard");
+    let (_, _, resident_after) = direct.shard_join("inventory-probe", 0).expect("inventory after");
+    assert!(
+        resident_after.len() < resident_before.len(),
+        "stale slabs must be evicted: {} -> {}",
+        resident_before.len(),
+        resident_after.len()
+    );
+    assert!(
+        state
+            .heal_state()
+            .log_lines()
+            .iter()
+            .any(|l| l.contains(&format!("rejoin shard={victim}")) && !l.contains("evicted=0")),
+        "the eviction must be logged: {:?}",
+        state.heal_state().log_lines()
+    );
+
+    client.shutdown().expect("router shutdown");
+    router_handle.join().expect("router thread").expect("router run");
+    for (_, _, handle) in shards {
+        handle.join().expect("shard thread").expect("shard run");
+    }
+}

@@ -1,0 +1,258 @@
+//! Property tests for the self-healing layer.
+//!
+//! 1. **Journal prefix safety** — whatever happens to the journal's
+//!    tail (truncation mid-frame, bit flips), recovery yields an exact
+//!    *prefix* of the appended records, never a partial or corrupted
+//!    record, and the journal stays appendable afterwards.
+//! 2. **Repair convergence** — after killing any single shard of a
+//!    replicated 3-shard cluster (R = 2, so ≤ R−1 concurrent losses),
+//!    the heal loop converges back to full replication on the survivors
+//!    and a follow-up cluster SpMM is bit-identical to an unsharded
+//!    reference server, with an empty present-rows bitmap.
+//!
+//! Every case holds a [`ChaosScope`]: the scope serializes cases against
+//! any chaos-scoped test in the workspace AND pins the draw stream, so
+//! the journal's `journal-corrupt` draw sites stay quiet here.
+
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::thread;
+use std::time::Duration;
+
+use flashsparse::auto_tune;
+use fs_chaos::{ChaosScope, FaultPlan};
+use fs_cluster::journal::{Journal, Record, SlabRecord};
+use fs_cluster::{heal_tick, Router, RouterConfig, ShardMap};
+use fs_matrix::gen::random_uniform;
+use fs_matrix::{CooMatrix, CsrMatrix};
+use fs_serve::{EngineConfig, ServeClient, Server, ServerConfig};
+use fs_tcu::GpuSpec;
+use proptest::prelude::*;
+
+/// A collision-free temp path per proptest case.
+fn temp_journal(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed); // lint: relaxed-ok - uniqueness only
+    std::env::temp_dir().join(format!("fs-heal-props-{tag}-{}-{n}.journal", std::process::id()))
+}
+
+/// A small deterministic record stream: alternating Load / Assign.
+fn make_records(count: usize, seed: u64) -> Vec<Record> {
+    (0..count)
+        .map(|i| {
+            let s = seed.wrapping_add(i as u64);
+            let slab = SlabRecord {
+                start: (i * 10) as u64,
+                end: (i * 10 + 10) as u64,
+                fp: (s, s ^ 0xF00D),
+                primary_addr: format!("10.0.0.{}:7949", i % 4),
+                primary_id: s % 97,
+                replica: (i % 2 == 0).then(|| (format!("10.0.0.{}:7949", (i + 1) % 4), s % 89)),
+            };
+            if i % 2 == 0 {
+                Record::Load {
+                    matrix_id: i as u64 + 1,
+                    tenant: format!("t{}", s % 5),
+                    fp: (s ^ 0xABCD, s),
+                    rows: 10,
+                    cols: 8,
+                    entries: vec![(0, (s % 8) as u32, s as f32), (9, 7, -1.5)],
+                    slabs: vec![slab],
+                }
+            } else {
+                Record::Assign { matrix_id: i as u64, slab_index: (i % 3) as u32, slab }
+            }
+        })
+        .collect()
+}
+
+type ServerHandle = thread::JoinHandle<std::io::Result<()>>;
+
+fn start_shard() -> (SocketAddr, u64, ServerHandle) {
+    let server = Server::bind(&ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        engine: EngineConfig {
+            workers: 1,
+            max_batch: 1,
+            breaker_threshold: u32::MAX,
+            ..EngineConfig::default()
+        },
+        ..ServerConfig::default()
+    })
+    .unwrap_or_else(|e| panic!("shard bind failed: {e}"));
+    let addr = server.local_addr();
+    let epoch = server.start_epoch();
+    (addr, epoch, thread::spawn(move || server.run()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Write → mangle tail → recover: the checksummed frames guarantee
+    /// the recovered stream is an exact prefix, and appends continue
+    /// from the valid prefix.
+    #[test]
+    fn journal_recovery_is_always_an_exact_prefix(
+        count in 1usize..8,
+        seed in 0u64..10_000,
+        cut in 0usize..64,
+        flips in prop::collection::vec((0usize..4096, 0u32..8), 0..4),
+    ) {
+        let plan: FaultPlan = "seed=1".parse().expect("plan parses");
+        let _scope = ChaosScope::install(plan);
+        let path = temp_journal("prefix");
+        let records = make_records(count, seed);
+
+        let (mut journal, fresh) = Journal::open(&path).expect("open fresh");
+        prop_assert!(fresh.records.is_empty());
+        for rec in &records {
+            journal.append(rec).expect("append");
+        }
+        drop(journal);
+
+        // Mangle the tail: drop `cut` bytes off the end, then flip bits
+        // anywhere in the file.
+        let mut bytes = std::fs::read(&path).expect("read journal");
+        let keep = bytes.len().saturating_sub(cut);
+        bytes.truncate(keep);
+        for (offset, bit) in &flips {
+            if bytes.is_empty() {
+                break;
+            }
+            let at = offset % bytes.len();
+            bytes[at] ^= 1u8 << bit;
+        }
+        std::fs::write(&path, &bytes).expect("write mangled journal");
+
+        let (mut journal, recovered) = Journal::open(&path).expect("reopen");
+        // Exact-prefix property: every recovered record equals the
+        // record written at its position — nothing partial, nothing
+        // reordered, nothing invented.
+        prop_assert!(recovered.records.len() <= records.len());
+        prop_assert_eq!(&recovered.records[..], &records[..recovered.records.len()]);
+        prop_assert!(recovered.valid_bytes as usize <= bytes.len());
+
+        // The journal stays appendable: a new record lands after the
+        // valid prefix and survives another recovery.
+        let extra = make_records(1, seed ^ 0x5EED).pop().expect("one record");
+        journal.append(&extra).expect("append after recovery");
+        drop(journal);
+        let (_, again) = Journal::open(&path).expect("final reopen");
+        let mut expect = recovered.records.clone();
+        expect.push(extra);
+        prop_assert_eq!(again.records, expect);
+        prop_assert!(!again.dropped_tail, "clean reopen must not drop anything");
+
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Kill any one shard of a replicated 3-shard cluster: two heal
+    /// ticks (down_after = 2) detect the loss, repair converges back to
+    /// full replication on the survivors, and a follow-up cluster SpMM
+    /// is bit-identical to an unsharded reference with an empty bitmap.
+    #[test]
+    fn single_shard_kill_repairs_to_full_replication(
+        kill in 0usize..3,
+        mseed in 0u64..100,
+    ) {
+        let plan: FaultPlan = "seed=1".parse().expect("plan parses");
+        let _scope = ChaosScope::install(plan);
+
+        let csr = CsrMatrix::from_coo(&random_uniform::<f32>(96, 96, 800, mseed));
+        let n = 16;
+        let b: Vec<f32> = (0..csr.cols() * n).map(|i| ((i % 5) as f32) * 0.25).collect();
+
+        // Bit-identity needs every slab to tune like the full matrix
+        // (identically configured shards tune by content).
+        let full_choice = auto_tune(&csr, n, GpuSpec::RTX4090);
+        let consistent = ShardMap::slab_ranges(csr.rows(), 3).into_iter().all(|range| {
+            let mut coo = CooMatrix::new(range.len(), csr.cols());
+            for r in range.clone() {
+                for (c, v) in csr.row_cols(r).iter().zip(csr.row_values(r)) {
+                    coo.push(r - range.start, *c as usize, *v);
+                }
+            }
+            auto_tune(&CsrMatrix::from_coo(&coo), n, GpuSpec::RTX4090).variant_name()
+                == full_choice.variant_name()
+        });
+        prop_assume!(consistent);
+
+        let shards: Vec<(SocketAddr, u64, ServerHandle)> = (0..3).map(|_| start_shard()).collect();
+        let router = Router::bind(&RouterConfig {
+            replicate: true,
+            connect_timeout: Duration::from_millis(300),
+            ..RouterConfig::default()
+        })
+        .expect("router bind");
+        for (addr, epoch, _) in &shards {
+            router.state().join_shard(addr.to_string(), *epoch);
+        }
+        let state = std::sync::Arc::clone(router.state());
+        let router_addr = router.local_addr();
+        let router_handle = thread::spawn(move || router.run());
+
+        let mut client = ServeClient::connect_with_retry(&router_addr, Duration::from_secs(10))
+            .expect("router connect");
+        let loaded = client.load_matrix("t", &csr).expect("cluster load");
+
+        // Unsharded reference server for the bit-identity check.
+        let (ref_addr, _, ref_handle) = start_shard();
+        let mut reference =
+            ServeClient::connect_with_retry(&ref_addr, Duration::from_secs(10)).expect("ref");
+        let ref_loaded = reference.load_matrix("t", &csr).expect("reference load");
+        let want =
+            reference.spmm("t", ref_loaded.matrix_id, csr.cols(), n, &b, 60_000).expect("ref spmm");
+
+        // Kill one shard for real: shut it down and join its accept
+        // loop so every socket it held is closed before the first probe.
+        let mut shards = shards;
+        let mut victim = ServeClient::connect_with_retry(&shards[kill].0, Duration::from_secs(10))
+            .expect("victim connect");
+        victim.shutdown().expect("victim shutdown");
+        let (_, _, victim_handle) = shards.remove(kill);
+        victim_handle.join().expect("victim thread").expect("victim run");
+
+        // Two ticks take the shard Up → Suspect → Down and trigger repair.
+        let t1 = heal_tick(&state);
+        prop_assert!(t1.went_down.is_empty(), "first failure is only Suspect");
+        let t2 = heal_tick(&state);
+        prop_assert_eq!(&t2.went_down[..], &[kill], "second failure must go Down");
+        prop_assert!(t2.repaired_slabs > 0, "the dead shard held slabs to repair");
+
+        // Convergence: no slab references the dead shard, and every slab
+        // is fully replicated again across the two survivors.
+        for (_, slabs) in state.placements() {
+            for (_, primary, replica) in slabs {
+                prop_assert_ne!(primary, kill, "primary still on the dead shard");
+                let replica = replica.expect("replication must be restored");
+                prop_assert_ne!(replica, kill, "replica still on the dead shard");
+                prop_assert_ne!(replica, primary, "replica must differ from primary");
+            }
+        }
+        prop_assert!(state.heal_state().repairs_completed() > 0);
+
+        // Post-repair response: clean, empty bitmap, bit-identical.
+        let got = client
+            .cluster_spmm("t", loaded.matrix_id, csr.cols(), n, &b, 60_000)
+            .expect("post-repair spmm");
+        prop_assert!(!got.degraded, "repaired cluster must serve clean");
+        prop_assert!(got.present.is_empty(), "clean response carries no bitmap");
+        prop_assert_eq!(got.out.len(), want.out.len());
+        for (g, w) in got.out.iter().zip(&want.out) {
+            prop_assert_eq!(g.to_bits(), w.to_bits());
+        }
+
+        reference.shutdown().expect("reference shutdown");
+        ref_handle.join().expect("ref thread").expect("ref run");
+        client.shutdown().expect("router shutdown");
+        router_handle.join().expect("router thread").expect("router run");
+        for (_, _, handle) in shards {
+            handle.join().expect("shard thread").expect("shard run");
+        }
+    }
+}

@@ -10,7 +10,11 @@
 //!
 //! `--cluster` drives an `fs-cluster` router instead of a plain server:
 //! requests go through the scatter-gather SpMM op, and the report gains
-//! `degraded` / `shard_failures`. Combined with `--chaos`, verification
+//! `degraded` / `shard_failures`, a per-second `degraded_timeline`
+//! (nonzero while a slab is lost, back to zero once the heal loop
+//! re-replicates it), and an echo of the router's `heal` metrics
+//! section (`heal_ticks`, `heal_repairs_completed`,
+//! `heal_shard_states`, ...). Combined with `--chaos`, verification
 //! is degradation-aware — present rows must match the reference, absent
 //! rows must be zero-filled — so losing a shard is tolerated but
 //! corrupting a row is not.

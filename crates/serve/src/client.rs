@@ -395,16 +395,44 @@ impl ServeClient {
         }
     }
 
-    /// Announce a shard to a router: `(shard_index, shard_count)` on
-    /// success. Plain shards reject this with `BadRequest`.
+    /// Announce a shard to a router — or probe a shard's inventory.
+    /// A router answers `(shard_index, shard_count, [])`; a plain shard
+    /// answers `(0, 1, resident)` with its `(fingerprint_hi,
+    /// fingerprint_lo, matrix_id)` triples ascending by id.
     pub fn shard_join(
         &mut self,
         shard_addr: &str,
         start_epoch: u64,
-    ) -> Result<(u32, u32), ClientError> {
+    ) -> Result<(u32, u32, Vec<(u64, u64, u64)>), ClientError> {
         let req = Request::ShardJoin { addr: shard_addr.to_string(), start_epoch };
         match self.call(&req)? {
-            Response::ShardJoined { shard_index, shard_count } => Ok((shard_index, shard_count)),
+            Response::ShardJoined { shard_index, shard_count, resident } => {
+                Ok((shard_index, shard_count, resident))
+            }
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Export a registered matrix's `(rows, cols, COO entries)` — the
+    /// repair path's source copy when re-replicating a slab.
+    pub fn export_matrix(
+        &mut self,
+        tenant: &str,
+        matrix_id: u64,
+    ) -> Result<(u32, u32, Vec<(u32, u32, f32)>), ClientError> {
+        let req = Request::Export { tenant: tenant.to_string(), matrix_id };
+        match self.call(&req)? {
+            Response::Export { rows, cols, entries } => Ok((rows, cols, entries)),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Evict a registered matrix; `Ok(existed)`. Anti-entropy rejoin
+    /// uses this to drop slabs the manifest no longer assigns here.
+    pub fn evict_matrix(&mut self, tenant: &str, matrix_id: u64) -> Result<bool, ClientError> {
+        let req = Request::Evict { tenant: tenant.to_string(), matrix_id };
+        match self.call(&req)? {
+            Response::Evicted { existed } => Ok(existed),
             other => Err(ClientError::Unexpected(format!("{other:?}"))),
         }
     }

@@ -415,6 +415,52 @@ impl ServeEngine {
         (registry.map.len(), registry.resident_bytes)
     }
 
+    /// Every resident matrix as `(fingerprint_hi, fingerprint_lo, id)`,
+    /// ascending by id — the anti-entropy inventory a shard reports when
+    /// a router asks who is already home.
+    pub fn resident_matrices(&self) -> Vec<(u64, u64, u64)> {
+        let registry = self.inner.matrices.read();
+        let mut out: Vec<(u64, u64, u64)> = registry
+            .map
+            .iter()
+            .map(|(&id, reg)| (reg.fingerprint.hi(), reg.fingerprint.lo(), id))
+            .collect();
+        out.sort_unstable_by_key(|&(_, _, id)| id);
+        out
+    }
+
+    /// Export a registered matrix's `(rows, cols, COO entries)` in CSR
+    /// iteration order — the repair path's source copy. `None` when the
+    /// id is unknown.
+    pub fn export_matrix(&self, matrix_id: u64) -> Option<(usize, usize, Vec<(u32, u32, f32)>)> {
+        let reg = self.inner.matrices.read().map.get(&matrix_id).cloned()?;
+        let csr = &reg.csr;
+        let mut entries = Vec::with_capacity(csr.nnz());
+        for r in 0..csr.rows() {
+            for (&c, &v) in csr.row_cols(r).iter().zip(csr.row_values(r)) {
+                entries.push((r as u32, c, v)); // lint: checked-cast rows capped at u32 by Load
+            }
+        }
+        Some((csr.rows(), csr.cols(), entries))
+    }
+
+    /// Drop a registered matrix, releasing its resident-byte budget and
+    /// its circuit breaker. Returns whether it existed. In-flight
+    /// requests holding the `Arc` finish against the old copy.
+    pub fn evict_matrix(&self, matrix_id: u64) -> bool {
+        let mut registry = self.inner.matrices.write();
+        match registry.map.remove(&matrix_id) {
+            Some(reg) => {
+                registry.resident_bytes =
+                    registry.resident_bytes.saturating_sub(csr_resident_bytes(&reg.csr));
+                drop(registry);
+                self.inner.breakers.lock().remove(&matrix_id);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Admit a request. `Err` means the request was *not* queued.
     pub fn submit(&self, req: SpmmRequest) -> Result<Ticket, SubmitError> {
         if self.inner.shutdown.load(Ordering::Acquire) {

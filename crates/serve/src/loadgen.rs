@@ -174,6 +174,23 @@ pub struct LoadReport {
     /// The server's bind-time epoch (ms since the Unix epoch): a run
     /// script comparing this across runs detects server restarts.
     pub server_start_epoch: u64,
+    /// Cluster mode: degraded completions bucketed per second of the
+    /// run (index = seconds since the run started). A healthy soak is
+    /// all zeros; a kill mid-soak shows a nonzero window that returns
+    /// to zero once the heal loop re-replicates the lost slabs.
+    pub degraded_timeline: Vec<u64>,
+    /// Router heal ticks, echoed from the `heal` section of the
+    /// router's metrics document (zero against a plain server).
+    pub heal_ticks: u64,
+    /// Router slab repairs completed, echoed from `heal`.
+    pub heal_repairs_completed: u64,
+    /// Tick of the most recent repair, echoed from `heal`.
+    pub heal_last_repair_epoch: u64,
+    /// Shard rejoin reconciliations, echoed from `heal`.
+    pub heal_rejoins: u64,
+    /// Per-shard detector states (`up`/`suspect`/`down`) in shard-index
+    /// order, echoed from `heal` (empty against a plain server).
+    pub heal_shard_states: Vec<String>,
 }
 
 impl LoadReport {
@@ -215,6 +232,20 @@ impl LoadReport {
         w.field_u64("shard_failures", self.shard_failures);
         w.field_str("server_addr", &self.server_addr);
         w.field_u64("server_start_epoch", self.server_start_epoch);
+        w.key("degraded_timeline").begin_array();
+        for &count in &self.degraded_timeline {
+            w.value_u64(count);
+        }
+        w.end_array();
+        w.field_u64("heal_ticks", self.heal_ticks);
+        w.field_u64("heal_repairs_completed", self.heal_repairs_completed);
+        w.field_u64("heal_last_repair_epoch", self.heal_last_repair_epoch);
+        w.field_u64("heal_rejoins", self.heal_rejoins);
+        w.key("heal_shard_states").begin_array();
+        for s in &self.heal_shard_states {
+            w.value_str(s);
+        }
+        w.end_array();
         w.end_object();
         w.finish()
     }
@@ -246,6 +277,21 @@ fn extract_str(json: &str, key: &str) -> String {
         .unwrap_or_default()
 }
 
+/// Every `"key":"value"` occurrence in a JSON fragment, in order — used
+/// for the per-shard `state` entries of the router's `heal` section.
+fn extract_all_str(json: &str, key: &str) -> Vec<String> {
+    let needle = format!("\"{key}\":\"");
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(i) = rest.find(&needle) {
+        rest = &rest[i + needle.len()..];
+        let Some(end) = rest.find('"') else { break };
+        out.push(rest[..end].to_string());
+        rest = &rest[end..];
+    }
+    out
+}
+
 /// Percentile of a sorted latency list (nearest-rank).
 pub fn percentile(sorted: &[u64], p: f64) -> u64 {
     if sorted.is_empty() {
@@ -267,6 +313,9 @@ struct WorkerTally {
     fallbacks: u64,
     degraded: u64,
     shard_failures: u64,
+    /// Second-of-run (floor) of each degraded completion, for the
+    /// report's per-second timeline.
+    degraded_seconds: Vec<u64>,
 }
 
 /// Chaos-mode response check: the served numbers against the scalar
@@ -412,6 +461,7 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadReport, String> {
                 fallbacks: 0,
                 degraded: 0,
                 shard_failures: 0,
+                degraded_seconds: Vec::new(),
             };
             let mut backoff = Backoff::for_client(w as u64);
             let mut client = match ServeClient::connect_with_retry(&cfg.addr, cfg.ready_timeout) {
@@ -471,6 +521,7 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadReport, String> {
                             tally.latencies.push(us);
                             if resp.degraded {
                                 tally.degraded += 1;
+                                tally.degraded_seconds.push(started.elapsed().as_secs());
                             }
                             tally.shard_failures += u64::from(resp.shards_failed);
                             if let Some(exp) = &expected {
@@ -548,6 +599,7 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadReport, String> {
     }
 
     let mut latencies: Vec<u64> = Vec::new();
+    let mut degraded_seconds: Vec<u64> = Vec::new();
     let mut report = LoadReport {
         mode: if cfg.open_rps.is_some() { "open" } else { "closed" }.to_string(),
         ..LoadReport::default()
@@ -556,6 +608,7 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadReport, String> {
         match h.join() {
             Ok(t) => {
                 latencies.extend(t.latencies);
+                degraded_seconds.extend(t.degraded_seconds);
                 report.rejected += t.rejected;
                 report.timed_out += t.timed_out;
                 report.errors += t.errors;
@@ -587,6 +640,18 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadReport, String> {
     } else {
         latencies.iter().sum::<u64>() / latencies.len() as u64
     };
+    // Per-second degraded buckets, spanning the whole measurement
+    // window so trailing zeros ("it healed and stayed healed") are
+    // visible in the report.
+    if cfg.cluster {
+        let span = (elapsed.as_secs() + 1).max(degraded_seconds.iter().max().map_or(0, |&s| s + 1));
+        report.degraded_timeline = vec![0; span.min(3600) as usize]; // lint: checked-cast - capped at 3600
+        for s in degraded_seconds {
+            if let Some(bucket) = report.degraded_timeline.get_mut(s as usize) {
+                *bucket += 1;
+            }
+        }
+    }
     // Execution-mode accounting from the server's cumulative metrics
     // (best effort: a run against an unreachable/older server reports
     // zeros rather than failing the whole workload).
@@ -602,6 +667,15 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadReport, String> {
             let server = m.find("\"server\":{").map(|i| &m[i..]).unwrap_or("");
             report.server_addr = extract_str(server, "addr");
             report.server_start_epoch = extract_u64(server, "start_epoch");
+            // Echo the router's self-healing counters (absent from a
+            // plain server's document: everything stays zero/empty).
+            let heal = m.find("\"heal\":{").map(|i| &m[i..]).unwrap_or("");
+            report.heal_ticks = extract_u64(heal, "ticks");
+            report.heal_repairs_completed = extract_u64(heal, "repairs_completed");
+            report.heal_last_repair_epoch = extract_u64(heal, "last_repair_epoch");
+            report.heal_rejoins = extract_u64(heal, "rejoins");
+            let states_end = heal.find(']').map(|i| &heal[..i]).unwrap_or("");
+            report.heal_shard_states = extract_all_str(states_end, "state");
         }
     }
     Ok(report)
@@ -725,6 +799,45 @@ mod tests {
         ] {
             assert!(j.contains(key), "missing {key} in {j}");
         }
+    }
+
+    #[test]
+    fn report_json_has_the_heal_fields() {
+        let r = LoadReport {
+            mode: "closed".into(),
+            degraded_timeline: vec![0, 2, 1, 0],
+            heal_ticks: 7,
+            heal_repairs_completed: 4,
+            heal_last_repair_epoch: 5,
+            heal_rejoins: 1,
+            heal_shard_states: vec!["up".into(), "down".into(), "up".into()],
+            ..LoadReport::default()
+        };
+        let j = r.to_json();
+        for key in [
+            "\"degraded_timeline\":[0,2,1,0]",
+            "\"heal_ticks\":7",
+            "\"heal_repairs_completed\":4",
+            "\"heal_last_repair_epoch\":5",
+            "\"heal_rejoins\":1",
+            "\"heal_shard_states\":[\"up\",\"down\",\"up\"]",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+    }
+
+    #[test]
+    fn extract_all_str_reads_the_heal_states() {
+        let m = "{\"heal\":{\"states\":[\
+                 {\"shard\":0,\"addr\":\"127.0.0.1:1\",\"state\":\"up\"},\
+                 {\"shard\":1,\"addr\":\"127.0.0.1:2\",\"state\":\"down\"}],\
+                 \"ticks\":7,\"repairs_completed\":3}}";
+        let heal = m.find("\"heal\":{").map(|i| &m[i..]).unwrap_or("");
+        assert_eq!(extract_u64(heal, "ticks"), 7);
+        assert_eq!(extract_u64(heal, "repairs_completed"), 3);
+        let states = heal.find(']').map(|i| &heal[..i]).unwrap_or("");
+        assert_eq!(extract_all_str(states, "state"), vec!["up", "down"]);
+        assert!(extract_all_str("", "state").is_empty());
     }
 
     #[test]

@@ -59,8 +59,9 @@ pub enum Request {
     /// Announce a shard to a router: the shard's listen address and its
     /// `start_epoch` (from the metrics document), so the router can tell
     /// a restarted shard from the one it registered slabs on. Plain
-    /// `fs-serve` shards reject this with [`ErrorCode::BadRequest`];
-    /// only routers accept it.
+    /// `fs-serve` shards answer with their resident fingerprints (an
+    /// anti-entropy inventory the router checks against its manifest);
+    /// routers answer with the shard's ring position.
     ShardJoin {
         /// The shard's listen address (`host:port`).
         addr: String,
@@ -86,6 +87,22 @@ pub enum Request {
         n: u32,
         /// Row-major operand data, `b_rows × n` values.
         b: Vec<f32>,
+    },
+    /// Export a registered matrix as COO entries — the repair path's
+    /// source copy when re-replicating a slab from a surviving holder.
+    Export {
+        /// Tenant the matrix was registered under.
+        tenant: String,
+        /// Handle from [`Response::Loaded`].
+        matrix_id: u64,
+    },
+    /// Evict a registered matrix (anti-entropy: a rejoining shard drops
+    /// slabs the manifest no longer assigns to it).
+    Evict {
+        /// Tenant the matrix was registered under.
+        tenant: String,
+        /// Handle from [`Response::Loaded`].
+        matrix_id: u64,
     },
 }
 
@@ -143,12 +160,19 @@ pub enum Response {
     Pong,
     /// Shutdown acknowledged; the server drains after sending this.
     ShutdownAck,
-    /// A shard was registered with the router.
+    /// A shard was registered with the router — or, when sent by a plain
+    /// shard, the shard's residency inventory.
     ShardJoined {
-        /// The shard's position in the router's ring.
+        /// The shard's position in the router's ring (0 from a plain
+        /// shard answering with its inventory).
         shard_index: u32,
-        /// Total shards the router now knows.
+        /// Total shards the router now knows (1 from a plain shard).
         shard_count: u32,
+        /// Already-resident matrices as `(fingerprint_hi,
+        /// fingerprint_lo, matrix_id)` triples, ascending by id. A
+        /// router's reply leaves this empty; a shard's reply is the
+        /// anti-entropy inventory the router reconciles on rejoin.
+        resident: Vec<(u64, u64, u64)>,
     },
     /// A scatter-gather SpMM completed (possibly degraded).
     ClusterSpmm {
@@ -169,6 +193,20 @@ pub enum Response {
         shards_ok: u32,
         /// Shards (counting replica retries) that failed or timed out.
         shards_failed: u32,
+    },
+    /// A registered matrix's COO entries.
+    Export {
+        /// Matrix rows.
+        rows: u32,
+        /// Matrix columns.
+        cols: u32,
+        /// COO entries `(row, col, value)` in CSR iteration order.
+        entries: Vec<(u32, u32, f32)>,
+    },
+    /// An eviction completed.
+    Evicted {
+        /// Whether the matrix existed (and was dropped).
+        existed: bool,
     },
     /// The request failed.
     Error {
@@ -399,6 +437,8 @@ const REQ_SHUTDOWN: u8 = 5;
 const REQ_TRACE: u8 = 6;
 const REQ_SHARD_JOIN: u8 = 7;
 const REQ_CLUSTER_SPMM: u8 = 8;
+const REQ_EXPORT: u8 = 9;
+const REQ_EVICT: u8 = 10;
 
 const RESP_LOADED: u8 = 128;
 const RESP_SPMM: u8 = 129;
@@ -408,6 +448,8 @@ const RESP_SHUTDOWN_ACK: u8 = 132;
 const RESP_TRACE: u8 = 133;
 const RESP_SHARD_JOINED: u8 = 134;
 const RESP_CLUSTER_SPMM: u8 = 135;
+const RESP_EXPORT: u8 = 136;
+const RESP_EVICTED: u8 = 137;
 const RESP_ERROR: u8 = 255;
 
 impl Request {
@@ -470,6 +512,16 @@ impl Request {
                 out.extend_from_slice(&n.to_le_bytes());
                 put_f32s(&mut out, b);
             }
+            Request::Export { tenant, matrix_id } => {
+                out.push(REQ_EXPORT);
+                put_string(&mut out, tenant)?;
+                out.extend_from_slice(&matrix_id.to_le_bytes());
+            }
+            Request::Evict { tenant, matrix_id } => {
+                out.push(REQ_EVICT);
+                put_string(&mut out, tenant)?;
+                out.extend_from_slice(&matrix_id.to_le_bytes());
+            }
         }
         Ok(out)
     }
@@ -512,6 +564,8 @@ impl Request {
                 let b = c.f32_vec(b_rows as usize * n as usize)?;
                 Request::ClusterSpmm { tenant, matrix_id, deadline_ms, b_rows, n, b }
             }
+            REQ_EXPORT => Request::Export { tenant: c.string()?, matrix_id: c.u64()? },
+            REQ_EVICT => Request::Evict { tenant: c.string()?, matrix_id: c.u64()? },
             tag => return Err(ProtoError(format!("unknown request tag {tag}"))),
         };
         c.done()?;
@@ -574,10 +628,18 @@ impl Response {
             }
             Response::Pong => out.push(RESP_PONG),
             Response::ShutdownAck => out.push(RESP_SHUTDOWN_ACK),
-            Response::ShardJoined { shard_index, shard_count } => {
+            Response::ShardJoined { shard_index, shard_count, resident } => {
                 out.push(RESP_SHARD_JOINED);
                 out.extend_from_slice(&shard_index.to_le_bytes());
                 out.extend_from_slice(&shard_count.to_le_bytes());
+                let n = u32::try_from(resident.len())
+                    .map_err(|_| ProtoError("too many resident matrices".into()))?;
+                out.extend_from_slice(&n.to_le_bytes());
+                for (hi, lo, id) in resident {
+                    out.extend_from_slice(&hi.to_le_bytes());
+                    out.extend_from_slice(&lo.to_le_bytes());
+                    out.extend_from_slice(&id.to_le_bytes());
+                }
             }
             Response::ClusterSpmm {
                 rows,
@@ -605,6 +667,23 @@ impl Response {
                 out.extend_from_slice(present);
                 out.extend_from_slice(&shards_ok.to_le_bytes());
                 out.extend_from_slice(&shards_failed.to_le_bytes());
+            }
+            Response::Export { rows, cols, entries } => {
+                out.push(RESP_EXPORT);
+                out.extend_from_slice(&rows.to_le_bytes());
+                out.extend_from_slice(&cols.to_le_bytes());
+                let n = u64::try_from(entries.len())
+                    .map_err(|_| ProtoError("too many entries".into()))?;
+                out.extend_from_slice(&n.to_le_bytes());
+                for (r, c, v) in entries {
+                    out.extend_from_slice(&r.to_le_bytes());
+                    out.extend_from_slice(&c.to_le_bytes());
+                    out.extend_from_slice(&v.to_bits().to_le_bytes());
+                }
+            }
+            Response::Evicted { existed } => {
+                out.push(RESP_EVICTED);
+                out.push(u8::from(*existed));
             }
             Response::Error { code, message } => {
                 out.push(RESP_ERROR);
@@ -671,7 +750,14 @@ impl Response {
             RESP_PONG => Response::Pong,
             RESP_SHUTDOWN_ACK => Response::ShutdownAck,
             RESP_SHARD_JOINED => {
-                Response::ShardJoined { shard_index: c.u32()?, shard_count: c.u32()? }
+                let shard_index = c.u32()?;
+                let shard_count = c.u32()?;
+                let n = c.u32()? as usize;
+                let mut resident = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    resident.push((c.u64()?, c.u64()?, c.u64()?));
+                }
+                Response::ShardJoined { shard_index, shard_count, resident }
             }
             RESP_CLUSTER_SPMM => {
                 let rows = c.u32()?;
@@ -684,6 +770,17 @@ impl Response {
                 let shards_failed = c.u32()?;
                 Response::ClusterSpmm { rows, n, out, degraded, present, shards_ok, shards_failed }
             }
+            RESP_EXPORT => {
+                let rows = c.u32()?;
+                let cols = c.u32()?;
+                let n = c.u64()? as usize;
+                let mut entries = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    entries.push((c.u32()?, c.u32()?, c.f32()?));
+                }
+                Response::Export { rows, cols, entries }
+            }
+            RESP_EVICTED => Response::Evicted { existed: c.u8()? != 0 },
             RESP_ERROR => {
                 let code = ErrorCode::from_byte(c.u8()?)
                     .ok_or_else(|| ProtoError("unknown error code".into()))?;
@@ -739,11 +836,26 @@ mod tests {
             n: 2,
             b: vec![1.0, 0.0, -2.5, 4.0],
         });
+        roundtrip_req(Request::Export { tenant: "t".into(), matrix_id: 3 });
+        roundtrip_req(Request::Evict { tenant: "t".into(), matrix_id: 4 });
     }
 
     #[test]
     fn cluster_responses_roundtrip() {
-        roundtrip_resp(Response::ShardJoined { shard_index: 1, shard_count: 3 });
+        roundtrip_resp(Response::ShardJoined { shard_index: 1, shard_count: 3, resident: vec![] });
+        roundtrip_resp(Response::ShardJoined {
+            shard_index: 0,
+            shard_count: 1,
+            resident: vec![(u64::MAX, 1, 7), (2, 3, 9)],
+        });
+        roundtrip_resp(Response::Export {
+            rows: 4,
+            cols: 5,
+            entries: vec![(0, 4, 1.5), (3, 0, -0.25)],
+        });
+        roundtrip_resp(Response::Export { rows: 0, cols: 0, entries: vec![] });
+        roundtrip_resp(Response::Evicted { existed: true });
+        roundtrip_resp(Response::Evicted { existed: false });
         roundtrip_resp(Response::ClusterSpmm {
             rows: 3,
             n: 2,

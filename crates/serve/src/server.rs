@@ -370,16 +370,32 @@ fn dispatch(
         }
         Request::Ping => Response::Pong,
         Request::Shutdown => Response::ShutdownAck,
-        // Cluster ops belong to the fs-cluster router; a plain shard
-        // rejecting them (instead of ignoring them) turns a mis-pointed
-        // client into a clear error rather than a hang.
-        Request::ShardJoin { addr: shard, .. } => Response::Error {
-            code: ErrorCode::BadRequest,
-            message: format!("this is a shard, not a router: cannot register {shard}"),
+        // A plain shard answers ShardJoin with its residency inventory:
+        // the router's anti-entropy pass compares these fingerprints
+        // against its manifest after either side restarts. `shard_index`
+        // 0 of `shard_count` 1 marks the reply as shard-local.
+        Request::ShardJoin { .. } => Response::ShardJoined {
+            shard_index: 0,
+            shard_count: 1,
+            resident: engine.resident_matrices(),
         },
         Request::ClusterSpmm { .. } => Response::Error {
             code: ErrorCode::BadRequest,
             message: "cluster SpMM needs an fs-cluster router; this is a plain shard".to_string(),
         },
+        Request::Export { tenant: _, matrix_id } => match engine.export_matrix(matrix_id) {
+            Some((rows, cols, entries)) => Response::Export {
+                rows: rows.min(u32::MAX as usize) as u32,
+                cols: cols.min(u32::MAX as usize) as u32,
+                entries,
+            },
+            None => Response::Error {
+                code: ErrorCode::UnknownMatrix,
+                message: format!("unknown matrix id {matrix_id}"),
+            },
+        },
+        Request::Evict { tenant: _, matrix_id } => {
+            Response::Evicted { existed: engine.evict_matrix(matrix_id) }
+        }
     }
 }

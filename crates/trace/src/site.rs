@@ -47,10 +47,16 @@ pub enum Site {
     /// One shard's slice of a scatter round (per-shard wait; the p99 of
     /// the max over shards is the fan-out tail amplification).
     ClusterShardWait,
+    /// One heartbeat probe of one shard by the failure detector.
+    HealProbe,
+    /// One slab repair (replica promotion / re-replication push).
+    HealRepair,
+    /// One anti-entropy reconciliation of a rejoining shard.
+    HealRejoin,
 }
 
 /// Number of span sites (histogram slots).
-pub const SITE_COUNT: usize = 15;
+pub const SITE_COUNT: usize = 18;
 
 impl Site {
     /// Every site, in export order.
@@ -70,6 +76,9 @@ impl Site {
         Site::ClusterScatter,
         Site::ClusterGather,
         Site::ClusterShardWait,
+        Site::HealProbe,
+        Site::HealRepair,
+        Site::HealRejoin,
     ];
 
     /// Dense index into the registry's per-site slots.
@@ -91,6 +100,9 @@ impl Site {
             Site::ClusterScatter => 12,
             Site::ClusterGather => 13,
             Site::ClusterShardWait => 14,
+            Site::HealProbe => 15,
+            Site::HealRepair => 16,
+            Site::HealRejoin => 17,
         }
     }
 
@@ -112,6 +124,9 @@ impl Site {
             Site::ClusterScatter => "cluster.scatter",
             Site::ClusterGather => "cluster.gather",
             Site::ClusterShardWait => "cluster.shard_wait",
+            Site::HealProbe => "heal.probe",
+            Site::HealRepair => "heal.repair",
+            Site::HealRejoin => "heal.rejoin",
         }
     }
 
