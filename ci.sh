@@ -59,6 +59,19 @@ if ! awk -v n="$SITE_NS" 'BEGIN { exit !(n <= 100.0) }'; then
 fi
 echo "ci: disarmed span site ${SITE_NS} ns/call"
 
+echo "== pipelined cold-path gate"
+# Cold-request latency with the overlapped engine vs the classic
+# tune+translate-then-execute path, measured in-process at the serving
+# layer. The pipelined path must keep cold p95 at least 1.5x better —
+# the ISSUE's acceptance bar for taking auto-tune off the miss path.
+./target/release/pipeline_bench --out BENCH_pipeline.json
+COLD_SPEEDUP=$(sed -n 's/.*"cold_speedup_p95":\([0-9.]*\).*/\1/p' BENCH_pipeline.json)
+if ! awk -v s="$COLD_SPEEDUP" 'BEGIN { exit !(s >= 1.5) }'; then
+  echo "ci: pipelined cold p95 speedup regressed below 1.5x (${COLD_SPEEDUP}x)" >&2
+  exit 1
+fi
+echo "ci: pipelined cold p95 speedup ${COLD_SPEEDUP}x"
+
 echo "== serving smoke test (tracing armed)"
 # Start fs-serve on a loopback port with tracing armed, fire a short
 # loadgen burst, and require zero errors plus a clean acknowledged

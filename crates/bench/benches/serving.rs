@@ -44,8 +44,15 @@ fn bench_serving(c: &mut Criterion) {
         });
         warm.shutdown();
 
-        let cold =
-            ServeEngine::start(EngineConfig { workers: 1, cold: true, ..EngineConfig::default() });
+        // Classic cold path (pipeline off): this bench tracks the
+        // warm/cold amortization gap; the overlapped cold path has its
+        // own bench (`pipeline.rs`) and gate (BENCH_pipeline.json).
+        let cold = ServeEngine::start(EngineConfig {
+            workers: 1,
+            cold: true,
+            pipeline: false,
+            ..EngineConfig::default()
+        });
         let info = cold.register_matrix("bench", csr.clone()).expect("registered");
         group.bench_function(format!("cold/{name}"), |bch| {
             bch.iter(|| engine_request(&cold, info.id, &b))

@@ -34,6 +34,10 @@ fn start_shard(max_matrix_bytes: usize) -> (SocketAddr, u64, ServerHandle) {
             // soak a pure function of the fault plan.
             breaker_threshold: u32::MAX,
             max_matrix_bytes,
+            // Scatter-gather bits are compared against a tuned-variant
+            // local reference; the pipelined cold path would serve the
+            // first request from the FALLBACK variant instead.
+            pipeline: false,
             ..EngineConfig::default()
         },
         ..ServerConfig::default()

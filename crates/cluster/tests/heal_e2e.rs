@@ -30,6 +30,10 @@ fn start_shard_at(addr: &str) -> (SocketAddr, u64, ServerHandle) {
                 workers: 1,
                 max_batch: 1,
                 breaker_threshold: u32::MAX,
+                // Post-repair bits must match pre-kill bits: pin the
+                // classic path so a freshly repaired (cold) shard picks
+                // the same tuned variant as the shard it replaced.
+                pipeline: false,
                 ..EngineConfig::default()
             },
             ..ServerConfig::default()

@@ -76,6 +76,11 @@ fn start_shard() -> (SocketAddr, u64, ServerHandle) {
             workers: 1,
             max_batch: 1,
             breaker_threshold: u32::MAX,
+            // Bit-stability across shard replacement assumes every shard
+            // serves the auto-tuned variant from the first request; the
+            // pipelined cold path would answer the first miss with the
+            // FALLBACK variant instead.
+            pipeline: false,
             ..EngineConfig::default()
         },
         ..ServerConfig::default()

@@ -36,16 +36,19 @@ use fs_matrix::DenseMatrix;
 use fs_precision::Scalar;
 use fs_tcu::mma::round_operand;
 use fs_tcu::{AnalyticCounter, KernelCounters, MmaShape, TrafficClass};
-use rayon::prelude::*;
+use rayon::steal;
 
+use crate::pipeline::SchedMode;
 use crate::sddmm::VEC_GROUP;
 use crate::spmm::N_TILE;
 use crate::thread_map::{block_request_spans, RequestSpan, ThreadMapping};
 use crate::variant::TcuPrecision;
 
-/// Row windows per parallel work unit. Small matrices stop paying
-/// per-window task overhead; large ones still expose plenty of
-/// parallelism (see DESIGN.md §9 for the measurement behind the value).
+/// Row windows per sequential work unit (the `window_batch` span
+/// granularity). Small matrices stop paying per-window span overhead;
+/// large ones still expose plenty of parallelism (see DESIGN.md §9 for
+/// the measurement behind the value). The work-stealing scheduler
+/// ignores this and schedules single windows, weighted by population.
 pub(crate) const WINDOW_BATCH: usize = 8;
 
 /// Reusable per-thread scratch for the fused kernels.
@@ -93,6 +96,18 @@ fn ensure_valid<S: Scalar>(m: &MeBcrs<S>) {
     }
 }
 
+/// Forward the pool's steal observations to the trace registry (a
+/// relaxed load and nothing else when disarmed or steal-free).
+fn record_steals(stats: &steal::StealStats) {
+    if stats.steals == 0 {
+        return;
+    }
+    fs_trace::add(fs_trace::TraceCounter::Steals, stats.steals);
+    for d in &stats.steal_durations {
+        fs_trace::record_duration(fs_trace::Site::PipelineSteal, *d);
+    }
+}
+
 /// Fused SpMM (`C = A × B`), bit-identical to the simulated kernel.
 /// Dimension/spec assertions are the dispatching caller's job.
 pub(crate) fn spmm_fast<S: TcuPrecision>(
@@ -101,31 +116,67 @@ pub(crate) fn spmm_fast<S: TcuPrecision>(
     mapping: ThreadMapping,
     shape: MmaShape,
 ) -> (DenseMatrix<S>, KernelCounters) {
+    spmm_fast_sched(a, b, mapping, shape, SchedMode::auto())
+}
+
+/// [`spmm_fast`] with an explicit window scheduler.
+pub(crate) fn spmm_fast_sched<S: TcuPrecision>(
+    a: &MeBcrs<S>,
+    b: &DenseMatrix<S>,
+    mapping: ThreadMapping,
+    shape: MmaShape,
+    sched: SchedMode,
+) -> (DenseMatrix<S>, KernelCounters) {
+    let mut out = DenseMatrix::<S>::zeros(a.rows(), b.cols());
+    let counters = spmm_fast_into(a, b, mapping, shape, out.as_mut_slice(), sched);
+    (out, counters)
+}
+
+/// Fused SpMM into a caller-owned `rows × n` output slice — the slab
+/// entry point the overlapped cold path uses to execute one translated
+/// row-window slab directly into its region of the full output.
+pub(crate) fn spmm_fast_into<S: TcuPrecision>(
+    a: &MeBcrs<S>,
+    b: &DenseMatrix<S>,
+    mapping: ThreadMapping,
+    shape: MmaShape,
+    out: &mut [S],
+    sched: SchedMode,
+) -> KernelCounters {
     ensure_valid(a);
     let v = shape.n;
     let n = b.cols();
     let rows = a.rows();
-    let mut out = DenseMatrix::<S>::zeros(rows, n);
+    assert_eq!(out.len(), rows * n, "output slice must be rows × n");
     if n == 0 || rows == 0 {
-        return (out, KernelCounters::default());
+        return KernelCounters::default();
     }
     let load_spans = block_request_spans(mapping, shape.k);
     let store_spans = block_request_spans(mapping, 8);
 
-    let counters = out
-        .as_mut_slice()
-        .par_chunks_mut(WINDOW_BATCH * v * n)
-        .enumerate()
-        .map(|(chunk, windows)| {
-            let _span = fs_trace::span(fs_trace::Site::WindowBatch);
-            SCRATCH.with(|cell| {
-                let scratch = &mut *cell.borrow_mut();
-                let mut counters = KernelCounters::default();
-                for (i, out_window) in windows.chunks_mut(v * n).enumerate() {
+    // Exact per-window output slices: every window (including the ragged
+    // final one) gets its true `window_rows × n` length, so no work unit
+    // spans output slots for windows that don't exist.
+    let mut windows: Vec<(usize, &mut [S])> = Vec::with_capacity(a.num_windows());
+    let mut rest = out;
+    for w in 0..a.num_windows() {
+        let len = (rows - w * v).min(v) * n;
+        let (head, tail) = rest.split_at_mut(len);
+        windows.push((w, head));
+        rest = tail;
+    }
+
+    match sched {
+        SchedMode::Sequential => SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            let mut counters = KernelCounters::default();
+            for group in windows.chunks_mut(WINDOW_BATCH) {
+                let _span = fs_trace::span(fs_trace::Site::WindowBatch);
+                for (w, out_window) in group.iter_mut() {
                     spmm_window(
                         a,
                         b,
-                        chunk * WINDOW_BATCH + i,
+                        *w,
                         out_window,
                         shape,
                         &load_spans,
@@ -134,12 +185,37 @@ pub(crate) fn spmm_fast<S: TcuPrecision>(
                         &mut counters,
                     );
                 }
-                counters
-            })
-        })
-        .sum();
-
-    (out, counters)
+            }
+            counters
+        }),
+        SchedMode::WorkStealing { workers } => {
+            let tasks: Vec<(u64, (usize, &mut [S]))> = windows
+                .into_iter()
+                .map(|(w, slice)| (a.vectors_in_window(w) as u64 + 1, (w, slice)))
+                .collect();
+            let (parts, stats) = steal::run(workers, tasks, |(w, out_window)| {
+                let _span = fs_trace::span(fs_trace::Site::WindowBatch);
+                SCRATCH.with(|cell| {
+                    let scratch = &mut *cell.borrow_mut();
+                    let mut counters = KernelCounters::default();
+                    spmm_window(
+                        a,
+                        b,
+                        w,
+                        out_window,
+                        shape,
+                        &load_spans,
+                        &store_spans,
+                        scratch,
+                        &mut counters,
+                    );
+                    counters
+                })
+            });
+            record_steals(&stats);
+            parts.into_iter().sum()
+        }
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -320,37 +396,61 @@ pub(crate) fn sddmm_fast<S: TcuPrecision>(
     a: &DenseMatrix<S>,
     b: &DenseMatrix<S>,
 ) -> (MeBcrs<S>, KernelCounters) {
+    sddmm_fast_sched(mask, a, b, SchedMode::auto())
+}
+
+/// [`sddmm_fast`] with an explicit window scheduler.
+pub(crate) fn sddmm_fast_sched<S: TcuPrecision>(
+    mask: &MeBcrs<S>,
+    a: &DenseMatrix<S>,
+    b: &DenseMatrix<S>,
+    sched: SchedMode,
+) -> (MeBcrs<S>, KernelCounters) {
     ensure_valid(mask);
     let v = S::SHAPE.n;
     let num_windows = mask.num_windows();
     let mut values = vec![S::ZERO; mask.values().len()];
 
     // Each window owns a disjoint slice of the output values array.
-    let mut slices: Vec<&mut [S]> = Vec::with_capacity(num_windows);
+    let mut slices: Vec<(usize, &mut [S])> = Vec::with_capacity(num_windows);
     let mut rest = values.as_mut_slice();
     for w in 0..num_windows {
         let len = (mask.window_ptr()[w + 1] - mask.window_ptr()[w]) * v;
         let (head, tail) = rest.split_at_mut(len);
-        slices.push(head);
+        slices.push((w, head));
         rest = tail;
     }
 
-    let counters = slices
-        .as_mut_slice()
-        .par_chunks_mut(WINDOW_BATCH)
-        .enumerate()
-        .map(|(chunk, windows)| {
-            let _span = fs_trace::span(fs_trace::Site::WindowBatch);
-            SCRATCH.with(|cell| {
-                let scratch = &mut *cell.borrow_mut();
-                let mut counters = KernelCounters::default();
-                for (i, out) in windows.iter_mut().enumerate() {
-                    sddmm_window(mask, a, b, chunk * WINDOW_BATCH + i, out, scratch, &mut counters);
+    let counters = match sched {
+        SchedMode::Sequential => SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            let mut counters = KernelCounters::default();
+            for group in slices.chunks_mut(WINDOW_BATCH) {
+                let _span = fs_trace::span(fs_trace::Site::WindowBatch);
+                for (w, out) in group.iter_mut() {
+                    sddmm_window(mask, a, b, *w, out, scratch, &mut counters);
                 }
-                counters
-            })
-        })
-        .sum();
+            }
+            counters
+        }),
+        SchedMode::WorkStealing { workers } => {
+            let tasks: Vec<(u64, (usize, &mut [S]))> = slices
+                .into_iter()
+                .map(|(w, slice)| (mask.vectors_in_window(w) as u64 + 1, (w, slice)))
+                .collect();
+            let (parts, stats) = steal::run(workers, tasks, |(w, out)| {
+                let _span = fs_trace::span(fs_trace::Site::WindowBatch);
+                SCRATCH.with(|cell| {
+                    let scratch = &mut *cell.borrow_mut();
+                    let mut counters = KernelCounters::default();
+                    sddmm_window(mask, a, b, w, out, scratch, &mut counters);
+                    counters
+                })
+            });
+            record_steals(&stats);
+            parts.into_iter().sum()
+        }
+    };
 
     (mask.with_values(values), counters)
 }

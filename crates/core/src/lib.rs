@@ -22,6 +22,11 @@
 //!   fragment materialization or transaction replay. The mode is selected
 //!   automatically — `Fast` whenever sanitize and chaos are both off —
 //!   and can be forced via the `*_with_mode` variants.
+//! * **Pipelined execution** ([`pipeline`]): a weighted work-stealing
+//!   window scheduler for the fast path ([`SchedMode`], bit-identical to
+//!   sequential execution) and a translate/compute overlap
+//!   ([`spmm_overlapped`]) that runs SpMM straight from CSR while the
+//!   ME-BCRS translation streams in slab by slab.
 //!
 //! Kernels execute on the [`fs_tcu`] warp-level tensor-core simulator:
 //! results are numerically faithful to the hardware datapath (FP16/TF32
@@ -46,6 +51,7 @@
 pub mod api;
 pub mod dispatch;
 mod fast;
+pub mod pipeline;
 pub mod resilient;
 mod sanitize_hooks;
 pub mod sddmm;
@@ -57,6 +63,9 @@ pub mod variant;
 pub use api::FlashSparseMatrix;
 pub use dispatch::TranslatedMatrix;
 pub use fs_tcu::ExecMode;
+pub use pipeline::{
+    sddmm_with_sched, spmm_fp16_k16_with_sched, spmm_overlapped, spmm_with_sched, SchedMode,
+};
 pub use resilient::{
     outputs_match, spmm_resilient, verify_sampled_rows, FallbackLevel, ResilientReport,
     VerifyPolicy, DEFAULT_TOLERANCE,

@@ -194,6 +194,24 @@ impl<S: Scalar> CsrMatrix<S> {
         }
     }
 
+    /// The submatrix of rows `lo..hi` (same column space), with row
+    /// pointers rebased to the slice. Generalizes [`Self::head_rows`];
+    /// the pipelined cold path translates and executes row-window slabs
+    /// through this so format conversion overlaps compute.
+    pub fn slice_rows(&self, lo: usize, hi: usize) -> CsrMatrix<S> {
+        let hi = hi.min(self.rows);
+        let lo = lo.min(hi);
+        let start = self.row_ptr[lo];
+        let end = self.row_ptr[hi];
+        CsrMatrix {
+            rows: hi - lo,
+            cols: self.cols,
+            row_ptr: self.row_ptr[lo..=hi].iter().map(|&p| p - start).collect(),
+            col_idx: self.col_idx[start..end].to_vec(),
+            values: self.values[start..end].to_vec(),
+        }
+    }
+
     /// Replace all values with ones (adjacency-style pattern matrix).
     pub fn with_unit_values(&self) -> CsrMatrix<S> {
         let mut out = self.clone();

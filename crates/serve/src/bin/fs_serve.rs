@@ -4,13 +4,18 @@
 //! fs-serve [--addr 127.0.0.1:7949] [--workers 4] [--cache-mb 256]
 //!          [--queue-cap 256] [--max-batch 16] [--deadline-ms 5000]
 //!          [--max-dim N] [--max-matrices N] [--max-matrix-mb MB]
-//!          [--gpu 4090|h100] [--cold] [--verify] [--chaos PLAN]
-//!          [--trace] [--trace-out FILE]
+//!          [--gpu 4090|h100] [--cold] [--no-pipeline] [--verify]
+//!          [--chaos PLAN] [--trace] [--trace-out FILE]
 //! ```
 //!
 //! `--cold` disables the translated-format cache (budget 0) so every
 //! request pays translation + tuning — the baseline the load generator
 //! compares warm serving against.
+//!
+//! `--no-pipeline` disables the overlapped cold path: cache misses pay
+//! the full auto-tune + translate latency up front (the pre-pipeline
+//! behavior), instead of answering immediately from the FALLBACK
+//! variant while the translation streams in slab by slab.
 //!
 //! `--verify` checks every response against the scalar reference and
 //! walks the fallback ladder on mismatch. `--chaos PLAN` installs a
@@ -34,8 +39,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: fs-serve [--addr HOST:PORT] [--workers N] [--cache-mb MB] [--queue-cap N]\n\
          \x20               [--max-batch N] [--deadline-ms MS] [--max-dim N] [--max-matrices N]\n\
-         \x20               [--max-matrix-mb MB] [--gpu 4090|h100] [--cold] [--verify]\n\
-         \x20               [--chaos PLAN] [--trace] [--trace-out FILE]"
+         \x20               [--max-matrix-mb MB] [--gpu 4090|h100] [--cold] [--no-pipeline]\n\
+         \x20               [--verify] [--chaos PLAN] [--trace] [--trace-out FILE]"
     );
     std::process::exit(2);
 }
@@ -70,6 +75,7 @@ fn apply_flag(
             other => return Err(format!("invalid value {other:?} for --gpu (4090|h100)")),
         },
         "--cold" => cfg.engine.cold = true,
+        "--no-pipeline" => cfg.engine.pipeline = false,
         "--verify" => cfg.engine.verify = true,
         "--chaos" => *chaos = Some(p.typed(flag)?),
         "--trace" => trace.armed = true,

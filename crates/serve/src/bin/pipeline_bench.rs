@@ -1,0 +1,133 @@
+//! Cold-request latency: classic cold path (auto-tune + translate on
+//! the critical path) vs the pipelined cold path (overlapped FALLBACK
+//! execution, tuning deferred to the background).
+//!
+//! ```text
+//! pipeline_bench [--out BENCH_pipeline.json] [--requests N] [--rows N] [--n N]
+//! ```
+//!
+//! Both engines run in-process (no TCP), single worker, with the format
+//! cache disabled (`cold`) so *every* request pays its configuration's
+//! full cold cost — the measurement isolates exactly the latency the
+//! overlapped engine removes from the miss path. The JSON report carries
+//! `cold_speedup_p95`, the number ci.sh gates at ≥ 1.5×.
+
+use std::time::Instant;
+
+use fs_matrix::gen::{rmat, RmatConfig};
+use fs_matrix::{CsrMatrix, DenseMatrix};
+use fs_serve::{EngineConfig, FlagParser, ServeEngine, SpmmOutcome, SpmmRequest};
+
+const WARMUP: usize = 3;
+
+fn usage() -> ! {
+    eprintln!("usage: pipeline_bench [--out FILE] [--requests N] [--rows N] [--n N]");
+    std::process::exit(2);
+}
+
+/// Drive `count` timed requests through a fresh cold engine; returns
+/// per-request latencies in microseconds.
+fn cold_latencies(pipeline: bool, csr: &CsrMatrix<f32>, n: usize, count: usize) -> Vec<u64> {
+    let engine = ServeEngine::start(EngineConfig {
+        workers: 1,
+        cold: true,
+        pipeline,
+        ..EngineConfig::default()
+    });
+    let info = engine.register_matrix("bench", csr.clone()).expect("registered"); // lint: allow-panic - bench setup; a failed registration is fatal
+    let b = DenseMatrix::from_f32_slice(
+        csr.cols(),
+        n,
+        &(0..csr.cols() * n).map(|i| ((i % 11) as f32 - 5.0) * 0.125).collect::<Vec<f32>>(),
+    );
+    let request = || {
+        let t0 = Instant::now();
+        let outcome = engine.spmm_blocking(SpmmRequest {
+            tenant: "bench".to_string(),
+            matrix_id: info.id,
+            b: b.clone(),
+            deadline: None,
+        });
+        assert!(matches!(outcome, Ok(SpmmOutcome::Done(_))), "{outcome:?}");
+        t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64
+    };
+    for _ in 0..WARMUP {
+        request();
+    }
+    let mut out: Vec<u64> = (0..count).map(|_| request()).collect();
+    engine.shutdown();
+    out.sort_unstable();
+    out
+}
+
+fn main() {
+    let mut p = FlagParser::from_env();
+    let mut out_path = "BENCH_pipeline.json".to_string();
+    let mut requests = 25usize;
+    let mut rows = 2048usize;
+    let mut n = 32usize;
+    while let Some(flag) = p.next_flag() {
+        let r = match flag.as_str() {
+            "--help" | "-h" => usage(),
+            "--out" => p.value(&flag).map(|v| out_path = v),
+            "--requests" => p.typed(&flag).map(|v| requests = v),
+            "--rows" => p.typed(&flag).map(|v| rows = v),
+            "--n" => p.typed(&flag).map(|v| n = v),
+            other => {
+                eprintln!("pipeline_bench: unknown flag {other}");
+                usage();
+            }
+        };
+        if let Err(msg) = r {
+            eprintln!("pipeline_bench: {msg}");
+            usage();
+        }
+    }
+    let requests = requests.max(1);
+
+    // A power-law graph spanning many row windows, so the overlapped
+    // engine streams multiple slabs (SLAB_WINDOWS x 8 rows each).
+    let scale = rows.next_power_of_two().trailing_zeros();
+    let csr = CsrMatrix::from_coo(&rmat::<f32>(scale, 8, RmatConfig::GRAPH500, true, 42));
+    println!(
+        "pipeline_bench: {}x{} nnz={} n={} requests={} (+{WARMUP} warmup) per engine",
+        csr.rows(),
+        csr.cols(),
+        csr.nnz(),
+        n,
+        requests
+    );
+
+    let seq = cold_latencies(false, &csr, n, requests);
+    let pipe = cold_latencies(true, &csr, n, requests);
+    let (seq_p50, seq_p95) = (fs_serve::percentile(&seq, 50.0), fs_serve::percentile(&seq, 95.0));
+    let (pipe_p50, pipe_p95) =
+        (fs_serve::percentile(&pipe, 50.0), fs_serve::percentile(&pipe, 95.0));
+    let speedup = |a: u64, b: u64| a as f64 / b.max(1) as f64;
+
+    let mut w = fs_trace::export::JsonWriter::new();
+    w.begin_object();
+    w.field_u64("rows", csr.rows() as u64);
+    w.field_u64("cols", csr.cols() as u64);
+    w.field_u64("nnz", csr.nnz() as u64);
+    w.field_u64("n", n as u64);
+    w.field_u64("requests", requests as u64);
+    w.field_u64("cold_seq_p50_us", seq_p50);
+    w.field_u64("cold_seq_p95_us", seq_p95);
+    w.field_u64("cold_pipeline_p50_us", pipe_p50);
+    w.field_u64("cold_pipeline_p95_us", pipe_p95);
+    w.field_f64("cold_speedup_p50", speedup(seq_p50, pipe_p50));
+    w.field_f64("cold_speedup_p95", speedup(seq_p95, pipe_p95));
+    w.end_object();
+    let json = w.finish();
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("pipeline_bench: failed to write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!(
+        "pipeline_bench: cold p95 {seq_p95}us -> {pipe_p95}us ({:.2}x), p50 {seq_p50}us -> {pipe_p50}us ({:.2}x)",
+        speedup(seq_p95, pipe_p95),
+        speedup(seq_p50, pipe_p50),
+    );
+    println!("pipeline_bench: wrote {out_path}");
+}

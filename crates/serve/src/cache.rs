@@ -163,6 +163,19 @@ impl FormatCache {
         format
     }
 
+    /// Insert-or-overwrite: like [`FormatCache::insert`] but a resident
+    /// entry under the same fingerprint is replaced instead of kept. The
+    /// background tuner uses this to upgrade a FALLBACK-variant entry
+    /// (staged by the overlapped cold path) to the auto-tuned one —
+    /// `insert`'s keep-the-resident race resolution would silently drop
+    /// the upgrade. Not a lookup: hit/miss counters are untouched.
+    pub fn replace(&mut self, fp: Fingerprint, format: CachedFormat) -> Arc<CachedFormat> {
+        if let Some(slot) = self.entries.remove(&fp) {
+            self.resident_bytes -= slot.footprint;
+        }
+        self.insert(fp, format)
+    }
+
     /// Evict the least-recently-used entry. Returns false when empty.
     fn evict_lru(&mut self) -> bool {
         let victim = self.entries.iter().min_by_key(|(_, s)| s.last_used).map(|(fp, _)| *fp);
@@ -283,6 +296,25 @@ mod tests {
         assert!(Arc::ptr_eq(&first, &second));
         assert_eq!(cache.resident_bytes(), before);
         assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn replace_overwrites_the_resident_entry() {
+        let (fp, e1) = entry(7, 48);
+        let (_, e2) = entry(7, 48);
+        let mut cache = FormatCache::new(64 << 20);
+        let first = cache.insert(fp, e1);
+        let stats_before = cache.stats();
+        let second = cache.replace(fp, e2);
+        assert!(!Arc::ptr_eq(&first, &second), "replace must hand out the new entry");
+        let got = cache.get(&fp).expect("entry stays resident");
+        assert!(Arc::ptr_eq(&got, &second));
+        let s = cache.stats();
+        assert_eq!(s.entries, 1);
+        // replace is not a lookup: only our explicit get() above moved the counters.
+        assert_eq!(s.misses, stats_before.misses);
+        assert_eq!(s.hits, stats_before.hits + 1);
+        assert!(cache.resident_bytes() <= cache.budget_bytes());
     }
 
     #[test]

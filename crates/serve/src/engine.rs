@@ -32,7 +32,8 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use flashsparse::{
-    auto_tune, spmm_resilient, ExecMode, FallbackLevel, TranslatedMatrix, TuneChoice, VerifyPolicy,
+    auto_tune, spmm_overlapped, spmm_resilient, ExecMode, FallbackLevel, SchedMode,
+    TranslatedMatrix, TuneChoice, VerifyPolicy,
 };
 use fs_chaos::{BreakerConfig, CircuitBreaker, FaultSite};
 use fs_matrix::{CsrMatrix, DenseMatrix};
@@ -66,6 +67,14 @@ pub struct EngineConfig {
     /// request pays translation + tuning (the baseline the ≥5× serving
     /// speedup is measured against).
     pub cold: bool,
+    /// Overlapped cold path: on a cache miss, answer the request by
+    /// running SpMM straight from the registered CSR with the FALLBACK
+    /// variant while the ME-BCRS translation streams in slab by slab
+    /// ([`flashsparse::spmm_overlapped`]), instead of paying the full
+    /// auto-tune + translate latency up front. A background thread then
+    /// upgrades the cached entry to the auto-tuned variant. Ignored when
+    /// `verify` is on or the simulator path is active.
+    pub pipeline: bool,
     /// Simulated GPU the auto-tuner scores candidates on.
     pub gpu: GpuSpec,
     /// Verify every response against the scalar reference on sampled
@@ -96,6 +105,7 @@ impl Default for EngineConfig {
             max_matrices: 1024,
             max_matrix_bytes: 1 << 30,
             cold: false,
+            pipeline: true,
             gpu: GpuSpec::RTX4090,
             verify: false,
             verify_sample_rows: 0,
@@ -317,6 +327,10 @@ struct Inner {
     exec_fast: AtomicU64,
     exec_simulate: AtomicU64,
     validate_skips: AtomicU64,
+    overlaps: AtomicU64,
+    /// Background format-upgrade threads spawned by the overlapped cold
+    /// path; reaped opportunistically and joined on shutdown.
+    background: Mutex<Vec<thread::JoinHandle<()>>>,
 }
 
 impl Inner {
@@ -364,6 +378,8 @@ impl ServeEngine {
             exec_fast: AtomicU64::new(0),
             exec_simulate: AtomicU64::new(0),
             validate_skips: AtomicU64::new(0),
+            overlaps: AtomicU64::new(0),
+            background: Mutex::new(Vec::new()),
         });
         let workers = Arc::new(Mutex::new(
             (0..cfg.workers).map(|_| Some(spawn_worker(Arc::clone(&inner)))).collect::<Vec<_>>(),
@@ -599,6 +615,12 @@ impl ServeEngine {
         )
     }
 
+    /// Overlapped cold-path executions: one per cache-missing batch the
+    /// pipelined engine answered via [`spmm_overlapped`].
+    pub fn overlap_count(&self) -> u64 {
+        self.inner.overlaps.load(Ordering::Relaxed)
+    }
+
     /// Circuit-breaker trips summed over every registered matrix.
     pub fn breaker_trips(&self) -> u64 {
         self.inner.breakers.lock().values().map(CircuitBreaker::trips).sum()
@@ -634,6 +656,7 @@ impl ServeEngine {
              \"breaker_trips\":{},\"breaker_bypasses\":{breaker_bypasses}}},\
              \"exec\":{{\"fast\":{exec_fast},\"simulate\":{exec_simulate},\
              \"validate_skips\":{validate_skips}}},\
+             \"pipeline\":{{\"enabled\":{},\"overlaps\":{}}},\
              \"chaos\":{{\"enabled\":{},\"plan\":{chaos_plan},\"faults\":{}}},\
              \"trace\":{{\"armed\":{},\"spans\":{}}},\
              \"tenants\":{tenants}}}",
@@ -649,6 +672,8 @@ impl ServeEngine {
             self.worker_respawns(),
             cfg.verify,
             self.breaker_trips(),
+            cfg.pipeline,
+            self.overlap_count(),
             fs_chaos::chaos_enabled(),
             fs_chaos::report().to_json(),
             fs_trace::trace_enabled(),
@@ -667,6 +692,12 @@ impl ServeEngine {
         let handles: Vec<thread::JoinHandle<()>> =
             self.workers.lock().iter_mut().filter_map(Option::take).collect();
         for h in handles {
+            let _ = h.join();
+        }
+        // Join background tuners after the workers: the shutdown flag is
+        // already set, so each one bails at its next checkpoint.
+        let tuners: Vec<thread::JoinHandle<()>> = self.inner.background.lock().drain(..).collect();
+        for h in tuners {
             let _ = h.join();
         }
         // Belt and braces for the submit/shutdown race: fail any job that
@@ -905,10 +936,35 @@ fn execute_batch(inner: &Arc<Inner>, batch: &[Job]) -> (Vec<Executed>, bool) {
     }
 
     let n_hint = batch[0].b.cols().max(1);
-    let (format, cache_hit) = resolve_format(inner, &reg, n_hint);
     // One mode decision per batch: the switches it reads are process-wide
     // and launch-independent, so every launch below shares it.
     let mode = ExecMode::auto();
+    // The overlapped cold path only serves plain fast-mode SpMM: verify
+    // needs the resilient ladder, simulate needs the classic dispatch,
+    // and poison test hooks must panic inside the ordinary batch body.
+    let overlap_ok = inner.cfg.pipeline
+        && !inner.cfg.verify
+        && mode.is_fast()
+        && batch.iter().all(|j| j.op == JobOp::Spmm);
+    let (format, cache_hit) = if overlap_ok {
+        // Peek the cache directly: a hit is the ordinary warm path, a
+        // miss hands the whole batch to the overlapped engine (which
+        // does its own translate), so resolve_format's tune+translate
+        // must not run here.
+        let peek = inner.cache.lock().get(&reg.fingerprint);
+        match peek {
+            Some(hit) => {
+                fs_trace::add(fs_trace::TraceCounter::CacheHits, 1);
+                (hit, true)
+            }
+            None => {
+                fs_trace::add(fs_trace::TraceCounter::CacheMisses, 1);
+                return execute_overlapped(inner, &reg, batch, n_hint);
+            }
+        }
+    } else {
+        resolve_format(inner, &reg, n_hint)
+    };
     match mode {
         ExecMode::Fast => inner.exec_fast.fetch_add(batch.len() as u64, Ordering::Relaxed),
         ExecMode::Simulate => inner.exec_simulate.fetch_add(batch.len() as u64, Ordering::Relaxed),
@@ -946,6 +1002,89 @@ fn execute_batch(inner: &Arc<Inner>, batch: &[Job]) -> (Vec<Executed>, bool) {
         })
         .collect();
     (outputs, cache_hit)
+}
+
+/// The overlapped cold path: the first request of the batch executes via
+/// [`spmm_overlapped`] — SpMM runs over ME-BCRS slabs as the translation
+/// of the *next* slab proceeds concurrently, with no auto-tune on the
+/// critical path — and the remaining requests reuse the assembled
+/// translation. The FALLBACK-variant result is cached immediately so the
+/// very next request hits, and a background thread upgrades the entry to
+/// the auto-tuned variant. Responses carry `FallbackLevel::Default`
+/// because that is what ran: the default variant, not the tuned one.
+fn execute_overlapped(
+    inner: &Arc<Inner>,
+    reg: &Arc<Registered>,
+    batch: &[Job],
+    n_hint: usize,
+) -> (Vec<Executed>, bool) {
+    inner.overlaps.fetch_add(1, Ordering::Relaxed);
+    inner.exec_fast.fetch_add(batch.len() as u64, Ordering::Relaxed);
+    let choice = TuneChoice::FALLBACK;
+    let sched = SchedMode::auto();
+    let (first_out, first_counters, translated) =
+        spmm_overlapped(&reg.csr, &batch[0].b, &choice, sched);
+    let format = CachedFormat { translated, choice };
+    if format.translated.is_validated() {
+        // The slab translations were validated as they streamed in; the
+        // assembled format keeps the witness, so every launch in this
+        // batch skips the per-launch validation walk.
+        inner.validate_skips.fetch_add(batch.len() as u64, Ordering::Relaxed);
+    }
+    let mut outputs = Vec::with_capacity(batch.len());
+    outputs.push(Executed {
+        out: first_out,
+        counters: first_counters,
+        fallback_level: FallbackLevel::Default,
+        verified: false,
+    });
+    for job in &batch[1..] {
+        let (out, counters) = format.translated.spmm_f32(&job.b, choice.mapping);
+        outputs.push(Executed {
+            out,
+            counters,
+            fallback_level: FallbackLevel::Default,
+            verified: false,
+        });
+    }
+    if !inner.cfg.cold {
+        inner.cache.lock().insert(reg.fingerprint, format);
+        spawn_background_tune(inner, Arc::clone(reg), n_hint);
+    }
+    (outputs, false)
+}
+
+/// Upgrade the cached FALLBACK entry to the auto-tuned variant off the
+/// request path. Shutdown is checked before each expensive step so a
+/// draining engine is not held up by a tuner mid-flight; a failed spawn
+/// just skips the upgrade (the FALLBACK entry keeps serving).
+fn spawn_background_tune(inner: &Arc<Inner>, reg: Arc<Registered>, n_hint: usize) {
+    let tuner_inner = Arc::clone(inner);
+    let spawned = thread::Builder::new().name("fs-serve-tuner".to_string()).spawn(move || {
+        if tuner_inner.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let choice = auto_tune(&reg.csr, n_hint, tuner_inner.cfg.gpu);
+        if tuner_inner.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let translated = TranslatedMatrix::translate(&reg.csr, &choice);
+        tuner_inner.cache.lock().replace(reg.fingerprint, CachedFormat { translated, choice });
+    });
+    let Ok(handle) = spawned else { return };
+    // Reap finished tuners while we hold the lock anyway, so the handle
+    // vector stays bounded by the number of in-flight upgrades.
+    let mut background = inner.background.lock();
+    let mut keep = Vec::with_capacity(background.len() + 1);
+    for h in background.drain(..) {
+        if h.is_finished() {
+            let _ = h.join();
+        } else {
+            keep.push(h);
+        }
+    }
+    keep.push(handle);
+    *background = keep;
 }
 
 fn breaker_bypasses(inner: &Arc<Inner>, matrix_id: u64) -> bool {
@@ -1263,6 +1402,77 @@ mod tests {
         assert!(j.contains("\"tenants\":{\"t0\":{"));
         assert!(j.contains("\"counters\":{\"mma_count\":"));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
+        e.shutdown();
+    }
+
+    #[test]
+    fn cold_miss_takes_the_overlapped_path() {
+        let (e, info, csr) = engine(EngineConfig::default());
+        let first = e.spmm_blocking(request(&info, 16)).expect("admitted");
+        let SpmmOutcome::Done(resp) = first else { panic!("expected Done") };
+        // The miss ran the overlapped engine: FALLBACK variant, honest
+        // fallback level, correct numbers, no cache hit.
+        assert!(!resp.cache_hit);
+        assert_eq!(resp.fallback_level, FallbackLevel::Default);
+        assert_eq!(e.overlap_count(), 1);
+        assert!(resp.counters.mma_count > 0);
+        let reference = csr.spmm_reference(&request(&info, 16).b);
+        assert!(resp.out.max_abs_diff(&reference) < 0.6);
+        // The assembled format was cached: the next request hits and
+        // does not overlap again.
+        let second = e.spmm_blocking(request(&info, 16)).expect("admitted");
+        let SpmmOutcome::Done(resp2) = second else { panic!("expected Done") };
+        assert!(resp2.cache_hit);
+        assert_eq!(e.overlap_count(), 1);
+        let j = e.metrics_json();
+        assert!(j.contains("\"pipeline\":{\"enabled\":true,\"overlaps\":1}"), "{j}");
+        e.shutdown();
+    }
+
+    #[test]
+    fn pipeline_off_restores_the_classic_cold_path() {
+        let (e, info, _) = engine(EngineConfig { pipeline: false, ..EngineConfig::default() });
+        for _ in 0..2 {
+            let outcome = e.spmm_blocking(request(&info, 16)).expect("admitted");
+            let SpmmOutcome::Done(resp) = outcome else { panic!("expected Done") };
+            assert_eq!(resp.fallback_level, FallbackLevel::Tuned);
+        }
+        assert_eq!(e.overlap_count(), 0);
+        assert!(e.metrics_json().contains("\"pipeline\":{\"enabled\":false,\"overlaps\":0}"));
+        e.shutdown();
+    }
+
+    #[test]
+    fn background_tuner_upgrades_the_cached_entry() {
+        let (e, info, _) = engine(EngineConfig::default());
+        let outcome = e.spmm_blocking(request(&info, 16)).expect("admitted");
+        assert!(matches!(outcome, SpmmOutcome::Done(_)));
+        // The overlapped miss cached the FALLBACK entry (sampled_time 0);
+        // the background tuner replaces it with the auto-tuned one, whose
+        // cost-model sample is always positive.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let upgraded = loop {
+            let entry = e.inner.cache.lock().get(&info.fingerprint);
+            let tuned = entry.is_some_and(|f| f.choice.sampled_time > 0.0);
+            if tuned || Instant::now() > deadline {
+                break tuned;
+            }
+            thread::sleep(Duration::from_millis(10));
+        };
+        assert!(upgraded, "background tuner never replaced the FALLBACK entry");
+        assert_eq!(e.cache_stats().entries, 1, "upgrade replaces, never duplicates");
+        e.shutdown();
+    }
+
+    #[test]
+    fn cold_engine_overlaps_every_request_and_spawns_no_tuner() {
+        let (e, info, _) = engine(EngineConfig { cold: true, ..EngineConfig::default() });
+        for _ in 0..3 {
+            let outcome = e.spmm_blocking(request(&info, 8)).expect("admitted");
+            assert!(matches!(outcome, SpmmOutcome::Done(_)));
+        }
+        assert_eq!(e.overlap_count(), 3);
+        assert!(e.inner.background.lock().is_empty(), "cold engines never tune in background");
         e.shutdown();
     }
 

@@ -74,5 +74,5 @@ pub use engine::{
     EngineConfig, RegisterError, ServeEngine, SpmmOutcome, SpmmRequest, SpmmResponse, SubmitError,
 };
 pub use fingerprint::Fingerprint;
-pub use loadgen::{LoadReport, LoadgenConfig, MatrixSpec};
+pub use loadgen::{percentile, LoadReport, LoadgenConfig, MatrixSpec};
 pub use server::{Server, ServerConfig, DEFAULT_MAX_LOAD_DIM};

@@ -145,6 +145,14 @@ pub struct LoadReport {
     pub p99_us: u64,
     /// Mean latency.
     pub mean_us: u64,
+    /// Completed requests NOT served from the format cache — each paid
+    /// the cold path (translate + tune, or the pipelined overlap).
+    pub cold_requests: u64,
+    /// 99th percentile latency over cold requests only. The headline
+    /// percentiles mix the one-per-matrix cold requests into the warm
+    /// steady state, where they vanish at p50/p95 on long runs; this
+    /// field is the number the pipelined cold path is gated on.
+    pub cold_p99_us: u64,
     /// Largest micro-batch any response reported.
     pub max_batch: u64,
     /// Chaos mode: completed responses whose numbers did not match the
@@ -221,6 +229,8 @@ impl LoadReport {
         w.field_u64("p95_us", self.p95_us);
         w.field_u64("p99_us", self.p99_us);
         w.field_u64("mean_us", self.mean_us);
+        w.field_u64("cold_requests", self.cold_requests);
+        w.field_u64("cold_p99_us", self.cold_p99_us);
         w.field_u64("max_batch", self.max_batch);
         w.field_u64("wrong", self.wrong);
         w.field_u64("retried", self.retried);
@@ -316,6 +326,9 @@ struct WorkerTally {
     /// Second-of-run (floor) of each degraded completion, for the
     /// report's per-second timeline.
     degraded_seconds: Vec<u64>,
+    /// Latencies of responses that missed the format cache (plain mode
+    /// only; cluster responses do not carry the per-shard hit bit).
+    cold_latencies: Vec<u64>,
 }
 
 /// Chaos-mode response check: the served numbers against the scalar
@@ -462,6 +475,7 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadReport, String> {
                 degraded: 0,
                 shard_failures: 0,
                 degraded_seconds: Vec::new(),
+                cold_latencies: Vec::new(),
             };
             let mut backoff = Backoff::for_client(w as u64);
             let mut client = match ServeClient::connect_with_retry(&cfg.addr, cfg.ready_timeout) {
@@ -567,6 +581,8 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadReport, String> {
                         tally.latencies.push(us);
                         if resp.cache_hit {
                             tally.cache_hits += 1;
+                        } else {
+                            tally.cold_latencies.push(us);
                         }
                         tally.max_batch = tally.max_batch.max(resp.batch_size as u64);
                         if resp.fallback_level != FallbackLevel::Tuned {
@@ -599,6 +615,7 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadReport, String> {
     }
 
     let mut latencies: Vec<u64> = Vec::new();
+    let mut cold_latencies: Vec<u64> = Vec::new();
     let mut degraded_seconds: Vec<u64> = Vec::new();
     let mut report = LoadReport {
         mode: if cfg.open_rps.is_some() { "open" } else { "closed" }.to_string(),
@@ -608,6 +625,7 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadReport, String> {
         match h.join() {
             Ok(t) => {
                 latencies.extend(t.latencies);
+                cold_latencies.extend(t.cold_latencies);
                 degraded_seconds.extend(t.degraded_seconds);
                 report.rejected += t.rejected;
                 report.timed_out += t.timed_out;
@@ -640,6 +658,9 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadReport, String> {
     } else {
         latencies.iter().sum::<u64>() / latencies.len() as u64
     };
+    cold_latencies.sort_unstable();
+    report.cold_requests = cold_latencies.len() as u64;
+    report.cold_p99_us = percentile(&cold_latencies, 99.0);
     // Per-second degraded buckets, spanning the whole measurement
     // window so trailing zeros ("it healed and stayed healed") are
     // visible in the report.
@@ -708,6 +729,8 @@ mod tests {
         r.fast_launches = 8;
         r.simulate_launches = 2;
         r.validate_skips = 7;
+        r.cold_requests = 1;
+        r.cold_p99_us = 4242;
         let j = r.to_json();
         for key in [
             "\"p50_us\":1",
@@ -718,6 +741,8 @@ mod tests {
             "\"fast_launches\":8",
             "\"simulate_launches\":2",
             "\"validate_skips\":7",
+            "\"cold_requests\":1",
+            "\"cold_p99_us\":4242",
         ] {
             assert!(j.contains(key), "missing {key} in {j}");
         }

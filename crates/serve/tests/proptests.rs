@@ -94,7 +94,10 @@ proptest! {
     /// the same request through a warm engine (second call hits) and a
     /// cold engine (budget 0, translate+tune every time) must agree to
     /// the bit, and the warm engine must agree with itself across the
-    /// miss→hit transition.
+    /// miss→hit transition. Classic path only (`pipeline: false`): the
+    /// pipelined engine answers the miss with the FALLBACK variant and
+    /// upgrades in the background, so its miss→hit bits may differ by
+    /// design — its own invariant is the property below.
     #[test]
     fn cache_hit_is_bit_identical_to_cold_path(csr in arb_csr(), n in 1usize..48) {
         let b_vals: Vec<f32> =
@@ -102,12 +105,12 @@ proptest! {
         let b = DenseMatrix::from_f32_slice(csr.cols(), n, &b_vals);
 
         let warm = spmm_via_engine(
-            EngineConfig { workers: 1, ..EngineConfig::default() },
+            EngineConfig { workers: 1, pipeline: false, ..EngineConfig::default() },
             &csr,
             &b,
         );
         let cold = spmm_via_engine(
-            EngineConfig { workers: 1, cold: true, ..EngineConfig::default() },
+            EngineConfig { workers: 1, cold: true, pipeline: false, ..EngineConfig::default() },
             &csr,
             &b,
         );
@@ -121,5 +124,37 @@ proptest! {
             warm[1].iter().map(|v| v.to_bits()).collect::<Vec<u32>>(),
             cold[0].iter().map(|v| v.to_bits()).collect::<Vec<u32>>()
         );
+    }
+
+    /// The pipelined cold path is not a numerics change: a cold pipelined
+    /// engine (every request misses, so every request runs the overlapped
+    /// FALLBACK-variant SpMM) must agree bit-for-bit with a direct
+    /// FALLBACK-variant translate + execute, for every ragged shape.
+    #[test]
+    fn overlapped_cold_path_is_bit_identical_to_fallback_variant(
+        csr in arb_csr(),
+        n in 1usize..48,
+    ) {
+        let b_vals: Vec<f32> =
+            (0..csr.cols() * n).map(|i| ((i % 13) as f32 - 6.0) * 0.375).collect();
+        let b = DenseMatrix::from_f32_slice(csr.cols(), n, &b_vals);
+
+        let choice = flashsparse::TuneChoice::FALLBACK;
+        let want = TranslatedMatrix::translate(&csr, &choice)
+            .spmm_f32(&b, choice.mapping)
+            .0
+            .to_f32_vec();
+
+        let served = spmm_via_engine(
+            EngineConfig { workers: 1, cold: true, ..EngineConfig::default() },
+            &csr,
+            &b,
+        );
+        for out in &served {
+            prop_assert_eq!(
+                out.iter().map(|v| v.to_bits()).collect::<Vec<u32>>(),
+                want.iter().map(|v| v.to_bits()).collect::<Vec<u32>>()
+            );
+        }
     }
 }

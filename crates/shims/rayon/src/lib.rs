@@ -9,7 +9,14 @@
 //! rayon program is also correct when run sequentially. Simulated-kernel
 //! determinism actually improves under this shim.
 //!
+//! The one genuinely parallel primitive lives in [`steal`]: an explicit
+//! weighted work-stealing pool built on `std::thread::scope`, used by the
+//! pipelined execution engine where scheduling policy (not just iterator
+//! shape) matters.
+//!
 //! [rayon]: https://docs.rs/rayon
+
+pub mod steal;
 
 /// The adapter returned by all `par_*` entry points: a thin wrapper over a
 /// standard iterator that forwards `Iterator` and adds the few rayon-only

@@ -53,10 +53,20 @@ pub enum Site {
     HealRepair,
     /// One anti-entropy reconciliation of a rejoining shard.
     HealRejoin,
+    /// One row-window slab translated by the pipeline stager (the
+    /// producer side of the double-buffered translate/compute overlap).
+    PipelineStage,
+    /// Aggregate steal activity of one work-stealing SpMM/SDDMM launch
+    /// (one span per successful steal, recorded post-hoc from pool
+    /// stats so the steal hot path stays lock-free).
+    PipelineSteal,
+    /// One overlapped cold-path execution end to end (slab staging +
+    /// compute + format assembly).
+    PipelineOverlap,
 }
 
 /// Number of span sites (histogram slots).
-pub const SITE_COUNT: usize = 18;
+pub const SITE_COUNT: usize = 21;
 
 impl Site {
     /// Every site, in export order.
@@ -79,6 +89,9 @@ impl Site {
         Site::HealProbe,
         Site::HealRepair,
         Site::HealRejoin,
+        Site::PipelineStage,
+        Site::PipelineSteal,
+        Site::PipelineOverlap,
     ];
 
     /// Dense index into the registry's per-site slots.
@@ -103,6 +116,9 @@ impl Site {
             Site::HealProbe => 15,
             Site::HealRepair => 16,
             Site::HealRejoin => 17,
+            Site::PipelineStage => 18,
+            Site::PipelineSteal => 19,
+            Site::PipelineOverlap => 20,
         }
     }
 
@@ -127,6 +143,9 @@ impl Site {
             Site::HealProbe => "heal.probe",
             Site::HealRepair => "heal.repair",
             Site::HealRejoin => "heal.rejoin",
+            Site::PipelineStage => "pipeline.stage",
+            Site::PipelineSteal => "pipeline.steal",
+            Site::PipelineOverlap => "pipeline.overlap",
         }
     }
 
@@ -162,10 +181,14 @@ pub enum TraceCounter {
     ExecSimulate,
     /// Chaos faults observed by the resilient layer.
     ChaosFaults,
+    /// Work-stealing scheduler steals that transferred tasks.
+    Steals,
+    /// Cold requests served through the overlapped slab pipeline.
+    Overlaps,
 }
 
 /// Number of trace counters.
-pub const COUNTER_COUNT: usize = 8;
+pub const COUNTER_COUNT: usize = 10;
 
 impl TraceCounter {
     /// Every counter, in export order.
@@ -178,6 +201,8 @@ impl TraceCounter {
         TraceCounter::ExecFast,
         TraceCounter::ExecSimulate,
         TraceCounter::ChaosFaults,
+        TraceCounter::Steals,
+        TraceCounter::Overlaps,
     ];
 
     /// Dense index into the registry's counter slots.
@@ -192,6 +217,8 @@ impl TraceCounter {
             TraceCounter::ExecFast => 5,
             TraceCounter::ExecSimulate => 6,
             TraceCounter::ChaosFaults => 7,
+            TraceCounter::Steals => 8,
+            TraceCounter::Overlaps => 9,
         }
     }
 
@@ -206,6 +233,8 @@ impl TraceCounter {
             TraceCounter::ExecFast => "exec_fast",
             TraceCounter::ExecSimulate => "exec_simulate",
             TraceCounter::ChaosFaults => "chaos_faults",
+            TraceCounter::Steals => "steals",
+            TraceCounter::Overlaps => "overlaps",
         }
     }
 }
