@@ -79,6 +79,18 @@ echo "== serving smoke test (tracing armed)"
 # Prometheus text must carry a full quantile summary for every
 # serve-stage span site, and the chrome timeline must be non-empty.
 SERVE_PORT="${SERVE_PORT:-7949}"
+# Fail fast if a stray server (e.g. a leaked fs-serve from an aborted
+# run) is already bound to any port this script is about to use —
+# otherwise the smoke tests would talk to the wrong process and fail
+# with baffling errors, or worse, pass against stale code.
+for OFFSET in $(seq 0 10); do
+  PORT=$((SERVE_PORT + OFFSET))
+  if (exec 3<>"/dev/tcp/127.0.0.1/${PORT}") 2>/dev/null; then
+    echo "ci: port ${PORT} is already in use (stray fs-serve from a previous run?);" \
+         "kill it or set SERVE_PORT to a free range" >&2
+    exit 1
+  fi
+done
 SMOKE_LOG=$(mktemp)
 ./target/release/fs-serve --addr "127.0.0.1:${SERVE_PORT}" --workers 2 --trace &
 SERVE_PID=$!
@@ -144,6 +156,60 @@ if [ "$CHAOS_OK" != 1 ]; then
   echo "ci: chaos soak smoke test failed" >&2
   exit 1
 fi
+
+echo "== gnn serving gate (REQ_GNN_INFER, tracing armed)"
+# End-to-end GNN inference: loadgen trains a GCN client-side, registers
+# the normalized adjacency and the trained weights over the wire, then
+# soaks REQ_GNN_INFER with cycling feature variants. Every served logit
+# vector is bit-compared against the offline fs-gnn forward pass —
+# --expect-zero-errors exits nonzero on wrong > 0 — and the armed trace
+# export must carry quantile summaries for both GNN span sites plus
+# nonzero embedding-cache traffic.
+GNN_PORT=$((SERVE_PORT + 10))
+GNN_LOG=$(mktemp)
+./target/release/fs-serve --addr "127.0.0.1:${GNN_PORT}" --workers 2 --trace &
+GNN_PID=$!
+GNN_OK=0
+if ./target/release/loadgen \
+    --addr "127.0.0.1:${GNN_PORT}" \
+    --gnn --gnn-precision 2 --gnn-nodes 128 --gnn-train-epochs 10 --gnn-variants 2 \
+    --requests 40 --concurrency 2 \
+    --wait-ready-ms 10000 --shutdown --expect-zero-errors --trace | tee "$GNN_LOG"; then
+  GNN_OK=1
+fi
+if ! wait "$GNN_PID"; then
+  echo "ci: fs-serve exited uncleanly under the gnn gate" >&2
+  exit 1
+fi
+if [ "$GNN_OK" != 1 ]; then
+  echo "ci: gnn serving gate failed" >&2
+  exit 1
+fi
+if ! grep -q '"mode":"gnn"' "$GNN_LOG"; then
+  echo "ci: gnn gate did not produce a gnn-mode report" >&2
+  exit 1
+fi
+if ! grep -q '"gnn_layer_p95_us":\[' "$GNN_LOG"; then
+  echo "ci: gnn gate report carries no per-layer latencies" >&2
+  exit 1
+fi
+for STAGE in serve.gnn_layer serve.gnn_cache; do
+  for Q in 0.5 0.95 0.99; do
+    if ! grep -q "fs_span_seconds{site=\"${STAGE}\",quantile=\"${Q}\"}" "$GNN_LOG"; then
+      echo "ci: trace export missing ${STAGE} quantile ${Q}" >&2
+      exit 1
+    fi
+  done
+done
+GNN_HITS=$(sed -n 's/^fs_trace_counter{name="gnn_cache_hits"} //p' "$GNN_LOG")
+GNN_MISSES=$(sed -n 's/^fs_trace_counter{name="gnn_cache_misses"} //p' "$GNN_LOG")
+if ! awk -v h="${GNN_HITS:-0}" -v m="${GNN_MISSES:-0}" 'BEGIN { exit !(h > 0 && m > 0) }'; then
+  echo "ci: gnn soak exercised no embedding-cache traffic (hits=${GNN_HITS:-0}" \
+       "misses=${GNN_MISSES:-0})" >&2
+  exit 1
+fi
+rm -f "$GNN_LOG"
+echo "ci: gnn gate served bit-exact scores (cache hits=${GNN_HITS} misses=${GNN_MISSES})"
 
 echo "== cluster smoke test"
 # Three plain fs-serve shards behind an fs-cluster router carrying a

@@ -639,6 +639,15 @@ fn dispatch(
             code: ErrorCode::BadRequest,
             message: "this is a router: use the cluster SpMM op (REQ_CLUSTER_SPMM)".to_string(),
         },
+        // GNN models aggregate over a whole adjacency; a router only
+        // holds row slabs of it, so inference belongs on a plain
+        // fs-serve instance that owns the full graph.
+        Request::GnnRegister { .. } | Request::GnnInfer { .. } => Response::Error {
+            code: ErrorCode::BadRequest,
+            message: "gnn inference is not sharded: register the graph on a plain fs-serve \
+                      instance"
+                .to_string(),
+        },
     }
 }
 

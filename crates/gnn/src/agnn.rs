@@ -136,6 +136,16 @@ impl AgnnModel {
         std::mem::take(&mut self.dense_flops)
     }
 
+    /// Export an immutable snapshot of the weights for inference — the
+    /// shape fs-serve registers and runs server-side.
+    pub fn export_weights(&self) -> crate::infer::GnnWeights {
+        crate::infer::GnnWeights::Agnn {
+            w_in: self.w_in.clone(),
+            betas: self.attention.iter().map(|l| l.beta).collect(),
+            w_out: self.w_out.clone(),
+        }
+    }
+
     /// Forward pass; returns logits.
     pub fn forward(
         &mut self,

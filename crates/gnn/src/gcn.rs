@@ -94,6 +94,14 @@ impl GcnModel {
         self.layers.len()
     }
 
+    /// Export an immutable snapshot of the weights for inference — the
+    /// shape fs-serve registers and runs server-side.
+    pub fn export_weights(&self) -> crate::infer::GnnWeights {
+        crate::infer::GnnWeights::Gcn {
+            layers: self.layers.iter().map(|l| (l.w.clone(), l.relu)).collect(),
+        }
+    }
+
     /// Forward pass; returns logits.
     pub fn forward(
         &mut self,

@@ -1,0 +1,357 @@
+//! Pure inference over exported GNN weights — the serving-side forward
+//! pass.
+//!
+//! [`GnnWeights`] is an immutable snapshot of a trained
+//! [`GcnModel`](crate::GcnModel) or [`AgnnModel`](crate::AgnnModel): no
+//! optimizer state, no activation caches, cheap to `Clone` and safe to
+//! share across threads. Its [`forward`](GnnWeights::forward) replays
+//! *exactly* the same sequence of kernel and dense-algebra calls as the
+//! training models' forward passes — same functions, same order, same
+//! intermediate rounding — so scores served over the wire are
+//! bit-identical to the offline reference at every backend precision.
+//! The fs-serve REQ_GNN_INFER end-to-end tests pin that property down.
+
+use fs_matrix::{CsrMatrix, DenseMatrix};
+
+use crate::edge_softmax::edge_softmax;
+use crate::nn::{matmul, relu};
+use crate::ops::SparseOps;
+
+/// Immutable exported weights of a trained GNN, ready for inference.
+#[derive(Clone, Debug)]
+pub enum GnnWeights {
+    /// GCN: one `(W, relu)` pair per graph-convolution layer.
+    Gcn {
+        /// Per-layer weight matrix (`in × out`) and whether ReLU follows
+        /// the aggregation (true for all but the output layer).
+        layers: Vec<(DenseMatrix<f32>, bool)>,
+    },
+    /// AGNN: `input → hidden` projection, one trained β per attention
+    /// layer, `hidden → classes` output projection.
+    Agnn {
+        /// Input projection (`input_dim × hidden`), ReLU applied.
+        w_in: DenseMatrix<f32>,
+        /// Attention temperature β, one per attention layer.
+        betas: Vec<f32>,
+        /// Output projection (`hidden × classes`).
+        w_out: DenseMatrix<f32>,
+    },
+}
+
+impl GnnWeights {
+    /// Build GCN weights from bare matrices with the standard activation
+    /// pattern (ReLU after every layer but the last) — the shape a wire
+    /// registration reconstructs.
+    pub fn gcn(ws: Vec<DenseMatrix<f32>>) -> GnnWeights {
+        let n = ws.len();
+        GnnWeights::Gcn {
+            layers: ws.into_iter().enumerate().map(|(i, w)| (w, i + 1 < n)).collect(),
+        }
+    }
+
+    /// Short model-kind name (`"gcn"` or `"agnn"`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            GnnWeights::Gcn { .. } => "gcn",
+            GnnWeights::Agnn { .. } => "agnn",
+        }
+    }
+
+    /// Number of timed layers in the forward pass: GCN counts each
+    /// graph convolution; AGNN counts the input projection, each
+    /// attention layer, and the output projection.
+    pub fn num_layers(&self) -> usize {
+        match self {
+            GnnWeights::Gcn { layers } => layers.len(),
+            GnnWeights::Agnn { betas, .. } => betas.len() + 2,
+        }
+    }
+
+    /// Expected feature dimensionality of the input matrix.
+    pub fn input_dim(&self) -> usize {
+        match self {
+            GnnWeights::Gcn { layers } => layers.first().map_or(0, |(w, _)| w.rows()),
+            GnnWeights::Agnn { w_in, .. } => w_in.rows(),
+        }
+    }
+
+    /// Output dimensionality (number of classes).
+    pub fn output_dim(&self) -> usize {
+        match self {
+            GnnWeights::Gcn { layers } => layers.last().map_or(0, |(w, _)| w.cols()),
+            GnnWeights::Agnn { w_out, .. } => w_out.cols(),
+        }
+    }
+
+    /// Resident bytes of the parameters (for registry budgeting).
+    pub fn weight_bytes(&self) -> usize {
+        let f = std::mem::size_of::<f32>();
+        match self {
+            GnnWeights::Gcn { layers } => layers.iter().map(|(w, _)| w.len() * f).sum(),
+            GnnWeights::Agnn { w_in, betas, w_out } => (w_in.len() + w_out.len() + betas.len()) * f,
+        }
+    }
+
+    /// The wire form a `REQ_GNN_REGISTER` frame carries: `(kind,
+    /// weights, scalars)` where kind is 0 = GCN / 1 = AGNN, each weight
+    /// is `(rows, cols, row-major data)` — per-layer `W` for GCN,
+    /// `[w_in, w_out]` for AGNN — and scalars are the AGNN βs (empty for
+    /// GCN). Registering this triple server-side reconstructs weights
+    /// whose forward pass is bit-identical to this one's.
+    #[allow(clippy::type_complexity)]
+    pub fn export_wire(&self) -> (u8, Vec<(usize, usize, Vec<f32>)>, Vec<f32>) {
+        let flat = |w: &DenseMatrix<f32>| (w.rows(), w.cols(), w.as_slice().to_vec());
+        match self {
+            GnnWeights::Gcn { layers } => {
+                (0, layers.iter().map(|(w, _)| flat(w)).collect(), Vec::new())
+            }
+            GnnWeights::Agnn { w_in, betas, w_out } => {
+                (1, vec![flat(w_in), flat(w_out)], betas.clone())
+            }
+        }
+    }
+
+    /// Validate internal shape consistency: at least one layer, and each
+    /// layer's input dimension matching the previous layer's output.
+    pub fn check_dims(&self) -> Result<(), String> {
+        match self {
+            GnnWeights::Gcn { layers } => {
+                if layers.is_empty() {
+                    return Err("gcn model has no layers".into());
+                }
+                for (i, pair) in layers.windows(2).enumerate() {
+                    if pair[0].0.cols() != pair[1].0.rows() {
+                        return Err(format!(
+                            "gcn layer {} outputs {} features but layer {} expects {}",
+                            i,
+                            pair[0].0.cols(),
+                            i + 1,
+                            pair[1].0.rows()
+                        ));
+                    }
+                }
+                Ok(())
+            }
+            GnnWeights::Agnn { w_in, w_out, .. } => {
+                if w_in.len() == 0 || w_out.len() == 0 {
+                    return Err("agnn projections must be non-empty".into());
+                }
+                if w_in.cols() != w_out.rows() {
+                    return Err(format!(
+                        "agnn hidden dim mismatch: w_in outputs {} but w_out expects {}",
+                        w_in.cols(),
+                        w_out.rows()
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Forward pass; returns logits (`nodes × classes`). Bit-identical to
+    /// the training model's forward at the same backend.
+    pub fn forward(
+        &self,
+        ops: &SparseOps,
+        adj: &CsrMatrix<f32>,
+        x: &DenseMatrix<f32>,
+    ) -> DenseMatrix<f32> {
+        self.forward_with(ops, adj, x, |_, _| {})
+    }
+
+    /// Forward pass invoking `after_layer(index, output)` as each layer
+    /// completes — the hook the serving layer uses for per-layer latency
+    /// spans and embedding capture. Layer indices run `0..num_layers()`.
+    pub fn forward_with<F: FnMut(usize, &DenseMatrix<f32>)>(
+        &self,
+        ops: &SparseOps,
+        adj: &CsrMatrix<f32>,
+        x: &DenseMatrix<f32>,
+        mut after_layer: F,
+    ) -> DenseMatrix<f32> {
+        match self {
+            GnnWeights::Gcn { layers } => {
+                // Mirrors GcnLayer::forward: GEMM, SpMM, optional ReLU.
+                let mut h = x.clone();
+                for (i, (w, use_relu)) in layers.iter().enumerate() {
+                    let z = matmul(&h, w);
+                    let y = ops.spmm(adj, &z);
+                    h = if *use_relu { relu(&y) } else { y };
+                    after_layer(i, &h);
+                }
+                h
+            }
+            GnnWeights::Agnn { w_in, betas, w_out } => {
+                // Mirrors AgnnModel::forward / AttentionLayer::forward:
+                // projection + ReLU, then per layer SDDMM → scale by
+                // 1/√d → scale by β → edge softmax → SpMM, then the
+                // output projection.
+                let z = matmul(x, w_in);
+                let mut h = relu(&z);
+                after_layer(0, &h);
+                for (i, beta) in betas.iter().enumerate() {
+                    let d = h.cols() as f32;
+                    let mut s = ops.sddmm(adj, &h, &h);
+                    s.values_mut().iter_mut().for_each(|v| *v /= d.sqrt());
+                    let mut e = s;
+                    e.values_mut().iter_mut().for_each(|v| *v *= *beta);
+                    let p = edge_softmax(&e);
+                    h = ops.spmm(&p, &h);
+                    after_layer(i + 1, &h);
+                }
+                let out = matmul(&h, w_out);
+                after_layer(betas.len() + 1, &out);
+                out
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nn::cross_entropy;
+    use crate::ops::{normalize_adjacency, GnnBackend};
+    use crate::{AgnnModel, GcnModel};
+    use fs_matrix::gen::{sbm, SbmConfig};
+    use fs_tcu::GpuSpec;
+
+    const BACKENDS: [GnnBackend; 3] =
+        [GnnBackend::CudaFp32, GnnBackend::FlashTf32, GnnBackend::FlashFp16];
+
+    fn bits(m: &DenseMatrix<f32>) -> Vec<u32> {
+        m.as_slice().iter().map(|v| v.to_bits()).collect()
+    }
+
+    #[test]
+    fn gcn_export_matches_model_bitwise_per_backend() {
+        let ds = sbm(SbmConfig { nodes: 64, feature_dim: 8, ..Default::default() }, 11);
+        let adj = normalize_adjacency(&ds.adjacency);
+        let train_ops = SparseOps::new(GnnBackend::CudaFp32, GpuSpec::RTX4090);
+        let mut model = GcnModel::new(&[8, 12, ds.classes], 0.01, 7);
+        for _ in 0..3 {
+            let logits = model.forward(&train_ops, &adj, &ds.features);
+            let (_, grad) = cross_entropy(&logits, &ds.labels, &ds.train_idx);
+            model.backward_and_step(&train_ops, &adj, &grad);
+        }
+        let weights = model.export_weights();
+        assert_eq!(weights.kind(), "gcn");
+        assert_eq!(weights.num_layers(), 2);
+        assert_eq!(weights.input_dim(), 8);
+        assert_eq!(weights.output_dim(), ds.classes);
+        weights.check_dims().expect("trained model must be consistent");
+        for backend in BACKENDS {
+            let ops = SparseOps::new(backend, GpuSpec::RTX4090);
+            let reference = model.forward(&ops, &adj, &ds.features);
+            let served = weights.forward(&ops, &adj, &ds.features);
+            assert_eq!(
+                bits(&reference),
+                bits(&served),
+                "gcn inference must be bit-identical on {backend:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn agnn_export_matches_model_bitwise_per_backend() {
+        let ds = sbm(SbmConfig { nodes: 48, feature_dim: 6, ..Default::default() }, 13);
+        let adj = normalize_adjacency(&ds.adjacency);
+        let train_ops = SparseOps::new(GnnBackend::CudaFp32, GpuSpec::RTX4090);
+        let mut model = AgnnModel::new(6, 10, ds.classes, 2, 0.02, 5);
+        for _ in 0..2 {
+            let logits = model.forward(&train_ops, &adj, &ds.features);
+            let (_, grad) = cross_entropy(&logits, &ds.labels, &ds.train_idx);
+            model.backward_and_step(&train_ops, &adj, &grad);
+        }
+        let weights = model.export_weights();
+        assert_eq!(weights.kind(), "agnn");
+        assert_eq!(weights.num_layers(), 4); // in-proj + 2 attention + out-proj
+        assert_eq!(weights.input_dim(), 6);
+        assert_eq!(weights.output_dim(), ds.classes);
+        weights.check_dims().expect("trained model must be consistent");
+        for backend in BACKENDS {
+            let ops = SparseOps::new(backend, GpuSpec::RTX4090);
+            let reference = model.forward(&ops, &adj, &ds.features);
+            let served = weights.forward(&ops, &adj, &ds.features);
+            assert_eq!(
+                bits(&reference),
+                bits(&served),
+                "agnn inference must be bit-identical on {backend:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn forward_with_reports_every_layer_in_order() {
+        let ds = sbm(SbmConfig { nodes: 32, feature_dim: 4, classes: 2, ..Default::default() }, 3);
+        let adj = normalize_adjacency(&ds.adjacency);
+        let ops = SparseOps::new(GnnBackend::CudaFp32, GpuSpec::RTX4090);
+        let gcn = GcnModel::new(&[4, 8, 2], 0.01, 1).export_weights();
+        let mut seen = Vec::new();
+        let out = gcn.forward_with(&ops, &adj, &ds.features, |i, h| seen.push((i, h.cols())));
+        assert_eq!(seen, vec![(0, 8), (1, 2)]);
+        assert_eq!(out.cols(), 2);
+
+        let agnn = AgnnModel::new(4, 8, 2, 2, 0.01, 1).export_weights();
+        let mut seen = Vec::new();
+        let out = agnn.forward_with(&ops, &adj, &ds.features, |i, h| seen.push((i, h.cols())));
+        assert_eq!(seen, vec![(0, 8), (1, 8), (2, 8), (3, 2)]);
+        assert_eq!(out.cols(), 2);
+    }
+
+    #[test]
+    fn gcn_builder_sets_relu_on_all_but_last() {
+        let w1 = DenseMatrix::<f32>::zeros(4, 8);
+        let w2 = DenseMatrix::<f32>::zeros(8, 2);
+        let weights = GnnWeights::gcn(vec![w1, w2]);
+        match &weights {
+            GnnWeights::Gcn { layers } => {
+                assert!(layers[0].1, "hidden layer gets relu");
+                assert!(!layers[1].1, "output layer must not relu");
+            }
+            GnnWeights::Agnn { .. } => unreachable!(),
+        }
+        // Builder output matches a freshly constructed model's export.
+        let model = GcnModel::new(&[4, 8, 2], 0.01, 9);
+        let exported = model.export_weights();
+        match (&weights, &exported) {
+            (GnnWeights::Gcn { layers: a }, GnnWeights::Gcn { layers: b }) => {
+                assert_eq!(a.len(), b.len());
+                for ((_, ra), (_, rb)) in a.iter().zip(b) {
+                    assert_eq!(ra, rb);
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn check_dims_rejects_mismatched_chains() {
+        let bad = GnnWeights::gcn(vec![
+            DenseMatrix::<f32>::zeros(4, 8),
+            DenseMatrix::<f32>::zeros(9, 2), // expects 9, gets 8
+        ]);
+        assert!(bad.check_dims().is_err());
+        let empty = GnnWeights::Gcn { layers: Vec::new() };
+        assert!(empty.check_dims().is_err());
+        let bad_agnn = GnnWeights::Agnn {
+            w_in: DenseMatrix::<f32>::zeros(4, 8),
+            betas: vec![1.0],
+            w_out: DenseMatrix::<f32>::zeros(7, 2), // expects 7, gets 8
+        };
+        assert!(bad_agnn.check_dims().is_err());
+    }
+
+    #[test]
+    fn weight_bytes_counts_parameters() {
+        let weights =
+            GnnWeights::gcn(vec![DenseMatrix::<f32>::zeros(4, 8), DenseMatrix::<f32>::zeros(8, 2)]);
+        assert_eq!(weights.weight_bytes(), (4 * 8 + 8 * 2) * 4);
+        let agnn = GnnWeights::Agnn {
+            w_in: DenseMatrix::<f32>::zeros(4, 8),
+            betas: vec![1.0, 1.0],
+            w_out: DenseMatrix::<f32>::zeros(8, 2),
+        };
+        assert_eq!(agnn.weight_bytes(), (4 * 8 + 8 * 2 + 2) * 4);
+    }
+}

@@ -18,6 +18,27 @@
 //! to FlashSparse FP16, FlashSparse TF32, or the CUDA-core FP32 baseline
 //! path — the three columns of Table 8 — while accumulating simulated
 //! kernel time for the end-to-end comparison.
+//!
+//! Trained models export immutable [`GnnWeights`] snapshots whose pure
+//! forward pass is bit-identical to the model's own — the contract the
+//! fs-serve `REQ_GNN_INFER` op is built on:
+//!
+//! ```
+//! use fs_gnn::{normalize_adjacency, GcnModel, GnnBackend, SparseOps};
+//! use fs_matrix::gen::{sbm, SbmConfig};
+//! use fs_tcu::GpuSpec;
+//!
+//! // A small planted-community graph and a 2-layer GCN.
+//! let ds = sbm(SbmConfig { nodes: 48, feature_dim: 8, ..Default::default() }, 1);
+//! let adj = normalize_adjacency(&ds.adjacency);
+//! let ops = SparseOps::new(GnnBackend::FlashFp16, GpuSpec::RTX4090);
+//! let mut model = GcnModel::new(&[8, 12, ds.classes], 0.01, 1);
+//!
+//! // Offline forward vs. the exported inference snapshot: same bits.
+//! let offline = model.forward(&ops, &adj, &ds.features);
+//! let served = model.export_weights().forward(&ops, &adj, &ds.features);
+//! assert_eq!(offline.as_slice(), served.as_slice());
+//! ```
 
 // Indexed loops mirror the row/column math of the kernels they model;
 // iterator rewrites would obscure it.
@@ -27,6 +48,7 @@ pub mod adam;
 pub mod agnn;
 pub mod edge_softmax;
 pub mod gcn;
+pub mod infer;
 pub mod nn;
 pub mod ops;
 pub mod train;
@@ -34,5 +56,6 @@ pub mod train;
 pub use adam::Adam;
 pub use agnn::AgnnModel;
 pub use gcn::GcnModel;
-pub use ops::{GnnBackend, SparseOps};
+pub use infer::GnnWeights;
+pub use ops::{normalize_adjacency, GnnBackend, SparseOps};
 pub use train::{train_gcn, TrainConfig, TrainResult};

@@ -32,6 +32,18 @@
 //! nonzero iff any response was silently *wrong* (`wrong > 0`) or
 //! nothing completed at all.
 //!
+//! `--gnn` switches the workload to end-to-end GNN inference: a small
+//! GCN is trained client-side on a planted-community graph, the
+//! normalized adjacency and trained weights are registered, and every
+//! request runs a full server-side forward pass (`REQ_GNN_INFER`) whose
+//! logits must be **bit-identical** to the offline fs-gnn pass — any
+//! deviation counts as `wrong`, which `--expect-zero-errors` and
+//! `--chaos` both refuse. `--gnn-precision 0|1|2` picks FP32/TF32/FP16
+//! per run (the Table 8 columns); `--gnn-variants N` cycles N distinct
+//! feature matrices so the run exercises both embedding-cache hits and
+//! misses. The report gains `gnn_accuracy`, `gnn_layers`, and per-layer
+//! `gnn_layer_p50_us`/`gnn_layer_p95_us` latency arrays.
+//!
 //! `--trace` fetches the server's trace exports after the run and
 //! prints the Prometheus text (per-site span quantiles and counters)
 //! after the report JSON; `--trace-out FILE` also writes the server's
@@ -42,7 +54,7 @@
 use std::net::SocketAddr;
 use std::time::Duration;
 
-use fs_serve::loadgen::{run, LoadgenConfig, MatrixSpec};
+use fs_serve::loadgen::{run, GnnSpec, LoadgenConfig, MatrixSpec};
 use fs_serve::{parse_value, FlagParser, ServeClient};
 
 fn usage() -> ! {
@@ -51,6 +63,8 @@ fn usage() -> ! {
          \x20              [--requests N] [--concurrency N] [--tenants N] [--open-rps RPS]\n\
          \x20              [--duration-s S] [--deadline-ms MS] [--wait-ready-ms MS]\n\
          \x20              [--shutdown] [--expect-zero-errors] [--chaos] [--cluster]\n\
+         \x20              [--gnn] [--gnn-precision 0|1|2] [--gnn-nodes N] [--gnn-hidden N]\n\
+         \x20              [--gnn-train-epochs N] [--gnn-variants N]\n\
          \x20              [--trace] [--trace-out FILE]"
     );
     std::process::exit(2);
@@ -106,6 +120,32 @@ fn apply_flag(flag: &str, p: &mut FlagParser, flags: &mut Flags) -> Result<(), S
         "--expect-zero-errors" => flags.expect_zero_errors = true,
         "--chaos" => flags.cfg.chaos = true,
         "--cluster" => flags.cfg.cluster = true,
+        "--gnn" => {
+            flags.cfg.gnn.get_or_insert_with(GnnSpec::default);
+        }
+        "--gnn-precision" => {
+            let precision = p.typed::<u8>(flag)?;
+            if precision > 2 {
+                return Err(format!("invalid --gnn-precision {precision} (0=FP32 1=TF32 2=FP16)"));
+            }
+            flags.cfg.gnn.get_or_insert_with(GnnSpec::default).precision = precision;
+        }
+        "--gnn-nodes" => {
+            flags.cfg.gnn.get_or_insert_with(GnnSpec::default).nodes = p.typed(flag)?;
+        }
+        "--gnn-hidden" => {
+            flags.cfg.gnn.get_or_insert_with(GnnSpec::default).hidden = p.typed(flag)?;
+        }
+        "--gnn-train-epochs" => {
+            flags.cfg.gnn.get_or_insert_with(GnnSpec::default).train_epochs = p.typed(flag)?;
+        }
+        "--gnn-variants" => {
+            let variants = p.typed::<usize>(flag)?;
+            if variants == 0 {
+                return Err("--gnn-variants must be at least 1".to_string());
+            }
+            flags.cfg.gnn.get_or_insert_with(GnnSpec::default).variants = variants;
+        }
         "--trace" => flags.trace = true,
         "--trace-out" => {
             flags.trace = true;
@@ -187,11 +227,13 @@ fn main() {
         && (report.errors > 0
             || report.rejected > 0
             || report.timed_out > 0
+            || report.wrong > 0
             || report.completed == 0)
     {
         eprintln!(
-            "loadgen: expected zero errors but saw completed={} rejected={} timed_out={} errors={}",
-            report.completed, report.rejected, report.timed_out, report.errors
+            "loadgen: expected zero errors but saw completed={} rejected={} timed_out={} \
+             errors={} wrong={}",
+            report.completed, report.rejected, report.timed_out, report.errors, report.wrong
         );
         std::process::exit(1);
     }

@@ -104,6 +104,21 @@ pub struct SpmmResult {
     pub verified: bool,
 }
 
+/// One GNN inference answer.
+#[derive(Clone, Debug)]
+pub struct GnnInferResult {
+    /// Row-major logits, `rows × classes`, in requested-node order.
+    pub scores: Vec<f32>,
+    /// Score rows returned.
+    pub rows: usize,
+    /// Classes per node.
+    pub classes: usize,
+    /// Per-layer server-side microseconds; all zero on a cache hit.
+    pub layer_micros: Vec<u64>,
+    /// Whether the server answered from its embedding cache.
+    pub cache_hit: bool,
+}
+
 /// One scatter-gather SpMM answer from a router.
 #[derive(Clone, Debug)]
 pub struct ClusterSpmmResult {
@@ -433,6 +448,67 @@ impl ServeClient {
         let req = Request::Evict { tenant: tenant.to_string(), matrix_id };
         match self.call(&req)? {
             Response::Evicted { existed } => Ok(existed),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Register GNN model weights bound to a loaded graph matrix.
+    /// `kind` 0 = GCN (one weight matrix per layer, no scalars),
+    /// 1 = AGNN (`weights` = `[w_in, w_out]`, `scalars` = per-layer β).
+    /// Returns `(model_id, weight_bytes, layers)`.
+    pub fn gnn_register(
+        &mut self,
+        tenant: &str,
+        matrix_id: u64,
+        kind: u8,
+        weights: Vec<(u32, u32, Vec<f32>)>,
+        scalars: Vec<f32>,
+    ) -> Result<(u64, u64, u32), ClientError> {
+        let req =
+            Request::GnnRegister { tenant: tenant.to_string(), matrix_id, kind, weights, scalars };
+        match self.call(&req)? {
+            Response::GnnRegistered { model_id, weight_bytes, layers } => {
+                Ok((model_id, weight_bytes, layers))
+            }
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Run a server-side GNN forward pass over the model's graph.
+    /// `precision` 0 = FP32, 1 = TF32, 2 = FP16; `node_ids` empty scores
+    /// every node; `features` is row-major `f_rows × f_cols`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn gnn_infer(
+        &mut self,
+        tenant: &str,
+        model_id: u64,
+        precision: u8,
+        deadline_ms: u32,
+        node_ids: &[u32],
+        f_rows: usize,
+        f_cols: usize,
+        features: &[f32],
+    ) -> Result<GnnInferResult, ClientError> {
+        let req = Request::GnnInfer {
+            tenant: tenant.to_string(),
+            model_id,
+            precision,
+            deadline_ms,
+            node_ids: node_ids.to_vec(),
+            f_rows: f_rows as u32,
+            f_cols: f_cols as u32,
+            features: features.to_vec(),
+        };
+        match self.call(&req)? {
+            Response::GnnInfer { rows, classes, scores, layer_micros, cache_hit } => {
+                Ok(GnnInferResult {
+                    scores,
+                    rows: rows as usize,
+                    classes: classes as usize,
+                    layer_micros,
+                    cache_hit,
+                })
+            }
             other => Err(ClientError::Unexpected(format!("{other:?}"))),
         }
     }

@@ -42,7 +42,11 @@ use parking_lot::{Mutex, RwLock};
 
 use crate::cache::{CacheStats, CachedFormat, FormatCache};
 use crate::fingerprint::Fingerprint;
+use crate::gnn_infer::{
+    GnnConfig, GnnError, GnnInferRequest, GnnInferResponse, GnnModelInfo, GnnState,
+};
 use crate::metrics::{json_escape, tenants_json, TenantStats};
+use fs_gnn::GnnWeights;
 
 /// Engine configuration.
 #[derive(Clone, Copy, Debug)]
@@ -92,6 +96,8 @@ pub struct EngineConfig {
     /// How long an open breaker routes the matrix straight to the
     /// scalar path before letting a probe try the TCU again.
     pub breaker_cooldown: Duration,
+    /// GNN model-registry and embedding-cache budgets.
+    pub gnn: GnnConfig,
 }
 
 impl Default for EngineConfig {
@@ -112,6 +118,7 @@ impl Default for EngineConfig {
             verify_tolerance: flashsparse::DEFAULT_TOLERANCE,
             breaker_threshold: 3,
             breaker_cooldown: Duration::from_secs(5),
+            gnn: GnnConfig::default(),
         }
     }
 }
@@ -328,6 +335,8 @@ struct Inner {
     exec_simulate: AtomicU64,
     validate_skips: AtomicU64,
     overlaps: AtomicU64,
+    /// GNN serving state: model registry + embedding cache.
+    gnn: GnnState,
     /// Background format-upgrade threads spawned by the overlapped cold
     /// path; reaped opportunistically and joined on shutdown.
     background: Mutex<Vec<thread::JoinHandle<()>>>,
@@ -379,6 +388,7 @@ impl ServeEngine {
             exec_simulate: AtomicU64::new(0),
             validate_skips: AtomicU64::new(0),
             overlaps: AtomicU64::new(0),
+            gnn: GnnState::new(cfg.gnn),
             background: Mutex::new(Vec::new()),
         });
         let workers = Arc::new(Mutex::new(
@@ -471,10 +481,76 @@ impl ServeEngine {
                     registry.resident_bytes.saturating_sub(csr_resident_bytes(&reg.csr));
                 drop(registry);
                 self.inner.breakers.lock().remove(&matrix_id);
+                // Models bound to the evicted graph keep their weights but
+                // lose their cached embeddings: the graph can come back
+                // under a different id with different content.
+                self.inner.gnn.invalidate_matrix(matrix_id);
                 true
             }
             None => false,
         }
+    }
+
+    /// Register GNN model weights bound to an already-registered graph
+    /// matrix. Budgeted like matrices: `gnn.max_models` entries and
+    /// `gnn.max_model_bytes` resident parameter bytes.
+    pub fn gnn_register(
+        &self,
+        _tenant: &str,
+        matrix_id: u64,
+        weights: GnnWeights,
+    ) -> Result<GnnModelInfo, GnnError> {
+        let reg = self
+            .inner
+            .matrices
+            .read()
+            .map
+            .get(&matrix_id)
+            .cloned()
+            .ok_or(GnnError::UnknownGraph(matrix_id))?;
+        self.inner.gnn.register(matrix_id, reg.csr.rows(), weights)
+    }
+
+    /// Run one GNN inference: a full multi-layer forward pass over the
+    /// model's registered graph at the requested precision, returning
+    /// scores for the requested nodes (all nodes when `node_ids` is
+    /// empty). Synchronous — GNN inference is latency-bound on the
+    /// forward pass itself, so it bypasses the SpMM micro-batch queue;
+    /// the deadline is still honored (checked after execution).
+    pub fn gnn_infer(&self, req: GnnInferRequest) -> Result<GnnInferResponse, GnnError> {
+        if self.inner.shutdown.load(Ordering::Acquire) {
+            return Err(GnnError::Internal("shutting down".into()));
+        }
+        let matrix_id =
+            self.inner.gnn.model_graph(req.model_id).ok_or(GnnError::UnknownModel(req.model_id))?;
+        let reg = self
+            .inner
+            .matrices
+            .read()
+            .map
+            .get(&matrix_id)
+            .cloned()
+            .ok_or(GnnError::UnknownGraph(matrix_id))?;
+        let deadline = req.deadline.unwrap_or(self.inner.cfg.default_deadline);
+        let started = Instant::now();
+        let out = self.inner.gnn.infer(
+            req.model_id,
+            &reg.csr,
+            self.inner.cfg.gpu,
+            self.inner.cfg.verify,
+            req.precision,
+            &req.node_ids,
+            &req.features,
+        )?;
+        if started.elapsed() > deadline {
+            return Err(GnnError::DeadlineExceeded);
+        }
+        Ok(out)
+    }
+
+    /// Registered-model totals: `(count, resident parameter bytes)`.
+    pub fn gnn_model_stats(&self) -> (usize, usize) {
+        self.inner.gnn.model_stats()
     }
 
     /// Admit a request. `Err` means the request was *not* queued.
@@ -640,6 +716,7 @@ impl ServeEngine {
         let (verify_failures, fallbacks_default, fallbacks_scalar, breaker_bypasses) =
             self.resilience_stats();
         let (exec_fast, exec_simulate, validate_skips) = self.exec_stats();
+        let gnn = self.inner.gnn.stats_json();
         let chaos_plan = match fs_chaos::inject::active_plan() {
             Some(plan) => format!("\"{}\"", json_escape(&plan.to_string())),
             None => "null".to_string(),
@@ -657,6 +734,7 @@ impl ServeEngine {
              \"exec\":{{\"fast\":{exec_fast},\"simulate\":{exec_simulate},\
              \"validate_skips\":{validate_skips}}},\
              \"pipeline\":{{\"enabled\":{},\"overlaps\":{}}},\
+             \"gnn\":{gnn},\
              \"chaos\":{{\"enabled\":{},\"plan\":{chaos_plan},\"faults\":{}}},\
              \"trace\":{{\"armed\":{},\"spans\":{}}},\
              \"tenants\":{tenants}}}",
@@ -1112,6 +1190,12 @@ fn record_resilience(inner: &Arc<Inner>, matrix_id: u64, report: &flashsparse::R
     let breaker = breakers.entry(matrix_id).or_insert_with(|| CircuitBreaker::new(cfg));
     if report.verify_failures > 0 {
         breaker.record_failure(Instant::now());
+        drop(breakers);
+        // The matrix's kernel output failed verification, so GNN
+        // embeddings aggregated over it are no longer trusted either:
+        // drop them so the next inference recomputes from scratch
+        // (possibly on the scalar path the breaker now routes to).
+        inner.gnn.invalidate_matrix(matrix_id);
     } else {
         breaker.record_success();
     }

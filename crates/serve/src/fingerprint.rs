@@ -7,7 +7,7 @@
 //! (forward and length-salted) to make accidental 64-bit collisions
 //! vanishingly unlikely without pulling in a crypto dependency.
 
-use fs_matrix::CsrMatrix;
+use fs_matrix::{CsrMatrix, DenseMatrix};
 
 /// A 128-bit content fingerprint of a CSR matrix.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -53,6 +53,23 @@ impl Fingerprint {
             feed(u64::from(c));
         }
         for &v in csr.values() {
+            feed(u64::from(v.to_bits()));
+        }
+        Fingerprint { hi: a.0, lo: b.0 }
+    }
+
+    /// Fingerprint a dense matrix's content (dimensions and exact f32
+    /// value bits) — the embedding-cache key over request features.
+    pub fn of_dense(m: &DenseMatrix<f32>) -> Fingerprint {
+        let mut a = Fnv::new(0);
+        let mut b = Fnv::new(0x9e37_79b9_7f4a_7c15);
+        let mut feed = |v: u64| {
+            a.write_u64(v);
+            b.write_u64(v.rotate_left(17));
+        };
+        feed(m.rows() as u64);
+        feed(m.cols() as u64);
+        for &v in m.as_slice() {
             feed(u64::from(v.to_bits()));
         }
         Fingerprint { hi: a.0, lo: b.0 }
@@ -107,6 +124,17 @@ mod tests {
         let a = CsrMatrix::from_coo(&CooMatrix::from_entries(8, 8, vec![(0, 0, 1.0f32)]));
         let b = CsrMatrix::from_coo(&CooMatrix::from_entries(16, 8, vec![(0, 0, 1.0f32)]));
         assert_ne!(Fingerprint::of(&a), Fingerprint::of(&b));
+    }
+
+    #[test]
+    fn dense_fingerprint_sees_values_and_shape() {
+        let a = DenseMatrix::<f32>::from_fn(4, 4, |r, c| (r * 4 + c) as f32);
+        let b = DenseMatrix::<f32>::from_fn(4, 4, |r, c| (r * 4 + c) as f32);
+        assert_eq!(Fingerprint::of_dense(&a), Fingerprint::of_dense(&b));
+        let shifted = DenseMatrix::<f32>::from_fn(4, 4, |r, c| (r * 4 + c) as f32 + 0.5);
+        assert_ne!(Fingerprint::of_dense(&a), Fingerprint::of_dense(&shifted));
+        let reshaped = DenseMatrix::<f32>::from_fn(2, 8, |r, c| (r * 8 + c) as f32);
+        assert_ne!(Fingerprint::of_dense(&a), Fingerprint::of_dense(&reshaped));
     }
 
     #[test]

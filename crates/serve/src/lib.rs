@@ -12,6 +12,11 @@
 //! - [`engine`] — a bounded-queue, panic-isolated worker pool that
 //!   groups concurrent requests for the same matrix into micro-batches
 //!   and folds [`fs_tcu::KernelCounters`] into per-tenant totals.
+//! - [`gnn_infer`] — end-to-end GNN inference serving: registered
+//!   [`fs_gnn::GnnWeights`] models run complete GCN/AGNN forward passes
+//!   server-side (`REQ_GNN_INFER`), bit-identical to the offline fs-gnn
+//!   pass at per-request FP16/TF32/FP32 precision, with an LRU
+//!   per-layer embedding cache keyed by feature fingerprint.
 //! - [`protocol`]/[`server`]/[`client`] — a length-prefixed binary TCP
 //!   protocol (std::net only) plus a blocking client.
 //! - [`loadgen`] — open/closed-loop traffic generation with a JSON
@@ -59,6 +64,7 @@ pub mod cache;
 pub mod client;
 pub mod engine;
 pub mod fingerprint;
+pub mod gnn_infer;
 pub mod loadgen;
 pub mod metrics;
 pub mod protocol;
@@ -67,12 +73,15 @@ pub mod server;
 pub use args::{parse_value, FlagParser};
 pub use cache::{CacheStats, CachedFormat, FormatCache};
 pub use client::{
-    ClientError, ClusterSpmmResult, LoadedMatrix, ServeClient, SpmmResult, DEFAULT_CONNECT_TIMEOUT,
-    DEFAULT_IO_TIMEOUT,
+    ClientError, ClusterSpmmResult, GnnInferResult, LoadedMatrix, ServeClient, SpmmResult,
+    DEFAULT_CONNECT_TIMEOUT, DEFAULT_IO_TIMEOUT,
 };
 pub use engine::{
     EngineConfig, RegisterError, ServeEngine, SpmmOutcome, SpmmRequest, SpmmResponse, SubmitError,
 };
 pub use fingerprint::Fingerprint;
+pub use gnn_infer::{
+    backend_for_precision, GnnConfig, GnnError, GnnInferRequest, GnnInferResponse, GnnModelInfo,
+};
 pub use loadgen::{percentile, LoadReport, LoadgenConfig, MatrixSpec};
 pub use server::{Server, ServerConfig, DEFAULT_MAX_LOAD_DIM};

@@ -15,10 +15,14 @@ use std::time::{Duration, Instant};
 
 use flashsparse::{FallbackLevel, DEFAULT_TOLERANCE};
 use fs_chaos::Backoff;
-use fs_matrix::gen::{random_uniform, rmat, RmatConfig};
+use fs_gnn::nn::{accuracy, cross_entropy};
+use fs_gnn::{normalize_adjacency, GcnModel, SparseOps};
+use fs_matrix::gen::{random_uniform, rmat, sbm, RmatConfig, SbmConfig};
 use fs_matrix::{CsrMatrix, DenseMatrix};
+use fs_tcu::GpuSpec;
 
-use crate::client::{ClientError, ClusterSpmmResult, ServeClient};
+use crate::client::{ClientError, ClusterSpmmResult, GnnInferResult, ServeClient};
+use crate::gnn_infer::backend_for_precision;
 
 /// Attempts per request in chaos mode (first try + retries).
 const CHAOS_ATTEMPTS: u32 = 6;
@@ -97,6 +101,42 @@ pub struct LoadgenConfig {
     /// degraded responses row-wise — present rows against the reference,
     /// absent rows all-zero as the bitmap promises.
     pub cluster: bool,
+    /// GNN inference mode: train a small GCN client-side, register the
+    /// graph and weights, then drive `REQ_GNN_INFER` instead of SpMM.
+    /// Every response is bit-compared against the offline fs-gnn forward
+    /// pass; a mismatch counts in [`LoadReport::wrong`].
+    pub gnn: Option<GnnSpec>,
+}
+
+/// Settings of the `--gnn` workload.
+#[derive(Clone, Copy, Debug)]
+pub struct GnnSpec {
+    /// Nodes of the planted-community (SBM) graph.
+    pub nodes: usize,
+    /// Input feature dimension.
+    pub feature_dim: usize,
+    /// GCN hidden dimension.
+    pub hidden: usize,
+    /// Client-side training epochs before the weights are registered.
+    pub train_epochs: usize,
+    /// Wire precision for every request: 0 = FP32, 1 = TF32, 2 = FP16.
+    pub precision: u8,
+    /// Distinct feature matrices cycled across requests — repeats hit
+    /// the server's embedding cache, fresh ones miss.
+    pub variants: usize,
+}
+
+impl Default for GnnSpec {
+    fn default() -> GnnSpec {
+        GnnSpec {
+            nodes: 256,
+            feature_dim: 32,
+            hidden: 32,
+            train_epochs: 30,
+            precision: 2,
+            variants: 4,
+        }
+    }
 }
 
 impl Default for LoadgenConfig {
@@ -114,6 +154,7 @@ impl Default for LoadgenConfig {
             ready_timeout: Duration::from_secs(10),
             chaos: false,
             cluster: false,
+            gnn: None,
         }
     }
 }
@@ -199,6 +240,19 @@ pub struct LoadReport {
     /// Per-shard detector states (`up`/`suspect`/`down`) in shard-index
     /// order, echoed from `heal` (empty against a plain server).
     pub heal_shard_states: Vec<String>,
+    /// GNN mode: wire precision driven (0/1/2); 0 outside GNN mode too,
+    /// so read it together with `mode == "gnn"`.
+    pub gnn_precision: u8,
+    /// GNN mode: model layers (length of the per-layer latency arrays).
+    pub gnn_layers: u64,
+    /// GNN mode: test-split accuracy of the served logits (argmax over
+    /// the offline reference, which the server must match bitwise).
+    pub gnn_accuracy: f64,
+    /// GNN mode: per-layer p50 server-side microseconds over cache
+    /// misses (hits skip the forward pass entirely).
+    pub gnn_layer_p50_us: Vec<u64>,
+    /// GNN mode: per-layer p95 server-side microseconds over cache misses.
+    pub gnn_layer_p95_us: Vec<u64>,
 }
 
 impl LoadReport {
@@ -254,6 +308,19 @@ impl LoadReport {
         w.key("heal_shard_states").begin_array();
         for s in &self.heal_shard_states {
             w.value_str(s);
+        }
+        w.end_array();
+        w.field_u64("gnn_precision", u64::from(self.gnn_precision));
+        w.field_u64("gnn_layers", self.gnn_layers);
+        w.field_f64("gnn_accuracy", self.gnn_accuracy);
+        w.key("gnn_layer_p50_us").begin_array();
+        for &us in &self.gnn_layer_p50_us {
+            w.value_u64(us);
+        }
+        w.end_array();
+        w.key("gnn_layer_p95_us").begin_array();
+        for &us in &self.gnn_layer_p95_us {
+            w.value_u64(us);
         }
         w.end_array();
         w.end_object();
@@ -424,6 +491,9 @@ fn load_with_retry(
 /// Run the configured workload. Returns the report, or an error string
 /// when the server cannot be reached at all.
 pub fn run(cfg: &LoadgenConfig) -> Result<LoadReport, String> {
+    if let Some(spec) = cfg.gnn {
+        return run_gnn(cfg, spec);
+    }
     let csr = Arc::new(cfg.matrix.build());
     let b: Arc<Vec<f32>> =
         Arc::new((0..csr.cols() * cfg.n).map(|i| ((i % 11) as f32 - 5.0) * 0.125).collect());
@@ -673,9 +743,14 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadReport, String> {
             }
         }
     }
-    // Execution-mode accounting from the server's cumulative metrics
-    // (best effort: a run against an unreachable/older server reports
-    // zeros rather than failing the whole workload).
+    attach_server_metrics(&mut report, cfg);
+    Ok(report)
+}
+
+/// Execution-mode accounting from the server's cumulative metrics
+/// (best effort: a run against an unreachable/older server reports
+/// zeros rather than failing the whole workload).
+fn attach_server_metrics(report: &mut LoadReport, cfg: &LoadgenConfig) {
     if let Ok(mut c) = ServeClient::connect_with_retry(&cfg.addr, cfg.ready_timeout) {
         if let Ok(m) = c.metrics() {
             let exec = m.find("\"exec\":{").map(|i| &m[i..]).unwrap_or("");
@@ -699,7 +774,324 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadReport, String> {
             report.heal_shard_states = extract_all_str(states_end, "state");
         }
     }
+}
+
+/// [`ServeClient::gnn_infer`] with retry/reconnect over transient
+/// failures — the GNN-mode analogue of `spmm_retrying`.
+#[allow(clippy::too_many_arguments)]
+fn gnn_infer_retrying(
+    client: &mut ServeClient,
+    cfg: &LoadgenConfig,
+    tenant: &str,
+    model_id: u64,
+    precision: u8,
+    features: &DenseMatrix<f32>,
+    attempts: u32,
+    backoff: &mut Backoff,
+) -> Result<GnnInferResult, ClientError> {
+    let mut last: Option<ClientError> = None;
+    for attempt in 0..attempts.max(1) {
+        if attempt > 0 {
+            thread::sleep(backoff.next_delay());
+        }
+        match client.gnn_infer(
+            tenant,
+            model_id,
+            precision,
+            cfg.deadline_ms,
+            &[],
+            features.rows(),
+            features.cols(),
+            features.as_slice(),
+        ) {
+            Ok(resp) => return Ok(resp),
+            Err(e @ (ClientError::Io(_) | ClientError::Proto(_) | ClientError::Unexpected(_))) => {
+                let _ = client.reconnect();
+                last = Some(e);
+            }
+            Err(ClientError::Server { code, message })
+                if matches!(
+                    code,
+                    crate::protocol::ErrorCode::Internal | crate::protocol::ErrorCode::QueueFull
+                ) =>
+            {
+                last = Some(ClientError::Server { code, message });
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last.unwrap_or_else(|| ClientError::Unexpected("no attempt was made".into())))
+}
+
+/// The `--gnn` workload: train a GCN offline, register the normalized
+/// adjacency and the trained weights, then drive `REQ_GNN_INFER` across
+/// `spec.variants` feature matrices. Served logits must be bit-identical
+/// to the offline forward pass — any deviation counts as `wrong`.
+fn run_gnn(cfg: &LoadgenConfig, spec: GnnSpec) -> Result<LoadReport, String> {
+    let backend = backend_for_precision(spec.precision)
+        .ok_or_else(|| format!("unknown gnn precision {} (0/1/2)", spec.precision))?;
+    let ds = sbm(
+        SbmConfig {
+            nodes: spec.nodes,
+            feature_dim: spec.feature_dim,
+            feature_signal: 1.5,
+            ..Default::default()
+        },
+        42,
+    );
+    let adj = normalize_adjacency(&ds.adjacency);
+
+    // Brief offline training at the serving precision, so the registered
+    // weights are the ones that precision actually produces (Table 8's
+    // column, not FP32 weights replayed at FP16).
+    let ops = SparseOps::new(backend, GpuSpec::RTX4090);
+    let mut model = GcnModel::new(&[ds.features.cols(), spec.hidden, ds.classes], 0.01, 7);
+    for _ in 0..spec.train_epochs {
+        let logits = model.forward(&ops, &adj, &ds.features);
+        let (_, grad) = cross_entropy(&logits, &ds.labels, &ds.train_idx);
+        model.backward_and_step(&ops, &adj, &grad);
+    }
+    let weights = model.export_weights();
+
+    // The feature variants requests cycle through: variant 0 is the real
+    // dataset; the rest are small deterministic perturbations, each a
+    // distinct embedding-cache key.
+    let variants: Vec<Arc<DenseMatrix<f32>>> = (0..spec.variants.max(1))
+        .map(|v| {
+            Arc::new(DenseMatrix::from_fn(ds.features.rows(), ds.features.cols(), |r, c| {
+                ds.features.get(r, c) + v as f32 * 0.001
+            }))
+        })
+        .collect();
+
+    // Offline bit-exact references (fresh SparseOps: stats do not alter
+    // numerics, but keep the reference run self-contained).
+    let ref_ops = SparseOps::new(backend, GpuSpec::RTX4090);
+    let mut reference: Vec<Arc<Vec<f32>>> = Vec::with_capacity(variants.len());
+    let mut test_accuracy = 0.0;
+    for (v, features) in variants.iter().enumerate() {
+        let logits = weights.forward(&ref_ops, &adj, features);
+        if v == 0 {
+            test_accuracy = accuracy(&logits, &ds.labels, &ds.test_idx);
+        }
+        reference.push(Arc::new(logits.as_slice().to_vec()));
+    }
+
+    // Register the graph and the model (retrying through chaos faults; a
+    // duplicate registration is harmless, the last ids win).
+    let (matrix_id, model_id, layers) = {
+        let mut probe = ServeClient::connect_with_retry(&cfg.addr, cfg.ready_timeout)
+            .map_err(|e| format!("server not reachable: {e}"))?;
+        let loaded = load_with_retry(&mut probe, cfg, "g0", &adj)?;
+        let (kind, wire, scalars) = weights.export_wire();
+        let wire_weights: Vec<(u32, u32, Vec<f32>)> =
+            wire.into_iter().map(|(r, c, data)| (r as u32, c as u32, data)).collect();
+        let attempts = if cfg.chaos { CHAOS_ATTEMPTS } else { 1 };
+        let mut backoff = Backoff::for_client(0x6E6E);
+        let mut registered = Err("gnn register: no attempt made".to_string());
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                thread::sleep(backoff.next_delay());
+                let _ = probe.reconnect();
+            }
+            match probe.gnn_register(
+                "g0",
+                loaded.matrix_id,
+                kind,
+                wire_weights.clone(),
+                scalars.clone(),
+            ) {
+                Ok(ok) => {
+                    registered = Ok(ok);
+                    break;
+                }
+                Err(e) => registered = Err(format!("gnn register failed: {e}")),
+            }
+        }
+        let (model_id, _, layers) = registered?;
+        (loaded.matrix_id, model_id, layers as usize)
+    };
+    let _ = matrix_id;
+
+    let issued = Arc::new(AtomicUsize::new(0));
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for w in 0..cfg.concurrency.max(1) {
+        let cfg = cfg.clone();
+        let issued = Arc::clone(&issued);
+        let variants = variants.clone();
+        let reference = reference.clone();
+        handles.push(thread::spawn(move || -> GnnWorkerTally {
+            let mut tally = GnnWorkerTally {
+                latencies: Vec::new(),
+                rejected: 0,
+                timed_out: 0,
+                errors: 0,
+                cache_hits: 0,
+                wrong: 0,
+                retried: 0,
+                layer_micros: vec![Vec::new(); layers],
+            };
+            let mut backoff = Backoff::for_client(w as u64);
+            let mut client = match ServeClient::connect_with_retry(&cfg.addr, cfg.ready_timeout) {
+                Ok(c) => c,
+                Err(_) => {
+                    tally.errors += 1;
+                    return tally;
+                }
+            };
+            loop {
+                let slot = issued.fetch_add(1, Ordering::Relaxed);
+                if slot >= cfg.requests {
+                    break;
+                }
+                if let Some(rps) = cfg.open_rps {
+                    let due = started + Duration::from_secs_f64(slot as f64 / rps);
+                    let now = Instant::now();
+                    if now < due {
+                        thread::sleep(due - now);
+                    }
+                    if started.elapsed() > cfg.duration {
+                        break;
+                    }
+                }
+                let variant = slot % variants.len();
+                let features = &variants[variant];
+                let t0 = Instant::now();
+                let result = if cfg.chaos {
+                    gnn_infer_retrying(
+                        &mut client,
+                        &cfg,
+                        "g0",
+                        model_id,
+                        cfg.gnn.map_or(2, |s| s.precision),
+                        features,
+                        CHAOS_ATTEMPTS,
+                        &mut backoff,
+                    )
+                } else {
+                    client.gnn_infer(
+                        "g0",
+                        model_id,
+                        cfg.gnn.map_or(2, |s| s.precision),
+                        cfg.deadline_ms,
+                        &[],
+                        features.rows(),
+                        features.cols(),
+                        features.as_slice(),
+                    )
+                };
+                tally.retried += u64::from(backoff.attempts());
+                backoff.reset();
+                match result {
+                    Ok(resp) => {
+                        let us = t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+                        tally.latencies.push(us);
+                        if resp.cache_hit {
+                            tally.cache_hits += 1;
+                        } else {
+                            for (layer, &us) in resp.layer_micros.iter().enumerate() {
+                                if let Some(bucket) = tally.layer_micros.get_mut(layer) {
+                                    bucket.push(us);
+                                }
+                            }
+                        }
+                        // Bit identity is the contract, in and out of
+                        // chaos: the serving path must replay the offline
+                        // forward pass exactly.
+                        let exp = &reference[variant];
+                        let same = resp.scores.len() == exp.len()
+                            && resp
+                                .scores
+                                .iter()
+                                .zip(exp.iter())
+                                .all(|(a, e)| a.to_bits() == e.to_bits());
+                        if !same {
+                            tally.wrong += 1;
+                        }
+                    }
+                    Err(ClientError::Server { code, .. }) => match code {
+                        crate::protocol::ErrorCode::QueueFull => tally.rejected += 1,
+                        crate::protocol::ErrorCode::DeadlineExceeded => tally.timed_out += 1,
+                        _ => tally.errors += 1,
+                    },
+                    Err(_) => {
+                        tally.errors += 1;
+                        match ServeClient::connect_with_retry(&cfg.addr, cfg.ready_timeout) {
+                            Ok(c) => client = c,
+                            Err(_) => break,
+                        }
+                    }
+                }
+            }
+            tally
+        }));
+    }
+
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut layer_micros: Vec<Vec<u64>> = vec![Vec::new(); layers];
+    let mut report = LoadReport {
+        mode: "gnn".to_string(),
+        gnn_precision: spec.precision,
+        gnn_layers: layers as u64,
+        gnn_accuracy: test_accuracy,
+        ..LoadReport::default()
+    };
+    for h in handles {
+        match h.join() {
+            Ok(t) => {
+                latencies.extend(t.latencies);
+                for (layer, bucket) in t.layer_micros.into_iter().enumerate() {
+                    if let Some(dst) = layer_micros.get_mut(layer) {
+                        dst.extend(bucket);
+                    }
+                }
+                report.rejected += t.rejected;
+                report.timed_out += t.timed_out;
+                report.errors += t.errors;
+                report.cache_hits += t.cache_hits;
+                report.wrong += t.wrong;
+                report.retried += t.retried;
+            }
+            Err(_) => report.errors += 1,
+        }
+    }
+    let elapsed = started.elapsed();
+    latencies.sort_unstable();
+    report.completed = latencies.len() as u64;
+    report.duration_ms = elapsed.as_millis().min(u128::from(u64::MAX)) as u64;
+    report.rps = if elapsed.as_secs_f64() > 0.0 {
+        report.completed as f64 / elapsed.as_secs_f64()
+    } else {
+        0.0
+    };
+    report.p50_us = percentile(&latencies, 50.0);
+    report.p95_us = percentile(&latencies, 95.0);
+    report.p99_us = percentile(&latencies, 99.0);
+    report.mean_us = if latencies.is_empty() {
+        0
+    } else {
+        latencies.iter().sum::<u64>() / latencies.len() as u64
+    };
+    for bucket in &mut layer_micros {
+        bucket.sort_unstable();
+        report.gnn_layer_p50_us.push(percentile(bucket, 50.0));
+        report.gnn_layer_p95_us.push(percentile(bucket, 95.0));
+    }
+    attach_server_metrics(&mut report, cfg);
     Ok(report)
+}
+
+struct GnnWorkerTally {
+    latencies: Vec<u64>,
+    rejected: u64,
+    timed_out: u64,
+    errors: u64,
+    cache_hits: u64,
+    wrong: u64,
+    retried: u64,
+    /// Per-layer server-side microseconds over cache misses.
+    layer_micros: Vec<Vec<u64>>,
 }
 
 #[cfg(test)]
@@ -863,6 +1255,30 @@ mod tests {
         let states = heal.find(']').map(|i| &heal[..i]).unwrap_or("");
         assert_eq!(extract_all_str(states, "state"), vec!["up", "down"]);
         assert!(extract_all_str("", "state").is_empty());
+    }
+
+    #[test]
+    fn report_json_has_the_gnn_fields() {
+        let r = LoadReport {
+            mode: "gnn".into(),
+            gnn_precision: 2,
+            gnn_layers: 2,
+            gnn_accuracy: 0.75,
+            gnn_layer_p50_us: vec![120, 80],
+            gnn_layer_p95_us: vec![300, 200],
+            ..LoadReport::default()
+        };
+        let j = r.to_json();
+        for key in [
+            "\"mode\":\"gnn\"",
+            "\"gnn_precision\":2",
+            "\"gnn_layers\":2",
+            "\"gnn_accuracy\":0.75",
+            "\"gnn_layer_p50_us\":[120,80]",
+            "\"gnn_layer_p95_us\":[300,200]",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
     }
 
     #[test]

@@ -104,6 +104,50 @@ pub enum Request {
         /// Handle from [`Response::Loaded`].
         matrix_id: u64,
     },
+    /// Register trained GNN weights against an already-loaded graph;
+    /// the server replies [`Response::GnnRegistered`]. The graph (for
+    /// GCN: the normalized adjacency; for AGNN: the normalized adjacency
+    /// doubling as the attention mask) must have been registered with
+    /// [`Request::Load`] first.
+    GnnRegister {
+        /// Tenant the model is accounted to.
+        tenant: String,
+        /// Graph handle from [`Response::Loaded`].
+        matrix_id: u64,
+        /// Model kind: 0 = GCN, 1 = AGNN.
+        kind: u8,
+        /// Dense weight matrices in forward order as
+        /// `(rows, cols, row-major values)`: per-layer `W` for GCN;
+        /// `[w_in, w_out]` for AGNN.
+        weights: Vec<(u32, u32, Vec<f32>)>,
+        /// Trained scalars: empty for GCN; per-attention-layer β for
+        /// AGNN (the count sets the number of attention layers).
+        scalars: Vec<f32>,
+    },
+    /// Run a full multi-layer forward pass server-side; the server
+    /// replies [`Response::GnnInfer`]. Aggregation always spans the full
+    /// registered graph; `node_ids` only selects which rows of the
+    /// logits come back (mini-batch scoring).
+    GnnInfer {
+        /// Tenant the work is accounted to.
+        tenant: String,
+        /// Model handle from [`Response::GnnRegistered`].
+        model_id: u64,
+        /// Kernel precision: 0 = FP32 (CUDA-core reference),
+        /// 1 = TF32 (FlashSparse `m16n8k4`), 2 = FP16 (FlashSparse
+        /// `m16n8k8`) — Table 8's accuracy/latency knob, per request.
+        precision: u8,
+        /// Deadline in milliseconds (0 = server default).
+        deadline_ms: u32,
+        /// Node ids whose scores to return; empty = all nodes.
+        node_ids: Vec<u32>,
+        /// Feature-matrix rows (must equal the graph's node count).
+        f_rows: u32,
+        /// Feature-matrix columns (must equal the model's input dim).
+        f_cols: u32,
+        /// Row-major node features, `f_rows × f_cols` values.
+        features: Vec<f32>,
+    },
 }
 
 /// Server → client messages.
@@ -207,6 +251,30 @@ pub enum Response {
     Evicted {
         /// Whether the matrix existed (and was dropped).
         existed: bool,
+    },
+    /// A GNN model was registered.
+    GnnRegistered {
+        /// Handle for subsequent [`Request::GnnInfer`]s.
+        model_id: u64,
+        /// Resident parameter bytes charged to the registry budget.
+        weight_bytes: u64,
+        /// Timed layers a forward pass of this model reports.
+        layers: u32,
+    },
+    /// A GNN inference completed.
+    GnnInfer {
+        /// Score rows returned (requested node count, or all nodes).
+        rows: u32,
+        /// Classes per node (the model's output dimension).
+        classes: u32,
+        /// Row-major logits, `rows × classes` values, in `node_ids`
+        /// order (natural order when all nodes were requested).
+        scores: Vec<f32>,
+        /// Per-layer execution microseconds, forward order. Zeros on an
+        /// embedding-cache hit (no layers ran).
+        layer_micros: Vec<u64>,
+        /// Whether the logits came from the embedding cache.
+        cache_hit: bool,
     },
     /// The request failed.
     Error {
@@ -439,6 +507,8 @@ const REQ_SHARD_JOIN: u8 = 7;
 const REQ_CLUSTER_SPMM: u8 = 8;
 const REQ_EXPORT: u8 = 9;
 const REQ_EVICT: u8 = 10;
+const REQ_GNN_REGISTER: u8 = 11;
+const REQ_GNN_INFER: u8 = 12;
 
 const RESP_LOADED: u8 = 128;
 const RESP_SPMM: u8 = 129;
@@ -450,6 +520,8 @@ const RESP_SHARD_JOINED: u8 = 134;
 const RESP_CLUSTER_SPMM: u8 = 135;
 const RESP_EXPORT: u8 = 136;
 const RESP_EVICTED: u8 = 137;
+const RESP_GNN_REGISTERED: u8 = 138;
+const RESP_GNN_INFER: u8 = 139;
 const RESP_ERROR: u8 = 255;
 
 impl Request {
@@ -522,6 +594,65 @@ impl Request {
                 put_string(&mut out, tenant)?;
                 out.extend_from_slice(&matrix_id.to_le_bytes());
             }
+            Request::GnnRegister { tenant, matrix_id, kind, weights, scalars } => {
+                for (i, (rows, cols, data)) in weights.iter().enumerate() {
+                    if data.len() != *rows as usize * *cols as usize {
+                        return Err(ProtoError(format!(
+                            "weight {i} has {} values, dims say {}",
+                            data.len(),
+                            *rows as usize * *cols as usize
+                        )));
+                    }
+                }
+                out.push(REQ_GNN_REGISTER);
+                put_string(&mut out, tenant)?;
+                out.extend_from_slice(&matrix_id.to_le_bytes());
+                out.push(*kind);
+                let n = u16::try_from(weights.len())
+                    .map_err(|_| ProtoError("too many weight matrices".into()))?;
+                out.extend_from_slice(&n.to_le_bytes());
+                for (rows, cols, data) in weights {
+                    out.extend_from_slice(&rows.to_le_bytes());
+                    out.extend_from_slice(&cols.to_le_bytes());
+                    put_f32s(&mut out, data);
+                }
+                let n = u16::try_from(scalars.len())
+                    .map_err(|_| ProtoError("too many scalars".into()))?;
+                out.extend_from_slice(&n.to_le_bytes());
+                put_f32s(&mut out, scalars);
+            }
+            Request::GnnInfer {
+                tenant,
+                model_id,
+                precision,
+                deadline_ms,
+                node_ids,
+                f_rows,
+                f_cols,
+                features,
+            } => {
+                if features.len() != *f_rows as usize * *f_cols as usize {
+                    return Err(ProtoError(format!(
+                        "features have {} values, dims say {}",
+                        features.len(),
+                        *f_rows as usize * *f_cols as usize
+                    )));
+                }
+                out.push(REQ_GNN_INFER);
+                put_string(&mut out, tenant)?;
+                out.extend_from_slice(&model_id.to_le_bytes());
+                out.push(*precision);
+                out.extend_from_slice(&deadline_ms.to_le_bytes());
+                let n = u32::try_from(node_ids.len())
+                    .map_err(|_| ProtoError("too many node ids".into()))?;
+                out.extend_from_slice(&n.to_le_bytes());
+                for id in node_ids {
+                    out.extend_from_slice(&id.to_le_bytes());
+                }
+                out.extend_from_slice(&f_rows.to_le_bytes());
+                out.extend_from_slice(&f_cols.to_le_bytes());
+                put_f32s(&mut out, features);
+            }
         }
         Ok(out)
     }
@@ -566,6 +697,46 @@ impl Request {
             }
             REQ_EXPORT => Request::Export { tenant: c.string()?, matrix_id: c.u64()? },
             REQ_EVICT => Request::Evict { tenant: c.string()?, matrix_id: c.u64()? },
+            REQ_GNN_REGISTER => {
+                let tenant = c.string()?;
+                let matrix_id = c.u64()?;
+                let kind = c.u8()?;
+                let n = c.u16()? as usize;
+                let mut weights = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let rows = c.u32()?;
+                    let cols = c.u32()?;
+                    let data = c.f32_vec(rows as usize * cols as usize)?;
+                    weights.push((rows, cols, data));
+                }
+                let n = c.u16()? as usize;
+                let scalars = c.f32_vec(n)?;
+                Request::GnnRegister { tenant, matrix_id, kind, weights, scalars }
+            }
+            REQ_GNN_INFER => {
+                let tenant = c.string()?;
+                let model_id = c.u64()?;
+                let precision = c.u8()?;
+                let deadline_ms = c.u32()?;
+                let n = c.u32()? as usize;
+                let mut node_ids = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    node_ids.push(c.u32()?);
+                }
+                let f_rows = c.u32()?;
+                let f_cols = c.u32()?;
+                let features = c.f32_vec(f_rows as usize * f_cols as usize)?;
+                Request::GnnInfer {
+                    tenant,
+                    model_id,
+                    precision,
+                    deadline_ms,
+                    node_ids,
+                    f_rows,
+                    f_cols,
+                    features,
+                }
+            }
             tag => return Err(ProtoError(format!("unknown request tag {tag}"))),
         };
         c.done()?;
@@ -685,6 +856,28 @@ impl Response {
                 out.push(RESP_EVICTED);
                 out.push(u8::from(*existed));
             }
+            Response::GnnRegistered { model_id, weight_bytes, layers } => {
+                out.push(RESP_GNN_REGISTERED);
+                out.extend_from_slice(&model_id.to_le_bytes());
+                out.extend_from_slice(&weight_bytes.to_le_bytes());
+                out.extend_from_slice(&layers.to_le_bytes());
+            }
+            Response::GnnInfer { rows, classes, scores, layer_micros, cache_hit } => {
+                if scores.len() != *rows as usize * *classes as usize {
+                    return Err(ProtoError("score dims disagree with data length".into()));
+                }
+                out.push(RESP_GNN_INFER);
+                out.extend_from_slice(&rows.to_le_bytes());
+                out.extend_from_slice(&classes.to_le_bytes());
+                put_f32s(&mut out, scores);
+                let n = u16::try_from(layer_micros.len())
+                    .map_err(|_| ProtoError("too many layer timings".into()))?;
+                out.extend_from_slice(&n.to_le_bytes());
+                for micros in layer_micros {
+                    out.extend_from_slice(&micros.to_le_bytes());
+                }
+                out.push(u8::from(*cache_hit));
+            }
             Response::Error { code, message } => {
                 out.push(RESP_ERROR);
                 out.push(code.to_byte());
@@ -781,6 +974,23 @@ impl Response {
                 Response::Export { rows, cols, entries }
             }
             RESP_EVICTED => Response::Evicted { existed: c.u8()? != 0 },
+            RESP_GNN_REGISTERED => Response::GnnRegistered {
+                model_id: c.u64()?,
+                weight_bytes: c.u64()?,
+                layers: c.u32()?,
+            },
+            RESP_GNN_INFER => {
+                let rows = c.u32()?;
+                let classes = c.u32()?;
+                let scores = c.f32_vec(rows as usize * classes as usize)?;
+                let n = c.u16()? as usize;
+                let mut layer_micros = Vec::with_capacity(n);
+                for _ in 0..n {
+                    layer_micros.push(c.u64()?);
+                }
+                let cache_hit = c.u8()? != 0;
+                Response::GnnInfer { rows, classes, scores, layer_micros, cache_hit }
+            }
             RESP_ERROR => {
                 let code = ErrorCode::from_byte(c.u8()?)
                     .ok_or_else(|| ProtoError("unknown error code".into()))?;
@@ -838,6 +1048,118 @@ mod tests {
         });
         roundtrip_req(Request::Export { tenant: "t".into(), matrix_id: 3 });
         roundtrip_req(Request::Evict { tenant: "t".into(), matrix_id: 4 });
+    }
+
+    #[test]
+    fn gnn_requests_roundtrip() {
+        roundtrip_req(Request::GnnRegister {
+            tenant: "t".into(),
+            matrix_id: 5,
+            kind: 0,
+            weights: vec![(2, 3, vec![0.5; 6]), (3, 2, vec![-1.25; 6])],
+            scalars: vec![],
+        });
+        roundtrip_req(Request::GnnRegister {
+            tenant: "t".into(),
+            matrix_id: 6,
+            kind: 1,
+            weights: vec![(4, 8, vec![0.125; 32]), (8, 2, vec![2.0; 16])],
+            scalars: vec![1.0, 0.75],
+        });
+        roundtrip_req(Request::GnnInfer {
+            tenant: "t".into(),
+            model_id: 9,
+            precision: 2,
+            deadline_ms: 500,
+            node_ids: vec![0, 3, 7],
+            f_rows: 2,
+            f_cols: 2,
+            features: vec![1.0, 0.0, -0.5, 4.0],
+        });
+        roundtrip_req(Request::GnnInfer {
+            tenant: "t".into(),
+            model_id: 9,
+            precision: 0,
+            deadline_ms: 0,
+            node_ids: vec![],
+            f_rows: 1,
+            f_cols: 3,
+            features: vec![0.0, f32::MAX, -1.0],
+        });
+    }
+
+    #[test]
+    fn gnn_responses_roundtrip() {
+        roundtrip_resp(Response::GnnRegistered { model_id: 1, weight_bytes: 4096, layers: 3 });
+        roundtrip_resp(Response::GnnInfer {
+            rows: 2,
+            classes: 2,
+            scores: vec![0.5, -0.5, 1.0, 0.0],
+            layer_micros: vec![10, 20, 30],
+            cache_hit: false,
+        });
+        roundtrip_resp(Response::GnnInfer {
+            rows: 0,
+            classes: 4,
+            scores: vec![],
+            layer_micros: vec![],
+            cache_hit: true,
+        });
+    }
+
+    #[test]
+    fn gnn_dims_are_validated_at_encode() {
+        let bad_weights = Request::GnnRegister {
+            tenant: "t".into(),
+            matrix_id: 1,
+            kind: 0,
+            weights: vec![(2, 3, vec![0.0; 5])],
+            scalars: vec![],
+        };
+        assert!(bad_weights.encode().is_err());
+        let bad_features = Request::GnnInfer {
+            tenant: "t".into(),
+            model_id: 1,
+            precision: 0,
+            deadline_ms: 0,
+            node_ids: vec![],
+            f_rows: 2,
+            f_cols: 2,
+            features: vec![0.0; 3],
+        };
+        assert!(bad_features.encode().is_err());
+        let bad_scores = Response::GnnInfer {
+            rows: 2,
+            classes: 2,
+            scores: vec![0.0; 3],
+            layer_micros: vec![],
+            cache_hit: false,
+        };
+        assert!(bad_scores.encode().is_err());
+    }
+
+    /// Same adversarial-length shape as the SpMM test: dims that multiply
+    /// past `u32` must fail cleanly in the cursor, not wrap or OOM.
+    #[test]
+    fn adversarial_gnn_lengths_error_cleanly() {
+        let mut payload = vec![REQ_GNN_INFER];
+        payload.extend_from_slice(&0u16.to_le_bytes()); // empty tenant
+        payload.extend_from_slice(&1u64.to_le_bytes()); // model_id
+        payload.push(0); // precision
+        payload.extend_from_slice(&0u32.to_le_bytes()); // deadline_ms
+        payload.extend_from_slice(&0u32.to_le_bytes()); // node_ids count
+        payload.extend_from_slice(&0x7FFF_FFFFu32.to_le_bytes()); // f_rows
+        payload.extend_from_slice(&0x8000_0001u32.to_le_bytes()); // f_cols
+        assert!(Request::decode(&payload).is_err());
+        // A weight matrix with adversarial dims inside GnnRegister.
+        let mut payload = vec![REQ_GNN_REGISTER];
+        payload.extend_from_slice(&0u16.to_le_bytes()); // empty tenant
+        payload.extend_from_slice(&1u64.to_le_bytes()); // matrix_id
+        payload.push(0); // kind
+        payload.extend_from_slice(&1u16.to_le_bytes()); // one weight
+        payload.extend_from_slice(&0x7FFF_FFFFu32.to_le_bytes()); // rows
+        payload.extend_from_slice(&0x8000_0001u32.to_le_bytes()); // cols
+        assert!(Request::decode(&payload).is_err());
     }
 
     #[test]

@@ -13,9 +13,11 @@ use fs_matrix::{CooMatrix, CsrMatrix, DenseMatrix};
 use parking_lot::Mutex;
 
 use crate::engine::{EngineConfig, ServeEngine, SpmmOutcome, SpmmRequest, SubmitError};
+use crate::gnn_infer::{GnnError, GnnInferRequest};
 use crate::protocol::{
     frame_bytes, read_frame, write_frame, ErrorCode, Request, Response, FRAME_HEADER_BYTES,
 };
+use fs_gnn::GnnWeights;
 
 /// Default cap on the rows/cols a `Load` request may declare.
 ///
@@ -397,5 +399,96 @@ fn dispatch(
         Request::Evict { tenant: _, matrix_id } => {
             Response::Evicted { existed: engine.evict_matrix(matrix_id) }
         }
+        Request::GnnRegister { tenant, matrix_id, kind, weights, scalars } => {
+            let dense = |w: &(u32, u32, Vec<f32>)| {
+                DenseMatrix::from_f32_slice(w.0 as usize, w.1 as usize, &w.2)
+            };
+            let model = match kind {
+                0 => {
+                    if !scalars.is_empty() {
+                        return Response::Error {
+                            code: ErrorCode::BadRequest,
+                            message: "GCN models take no scalar parameters".to_string(),
+                        };
+                    }
+                    GnnWeights::gcn(weights.iter().map(dense).collect())
+                }
+                1 => {
+                    if weights.len() != 2 {
+                        return Response::Error {
+                            code: ErrorCode::BadRequest,
+                            message: format!(
+                                "AGNN needs exactly 2 weight matrices (w_in, w_out), got {}",
+                                weights.len()
+                            ),
+                        };
+                    }
+                    GnnWeights::Agnn {
+                        w_in: dense(&weights[0]),
+                        betas: scalars,
+                        w_out: dense(&weights[1]),
+                    }
+                }
+                k => {
+                    return Response::Error {
+                        code: ErrorCode::BadRequest,
+                        message: format!("unknown model kind {k} (0=GCN, 1=AGNN)"),
+                    }
+                }
+            };
+            match engine.gnn_register(&tenant, matrix_id, model) {
+                Ok(info) => Response::GnnRegistered {
+                    model_id: info.id,
+                    weight_bytes: info.weight_bytes as u64,
+                    layers: info.layers.min(u32::MAX as usize) as u32,
+                },
+                Err(e) => gnn_error(e),
+            }
+        }
+        Request::GnnInfer {
+            tenant,
+            model_id,
+            precision,
+            deadline_ms,
+            node_ids,
+            f_rows,
+            f_cols,
+            features,
+        } => {
+            let deadline = if deadline_ms == 0 {
+                None
+            } else {
+                Some(Duration::from_millis(u64::from(deadline_ms)))
+            };
+            let req = GnnInferRequest {
+                tenant,
+                model_id,
+                precision,
+                deadline,
+                node_ids,
+                features: DenseMatrix::from_f32_slice(f_rows as usize, f_cols as usize, &features),
+            };
+            match engine.gnn_infer(req) {
+                Ok(out) => Response::GnnInfer {
+                    rows: out.rows,
+                    classes: out.classes,
+                    scores: out.scores,
+                    layer_micros: out.layer_micros,
+                    cache_hit: out.cache_hit,
+                },
+                Err(e) => gnn_error(e),
+            }
+        }
     }
+}
+
+fn gnn_error(e: GnnError) -> Response {
+    let code = match &e {
+        GnnError::UnknownGraph(_) | GnnError::UnknownModel(_) => ErrorCode::UnknownMatrix,
+        GnnError::BadRequest(_) => ErrorCode::BadRequest,
+        GnnError::ResourceExhausted(_) => ErrorCode::ResourceExhausted,
+        GnnError::DeadlineExceeded => ErrorCode::DeadlineExceeded,
+        GnnError::Internal(_) => ErrorCode::Internal,
+    };
+    Response::Error { code, message: e.to_string() }
 }

@@ -14,12 +14,13 @@ use std::time::{Duration, Instant};
 
 use flashsparse::{outputs_match, DEFAULT_TOLERANCE};
 use fs_chaos::{ChaosScope, FaultPlan, FaultSite};
-use fs_matrix::gen::random_uniform;
+use fs_gnn::{normalize_adjacency, GcnModel};
+use fs_matrix::gen::{random_uniform, sbm, SbmConfig};
 use fs_matrix::{CsrMatrix, DenseMatrix};
-use fs_serve::loadgen::{run, LoadgenConfig, MatrixSpec};
+use fs_serve::loadgen::{run, GnnSpec, LoadgenConfig, MatrixSpec};
 use fs_serve::{
-    ClientError, EngineConfig, ServeClient, ServeEngine, Server, ServerConfig, SpmmOutcome,
-    SpmmRequest,
+    ClientError, EngineConfig, GnnInferRequest, ServeClient, ServeEngine, Server, ServerConfig,
+    SpmmOutcome, SpmmRequest,
 };
 
 /// The ISSUE's acceptance soak, engine-level: a seeded fragment-bit plan
@@ -124,6 +125,130 @@ fn tcp_soak_with_kills_and_frame_faults_serves_no_wrong_bytes() {
     assert!(
         report.completed >= 60,
         "retries should recover most of the 120 requests: {}",
+        report.to_json()
+    );
+
+    let mut c = ServeClient::connect_with_retry(&addr, Duration::from_secs(10))
+        .unwrap_or_else(|e| panic!("connect failed: {e}"));
+    c.shutdown().unwrap_or_else(|e| panic!("shutdown failed: {e}"));
+    server_thread
+        .join()
+        .unwrap_or_else(|_| panic!("server thread panicked"))
+        .unwrap_or_else(|e| panic!("server run failed: {e}"));
+}
+
+/// GNN inference under a seeded kernel-fault plan: the double-execution
+/// verifier absorbs injected fragment faults (retrying, never serving a
+/// corrupt score), and re-running the identical plan must reproduce
+/// identical response bytes, cache-hit flags, and fault counters —
+/// inference is synchronous on the calling thread, so a single-client
+/// soak consumes draw indices in a replayable order.
+#[test]
+fn seeded_gnn_soak_replays_identical_response_bytes() {
+    let plan: FaultPlan = "seed=123;frag-bit=0.001".parse().expect("plan parses");
+    let (outs_a, report_a) = gnn_soak(&plan, 40);
+    let (outs_b, report_b) = gnn_soak(&plan, 40);
+    assert_eq!(report_a, report_b, "fault counters must replay from the plan string");
+    assert_eq!(outs_a, outs_b, "served GNN response bytes must replay too");
+    let (evaluated, _) = report_a.site(FaultSite::FragBitFlip);
+    assert!(evaluated > 0, "the forward passes must consult the plan");
+    // Variant cycling means later rounds hit the embedding cache: hits
+    // replay the miss bytes without consuming any fault draws.
+    assert!(outs_a.iter().any(|o| o.starts_with("hit=true")), "soak never hit the cache");
+}
+
+/// Run `requests` sequential FP16 GNN inferences (cycling 3 feature
+/// variants) through a verifying engine under `plan`; returns one
+/// outcome string per request plus the fault report.
+fn gnn_soak(plan: &FaultPlan, requests: usize) -> (Vec<String>, fs_chaos::FaultReport) {
+    let _scope = ChaosScope::install(plan.clone());
+    let e = ServeEngine::start(EngineConfig {
+        workers: 1,
+        verify: true,
+        // Wall-clock breaker cooldowns would make the soak nondeterministic.
+        breaker_threshold: u32::MAX,
+        ..EngineConfig::default()
+    });
+    let ds = sbm(
+        SbmConfig { nodes: 96, feature_dim: 16, feature_signal: 1.5, ..Default::default() },
+        11,
+    );
+    let graph = e.register_matrix("t", normalize_adjacency(&ds.adjacency)).expect("graph");
+    let weights = GcnModel::new(&[16, 12, ds.classes], 0.01, 3).export_weights();
+    let info = e.gnn_register("t", graph.id, weights).expect("model");
+    let variants: Vec<DenseMatrix<f32>> = (0..3)
+        .map(|v| DenseMatrix::from_fn(96, 16, |r, c| ds.features.get(r, c) + v as f32 * 0.001))
+        .collect();
+    let mut outs = Vec::with_capacity(requests);
+    for i in 0..requests {
+        let resp = e.gnn_infer(GnnInferRequest {
+            tenant: "t".to_string(),
+            model_id: info.id,
+            precision: 2,
+            deadline: None,
+            node_ids: Vec::new(),
+            features: variants[i % variants.len()].clone(),
+        });
+        // Errors (the verifier giving up) are tolerated but must replay.
+        outs.push(match resp {
+            Ok(r) => format!(
+                "hit={} bits={:?}",
+                r.cache_hit,
+                r.scores.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            ),
+            Err(err) => format!("err={err}"),
+        });
+    }
+    let report = fs_chaos::report();
+    e.shutdown();
+    (outs, report)
+}
+
+/// Full-stack GNN soak over TCP under transport faults: frame
+/// corruption, truncation, worker kills and stalls. Clients retry and
+/// reconnect; every completed response is bit-compared against the
+/// offline fs-gnn forward, so the contract is completed > 0 and
+/// wrong == 0. (No kernel faults here: the loadgen computes its
+/// reference in-process, and a frag-bit plan would corrupt the
+/// reference itself, not just the server under test.)
+#[test]
+fn tcp_gnn_soak_with_transport_faults_serves_no_wrong_scores() {
+    let plan: FaultPlan = "seed=21;worker-kill=0.02;worker-stall=0.05;\
+                           frame-corrupt=0.05;frame-truncate=0.02;stall-ms=5"
+        .parse()
+        .expect("plan parses");
+    let _scope = ChaosScope::install(plan);
+    let server = Server::bind(&ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        engine: EngineConfig { workers: 2, verify: true, ..EngineConfig::default() },
+        ..ServerConfig::default()
+    })
+    .unwrap_or_else(|e| panic!("bind failed: {e}"));
+    let addr = server.local_addr();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    let report = run(&LoadgenConfig {
+        addr,
+        concurrency: 2,
+        requests: 60,
+        chaos: true,
+        gnn: Some(GnnSpec {
+            nodes: 96,
+            feature_dim: 16,
+            hidden: 12,
+            train_epochs: 3,
+            precision: 2,
+            variants: 2,
+        }),
+        ..LoadgenConfig::default()
+    })
+    .unwrap_or_else(|e| panic!("loadgen failed: {e}"));
+
+    assert_eq!(report.mode, "gnn");
+    assert_eq!(report.wrong, 0, "chaos must never corrupt a served score: {}", report.to_json());
+    assert!(
+        report.completed >= 30,
+        "retries should recover most of the 60 requests: {}",
         report.to_json()
     );
 

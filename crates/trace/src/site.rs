@@ -63,10 +63,16 @@ pub enum Site {
     /// One overlapped cold-path execution end to end (slab staging +
     /// compute + format assembly).
     PipelineOverlap,
+    /// One GNN model layer executed server-side by REQ_GNN_INFER (dense
+    /// GEMM + SpMM aggregation, plus SDDMM attention for AGNN).
+    ServeGnnLayer,
+    /// One embedding-cache lookup for a GNN inference request (hit or
+    /// miss; the split is in the `gnn_cache_*` counters).
+    ServeGnnCache,
 }
 
 /// Number of span sites (histogram slots).
-pub const SITE_COUNT: usize = 21;
+pub const SITE_COUNT: usize = 23;
 
 impl Site {
     /// Every site, in export order.
@@ -92,6 +98,8 @@ impl Site {
         Site::PipelineStage,
         Site::PipelineSteal,
         Site::PipelineOverlap,
+        Site::ServeGnnLayer,
+        Site::ServeGnnCache,
     ];
 
     /// Dense index into the registry's per-site slots.
@@ -119,6 +127,8 @@ impl Site {
             Site::PipelineStage => 18,
             Site::PipelineSteal => 19,
             Site::PipelineOverlap => 20,
+            Site::ServeGnnLayer => 21,
+            Site::ServeGnnCache => 22,
         }
     }
 
@@ -146,6 +156,8 @@ impl Site {
             Site::PipelineStage => "pipeline.stage",
             Site::PipelineSteal => "pipeline.steal",
             Site::PipelineOverlap => "pipeline.overlap",
+            Site::ServeGnnLayer => "serve.gnn_layer",
+            Site::ServeGnnCache => "serve.gnn_cache",
         }
     }
 
@@ -185,10 +197,14 @@ pub enum TraceCounter {
     Steals,
     /// Cold requests served through the overlapped slab pipeline.
     Overlaps,
+    /// GNN embedding-cache hits (logits replayed without a forward pass).
+    GnnCacheHits,
+    /// GNN embedding-cache misses (full forward pass executed).
+    GnnCacheMisses,
 }
 
 /// Number of trace counters.
-pub const COUNTER_COUNT: usize = 10;
+pub const COUNTER_COUNT: usize = 12;
 
 impl TraceCounter {
     /// Every counter, in export order.
@@ -203,6 +219,8 @@ impl TraceCounter {
         TraceCounter::ChaosFaults,
         TraceCounter::Steals,
         TraceCounter::Overlaps,
+        TraceCounter::GnnCacheHits,
+        TraceCounter::GnnCacheMisses,
     ];
 
     /// Dense index into the registry's counter slots.
@@ -219,6 +237,8 @@ impl TraceCounter {
             TraceCounter::ChaosFaults => 7,
             TraceCounter::Steals => 8,
             TraceCounter::Overlaps => 9,
+            TraceCounter::GnnCacheHits => 10,
+            TraceCounter::GnnCacheMisses => 11,
         }
     }
 
@@ -235,6 +255,8 @@ impl TraceCounter {
             TraceCounter::ChaosFaults => "chaos_faults",
             TraceCounter::Steals => "steals",
             TraceCounter::Overlaps => "overlaps",
+            TraceCounter::GnnCacheHits => "gnn_cache_hits",
+            TraceCounter::GnnCacheMisses => "gnn_cache_misses",
         }
     }
 }
